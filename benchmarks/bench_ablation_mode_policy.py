@@ -1,0 +1,94 @@
+"""Ablation: mode-selection policies (§4 threshold, §5 counters).
+
+A mixed workload with one read-mostly block and one write-heavy block.
+Static policies can only be right about one of them; the measuring
+policies (oracle and the owner-visible §5 selector) must beat both
+statics by specialising per block.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.report import render_table
+from repro.cache.state import Mode
+from repro.protocol.modes import (
+    AdaptiveModePolicy,
+    OracleModePolicy,
+    StaticModePolicy,
+)
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.sim.trace import Trace
+from repro.workloads.markov import markov_block_trace
+
+N_NODES = 16
+TASKS = list(range(8))
+
+
+def _trace() -> Trace:
+    read_mostly = markov_block_trace(
+        N_NODES, TASKS, write_fraction=0.03, n_references=2000,
+        block=0, seed=7,
+    )
+    write_heavy = markov_block_trace(
+        N_NODES, TASKS, write_fraction=0.8, n_references=2000,
+        block=1, seed=8,
+    )
+    return Trace.interleave([read_mostly, write_heavy])
+
+
+TRACE = _trace()
+
+POLICIES = {
+    "static DW": lambda: StaticModePolicy(Mode.DISTRIBUTED_WRITE),
+    "static GR": lambda: StaticModePolicy(Mode.GLOBAL_READ),
+    "oracle (true w)": lambda: OracleModePolicy(window=64),
+    "adaptive (§5 counters)": lambda: AdaptiveModePolicy(window=64),
+}
+
+
+def _run(policy_factory):
+    protocol = StenstromProtocol(
+        System(SystemConfig(n_nodes=N_NODES)),
+        mode_policy=policy_factory(),
+    )
+    return run_trace(
+        protocol, TRACE, verify=True, check_invariants_every=500
+    )
+
+
+def test_mode_policy_ablation(benchmark):
+    def sweep():
+        return {name: _run(factory) for name, factory in POLICIES.items()}
+
+    reports = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    costs = {
+        name: report.cost_per_reference
+        for name, report in reports.items()
+    }
+    # Per-block specialisation must beat both one-size-fits-all statics.
+    static_best = min(costs["static DW"], costs["static GR"])
+    assert costs["oracle (true w)"] < static_best
+    # The owner-visible selector is allowed its documented bias but must
+    # still recover most of the oracle's win.
+    assert costs["adaptive (§5 counters)"] < static_best * 1.05
+
+    rows = [
+        (
+            name,
+            f"{costs[name]:.1f}",
+            reports[name].stats.events.get("mode_switches", 0),
+        )
+        for name in POLICIES
+    ]
+    save_exhibit(
+        "ablation_mode_policy",
+        render_table(
+            ("policy", "bits/ref", "mode switches"),
+            rows,
+            title=(
+                "Mode-policy ablation: one read-mostly + one "
+                "write-heavy block, 8 sharers"
+            ),
+        ),
+    )

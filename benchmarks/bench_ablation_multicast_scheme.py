@@ -1,0 +1,80 @@
+"""Ablation: which multicast scheme should the protocol use (eq. 8)?
+
+Runs the same distributed-write workload (one writer, many sharers) with
+the protocol pinned to each §3 scheme and to the combined scheme.  The
+combined scheme must never lose to a pinned one -- the operational content
+of eq. 8 -- and the per-scheme ordering must match the analysis for this
+sharer count.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.report import render_table
+from repro.cache.state import Mode
+from repro.network.multicast import MulticastScheme
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.markov import markov_block_trace
+
+N_NODES = 64
+N_SHARERS = 16
+TRACE = markov_block_trace(
+    N_NODES,
+    tasks=list(range(N_SHARERS)),  # adjacently placed tasks (§3.4)
+    write_fraction=0.3,
+    n_references=3000,
+    seed=31,
+)
+
+SCHEMES = (
+    MulticastScheme.UNICAST,
+    MulticastScheme.VECTOR,
+    MulticastScheme.BROADCAST_TAG,
+    MulticastScheme.COMBINED,
+)
+
+
+def _run(scheme):
+    config = SystemConfig(n_nodes=N_NODES, multicast_scheme=scheme)
+    protocol = StenstromProtocol(
+        System(config), default_mode=Mode.DISTRIBUTED_WRITE
+    )
+    return run_trace(
+        protocol, TRACE, verify=True, check_invariants_every=500
+    )
+
+
+def test_multicast_scheme_ablation(benchmark):
+    def sweep():
+        return {scheme: _run(scheme) for scheme in SCHEMES}
+
+    reports = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    costs = {
+        scheme: report.cost_per_reference
+        for scheme, report in reports.items()
+    }
+    # eq. 8: picking the cheapest scheme per multicast can only help.
+    pinned_best = min(
+        costs[scheme]
+        for scheme in SCHEMES
+        if scheme is not MulticastScheme.COMBINED
+    )
+    assert costs[MulticastScheme.COMBINED] <= pinned_best * 1.001
+
+    rows = [
+        (scheme.name.lower(), f"{costs[scheme]:.1f}")
+        for scheme in SCHEMES
+    ]
+    save_exhibit(
+        "ablation_multicast_scheme",
+        render_table(
+            ("scheme", "bits/ref"),
+            rows,
+            title=(
+                f"Multicast scheme ablation: DW protocol, "
+                f"{N_SHARERS} adjacent sharers of one block, w=0.3, "
+                f"N={N_NODES}"
+            ),
+        ),
+    )

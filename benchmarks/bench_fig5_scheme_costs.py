@@ -1,0 +1,41 @@
+"""Figure 5: communication cost vs number of destinations, schemes 1 and 2.
+
+Paper setting: N = 1024 caches (m = 10), message size M = 20, scheme 2 in
+its worst case.  The paper's observation -- "break-even occurs when n is a
+small fraction of N" -- is asserted on the regenerated series.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.figures import fig5_breakeven_note, fig5_data
+from repro.analysis.report import render_series
+
+NETWORK_SIZE = 1024
+MESSAGE_BITS = 20
+
+
+def test_fig5_series(benchmark):
+    data = benchmark(fig5_data, NETWORK_SIZE, MESSAGE_BITS)
+
+    scheme1 = dict(data["scheme 1 (eq. 2)"])
+    scheme2 = dict(data["scheme 2 worst (eq. 3)"])
+    # Scheme 2 pays for the 1024-bit vector at n = 1 ...
+    assert scheme2[1] > scheme1[1]
+    # ... but wins from a small fraction of N onward (the figure's point).
+    crossover = min(n for n in scheme1 if scheme2[n] < scheme1[n])
+    assert crossover <= NETWORK_SIZE // 8
+
+    rows = "\n".join(
+        f"n={n:5d}  scheme1={scheme1[n]:8d}  scheme2={scheme2[n]:8d}"
+        for n in sorted(scheme1)
+    )
+    chart = render_series(
+        data,
+        title=(
+            f"Figure 5: CC vs n (N={NETWORK_SIZE}, M={MESSAGE_BITS}, "
+            f"scheme 2 worst case)"
+        ),
+        log_x=True,
+    )
+    note = fig5_breakeven_note(NETWORK_SIZE, MESSAGE_BITS)
+    save_exhibit("fig5_scheme_costs", f"{chart}\n\n{rows}\n\n{note}")

@@ -1,0 +1,50 @@
+"""Figure 6: communication cost vs destinations for schemes 1, 2' and 3.
+
+Paper setting: N = 1024, n1 = 128 adjacently placed tasks, M = 20.  The
+asserted shape is the figure's story: scheme 1 cheapest for few
+destinations, scheme 2 for a moderate number, scheme 3 for many.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.figures import fig6_data
+from repro.analysis.report import render_series
+from repro.network.breakeven import breakeven_scheme3_vs_scheme2
+
+NETWORK_SIZE = 1024
+N_PARTITION = 128
+MESSAGE_BITS = 20
+
+
+def test_fig6_series(benchmark):
+    data = benchmark(
+        fig6_data, NETWORK_SIZE, N_PARTITION, MESSAGE_BITS
+    )
+    scheme1 = dict(data["scheme 1 (eq. 2)"])
+    scheme2 = dict(data["scheme 2' (eq. 6)"])
+    scheme3 = dict(data["scheme 3 (eq. 5)"])
+
+    assert scheme1[1] == min(scheme1[1], scheme2[1], scheme3[1])
+    assert scheme2[16] == min(scheme1[16], scheme2[16], scheme3[16])
+    assert scheme3[128] == min(scheme1[128], scheme2[128], scheme3[128])
+
+    point = breakeven_scheme3_vs_scheme2(
+        N_PARTITION, NETWORK_SIZE, MESSAGE_BITS
+    )
+    rows = "\n".join(
+        f"n={n:4d}  scheme1={scheme1[n]:7d}  scheme2'={scheme2[n]:7d}  "
+        f"scheme3={scheme3[n]:7d}"
+        for n in sorted(scheme1)
+    )
+    chart = render_series(
+        data,
+        title=(
+            f"Figure 6: CC vs n (N={NETWORK_SIZE}, n1={N_PARTITION}, "
+            f"M={MESSAGE_BITS})"
+        ),
+        log_x=True,
+    )
+    note = (
+        f"scheme 3 first beats scheme 2' at n={point.first_winning_n}"
+    )
+    save_exhibit("fig6_scheme_costs", f"{chart}\n\n{rows}\n\n{note}")

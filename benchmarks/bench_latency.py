@@ -1,0 +1,82 @@
+"""Extension exhibit: multicast *latency* under the three schemes.
+
+The paper compares traffic (eq. 1); this exhibit runs the same deliveries
+through the store-and-forward timing model of :mod:`repro.sim.timing`
+(one bit per link per cycle, FIFO links) and reports completion times.
+Scheme 1's n unicasts serialise on the source link, so its latency grows
+linearly in n while the tree schemes grow only with tree depth and the
+shrinking tag -- the latency face of the eq. 2 / eq. 3 / eq. 5 story.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.report import render_table
+from repro.network.cost import adjacent_placement
+from repro.network.message import Message
+from repro.network.multicast import (
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+)
+from repro.network.topology import OmegaNetwork
+from repro.sim.timing import makespan
+
+NETWORK_SIZE = 256
+MESSAGE_BITS = 128  # one cache block on the wire
+N_VALUES = (2, 8, 32, 128)
+
+
+def test_multicast_latency(benchmark):
+    def build_rows():
+        net = OmegaNetwork(NETWORK_SIZE)
+        message = Message(source=200, payload_bits=MESSAGE_BITS)
+        rows = []
+        for n in N_VALUES:
+            dests = adjacent_placement(NETWORK_SIZE, n)
+            s1 = makespan(
+                [
+                    multicast_scheme1(
+                        net, message, dests, commit=False
+                    ).loads
+                ]
+            )
+            s2 = makespan(
+                [
+                    multicast_scheme2(
+                        net, message, dests, commit=False
+                    ).loads
+                ]
+            )
+            s3 = makespan(
+                [
+                    multicast_scheme3(
+                        net, message, dests, commit=False
+                    ).loads
+                ]
+            )
+            rows.append((n, s1, s2, s3))
+        return rows
+
+    rows = benchmark(build_rows)
+
+    # Scheme 1's latency grows (n more source-link crossings each time);
+    # the tree schemes stay within a small factor of a single traversal.
+    scheme1 = [row[1] for row in rows]
+    assert scheme1 == sorted(scheme1)
+    for n, s1, s2, s3 in rows:
+        if n >= 8:
+            assert s2 < s1
+            assert s3 < s1
+
+    save_exhibit(
+        "latency",
+        render_table(
+            ("n", "scheme 1 (cycles)", "scheme 2", "scheme 3"),
+            rows,
+            title=(
+                f"Multicast completion time, store-and-forward model "
+                f"(N={NETWORK_SIZE}, M={MESSAGE_BITS} bits, adjacent "
+                f"destinations)"
+            ),
+        ),
+    )

@@ -1,0 +1,94 @@
+"""Switch-level multicast at full paper scale (N = 1024).
+
+Times the three schemes delivering to 64 destinations through the
+simulated fabric and re-validates, at this scale, that measured link bits
+equal the closed forms of §3.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.report import render_table
+from repro.network import cost
+from repro.network.message import Message
+from repro.network.multicast import (
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+)
+from repro.network.topology import OmegaNetwork
+
+NETWORK_SIZE = 1024
+MESSAGE_BITS = 20
+N_DESTS = 64
+
+
+def _message():
+    return Message(source=5, payload_bits=MESSAGE_BITS)
+
+
+def test_scheme1_simulation(benchmark):
+    net = OmegaNetwork(NETWORK_SIZE)
+    dests = cost.worst_case_placement(NETWORK_SIZE, N_DESTS)
+    result = benchmark(
+        multicast_scheme1, net, _message(), dests, commit=False
+    )
+    assert result.cost == cost.cc1(N_DESTS, NETWORK_SIZE, MESSAGE_BITS)
+
+
+def test_scheme2_simulation(benchmark):
+    net = OmegaNetwork(NETWORK_SIZE)
+    dests = cost.worst_case_placement(NETWORK_SIZE, N_DESTS)
+    result = benchmark(
+        multicast_scheme2, net, _message(), dests, commit=False
+    )
+    assert result.cost == cost.cc2_worst(
+        N_DESTS, NETWORK_SIZE, MESSAGE_BITS
+    )
+
+
+def test_scheme3_simulation(benchmark):
+    net = OmegaNetwork(NETWORK_SIZE)
+    dests = cost.adjacent_placement(NETWORK_SIZE, N_DESTS)
+    result = benchmark(
+        multicast_scheme3, net, _message(), dests, commit=False
+    )
+    assert result.cost == cost.cc3(N_DESTS, NETWORK_SIZE, MESSAGE_BITS)
+
+
+def test_summary_table(benchmark):
+    """One table: simulated == analytic for all three schemes at N=1024."""
+
+    def build_rows():
+        net = OmegaNetwork(NETWORK_SIZE)
+        rows = []
+        for n in (4, 16, 64, 256):
+            spread = cost.worst_case_placement(NETWORK_SIZE, n)
+            adjacent = cost.adjacent_placement(NETWORK_SIZE, n)
+            s1 = multicast_scheme1(
+                net, _message(), spread, commit=False
+            ).cost
+            s2 = multicast_scheme2(
+                net, _message(), spread, commit=False
+            ).cost
+            s3 = multicast_scheme3(
+                net, _message(), adjacent, commit=False
+            ).cost
+            assert s1 == cost.cc1(n, NETWORK_SIZE, MESSAGE_BITS)
+            assert s2 == cost.cc2_worst(n, NETWORK_SIZE, MESSAGE_BITS)
+            assert s3 == cost.cc3(n, NETWORK_SIZE, MESSAGE_BITS)
+            rows.append((n, s1, s2, s3))
+        return rows
+
+    rows = benchmark(build_rows)
+    save_exhibit(
+        "multicast_simulated_vs_analytic",
+        render_table(
+            ("n", "scheme 1 (sim=eq2)", "scheme 2 (sim=eq3)",
+             "scheme 3 (sim=eq5)"),
+            rows,
+            title=(
+                f"Simulated link bits == closed forms "
+                f"(N={NETWORK_SIZE}, M={MESSAGE_BITS})"
+            ),
+        ),
+    )

@@ -1,0 +1,120 @@
+"""End-to-end simulator throughput: references per second per protocol.
+
+Not a paper exhibit -- an engineering benchmark that keeps the simulator's
+performance visible (and, via the assertions, its correctness at volume).
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.report import render_table
+from repro.cache.state import Mode
+from repro.protocol.full_map import FullMapProtocol
+from repro.protocol.no_cache import NoCacheProtocol
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.protocol.write_once import WriteOnceProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.synthetic import random_trace
+
+N_NODES = 16
+TRACE = random_trace(
+    N_NODES,
+    5000,
+    n_blocks=64,
+    block_size_words=4,
+    write_fraction=0.3,
+    locality=0.6,
+    seed=123,
+)
+
+
+def _config():
+    return SystemConfig(
+        n_nodes=N_NODES, cache_entries=16, block_size_words=4
+    )
+
+
+def _run(protocol_factory):
+    protocol = protocol_factory(System(_config()))
+    return run_trace(
+        protocol, TRACE, verify=True, check_invariants_every=500
+    )
+
+
+def test_stenstrom_throughput(benchmark):
+    report = benchmark.pedantic(
+        _run, args=(StenstromProtocol,), iterations=1, rounds=3
+    )
+    assert report.n_references == len(TRACE)
+
+
+def test_stenstrom_dw_throughput(benchmark):
+    factory = lambda system: StenstromProtocol(  # noqa: E731
+        system, default_mode=Mode.DISTRIBUTED_WRITE
+    )
+    report = benchmark.pedantic(
+        _run, args=(factory,), iterations=1, rounds=3
+    )
+    assert report.n_references == len(TRACE)
+
+
+def test_write_once_throughput(benchmark):
+    report = benchmark.pedantic(
+        _run, args=(WriteOnceProtocol,), iterations=1, rounds=3
+    )
+    assert report.n_references == len(TRACE)
+
+
+def test_full_map_throughput(benchmark):
+    report = benchmark.pedantic(
+        _run, args=(FullMapProtocol,), iterations=1, rounds=3
+    )
+    assert report.n_references == len(TRACE)
+
+
+def test_no_cache_throughput(benchmark):
+    report = benchmark.pedantic(
+        _run, args=(NoCacheProtocol,), iterations=1, rounds=3
+    )
+    assert report.n_references == len(TRACE)
+
+
+def test_traffic_summary(benchmark):
+    """Cross-protocol traffic on the same mixed workload, as a table."""
+
+    def build():
+        rows = []
+        for name, factory in (
+            ("two-mode (GR default)", StenstromProtocol),
+            (
+                "two-mode (DW default)",
+                lambda s: StenstromProtocol(
+                    s, default_mode=Mode.DISTRIBUTED_WRITE
+                ),
+            ),
+            ("write-once", WriteOnceProtocol),
+            ("full-map", FullMapProtocol),
+            ("no-cache", NoCacheProtocol),
+        ):
+            report = _run(factory)
+            rows.append(
+                (
+                    name,
+                    report.network_total_bits,
+                    f"{report.cost_per_reference:.1f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(build, iterations=1, rounds=1)
+    save_exhibit(
+        "protocol_traffic_mixed_workload",
+        render_table(
+            ("protocol", "total bits", "bits/ref"),
+            rows,
+            title=(
+                "Mixed random workload (w=0.3, 16 nodes, verified): "
+                "traffic by protocol"
+            ),
+        ),
+    )

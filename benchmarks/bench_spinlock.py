@@ -1,0 +1,80 @@
+"""Extension exhibit: the §5 caveat measured on a spinlock workload.
+
+"For applications where several tasks can modify a block, or when tasks
+can migrate, ownership will change which increases the network traffic."
+
+A contended test-and-test-and-set lock is the sharpest such case: every
+acquisition moves ownership of the lock word and broadcasts its value to
+all spinners.  The exhibit compares the protocols and counts ownership
+transfers, alongside an uncontended control run.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.compare import compare_protocols, default_factories
+from repro.analysis.report import render_table
+from repro.sim.system import SystemConfig
+from repro.workloads.locks import spinlock_trace
+
+N_NODES = 16
+ACQUISITIONS = 40
+
+
+def test_spinlock_contention(benchmark):
+    contended = spinlock_trace(
+        N_NODES, list(range(8)), ACQUISITIONS, spin_reads=3
+    )
+    uncontended = spinlock_trace(
+        N_NODES, [0], ACQUISITIONS, spin_reads=3
+    )
+
+    def sweep():
+        return {
+            "contended (8 tasks)": compare_protocols(
+                contended, SystemConfig(n_nodes=N_NODES)
+            ),
+            "uncontended (1 task)": compare_protocols(
+                uncontended, SystemConfig(n_nodes=N_NODES)
+            ),
+        }
+
+    comparisons = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    contended_costs = comparisons["contended (8 tasks)"].cost_per_reference()
+    uncontended_costs = comparisons[
+        "uncontended (1 task)"
+    ].cost_per_reference()
+    # The §5 caveat: contention multiplies the two-mode cost...
+    assert contended_costs["two-mode"] > 3 * uncontended_costs["two-mode"]
+    # ...but even then it does not collapse to worse than write-once.
+    assert contended_costs["two-mode"] <= contended_costs["write-once"] * 1.5
+
+    names = sorted(default_factories())
+    rows = []
+    for label, comparison in comparisons.items():
+        costs = comparison.cost_per_reference()
+        rows.append(
+            (label,) + tuple(f"{costs[name]:.1f}" for name in names)
+        )
+    transfers = [
+        (
+            f"{label} ownership transfers",
+            comparison.reports["two-mode"].stats.events.get(
+                "ownership_transfers", 0
+            ),
+        )
+        for label, comparison in comparisons.items()
+    ]
+    save_exhibit(
+        "spinlock",
+        render_table(
+            ("scenario",) + tuple(names),
+            rows,
+            title=(
+                f"Spinlock workload, {ACQUISITIONS} acquisitions "
+                f"(bits/reference)"
+            ),
+        )
+        + "\n\n"
+        + render_table(("metric", "count"), transfers),
+    )

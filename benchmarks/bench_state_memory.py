@@ -1,0 +1,52 @@
+"""The §1 storage argument, tabulated (extension exhibit).
+
+Exact state-memory budgets: the full-map directory's O(N M) bits against
+the proposed protocol's O(C (N + log N) + M log N) bits, for machines of
+growing main memory.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.report import render_table
+from repro.memory.sizing import state_memory_comparison
+
+N_CACHES = 1024
+CACHE_ENTRIES = 1 << 12  # 4K blocks per cache
+
+
+def test_state_memory_budgets(benchmark):
+    memory_sizes = [1 << 20, 1 << 23, 1 << 26, 1 << 29]
+
+    def build():
+        return [
+            state_memory_comparison(N_CACHES, blocks, CACHE_ENTRIES)
+            for blocks in memory_sizes
+        ]
+
+    comparisons = benchmark(build)
+
+    # The advantage must grow monotonically with main-memory size.
+    ratios = [comparison.ratio for comparison in comparisons]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 50  # decisive at half-a-billion blocks
+
+    rows = [
+        (
+            f"2^{comparison.memory_blocks.bit_length() - 1}",
+            f"{comparison.full_map_bits / 8 / 2**20:.0f} MiB",
+            f"{comparison.stenstrom_bits / 8 / 2**20:.0f} MiB",
+            f"{comparison.ratio:.2f}x",
+        )
+        for comparison in comparisons
+    ]
+    save_exhibit(
+        "state_memory_budgets",
+        render_table(
+            ("memory blocks", "full map", "proposed", "full-map/proposed"),
+            rows,
+            title=(
+                f"State memory (N={N_CACHES} caches, "
+                f"C={CACHE_ENTRIES} entries/cache)"
+            ),
+        ),
+    )

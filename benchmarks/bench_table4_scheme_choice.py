@@ -1,0 +1,28 @@
+"""Table 4: cheapest multicast scheme per (N, n) for M=20, n1=128.
+
+Asserts the row-wise 1 -> 2 -> 3 progression and the paper's claim that
+larger networks shift the 2/3 break-even to smaller n.
+"""
+
+from conftest import save_exhibit
+
+from repro.analysis.figures import table4_data
+
+
+def test_table4_scheme_choice(benchmark):
+    table = benchmark(table4_data)
+    for row in table.rows:
+        sequence = [table.ours[(row, n)] for n in table.columns]
+        assert sequence == sorted(sequence)
+
+    # Larger N: scheme 3 takes over at smaller n (the §3.4 claim).
+    def first_scheme3(network):
+        for n in table.columns:
+            if table.ours[(network, n)] == 3:
+                return n
+        return None
+
+    takeovers = [first_scheme3(network) for network in table.rows]
+    assert takeovers == sorted(takeovers, reverse=True)
+    assert table.agreement() >= 0.80
+    save_exhibit("table4_scheme_choice", table.render())

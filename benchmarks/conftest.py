@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one exhibit of the paper (a table or a figure)
+and writes the rendered result to ``benchmarks/results/<name>.txt`` so the
+regenerated numbers are inspectable artifacts, not just timings.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_exhibit(name: str, text: str) -> str:
+    """Write a rendered exhibit under ``benchmarks/results/``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(text + "\n")
+    return path

@@ -1,0 +1,11 @@
+"""Repo-level pytest configuration.
+
+Puts ``src/`` on ``sys.path`` so the test and benchmark suites run against
+the in-tree sources even when the package has not been installed (useful in
+offline environments where ``pip install -e .`` is unavailable).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

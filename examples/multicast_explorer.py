@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Multicast explorer: the three §3 schemes on a real switch fabric.
+
+Routes one message to a destination set of your choosing through a
+simulated omega network under scheme 1 (repeated unicast), scheme 2
+(present-flag-vector routing) and scheme 3 (broadcast-bit subcube
+routing), printing the per-stage link loads and comparing the measured
+bits against the paper's closed forms.  Finishes with the Figure 5 and
+Figure 6 cost curves.
+
+Run:  python examples/multicast_explorer.py [dest [dest ...]]
+      python examples/multicast_explorer.py 0 2 3 6      # the Figure 4 set
+"""
+
+import os
+import sys
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without installation
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    )
+
+from repro.analysis.figures import fig5_data, fig6_data
+from repro.analysis.report import render_series
+from repro.network import Message, OmegaNetwork, cc1, cc2_worst
+from repro.network.multicast import (
+    multicast_combined,
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+)
+
+NETWORK_SIZE = 8
+MESSAGE_BITS = 20
+SOURCE = 1
+
+
+def describe(name, result):
+    print(f"{name}:")
+    print(f"  delivered to : {sorted(result.delivered)}")
+    by_level = {}
+    for load in result.loads:
+        by_level.setdefault(load.level, []).append(load)
+    for level in sorted(by_level):
+        loads = by_level[level]
+        detail = ", ".join(
+            f"pos {load.position} ({load.bits}b)" for load in loads
+        )
+        print(f"  link level {level}: {detail}")
+    print(f"  total cost   : {result.cost} bits "
+          f"over {result.links_used} distinct links")
+    print()
+
+
+def main() -> None:
+    dests = (
+        [int(arg) for arg in sys.argv[1:]]
+        if len(sys.argv) > 1
+        else [0, 2, 3, 6]  # the paper's Figure 4 example
+    )
+    net = OmegaNetwork(NETWORK_SIZE)
+    message = Message(source=SOURCE, payload_bits=MESSAGE_BITS)
+    print(
+        f"N={NETWORK_SIZE} omega network, source {SOURCE}, "
+        f"M={MESSAGE_BITS}-bit message, destinations {dests}\n"
+    )
+
+    describe(
+        "scheme 1 (one unicast per destination)",
+        multicast_scheme1(net, message, dests, commit=False),
+    )
+    describe(
+        "scheme 2 (present-flag vector as routing tag)",
+        multicast_scheme2(net, message, dests, commit=False),
+    )
+    describe(
+        "scheme 3 (broadcast-bit subcube, minimal cover)",
+        multicast_scheme3(net, message, dests, exact=False, commit=False),
+    )
+    combined = multicast_combined(net, message, dests, commit=False)
+    print(
+        f"combined scheme (eq. 8) picks: {combined.scheme.name.lower()} "
+        f"at {combined.cost} bits\n"
+    )
+
+    # Sanity against the closed forms at a canonical placement.
+    n = 4
+    print(
+        f"closed-form check at N=1024, M=20, n={n} (worst case): "
+        f"CC1={cc1(n, 1024, 20)}, CC2={cc2_worst(n, 1024, 20)}\n"
+    )
+
+    print(
+        render_series(
+            fig5_data(),
+            title="Figure 5: scheme 1 vs scheme 2 (N=1024, M=20)",
+            log_x=True,
+        )
+    )
+    print()
+    print(
+        render_series(
+            fig6_data(),
+            title="Figure 6: schemes 1, 2', 3 (N=1024, n1=128, M=20)",
+            log_x=True,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

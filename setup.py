@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (see the note at the top of ``pyproject.toml``).  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

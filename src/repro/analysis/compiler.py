@@ -1,0 +1,118 @@
+"""The §5 'compiler': profile a program, assign each block its mode.
+
+"It should be possible for the compiler to determine both the message size
+and the maximum number of tasks and consequently break-even" -- and, for
+the two operating modes, §2.1 says the mode is "selected so as to minimize
+communication cost and set by the software".
+
+This module is that software.  :func:`profile_trace` extracts each block's
+sharing profile (write fraction, reader/writer sets) from a reference
+trace -- what a compiler would know from the program's loop structure --
+and :func:`recommend_modes` applies the §4 rule: distributed write when
+``w <= w1 = 2/(n+2)``, global read otherwise.  The resulting mode map
+drives a :class:`~repro.protocol.modes.PerBlockModePolicy`, giving the
+static, zero-hardware mode selection the paper envisions, measured against
+the runtime selectors in the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.cache.state import Mode
+from repro.protocol.modes import write_fraction_threshold
+from repro.types import BlockId, NodeId, Reference
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Sharing profile of one block over a trace."""
+
+    block: BlockId
+    references: int
+    writes: int
+    readers: frozenset[NodeId]
+    writers: frozenset[NodeId]
+
+    @property
+    def write_fraction(self) -> float:
+        if self.references == 0:
+            return 0.0
+        return self.writes / self.references
+
+    @property
+    def sharers(self) -> frozenset[NodeId]:
+        return self.readers | self.writers
+
+    @property
+    def single_writer(self) -> bool:
+        """The paper's stable-ownership condition (§5)."""
+        return len(self.writers) <= 1
+
+    def recommended_mode(self) -> Mode:
+        """The §4 rule applied to this block's profile."""
+        threshold = write_fraction_threshold(len(self.sharers))
+        return (
+            Mode.DISTRIBUTED_WRITE
+            if self.write_fraction <= threshold
+            else Mode.GLOBAL_READ
+        )
+
+
+def profile_trace(
+    references: Iterable[Reference],
+) -> dict[BlockId, BlockProfile]:
+    """Per-block sharing profiles of a reference stream."""
+    counts: dict[BlockId, int] = {}
+    writes: dict[BlockId, int] = {}
+    readers: dict[BlockId, set[NodeId]] = {}
+    writers: dict[BlockId, set[NodeId]] = {}
+    for ref in references:
+        block = ref.address.block
+        counts[block] = counts.get(block, 0) + 1
+        if ref.is_write:
+            writes[block] = writes.get(block, 0) + 1
+            writers.setdefault(block, set()).add(ref.node)
+        else:
+            readers.setdefault(block, set()).add(ref.node)
+    return {
+        block: BlockProfile(
+            block=block,
+            references=counts[block],
+            writes=writes.get(block, 0),
+            readers=frozenset(readers.get(block, set())),
+            writers=frozenset(writers.get(block, set())),
+        )
+        for block in counts
+    }
+
+
+def recommend_modes(
+    references: Iterable[Reference],
+) -> dict[BlockId, Mode]:
+    """Mode per block, by the §4 threshold over the trace's profiles."""
+    return {
+        block: profile.recommended_mode()
+        for block, profile in profile_trace(references).items()
+    }
+
+
+def profile_summary(
+    profiles: Mapping[BlockId, BlockProfile]
+) -> list[tuple[BlockId, int, float, int, str, str]]:
+    """Table rows ``(block, refs, w, sharers, single-writer?, mode)``."""
+    rows = []
+    for block in sorted(profiles):
+        profile = profiles[block]
+        rows.append(
+            (
+                block,
+                profile.references,
+                round(profile.write_fraction, 3),
+                len(profile.sharers),
+                "yes" if profile.single_writer else "no",
+                profile.recommended_mode().value,
+            )
+        )
+    return rows

@@ -1,0 +1,123 @@
+"""Terminal rendering of experiment results.
+
+The paper's figures are line charts and its tables small grids; both render
+here as plain text so every benchmark can print what it regenerates.  No
+plotting dependency is used (the environment is offline); the ASCII charts
+are intentionally coarse -- the *data* returned by
+:mod:`repro.analysis.figures` is the deliverable, the chart is a preview.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+Point = tuple[float, float]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ConfigurationError(
+                f"row {row!r} has {len(row)} cells, header has {columns}"
+            )
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells))
+        if cells
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        headers[i].ljust(widths[i]) for i in range(columns)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(row[i].rjust(widths[i]) for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Point]],
+    *,
+    title: str | None = None,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+) -> str:
+    """A coarse ASCII line chart of one or more ``(x, y)`` series.
+
+    Each series is plotted with its own symbol; a legend follows the grid.
+    ``log_x`` spaces the x axis logarithmically (natural for the paper's
+    power-of-two destination counts).
+    """
+    import math
+
+    if width < 8 or height < 4:
+        raise ConfigurationError(
+            f"chart needs width >= 8 and height >= 4, "
+            f"got {width}x{height}"
+        )
+    points = [
+        (label, x, y)
+        for label, pts in series.items()
+        for x, y in pts
+    ]
+    if not points:
+        return title or "(no data)"
+
+    def x_of(value: float) -> float:
+        if log_x:
+            if value <= 0:
+                raise ConfigurationError(
+                    f"log_x chart cannot place x={value}"
+                )
+            return math.log2(value)
+        return value
+
+    xs = [x_of(x) for _, x, _ in points]
+    ys = [y for _, _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    symbols = "*o+x#@%&"
+    legend = []
+    for index, (label, pts) in enumerate(series.items()):
+        symbol = symbols[index % len(symbols)]
+        legend.append(f"  {symbol} {label}")
+        for x, y in pts:
+            column = round((x_of(x) - x_min) / x_span * (width - 1))
+            row = round((y - y_min) / y_span * (height - 1))
+            grid[height - 1 - row][column] = symbol
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_min:g} .. {y_max:g}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    x_label = "x (log2)" if log_x else "x"
+    lines.append(
+        f"{x_label}: "
+        f"{min(x for _, x, _ in points):g} .. "
+        f"{max(x for _, x, _ in points):g}"
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

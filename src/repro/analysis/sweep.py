@@ -1,0 +1,133 @@
+"""Structured parameter sweeps over the trace-driven simulator.
+
+A sweep runs one workload template across a grid of parameters and
+protocols and returns flat records -- the long-form data the benchmark
+exhibits and any external analysis (numpy/pandas) can consume directly.
+
+The central experiment built on it, :func:`sharer_sweep`, measures the
+§4 quantities empirically: cost per reference as the number of sharers
+``n`` grows, at fixed write fraction.  Eq. 10 says write-once grows like
+``w(1-w)(n+2)``; eq. 11/12 say the two-mode protocol is bounded by
+``min(wn, 2(1-w))`` -- so as ``n`` grows at fixed ``w`` the two-mode curve
+must flatten at the global-read ceiling while write-once keeps climbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.protocol.base import CoherenceProtocol
+from repro.protocol.messages import MessageCosts
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.markov import markov_block_trace
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One (parameter point, protocol) measurement."""
+
+    protocol: str
+    parameters: tuple[tuple[str, object], ...]
+    cost_per_reference: float
+    total_bits: int
+    events: tuple[tuple[str, int], ...]
+
+    def parameter(self, name: str) -> object:
+        for key, value in self.parameters:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+def run_sweep(
+    points: Sequence[Mapping[str, object]],
+    trace_for: Callable[[Mapping[str, object]], object],
+    config_for: Callable[[Mapping[str, object]], SystemConfig],
+    factories: Mapping[str, Callable[[System], CoherenceProtocol]],
+    *,
+    verify: bool = False,
+) -> list[SweepRecord]:
+    """Run every protocol at every parameter point.
+
+    ``trace_for`` and ``config_for`` build the workload and machine for a
+    point; verification is off by default (sweeps are bulk measurement --
+    the correctness suite verifies the same machinery separately).
+    """
+    records = []
+    for point in points:
+        trace = trace_for(point)
+        config = config_for(point)
+        for name, factory in factories.items():
+            protocol = factory(System(config))
+            report = run_trace(
+                protocol,
+                trace,
+                verify=verify,
+                check_invariants_every=0 if not verify else None,
+            )
+            records.append(
+                SweepRecord(
+                    protocol=name,
+                    parameters=tuple(sorted(point.items())),
+                    cost_per_reference=report.cost_per_reference,
+                    total_bits=report.network_total_bits,
+                    events=tuple(sorted(report.stats.events.items())),
+                )
+            )
+    return records
+
+
+def sharer_sweep(
+    sharer_counts: Sequence[int],
+    write_fraction: float,
+    factories: Mapping[str, Callable[[System], CoherenceProtocol]],
+    *,
+    n_nodes: int = 64,
+    references: int = 2500,
+    message_bits: int = 20,
+    seed: int = 0,
+) -> list[SweepRecord]:
+    """Measured cost per reference vs the number of sharers ``n``."""
+    for n in sharer_counts:
+        if not 1 <= n <= n_nodes:
+            raise ConfigurationError(
+                f"sharer count {n} outside 1..{n_nodes}"
+            )
+
+    def trace_for(point):
+        return markov_block_trace(
+            n_nodes,
+            tasks=list(range(point["n_sharers"])),
+            write_fraction=write_fraction,
+            n_references=references,
+            seed=seed,
+        )
+
+    def config_for(point):
+        return SystemConfig(
+            n_nodes=n_nodes, costs=MessageCosts.uniform(message_bits)
+        )
+
+    return run_sweep(
+        [{"n_sharers": n} for n in sharer_counts],
+        trace_for,
+        config_for,
+        factories,
+    )
+
+
+def series_by_protocol(
+    records: Sequence[SweepRecord], parameter: str
+) -> dict[str, list[tuple[object, float]]]:
+    """Pivot sweep records into per-protocol ``(x, cost)`` series."""
+    series: dict[str, list[tuple[object, float]]] = {}
+    for record in records:
+        series.setdefault(record.protocol, []).append(
+            (record.parameter(parameter), record.cost_per_reference)
+        )
+    for points in series.values():
+        points.sort()
+    return series

@@ -1,0 +1,32 @@
+"""Private-cache substrate: entries, state fields, tag store, replacement.
+
+The coherence protocols of :mod:`repro.protocol` are built on top of this
+package.  The central object is the per-entry *state field* of §2.1 -- the
+paper's key idea is that this field (valid / ownership / modified /
+distributed-write bits, the present-flag vector and the owner id) lives in
+the caches rather than in a memory-side directory.
+"""
+
+from repro.cache.cache import Cache
+from repro.cache.entry import CacheEntry
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.state import CacheState, Mode, StateField
+
+__all__ = [
+    "Cache",
+    "CacheEntry",
+    "CacheState",
+    "FifoPolicy",
+    "LruPolicy",
+    "Mode",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "StateField",
+    "make_policy",
+]

@@ -1,0 +1,192 @@
+"""The per-processor private cache: a set-associative tag/state/data table.
+
+The cache is deliberately *mechanism only*: it finds entries, picks victims
+and installs tags, but takes no protocol action.  The coherence protocols
+drive it through a two-phase allocation so they can run the paper's
+replacement actions (§2.2 item 5) between choosing a victim and overwriting
+it:
+
+>>> slot = cache.slot_for(block)          # where the block would live
+>>> if slot.needs_eviction(block): ...    # protocol replaces slot.entry
+>>> entry = cache.install(slot, block)    # now overwrite the slot
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.entry import CacheEntry
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.errors import ConfigurationError, ProtocolError
+from repro.types import BlockId, NodeId
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A concrete location ``(set_index, way)`` within a cache."""
+
+    set_index: int
+    way: int
+    entry: CacheEntry
+
+    def needs_eviction(self, block: BlockId) -> bool:
+        """True when installing ``block`` would displace other state."""
+        return self.entry.occupied and self.entry.tag != block
+
+
+class Cache:
+    """One private cache attached to processor/port ``node_id``.
+
+    Parameters
+    ----------
+    node_id:
+        The cache's network port (equals its processor id).
+    n_entries:
+        Total cache entries (blocks the cache can hold).
+    block_size_words:
+        Words per block; sizes the data portion of each entry.
+    associativity:
+        Ways per set; ``None`` means fully associative.
+    policy / seed:
+        Replacement policy name (``"lru"``, ``"fifo"``, ``"random"``) and
+        RNG seed for the random policy.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        n_entries: int,
+        block_size_words: int,
+        *,
+        associativity: int | None = None,
+        policy: str = "lru",
+        seed: int = 0,
+    ) -> None:
+        if n_entries <= 0:
+            raise ConfigurationError(
+                f"cache needs at least one entry, got {n_entries}"
+            )
+        if block_size_words <= 0:
+            raise ConfigurationError(
+                f"block size must be positive, got {block_size_words}"
+            )
+        n_ways = n_entries if associativity is None else associativity
+        if n_ways <= 0 or n_entries % n_ways != 0:
+            raise ConfigurationError(
+                f"associativity {n_ways} must evenly divide "
+                f"{n_entries} entries"
+            )
+        self.node_id = node_id
+        self.n_entries = n_entries
+        self.block_size_words = block_size_words
+        self.n_ways = n_ways
+        self.n_sets = n_entries // n_ways
+        self._sets: list[list[CacheEntry]] = [
+            [CacheEntry() for _ in range(n_ways)] for _ in range(self.n_sets)
+        ]
+        self.policy: ReplacementPolicy = make_policy(
+            policy, self.n_sets, n_ways, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def set_index(self, block: BlockId) -> int:
+        """The set ``block`` maps to."""
+        return block % self.n_sets
+
+    def find(self, block: BlockId) -> CacheEntry | None:
+        """The entry tagged with ``block`` (valid *or* invalid), if any."""
+        for entry in self._sets[self.set_index(block)]:
+            if entry.tag == block:
+                return entry
+        return None
+
+    def slot_for(self, block: BlockId) -> Slot:
+        """Where ``block`` would live: its current slot, a free way, or the
+        replacement policy's victim (in that order of preference)."""
+        set_index = self.set_index(block)
+        ways = self._sets[set_index]
+        for way, entry in enumerate(ways):
+            if entry.tag == block:
+                return Slot(set_index, way, entry)
+        for way, entry in enumerate(ways):
+            if not entry.occupied:
+                return Slot(set_index, way, entry)
+        way = self.policy.choose_victim(set_index)
+        return Slot(set_index, way, ways[way])
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def install(self, slot: Slot, block: BlockId) -> CacheEntry:
+        """Claim ``slot`` for ``block``: clear it, tag it, mark it used.
+
+        The caller must have finished any replacement protocol on the
+        previous occupant; installing over live *owned* state is a protocol
+        bug and raises.
+        """
+        entry = slot.entry
+        if entry.occupied and entry.tag != block and entry.state_field.owned:
+            raise ProtocolError(
+                f"cache {self.node_id}: installing block {block} over "
+                f"unreplaced owned block {entry.tag}"
+            )
+        entry.clear()
+        entry.tag = block
+        entry.data = [0] * self.block_size_words
+        self.policy.touch(slot.set_index, slot.way)
+        return entry
+
+    def touch(self, block: BlockId) -> None:
+        """Refresh replacement recency for a hit on ``block``."""
+        set_index = self.set_index(block)
+        for way, entry in enumerate(self._sets[set_index]):
+            if entry.tag == block:
+                self.policy.touch(set_index, way)
+                return
+        raise ProtocolError(
+            f"cache {self.node_id}: touch of non-resident block {block}"
+        )
+
+    def drop(self, block: BlockId) -> None:
+        """Clear the entry tagged ``block`` (protocol already cleaned up)."""
+        set_index = self.set_index(block)
+        for way, entry in enumerate(self._sets[set_index]):
+            if entry.tag == block:
+                entry.clear()
+                self.policy.forget(set_index, way)
+                return
+        raise ProtocolError(
+            f"cache {self.node_id}: drop of non-resident block {block}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def iter_entries(self):
+        """Yield every entry (occupied or not), set by set."""
+        for ways in self._sets:
+            yield from ways
+
+    def resident_blocks(self) -> list[BlockId]:
+        """Tags of all occupied entries (valid or invalid placeholders)."""
+        return [
+            entry.tag
+            for entry in self.iter_entries()
+            if entry.tag is not None
+        ]
+
+    def occupancy(self) -> float:
+        """Fraction of entries currently occupied."""
+        occupied = sum(1 for entry in self.iter_entries() if entry.occupied)
+        return occupied / self.n_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cache(node_id={self.node_id}, n_entries={self.n_entries}, "
+            f"ways={self.n_ways}, sets={self.n_sets})"
+        )

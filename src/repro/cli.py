@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Six commands cover the common uses of the library without writing code:
+
+* ``tables``  -- regenerate the paper's Tables 2, 3 and 4 next to the
+  published values;
+* ``figures`` -- render the Figure 5/6/8 curves as ASCII charts;
+* ``simulate`` -- run a generated workload (or a trace file) through a
+  protocol on the verifying simulator and print the report;
+* ``compare`` -- run one workload through every protocol and rank them;
+* ``latency`` -- zero-contention cycles per reference, per protocol;
+* ``sweep``   -- cost vs sharer count, optionally archived as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.compare import compare_protocols, default_factories
+from repro.analysis.figures import (
+    fig5_data,
+    fig6_data,
+    fig8_data,
+    table2_data,
+    table3_data,
+    table4_data,
+)
+from repro.analysis.report import render_series
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.sim.trace import Trace, load_trace
+from repro.workloads.markov import markov_block_trace
+from repro.workloads.synthetic import random_trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Stenström's two-mode cache consistency "
+            "protocol (ISCA 1989)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser(
+        "tables", help="regenerate Tables 2-4 next to the paper's values"
+    )
+
+    figures = commands.add_parser(
+        "figures", help="render the Figure 5/6/8 curves"
+    )
+    figures.add_argument(
+        "--width", type=int, default=64, help="chart width in columns"
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="run one workload through one protocol"
+    )
+    _add_workload_arguments(simulate)
+    simulate.add_argument(
+        "--protocol",
+        choices=sorted(default_factories()),
+        default="two-mode",
+        help="protocol to drive (default: two-mode)",
+    )
+
+    compare = commands.add_parser(
+        "compare", help="run one workload through every protocol"
+    )
+    _add_workload_arguments(compare)
+
+    latency = commands.add_parser(
+        "latency",
+        help="zero-contention cycles per reference, per protocol",
+    )
+    _add_workload_arguments(latency)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="cost vs sharer count across protocols (JSON-exportable)",
+    )
+    sweep.add_argument(
+        "--nodes", type=int, default=64, help="processors (power of two)"
+    )
+    sweep.add_argument(
+        "--sharers",
+        type=int,
+        nargs="+",
+        default=[2, 4, 8, 16],
+        help="sharer counts to sweep",
+    )
+    sweep.add_argument(
+        "--write-fraction", type=float, default=0.3, help="w of §4"
+    )
+    sweep.add_argument(
+        "--references", type=int, default=2000, help="trace length"
+    )
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--output", help="write the records as JSON to this path"
+    )
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--nodes", type=int, default=16, help="processors (power of two)"
+    )
+    parser.add_argument(
+        "--trace", help="trace file to replay (overrides the generator)"
+    )
+    parser.add_argument(
+        "--workload",
+        choices=("markov", "random"),
+        default="markov",
+        help="generated workload kind",
+    )
+    parser.add_argument(
+        "--sharers", type=int, default=4, help="tasks sharing the block"
+    )
+    parser.add_argument(
+        "--write-fraction", type=float, default=0.2, help="w of §4"
+    )
+    parser.add_argument(
+        "--references", type=int, default=5000, help="trace length"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip value and invariant verification (faster)",
+    )
+
+
+def _make_trace(args: argparse.Namespace) -> Trace:
+    if args.trace:
+        return load_trace(args.trace)
+    if args.workload == "markov":
+        return markov_block_trace(
+            args.nodes,
+            tasks=list(range(args.sharers)),
+            write_fraction=args.write_fraction,
+            n_references=args.references,
+            seed=args.seed,
+        )
+    return random_trace(
+        args.nodes,
+        args.references,
+        write_fraction=args.write_fraction,
+        seed=args.seed,
+    )
+
+
+def _command_tables(_args: argparse.Namespace) -> int:
+    for table in (table2_data(), table3_data(), table4_data()):
+        print(table.render())
+        print()
+    return 0
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    print(
+        render_series(
+            fig5_data(),
+            title="Figure 5: schemes 1 vs 2 (N=1024, M=20)",
+            width=args.width,
+            log_x=True,
+        )
+    )
+    print()
+    print(
+        render_series(
+            fig6_data(),
+            title="Figure 6: schemes 1, 2', 3 (N=1024, n1=128, M=20)",
+            width=args.width,
+            log_x=True,
+        )
+    )
+    print()
+    print(
+        render_series(
+            fig8_data(n_values=(4, 16)),
+            title="Figure 8: normalized CC per reference vs w",
+            width=args.width,
+        )
+    )
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    trace = _make_trace(args)
+    config = SystemConfig(n_nodes=trace.n_nodes or args.nodes,
+                          block_size_words=trace.block_size_words)
+    factory = default_factories()[args.protocol]
+    protocol = factory(System(config))
+    report = run_trace(protocol, trace, verify=not args.no_verify)
+    print(report.summary())
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    trace = _make_trace(args)
+    config = SystemConfig(n_nodes=trace.n_nodes or args.nodes,
+                          block_size_words=trace.block_size_words)
+    comparison = compare_protocols(
+        trace, config, verify=not args.no_verify
+    )
+    print(comparison.render())
+    print(f"cheapest: {comparison.winner()}")
+    return 0
+
+
+def _command_latency(args: argparse.Namespace) -> int:
+    from repro.analysis.latency import latency_comparison
+    from repro.analysis.report import render_table
+
+    trace = _make_trace(args)
+    config = SystemConfig(n_nodes=trace.n_nodes or args.nodes,
+                          block_size_words=trace.block_size_words)
+    reports = latency_comparison(
+        trace.references, config, default_factories()
+    )
+    rows = [
+        (
+            name,
+            f"{report.mean_cycles:.1f}",
+            f"{report.hit_fraction:.0%}",
+            report.max_cycles,
+        )
+        for name, report in sorted(
+            reports.items(), key=lambda item: item[1].mean_cycles
+        )
+    ]
+    print(
+        render_table(
+            ("protocol", "cycles/ref", "hits", "worst reference"),
+            rows,
+            title=(
+                f"zero-contention latency over {len(trace)} references"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.records import save_records
+    from repro.analysis.report import render_table
+    from repro.analysis.sweep import series_by_protocol, sharer_sweep
+
+    records = sharer_sweep(
+        args.sharers,
+        args.write_fraction,
+        default_factories(),
+        n_nodes=args.nodes,
+        references=args.references,
+        seed=args.seed,
+    )
+    series = series_by_protocol(records, "n_sharers")
+    names = sorted(series)
+    rows = [
+        (f"n={n}",)
+        + tuple(f"{dict(series[name])[n]:.1f}" for name in names)
+        for n in sorted(args.sharers)
+    ]
+    print(
+        render_table(
+            ("sharers",) + tuple(names),
+            rows,
+            title=(
+                f"bits/reference vs sharers "
+                f"(w={args.write_fraction}, N={args.nodes})"
+            ),
+        )
+    )
+    if args.output:
+        save_records(
+            records,
+            args.output,
+            metadata={
+                "write_fraction": args.write_fraction,
+                "n_nodes": args.nodes,
+                "references": args.references,
+                "seed": args.seed,
+            },
+        )
+        print(f"records written to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "tables": _command_tables,
+    "figures": _command_figures,
+    "simulate": _command_simulate,
+    "compare": _command_compare,
+    "latency": _command_latency,
+    "sweep": _command_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type to handle any library
+failure while still letting genuine programming errors (``TypeError``,
+``KeyError`` from misuse, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with invalid or inconsistent parameters.
+
+    Examples: a network size that is not a power of two, a cache with zero
+    entries, a multicast destination outside the network.
+    """
+
+
+class NetworkError(ReproError):
+    """A message could not be routed through the interconnection network."""
+
+
+class MulticastError(NetworkError):
+    """A multicast request violated the constraints of the chosen scheme.
+
+    Scheme 3 (broadcast-bit routing) only supports ``2**l`` destinations that
+    are adjacent and aligned; asking it to reach an arbitrary destination set
+    raises this error rather than silently reaching the wrong caches.
+    """
+
+
+class ProtocolError(ReproError):
+    """The coherence protocol was driven into a state it cannot handle.
+
+    This indicates either a bug in a protocol implementation or an
+    inconsistent hand-built system state in a test; it is never raised for
+    well-formed reference traces.
+    """
+
+
+class CoherenceError(ReproError):
+    """A coherence invariant was violated.
+
+    Raised by the verifying simulator when a processor read observes a value
+    other than the one written by the most recent write to that address, or
+    when a structural invariant check (single owner, present-vector accuracy)
+    fails.
+    """
+
+
+class TraceError(ReproError):
+    """A reference trace is malformed or refers to nonexistent processors."""

@@ -1,0 +1,26 @@
+"""Memory-module substrate: block stores, data storage, state-memory sizing.
+
+Each of the ``N`` memory modules keeps, besides the data words themselves,
+the paper's *block store*: one ``(valid, owner-id)`` entry per cached block.
+That is the entire memory-side directory state of the proposed protocol --
+the presence information lives in the caches.
+"""
+
+from repro.memory.block_store import BlockStore, BlockStoreEntry
+from repro.memory.module import MemoryModule
+from repro.memory.sizing import (
+    full_map_directory_bits,
+    split_stenstrom_state_bits,
+    state_memory_comparison,
+    stenstrom_state_bits,
+)
+
+__all__ = [
+    "BlockStore",
+    "BlockStoreEntry",
+    "MemoryModule",
+    "full_map_directory_bits",
+    "split_stenstrom_state_bits",
+    "state_memory_comparison",
+    "stenstrom_state_bits",
+]

@@ -1,0 +1,70 @@
+"""The memory module's *block store* (§2.1).
+
+"Each memory module keeps track of the owner for each of its cached blocks
+by means of a data structure called block store containing one entry for
+each block.  Each entry contains a valid bit (V) and an ID-field containing
+``log2 N`` bits storing the identification of the owner for the block."
+
+The block store is the only memory-side coherence state of the proposed
+protocol.  It answers exactly one question -- *which cache owns this block,
+if any* -- and is consulted only when a request arrives at the home module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import BlockId, NodeId
+
+
+@dataclass
+class BlockStoreEntry:
+    """One block's entry: the V bit and the ``log2 N``-bit owner id."""
+
+    valid: bool = False
+    owner: NodeId = 0
+
+
+class BlockStore:
+    """Owner bookkeeping for the blocks homed at one memory module.
+
+    Entries are materialised lazily (a real machine would have one per
+    block; simulating terabytes of invalid entries eagerly would be silly),
+    but the abstraction is exactly the paper's: every block has an entry,
+    initially invalid.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[BlockId, BlockStoreEntry] = {}
+
+    def lookup(self, block: BlockId) -> BlockStoreEntry:
+        """The entry for ``block`` (an invalid default if never set)."""
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = BlockStoreEntry()
+            self._entries[block] = entry
+        return entry
+
+    def owner_of(self, block: BlockId) -> NodeId | None:
+        """The owning cache of ``block``, or ``None`` if uncached."""
+        entry = self._entries.get(block)
+        if entry is None or not entry.valid:
+            return None
+        return entry.owner
+
+    def set_owner(self, block: BlockId, owner: NodeId) -> None:
+        """Record ``owner`` as the owning cache of ``block``."""
+        entry = self.lookup(block)
+        entry.valid = True
+        entry.owner = owner
+
+    def clear(self, block: BlockId) -> None:
+        """Mark ``block`` as uncached (the V bit is cleared)."""
+        entry = self.lookup(block)
+        entry.valid = False
+
+    def valid_blocks(self) -> list[BlockId]:
+        """Blocks currently marked as cached somewhere."""
+        return sorted(
+            block for block, entry in self._entries.items() if entry.valid
+        )

@@ -1,0 +1,153 @@
+"""State-memory sizing: the paper's storage argument, made exact.
+
+§1 compares the storage cost of coherence state:
+
+* memory-side full-map directories (Censier & Feautrier; Yen, Yen & Fu)
+  need ``O(N M)`` bits -- a presence vector of ``N`` bits for each of the
+  ``M`` blocks of main memory;
+* the proposed protocol needs ``O(C (N + log N) + M log N)`` bits -- a full
+  state field per *cache* entry (``C`` entries per cache) plus only a
+  ``log2 N``-bit block-store entry per memory block.
+
+These functions compute the exact bit counts behind the O-notation so the
+claim can be tabulated for concrete machine sizes (an extension experiment;
+the paper states the asymptotics only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.state import StateField
+from repro.errors import ConfigurationError
+from repro.types import ilog2, is_power_of_two
+
+
+def _check_machine(n_caches: int, memory_blocks: int) -> None:
+    if n_caches < 2 or not is_power_of_two(n_caches):
+        raise ConfigurationError(
+            f"need a power-of-two cache count >= 2, got {n_caches}"
+        )
+    if memory_blocks <= 0:
+        raise ConfigurationError(
+            f"need a positive memory size, got {memory_blocks} blocks"
+        )
+
+
+def full_map_directory_bits(n_caches: int, memory_blocks: int) -> int:
+    """Bits of a memory-side full-map directory: per block, one presence
+    bit per cache, a dirty bit and a valid bit."""
+    _check_machine(n_caches, memory_blocks)
+    return memory_blocks * (n_caches + 2)
+
+
+def stenstrom_state_bits(
+    n_caches: int, memory_blocks: int, cache_entries: int
+) -> int:
+    """Bits of the proposed protocol's distributed state.
+
+    ``N`` caches each hold ``C`` state fields of
+    :meth:`~repro.cache.state.StateField.size_bits` bits, and every memory
+    block has a block-store entry of ``1 + log2 N`` bits.
+    """
+    _check_machine(n_caches, memory_blocks)
+    if cache_entries <= 0:
+        raise ConfigurationError(
+            f"need a positive cache size, got {cache_entries} entries"
+        )
+    per_cache = cache_entries * StateField.size_bits(n_caches)
+    block_store = memory_blocks * (1 + ilog2(n_caches))
+    return n_caches * per_cache + block_store
+
+
+def limited_pointer_directory_bits(
+    n_caches: int, memory_blocks: int, n_pointers: int
+) -> int:
+    """Bits of a ``Dir_i B`` limited-pointer directory.
+
+    Per block: ``i`` pointers of ``log2 N`` bits, a broadcast bit, a
+    dirty bit and a valid bit -- the contemporaneous (Agarwal et al.,
+    ISCA 1988) alternative fix to the same ``O(N M)`` problem the paper
+    attacks, included for the storage comparison.
+    """
+    _check_machine(n_caches, memory_blocks)
+    if n_pointers < 1:
+        raise ConfigurationError(
+            f"need at least one pointer, got {n_pointers}"
+        )
+    return memory_blocks * (n_pointers * ilog2(n_caches) + 3)
+
+
+def split_stenstrom_state_bits(
+    n_caches: int,
+    memory_blocks: int,
+    cache_entries: int,
+    owner_store_entries: int,
+    tag_bits: int = 32,
+) -> int:
+    """Bits of the §5 *split* organisation of the distributed state.
+
+    "Since the present flag vector is used only by the owner, we could
+    separate parts of the state memory from the cache directory and
+    select an entry in the state memory using an associative memory
+    scheme.  The size of the state memory could then be reduced."
+
+    Every cache entry keeps only the bits every copy needs -- V, O, M and
+    the ``log2 N``-bit OWNER field -- while the ``N``-bit present vector
+    and the DW bit move to a small associative *owner store* with
+    ``owner_store_entries`` tagged entries (a cache can own at most that
+    many blocks at once).  The block store is unchanged.
+    """
+    _check_machine(n_caches, memory_blocks)
+    if cache_entries <= 0:
+        raise ConfigurationError(
+            f"need a positive cache size, got {cache_entries} entries"
+        )
+    if not 0 < owner_store_entries <= cache_entries:
+        raise ConfigurationError(
+            f"owner store must have between 1 and {cache_entries} "
+            f"entries, got {owner_store_entries}"
+        )
+    if tag_bits <= 0:
+        raise ConfigurationError(
+            f"tag width must be positive, got {tag_bits}"
+        )
+    per_entry = 3 + ilog2(n_caches)  # V, O, M + OWNER
+    per_owner_entry = tag_bits + n_caches + 1  # tag + P vector + DW
+    per_cache = (
+        cache_entries * per_entry
+        + owner_store_entries * per_owner_entry
+    )
+    block_store = memory_blocks * (1 + ilog2(n_caches))
+    return n_caches * per_cache + block_store
+
+
+@dataclass(frozen=True)
+class StateMemoryComparison:
+    """Exact state-memory budgets for one machine configuration."""
+
+    n_caches: int
+    memory_blocks: int
+    cache_entries: int
+    full_map_bits: int
+    stenstrom_bits: int
+
+    @property
+    def ratio(self) -> float:
+        """Full-map bits per proposed-protocol bit (>1 favours the paper)."""
+        return self.full_map_bits / self.stenstrom_bits
+
+
+def state_memory_comparison(
+    n_caches: int, memory_blocks: int, cache_entries: int
+) -> StateMemoryComparison:
+    """Compare both schemes for one ``(N, M, C)`` machine."""
+    return StateMemoryComparison(
+        n_caches=n_caches,
+        memory_blocks=memory_blocks,
+        cache_entries=cache_entries,
+        full_map_bits=full_map_directory_bits(n_caches, memory_blocks),
+        stenstrom_bits=stenstrom_state_bits(
+            n_caches, memory_blocks, cache_entries
+        ),
+    )

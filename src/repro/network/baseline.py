@@ -1,0 +1,113 @@
+"""The baseline network, and topology-generic multicast-tree costs.
+
+§3 notes that "several topologies of multistage interconnection networks
+have been proposed [Siegel]" and analyses the omega network as a
+representative.  This module backs that choice up: it implements a second
+classic topology -- the *baseline* network (Wu & Feng), where stage ``i``
+inserts destination bit ``d_i`` at the top of the shrinking sub-block
+address instead of the bottom -- and a multicast-tree cost function that
+works for **any** destination-tag-routed MIN.
+
+The punchline (asserted in the tests): the vector-routed multicast tree
+has the same per-level branch counts on both topologies -- branch count at
+level ``i`` is the number of distinct ``i``-bit destination prefixes, a
+property of the destination set alone -- so scheme 2's communication cost
+is *topology-invariant* across the omega/baseline family.  The paper's
+eq. 3/eq. 6 analysis carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId, ilog2, is_power_of_two
+
+
+class DestinationTagNetwork(Protocol):
+    """What the generic cost function needs from a topology."""
+
+    n_ports: int
+    n_stages: int
+
+    def route_positions(
+        self, source: NodeId, dest: NodeId
+    ) -> list[int]:  # pragma: no cover - protocol signature
+        ...
+
+
+class BaselineNetwork:
+    """An ``N x N`` baseline network of ``2 x 2`` switches.
+
+    Stage ``i`` pairs positions differing in their lowest unconsumed bit
+    and routes on destination bit ``d_i``: the new position keeps the
+    ``i`` already-fixed top bits, inserts ``d_i`` below them, and shifts
+    the remaining source bits down -- the recursive block structure of
+    the baseline topology.
+    """
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports < 2 or not is_power_of_two(n_ports):
+            raise ConfigurationError(
+                f"a baseline network needs a power-of-two port count "
+                f">= 2, got {n_ports}"
+            )
+        self.n_ports = n_ports
+        self.n_stages = ilog2(n_ports)
+
+    def route_positions(self, source: NodeId, dest: NodeId) -> list[int]:
+        """Positions at link levels ``0 .. m`` (level m equals ``dest``)."""
+        for port in (source, dest):
+            if not 0 <= port < self.n_ports:
+                raise ConfigurationError(
+                    f"port {port} outside 0..{self.n_ports - 1}"
+                )
+        m = self.n_stages
+        positions = [source]
+        x = source
+        for stage in range(m):
+            fixed_bits = stage  # destination bits already placed on top
+            low_width = m - fixed_bits
+            low_mask = (1 << low_width) - 1
+            top = x & ~low_mask
+            low = x & low_mask
+            d_bit = (dest >> (m - 1 - stage)) & 1
+            x = top | (d_bit << (low_width - 1)) | (low >> 1)
+            positions.append(x)
+        return positions
+
+
+def tree_multicast_cost(
+    network: DestinationTagNetwork,
+    source: NodeId,
+    dests: Iterable[NodeId],
+    payload_bits: int,
+) -> int:
+    """Scheme-2 cost on any destination-tag MIN.
+
+    The multicast tree is the union of the unicast paths; each distinct
+    link at level ``i`` carries the payload plus the ``N / 2**i``-bit
+    subvector, exactly as in §3.2.  Computed from ``route_positions``
+    alone, so it applies to the omega, baseline, or any topology with the
+    destination-tag property.
+    """
+    if payload_bits < 0:
+        raise ConfigurationError(
+            f"payload must be non-negative, got {payload_bits}"
+        )
+    dest_set = frozenset(dests)
+    if not dest_set:
+        return 0
+    levels: list[set[int]] = [
+        set() for _ in range(network.n_stages + 1)
+    ]
+    for dest in dest_set:
+        for level, position in enumerate(
+            network.route_positions(source, dest)
+        ):
+            levels[level].add(position)
+    total = 0
+    for level, positions in enumerate(levels):
+        vector_bits = network.n_ports >> level
+        total += len(positions) * (payload_bits + vector_bits)
+    return total

@@ -1,0 +1,353 @@
+"""Closed-form communication costs for the multicast schemes (eqs. 2-8).
+
+Every closed form from §3 of the paper is implemented twice:
+
+* the *reduced* algebraic expression exactly as printed in the paper
+  (:func:`cc1`, :func:`cc2_worst`, :func:`cc3`, :func:`cc2_prime`), and
+* an independent *direct* per-stage summation of the cost tables the paper
+  derives them from (:func:`cc1_direct`, :func:`cc2_worst_direct`,
+  :func:`cc3_direct`, :func:`cc2_prime_direct`).
+
+The test suite checks ``closed form == direct sum`` across the full parameter
+space and also checks both against the switch-level simulator of
+:mod:`repro.network.multicast` on placements that realise the analysed cases,
+so the three layers (paper algebra, cost tables, simulated fabric) vouch for
+each other.
+
+Throughout, following the paper's notation:
+
+* ``N`` -- number of caches (network ports), a power of two; ``m = log2 N``;
+* ``n`` -- number of destinations of the multicast, a power of two
+  (``n = 2**k``);
+* ``n1`` -- size of the block of adjacently-placed tasks (``n1 = 2**l``);
+* ``M`` -- message (payload) size in bits.
+
+All functions return exact integers.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.types import ilog2, is_power_of_two
+
+
+def _check(name: str, value: int, *, minimum: int = 1) -> int:
+    """Validate a power-of-two parameter and return its exact log2."""
+    if value < minimum or not is_power_of_two(value):
+        raise ConfigurationError(
+            f"{name} must be a power of two >= {minimum}, got {value}"
+        )
+    return ilog2(value)
+
+
+def _check_message(message_bits: int) -> None:
+    if message_bits < 0:
+        raise ConfigurationError(
+            f"message size must be non-negative, got {message_bits}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Scheme 1 (eq. 2)
+# ----------------------------------------------------------------------
+
+
+def cc1(n: int, network_size: int, message_bits: int) -> int:
+    """Eq. 2: ``CC1 = n (log N + 1)(2M + log N) / 2``.
+
+    Scheme 1 sends one destination-tag unicast per destination; the tag
+    loses one bit per stage, so a single unicast costs
+    ``sum_{i=0}^{m} (M + m - i)``.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    k = _check("n", n)
+    _check_message(message_bits)
+    if k > m:
+        raise ConfigurationError(
+            f"cannot multicast to {n} destinations in a {network_size}-port "
+            f"network"
+        )
+    return n * (m + 1) * (2 * message_bits + m) // 2
+
+
+def cc1_direct(n: int, network_size: int, message_bits: int) -> int:
+    """Per-stage summation behind eq. 2 (independent of the reduction)."""
+    m = _check("network_size", network_size, minimum=2)
+    _check("n", n)
+    _check_message(message_bits)
+    per_path = sum(message_bits + (m - i) for i in range(m + 1))
+    return n * per_path
+
+
+# ----------------------------------------------------------------------
+# Scheme 2, arbitrary placement, worst case (eq. 3)
+# ----------------------------------------------------------------------
+
+
+def cc2_worst(n: int, network_size: int, message_bits: int) -> int:
+    """Eq. 3: worst-case cost of present-flag-vector routing.
+
+    ``CC2 = n (M log N - M log n + 2M - 1) + N (log n + 2) - M``.
+    The worst case branches to both switch outputs at each of the first
+    ``k + 1`` stages (destinations maximally spread).
+    """
+    m = _check("network_size", network_size, minimum=2)
+    k = _check("n", n)
+    _check_message(message_bits)
+    if k > m:
+        raise ConfigurationError(
+            f"cannot multicast to {n} destinations in a {network_size}-port "
+            f"network"
+        )
+    big_m = message_bits
+    return (
+        n * (big_m * m - big_m * k + 2 * big_m - 1)
+        + network_size * (k + 2)
+        - big_m
+    )
+
+
+def cc2_worst_direct(n: int, network_size: int, message_bits: int) -> int:
+    """Per-stage summation behind eq. 3.
+
+    Link level ``i`` carries the payload plus the ``N / 2**i``-bit
+    subvector; the branch count doubles through level ``k`` and stays at
+    ``n = 2**k`` afterwards.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    k = _check("n", n)
+    _check_message(message_bits)
+    big_n, big_m = network_size, message_bits
+    total = 0
+    for i in range(k + 1):
+        total += (1 << i) * (big_m + (big_n >> i))
+    for i in range(k + 1, m + 1):
+        total += (1 << k) * (big_m + (big_n >> i))
+    return total
+
+
+def cc2_minus_cc1(n: int, network_size: int, message_bits: int) -> int:
+    """Eq. 4 exactly as printed: ``CC2 - CC1``.
+
+    ``n (M (1 - log n) - log N (1 + log N)/2 - 1) + N (log n + 2) - M``.
+    Provided separately so the paper's difference expression can be verified
+    against the two cost functions it was reduced from.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    k = _check("n", n)
+    _check_message(message_bits)
+    big_m = message_bits
+    return (
+        n * (big_m * (1 - k) - m * (1 + m) // 2 - 1)
+        + network_size * (k + 2)
+        - big_m
+    )
+
+
+# ----------------------------------------------------------------------
+# Scheme 3, adjacent subcube (eq. 5)
+# ----------------------------------------------------------------------
+
+
+def cc3(n1: int, network_size: int, message_bits: int) -> int:
+    """Eq. 5: cost of broadcast-bit routing to ``n1 = 2**l`` neighbours.
+
+    ``CC3 = n1 (2M + 4) - log n1 (log n1 + M + 3)
+    + log N (log N + M + 1) - M - 4``.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    l = _check("n1", n1)
+    _check_message(message_bits)
+    if l > m:
+        raise ConfigurationError(
+            f"cannot multicast to {n1} destinations in a {network_size}-port "
+            f"network"
+        )
+    big_m = message_bits
+    return (
+        n1 * (2 * big_m + 4)
+        - l * (l + big_m + 3)
+        + m * (m + big_m + 1)
+        - big_m
+        - 4
+    )
+
+
+def cc3_direct(n1: int, network_size: int, message_bits: int) -> int:
+    """Per-stage summation behind eq. 5.
+
+    The ``2m``-bit tag loses two bits per stage; the path is a single branch
+    for the first ``m - l`` stages, then doubles at each of the last ``l``.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    l = _check("n1", n1)
+    _check_message(message_bits)
+    big_m = message_bits
+    total = 0
+    for i in range(m - l + 1):
+        total += big_m + 2 * (m - i)
+    for j in range(1, l + 1):
+        total += (1 << j) * (big_m + 2 * (l - j))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Scheme 2 within an n1-sized partition, worst case (eq. 6)
+# ----------------------------------------------------------------------
+
+
+def cc2_prime(
+    n: int, n1: int, network_size: int, message_bits: int
+) -> int:
+    """Eq. 6: scheme-2 worst case when destinations lie in one ``n1`` block.
+
+    ``CC2' = n (M log n1 - M log n + 2M - 1) + n1 log n
+    + M (log N - log n1 - 1) + 2N``.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    l = _check("n1", n1)
+    k = _check("n", n)
+    _check_message(message_bits)
+    if k > l or l > m:
+        raise ConfigurationError(
+            f"need n <= n1 <= N, got n={n}, n1={n1}, N={network_size}"
+        )
+    big_m = message_bits
+    return (
+        n * (big_m * l - big_m * k + 2 * big_m - 1)
+        + n1 * k
+        + big_m * (m - l - 1)
+        + 2 * network_size
+    )
+
+
+def cc2_prime_direct(
+    n: int, n1: int, network_size: int, message_bits: int
+) -> int:
+    """Per-stage summation behind eq. 6."""
+    m = _check("network_size", network_size, minimum=2)
+    l = _check("n1", n1)
+    k = _check("n", n)
+    _check_message(message_bits)
+    big_n, big_m = network_size, message_bits
+    total = 0
+    for i in range(m - l):
+        total += big_m + (big_n >> i)
+    for i in range(m - l, m - l + k + 1):
+        total += (1 << (i - (m - l))) * (big_m + (big_n >> i))
+    for i in range(m - l + k + 1, m + 1):
+        total += (1 << k) * (big_m + (big_n >> i))
+    return total
+
+
+def cc3_minus_cc2_prime(
+    n: int, n1: int, network_size: int, message_bits: int
+) -> int:
+    """Eq. 7 exactly as printed: ``CC3 - CC2'``."""
+    m = _check("network_size", network_size, minimum=2)
+    l = _check("n1", n1)
+    k = _check("n", n)
+    _check_message(message_bits)
+    big_m = message_bits
+    return (
+        big_m * (2 * (n1 - n) + n * (k - l))
+        + n1 * (4 - k)
+        - l * (l + 3)
+        + m * (m + 1)
+        + n
+        - 2 * network_size
+        - 4
+    )
+
+
+# ----------------------------------------------------------------------
+# Combined scheme (eq. 8)
+# ----------------------------------------------------------------------
+
+
+def cc_combined(
+    n: int, n1: int, network_size: int, message_bits: int
+) -> int:
+    """Eq. 8: ``CC4 = min(CC1, CC2', CC3)``.
+
+    The cost of multicasting to ``n`` of ``n1`` adjacently placed tasks when
+    the sender picks the cheapest applicable scheme (scheme 3 addresses the
+    whole ``n1`` block).
+    """
+    return min(
+        cc1(n, network_size, message_bits),
+        cc2_prime(n, n1, network_size, message_bits),
+        cc3(n1, network_size, message_bits),
+    )
+
+
+def cheapest_scheme(
+    n: int, n1: int, network_size: int, message_bits: int
+) -> int:
+    """Which scheme (1, 2 or 3) achieves eq. 8's minimum.
+
+    Ties break toward the lower scheme number, matching the paper's tables
+    which report a single winner per cell.
+    """
+    costs = {
+        1: cc1(n, network_size, message_bits),
+        2: cc2_prime(n, n1, network_size, message_bits),
+        3: cc3(n1, network_size, message_bits),
+    }
+    return min(costs, key=lambda scheme: (costs[scheme], scheme))
+
+
+# ----------------------------------------------------------------------
+# Placements realising the analysed cases
+# ----------------------------------------------------------------------
+
+
+def worst_case_placement(network_size: int, n: int) -> tuple[int, ...]:
+    """``n`` destinations maximally spread (realises eq. 3's worst case).
+
+    The top ``log2 n`` address bits enumerate all values, so the scheme-2
+    tree branches at every one of the first ``k + 1`` stages.
+    """
+    m = _check("network_size", network_size, minimum=2)
+    k = _check("n", n)
+    if k > m:
+        raise ConfigurationError(f"n={n} exceeds network size {network_size}")
+    return tuple(j << (m - k) for j in range(n))
+
+
+def adjacent_placement(
+    network_size: int, n: int, base: int = 0
+) -> tuple[int, ...]:
+    """``n`` adjacent, aligned destinations starting at ``base``.
+
+    Realises eq. 5 (and scheme 2's best case).  ``base`` must be a multiple
+    of ``n`` so the block is a subcube.
+    """
+    _check("network_size", network_size, minimum=2)
+    _check("n", n)
+    if base % n != 0 or base + n > network_size:
+        raise ConfigurationError(
+            f"base {base} must be an in-range multiple of n={n}"
+        )
+    return tuple(range(base, base + n))
+
+
+def spread_in_partition_placement(
+    network_size: int, n: int, n1: int, base: int = 0
+) -> tuple[int, ...]:
+    """``n`` destinations maximally spread inside one aligned ``n1`` block.
+
+    Realises eq. 6's worst case (scheme 2 restricted to ``n1`` adjacently
+    placed tasks): stride ``n1 / n`` within ``[base, base + n1)``.
+    """
+    _check("network_size", network_size, minimum=2)
+    k = _check("n", n)
+    l = _check("n1", n1)
+    if k > l:
+        raise ConfigurationError(f"need n <= n1, got n={n}, n1={n1}")
+    if base % n1 != 0 or base + n1 > network_size:
+        raise ConfigurationError(
+            f"base {base} must be an in-range multiple of n1={n1}"
+        )
+    stride = n1 // n
+    return tuple(base + j * stride for j in range(n))

@@ -1,0 +1,78 @@
+"""Network links and their traffic counters.
+
+The paper's communication-cost metric (eq. 1) is *the amount of information
+that has to pass each link, summed over all links*.  Links are therefore the
+unit of accounting in the whole network model: every routing and multicast
+function ultimately calls :meth:`Link.carry` with a bit count, and the
+aggregate statistics of a simulation are sums over these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Link:
+    """One unidirectional link in the omega network.
+
+    ``level`` identifies which gap between stages the link spans, following
+    the paper's numbering: level ``0`` links connect the source endpoints to
+    the first switch stage, level ``i`` (``1 <= i < m``) links connect switch
+    stage ``i-1`` to switch stage ``i``, and level ``m`` links connect the
+    last switch stage to the destination endpoints.  ``position`` is the
+    index of the link within its level (``0 <= position < N``).
+    """
+
+    level: int
+    position: int
+    messages: int = field(default=0, compare=False)
+    bits: int = field(default=0, compare=False)
+
+    def carry(self, bits: int) -> None:
+        """Account for one message of ``bits`` bits traversing this link."""
+        if bits < 0:
+            raise ValueError(f"cannot carry a negative bit count ({bits})")
+        self.messages += 1
+        self.bits += bits
+
+    def reset(self) -> None:
+        """Zero the traffic counters (used between experiment runs)."""
+        self.messages = 0
+        self.bits = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Hashable identity ``(level, position)`` of this link."""
+        return (self.level, self.position)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Link(level={self.level}, position={self.position}, "
+            f"messages={self.messages}, bits={self.bits})"
+        )
+
+
+@dataclass
+class LinkLoad:
+    """Traffic deposited on one link by a single network operation.
+
+    Routing functions return these so callers can inspect exactly which
+    links a message touched and with how many bits, without digging through
+    the cumulative per-link counters.
+
+    ``parent`` is the index (within the operation's load list) of the load
+    this one directly follows: the previous hop of a unicast path, or the
+    branch the subvector split off from in a multicast tree.  ``None``
+    marks an injection at the source.  The timing model of
+    :mod:`repro.sim.timing` uses these dependencies to compute makespans.
+    """
+
+    level: int
+    position: int
+    bits: int
+    parent: int | None = None
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.level, self.position)

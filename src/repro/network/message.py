@@ -1,0 +1,53 @@
+"""Network-level messages.
+
+A :class:`Message` is what the routing and multicast machinery moves through
+the omega network: an opaque payload of ``payload_bits`` bits travelling from
+a source port toward one or more destination ports.  Routing *tag* bits are
+deliberately **not** part of the payload -- each multicast scheme attaches its
+own tag (an ``m``-bit destination address, an ``N``-bit present-flag vector,
+or the ``2m``-bit broadcast tag) and the cost accounting adds the tag's
+per-stage remainder to every link, exactly as in §3 of the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.types import NodeId
+
+_serial = itertools.count()
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable network message.
+
+    Parameters
+    ----------
+    source:
+        Port the message is injected at.
+    payload_bits:
+        Size of the payload ``M`` in bits (tag bits are accounted separately
+        by the routing scheme).
+    kind:
+        Free-form label used by higher layers (the coherence protocols tag
+        messages with their protocol message type); the network does not
+        interpret it.
+    payload:
+        Optional structured content carried for functional simulation (block
+        data, state fields); ignored by cost accounting.
+    """
+
+    source: NodeId
+    payload_bits: int
+    kind: str = "data"
+    payload: Any = field(default=None, compare=False)
+    serial: int = field(default_factory=lambda: next(_serial), compare=False)
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 0:
+            raise ValueError(
+                f"payload_bits must be non-negative, got {self.payload_bits}"
+            )

@@ -1,0 +1,437 @@
+"""The multicast schemes of §3, simulated switch by switch.
+
+Three ways of delivering one message to ``n`` destination caches through the
+omega network, plus the combined scheme of eq. 8:
+
+* **Scheme 1** (:func:`multicast_scheme1`) -- one destination-tag unicast per
+  destination.  Cost grows linearly in ``n`` (eq. 2) because common links are
+  paid once per destination.
+* **Scheme 2** (:func:`multicast_scheme2`) -- the ``N``-bit present-flag
+  vector itself is the routing tag.  Every switch splits the vector in half
+  and forwards each half only if it still names a destination, so common
+  links are traversed once.  This is the paper's novel scheme.
+* **Scheme 3** (:func:`multicast_scheme3`) -- Wen's broadcast-bit routing:
+  a ``2m``-bit tag ``b_0..b_{m-1} d_0..d_{m-1}`` where ``b_i = 1`` makes
+  stage ``i`` forward to both outputs.  It can only address a *subcube*
+  (``2**l`` destinations whose addresses differ in ``l`` fixed bit
+  positions); delivering to an arbitrary set means covering it with the
+  minimal enclosing subcube and over-delivering.
+* **Combined scheme** (:func:`multicast_combined`, eq. 8) -- probe all three
+  and commit whichever is cheapest.
+
+Every function both *measures* (returns the exact per-link loads) and
+*accounts* (increments the network's link and switch counters), so closed
+forms from :mod:`repro.network.cost` can be validated against what actually
+flows through the fabric.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import MulticastError
+from repro.network.link import LinkLoad
+from repro.network.message import Message
+from repro.network.routing import unicast
+from repro.network.topology import OmegaNetwork
+from repro.types import NodeId
+
+
+class MulticastScheme(enum.Enum):
+    """Which multicast algorithm moves the message through the network."""
+
+    UNICAST = 1  # scheme 1: one unicast per destination
+    VECTOR = 2  # scheme 2: present-flag vector as routing tag
+    BROADCAST_TAG = 3  # scheme 3: Wen's broadcast-bit subcube routing
+    COMBINED = 4  # eq. 8: cheapest of the three
+
+
+@dataclass(frozen=True)
+class MulticastResult:
+    """Outcome of one multicast operation.
+
+    ``delivered`` can be a strict superset of ``requested`` when scheme 3
+    covers an arbitrary destination set with its minimal enclosing subcube;
+    coherence actions in this system (write updates, invalidations, owner-id
+    updates) are idempotent and ignorable by non-holders, so over-delivery
+    is functionally harmless and only costs bits.
+    """
+
+    scheme: MulticastScheme
+    source: NodeId
+    requested: frozenset[NodeId]
+    delivered: frozenset[NodeId]
+    loads: tuple[LinkLoad, ...]
+
+    @property
+    def cost(self) -> int:
+        """Bits placed on links (this operation's share of eq. 1)."""
+        return sum(load.bits for load in self.loads)
+
+    @property
+    def links_used(self) -> int:
+        """Distinct links touched (scheme 1 may touch one link repeatedly)."""
+        return len({load.key for load in self.loads})
+
+
+def _as_destset(network: OmegaNetwork, dests: Iterable[NodeId]) -> frozenset:
+    dest_set = frozenset(dests)
+    for dest in dest_set:
+        if not 0 <= dest < network.n_ports:
+            raise MulticastError(
+                f"destination {dest} outside 0..{network.n_ports - 1}"
+            )
+    return dest_set
+
+
+# ----------------------------------------------------------------------
+# Scheme 1: repeated unicast
+# ----------------------------------------------------------------------
+
+
+def multicast_scheme1(
+    network: OmegaNetwork,
+    message: Message,
+    dests: Iterable[NodeId],
+    *,
+    commit: bool = True,
+) -> MulticastResult:
+    """Deliver ``message`` by sending one scheme-1 unicast per destination."""
+    dest_set = _as_destset(network, dests)
+    loads: list[LinkLoad] = []
+    for dest in sorted(dest_set):
+        base = len(loads)
+        for load in unicast(network, message, dest, commit=commit).loads:
+            parent = None if load.parent is None else load.parent + base
+            loads.append(
+                LinkLoad(load.level, load.position, load.bits, parent)
+            )
+    return MulticastResult(
+        MulticastScheme.UNICAST,
+        message.source,
+        dest_set,
+        dest_set,
+        tuple(loads),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scheme 2: present-flag vector routing
+# ----------------------------------------------------------------------
+
+
+def multicast_scheme2(
+    network: OmegaNetwork,
+    message: Message,
+    dests: Iterable[NodeId],
+    *,
+    commit: bool = True,
+) -> MulticastResult:
+    """Deliver ``message`` using the present-flag vector as routing tag.
+
+    The full ``N``-bit vector rides the level-0 link; each switch splits the
+    incoming vector into two halves and forwards a half iff it still contains
+    a set flag.  The vector shrinks to ``N / 2**i`` bits at link level ``i``,
+    which is exactly the per-stage cost the paper tabulates for eq. 3.
+    """
+    dest_set = _as_destset(network, dests)
+    sorted_dests = sorted(dest_set)
+    n = network.n_ports
+    m = network.n_stages
+    loads: list[LinkLoad] = []
+    if dest_set:
+        # A branch is (link position, destination range [lo, hi), index of
+        # the load that fed it); the range always has size N / 2**level
+        # and contains >= 1 destination.
+        branches: list[tuple[int, int, int, int]] = [
+            (message.source, 0, n, 0)
+        ]
+        loads.append(LinkLoad(0, message.source, message.payload_bits + n))
+        for stage in range(m):
+            next_branches: list[tuple[int, int, int, int]] = []
+            half = n >> (stage + 1)  # subvector length after the split
+            for position, lo, hi, parent in branches:
+                shuffled = network.shuffle(position)
+                mid = (lo + hi) // 2
+                lo_i = bisect.bisect_left(sorted_dests, lo)
+                mid_i = bisect.bisect_left(sorted_dests, mid)
+                hi_i = bisect.bisect_left(sorted_dests, hi)
+                go_low = mid_i > lo_i
+                go_high = hi_i > mid_i
+                if commit:
+                    network.switch_for_position(stage, shuffled).record(
+                        split=go_low and go_high
+                    )
+                if go_low:
+                    out = shuffled & ~1
+                    next_branches.append((out, lo, mid, len(loads)))
+                    loads.append(
+                        LinkLoad(
+                            stage + 1,
+                            out,
+                            message.payload_bits + half,
+                            parent,
+                        )
+                    )
+                if go_high:
+                    out = shuffled | 1
+                    next_branches.append((out, mid, hi, len(loads)))
+                    loads.append(
+                        LinkLoad(
+                            stage + 1,
+                            out,
+                            message.payload_bits + half,
+                            parent,
+                        )
+                    )
+            branches = next_branches
+        final_positions = {position for position, _, _, _ in branches}
+        if final_positions != dest_set:
+            raise MulticastError(
+                f"scheme 2 routing reached {sorted(final_positions)} "
+                f"instead of {sorted(dest_set)}"
+            )
+    if commit:
+        for load in loads:
+            network.link(load.level, load.position).carry(load.bits)
+    return MulticastResult(
+        MulticastScheme.VECTOR,
+        message.source,
+        dest_set,
+        dest_set,
+        tuple(loads),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scheme 3: broadcast-bit subcube routing
+# ----------------------------------------------------------------------
+
+
+def enclosing_subcube(
+    network: OmegaNetwork, dests: Iterable[NodeId]
+) -> tuple[int, int]:
+    """Minimal subcube ``(base, varying_mask)`` covering ``dests``.
+
+    The subcube contains every port agreeing with ``base`` on the bits
+    *outside* ``varying_mask``; its size is ``2 ** popcount(varying_mask)``.
+    """
+    dest_list = sorted(_as_destset(network, dests))
+    if not dest_list:
+        raise MulticastError("cannot compute a subcube for zero destinations")
+    base = dest_list[0]
+    varying = 0
+    for dest in dest_list[1:]:
+        varying |= base ^ dest
+    return base & ~varying, varying
+
+
+def subcube_members(
+    network: OmegaNetwork, base: int, varying_mask: int
+) -> frozenset[NodeId]:
+    """All ports of the subcube ``(base, varying_mask)``."""
+    bits = [b for b in range(network.n_stages) if (varying_mask >> b) & 1]
+    members = []
+    for combo in range(1 << len(bits)):
+        address = base
+        for j, b in enumerate(bits):
+            if (combo >> j) & 1:
+                address |= 1 << b
+        members.append(address)
+    return frozenset(members)
+
+
+def multicast_scheme3(
+    network: OmegaNetwork,
+    message: Message,
+    dests: Iterable[NodeId],
+    *,
+    exact: bool = True,
+    commit: bool = True,
+) -> MulticastResult:
+    """Deliver ``message`` with Wen's ``2m``-bit broadcast-bit routing tag.
+
+    With ``exact=True`` the destination set must itself be a subcube (the
+    restriction stated in §3.3); with ``exact=False`` the minimal enclosing
+    subcube is used and the message is over-delivered.
+    """
+    dest_set = _as_destset(network, dests)
+    if not dest_set:
+        raise MulticastError("scheme 3 needs at least one destination")
+    base, varying = enclosing_subcube(network, dest_set)
+    delivered = subcube_members(network, base, varying)
+    if exact and delivered != dest_set:
+        raise MulticastError(
+            f"destinations {sorted(dest_set)} do not form a subcube "
+            f"(minimal cover has {len(delivered)} members); "
+            f"pass exact=False to over-deliver"
+        )
+
+    m = network.n_stages
+    loads: list[LinkLoad] = [
+        LinkLoad(0, message.source, message.payload_bits + 2 * m)
+    ]
+    branches: list[tuple[int, int]] = [(message.source, 0)]
+    for stage in range(m):
+        # Stage i consumes b_i and d_i: MSB-first, stage i governs address
+        # bit (m - 1 - stage).
+        bit_index = m - 1 - stage
+        broadcast = (varying >> bit_index) & 1
+        tag_left = 2 * (m - stage - 1)
+        next_branches: list[tuple[int, int]] = []
+        for position, parent in branches:
+            shuffled = network.shuffle(position)
+            if broadcast:
+                outs = [shuffled & ~1, shuffled | 1]
+            else:
+                outs = [(shuffled & ~1) | ((base >> bit_index) & 1)]
+            if commit:
+                network.switch_for_position(stage, shuffled).record(
+                    split=bool(broadcast)
+                )
+            for out in outs:
+                next_branches.append((out, len(loads)))
+                loads.append(
+                    LinkLoad(
+                        stage + 1,
+                        out,
+                        message.payload_bits + tag_left,
+                        parent,
+                    )
+                )
+        branches = next_branches
+    if frozenset(position for position, _ in branches) != delivered:
+        raise MulticastError(
+            f"scheme 3 routing reached "
+            f"{sorted(position for position, _ in branches)} "
+            f"instead of {sorted(delivered)}"
+        )
+    if commit:
+        for load in loads:
+            network.link(load.level, load.position).carry(load.bits)
+    return MulticastResult(
+        MulticastScheme.BROADCAST_TAG,
+        message.source,
+        dest_set,
+        delivered,
+        tuple(loads),
+    )
+
+
+# ----------------------------------------------------------------------
+# Combined scheme (eq. 8)
+# ----------------------------------------------------------------------
+
+
+def multicast_combined(
+    network: OmegaNetwork,
+    message: Message,
+    dests: Iterable[NodeId],
+    *,
+    commit: bool = True,
+) -> MulticastResult:
+    """Probe schemes 1, 2 and 3 and commit the cheapest (eq. 8).
+
+    Scheme 3 competes with its minimal enclosing subcube (over-delivering
+    where the destination set is not itself a subcube), mirroring §3.4 where
+    it addresses the whole block of ``n1`` adjacently-placed tasks.
+    """
+    dest_set = _as_destset(network, dests)
+    if not dest_set:
+        return MulticastResult(
+            MulticastScheme.COMBINED,
+            message.source,
+            dest_set,
+            dest_set,
+            (),
+        )
+    candidates = [
+        multicast_scheme1(network, message, dest_set, commit=False),
+        multicast_scheme2(network, message, dest_set, commit=False),
+        multicast_scheme3(
+            network, message, dest_set, exact=False, commit=False
+        ),
+    ]
+    best = min(candidates, key=lambda result: result.cost)
+    if not commit:
+        return best
+    if best.scheme is MulticastScheme.UNICAST:
+        return multicast_scheme1(network, message, dest_set, commit=True)
+    if best.scheme is MulticastScheme.VECTOR:
+        return multicast_scheme2(network, message, dest_set, commit=True)
+    return multicast_scheme3(
+        network, message, dest_set, exact=False, commit=True
+    )
+
+
+_DISPATCH = {
+    MulticastScheme.UNICAST: multicast_scheme1,
+    MulticastScheme.VECTOR: multicast_scheme2,
+    MulticastScheme.COMBINED: multicast_combined,
+}
+
+
+def multicast(
+    network: OmegaNetwork,
+    message: Message,
+    dests: Iterable[NodeId],
+    scheme: MulticastScheme = MulticastScheme.COMBINED,
+    *,
+    commit: bool = True,
+) -> MulticastResult:
+    """Deliver ``message`` to ``dests`` using ``scheme``.
+
+    For :data:`MulticastScheme.BROADCAST_TAG` the enclosing subcube is used
+    (over-delivery allowed), since protocol destination sets are arbitrary.
+    """
+    if scheme is MulticastScheme.BROADCAST_TAG:
+        return multicast_scheme3(
+            network, message, dests, exact=False, commit=commit
+        )
+    return _DISPATCH[scheme](network, message, dests, commit=commit)
+
+
+class Multicaster:
+    """A network bound to a multicast scheme choice.
+
+    The coherence protocols talk to the network exclusively through this
+    object, so switching the protocol between schemes (for the ablation
+    benchmarks) is a one-argument change.
+    """
+
+    def __init__(
+        self,
+        network: OmegaNetwork,
+        scheme: MulticastScheme = MulticastScheme.COMBINED,
+    ) -> None:
+        self.network = network
+        self.scheme = scheme
+
+    def send(
+        self, message: Message, dests: Sequence[NodeId] | frozenset[NodeId]
+    ) -> MulticastResult:
+        """Deliver ``message`` to ``dests`` and account its traffic."""
+        dest_set = frozenset(dests)
+        if not dest_set:
+            return MulticastResult(
+                self.scheme, message.source, dest_set, dest_set, ()
+            )
+        if len(dest_set) == 1:
+            # A single destination is plain unicast under every scheme.
+            (dest,) = dest_set
+            result = unicast(self.network, message, dest, commit=True)
+            return MulticastResult(
+                MulticastScheme.UNICAST,
+                message.source,
+                dest_set,
+                dest_set,
+                result.loads,
+            )
+        return multicast(self.network, message, dest_set, self.scheme)
+
+    def send_one(self, message: Message, dest: NodeId) -> MulticastResult:
+        """Unicast convenience wrapper with the same result type."""
+        return self.send(message, (dest,))

@@ -1,0 +1,390 @@
+"""Generalisation to ``a x a`` switches (the §3 remark, made concrete).
+
+"Given an N x N network composed of a x a switches, the number of stages
+is m = log_a N ...  we shall restrict the discussion of possible multicast
+schemes to omega networks composed of 2 x 2 switches even if the results
+can be generalized to other topologies of multistage networks with other
+switches."
+
+This module is that generalisation: a radix-``a`` omega network (base-``a``
+perfect shuffle, ``m = log_a N`` stages of ``a x a`` switches) with the
+three multicast schemes carried over:
+
+* scheme 1 -- the routing tag is ``m`` base-``a`` digits, one consumed per
+  stage (``ceil(log2 a)`` bits each);
+* scheme 2 -- the ``N``-bit present vector splits into ``a`` parts at each
+  switch, shrinking to ``N / a**level`` bits;
+* scheme 3 -- per stage, a broadcast flag plus a digit: flagged stages
+  forward to all ``a`` outputs (so it addresses ``a**l``-sized aligned
+  blocks).
+
+Costs are computed both by per-stage summation
+(:func:`cc1_radix` ... :func:`cc3_radix`) and by routing messages through
+the simulated fabric; the tests check they coincide, and that radix 2
+reproduces the 2 x 2 closed forms of :mod:`repro.network.cost` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, MulticastError
+from repro.network.link import Link, LinkLoad
+from repro.network.message import Message
+from repro.types import NodeId
+
+
+def digit_bits(radix: int) -> int:
+    """Bits to encode one base-``radix`` routing digit."""
+    if radix < 2:
+        raise ConfigurationError(f"radix must be >= 2, got {radix}")
+    return (radix - 1).bit_length()
+
+
+def _check_geometry(n_ports: int, radix: int) -> int:
+    """Validate ``n_ports == radix**m`` and return ``m``."""
+    if radix < 2:
+        raise ConfigurationError(f"radix must be >= 2, got {radix}")
+    if n_ports < radix:
+        raise ConfigurationError(
+            f"need at least {radix} ports, got {n_ports}"
+        )
+    m = 0
+    value = 1
+    while value < n_ports:
+        value *= radix
+        m += 1
+    if value != n_ports:
+        raise ConfigurationError(
+            f"{n_ports} is not a power of radix {radix}"
+        )
+    return m
+
+
+class RadixOmegaNetwork:
+    """An ``N x N`` omega network of ``a x a`` switches.
+
+    Mirrors :class:`~repro.network.topology.OmegaNetwork` (which is the
+    hand-optimised ``a = 2`` case) with the same link-level accounting:
+    ``m + 1`` link levels of ``N`` links each.
+    """
+
+    def __init__(self, n_ports: int, radix: int) -> None:
+        self.n_ports = n_ports
+        self.radix = radix
+        self.n_stages = _check_geometry(n_ports, radix)
+        self._links: list[list[Link]] = [
+            [Link(level, position) for position in range(n_ports)]
+            for level in range(self.n_stages + 1)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def shuffle(self, position: int) -> int:
+        """Base-``a`` perfect shuffle: rotate the digit string left."""
+        self._check_port(position)
+        top_weight = self.n_ports // self.radix
+        return (
+            position % top_weight
+        ) * self.radix + position // top_weight
+
+    def digit(self, port: int, stage: int) -> int:
+        """Base-``a`` digit of ``port`` consumed at ``stage`` (MSD first)."""
+        self._check_port(port)
+        if not 0 <= stage < self.n_stages:
+            raise ConfigurationError(
+                f"stage {stage} outside 0..{self.n_stages - 1}"
+            )
+        weight = self.radix ** (self.n_stages - 1 - stage)
+        return (port // weight) % self.radix
+
+    def route_positions(self, source: NodeId, dest: NodeId) -> list[int]:
+        """Link positions at levels ``0 .. m`` from ``source`` to ``dest``."""
+        self._check_port(source)
+        self._check_port(dest)
+        positions = [source]
+        x = source
+        for stage in range(self.n_stages):
+            x = self.shuffle(x)
+            x = (x - x % self.radix) + self.digit(dest, stage)
+            positions.append(x)
+        return positions
+
+    def link(self, level: int, position: int) -> Link:
+        if not 0 <= level <= self.n_stages:
+            raise ConfigurationError(
+                f"link level must be in 0..{self.n_stages}, got {level}"
+            )
+        self._check_port(position)
+        return self._links[level][position]
+
+    def iter_links(self):
+        for level_links in self._links:
+            yield from level_links
+
+    @property
+    def total_bits(self) -> int:
+        return sum(link.bits for link in self.iter_links())
+
+    def reset_traffic(self) -> None:
+        for link in self.iter_links():
+            link.reset()
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ConfigurationError(
+                f"port {port} outside 0..{self.n_ports - 1}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RadixOmegaNetwork(n_ports={self.n_ports}, "
+            f"radix={self.radix})"
+        )
+
+
+@dataclass(frozen=True)
+class RadixMulticastResult:
+    """Outcome of a radix multicast (cost + delivery set)."""
+
+    source: NodeId
+    delivered: frozenset[NodeId]
+    loads: tuple[LinkLoad, ...]
+
+    @property
+    def cost(self) -> int:
+        return sum(load.bits for load in self.loads)
+
+
+def _commit(network: RadixOmegaNetwork, loads, commit: bool) -> None:
+    if commit:
+        for load in loads:
+            network.link(load.level, load.position).carry(load.bits)
+
+
+# ----------------------------------------------------------------------
+# Scheme 1 (radix)
+# ----------------------------------------------------------------------
+
+
+def radix_unicast(
+    network: RadixOmegaNetwork,
+    message: Message,
+    dest: NodeId,
+    *,
+    commit: bool = True,
+) -> RadixMulticastResult:
+    """Digit-tag unicast: ``m`` digits, one stripped per stage."""
+    bits = digit_bits(network.radix)
+    loads = []
+    for level, position in enumerate(
+        network.route_positions(message.source, dest)
+    ):
+        tag = (network.n_stages - level) * bits
+        loads.append(LinkLoad(level, position, message.payload_bits + tag))
+    _commit(network, loads, commit)
+    return RadixMulticastResult(
+        message.source, frozenset((dest,)), tuple(loads)
+    )
+
+
+def radix_multicast_scheme1(
+    network: RadixOmegaNetwork,
+    message: Message,
+    dests,
+    *,
+    commit: bool = True,
+) -> RadixMulticastResult:
+    """One digit-tag unicast per destination."""
+    loads: list[LinkLoad] = []
+    dest_set = frozenset(dests)
+    for dest in sorted(dest_set):
+        loads.extend(
+            radix_unicast(network, message, dest, commit=commit).loads
+        )
+    return RadixMulticastResult(message.source, dest_set, tuple(loads))
+
+
+def cc1_radix(
+    n: int, n_ports: int, radix: int, message_bits: int
+) -> int:
+    """Generalised eq. 2: ``n * sum_{i=0}^{m} (M + (m - i) b)``."""
+    m = _check_geometry(n_ports, radix)
+    bits = digit_bits(radix)
+    per_path = sum(message_bits + (m - i) * bits for i in range(m + 1))
+    return n * per_path
+
+
+# ----------------------------------------------------------------------
+# Scheme 2 (radix)
+# ----------------------------------------------------------------------
+
+
+def radix_multicast_scheme2(
+    network: RadixOmegaNetwork,
+    message: Message,
+    dests,
+    *,
+    commit: bool = True,
+) -> RadixMulticastResult:
+    """Present-vector routing: the vector splits ``a`` ways per switch."""
+    dest_set = frozenset(dests)
+    if not dest_set:
+        return RadixMulticastResult(message.source, dest_set, ())
+    sorted_dests = sorted(dest_set)
+    import bisect
+
+    n = network.n_ports
+    a = network.radix
+    loads = [LinkLoad(0, message.source, message.payload_bits + n)]
+    branches: list[tuple[int, int, int]] = [(message.source, 0, n)]
+    for stage in range(network.n_stages):
+        next_branches: list[tuple[int, int, int]] = []
+        part = n // a ** (stage + 1)
+        for position, lo, hi in branches:
+            shuffled = network.shuffle(position)
+            base = shuffled - shuffled % a
+            for way in range(a):
+                part_lo = lo + way * part
+                part_hi = part_lo + part
+                start = bisect.bisect_left(sorted_dests, part_lo)
+                if start == len(sorted_dests) or (
+                    sorted_dests[start] >= part_hi
+                ):
+                    continue
+                out = base + way
+                next_branches.append((out, part_lo, part_hi))
+                loads.append(
+                    LinkLoad(
+                        stage + 1, out, message.payload_bits + part
+                    )
+                )
+        branches = next_branches
+    reached = frozenset(position for position, _, _ in branches)
+    if reached != dest_set:
+        raise MulticastError(
+            f"radix scheme 2 reached {sorted(reached)} "
+            f"instead of {sorted(dest_set)}"
+        )
+    _commit(network, loads, commit)
+    return RadixMulticastResult(message.source, dest_set, tuple(loads))
+
+
+def cc2_worst_radix(
+    n: int, n_ports: int, radix: int, message_bits: int
+) -> int:
+    """Generalised eq. 3 for ``n = a**k`` maximally spread destinations.
+
+    Branch count multiplies by ``a`` through level ``k``, then stays at
+    ``n``; link level ``i`` carries ``M + N / a**i`` bits.
+    """
+    m = _check_geometry(n_ports, radix)
+    k = 0
+    value = 1
+    while value < n:
+        value *= radix
+        k += 1
+    if value != n or k > m:
+        raise ConfigurationError(
+            f"n={n} must be a power of radix {radix} at most {n_ports}"
+        )
+    total = 0
+    for i in range(k + 1):
+        total += radix**i * (message_bits + n_ports // radix**i)
+    for i in range(k + 1, m + 1):
+        total += n * (message_bits + n_ports // radix**i)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Scheme 3 (radix)
+# ----------------------------------------------------------------------
+
+
+def radix_multicast_scheme3(
+    network: RadixOmegaNetwork,
+    message: Message,
+    dests,
+    *,
+    commit: bool = True,
+) -> RadixMulticastResult:
+    """Broadcast-digit routing to an aligned block of ``a**l`` ports.
+
+    The tag holds, per stage, a broadcast flag and a digit
+    (``1 + ceil(log2 a)`` bits), stripped stage by stage.
+    """
+    dest_set = frozenset(dests)
+    if not dest_set:
+        raise MulticastError("scheme 3 needs at least one destination")
+    lo, hi = min(dest_set), max(dest_set) + 1
+    size = hi - lo
+    a = network.radix
+    l = 0
+    value = 1
+    while value < size:
+        value *= a
+        l += 1
+    if (
+        value != size
+        or lo % size != 0
+        or dest_set != frozenset(range(lo, hi))
+    ):
+        raise MulticastError(
+            f"radix scheme 3 needs an aligned block of a**l ports, "
+            f"got {sorted(dest_set)}"
+        )
+    bits = 1 + digit_bits(a)
+    m = network.n_stages
+    loads = [LinkLoad(0, message.source, message.payload_bits + m * bits)]
+    branches = [message.source]
+    for stage in range(m):
+        broadcast = stage >= m - l
+        tag_left = (m - stage - 1) * bits
+        next_branches = []
+        for position in branches:
+            shuffled = network.shuffle(position)
+            base = shuffled - shuffled % a
+            ways = (
+                range(a)
+                if broadcast
+                else (network.digit(lo, stage),)
+            )
+            for way in ways:
+                out = base + way
+                next_branches.append(out)
+                loads.append(
+                    LinkLoad(
+                        stage + 1, out, message.payload_bits + tag_left
+                    )
+                )
+        branches = next_branches
+    if frozenset(branches) != dest_set:
+        raise MulticastError(
+            f"radix scheme 3 reached {sorted(frozenset(branches))} "
+            f"instead of {sorted(dest_set)}"
+        )
+    _commit(network, loads, commit)
+    return RadixMulticastResult(message.source, dest_set, tuple(loads))
+
+
+def cc3_radix(
+    n1: int, n_ports: int, radix: int, message_bits: int
+) -> int:
+    """Generalised eq. 5 for an aligned block of ``n1 = a**l`` ports."""
+    m = _check_geometry(n_ports, radix)
+    l = 0
+    value = 1
+    while value < n1:
+        value *= radix
+        l += 1
+    if value != n1 or l > m:
+        raise ConfigurationError(
+            f"n1={n1} must be a power of radix {radix} at most {n_ports}"
+        )
+    bits = 1 + digit_bits(radix)
+    total = 0
+    for i in range(m - l + 1):
+        total += message_bits + (m - i) * bits
+    for j in range(1, l + 1):
+        total += radix**j * (message_bits + (l - j) * bits)
+    return total

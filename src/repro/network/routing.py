@@ -1,0 +1,84 @@
+"""Destination-tag unicast routing (the basis of multicast scheme 1).
+
+Lawrie's routing scheme for omega networks: the routing tag is the ``m``-bit
+destination address ``d_0 d_1 ... d_{m-1}``; switch stage ``i`` forwards to
+output ``d_i`` and strips that bit.  A message of ``M`` payload bits therefore
+places ``M + (m - i)`` bits on its link at level ``i`` -- the term summed in
+eq. 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.link import LinkLoad
+from repro.network.message import Message
+from repro.network.topology import OmegaNetwork
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class UnicastResult:
+    """Outcome of routing one message to one destination."""
+
+    source: NodeId
+    dest: NodeId
+    loads: tuple[LinkLoad, ...]
+
+    @property
+    def cost(self) -> int:
+        """Bits placed on links by this message (its share of eq. 1)."""
+        return sum(load.bits for load in self.loads)
+
+
+def tag_bits_scheme1(network: OmegaNetwork, level: int) -> int:
+    """Routing-tag bits still attached at link level ``level`` (scheme 1)."""
+    if not 0 <= level <= network.n_stages:
+        raise ValueError(
+            f"level must be in 0..{network.n_stages}, got {level}"
+        )
+    return network.n_stages - level
+
+
+def route_path(
+    network: OmegaNetwork, source: NodeId, dest: NodeId
+) -> list[tuple[int, int]]:
+    """The ``(level, position)`` link keys from ``source`` to ``dest``."""
+    return [
+        (level, position)
+        for level, position in enumerate(
+            network.route_positions(source, dest)
+        )
+    ]
+
+
+def unicast(
+    network: OmegaNetwork,
+    message: Message,
+    dest: NodeId,
+    *,
+    commit: bool = True,
+) -> UnicastResult:
+    """Route ``message`` from its source to ``dest``, accounting traffic.
+
+    With ``commit=True`` (the default) the traversed links and switches
+    accumulate the traffic; with ``commit=False`` the result is computed
+    without touching any counter (a "what would this cost" probe).
+    """
+    positions = network.route_positions(message.source, dest)
+    loads = []
+    for level, position in enumerate(positions):
+        bits = message.payload_bits + tag_bits_scheme1(network, level)
+        parent = level - 1 if level > 0 else None
+        loads.append(LinkLoad(level, position, bits, parent))
+        if commit:
+            network.link(level, position).carry(bits)
+    if commit:
+        # The switch traversed at stage i only rewrites the low bit of the
+        # shuffled position, so it is identified by its *output* position,
+        # which is the level-(i+1) link position.
+        for stage in range(network.n_stages):
+            network.switch_for_position(stage, positions[stage + 1]).record(
+                split=False
+            )
+    return UnicastResult(message.source, dest, tuple(loads))

@@ -1,0 +1,70 @@
+"""The ``2 x 2`` crossbar switches of the omega network.
+
+Switches do two jobs in this model:
+
+* they record how many messages passed through them (and how many of those
+  were *split*, i.e. forwarded to both outputs by a multicast), which lets
+  experiments study switch load balance and multicast fan-out; and
+* they implement the per-stage routing decision used by every scheme in the
+  paper -- select output ``0`` or ``1`` (or both) from the routing tag.
+
+The routing decision itself is a pure function (:meth:`Switch.output_for_bit`)
+so the multicast simulator can ask "where would this go" without touching the
+counters, and then commit traffic explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Switch:
+    """One ``2 x 2`` switch: stage ``stage`` (0-based), index within stage.
+
+    The switch occupies positions ``2 * index`` and ``2 * index + 1`` of its
+    stage; its output port ``b`` drives position ``2 * index + b``.
+    """
+
+    stage: int
+    index: int
+    messages: int = field(default=0, compare=False)
+    splits: int = field(default=0, compare=False)
+
+    @property
+    def positions(self) -> tuple[int, int]:
+        """The two port positions (within the stage) this switch serves."""
+        return (2 * self.index, 2 * self.index + 1)
+
+    def output_position(self, output: int) -> int:
+        """Stage-relative position driven by output port ``output`` (0 or 1)."""
+        if output not in (0, 1):
+            raise ValueError(f"a 2x2 switch has outputs 0 and 1, not {output}")
+        return 2 * self.index + output
+
+    def record(self, *, split: bool) -> None:
+        """Account one message through this switch.
+
+        ``split`` is true when a multicast forwarded the message to both
+        outputs at this switch (the defining action of scheme 2 and of the
+        broadcast bits of scheme 3).
+        """
+        self.messages += 1
+        if split:
+            self.splits += 1
+
+    def reset(self) -> None:
+        """Zero the traffic counters (used between experiment runs)."""
+        self.messages = 0
+        self.splits = 0
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Hashable identity ``(stage, index)`` of this switch."""
+        return (self.stage, self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Switch(stage={self.stage}, index={self.index}, "
+            f"messages={self.messages}, splits={self.splits})"
+        )

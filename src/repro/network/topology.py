@@ -1,0 +1,217 @@
+"""The omega multistage interconnection network.
+
+An ``N x N`` omega network (Lawrie, 1975) consists of ``m = log2 N``
+identical stages; each stage is a perfect-shuffle permutation of the ``N``
+positions followed by a column of ``N / 2`` two-by-two switches.  The network
+provides a path from every input to every output, selected by the
+*destination-tag* property: at stage ``i`` the message leaves the switch on
+output ``d_i``, the ``i``-th most significant bit of the destination address.
+
+Figure 3 of the paper views the paths from one source to all destinations as
+a binary tree; this module materialises that structure with explicit
+:class:`~repro.network.link.Link` and :class:`~repro.network.switch.Switch`
+objects so that the communication-cost metric of eq. 1 (bits summed over all
+links) can be measured rather than only computed from closed forms.
+
+Port conventions
+----------------
+The multiprocessor attaches cache ``j`` *and* memory module ``j`` to port
+``j`` (a dance-hall arrangement): every message between distinct nodes --
+cache to cache, cache to memory, memory to cache -- traverses the full
+``m``-stage fabric once.  A message whose source and destination ports are
+equal (for example a memory module replying to its local cache, which cannot
+happen in this system but is allowed by the API) still traverses the network,
+matching the paper's cost model in which every global access crosses the
+network.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.network.link import Link
+from repro.network.switch import Switch
+from repro.types import NodeId, ilog2, is_power_of_two
+
+
+class OmegaNetwork:
+    """An ``N x N`` omega network of ``2 x 2`` switches with traffic counters.
+
+    Parameters
+    ----------
+    n_ports:
+        Number of input (and output) ports ``N``.  Must be a power of two,
+        at least 2.  The paper restricts its analysis to ``2 x 2`` switches;
+        so does this model.
+
+    Attributes
+    ----------
+    n_ports:
+        ``N``.
+    n_stages:
+        ``m = log2 N`` switch stages.  There are ``m + 1`` link levels,
+        numbered ``0 .. m`` as in the paper (level ``m`` reaches the
+        destination endpoints).
+    """
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports < 2 or not is_power_of_two(n_ports):
+            raise ConfigurationError(
+                f"an omega network needs a power-of-two port count >= 2, "
+                f"got {n_ports}"
+            )
+        self.n_ports = n_ports
+        self.n_stages = ilog2(n_ports)
+        self._links: list[list[Link]] = [
+            [Link(level, position) for position in range(n_ports)]
+            for level in range(self.n_stages + 1)
+        ]
+        self._switches: list[list[Switch]] = [
+            [Switch(stage, index) for index in range(n_ports // 2)]
+            for stage in range(self.n_stages)
+        ]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def shuffle(self, position: int) -> int:
+        """Perfect shuffle: rotate the ``m``-bit position left by one.
+
+        This is the wiring pattern in front of every switch stage.
+        """
+        self._check_port(position)
+        m = self.n_stages
+        return ((position << 1) | (position >> (m - 1))) & (self.n_ports - 1)
+
+    def inverse_shuffle(self, position: int) -> int:
+        """Inverse perfect shuffle: rotate the ``m``-bit position right."""
+        self._check_port(position)
+        m = self.n_stages
+        return ((position >> 1) | ((position & 1) << (m - 1))) & (
+            self.n_ports - 1
+        )
+
+    def destination_bit(self, dest: NodeId, stage: int) -> int:
+        """Bit of ``dest`` consumed by switch stage ``stage`` (MSB first)."""
+        self._check_port(dest)
+        self._check_stage(stage)
+        return (dest >> (self.n_stages - 1 - stage)) & 1
+
+    def link(self, level: int, position: int) -> Link:
+        """The link at ``(level, position)``; levels run ``0 .. m``."""
+        if not 0 <= level <= self.n_stages:
+            raise ConfigurationError(
+                f"link level must be in 0..{self.n_stages}, got {level}"
+            )
+        self._check_port(position)
+        return self._links[level][position]
+
+    def switch(self, stage: int, index: int) -> Switch:
+        """The switch at ``(stage, index)``; stages run ``0 .. m-1``."""
+        self._check_stage(stage)
+        if not 0 <= index < self.n_ports // 2:
+            raise ConfigurationError(
+                f"switch index must be in 0..{self.n_ports // 2 - 1}, "
+                f"got {index}"
+            )
+        return self._switches[stage][index]
+
+    def switch_for_position(self, stage: int, position: int) -> Switch:
+        """The switch whose input ports include stage position ``position``."""
+        self._check_port(position)
+        return self.switch(stage, position // 2)
+
+    def iter_links(self):
+        """Yield every link, level by level."""
+        for level_links in self._links:
+            yield from level_links
+
+    def iter_switches(self):
+        """Yield every switch, stage by stage."""
+        for stage_switches in self._switches:
+            yield from stage_switches
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    def route_positions(self, source: NodeId, dest: NodeId) -> list[int]:
+        """Positions occupied by a message at link levels ``0 .. m``.
+
+        Element ``0`` is the source port; element ``i`` (``i >= 1``) is the
+        position of the link entering stage ``i`` (or, for ``i == m``, the
+        destination port).  The destination-tag property guarantees the last
+        element equals ``dest``.
+        """
+        self._check_port(source)
+        self._check_port(dest)
+        positions = [source]
+        x = source
+        for stage in range(self.n_stages):
+            x = self.shuffle(x)
+            x = (x & ~1) | self.destination_bit(dest, stage)
+            positions.append(x)
+        return positions
+
+    def route_links(self, source: NodeId, dest: NodeId) -> list[Link]:
+        """The ``m + 1`` links traversed from ``source`` to ``dest``."""
+        return [
+            self._links[level][position]
+            for level, position in enumerate(self.route_positions(source, dest))
+        ]
+
+    # ------------------------------------------------------------------
+    # Traffic accounting
+    # ------------------------------------------------------------------
+
+    def reset_traffic(self) -> None:
+        """Zero every link and switch counter."""
+        for link in self.iter_links():
+            link.reset()
+        for switch in self.iter_switches():
+            switch.reset()
+
+    @property
+    def total_bits(self) -> int:
+        """Communication cost accumulated so far (eq. 1 over all traffic)."""
+        return sum(link.bits for link in self.iter_links())
+
+    @property
+    def total_messages(self) -> int:
+        """Link traversals accumulated so far (each hop of each message)."""
+        return sum(link.messages for link in self.iter_links())
+
+    def bits_by_level(self) -> list[int]:
+        """Bits carried per link level, ``[L_0, L_1, ..., L_m]`` of eq. 1."""
+        return [
+            sum(link.bits for link in level_links)
+            for level_links in self._links
+        ]
+
+    def busiest_links(self, count: int = 8) -> list[Link]:
+        """The ``count`` links that carried the most bits (load imbalance)."""
+        return sorted(self.iter_links(), key=lambda l: l.bits, reverse=True)[
+            :count
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ConfigurationError(
+                f"port {port} outside 0..{self.n_ports - 1}"
+            )
+
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.n_stages:
+            raise ConfigurationError(
+                f"stage {stage} outside 0..{self.n_stages - 1}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OmegaNetwork(n_ports={self.n_ports}, "
+            f"n_stages={self.n_stages})"
+        )

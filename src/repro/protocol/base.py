@@ -1,0 +1,142 @@
+"""The interface every coherence protocol implements, plus shared plumbing.
+
+A protocol is an object driving one :class:`~repro.sim.system.System`:
+:meth:`read` and :meth:`write` perform a processor reference *atomically*
+(all consequent protocol messages included) and account every message's
+network cost.  The atomic-reference, trace-driven methodology follows
+Archibald & Baer (1986), which the paper itself cites for protocol
+evaluation; the paper's metric is traffic, not timing, so no cycle model is
+needed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import NamedTuple
+
+from repro.network.multicast import MulticastResult
+from repro.protocol.messages import MsgKind
+from repro.network.message import Message
+from repro.sim.stats import Stats
+from repro.sim.system import System
+from repro.types import Address, BlockId, NodeId
+
+
+class LoggedMessage(NamedTuple):
+    """One protocol message as seen by the (optional) message log.
+
+    ``dests`` holds the requested destination set -- for a unicast, a
+    single element.  ``cost`` is the network cost actually paid (which for
+    a multicast depends on the scheme and placement).  ``loads`` is the
+    message's per-link traffic with dependency structure, as consumed by
+    the timing model of :mod:`repro.sim.timing`.
+    """
+
+    kind: MsgKind
+    source: NodeId
+    dests: frozenset[NodeId]
+    payload_bits: int
+    cost: int
+    loads: tuple
+
+
+class CoherenceProtocol(abc.ABC):
+    """Base class for all protocols.
+
+    Subclasses implement :meth:`read` and :meth:`write`; the helpers here
+    send protocol messages through the system's multicaster and keep the
+    per-kind traffic ledger, so every protocol is costed identically.
+    """
+
+    #: Human-readable protocol name (overridden by subclasses).
+    name = "abstract"
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.stats = Stats()
+        self.message_log: list[LoggedMessage] | None = None
+
+    def enable_message_log(self) -> None:
+        """Start recording every protocol message in ``message_log``.
+
+        Intended for tests and debugging: the scenario tests assert the
+        exact §2.2 message sequences against this log.
+        """
+        self.message_log = []
+
+    def _log(
+        self,
+        kind: MsgKind,
+        source: NodeId,
+        dests: frozenset[NodeId],
+        bits: int,
+        result: MulticastResult,
+    ) -> None:
+        if self.message_log is not None:
+            self.message_log.append(
+                LoggedMessage(
+                    kind, source, dests, bits, result.cost, result.loads
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # The processor-facing interface
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def read(self, node: NodeId, address: Address) -> int:
+        """Processor ``node`` reads one word; returns the value observed."""
+
+    @abc.abstractmethod
+    def write(self, node: NodeId, address: Address, value: int) -> None:
+        """Processor ``node`` writes ``value`` to one word."""
+
+    # ------------------------------------------------------------------
+    # Messaging helpers (cost accounting)
+    # ------------------------------------------------------------------
+
+    def _send(
+        self, kind: MsgKind, source: NodeId, dest: NodeId, bits: int
+    ) -> None:
+        """Unicast ``bits`` payload bits from ``source`` to ``dest``."""
+        result = self.system.multicaster.send_one(
+            Message(source=source, payload_bits=bits, kind=kind.value), dest
+        )
+        self.stats.record_traffic(kind.value, result.cost)
+        self._log(kind, source, frozenset((dest,)), bits, result)
+
+    def _multicast(
+        self,
+        kind: MsgKind,
+        source: NodeId,
+        dests: frozenset[NodeId] | set[NodeId],
+        bits: int,
+    ) -> MulticastResult:
+        """One-to-many send using the system's configured scheme."""
+        result = self.system.multicaster.send(
+            Message(source=source, payload_bits=bits, kind=kind.value),
+            frozenset(dests),
+        )
+        self.stats.record_traffic(kind.value, result.cost)
+        self._log(kind, source, frozenset(dests), bits, result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Common structure
+    # ------------------------------------------------------------------
+
+    def home(self, block: BlockId) -> NodeId:
+        """Home memory module port of ``block``."""
+        return self.system.home(block)
+
+    def check_invariants(self) -> None:
+        """Verify protocol-specific structural invariants (optional).
+
+        The verifying engine calls this after every reference when
+        ``verify=True``; protocols with nothing to check inherit this
+        no-op.  Implementations raise
+        :class:`~repro.errors.CoherenceError` on violation.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(system={self.system.config.n_nodes})"

@@ -1,0 +1,233 @@
+"""Analytic per-reference communication costs (§4, eqs. 9-12, Figure 8).
+
+The paper's model: ``n`` tasks share a read-write data structure, exactly
+one task writes each block, the write fraction is ``w``, a read costs two
+network traversals and a write one, and only consistency-related traffic
+counts (the cache holds the whole structure, so there are no capacity
+misses).  The global reference string is a two-state Markov chain
+(Figure 7) for the write-once analysis.
+
+Every cost is expressed through ``CC1(1)`` (one scheme-1 network traversal
+of an ``M``-bit message, eq. 2 with ``n = 1``); the *normalized* variants
+divide it out, which is exactly the y-axis of Figure 8.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.network import cost as netcost
+
+
+def _check_w(write_fraction: float) -> None:
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError(
+            f"write fraction must be in [0, 1], got {write_fraction}"
+        )
+
+
+def one_traversal(network_size: int, message_bits: int) -> int:
+    """``CC1`` with one destination: the unit every §4 formula is built on."""
+    return netcost.cc1(1, network_size, message_bits)
+
+
+# ----------------------------------------------------------------------
+# Eqs. 9-12 (absolute costs)
+# ----------------------------------------------------------------------
+
+
+def cc_no_cache(
+    write_fraction: float, network_size: int, message_bits: int
+) -> float:
+    """Eq. 9: ``(1 - w) 2 CC1 + w CC1`` -- the block lives at memory."""
+    _check_w(write_fraction)
+    unit = one_traversal(network_size, message_bits)
+    return (2.0 - write_fraction) * unit
+
+
+def cc_write_once(
+    write_fraction: float,
+    n_sharers: int,
+    n_partition: int,
+    network_size: int,
+    message_bits: int,
+) -> float:
+    """Eq. 10: ``w (1 - w) (CC4(n) + 2 CC1)``.
+
+    Each shared-to-exclusive transition of the Figure 7 chain multicasts an
+    invalidation to the ``n`` caches (cost ``CC4``, eq. 8) and each
+    exclusive-to-shared transition reloads the block (two traversals).
+    """
+    _check_w(write_fraction)
+    invalidation = netcost.cc_combined(
+        n_sharers, n_partition, network_size, message_bits
+    )
+    reload = 2 * one_traversal(network_size, message_bits)
+    return write_fraction * (1.0 - write_fraction) * (invalidation + reload)
+
+
+def cc_write_once_bound(
+    write_fraction: float,
+    n_sharers: int,
+    network_size: int,
+    message_bits: int,
+) -> float:
+    """Eq. 10's stated bound ``w (1 - w) (n + 2) CC1`` (scheme 1 only)."""
+    _check_w(write_fraction)
+    unit = one_traversal(network_size, message_bits)
+    return (
+        write_fraction * (1.0 - write_fraction) * (n_sharers + 2) * unit
+    )
+
+
+def cc_distributed_write(
+    write_fraction: float,
+    n_sharers: int,
+    n_partition: int,
+    network_size: int,
+    message_bits: int,
+) -> float:
+    """Eq. 11: ``w CC4(n)`` -- reads are local, writes are multicast."""
+    _check_w(write_fraction)
+    return write_fraction * netcost.cc_combined(
+        n_sharers, n_partition, network_size, message_bits
+    )
+
+
+def cc_global_read(
+    write_fraction: float, network_size: int, message_bits: int
+) -> float:
+    """Eq. 12: ``(1 - w) 2 CC1`` -- writes are local, reads are remote."""
+    _check_w(write_fraction)
+    return (
+        (1.0 - write_fraction)
+        * 2
+        * one_traversal(network_size, message_bits)
+    )
+
+
+def cc_two_mode(
+    write_fraction: float,
+    n_sharers: int,
+    n_partition: int,
+    network_size: int,
+    message_bits: int,
+) -> float:
+    """The proposed protocol: each block runs in its cheaper mode."""
+    return min(
+        cc_distributed_write(
+            write_fraction, n_sharers, n_partition, network_size,
+            message_bits,
+        ),
+        cc_global_read(write_fraction, network_size, message_bits),
+    )
+
+
+# ----------------------------------------------------------------------
+# Normalized costs (Figure 8's y-axis; scheme 1, the §4 simplification)
+# ----------------------------------------------------------------------
+
+
+def normalized_no_cache(write_fraction: float) -> float:
+    """``2 - w`` (the bold reference line of Figure 8)."""
+    _check_w(write_fraction)
+    return 2.0 - write_fraction
+
+
+def normalized_write_once(write_fraction: float, n_sharers: int) -> float:
+    """``w (1 - w) (n + 2)`` (the dashed curves of Figure 8)."""
+    _check_w(write_fraction)
+    return write_fraction * (1.0 - write_fraction) * (n_sharers + 2)
+
+
+def normalized_distributed_write(
+    write_fraction: float, n_sharers: int
+) -> float:
+    """``w n`` (eq. 11 with scheme-1 multicast)."""
+    _check_w(write_fraction)
+    return write_fraction * n_sharers
+
+
+def normalized_global_read(write_fraction: float) -> float:
+    """``2 (1 - w)`` (eq. 12)."""
+    _check_w(write_fraction)
+    return 2.0 * (1.0 - write_fraction)
+
+
+def normalized_two_mode(write_fraction: float, n_sharers: int) -> float:
+    """``min(w n, 2 (1 - w))`` (the solid curves of Figure 8).
+
+    The modes cross exactly at ``w1 = 2 / (n + 2)``; §4 proves the
+    resulting upper bound ``2 n / (n + 2) < 2`` never exceeds the
+    uncached cost.
+    """
+    return min(
+        normalized_distributed_write(write_fraction, n_sharers),
+        normalized_global_read(write_fraction),
+    )
+
+
+def two_mode_peak(n_sharers: int) -> float:
+    """The two-mode curve's maximum ``2 n / (n + 2)``, reached at ``w1``."""
+    if n_sharers < 0:
+        raise ConfigurationError(
+            f"sharer count must be non-negative, got {n_sharers}"
+        )
+    return 2.0 * n_sharers / (n_sharers + 2)
+
+
+# ----------------------------------------------------------------------
+# The Figure 7 Markov chain
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WriteOnceChain:
+    """The two-state (exclusive/shared) chain modelling write-once.
+
+    From *exclusive*, a read (probability ``1 - w``) moves to *shared*
+    (the block is reloaded by a reader); from *shared*, a write
+    (probability ``w``) moves to *exclusive* (other copies invalidated).
+    """
+
+    write_fraction: float
+
+    def __post_init__(self) -> None:
+        _check_w(self.write_fraction)
+
+    def stationary(self) -> tuple[float, float]:
+        """Stationary ``(P(exclusive), P(shared))``: ``(w, 1 - w)``."""
+        return (self.write_fraction, 1.0 - self.write_fraction)
+
+    def transition_rate(self) -> float:
+        """Per-reference rate of *each* transition direction: ``w (1 - w)``.
+
+        Both directions occur equally often in steady state; this rate times
+        the per-transition cost gives eq. 10.
+        """
+        return self.write_fraction * (1.0 - self.write_fraction)
+
+    def simulate(
+        self, steps: int, seed: int = 0
+    ) -> tuple[int, int]:
+        """Monte-Carlo transition counts ``(shared_to_exclusive,
+        exclusive_to_shared)`` over ``steps`` references."""
+        if steps <= 0:
+            raise ConfigurationError(
+                f"need a positive step count, got {steps}"
+            )
+        rng = random.Random(seed)
+        exclusive = True
+        to_exclusive = 0
+        to_shared = 0
+        for _ in range(steps):
+            is_write = rng.random() < self.write_fraction
+            if exclusive and not is_write:
+                exclusive = False
+                to_shared += 1
+            elif not exclusive and is_write:
+                exclusive = True
+                to_exclusive += 1
+        return (to_exclusive, to_shared)

@@ -1,0 +1,156 @@
+"""Structural coherence invariants of the two-mode protocol.
+
+The verifying simulator checks these after *every* reference (and the
+property-based tests after random traces), so a protocol bug cannot hide
+behind a lucky value comparison.  The invariants hold at every quiescent
+point of the atomic-reference simulation:
+
+1. **Single owner** -- at most one cache holds an owned entry per block.
+2. **Block-store accuracy** -- the home module's block store is valid iff
+   some cache owns the block, and names that cache.
+3. **Owner in its own vector** -- an owner's present-flag vector contains
+   the owner itself.
+4. **DW vector accuracy** -- in distributed-write mode the present vector
+   equals exactly the set of caches holding a valid copy, and every copy's
+   data equals the owner's (updates reached everyone).
+5. **GR single copy** -- in global-read mode the owner holds the only
+   valid copy; present-flagged caches other than the owner hold invalid
+   placeholders whose OWNER field names the current owner.
+6. **No orphan copies** -- a valid UnOwned copy only exists for a block
+   with a current owner in distributed-write mode.
+
+Placeholders *outside* the present vector may exist (and may hold stale
+OWNER fields) after mode switches -- the protocol repairs them lazily, see
+:mod:`repro.protocol.stenstrom` -- so invariant 5 constrains only vector
+members.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.state import Mode
+from repro.errors import CoherenceError
+from repro.types import BlockId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import for typing only
+    from repro.protocol.stenstrom import StenstromProtocol
+
+
+def _fail(message: str) -> None:
+    raise CoherenceError(message)
+
+
+def _blocks_in_play(protocol: "StenstromProtocol") -> set[BlockId]:
+    """Every block any cache or block store currently knows about."""
+    blocks: set[BlockId] = set()
+    for cache in protocol.system.caches:
+        blocks.update(cache.resident_blocks())
+    for memory in protocol.system.memories:
+        blocks.update(memory.block_store.valid_blocks())
+    return blocks
+
+
+def check_stenstrom(protocol: "StenstromProtocol") -> None:
+    """Raise :class:`~repro.errors.CoherenceError` on any violation."""
+    for block in _blocks_in_play(protocol):
+        _check_block(protocol, block)
+
+
+def _check_block(protocol: "StenstromProtocol", block: BlockId) -> None:
+    system = protocol.system
+    owners: list[NodeId] = []
+    valid_holders: list[NodeId] = []
+    placeholder_holders: list[NodeId] = []
+    for cache in system.caches:
+        entry = cache.find(block)
+        if entry is None:
+            continue
+        field = entry.state_field
+        if field.valid:
+            valid_holders.append(cache.node_id)
+            if field.owned:
+                owners.append(cache.node_id)
+        else:
+            placeholder_holders.append(cache.node_id)
+
+    # 1. Single owner.
+    if len(owners) > 1:
+        _fail(f"block {block} owned by several caches: {owners}")
+
+    # 2. Block store accuracy.
+    recorded = system.memory_for(block).block_store.owner_of(block)
+    if owners:
+        if recorded != owners[0]:
+            _fail(
+                f"block {block}: block store says owner {recorded}, "
+                f"caches say {owners[0]}"
+            )
+    else:
+        if recorded is not None:
+            _fail(
+                f"block {block}: block store names owner {recorded} "
+                f"but no cache owns it"
+            )
+        # 6. No orphan copies without an owner.
+        if valid_holders:
+            _fail(
+                f"block {block}: valid copies at {valid_holders} "
+                f"with no owner"
+            )
+        return
+
+    owner = owners[0]
+    entry = system.caches[owner].find(block)
+    assert entry is not None
+    field = entry.state_field
+
+    # 3. Owner in its own vector.
+    if owner not in field.present:
+        _fail(
+            f"block {block}: owner {owner} missing from its present "
+            f"vector {sorted(field.present)}"
+        )
+
+    if field.mode is Mode.DISTRIBUTED_WRITE:
+        # 4. DW vector = valid copies, data coherent.
+        if field.present != set(valid_holders):
+            _fail(
+                f"block {block} (DW): present vector "
+                f"{sorted(field.present)} != valid copies "
+                f"{sorted(valid_holders)}"
+            )
+        for holder in valid_holders:
+            copy = system.caches[holder].find(block)
+            assert copy is not None
+            if copy.data != entry.data:
+                _fail(
+                    f"block {block} (DW): cache {holder} holds "
+                    f"{copy.data}, owner holds {entry.data}"
+                )
+    else:
+        # 5. GR: only the owner's copy is valid; vector members other than
+        # the owner are placeholders pointing at the owner.
+        if valid_holders != [owner]:
+            _fail(
+                f"block {block} (GR): valid copies at "
+                f"{sorted(valid_holders)}, expected only owner {owner}"
+            )
+        for member in field.present - {owner}:
+            member_entry = system.caches[member].find(block)
+            if member_entry is None:
+                _fail(
+                    f"block {block} (GR): present vector names cache "
+                    f"{member}, which has no entry"
+                )
+                return
+            if member_entry.state_field.valid:
+                _fail(
+                    f"block {block} (GR): present vector member {member} "
+                    f"holds a valid copy"
+                )
+            if member_entry.state_field.owner != owner:
+                _fail(
+                    f"block {block} (GR): placeholder at {member} points "
+                    f"at {member_entry.state_field.owner}, owner is {owner}"
+                )

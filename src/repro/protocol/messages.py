@@ -1,0 +1,157 @@
+"""Protocol message kinds and their size model.
+
+The paper measures everything in message bits on network links, so the one
+modelling decision that matters here is *how many payload bits each protocol
+message carries*.  :class:`MessageCosts` makes that decision explicit and
+configurable:
+
+* the default *component* model derives each message size from word,
+  address and control field widths plus, for state transfers, the actual
+  ``N + log2 N + 4``-bit state field;
+* the *uniform* model (``MessageCosts.uniform(M)``) gives every message
+  exactly ``M`` payload bits -- the simplification §4 of the paper uses
+  ("the communication cost for a read is twice of that for a write", both
+  built from the same ``CC1`` with one message size), which lets the
+  simulator reproduce Figure 8 exactly.
+
+Routing-tag bits are *not* included here; the network layer adds them per
+link according to the multicast scheme in use (§3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cache.state import StateField
+from repro.errors import ConfigurationError
+from repro.types import ilog2
+
+
+class MsgKind(enum.Enum):
+    """Protocol message kinds (the stats ledger keys).
+
+    The first group is the proposed protocol's vocabulary (§2.2); the
+    ``DIR_*`` group serves the directory-based baseline protocols.
+    """
+
+    LOAD_REQ = "load_request"  # cache -> memory: read/write miss
+    LOAD_FWD = "load_forward"  # memory -> owner: forwarded request
+    LOAD_DIRECT = "load_direct"  # cache -> owner: bypass via OWNER field
+    BLOCK_REPLY = "block_reply"  # block copy delivered to a cache
+    WORD_REPLY = "word_reply"  # single datum (global read mode)
+    OWN_REQ = "ownership_request"  # cache -> memory: want ownership
+    OWN_FWD = "ownership_forward"  # memory -> owner
+    STATE_XFER = "state_transfer"  # old owner -> new owner: state field
+    DATA_STATE_XFER = "data_state_transfer"  # block + state field
+    WRITE_UPDATE = "write_update"  # owner -> copies: distributed write
+    INVALIDATE = "invalidate"  # owner -> copies: mode switch to GR
+    OWNER_UPDATE = "owner_update"  # new owner id -> invalid copies
+    REPLACE_NOTIFY = "replace_notify"  # cache -> memory: replacement
+    PRESENT_CLEAR = "present_clear"  # memory/cache -> owner: clear P bit
+    WRITEBACK = "writeback"  # owner -> memory: modified block
+    XFER_OFFER = "transfer_offer"  # replacing owner -> candidate
+    ACK = "ack"
+    NAK = "nak"
+    MEM_READ = "memory_read"  # uncached baseline: word request
+    MEM_WRITE = "memory_write"  # uncached baseline: word write
+    DIR_INVALIDATE = "dir_invalidate"  # directory -> copies
+    DIR_RECALL = "dir_recall"  # directory -> dirty holder
+    DIR_WRITE_THROUGH = "dir_write_through"  # write-once first write
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class MessageCosts:
+    """Payload sizes (bits) of protocol messages.
+
+    With ``uniform_bits`` set, every message carries exactly that many
+    payload bits regardless of kind -- the §4 model.  Otherwise sizes are
+    composed from the field widths.
+    """
+
+    control_bits: int = 4
+    address_bits: int = 16
+    word_bits: int = 16
+    uniform_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("control_bits", "address_bits", "word_bits"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        if self.uniform_bits is not None and self.uniform_bits < 0:
+            raise ConfigurationError("uniform_bits must be non-negative")
+
+    @staticmethod
+    def uniform(message_bits: int) -> "MessageCosts":
+        """Every message costs exactly ``message_bits`` (the §4 model)."""
+        return MessageCosts(uniform_bits=message_bits)
+
+    # ------------------------------------------------------------------
+
+    def _or_uniform(self, computed: int) -> int:
+        return self.uniform_bits if self.uniform_bits is not None else computed
+
+    def request(self) -> int:
+        """A request carrying an address and a command."""
+        return self._or_uniform(self.control_bits + self.address_bits)
+
+    def word_data(self) -> int:
+        """A reply or update carrying one word (plus address + command)."""
+        return self._or_uniform(
+            self.control_bits + self.address_bits + self.word_bits
+        )
+
+    def block_data(self, block_words: int) -> int:
+        """A whole block of data (plus address + command)."""
+        if block_words <= 0:
+            raise ConfigurationError(
+                f"block_words must be positive, got {block_words}"
+            )
+        return self._or_uniform(
+            self.control_bits
+            + self.address_bits
+            + block_words * self.word_bits
+        )
+
+    def state_field(self, n_caches: int) -> int:
+        """An ownership state-field transfer (plus address + command)."""
+        return self._or_uniform(
+            self.control_bits
+            + self.address_bits
+            + StateField.size_bits(n_caches)
+        )
+
+    def block_and_state(self, block_words: int, n_caches: int) -> int:
+        """Block copy and state field in one message."""
+        if block_words <= 0:
+            raise ConfigurationError(
+                f"block_words must be positive, got {block_words}"
+            )
+        return self._or_uniform(
+            self.control_bits
+            + self.address_bits
+            + block_words * self.word_bits
+            + StateField.size_bits(n_caches)
+        )
+
+    def word_and_owner(self, n_caches: int) -> int:
+        """A global-read reply: the datum plus the owner identification."""
+        return self._or_uniform(
+            self.control_bits
+            + self.address_bits
+            + self.word_bits
+            + ilog2(n_caches)
+        )
+
+    def owner_id(self, n_caches: int) -> int:
+        """A new-owner notification (plus address + command)."""
+        return self._or_uniform(
+            self.control_bits + self.address_bits + ilog2(n_caches)
+        )
+
+    def ack(self) -> int:
+        """A bare acknowledgement."""
+        return self._or_uniform(self.control_bits + self.address_bits)

@@ -1,0 +1,217 @@
+"""Per-block operating-mode selection (§4 threshold, §5 adaptive sketch).
+
+The paper's two modes trade read traffic against write traffic:
+
+* distributed-write costs ``w * CC4(n)`` per reference (eq. 11);
+* global-read costs ``(1 - w) * 2 * CC1`` per reference (eq. 12).
+
+With scheme-1 multicast the curves cross at ``w1 = 2 / (n + 2)`` (§4):
+below the threshold, writes are rare enough that updating ``n`` copies is
+cheaper than making every remote read cross the network twice.
+
+§5 sketches a hardware selector: "one counter counts all memory references
+to a block, and the other all reads to this block in global read mode."
+Two selectors are provided:
+
+* :class:`OracleModePolicy` observes *every* reference (an idealised
+  selector that knows the true write fraction) -- an upper bound on what
+  mode selection can achieve;
+* :class:`AdaptiveModePolicy` observes only what the owner's hardware
+  counters can see, per the §5 sketch.  In global-read mode every
+  reference reaches the owner, so the write fraction is measured exactly;
+  in distributed-write mode remote read hits are invisible, so the policy
+  measures the write fraction over owner-visible references only -- an
+  overestimate of ``w`` that biases the selector toward global read.  The
+  documentation of this bias (and the benchmark comparing the two
+  policies) is an extension beyond the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.cache.state import Mode
+from repro.errors import ConfigurationError
+from repro.types import BlockId, Op
+
+
+def write_fraction_threshold(n_sharers: int) -> float:
+    """The §4 threshold ``w1 = 2 / (n + 2)``.
+
+    Distributed write is the cheaper mode while the write fraction ``w``
+    satisfies ``w <= w1`` (with scheme-1 multicast costs).
+    """
+    if n_sharers < 0:
+        raise ConfigurationError(
+            f"sharer count must be non-negative, got {n_sharers}"
+        )
+    return 2.0 / (n_sharers + 2)
+
+
+@dataclass
+class _BlockCounters:
+    """The two §5 counters plus a write tally for the DW-mode estimate."""
+
+    references: int = 0
+    gr_reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.references = 0
+        self.gr_reads = 0
+        self.writes = 0
+
+
+class ModePolicy(abc.ABC):
+    """Decides the operating mode of each block.
+
+    The protocol calls :meth:`observe` for every reference (flagging
+    whether the owner's hardware could see it) and :meth:`decide` after the
+    reference completes; a non-``None`` return asks the owner to switch the
+    block to that mode.
+    """
+
+    @abc.abstractmethod
+    def observe(
+        self,
+        block: BlockId,
+        op: Op,
+        *,
+        owner_visible: bool,
+        mode: Mode,
+        n_sharers: int,
+    ) -> None:
+        """Record one reference to ``block``."""
+
+    @abc.abstractmethod
+    def decide(
+        self, block: BlockId, mode: Mode, n_sharers: int
+    ) -> Mode | None:
+        """The mode ``block`` should run in, or ``None`` to keep ``mode``."""
+
+
+class StaticModePolicy(ModePolicy):
+    """Pin every block to one mode (the 'software sets the mode' case)."""
+
+    def __init__(self, mode: Mode) -> None:
+        self.mode = mode
+
+    def observe(self, block, op, *, owner_visible, mode, n_sharers):
+        pass
+
+    def decide(self, block, mode, n_sharers):
+        return self.mode if mode is not self.mode else None
+
+
+class PerBlockModePolicy(ModePolicy):
+    """Pin each block to a precomputed mode (the 'set by the software' case).
+
+    §2.1: the operating mode is 'selected so as to minimize communication
+    cost and set by the software'.  The mode map typically comes from
+    :func:`repro.analysis.compiler.recommend_modes`, which plays the role
+    of the §5 compiler: profile the sharing pattern, compare each block's
+    write fraction against its ``w1`` threshold, emit a mode per block.
+    Blocks absent from the map keep their current mode.
+    """
+
+    def __init__(self, modes: dict[BlockId, Mode]) -> None:
+        self.modes = dict(modes)
+
+    def observe(self, block, op, *, owner_visible, mode, n_sharers):
+        pass
+
+    def decide(self, block, mode, n_sharers):
+        desired = self.modes.get(block)
+        if desired is None or desired is mode:
+            return None
+        return desired
+
+
+class _CountingPolicy(ModePolicy):
+    """Shared machinery for the two measuring policies."""
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 2:
+            raise ConfigurationError(
+                f"decision window must be >= 2, got {window}"
+            )
+        self.window = window
+        self._counters: dict[BlockId, _BlockCounters] = {}
+
+    def _counter(self, block: BlockId) -> _BlockCounters:
+        counter = self._counters.get(block)
+        if counter is None:
+            counter = _BlockCounters()
+            self._counters[block] = counter
+        return counter
+
+    def _decide_from(
+        self,
+        counter: _BlockCounters,
+        write_fraction: float,
+        mode: Mode,
+        n_sharers: int,
+    ) -> Mode | None:
+        if counter.references < self.window:
+            return None
+        counter.reset()
+        threshold = write_fraction_threshold(n_sharers)
+        desired = (
+            Mode.DISTRIBUTED_WRITE
+            if write_fraction <= threshold
+            else Mode.GLOBAL_READ
+        )
+        return desired if desired is not mode else None
+
+
+class OracleModePolicy(_CountingPolicy):
+    """Idealised selector: measures the true write fraction of each block."""
+
+    def observe(self, block, op, *, owner_visible, mode, n_sharers):
+        counter = self._counter(block)
+        counter.references += 1
+        if op is Op.WRITE:
+            counter.writes += 1
+        elif mode is Mode.GLOBAL_READ:
+            counter.gr_reads += 1
+
+    def decide(self, block, mode, n_sharers):
+        counter = self._counter(block)
+        if counter.references == 0:
+            return None
+        write_fraction = counter.writes / counter.references
+        return self._decide_from(counter, write_fraction, mode, n_sharers)
+
+
+class AdaptiveModePolicy(_CountingPolicy):
+    """The §5 owner-visible selector.
+
+    Counts only references the owner's hardware observes: its own
+    references, every write (writes always execute at the owner), and --
+    in global-read mode -- every remote read.  Remote read hits in
+    distributed-write mode are invisible, so the measured write fraction in
+    DW mode overestimates ``w`` and the policy leans toward global read.
+    """
+
+    def observe(self, block, op, *, owner_visible, mode, n_sharers):
+        if not owner_visible:
+            return
+        counter = self._counter(block)
+        counter.references += 1
+        if op is Op.WRITE:
+            counter.writes += 1
+        elif mode is Mode.GLOBAL_READ:
+            counter.gr_reads += 1
+
+    def decide(self, block, mode, n_sharers):
+        counter = self._counter(block)
+        if counter.references == 0:
+            return None
+        if mode is Mode.GLOBAL_READ:
+            # Every reference was visible: w = 1 - (GR reads / references).
+            write_fraction = 1.0 - counter.gr_reads / counter.references
+        else:
+            # Only owner-local reads were visible: an overestimate of w.
+            write_fraction = counter.writes / counter.references
+        return self._decide_from(counter, write_fraction, mode, n_sharers)

@@ -1,0 +1,685 @@
+"""The paper's two-mode cache consistency protocol (§2).
+
+Ownership-based, with the state information *distributed to the caches*:
+the owner of a block holds the present-flag vector and the mode (DW) bit;
+the memory module's block store only remembers who the owner is.  Every
+behaviour of §2.2 is implemented:
+
+1. read hit -- local;
+2. read miss -- via the memory module (copy nonexistent) or directly via
+   the OWNER field (invalid placeholder), served with a block copy in
+   distributed-write mode or a single datum in global-read mode;
+3. write hit -- local for exclusive/global-read owners, multicast update
+   for non-exclusive distributed-write owners, ownership acquisition for
+   UnOwned copies;
+4. write miss -- load-with-ownership via the memory module;
+5. block replacement -- write-back / block-store exclusion for exclusive
+   owners, ownership hand-off for non-exclusive owners, present-flag
+   clearing for UnOwned copies and placeholders;
+6./7. mode switching (``set_mode``), including the invalidation multicast
+   when leaving distributed-write mode.
+
+Deviations from the paper's letter, all in corners the paper leaves
+unspecified, are documented inline:
+
+* modified exclusive owners fold the block-store exclusion into the
+  write-back message (one message instead of two);
+* a replacing non-exclusive owner whose every hand-off candidate NAKs
+  falls back to the exclusive replacement path;
+* switching a block from global-read to distributed-write mode resets the
+  present vector to the owner alone, since the placeholders it tracked
+  hold no copies.  Their stale OWNER fields are repaired lazily: a direct
+  load arriving at a non-owner follows that cache's own OWNER field
+  (transfer history forms a pointer chain that always leads to the current
+  owner) and falls back to the memory module at a dead end.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import Cache
+from repro.cache.entry import CacheEntry
+from repro.cache.state import CacheState, Mode, StateField
+from repro.errors import ProtocolError
+from repro.protocol.base import CoherenceProtocol
+from repro.protocol.invariants import check_stenstrom
+from repro.protocol.messages import MsgKind
+from repro.protocol.modes import ModePolicy
+from repro.sim import stats as ev
+from repro.sim.system import System
+from repro.types import Address, BlockId, NodeId, Op
+
+
+class StenstromProtocol(CoherenceProtocol):
+    """The two-mode protocol over a :class:`~repro.sim.system.System`.
+
+    Parameters
+    ----------
+    system:
+        The machine to drive.
+    default_mode:
+        Mode a block enters on first load.  The paper loads blocks in
+        global-read mode and lets software switch them; pinning the default
+        to distributed-write turns the protocol into the pure
+        distributed-write comparison point of §4.
+    mode_policy:
+        Optional :class:`~repro.protocol.modes.ModePolicy` consulted after
+        every reference; when it asks for a switch the owner executes
+        ``set_mode`` (§5's hardware selector).
+    """
+
+    name = "stenstrom-two-mode"
+
+    def __init__(
+        self,
+        system: System,
+        *,
+        default_mode: Mode = Mode.GLOBAL_READ,
+        mode_policy: ModePolicy | None = None,
+    ) -> None:
+        super().__init__(system)
+        self.default_mode = default_mode
+        self.mode_policy = mode_policy
+
+    # ------------------------------------------------------------------
+    # Small accessors
+    # ------------------------------------------------------------------
+
+    def _cache(self, node: NodeId) -> Cache:
+        return self.system.caches[node]
+
+    def _block_words(self) -> int:
+        return self.system.config.block_size_words
+
+    def _owner_of(self, block: BlockId) -> NodeId | None:
+        return self.system.memory_for(block).block_store.owner_of(block)
+
+    def _classify_miss(self, block: BlockId) -> None:
+        """Cold (no cached copy anywhere) vs coherence miss accounting."""
+        self.stats.count(
+            ev.COLD_MISSES
+            if self._owner_of(block) is None
+            else ev.COHERENCE_MISSES
+        )
+
+    def _owner_entry(self, block: BlockId) -> tuple[NodeId, CacheEntry]:
+        """The current owner and its entry; raises if bookkeeping broke."""
+        owner = self._owner_of(block)
+        if owner is None:
+            raise ProtocolError(f"block {block} has no recorded owner")
+        entry = self._cache(owner).find(block)
+        if entry is None or not entry.state_field.owned:
+            raise ProtocolError(
+                f"block store says cache {owner} owns block {block}, "
+                f"but it does not"
+            )
+        return owner, entry
+
+    # ------------------------------------------------------------------
+    # Processor interface
+    # ------------------------------------------------------------------
+
+    def read(self, node: NodeId, address: Address) -> int:
+        """§2.2 items 1 and 2."""
+        self.system.check_address(address)
+        self.stats.count(ev.READS)
+        block, offset = address
+        entry = self._cache(node).find(block)
+        if entry is not None and entry.state_field.valid:
+            self.stats.count(ev.READ_HITS)
+            self._cache(node).touch(block)
+            value = entry.read_word(offset)
+        else:
+            self.stats.count(ev.READ_MISSES)
+            self._classify_miss(block)
+            if entry is not None:
+                value = self._read_miss_direct(node, address, entry)
+            else:
+                value = self._read_miss_via_memory(node, address)
+        self._consult_mode_policy(node, block, Op.READ)
+        return value
+
+    def write(self, node: NodeId, address: Address, value: int) -> None:
+        """§2.2 items 3 and 4."""
+        self.system.check_address(address)
+        self.stats.count(ev.WRITES)
+        block, offset = address
+        entry = self._cache(node).find(block)
+        if entry is not None and entry.state_field.valid:
+            self.stats.count(ev.WRITE_HITS)
+            self._cache(node).touch(block)
+            if not entry.state_field.owned:
+                # Write hit on an UnOwned copy: acquire ownership (3d).
+                self._acquire_ownership(node, block)
+        else:
+            self.stats.count(ev.WRITE_MISSES)
+            self._classify_miss(block)
+            entry = self._miss_acquire_ownership(node, block)
+        self._perform_owner_write(node, entry, offset, value)
+        self._consult_mode_policy(node, block, Op.WRITE)
+
+    # ------------------------------------------------------------------
+    # Mode switching (items 6 and 7)
+    # ------------------------------------------------------------------
+
+    def set_mode(self, node: NodeId, block: BlockId, mode: Mode) -> None:
+        """Switch ``block`` to ``mode``, acquiring ownership first."""
+        entry = self._ensure_owner(node, block)
+        field = entry.state_field
+        if mode is Mode.DISTRIBUTED_WRITE and not field.distributed_write:
+            self.stats.count(ev.MODE_SWITCHES)
+            # The present vector tracked invalid placeholders; they hold no
+            # copies, so in DW mode they must leave the vector (see module
+            # docstring).  They re-register on their next read miss.
+            field.present = {node}
+            field.distributed_write = True
+        elif mode is Mode.GLOBAL_READ and field.distributed_write:
+            self.stats.count(ev.MODE_SWITCHES)
+            copies = field.others(node)
+            if copies:
+                self._multicast(
+                    MsgKind.INVALIDATE,
+                    node,
+                    copies,
+                    self.system.costs.request(),
+                )
+                self.stats.count(ev.INVALIDATIONS, len(copies))
+                for other in copies:
+                    other_entry = self._cache(other).find(block)
+                    if other_entry is None:
+                        raise ProtocolError(
+                            f"present vector of block {block} names cache "
+                            f"{other}, which has no entry"
+                        )
+                    other_entry.state_field.valid = False
+                    other_entry.state_field.owner = node
+            # The vector now records exactly the invalid copies: the
+            # global-read meaning of the present flags.
+            field.distributed_write = False
+
+    def mode_of(self, block: BlockId) -> Mode | None:
+        """Current operating mode of ``block`` (``None`` if uncached)."""
+        owner = self._owner_of(block)
+        if owner is None:
+            return None
+        entry = self._cache(owner).find(block)
+        if entry is None:
+            return None
+        return entry.state_field.mode
+
+    # ------------------------------------------------------------------
+    # Read misses
+    # ------------------------------------------------------------------
+
+    def _read_miss_via_memory(self, node: NodeId, address: Address) -> int:
+        """Read miss, copy nonexistent: request the home module (2a/2b)."""
+        block, offset = address
+        home = self.home(block)
+        costs = self.system.costs
+        self._send(MsgKind.LOAD_REQ, node, home, costs.request())
+        owner = self._owner_of(block)
+        if owner is None:
+            # 2(a): no cached copy anywhere; load from memory and own it
+            # exclusively in the default mode.
+            memory = self.system.memory_for(block)
+            self._send(
+                MsgKind.BLOCK_REPLY,
+                home,
+                node,
+                costs.block_data(self._block_words()),
+            )
+            entry = self._allocate(node, block)
+            entry.data = memory.read_block(block)
+            entry.state_field = StateField(
+                valid=True,
+                owned=True,
+                modified=False,
+                distributed_write=(
+                    self.default_mode is Mode.DISTRIBUTED_WRITE
+                ),
+                present={node},
+                owner=node,
+            )
+            memory.block_store.set_owner(block, node)
+            return entry.read_word(offset)
+        # 2(b): forward to the owner, which serves per its mode.
+        self._send(MsgKind.LOAD_FWD, home, owner, costs.request())
+        return self._serve_read_at_owner(node, address, owner)
+
+    def _read_miss_direct(
+        self, node: NodeId, address: Address, placeholder: CacheEntry
+    ) -> int:
+        """Read miss on an invalid placeholder: bypass via the OWNER field.
+
+        The pointed-at cache may have lost ownership since the placeholder
+        was written (possible only across mode switches); OWNER fields of
+        past owners form a chain toward the current owner, so the request
+        is forwarded along it, falling back to the home module at a dead
+        end or after touring ``N`` caches.
+        """
+        block, _ = address
+        costs = self.system.costs
+        target = placeholder.state_field.owner
+        if target is None:
+            raise ProtocolError(
+                f"invalid placeholder for block {block} at cache {node} "
+                f"has no OWNER field"
+            )
+        self._send(MsgKind.LOAD_DIRECT, node, target, costs.request())
+        visited: set[NodeId] = set()
+        while True:
+            if target in visited:
+                raise ProtocolError(
+                    f"OWNER-field cycle while locating block {block}: "
+                    f"{sorted(visited)}"
+                )
+            visited.add(target)
+            entry = self._cache(target).find(block)
+            if (
+                entry is not None
+                and entry.state_field.valid
+                and entry.state_field.owned
+            ):
+                return self._serve_read_at_owner(node, address, target)
+            next_hop = (
+                entry.state_field.owner if entry is not None else None
+            )
+            if next_hop is None or next_hop in visited:
+                # Dead end: answer with a NAK and retry through memory.
+                self._send(MsgKind.NAK, target, node, costs.ack())
+                return self._read_miss_via_memory(node, address)
+            self._send(MsgKind.LOAD_FWD, target, next_hop, costs.request())
+            target = next_hop
+
+    def _serve_read_at_owner(
+        self, node: NodeId, address: Address, owner: NodeId
+    ) -> int:
+        """Owner-side service of a remote read miss (2b i/ii)."""
+        block, offset = address
+        costs = self.system.costs
+        owner_entry = self._cache(owner).find(block)
+        if owner_entry is None or not owner_entry.state_field.owned:
+            raise ProtocolError(
+                f"cache {owner} asked to serve block {block} it does not own"
+            )
+        owner_field = owner_entry.state_field
+        owner_field.present.add(node)
+        if owner_field.distributed_write:
+            # 2(b)i: ship a whole copy; requester becomes UnOwned.
+            self._send(
+                MsgKind.BLOCK_REPLY,
+                owner,
+                node,
+                costs.block_data(self._block_words()),
+            )
+            entry = self._allocate(node, block)
+            entry.data = list(owner_entry.data)
+            entry.state_field = StateField(
+                valid=True, owned=False, owner=owner
+            )
+            return entry.read_word(offset)
+        # 2(b)ii: global read -- only the datum and the owner id travel;
+        # the requester keeps (or creates) an invalid placeholder.
+        self.stats.count(ev.GLOBAL_READS)
+        self._send(
+            MsgKind.WORD_REPLY,
+            owner,
+            node,
+            costs.word_and_owner(self.system.n_nodes),
+        )
+        entry = self._allocate(node, block)
+        entry.state_field = StateField(valid=False, owner=owner)
+        return owner_entry.read_word(offset)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def _perform_owner_write(
+        self, node: NodeId, entry: CacheEntry, offset: int, value: int
+    ) -> None:
+        """Write at an owning cache (3a/3b/3c), distributing if needed."""
+        field = entry.state_field
+        if not (field.valid and field.owned):
+            raise ProtocolError(
+                f"cache {node} performing an owner write without ownership"
+            )
+        entry.write_word(offset, value)
+        field.modified = True
+        copies = field.others(node)
+        if field.distributed_write and copies:
+            # 3(b): distribute the write to every cache with a copy.
+            self._multicast(
+                MsgKind.WRITE_UPDATE,
+                node,
+                copies,
+                self.system.costs.word_data(),
+            )
+            self.stats.count(ev.WRITE_UPDATES)
+            block = entry.tag
+            assert block is not None
+            for other in copies:
+                other_entry = self._cache(other).find(block)
+                if other_entry is None or not other_entry.state_field.valid:
+                    raise ProtocolError(
+                        f"present vector of block {block} names cache "
+                        f"{other}, which holds no valid copy"
+                    )
+                other_entry.write_word(offset, value)
+
+    def _acquire_ownership(self, node: NodeId, block: BlockId) -> None:
+        """Ownership request from a cache holding a valid UnOwned copy (3d).
+
+        Also reused for the hand-off in replacement (5b), where in
+        global-read mode the requester may hold only an invalid
+        placeholder; the data rides along with the state field then.
+        """
+        home = self.home(block)
+        costs = self.system.costs
+        self._send(MsgKind.OWN_REQ, node, home, costs.request())
+        old_owner, old_entry = self._owner_entry(block)
+        if old_owner == node:
+            raise ProtocolError(
+                f"cache {node} requested ownership of block {block} "
+                f"it already owns"
+            )
+        self._send(MsgKind.OWN_FWD, home, old_owner, costs.request())
+        self.system.memory_for(block).block_store.set_owner(block, node)
+        self.stats.count(ev.OWNERSHIP_TRANSFERS)
+
+        old_field = old_entry.state_field
+        old_field.present.add(node)
+        transferred = old_field.copy()
+        entry = self._cache(node).find(block)
+        if entry is None:
+            raise ProtocolError(
+                f"cache {node} acquiring ownership of block {block} "
+                f"without an entry for it"
+            )
+        n_nodes = self.system.n_nodes
+        if old_field.distributed_write:
+            # 3(d)i: only the state field moves; the requester's copy is
+            # already current (it received every distributed write).
+            self._send(
+                MsgKind.STATE_XFER,
+                old_owner,
+                node,
+                costs.state_field(n_nodes),
+            )
+            old_entry.state_field = StateField(
+                valid=True, owned=False, owner=node
+            )
+        else:
+            # 3(d)ii: copy + state field move; the old owner repoints the
+            # invalid placeholders at the new owner and invalidates itself.
+            self._send(
+                MsgKind.DATA_STATE_XFER,
+                old_owner,
+                node,
+                costs.block_and_state(self._block_words(), n_nodes),
+            )
+            entry.data = list(old_entry.data)
+            placeholders = transferred.present - {old_owner, node}
+            if placeholders:
+                self._multicast(
+                    MsgKind.OWNER_UPDATE,
+                    old_owner,
+                    placeholders,
+                    costs.owner_id(n_nodes),
+                )
+                for other in placeholders:
+                    other_entry = self._cache(other).find(block)
+                    if other_entry is not None:
+                        other_entry.state_field.owner = node
+            old_entry.state_field = StateField(valid=False, owner=node)
+        entry.state_field = StateField(
+            valid=True,
+            owned=True,
+            modified=transferred.modified,
+            distributed_write=transferred.distributed_write,
+            present=set(transferred.present),
+            owner=node,
+        )
+
+    def _miss_acquire_ownership(
+        self, node: NodeId, block: BlockId
+    ) -> CacheEntry:
+        """Write miss: load with ownership (4a/4b)."""
+        home = self.home(block)
+        costs = self.system.costs
+        self._send(MsgKind.OWN_REQ, node, home, costs.request())
+        old_owner = self._owner_of(block)
+        memory = self.system.memory_for(block)
+        n_nodes = self.system.n_nodes
+        if old_owner is None:
+            # 4(a): no cached copy; load from memory, own exclusively.
+            self._send(
+                MsgKind.BLOCK_REPLY,
+                home,
+                node,
+                costs.block_data(self._block_words()),
+            )
+            entry = self._allocate(node, block)
+            entry.data = memory.read_block(block)
+            entry.state_field = StateField(
+                valid=True,
+                owned=True,
+                modified=False,
+                distributed_write=(
+                    self.default_mode is Mode.DISTRIBUTED_WRITE
+                ),
+                present={node},
+                owner=node,
+            )
+            memory.block_store.set_owner(block, node)
+            return entry
+        if old_owner == node:
+            raise ProtocolError(
+                f"cache {node} write-missed block {block} it owns"
+            )
+        # 4(b): forward to the old owner; copy + state field move.
+        self._send(MsgKind.OWN_FWD, home, old_owner, costs.request())
+        memory.block_store.set_owner(block, node)
+        self.stats.count(ev.OWNERSHIP_TRANSFERS)
+        old_entry = self._cache(old_owner).find(block)
+        if old_entry is None or not old_entry.state_field.owned:
+            raise ProtocolError(
+                f"block store names cache {old_owner} as owner of block "
+                f"{block}, but it is not"
+            )
+        old_field = old_entry.state_field
+        old_field.present.add(node)
+        transferred = old_field.copy()
+        self._send(
+            MsgKind.DATA_STATE_XFER,
+            old_owner,
+            node,
+            costs.block_and_state(self._block_words(), n_nodes),
+        )
+        data = list(old_entry.data)
+        if old_field.distributed_write:
+            old_entry.state_field = StateField(
+                valid=True, owned=False, owner=node
+            )
+        else:
+            placeholders = transferred.present - {old_owner, node}
+            if placeholders:
+                self._multicast(
+                    MsgKind.OWNER_UPDATE,
+                    old_owner,
+                    placeholders,
+                    costs.owner_id(n_nodes),
+                )
+                for other in placeholders:
+                    other_entry = self._cache(other).find(block)
+                    if other_entry is not None:
+                        other_entry.state_field.owner = node
+            old_entry.state_field = StateField(valid=False, owner=node)
+        entry = self._allocate(node, block)
+        entry.data = data
+        entry.state_field = StateField(
+            valid=True,
+            owned=True,
+            modified=transferred.modified,
+            distributed_write=transferred.distributed_write,
+            present=set(transferred.present),
+            owner=node,
+        )
+        return entry
+
+    def _ensure_owner(self, node: NodeId, block: BlockId) -> CacheEntry:
+        """Make ``node`` the owner of ``block`` (for ``set_mode``)."""
+        entry = self._cache(node).find(block)
+        if entry is not None and entry.state_field.valid:
+            if not entry.state_field.owned:
+                self._acquire_ownership(node, block)
+            return entry
+        return self._miss_acquire_ownership(node, block)
+
+    # ------------------------------------------------------------------
+    # Replacement (item 5)
+    # ------------------------------------------------------------------
+
+    def _allocate(self, node: NodeId, block: BlockId) -> CacheEntry:
+        """Two-phase allocation: replace the victim, then claim the slot."""
+        cache = self._cache(node)
+        slot = cache.slot_for(block)
+        if slot.needs_eviction(block):
+            self._replace_entry(node, slot.entry)
+        return cache.install(slot, block)
+
+    def evict(self, node: NodeId, block: BlockId) -> None:
+        """Explicitly replace ``block`` at ``node`` (protocol actions + drop).
+
+        Not triggered by the reference stream (that happens through
+        :meth:`_allocate`); exposed for experiments that force evictions.
+        """
+        entry = self._cache(node).find(block)
+        if entry is None:
+            raise ProtocolError(
+                f"cache {node} has no entry for block {block} to evict"
+            )
+        self._replace_entry(node, entry)
+        self._cache(node).drop(block)
+
+    def _replace_entry(self, node: NodeId, entry: CacheEntry) -> None:
+        """§2.2 item 5, dispatched on the victim's state."""
+        block = entry.tag
+        assert block is not None
+        self.stats.count(ev.REPLACEMENTS)
+        state = entry.state(node)
+        if state in (CacheState.INVALID, CacheState.UNOWNED):
+            self._replace_unowned(node, block)
+        elif state.is_exclusive:
+            self._replace_exclusive_owner(node, entry)
+        else:
+            self._replace_nonexclusive_owner(node, entry)
+        # The protocol actions are complete; whatever remains in the slot
+        # is dead state awaiting overwrite (or drop).
+        entry.state_field = StateField()
+
+    def _replace_unowned(self, node: NodeId, block: BlockId) -> None:
+        """5(c): tell the owner, via the home module, to clear our P flag."""
+        home = self.home(block)
+        costs = self.system.costs
+        self._send(MsgKind.REPLACE_NOTIFY, node, home, costs.request())
+        owner = self._owner_of(block)
+        if owner is None:
+            # The placeholder outlived every copy (possible after mode
+            # switches); nothing to clear.
+            return
+        self._send(MsgKind.PRESENT_CLEAR, home, owner, costs.request())
+        owner_entry = self._cache(owner).find(block)
+        if owner_entry is not None:
+            owner_entry.state_field.present.discard(node)
+
+    def _replace_exclusive_owner(
+        self, node: NodeId, entry: CacheEntry
+    ) -> None:
+        """5(a): exclude from the block store; write back if modified.
+
+        A modified block's write-back message carries the exclusion, so
+        only one message is sent (the paper charges a message plus the
+        write-back; folding them is noted in the module docstring).
+        """
+        block = entry.tag
+        assert block is not None
+        home = self.home(block)
+        costs = self.system.costs
+        memory = self.system.memory_for(block)
+        if entry.state_field.modified:
+            self._send(
+                MsgKind.WRITEBACK,
+                node,
+                home,
+                costs.block_data(self._block_words()),
+            )
+            memory.write_block(block, entry.data)
+            self.stats.count(ev.WRITEBACKS)
+        else:
+            self._send(MsgKind.REPLACE_NOTIFY, node, home, costs.request())
+        memory.block_store.clear(block)
+
+    def _replace_nonexclusive_owner(
+        self, node: NodeId, entry: CacheEntry
+    ) -> None:
+        """5(b): hand ownership to a cache named in the present vector."""
+        block = entry.tag
+        assert block is not None
+        costs = self.system.costs
+        for candidate in sorted(entry.state_field.others(node)):
+            self._send(MsgKind.XFER_OFFER, node, candidate, costs.request())
+            candidate_entry = self._cache(candidate).find(block)
+            if candidate_entry is None:
+                # Candidate replaced its copy in the meantime: NAK.
+                self._send(MsgKind.NAK, candidate, node, costs.ack())
+                continue
+            self._send(MsgKind.ACK, candidate, node, costs.ack())
+            # "It requests the ownership according to the protocol": the
+            # candidate acquires ownership through the home module, after
+            # which our entry is UnOwned (DW) or an invalid placeholder
+            # (GR) and retires through the 5(c) path.
+            self._acquire_ownership(candidate, block)
+            self._replace_unowned(node, block)
+            return
+        # Every candidate NAKed: no other copy actually exists, so retire
+        # as an exclusive owner (fallback documented in module docstring).
+        self._replace_exclusive_owner(node, entry)
+
+    # ------------------------------------------------------------------
+    # Mode policy hook
+    # ------------------------------------------------------------------
+
+    def _consult_mode_policy(
+        self, node: NodeId, block: BlockId, op: Op
+    ) -> None:
+        if self.mode_policy is None:
+            return
+        owner = self._owner_of(block)
+        if owner is None:
+            return
+        owner_entry = self._cache(owner).find(block)
+        if owner_entry is None:
+            return
+        mode = owner_entry.state_field.mode
+        n_sharers = len(owner_entry.state_field.present)
+        owner_visible = (
+            node == owner or op is Op.WRITE or mode is Mode.GLOBAL_READ
+        )
+        self.mode_policy.observe(
+            block,
+            op,
+            owner_visible=owner_visible,
+            mode=mode,
+            n_sharers=n_sharers,
+        )
+        desired = self.mode_policy.decide(block, mode, n_sharers)
+        if desired is not None and desired is not mode:
+            self.set_mode(owner, block, desired)
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Structural coherence invariants (see :mod:`..invariants`)."""
+        check_stenstrom(self)

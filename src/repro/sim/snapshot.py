@@ -1,0 +1,92 @@
+"""Human-readable snapshots of the machine's coherence state.
+
+Figure 2 of the paper is exactly this: one block's state field at every
+cache plus the block store entry, drawn out.  :func:`block_snapshot`
+produces that picture for any live system, and :func:`system_snapshot`
+for every block in play -- the first thing to reach for when a protocol
+trace does something surprising.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.system import System
+from repro.types import BlockId, NodeId
+
+
+@dataclass(frozen=True)
+class BlockSnapshot:
+    """One block's full coherence picture."""
+
+    block: BlockId
+    recorded_owner: NodeId | None
+    rows: tuple[tuple[NodeId, str, str, str, str, str], ...]
+
+    def render(self) -> str:
+        # Imported lazily: repro.sim must not depend on the analysis
+        # layer at import time (it sits below it).
+        from repro.analysis.report import render_table
+
+        owner_text = (
+            f"owner={self.recorded_owner}"
+            if self.recorded_owner is not None
+            else "uncached"
+        )
+        return render_table(
+            ("cache", "state", "mode", "present", "OWNER", "data"),
+            self.rows,
+            title=f"block {self.block} (block store: {owner_text})",
+        )
+
+
+def block_snapshot(system: System, block: BlockId) -> BlockSnapshot:
+    """The Figure 2 picture for ``block``: every cache's view of it."""
+    rows = []
+    for cache in system.caches:
+        entry = cache.find(block)
+        if entry is None:
+            continue
+        field = entry.state_field
+        rows.append(
+            (
+                cache.node_id,
+                str(entry.state(cache.node_id)),
+                str(field.mode) if field.owned else "-",
+                (
+                    ",".join(str(n) for n in sorted(field.present))
+                    if field.owned
+                    else "-"
+                ),
+                str(field.owner) if field.owner is not None else "-",
+                str(entry.data) if field.valid else "-",
+            )
+        )
+    return BlockSnapshot(
+        block=block,
+        recorded_owner=system.memory_for(block).block_store.owner_of(
+            block
+        ),
+        rows=tuple(rows),
+    )
+
+
+def blocks_in_play(system: System) -> list[BlockId]:
+    """Every block any cache or block store currently knows about."""
+    blocks: set[BlockId] = set()
+    for cache in system.caches:
+        blocks.update(cache.resident_blocks())
+    for memory in system.memories:
+        blocks.update(memory.block_store.valid_blocks())
+    return sorted(blocks)
+
+
+def system_snapshot(system: System) -> str:
+    """Snapshots of every block in play, concatenated."""
+    parts = [
+        block_snapshot(system, block).render()
+        for block in blocks_in_play(system)
+    ]
+    if not parts:
+        return "(no blocks cached)"
+    return "\n\n".join(parts)

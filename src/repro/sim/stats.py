@@ -1,0 +1,103 @@
+"""Event and traffic statistics for protocol simulations.
+
+Two ledgers are kept:
+
+* *events* -- protocol-level occurrences (hits, misses, ownership
+  transfers, invalidations, ...), counted by name;
+* *traffic* -- network cost per message kind, in bits (the eq. 1 metric)
+  and in message count.
+
+Event names are module constants rather than bare strings at call sites so
+a typo fails loudly in tests (``Stats.count`` accepts any name, but the
+protocols only use the constants below).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+# ---------------------------------------------------------------------------
+# Event names shared by all protocols
+# ---------------------------------------------------------------------------
+
+READS = "reads"
+WRITES = "writes"
+READ_HITS = "read_hits"
+READ_MISSES = "read_misses"
+WRITE_HITS = "write_hits"
+WRITE_MISSES = "write_misses"
+COLD_MISSES = "cold_misses"  # no cached copy existed anywhere
+COHERENCE_MISSES = "coherence_misses"  # copies existed at other caches
+REPLACEMENTS = "replacements"
+WRITEBACKS = "writebacks"
+INVALIDATIONS = "invalidations"
+WRITE_UPDATES = "write_updates"
+OWNERSHIP_TRANSFERS = "ownership_transfers"
+MODE_SWITCHES = "mode_switches"
+GLOBAL_READS = "global_reads"  # word reads served remotely by an owner
+REMOTE_WORD_WRITES = "remote_word_writes"  # uncached baseline writes
+
+
+class Stats:
+    """Counters for one protocol run."""
+
+    def __init__(self) -> None:
+        self.events: Counter[str] = Counter()
+        self.traffic_bits: Counter[str] = Counter()
+        self.traffic_messages: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+
+    def count(self, event: str, increment: int = 1) -> None:
+        """Record ``increment`` occurrences of ``event``."""
+        self.events[event] += increment
+
+    def record_traffic(
+        self, kind: str, bits: int, messages: int = 1
+    ) -> None:
+        """Record network traffic of one protocol message kind."""
+        self.traffic_bits[kind] += bits
+        self.traffic_messages[kind] += messages
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        """Total communication cost attributed to the protocol (eq. 1)."""
+        return sum(self.traffic_bits.values())
+
+    @property
+    def total_messages(self) -> int:
+        """Total protocol messages sent (multicasts count once)."""
+        return sum(self.traffic_messages.values())
+
+    @property
+    def references(self) -> int:
+        """Processor references executed."""
+        return self.events[READS] + self.events[WRITES]
+
+    @property
+    def cost_per_reference(self) -> float:
+        """Mean communication cost per memory reference (the §4 metric)."""
+        refs = self.references
+        return self.total_bits / refs if refs else 0.0
+
+    def merge(self, other: "Stats") -> None:
+        """Fold another run's counters into this one."""
+        self.events.update(other.events)
+        self.traffic_bits.update(other.traffic_bits)
+        self.traffic_messages.update(other.traffic_messages)
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Plain-dict snapshot (for reports and JSON dumps)."""
+        return {
+            "events": dict(self.events),
+            "traffic_bits": dict(self.traffic_bits),
+            "traffic_messages": dict(self.traffic_messages),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Stats(references={self.references}, "
+            f"total_bits={self.total_bits})"
+        )

@@ -1,0 +1,133 @@
+"""The simulated multiprocessor: processors, caches, memories, network.
+
+One :class:`System` is the Figure 1 machine: ``N`` processors with private
+caches and ``N`` interleaved memory modules on the two sides of an
+``N x N`` omega network.  The system owns all components and their traffic
+counters; a coherence protocol (see :mod:`repro.protocol`) drives them.
+
+Construction is deliberately all-in-one-config so experiments are
+reproducible from a single frozen value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.cache.cache import Cache
+from repro.errors import ConfigurationError
+from repro.memory.module import MemoryModule
+from repro.network.multicast import Multicaster, MulticastScheme
+from repro.network.topology import OmegaNetwork
+from repro.protocol.messages import MessageCosts
+from repro.types import Address, BlockId, NodeId, is_power_of_two
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to build a :class:`System`.
+
+    Parameters mirror the paper's: ``n_nodes`` is the cache count ``N``
+    (a power of two, >= 2); ``block_size_words`` the block size; the cache
+    geometry and replacement policy shape the replacement traffic of §2.2
+    item 5; ``costs`` sets message payload sizes; ``multicast_scheme``
+    selects among the §3 schemes for every one-to-many protocol action.
+    """
+
+    n_nodes: int
+    block_size_words: int = 4
+    cache_entries: int = 16
+    associativity: int | None = None
+    replacement: str = "lru"
+    costs: MessageCosts = field(default_factory=MessageCosts)
+    multicast_scheme: MulticastScheme = MulticastScheme.COMBINED
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 2 or not is_power_of_two(self.n_nodes):
+            raise ConfigurationError(
+                f"n_nodes must be a power of two >= 2, got {self.n_nodes}"
+            )
+        if self.block_size_words <= 0:
+            raise ConfigurationError(
+                f"block_size_words must be positive, "
+                f"got {self.block_size_words}"
+            )
+        if self.cache_entries <= 0:
+            raise ConfigurationError(
+                f"cache_entries must be positive, got {self.cache_entries}"
+            )
+
+    def with_scheme(self, scheme: MulticastScheme) -> "SystemConfig":
+        """This config with a different multicast scheme (for ablations)."""
+        return replace(self, multicast_scheme=scheme)
+
+
+class System:
+    """A fully built multiprocessor ready for a protocol to drive.
+
+    ``multicaster_factory`` optionally replaces the default
+    :class:`~repro.network.multicast.Multicaster` with any object offering
+    the same ``send`` / ``send_one`` interface built over this system's
+    network -- e.g. the §5 register-driven selector
+    (:class:`~repro.network.selector.RegisterMulticaster`).
+    """
+
+    def __init__(self, config: SystemConfig, *, multicaster_factory=None) -> None:
+        self.config = config
+        self.network = OmegaNetwork(config.n_nodes)
+        if multicaster_factory is None:
+            self.multicaster = Multicaster(
+                self.network, config.multicast_scheme
+            )
+        else:
+            self.multicaster = multicaster_factory(self.network)
+        self.caches: list[Cache] = [
+            Cache(
+                node,
+                config.cache_entries,
+                config.block_size_words,
+                associativity=config.associativity,
+                policy=config.replacement,
+                seed=config.seed + node,
+            )
+            for node in range(config.n_nodes)
+        ]
+        self.memories: list[MemoryModule] = [
+            MemoryModule(node, config.n_nodes, config.block_size_words)
+            for node in range(config.n_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    @property
+    def costs(self) -> MessageCosts:
+        return self.config.costs
+
+    def home(self, block: BlockId) -> NodeId:
+        """The memory module (and its port) block ``block`` is homed at."""
+        return block % self.config.n_nodes
+
+    def memory_for(self, block: BlockId) -> MemoryModule:
+        """The home module of ``block``."""
+        return self.memories[self.home(block)]
+
+    def check_address(self, address: Address) -> None:
+        """Validate an address against the block geometry."""
+        if address.block < 0:
+            raise ConfigurationError(f"negative block id {address.block}")
+        if not 0 <= address.offset < self.config.block_size_words:
+            raise ConfigurationError(
+                f"offset {address.offset} outside block of "
+                f"{self.config.block_size_words} words"
+            )
+
+    def reset_traffic(self) -> None:
+        """Zero the network counters (protocol stats are separate)."""
+        self.network.reset_traffic()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"System({self.config!r})"

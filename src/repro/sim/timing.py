@@ -1,0 +1,157 @@
+"""Store-and-forward timing: from link loads to completion times.
+
+The paper's metric (eq. 1) is traffic; this extension asks the follow-up
+question its §1 motivation implies: *how long does the delivery take on a
+blocking fabric?*  The model is deliberately simple and explicit:
+
+* a link moves one bit per cycle (``bandwidth`` scales this) and serves
+  one transfer at a time, first-come-first-served;
+* store-and-forward: a transfer may start on a link only after its
+  *parent* transfer (previous hop, or the branch it split from -- the
+  ``parent`` field of :class:`~repro.network.link.LinkLoad`) has fully
+  arrived;
+* transfers of independent messages compete for links.
+
+Under this model scheme 1's repeated unicasts serialise on the source's
+first link (``n`` block transfers back to back) while scheme 2's tree
+crosses it once -- the latency counterpart of the eq. 2 / eq. 3 traffic
+comparison, measured by :func:`makespan`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.link import LinkLoad
+
+
+@dataclass(frozen=True)
+class ScheduledTransfer:
+    """One link load with its computed start and finish cycles."""
+
+    load: LinkLoad
+    start: int
+    finish: int
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Outcome of scheduling a batch of operations."""
+
+    transfers: tuple[ScheduledTransfer, ...]
+    makespan: int
+
+    def busiest_link_busy_time(self) -> int:
+        """Cycles the most-occupied link spent transferring."""
+        busy: dict[tuple[int, int], int] = {}
+        for transfer in self.transfers:
+            key = transfer.load.key
+            busy[key] = busy.get(key, 0) + (
+                transfer.finish - transfer.start
+            )
+        return max(busy.values(), default=0)
+
+    def link_utilisation(self) -> float:
+        """Mean busy fraction over links that carried anything."""
+        if not self.transfers or self.makespan == 0:
+            return 0.0
+        busy: dict[tuple[int, int], int] = {}
+        for transfer in self.transfers:
+            key = transfer.load.key
+            busy[key] = busy.get(key, 0) + (
+                transfer.finish - transfer.start
+            )
+        return sum(busy.values()) / (len(busy) * self.makespan)
+
+
+def _duration(bits: int, bandwidth: int) -> int:
+    # A zero-bit transfer (pure tag already stripped) still occupies the
+    # link for one cycle: something physical crosses it.
+    return max(1, -(-bits // bandwidth))
+
+
+def schedule(
+    operations: Sequence[Sequence[LinkLoad]],
+    *,
+    bandwidth: int = 1,
+) -> TimingReport:
+    """Schedule one or more operations' load lists onto the links.
+
+    Each element of ``operations`` is the ``loads`` tuple of one network
+    operation (a :class:`~repro.network.multicast.MulticastResult` or
+    unicast result); ``parent`` indices are interpreted within each
+    operation.  Returns every transfer with start/finish cycles plus the
+    overall makespan.
+    """
+    if bandwidth <= 0:
+        raise ConfigurationError(
+            f"bandwidth must be positive, got {bandwidth}"
+        )
+    # Flatten into nodes with global ids and resolved dependencies.
+    ready: list[tuple[int, int, int]] = []  # (ready_time, global_id, _)
+    dependents: dict[int, list[int]] = {}
+    pending_parents: dict[int, int] = {}
+    all_loads: list[LinkLoad] = []
+    for operation in operations:
+        base = len(all_loads)
+        for local_index, load in enumerate(operation):
+            global_id = base + local_index
+            all_loads.append(load)
+            if load.parent is None:
+                pending_parents[global_id] = 0
+            else:
+                if not 0 <= load.parent < len(operation):
+                    raise ConfigurationError(
+                        f"load {local_index} has parent {load.parent} "
+                        f"outside its operation"
+                    )
+                pending_parents[global_id] = 1
+                dependents.setdefault(base + load.parent, []).append(
+                    global_id
+                )
+
+    ready_time: dict[int, int] = {}
+    heap: list[tuple[int, int]] = []
+    for global_id, missing in pending_parents.items():
+        if missing == 0:
+            ready_time[global_id] = 0
+            heapq.heappush(heap, (0, global_id))
+
+    link_free: dict[tuple[int, int], int] = {}
+    finished: dict[int, int] = {}
+    transfers: list[ScheduledTransfer | None] = [None] * len(all_loads)
+    while heap:
+        ready_at, global_id = heapq.heappop(heap)
+        if ready_at != ready_time.get(global_id):
+            continue  # stale heap entry
+        load = all_loads[global_id]
+        start = max(ready_at, link_free.get(load.key, 0))
+        finish = start + _duration(load.bits, bandwidth)
+        link_free[load.key] = finish
+        finished[global_id] = finish
+        transfers[global_id] = ScheduledTransfer(load, start, finish)
+        for child in dependents.get(global_id, ()):
+            pending_parents[child] -= 1
+            if pending_parents[child] == 0:
+                ready_time[child] = finish
+                heapq.heappush(heap, (finish, child))
+
+    if len(finished) != len(all_loads):
+        raise ConfigurationError(
+            "dependency cycle or orphan loads in the operation batch"
+        )
+    done = [transfer for transfer in transfers if transfer is not None]
+    return TimingReport(
+        transfers=tuple(done),
+        makespan=max((t.finish for t in done), default=0),
+    )
+
+
+def makespan(
+    operations: Iterable[Sequence[LinkLoad]], *, bandwidth: int = 1
+) -> int:
+    """Completion time (cycles) of a batch of operations."""
+    return schedule(list(operations), bandwidth=bandwidth).makespan

@@ -1,0 +1,104 @@
+"""Shared elementary types used across the :mod:`repro` package.
+
+The simulator models a shared-memory multiprocessor in which ``N`` processors
+(each with a private cache) are connected to ``N`` memory modules through an
+``N x N`` omega network.  The types here pin down the vocabulary used
+everywhere else:
+
+* a *node* is a network endpoint (cache or memory module), identified by an
+  integer in ``range(N)``;
+* memory is word addressed; a *block* is an aligned group of words and the
+  unit of caching and coherence;
+* an :class:`Address` names one word as ``(block, offset)``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+#: Identifier of a cache / processor / memory module (network endpoint).
+NodeId = int
+
+#: Identifier of a memory block (the unit of caching and coherence).
+BlockId = int
+
+
+class Op(enum.Enum):
+    """A processor memory operation."""
+
+    READ = "R"
+    WRITE = "W"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class Address(NamedTuple):
+    """A word address, split into the block id and the word offset within it.
+
+    Using the split form everywhere avoids repeated divmod arithmetic and
+    makes it impossible to confuse word addresses with block ids.
+    """
+
+    block: BlockId
+    offset: int
+
+    @staticmethod
+    def from_word(word_address: int, block_size: int) -> "Address":
+        """Split a flat word address into ``(block, offset)``.
+
+        ``block_size`` is the number of words per block and must be positive.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        block, offset = divmod(word_address, block_size)
+        return Address(block, offset)
+
+    def to_word(self, block_size: int) -> int:
+        """Rebuild the flat word address given the block size in words."""
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        if not 0 <= self.offset < block_size:
+            raise ValueError(
+                f"offset {self.offset} out of range for block size {block_size}"
+            )
+        return self.block * block_size + self.offset
+
+
+class Reference(NamedTuple):
+    """One memory reference in a trace: processor ``node`` performs ``op``
+    on word ``address``; for writes, ``value`` is the datum stored.
+
+    ``value`` is carried for reads too (ignored by the simulator) so traces
+    round-trip through files without a per-op schema.
+    """
+
+    node: NodeId
+    op: Op
+    address: Address
+    value: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is Op.WRITE
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is Op.READ
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact integer base-2 logarithm of a power of two.
+
+    Raises ``ValueError`` for values that are not positive powers of two,
+    because the omega-network math silently goes wrong on non-powers.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a positive power of two")
+    return value.bit_length() - 1

@@ -1,0 +1,38 @@
+"""Synthetic reference-trace generators.
+
+The paper evaluates analytically over a Markov reference model (§4); the
+trace-driven simulator needs concrete interleavings, which these modules
+produce:
+
+* :mod:`repro.workloads.markov` -- the §4 model itself: ``n`` tasks share a
+  data structure, one writer per block, write fraction ``w``;
+* :mod:`repro.workloads.matrix` -- the "supercomputing applications such as
+  algorithms based on matrix operations" the paper's §5 motivates: Jacobi
+  relaxation and blocked matrix multiply;
+* :mod:`repro.workloads.sharing` -- classic sharing patterns (producer /
+  consumer, migratory, ping-pong) that stress ownership transfer;
+* :mod:`repro.workloads.synthetic` -- fully parameterised random traces for
+  stress and property-based testing.
+"""
+
+from repro.workloads.locks import spinlock_trace
+from repro.workloads.markov import markov_block_trace, shared_structure_trace
+from repro.workloads.matrix import jacobi_trace, matrix_multiply_trace
+from repro.workloads.sharing import (
+    migratory_trace,
+    ping_pong_trace,
+    producer_consumer_trace,
+)
+from repro.workloads.synthetic import random_trace
+
+__all__ = [
+    "jacobi_trace",
+    "markov_block_trace",
+    "matrix_multiply_trace",
+    "migratory_trace",
+    "ping_pong_trace",
+    "producer_consumer_trace",
+    "random_trace",
+    "shared_structure_trace",
+    "spinlock_trace",
+]

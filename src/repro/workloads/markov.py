@@ -1,0 +1,130 @@
+"""The §4 reference model as a trace generator.
+
+"Consider a parallel application where ``n`` tasks access a shared
+read-write data structure.  For each block in the data structure we assume
+that exactly one task modifies it and all other tasks access it.  The
+fraction of writes to the block is ``w``."
+
+:func:`markov_block_trace` realises that model for one block;
+:func:`shared_structure_trace` for a whole structure of blocks, each with
+its own writer.  Values written are sequence numbers so the verifying
+simulator can detect any stale read.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.types import Address, NodeId, Op, Reference
+
+
+def _check_tasks(tasks: Sequence[NodeId], n_nodes: int) -> None:
+    if not tasks:
+        raise ConfigurationError("need at least one task")
+    for task in tasks:
+        if not 0 <= task < n_nodes:
+            raise ConfigurationError(
+                f"task {task} outside 0..{n_nodes - 1}"
+            )
+    if len(set(tasks)) != len(tasks):
+        raise ConfigurationError(f"duplicate tasks in {list(tasks)}")
+
+
+def markov_block_trace(
+    n_nodes: int,
+    tasks: Sequence[NodeId],
+    write_fraction: float,
+    n_references: int,
+    *,
+    block: int = 0,
+    block_size_words: int = 4,
+    writer: NodeId | None = None,
+    seed: int = 0,
+) -> Trace:
+    """References of ``tasks`` to one shared block, one writing task.
+
+    Each reference is a write with probability ``write_fraction`` (issued
+    by ``writer``, default the first task) and otherwise a read by a
+    uniformly random task.  Offsets are uniform over the block.
+    """
+    _check_tasks(tasks, n_nodes)
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ConfigurationError(
+            f"write fraction must be in [0, 1], got {write_fraction}"
+        )
+    if n_references < 0:
+        raise ConfigurationError(
+            f"n_references must be non-negative, got {n_references}"
+        )
+    chosen_writer = tasks[0] if writer is None else writer
+    if chosen_writer not in tasks:
+        raise ConfigurationError(
+            f"writer {chosen_writer} is not one of the tasks {list(tasks)}"
+        )
+    rng = random.Random(seed)
+    references = []
+    next_value = 1
+    for _ in range(n_references):
+        offset = rng.randrange(block_size_words)
+        if rng.random() < write_fraction:
+            references.append(
+                Reference(
+                    chosen_writer,
+                    Op.WRITE,
+                    Address(block, offset),
+                    next_value,
+                )
+            )
+            next_value += 1
+        else:
+            reader = tasks[rng.randrange(len(tasks))]
+            references.append(
+                Reference(reader, Op.READ, Address(block, offset))
+            )
+    return Trace(references, n_nodes, block_size_words)
+
+
+def shared_structure_trace(
+    n_nodes: int,
+    tasks: Sequence[NodeId],
+    write_fraction: float,
+    n_references: int,
+    *,
+    n_blocks: int = 8,
+    first_block: int = 0,
+    block_size_words: int = 4,
+    seed: int = 0,
+) -> Trace:
+    """References to a structure of ``n_blocks`` blocks, writers rotating.
+
+    Block ``first_block + i`` is written (only) by ``tasks[i % len(tasks)]``
+    and read by everyone -- the paper's whole-structure model, where
+    ownership never needs to change once established.
+    """
+    _check_tasks(tasks, n_nodes)
+    if n_blocks <= 0:
+        raise ConfigurationError(
+            f"n_blocks must be positive, got {n_blocks}"
+        )
+    rng = random.Random(seed)
+    references = []
+    next_value = 1
+    for _ in range(n_references):
+        index = rng.randrange(n_blocks)
+        block = first_block + index
+        offset = rng.randrange(block_size_words)
+        if rng.random() < write_fraction:
+            writer = tasks[index % len(tasks)]
+            references.append(
+                Reference(writer, Op.WRITE, Address(block, offset), next_value)
+            )
+            next_value += 1
+        else:
+            reader = tasks[rng.randrange(len(tasks))]
+            references.append(
+                Reference(reader, Op.READ, Address(block, offset))
+            )
+    return Trace(references, n_nodes, block_size_words)

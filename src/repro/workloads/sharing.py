@@ -1,0 +1,106 @@
+"""Classic sharing patterns that stress specific protocol paths.
+
+* :func:`producer_consumer_trace` -- one writer, many readers, phase by
+  phase: the distributed-write mode's best case;
+* :func:`migratory_trace` -- a block read-modify-written by each task in
+  turn: maximal ownership transfer (the §5 caveat: "for applications where
+  several tasks can modify a block ... ownership will change which
+  increases the network traffic");
+* :func:`ping_pong_trace` -- two tasks alternately writing one block, the
+  degenerate migratory case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import Trace
+from repro.types import Address, NodeId, Op, Reference
+from repro.workloads.markov import _check_tasks
+
+
+def producer_consumer_trace(
+    n_nodes: int,
+    producer: NodeId,
+    consumers: Sequence[NodeId],
+    n_rounds: int,
+    *,
+    block: int = 0,
+    block_size_words: int = 4,
+) -> Trace:
+    """``n_rounds`` of: producer writes every word, consumers read them."""
+    _check_tasks([producer, *consumers], n_nodes)
+    if n_rounds < 0:
+        raise ConfigurationError(
+            f"n_rounds must be non-negative, got {n_rounds}"
+        )
+    references = []
+    next_value = 1
+    for _ in range(n_rounds):
+        for offset in range(block_size_words):
+            references.append(
+                Reference(
+                    producer, Op.WRITE, Address(block, offset), next_value
+                )
+            )
+            next_value += 1
+        for consumer in consumers:
+            for offset in range(block_size_words):
+                references.append(
+                    Reference(consumer, Op.READ, Address(block, offset))
+                )
+    return Trace(references, n_nodes, block_size_words)
+
+
+def migratory_trace(
+    n_nodes: int,
+    tasks: Sequence[NodeId],
+    n_rounds: int,
+    *,
+    block: int = 0,
+    block_size_words: int = 4,
+) -> Trace:
+    """Each task in turn reads then updates the block (lock-like sharing)."""
+    _check_tasks(tasks, n_nodes)
+    if n_rounds < 0:
+        raise ConfigurationError(
+            f"n_rounds must be non-negative, got {n_rounds}"
+        )
+    references = []
+    next_value = 1
+    for _ in range(n_rounds):
+        for task in tasks:
+            references.append(Reference(task, Op.READ, Address(block, 0)))
+            references.append(
+                Reference(task, Op.WRITE, Address(block, 0), next_value)
+            )
+            next_value += 1
+    return Trace(references, n_nodes, block_size_words)
+
+
+def ping_pong_trace(
+    n_nodes: int,
+    first: NodeId,
+    second: NodeId,
+    n_rounds: int,
+    *,
+    block: int = 0,
+    block_size_words: int = 4,
+) -> Trace:
+    """Two tasks alternately writing (and reading back) one word."""
+    _check_tasks([first, second], n_nodes)
+    if n_rounds < 0:
+        raise ConfigurationError(
+            f"n_rounds must be non-negative, got {n_rounds}"
+        )
+    references = []
+    next_value = 1
+    for _ in range(n_rounds):
+        for task in (first, second):
+            references.append(
+                Reference(task, Op.WRITE, Address(block, 0), next_value)
+            )
+            references.append(Reference(task, Op.READ, Address(block, 0)))
+            next_value += 1
+    return Trace(references, n_nodes, block_size_words)

@@ -1,0 +1,168 @@
+"""Tests for the experiment harness: every table/figure regenerates and the
+paper's qualitative claims hold in the regenerated data."""
+
+import pytest
+
+from repro.analysis.figures import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TableComparison,
+    fig5_breakeven_note,
+    fig5_data,
+    fig6_data,
+    fig8_data,
+    state_memory_table,
+    table2_data,
+    table3_data,
+    table4_data,
+    threshold_table,
+)
+from repro.network import cost
+
+
+class TestFig5:
+    def test_series_cover_all_powers(self):
+        data = fig5_data()
+        ns = [n for n, _ in data["scheme 1 (eq. 2)"]]
+        assert ns[0] == 1 and ns[-1] == 1024
+
+    def test_values_match_formulas(self):
+        data = fig5_data(network_size=256, message_bits=20)
+        for n, value in data["scheme 1 (eq. 2)"]:
+            assert value == cost.cc1(n, 256, 20)
+        for n, value in data["scheme 2 worst (eq. 3)"]:
+            assert value == cost.cc2_worst(n, 256, 20)
+
+    def test_crossover_visible_in_series(self):
+        """The Figure 5 point: scheme 2 eventually drops below scheme 1."""
+        data = fig5_data()
+        s1 = dict(data["scheme 1 (eq. 2)"])
+        s2 = dict(data["scheme 2 worst (eq. 3)"])
+        assert s2[1] > s1[1]  # scheme 2 pays the vector for one dest
+        assert s2[1024] < s1[1024]  # and wins at scale
+
+    def test_breakeven_note_mentions_values(self):
+        note = fig5_breakeven_note()
+        assert "N=1024" in note and "n=" in note
+
+
+class TestTable2:
+    def test_full_coverage(self):
+        table = table2_data()
+        assert set(table.paper) == set(table.ours)
+        assert len(table.ours) == 15
+
+    def test_trends_match_paper_rows_and_columns(self):
+        """The defensible part of Table 2: break-even falls with M and
+        rises with N, in our numbers exactly as in the paper's."""
+        table = table2_data()
+        for values in (table.paper, table.ours):
+            for network in table.rows:
+                row = [values[(network, m)] for m in table.columns]
+                assert row == sorted(row, reverse=True)
+            for m in table.columns:
+                column = [values[(network, m)] for network in table.rows]
+                assert column == sorted(column)
+
+    def test_render_marks_mismatches(self):
+        text = table2_data().render()
+        assert "agreement" in text
+        assert "*" in text  # Table 2 is known not to match exactly
+
+
+class TestTables3And4:
+    def test_table3_agreement_is_high(self):
+        assert table3_data().agreement() >= 0.85
+
+    def test_table4_agreement_is_high(self):
+        assert table4_data().agreement() >= 0.80
+
+    def test_scheme_progression_1_2_3(self):
+        """Rows move monotonically through schemes 1 -> 2 -> 3 as n grows
+        (the qualitative content of Tables 3/4 and Figure 6)."""
+        for table in (table3_data(), table4_data()):
+            for row in table.rows:
+                sequence = [table.ours[(row, n)] for n in table.columns]
+                assert sequence == sorted(sequence)
+
+    def test_paper_data_dimensions(self):
+        assert len(PAPER_TABLE2) == 15
+        assert len(PAPER_TABLE3) == 20
+        assert len(PAPER_TABLE4) == 20
+
+    def test_comparison_helper_agreement_bounds(self):
+        table = TableComparison(
+            title="t", row_label="r", column_label="c",
+            rows=(1,), columns=(2,),
+            paper={(1, 2): 5}, ours={(1, 2): 5},
+        )
+        assert table.agreement() == 1.0
+
+
+class TestFig6:
+    def test_scheme3_is_flat(self):
+        data = fig6_data()
+        values = {value for _, value in data["scheme 3 (eq. 5)"]}
+        assert len(values) == 1
+
+    def test_each_regime_has_a_winner(self):
+        """Figure 6's story: scheme 1 cheapest for small n, scheme 2 for
+        moderate n, scheme 3 for large n (N=1024, n1=128, M=20)."""
+        data = fig6_data()
+        s1 = dict(data["scheme 1 (eq. 2)"])
+        s2 = dict(data["scheme 2' (eq. 6)"])
+        s3 = dict(data["scheme 3 (eq. 5)"])
+        assert s1[1] < s2[1] and s1[1] < s3[1]
+        assert s2[16] < s1[16] and s2[16] < s3[16]
+        assert s3[128] < s1[128] and s3[128] < s2[128]
+
+
+class TestFig8:
+    def test_contains_expected_series(self):
+        data = fig8_data(n_values=(4, 64))
+        assert "no cache" in data
+        assert "write-once n=4" in data
+        assert "two-mode n=64" in data
+
+    def test_two_mode_below_no_cache_everywhere(self):
+        data = fig8_data(n_values=(4, 16, 64))
+        reference = dict(data["no cache"])
+        for n in (4, 16, 64):
+            for w, value in data[f"two-mode n={n}"]:
+                assert value <= reference[w]
+
+    def test_grid_covers_unit_interval(self):
+        data = fig8_data(steps=10)
+        ws = [w for w, _ in data["no cache"]]
+        assert ws[0] == 0.0 and ws[-1] == 1.0
+        assert len(ws) == 11
+
+
+class TestExtensions:
+    def test_state_memory_rows(self):
+        rows = state_memory_table(network_sizes=(64, 1024))
+        assert len(rows) == 2
+        n64, n1024 = rows
+        # Full-map state grows ~16x from 64 to 1024 caches.
+        assert n1024[1] / n64[1] > 10
+
+    def test_state_memory_ratio_grows_with_memory_size(self):
+        # The §1 advantage is in main-memory size: the proposed scheme's
+        # per-block cost is log2(N) bits against the full map's N bits,
+        # so its relative advantage grows with M at fixed N and C.
+        small = state_memory_table(
+            network_sizes=(256,), memory_blocks=1 << 18
+        )[0]
+        large = state_memory_table(
+            network_sizes=(256,), memory_blocks=1 << 26
+        )[0]
+        assert large[3] > small[3]
+        assert large[3] > 5.0  # clearly in the paper's favour at 64M blocks
+
+    def test_threshold_table(self):
+        rows = threshold_table(n_values=(2, 64))
+        assert rows[0] == (2, 0.5, 1.0)
+        n, w1, peak = rows[1]
+        assert w1 == pytest.approx(2 / 66)
+        assert peak == pytest.approx(128 / 66)

@@ -1,0 +1,68 @@
+"""Tests for the ASCII rendering helpers."""
+
+import pytest
+
+from repro.analysis.report import render_series, render_table
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(
+            ("a", "b"), [(1, 2), (30, 40)], title="numbers"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "numbers"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "30" in lines[-1] and "40" in lines[-1]
+
+    def test_columns_align(self):
+        text = render_table(("col",), [(1,), (100,)])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_empty_rows_allowed(self):
+        text = render_table(("a",), [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_contains_legend_and_bounds(self):
+        text = render_series(
+            {"line": [(0, 0), (1, 10)]}, title="chart"
+        )
+        assert "chart" in text
+        assert "line" in text
+        assert "0 .. 10" in text
+
+    def test_multiple_series_get_distinct_symbols(self):
+        text = render_series(
+            {"first": [(0, 0), (1, 1)], "second": [(0, 1), (1, 0)]}
+        )
+        assert "* first" in text
+        assert "o second" in text
+
+    def test_log_x_axis(self):
+        text = render_series(
+            {"s": [(1, 0), (1024, 5)]}, log_x=True
+        )
+        assert "log2" in text
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            render_series({"s": [(0, 1)]}, log_x=True)
+
+    def test_empty_series(self):
+        assert render_series({}, title="empty") == "empty"
+
+    def test_degenerate_single_point(self):
+        text = render_series({"s": [(1, 1)]})
+        assert "s" in text
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series({"s": [(0, 0)]}, width=2, height=2)

@@ -1,0 +1,85 @@
+"""Tests for the parameter-sweep harness."""
+
+import pytest
+
+from repro.analysis.sweep import (
+    run_sweep,
+    series_by_protocol,
+    sharer_sweep,
+)
+from repro.cache.state import Mode
+from repro.errors import ConfigurationError
+from repro.protocol.no_cache import NoCacheProtocol
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.system import SystemConfig
+from repro.workloads.synthetic import random_trace
+
+FACTORIES = {
+    "no-cache": NoCacheProtocol,
+    "dw": lambda system: StenstromProtocol(
+        system, default_mode=Mode.DISTRIBUTED_WRITE
+    ),
+}
+
+
+class TestRunSweep:
+    def test_one_record_per_point_and_protocol(self):
+        records = run_sweep(
+            [{"x": 1}, {"x": 2}, {"x": 3}],
+            lambda point: random_trace(
+                8, 100, n_blocks=4, seed=point["x"]
+            ),
+            lambda point: SystemConfig(n_nodes=8),
+            FACTORIES,
+        )
+        assert len(records) == 6
+        assert {record.protocol for record in records} == set(FACTORIES)
+
+    def test_records_carry_parameters_and_events(self):
+        records = run_sweep(
+            [{"x": 7}],
+            lambda point: random_trace(8, 50, n_blocks=4, seed=0),
+            lambda point: SystemConfig(n_nodes=8),
+            {"no-cache": NoCacheProtocol},
+        )
+        (record,) = records
+        assert record.parameter("x") == 7
+        assert dict(record.events)["reads"] > 0
+        with pytest.raises(KeyError):
+            record.parameter("missing")
+
+
+class TestSharerSweep:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sharer_sweep([0], 0.3, FACTORIES)
+        with pytest.raises(ConfigurationError):
+            sharer_sweep([128], 0.3, FACTORIES, n_nodes=64)
+
+    def test_no_cache_cost_is_flat_in_n(self):
+        records = sharer_sweep(
+            [2, 8, 32], 0.3, {"no-cache": NoCacheProtocol},
+            references=800, seed=3,
+        )
+        costs = [record.cost_per_reference for record in records]
+        assert max(costs) - min(costs) < 0.1 * max(costs)
+
+    def test_dw_write_cost_grows_with_sharers(self):
+        records = sharer_sweep(
+            [2, 8, 32], 0.5, {"dw": FACTORIES["dw"]},
+            references=1200, seed=4,
+        )
+        series = series_by_protocol(records, "n_sharers")["dw"]
+        costs = [cost for _, cost in series]
+        assert costs == sorted(costs)
+
+
+class TestSeriesPivot:
+    def test_series_are_sorted_by_parameter(self):
+        records = sharer_sweep(
+            [8, 2, 4], 0.2, {"no-cache": NoCacheProtocol},
+            references=200, seed=5,
+        )
+        series = series_by_protocol(records, "n_sharers")
+        xs = [x for x, _ in series["no-cache"]]
+        assert xs == [2, 4, 8]

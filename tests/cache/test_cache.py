@@ -1,0 +1,133 @@
+"""Unit tests for the set-associative cache mechanics."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.cache.state import StateField
+from repro.errors import ConfigurationError, ProtocolError
+
+
+def make_cache(**kwargs):
+    defaults = dict(
+        node_id=0, n_entries=4, block_size_words=2, associativity=None
+    )
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+class TestGeometry:
+    def test_fully_associative_by_default(self):
+        cache = make_cache(n_entries=8)
+        assert cache.n_sets == 1
+        assert cache.n_ways == 8
+
+    def test_set_associative_split(self):
+        cache = make_cache(n_entries=8, associativity=2)
+        assert cache.n_sets == 4
+        assert cache.n_ways == 2
+
+    def test_set_index_is_block_modulo_sets(self):
+        cache = make_cache(n_entries=8, associativity=2)
+        assert cache.set_index(0) == 0
+        assert cache.set_index(5) == 1
+        assert cache.set_index(7) == 3
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cache(n_entries=0)
+        with pytest.raises(ConfigurationError):
+            make_cache(n_entries=8, associativity=3)
+        with pytest.raises(ConfigurationError):
+            make_cache(block_size_words=0)
+
+
+class TestLookupAndInstall:
+    def test_find_missing_block(self):
+        cache = make_cache()
+        assert cache.find(3) is None
+
+    def test_install_then_find(self):
+        cache = make_cache()
+        slot = cache.slot_for(3)
+        entry = cache.install(slot, 3)
+        assert cache.find(3) is entry
+        assert entry.tag == 3
+        assert entry.data == [0, 0]
+
+    def test_slot_prefers_existing_tag(self):
+        cache = make_cache()
+        cache.install(cache.slot_for(3), 3)
+        slot = cache.slot_for(3)
+        assert slot.entry.tag == 3
+        assert not slot.needs_eviction(3)
+
+    def test_slot_prefers_free_way_over_victim(self):
+        cache = make_cache(n_entries=2)
+        cache.install(cache.slot_for(0), 0)
+        slot = cache.slot_for(1)
+        assert not slot.entry.occupied
+
+    def test_full_set_requires_eviction(self):
+        cache = make_cache(n_entries=2)
+        cache.install(cache.slot_for(0), 0)
+        cache.install(cache.slot_for(1), 1)
+        slot = cache.slot_for(2)
+        assert slot.needs_eviction(2)
+        assert slot.entry.occupied
+
+    def test_install_over_owned_state_raises(self):
+        cache = make_cache(n_entries=1)
+        entry = cache.install(cache.slot_for(0), 0)
+        entry.state_field = StateField(valid=True, owned=True, present={0})
+        slot = cache.slot_for(1)
+        with pytest.raises(ProtocolError):
+            cache.install(slot, 1)
+
+    def test_lru_victim_selection(self):
+        cache = make_cache(n_entries=2)
+        cache.install(cache.slot_for(0), 0)
+        cache.install(cache.slot_for(1), 1)
+        cache.touch(0)  # block 1 becomes least recent
+        slot = cache.slot_for(2)
+        assert slot.entry.tag == 1
+
+
+class TestDropAndTouch:
+    def test_drop_clears_entry(self):
+        cache = make_cache()
+        cache.install(cache.slot_for(5), 5)
+        cache.drop(5)
+        assert cache.find(5) is None
+
+    def test_drop_missing_block_raises(self):
+        cache = make_cache()
+        with pytest.raises(ProtocolError):
+            cache.drop(5)
+
+    def test_touch_missing_block_raises(self):
+        cache = make_cache()
+        with pytest.raises(ProtocolError):
+            cache.touch(5)
+
+
+class TestIntrospection:
+    def test_resident_blocks(self):
+        cache = make_cache()
+        cache.install(cache.slot_for(2), 2)
+        cache.install(cache.slot_for(7), 7)
+        assert sorted(cache.resident_blocks()) == [2, 7]
+
+    def test_occupancy(self):
+        cache = make_cache(n_entries=4)
+        assert cache.occupancy() == 0.0
+        cache.install(cache.slot_for(0), 0)
+        assert cache.occupancy() == 0.25
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make_cache(n_entries=4, associativity=1)
+        for block in range(4):
+            cache.install(cache.slot_for(block), block)
+        assert sorted(cache.resident_blocks()) == [0, 1, 2, 3]
+        # Block 4 conflicts only with block 0 (same set).
+        slot = cache.slot_for(4)
+        assert slot.entry.tag == 0

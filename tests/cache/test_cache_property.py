@@ -1,0 +1,108 @@
+"""Model-based property tests for the cache mechanics.
+
+A random sequence of install / touch / drop operations is run against the
+real cache and a trivial dict-of-sets model; residency must agree after
+every step, and structural guarantees (set mapping, capacity, LRU victim
+choice) must hold throughout.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+
+N_ENTRIES = 8
+N_BLOCKS = 24
+
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "drop", "touch"]),
+        st.integers(0, N_BLOCKS - 1),
+    ),
+    max_size=120,
+)
+
+geometries = st.sampled_from([None, 1, 2, 4, 8])
+
+
+class TestCacheAgainstModel:
+    @settings(max_examples=80, deadline=None)
+    @given(ops=operations, associativity=geometries)
+    def test_residency_matches_model(self, ops, associativity):
+        cache = Cache(
+            0, N_ENTRIES, 2, associativity=associativity, policy="lru"
+        )
+        n_ways = associativity or N_ENTRIES
+        n_sets = N_ENTRIES // n_ways
+        model: dict[int, set[int]] = {
+            index: set() for index in range(n_sets)
+        }
+        for op, block in ops:
+            set_index = block % n_sets
+            resident = model[set_index]
+            if op == "access":
+                slot = cache.slot_for(block)
+                evicted = (
+                    slot.entry.tag if slot.needs_eviction(block) else None
+                )
+                cache.install(slot, block)
+                if evicted is not None:
+                    resident.discard(evicted)
+                resident.add(block)
+            elif op == "drop" and block in resident:
+                cache.drop(block)
+                resident.discard(block)
+            elif op == "touch" and block in resident:
+                cache.touch(block)
+            # Invariants after every step:
+            assert set(cache.resident_blocks()) == set().union(
+                *model.values()
+            )
+            for index, blocks in model.items():
+                assert len(blocks) <= n_ways
+                for resident_block in blocks:
+                    assert cache.find(resident_block) is not None
+                    assert resident_block % n_sets == index
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_lru_victim_is_least_recently_used(self, ops):
+        cache = Cache(0, 4, 2, policy="lru")  # fully associative, 4 ways
+        recency: list[int] = []  # oldest first
+        for op, block in ops:
+            if op == "access":
+                slot = cache.slot_for(block)
+                if slot.needs_eviction(block):
+                    # The victim must be the oldest resident block.
+                    assert slot.entry.tag == recency[0]
+                    recency.pop(0)
+                cache.install(slot, block)
+                if block in recency:
+                    recency.remove(block)
+                recency.append(block)
+            elif op == "touch" and block in recency:
+                cache.touch(block)
+                recency.remove(block)
+                recency.append(block)
+            elif op == "drop" and block in recency:
+                cache.drop(block)
+                recency.remove(block)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=operations)
+    def test_data_survives_until_eviction(self, ops):
+        cache = Cache(0, N_ENTRIES, 2, policy="fifo")
+        written: dict[int, int] = {}
+        for index, (op, block) in enumerate(ops):
+            if op != "access":
+                continue
+            slot = cache.slot_for(block)
+            if slot.needs_eviction(block):
+                written.pop(slot.entry.tag, None)
+            if cache.find(block) is None or slot.needs_eviction(block):
+                entry = cache.install(slot, block)
+                entry.write_word(0, index)
+                written[block] = index
+            else:
+                assert cache.find(block).read_word(0) == written[block]

@@ -1,0 +1,54 @@
+"""Unit tests for cache entries."""
+
+import pytest
+
+from repro.cache.entry import CacheEntry
+from repro.cache.state import CacheState, StateField
+from repro.errors import ProtocolError
+
+
+class TestOccupancy:
+    def test_fresh_entry_is_unoccupied(self):
+        entry = CacheEntry()
+        assert not entry.occupied
+        assert entry.state(0) is CacheState.INVALID
+
+    def test_tagged_entry_is_occupied_even_if_invalid(self):
+        # Global-read placeholders: tag set, V = 0.
+        entry = CacheEntry(tag=7, state_field=StateField(valid=False))
+        assert entry.occupied
+        assert entry.state(0) is CacheState.INVALID
+
+    def test_clear_resets_everything(self):
+        entry = CacheEntry(
+            tag=7, state_field=StateField(valid=True), data=[1, 2]
+        )
+        entry.clear()
+        assert entry.tag is None
+        assert not entry.state_field.valid
+        assert entry.data == []
+
+
+class TestDataAccess:
+    def test_read_write_roundtrip(self):
+        entry = CacheEntry(tag=1, data=[0, 0, 0, 0])
+        entry.write_word(2, 99)
+        assert entry.read_word(2) == 99
+        assert entry.data == [0, 0, 99, 0]
+
+    def test_out_of_range_read_rejected(self):
+        entry = CacheEntry(tag=1, data=[0, 0])
+        with pytest.raises(ProtocolError):
+            entry.read_word(2)
+        with pytest.raises(ProtocolError):
+            entry.read_word(-1)
+
+    def test_out_of_range_write_rejected(self):
+        entry = CacheEntry(tag=1, data=[0, 0])
+        with pytest.raises(ProtocolError):
+            entry.write_word(5, 1)
+
+    def test_dataless_entry_rejects_access(self):
+        entry = CacheEntry(tag=1)
+        with pytest.raises(ProtocolError):
+            entry.read_word(0)

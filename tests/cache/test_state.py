@@ -1,0 +1,106 @@
+"""Unit tests for Table 1: states, state fields and their encoding."""
+
+import pytest
+
+from repro.cache.state import CacheState, Mode, StateField
+from repro.errors import ProtocolError
+
+
+class TestTable1Mapping:
+    """Each row of Table 1, encoded and decoded."""
+
+    def test_invalid(self):
+        field = StateField(valid=False)
+        assert field.state(0) is CacheState.INVALID
+
+    def test_unowned(self):
+        field = StateField(valid=True, owned=False)
+        assert field.state(0) is CacheState.UNOWNED
+
+    def test_owned_exclusive_distributed_write(self):
+        field = StateField(
+            valid=True, owned=True, distributed_write=True, present={3}
+        )
+        assert field.state(3) is CacheState.OWNED_EXCLUSIVE_DW
+
+    def test_owned_exclusive_global_read(self):
+        field = StateField(
+            valid=True, owned=True, distributed_write=False, present={3}
+        )
+        assert field.state(3) is CacheState.OWNED_EXCLUSIVE_GR
+
+    def test_owned_nonexclusive_distributed_write(self):
+        field = StateField(
+            valid=True, owned=True, distributed_write=True, present={3, 5}
+        )
+        assert field.state(3) is CacheState.OWNED_NONEXCLUSIVE_DW
+
+    def test_owned_nonexclusive_global_read(self):
+        field = StateField(
+            valid=True, owned=True, distributed_write=False, present={3, 5}
+        )
+        assert field.state(3) is CacheState.OWNED_NONEXCLUSIVE_GR
+
+    def test_owner_missing_from_vector_is_an_error(self):
+        field = StateField(valid=True, owned=True, present={5})
+        with pytest.raises(ProtocolError):
+            field.state(3)
+
+
+class TestCacheStateProperties:
+    def test_validity(self):
+        assert not CacheState.INVALID.is_valid
+        assert CacheState.UNOWNED.is_valid
+        assert CacheState.OWNED_EXCLUSIVE_GR.is_valid
+
+    def test_ownership(self):
+        assert not CacheState.INVALID.is_owned
+        assert not CacheState.UNOWNED.is_owned
+        assert CacheState.OWNED_EXCLUSIVE_DW.is_owned
+        assert CacheState.OWNED_NONEXCLUSIVE_GR.is_owned
+
+    def test_exclusivity(self):
+        assert CacheState.OWNED_EXCLUSIVE_DW.is_exclusive
+        assert CacheState.OWNED_EXCLUSIVE_GR.is_exclusive
+        assert not CacheState.OWNED_NONEXCLUSIVE_DW.is_exclusive
+        assert not CacheState.UNOWNED.is_exclusive
+
+    def test_mode_of_owned_states(self):
+        assert (
+            CacheState.OWNED_EXCLUSIVE_DW.mode is Mode.DISTRIBUTED_WRITE
+        )
+        assert (
+            CacheState.OWNED_NONEXCLUSIVE_GR.mode is Mode.GLOBAL_READ
+        )
+        assert CacheState.UNOWNED.mode is None
+        assert CacheState.INVALID.mode is None
+
+
+class TestStateField:
+    def test_mode_follows_dw_bit(self):
+        assert StateField(distributed_write=True).mode is (
+            Mode.DISTRIBUTED_WRITE
+        )
+        assert StateField(distributed_write=False).mode is Mode.GLOBAL_READ
+
+    def test_others_excludes_self(self):
+        field = StateField(present={1, 2, 3})
+        assert field.others(2) == {1, 3}
+        assert field.others(9) == {1, 2, 3}
+
+    def test_copy_is_independent(self):
+        field = StateField(valid=True, present={1})
+        clone = field.copy()
+        clone.present.add(2)
+        clone.valid = False
+        assert field.present == {1}
+        assert field.valid
+
+    def test_size_bits_formula(self):
+        # V + O + M + DW + N present flags + log2(N) owner bits.
+        assert StateField.size_bits(16) == 4 + 16 + 4
+        assert StateField.size_bits(1024) == 4 + 1024 + 10
+
+    def test_size_bits_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            StateField.size_bits(12)

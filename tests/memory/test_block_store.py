@@ -1,0 +1,47 @@
+"""Unit tests for the memory module's block store."""
+
+from repro.memory.block_store import BlockStore
+
+
+class TestBlockStore:
+    def test_unknown_block_has_no_owner(self):
+        store = BlockStore()
+        assert store.owner_of(42) is None
+
+    def test_set_and_read_owner(self):
+        store = BlockStore()
+        store.set_owner(42, 3)
+        assert store.owner_of(42) == 3
+
+    def test_owner_can_change(self):
+        store = BlockStore()
+        store.set_owner(42, 3)
+        store.set_owner(42, 5)
+        assert store.owner_of(42) == 5
+
+    def test_clear_invalidates(self):
+        store = BlockStore()
+        store.set_owner(42, 3)
+        store.clear(42)
+        assert store.owner_of(42) is None
+
+    def test_clear_of_unknown_block_is_harmless(self):
+        store = BlockStore()
+        store.clear(42)
+        assert store.owner_of(42) is None
+
+    def test_valid_blocks_listing(self):
+        store = BlockStore()
+        store.set_owner(7, 0)
+        store.set_owner(3, 1)
+        store.set_owner(9, 2)
+        store.clear(3)
+        assert store.valid_blocks() == [7, 9]
+
+    def test_lazy_entry_materialisation(self):
+        store = BlockStore()
+        entry = store.lookup(11)
+        assert not entry.valid
+        entry.valid = True
+        entry.owner = 4
+        assert store.owner_of(11) == 4

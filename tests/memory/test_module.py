@@ -1,0 +1,64 @@
+"""Unit tests for the interleaved memory modules."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.module import MemoryModule
+
+
+class TestInterleaving:
+    def test_homes_blocks_by_modulo(self):
+        module = MemoryModule(module_id=2, n_modules=4, block_size_words=2)
+        assert module.homes(2)
+        assert module.homes(6)
+        assert not module.homes(3)
+
+    def test_foreign_block_access_rejected(self):
+        module = MemoryModule(module_id=2, n_modules=4, block_size_words=2)
+        with pytest.raises(ProtocolError):
+            module.read_block(3)
+        with pytest.raises(ProtocolError):
+            module.write_word(0, 0, 1)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryModule(module_id=4, n_modules=4, block_size_words=2)
+        with pytest.raises(ConfigurationError):
+            MemoryModule(module_id=0, n_modules=4, block_size_words=0)
+
+
+class TestData:
+    def test_uninitialised_memory_reads_zero(self):
+        module = MemoryModule(module_id=1, n_modules=4, block_size_words=3)
+        assert module.read_block(5) == [0, 0, 0]
+        assert module.read_word(5, 2) == 0
+
+    def test_block_writeback_roundtrip(self):
+        module = MemoryModule(module_id=1, n_modules=4, block_size_words=3)
+        module.write_block(5, [7, 8, 9])
+        assert module.read_block(5) == [7, 8, 9]
+        assert module.read_word(5, 1) == 8
+
+    def test_read_block_returns_a_copy(self):
+        module = MemoryModule(module_id=1, n_modules=4, block_size_words=2)
+        module.write_block(5, [1, 2])
+        data = module.read_block(5)
+        data[0] = 99
+        assert module.read_block(5) == [1, 2]
+
+    def test_word_write(self):
+        module = MemoryModule(module_id=0, n_modules=4, block_size_words=2)
+        module.write_word(4, 1, 42)
+        assert module.read_block(4) == [0, 42]
+
+    def test_wrong_sized_writeback_rejected(self):
+        module = MemoryModule(module_id=0, n_modules=4, block_size_words=2)
+        with pytest.raises(ProtocolError):
+            module.write_block(4, [1, 2, 3])
+
+    def test_out_of_range_offset_rejected(self):
+        module = MemoryModule(module_id=0, n_modules=4, block_size_words=2)
+        with pytest.raises(ProtocolError):
+            module.read_word(4, 2)
+        with pytest.raises(ProtocolError):
+            module.write_word(4, -1, 0)

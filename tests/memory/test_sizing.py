@@ -1,0 +1,125 @@
+"""Unit tests for the §1 state-memory sizing models."""
+
+import pytest
+
+from repro.cache.state import StateField
+from repro.errors import ConfigurationError
+from repro.memory.sizing import (
+    full_map_directory_bits,
+    limited_pointer_directory_bits,
+    split_stenstrom_state_bits,
+    state_memory_comparison,
+    stenstrom_state_bits,
+)
+
+
+class TestFullMapSize:
+    def test_formula(self):
+        # N presence bits + dirty + valid, per block.
+        assert full_map_directory_bits(64, 1000) == 1000 * 66
+
+    def test_scales_linearly_in_memory(self):
+        assert full_map_directory_bits(64, 2000) == 2 * (
+            full_map_directory_bits(64, 1000)
+        )
+
+
+class TestStenstromSize:
+    def test_formula(self):
+        n, blocks, entries = 64, 1000, 32
+        expected = n * entries * StateField.size_bits(n) + blocks * (1 + 6)
+        assert stenstrom_state_bits(n, blocks, entries) == expected
+
+    def test_memory_term_is_log_n_not_n(self):
+        # Growing memory adds only (1 + log2 N) bits per block.
+        small = stenstrom_state_bits(64, 1000, 32)
+        large = stenstrom_state_bits(64, 2000, 32)
+        assert large - small == 1000 * 7
+
+    def test_paper_claim_wins_for_large_memories(self):
+        """The §1 point: for big main memories the proposed scheme's state
+        is far smaller than a full-map directory."""
+        comparison = state_memory_comparison(
+            n_caches=1024, memory_blocks=1 << 26, cache_entries=1 << 12
+        )
+        assert comparison.ratio > 10.0
+
+    def test_full_map_can_win_for_tiny_memories(self):
+        # With almost no main memory the per-cache state dominates.
+        comparison = state_memory_comparison(
+            n_caches=1024, memory_blocks=64, cache_entries=1 << 12
+        )
+        assert comparison.ratio < 1.0
+
+
+class TestLimitedPointerSize:
+    def test_formula(self):
+        # 2 pointers x 6 bits + broadcast + dirty + valid, per block.
+        assert limited_pointer_directory_bits(64, 1000, 2) == 1000 * 15
+
+    def test_much_smaller_than_full_map_for_large_n(self):
+        full = full_map_directory_bits(1024, 1 << 20)
+        limited = limited_pointer_directory_bits(1024, 1 << 20, 2)
+        assert limited < full / 20
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            limited_pointer_directory_bits(64, 1000, 0)
+
+
+class TestSplitOrganisation:
+    """The §5 split state memory: present vectors only for owned blocks."""
+
+    def test_formula(self):
+        n, blocks, entries, owned, tag = 64, 1000, 32, 4, 32
+        expected = (
+            n * (entries * (3 + 6) + owned * (tag + 64 + 1))
+            + blocks * 7
+        )
+        assert (
+            split_stenstrom_state_bits(n, blocks, entries, owned, tag)
+            == expected
+        )
+
+    def test_small_owner_store_beats_unified_layout(self):
+        """The paper's point: when a cache owns few blocks at a time,
+        moving the N-bit vectors to a small associative store shrinks
+        the state memory substantially."""
+        n, blocks, entries = 1024, 1 << 20, 1 << 12
+        unified = stenstrom_state_bits(n, blocks, entries)
+        split = split_stenstrom_state_bits(
+            n, blocks, entries, owner_store_entries=entries // 16
+        )
+        assert split < unified / 2
+
+    def test_full_owner_store_is_bigger_than_unified(self):
+        # With an owner-store entry per cache entry the tags make the
+        # split layout strictly worse -- the trade-off is real.
+        n, blocks, entries = 64, 1000, 32
+        unified = stenstrom_state_bits(n, blocks, entries)
+        split = split_stenstrom_state_bits(
+            n, blocks, entries, owner_store_entries=entries
+        )
+        assert split > unified
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_stenstrom_state_bits(64, 1000, 32, 0)
+        with pytest.raises(ConfigurationError):
+            split_stenstrom_state_bits(64, 1000, 32, 64)
+        with pytest.raises(ConfigurationError):
+            split_stenstrom_state_bits(64, 1000, 32, 4, tag_bits=0)
+
+
+class TestValidation:
+    def test_rejects_bad_cache_count(self):
+        with pytest.raises(ConfigurationError):
+            full_map_directory_bits(3, 100)
+
+    def test_rejects_bad_memory(self):
+        with pytest.raises(ConfigurationError):
+            stenstrom_state_bits(64, 0, 32)
+
+    def test_rejects_bad_cache_entries(self):
+        with pytest.raises(ConfigurationError):
+            stenstrom_state_bits(64, 100, 0)

@@ -1,0 +1,107 @@
+"""Tests for the baseline topology and topology-invariant tree costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import cost
+from repro.network.baseline import BaselineNetwork, tree_multicast_cost
+from repro.network.message import Message
+from repro.network.multicast import multicast_scheme2
+from repro.network.topology import OmegaNetwork
+
+
+class TestBaselineRouting:
+    @pytest.mark.parametrize("n_ports", [2, 4, 8, 16, 32])
+    def test_every_pair_routes_to_destination(self, n_ports):
+        net = BaselineNetwork(n_ports)
+        for source in range(n_ports):
+            for dest in range(n_ports):
+                positions = net.route_positions(source, dest)
+                assert positions[0] == source
+                assert positions[-1] == dest
+                assert len(positions) == net.n_stages + 1
+
+    def test_each_stage_is_a_permutation(self):
+        # For a fixed destination-bit pattern the stage map is injective.
+        net = BaselineNetwork(16)
+        for dest in (0, 7, 15):
+            level1 = {
+                net.route_positions(source, dest)[1]
+                for source in range(16)
+            }
+            # Half the positions are reachable (the d_0 half), each once.
+            assert len(level1) == 8
+
+    def test_differs_from_omega_in_the_interior(self):
+        omega = OmegaNetwork(16)
+        baseline = BaselineNetwork(16)
+        different = any(
+            omega.route_positions(source, dest)
+            != baseline.route_positions(source, dest)
+            for source in range(16)
+            for dest in range(16)
+        )
+        assert different  # same endpoints, different wiring
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BaselineNetwork(12)
+        with pytest.raises(ConfigurationError):
+            BaselineNetwork(8).route_positions(0, 8)
+
+
+class TestTopologyInvariantTreeCost:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        dests=st.sets(st.integers(0, 63), min_size=1, max_size=20),
+        source=st.integers(0, 63),
+        payload=st.integers(0, 60),
+    )
+    def test_scheme2_cost_equal_on_omega_and_baseline(
+        self, dests, source, payload
+    ):
+        """Branch counts depend only on destination prefixes, so the
+        vector-routed tree costs the same bits on either topology."""
+        omega = OmegaNetwork(64)
+        baseline = BaselineNetwork(64)
+        assert tree_multicast_cost(
+            omega, source, dests, payload
+        ) == tree_multicast_cost(baseline, source, dests, payload)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dests=st.sets(st.integers(0, 63), min_size=1, max_size=20),
+        source=st.integers(0, 63),
+        payload=st.integers(0, 60),
+    )
+    def test_generic_cost_matches_the_omega_simulator(
+        self, dests, source, payload
+    ):
+        omega = OmegaNetwork(64)
+        simulated = multicast_scheme2(
+            omega,
+            Message(source=source, payload_bits=payload),
+            dests,
+            commit=False,
+        )
+        assert simulated.cost == tree_multicast_cost(
+            omega, source, dests, payload
+        )
+
+    def test_worst_case_formula_holds_on_the_baseline_too(self):
+        """Eq. 3 carries over to the baseline network unchanged."""
+        baseline = BaselineNetwork(256)
+        for n in (1, 4, 16, 64):
+            dests = cost.worst_case_placement(256, n)
+            assert tree_multicast_cost(
+                baseline, 0, dests, 20
+            ) == cost.cc2_worst(n, 256, 20)
+
+    def test_empty_destinations(self):
+        assert tree_multicast_cost(BaselineNetwork(8), 0, [], 20) == 0
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tree_multicast_cost(BaselineNetwork(8), 0, [1], -1)

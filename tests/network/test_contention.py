@@ -1,0 +1,143 @@
+"""Tests for the blocking/contention analysis utilities."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.contention import (
+    conflicting_pairs,
+    identity_is_passable,
+    is_conflict_free,
+    link_load_profile,
+    passable_rounds,
+    path_links,
+)
+from repro.network.cost import worst_case_placement
+from repro.network.message import Message
+from repro.network.multicast import multicast_scheme1, multicast_scheme2
+from repro.network.topology import OmegaNetwork
+
+
+def bit_reversal(port: int, m: int) -> int:
+    return int(format(port, f"0{m}b")[::-1], 2)
+
+
+class TestPathLinks:
+    def test_path_has_one_link_per_level(self):
+        net = OmegaNetwork(16)
+        links = path_links(net, 3, 11)
+        assert len(links) == net.n_stages + 1
+        assert sorted(level for level, _ in links) == list(
+            range(net.n_stages + 1)
+        )
+
+
+class TestPermutationPassability:
+    @pytest.mark.parametrize("n_ports", [4, 8, 16, 32])
+    def test_identity_is_passable(self, n_ports):
+        assert identity_is_passable(OmegaNetwork(n_ports))
+
+    @pytest.mark.parametrize("n_ports", [8, 16, 32])
+    def test_perfect_shuffle_blocks(self, n_ports):
+        """The omega network cannot route the perfect shuffle itself in
+        one pass -- a classic example of its blocking nature."""
+        net = OmegaNetwork(n_ports)
+        pairs = [(port, net.shuffle(port)) for port in range(n_ports)]
+        assert not is_conflict_free(net, pairs)
+
+    @pytest.mark.parametrize("n_ports,m", [(8, 3), (16, 4), (32, 5)])
+    def test_bit_reversal_blocks(self, n_ports, m):
+        net = OmegaNetwork(n_ports)
+        pairs = [
+            (port, bit_reversal(port, m)) for port in range(n_ports)
+        ]
+        assert not is_conflict_free(net, pairs)
+        # ...but a handful of rounds suffices.
+        rounds = passable_rounds(net, pairs)
+        assert 2 <= len(rounds) <= m + 1
+        scheduled = [pair for one_round in rounds for pair in one_round]
+        assert sorted(scheduled) == sorted(pairs)
+
+    def test_two_disjoint_paths_pass(self):
+        net = OmegaNetwork(8)
+        assert is_conflict_free(net, [(0, 0), (7, 7)])
+
+    def test_conflicting_pairs_reports_both_sides(self):
+        net = OmegaNetwork(8)
+        pairs = [(port, net.shuffle(port)) for port in range(8)]
+        collisions = conflicting_pairs(net, pairs)
+        assert collisions
+        for first, second in collisions:
+            assert path_links(net, *first) & path_links(net, *second)
+
+
+class TestRoundScheduling:
+    def test_conflict_free_batch_takes_one_round(self):
+        net = OmegaNetwork(16)
+        pairs = [(port, port) for port in range(16)]
+        assert len(passable_rounds(net, pairs)) == 1
+
+    def test_empty_batch(self):
+        net = OmegaNetwork(8)
+        assert passable_rounds(net, []) == []
+
+    def test_rounds_are_internally_conflict_free(self):
+        net = OmegaNetwork(16)
+        pairs = [(port, bit_reversal(port, 4)) for port in range(16)]
+        for one_round in passable_rounds(net, pairs):
+            assert is_conflict_free(net, one_round)
+
+
+class TestBatchValidation:
+    def test_duplicate_sources_rejected(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(ConfigurationError):
+            is_conflict_free(net, [(0, 1), (0, 2)])
+
+    def test_duplicate_destinations_rejected(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(ConfigurationError):
+            is_conflict_free(net, [(0, 1), (2, 1)])
+
+    def test_out_of_range_port_rejected(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(ConfigurationError):
+            is_conflict_free(net, [(0, 8)])
+
+
+class TestLinkLoadProfile:
+    def test_profile_of_idle_network(self):
+        profile = link_load_profile(OmegaNetwork(8))
+        assert profile.total_bits == 0
+        assert profile.imbalance == 0.0
+
+    def test_scheme1_concentrates_load_at_the_source_link(self):
+        """The hot-spot story: repeated unicast hammers the source's
+        level-0 link once per destination; vector routing crosses it
+        once."""
+        n_dests = 16
+        dests = worst_case_placement(64, n_dests)
+
+        net1 = OmegaNetwork(64)
+        multicast_scheme1(
+            net1, Message(source=0, payload_bits=20), dests
+        )
+        net2 = OmegaNetwork(64)
+        multicast_scheme2(
+            net2, Message(source=0, payload_bits=20), dests
+        )
+
+        assert net1.link(0, 0).messages == n_dests
+        assert net2.link(0, 0).messages == 1
+        profile1 = link_load_profile(net1)
+        profile2 = link_load_profile(net2)
+        assert profile1.busiest_link == (0, 0)
+        assert profile1.busiest_bits > profile2.busiest_bits
+
+    def test_profile_totals_match_network_counters(self):
+        net = OmegaNetwork(16)
+        multicast_scheme2(
+            net, Message(source=3, payload_bits=10), [0, 5, 9]
+        )
+        profile = link_load_profile(net)
+        assert profile.total_bits == net.total_bits
+        assert profile.n_links == (net.n_stages + 1) * 16

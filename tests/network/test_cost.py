@@ -1,0 +1,236 @@
+"""The paper's closed forms (eqs. 2-8) against independent summations and
+against the simulated fabric -- plus property-based checks with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network import cost
+from repro.network.message import Message
+from repro.network.multicast import (
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+)
+from repro.network.topology import OmegaNetwork
+
+powers = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128])
+network_sizes = st.sampled_from([4, 8, 16, 64, 256, 1024])
+message_sizes = st.integers(min_value=0, max_value=200)
+
+
+class TestClosedFormsEqualDirectSums:
+    @given(n=powers, network=network_sizes, m_bits=message_sizes)
+    def test_eq2(self, n, network, m_bits):
+        if n > network:
+            return
+        assert cost.cc1(n, network, m_bits) == cost.cc1_direct(
+            n, network, m_bits
+        )
+
+    @given(n=powers, network=network_sizes, m_bits=message_sizes)
+    def test_eq3(self, n, network, m_bits):
+        if n > network:
+            return
+        assert cost.cc2_worst(n, network, m_bits) == cost.cc2_worst_direct(
+            n, network, m_bits
+        )
+
+    @given(n1=powers, network=network_sizes, m_bits=message_sizes)
+    def test_eq5(self, n1, network, m_bits):
+        if n1 > network:
+            return
+        assert cost.cc3(n1, network, m_bits) == cost.cc3_direct(
+            n1, network, m_bits
+        )
+
+    @given(
+        n=powers, n1=powers, network=network_sizes, m_bits=message_sizes
+    )
+    def test_eq6(self, n, n1, network, m_bits):
+        if not n <= n1 <= network:
+            return
+        assert cost.cc2_prime(
+            n, n1, network, m_bits
+        ) == cost.cc2_prime_direct(n, n1, network, m_bits)
+
+
+class TestPaperDifferenceExpressions:
+    @given(n=powers, network=network_sizes, m_bits=message_sizes)
+    def test_eq4_is_cc2_minus_cc1(self, n, network, m_bits):
+        if n > network or network < 4:
+            return
+        assert cost.cc2_minus_cc1(n, network, m_bits) == cost.cc2_worst(
+            n, network, m_bits
+        ) - cost.cc1(n, network, m_bits)
+
+    @given(
+        n=powers, n1=powers, network=network_sizes, m_bits=message_sizes
+    )
+    def test_eq7_is_cc3_minus_cc2_prime(self, n, n1, network, m_bits):
+        if not n <= n1 <= network:
+            return
+        assert cost.cc3_minus_cc2_prime(
+            n, n1, network, m_bits
+        ) == cost.cc3(n1, network, m_bits) - cost.cc2_prime(
+            n, n1, network, m_bits
+        )
+
+
+class TestFormulaStructure:
+    def test_cc2_prime_with_full_partition_is_cc2_worst(self):
+        # eq. 6 degenerates to eq. 3 when the partition is the whole machine.
+        for network in (8, 64, 256):
+            for n in (1, 2, 8):
+                for m_bits in (0, 20, 77):
+                    assert cost.cc2_prime(
+                        n, network, network, m_bits
+                    ) == cost.cc2_worst(n, network, m_bits)
+
+    def test_cc3_of_one_destination_is_unicast_with_double_tag(self):
+        # A 2m-bit tag on a single path, two bits stripped per stage.
+        for network in (8, 64):
+            m = network.bit_length() - 1
+            for m_bits in (0, 20):
+                expected = sum(
+                    m_bits + 2 * (m - i) for i in range(m + 1)
+                )
+                assert cost.cc3(1, network, m_bits) == expected
+
+    def test_cc1_grows_linearly(self):
+        assert cost.cc1(8, 64, 20) == 8 * cost.cc1(1, 64, 20)
+
+    def test_cc2_worst_subadditive_versus_scheme1_at_full_broadcast(self):
+        # Broadcasting to everyone, the vector scheme must beat repeated
+        # unicast for any positive message size on a non-trivial network.
+        for network in (64, 256, 1024):
+            assert cost.cc2_worst(network, network, 20) < cost.cc1(
+                network, network, 20
+            )
+
+    def test_combined_is_min_of_candidates(self):
+        for n, n1 in [(1, 8), (4, 16), (16, 16)]:
+            combined = cost.cc_combined(n, n1, 256, 20)
+            assert combined == min(
+                cost.cc1(n, 256, 20),
+                cost.cc2_prime(n, n1, 256, 20),
+                cost.cc3(n1, 256, 20),
+            )
+
+    def test_cheapest_scheme_returns_winner(self):
+        scheme = cost.cheapest_scheme(4, 128, 1024, 20)
+        values = {
+            1: cost.cc1(4, 1024, 20),
+            2: cost.cc2_prime(4, 128, 1024, 20),
+            3: cost.cc3(128, 1024, 20),
+        }
+        assert values[scheme] == min(values.values())
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two_n(self):
+        with pytest.raises(ConfigurationError):
+            cost.cc1(3, 64, 20)
+
+    def test_rejects_oversized_n(self):
+        with pytest.raises(ConfigurationError):
+            cost.cc1(128, 64, 20)
+        with pytest.raises(ConfigurationError):
+            cost.cc3(128, 64, 20)
+
+    def test_rejects_negative_message(self):
+        with pytest.raises(ConfigurationError):
+            cost.cc2_worst(4, 64, -1)
+
+    def test_rejects_n_above_n1(self):
+        with pytest.raises(ConfigurationError):
+            cost.cc2_prime(16, 8, 64, 20)
+
+
+class TestPlacements:
+    def test_worst_case_placement_spreads_prefixes(self):
+        dests = cost.worst_case_placement(64, 8)
+        assert len(set(d >> 3 for d in dests)) == 8
+
+    def test_adjacent_placement_is_contiguous(self):
+        assert cost.adjacent_placement(64, 8, base=16) == tuple(
+            range(16, 24)
+        )
+
+    def test_adjacent_placement_requires_alignment(self):
+        with pytest.raises(ConfigurationError):
+            cost.adjacent_placement(64, 8, base=4)
+
+    def test_spread_in_partition_strides(self):
+        dests = cost.spread_in_partition_placement(64, 4, 16, base=16)
+        assert dests == (16, 20, 24, 28)
+
+
+class TestSimulatedFabricMatchesFormulas:
+    """The strongest check: bits on simulated links == the paper's algebra."""
+
+    @settings(max_examples=60)
+    @given(
+        n=st.sampled_from([1, 2, 4, 8]),
+        network=st.sampled_from([8, 32, 128]),
+        m_bits=st.integers(min_value=0, max_value=60),
+        source=st.integers(min_value=0, max_value=7),
+    )
+    def test_scheme1(self, n, network, m_bits, source):
+        net = OmegaNetwork(network)
+        dests = cost.worst_case_placement(network, n)
+        result = multicast_scheme1(
+            net, Message(source=source, payload_bits=m_bits), dests,
+            commit=False,
+        )
+        assert result.cost == cost.cc1(n, network, m_bits)
+
+    @settings(max_examples=60)
+    @given(
+        n=st.sampled_from([1, 2, 4, 8]),
+        network=st.sampled_from([8, 32, 128]),
+        m_bits=st.integers(min_value=0, max_value=60),
+        source=st.integers(min_value=0, max_value=7),
+    )
+    def test_scheme2_worst(self, n, network, m_bits, source):
+        net = OmegaNetwork(network)
+        dests = cost.worst_case_placement(network, n)
+        result = multicast_scheme2(
+            net, Message(source=source, payload_bits=m_bits), dests,
+            commit=False,
+        )
+        assert result.cost == cost.cc2_worst(n, network, m_bits)
+
+    @settings(max_examples=60)
+    @given(
+        n1=st.sampled_from([1, 2, 4, 8]),
+        network=st.sampled_from([8, 32, 128]),
+        m_bits=st.integers(min_value=0, max_value=60),
+        source=st.integers(min_value=0, max_value=7),
+    )
+    def test_scheme3_adjacent(self, n1, network, m_bits, source):
+        net = OmegaNetwork(network)
+        dests = cost.adjacent_placement(network, n1)
+        result = multicast_scheme3(
+            net, Message(source=source, payload_bits=m_bits), dests,
+            commit=False,
+        )
+        assert result.cost == cost.cc3(n1, network, m_bits)
+
+    @settings(max_examples=40)
+    @given(
+        n=st.sampled_from([1, 2, 4]),
+        n1=st.sampled_from([4, 8, 16]),
+        m_bits=st.integers(min_value=0, max_value=60),
+    )
+    def test_scheme2_within_partition(self, n, n1, m_bits):
+        if n > n1:
+            return
+        net = OmegaNetwork(128)
+        dests = cost.spread_in_partition_placement(128, n, n1)
+        result = multicast_scheme2(
+            net, Message(source=0, payload_bits=m_bits), dests, commit=False
+        )
+        assert result.cost == cost.cc2_prime(n, n1, 128, m_bits)

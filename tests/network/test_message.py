@@ -1,0 +1,38 @@
+"""Unit tests for the network-level message type."""
+
+import pytest
+
+from repro.network.message import Message
+
+
+class TestMessage:
+    def test_serials_are_unique_and_increasing(self):
+        first = Message(source=0, payload_bits=1)
+        second = Message(source=0, payload_bits=1)
+        assert second.serial > first.serial
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Message(source=0, payload_bits=-1)
+
+    def test_zero_payload_allowed(self):
+        assert Message(source=0, payload_bits=0).payload_bits == 0
+
+    def test_kind_defaults_to_data(self):
+        assert Message(source=1, payload_bits=4).kind == "data"
+
+    def test_immutability(self):
+        message = Message(source=1, payload_bits=4)
+        with pytest.raises(AttributeError):
+            message.payload_bits = 8
+
+    def test_equality_ignores_serial_and_payload_object(self):
+        a = Message(source=1, payload_bits=4, payload={"x": 1})
+        b = Message(source=1, payload_bits=4, payload={"y": 2})
+        assert a == b
+
+    def test_payload_carries_structured_content(self):
+        message = Message(
+            source=2, payload_bits=8, payload=[1, 2, 3]
+        )
+        assert message.payload == [1, 2, 3]

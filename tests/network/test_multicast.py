@@ -1,0 +1,262 @@
+"""Unit tests for the three multicast schemes and the combined scheme."""
+
+import pytest
+
+from repro.errors import MulticastError
+from repro.network import cost
+from repro.network.message import Message
+from repro.network.multicast import (
+    MulticastScheme,
+    Multicaster,
+    enclosing_subcube,
+    multicast,
+    multicast_combined,
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+    subcube_members,
+)
+from repro.network.topology import OmegaNetwork
+
+
+def msg(source=0, bits=20):
+    return Message(source=source, payload_bits=bits)
+
+
+class TestScheme1:
+    def test_delivers_to_every_destination(self):
+        net = OmegaNetwork(8)
+        result = multicast_scheme1(net, msg(), [1, 4, 6], commit=False)
+        assert result.delivered == {1, 4, 6}
+
+    def test_cost_is_linear_in_destinations(self):
+        net = OmegaNetwork(16)
+        one = multicast_scheme1(net, msg(), [3], commit=False).cost
+        four = multicast_scheme1(
+            net, msg(), [3, 5, 9, 12], commit=False
+        ).cost
+        assert four == 4 * one
+
+    def test_cost_matches_eq2(self):
+        net = OmegaNetwork(64)
+        for n in (1, 2, 8, 32):
+            dests = cost.worst_case_placement(64, n)
+            result = multicast_scheme1(net, msg(bits=20), dests, commit=False)
+            assert result.cost == cost.cc1(n, 64, 20)
+
+    def test_empty_destination_set(self):
+        net = OmegaNetwork(8)
+        result = multicast_scheme1(net, msg(), [], commit=False)
+        assert result.cost == 0
+        assert result.loads == ()
+
+    def test_common_links_paid_repeatedly(self):
+        # Two adjacent destinations share most of the path; scheme 1 pays
+        # every shared link twice (the inefficiency scheme 2 removes).
+        net = OmegaNetwork(8)
+        result = multicast_scheme1(net, msg(), [0, 1], commit=False)
+        assert len(result.loads) == 2 * (net.n_stages + 1)
+        assert result.links_used < len(result.loads)
+
+    def test_rejects_out_of_range_destination(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(MulticastError):
+            multicast_scheme1(net, msg(), [8], commit=False)
+
+
+class TestScheme2:
+    def test_delivers_exactly_the_flagged_caches(self):
+        net = OmegaNetwork(16)
+        dests = {0, 3, 7, 9, 14}
+        result = multicast_scheme2(net, msg(source=5), dests, commit=False)
+        assert result.delivered == dests
+
+    def test_figure4_example(self):
+        """The worked example of Figure 4: N=8, destinations 0, 2, 3, 6."""
+        net = OmegaNetwork(8)
+        result = multicast_scheme2(
+            net, msg(source=1, bits=20), [0, 2, 3, 6], commit=False
+        )
+        assert result.delivered == {0, 2, 3, 6}
+        # Branch counts per level follow the distinct destination prefixes:
+        # 1 at level 0, then 2, 3, 4.
+        by_level = {}
+        for load in result.loads:
+            by_level.setdefault(load.level, []).append(load.bits)
+        assert [len(by_level[level]) for level in range(4)] == [1, 2, 3, 4]
+        # The vector halves at each stage: 8, 4, 2, 1 bits of tag.
+        assert by_level[0] == [20 + 8]
+        assert set(by_level[1]) == {20 + 4}
+        assert set(by_level[2]) == {20 + 2}
+        assert set(by_level[3]) == {20 + 1}
+        assert result.cost == (20 + 8) + 2 * (20 + 4) + 3 * (20 + 2) + 4 * (
+            20 + 1
+        )
+
+    def test_worst_case_matches_eq3(self):
+        for n_ports in (8, 64, 1024):
+            net = OmegaNetwork(n_ports)
+            for n in (1, 2, 4):
+                dests = cost.worst_case_placement(n_ports, n)
+                result = multicast_scheme2(net, msg(), dests, commit=False)
+                assert result.cost == cost.cc2_worst(n, n_ports, 20)
+
+    def test_adjacent_case_matches_eq6_with_n1_equal_n(self):
+        net = OmegaNetwork(64)
+        for n in (2, 4, 8):
+            dests = cost.adjacent_placement(64, n)
+            result = multicast_scheme2(net, msg(), dests, commit=False)
+            assert result.cost == cost.cc2_prime(n, n, 64, 20)
+
+    def test_arbitrary_sets_never_exceed_worst_case(self):
+        import random
+
+        rng = random.Random(42)
+        net = OmegaNetwork(64)
+        for _ in range(25):
+            k = rng.choice([1, 2, 4, 8, 16])
+            dests = rng.sample(range(64), k)
+            result = multicast_scheme2(net, msg(), dests, commit=False)
+            assert result.cost <= cost.cc2_worst(k, 64, 20)
+
+    def test_broadcast_to_all(self):
+        net = OmegaNetwork(16)
+        result = multicast_scheme2(net, msg(), range(16), commit=False)
+        assert result.delivered == set(range(16))
+        assert result.cost == cost.cc2_worst(16, 16, 20)
+
+    def test_common_links_paid_once(self):
+        net = OmegaNetwork(8)
+        result = multicast_scheme2(net, msg(), [0, 1], commit=False)
+        assert result.links_used == len(result.loads)
+
+    def test_commit_accounts_splits(self):
+        net = OmegaNetwork(8)
+        multicast_scheme2(net, msg(), [0, 7])
+        assert sum(s.splits for s in net.iter_switches()) >= 1
+
+
+class TestScheme3:
+    def test_exact_subcube_delivery(self):
+        net = OmegaNetwork(16)
+        result = multicast_scheme3(net, msg(), [4, 5, 6, 7], commit=False)
+        assert result.delivered == {4, 5, 6, 7}
+
+    def test_non_subcube_rejected_when_exact(self):
+        net = OmegaNetwork(16)
+        with pytest.raises(MulticastError):
+            multicast_scheme3(net, msg(), [0, 1, 2], commit=False)
+
+    def test_non_subcube_covered_when_inexact(self):
+        net = OmegaNetwork(16)
+        result = multicast_scheme3(
+            net, msg(), [0, 1, 2], exact=False, commit=False
+        )
+        assert result.requested == {0, 1, 2}
+        assert result.delivered == {0, 1, 2, 3}
+
+    def test_non_contiguous_subcube(self):
+        # {1, 3, 9, 11} differ in bits 1 and 3: a valid (scattered) subcube.
+        net = OmegaNetwork(16)
+        result = multicast_scheme3(net, msg(), [1, 3, 9, 11], commit=False)
+        assert result.delivered == {1, 3, 9, 11}
+
+    def test_adjacent_cost_matches_eq5(self):
+        for n_ports in (8, 64, 1024):
+            net = OmegaNetwork(n_ports)
+            for n1 in (1, 2, 8):
+                dests = cost.adjacent_placement(n_ports, n1)
+                result = multicast_scheme3(net, msg(), dests, commit=False)
+                assert result.cost == cost.cc3(n1, n_ports, 20)
+
+    def test_single_destination_uses_full_tag(self):
+        net = OmegaNetwork(8)
+        result = multicast_scheme3(net, msg(bits=0), [5], commit=False)
+        # The 2m-bit tag shrinks by two per stage: 6 + 4 + 2 + 0.
+        assert [load.bits for load in result.loads] == [6, 4, 2, 0]
+
+    def test_full_broadcast(self):
+        net = OmegaNetwork(8)
+        result = multicast_scheme3(net, msg(), range(8), commit=False)
+        assert result.delivered == set(range(8))
+
+    def test_zero_destinations_rejected(self):
+        net = OmegaNetwork(8)
+        with pytest.raises(MulticastError):
+            multicast_scheme3(net, msg(), [], commit=False)
+
+
+class TestSubcubeHelpers:
+    def test_enclosing_subcube_of_singleton(self):
+        net = OmegaNetwork(16)
+        assert enclosing_subcube(net, [9]) == (9, 0)
+
+    def test_enclosing_subcube_of_aligned_range(self):
+        net = OmegaNetwork(16)
+        base, varying = enclosing_subcube(net, [8, 9, 10, 11])
+        assert (base, varying) == (8, 0b11)
+
+    def test_subcube_members_roundtrip(self):
+        net = OmegaNetwork(16)
+        dests = [2, 6, 10, 14]  # bits 2 and 3 vary
+        base, varying = enclosing_subcube(net, dests)
+        assert subcube_members(net, base, varying) == frozenset(dests)
+
+
+class TestCombinedScheme:
+    def test_picks_cheapest_candidate(self):
+        net = OmegaNetwork(64)
+        for dests in ([5], [0, 1, 2, 3], list(range(0, 64, 8))):
+            combined = multicast_combined(net, msg(), dests, commit=False)
+            candidates = [
+                multicast_scheme1(net, msg(), dests, commit=False).cost,
+                multicast_scheme2(net, msg(), dests, commit=False).cost,
+                multicast_scheme3(
+                    net, msg(), dests, exact=False, commit=False
+                ).cost,
+            ]
+            assert combined.cost == min(candidates)
+
+    def test_commit_charges_only_winner(self):
+        net = OmegaNetwork(16)
+        result = multicast_combined(net, msg(), [0, 1, 2, 3])
+        assert net.total_bits == result.cost
+
+    def test_empty_destinations(self):
+        net = OmegaNetwork(8)
+        result = multicast_combined(net, msg(), [], commit=False)
+        assert result.cost == 0
+
+
+class TestMulticaster:
+    def test_single_destination_degenerates_to_unicast(self):
+        net = OmegaNetwork(8)
+        caster = Multicaster(net, MulticastScheme.VECTOR)
+        result = caster.send(msg(bits=20), [3])
+        assert result.scheme is MulticastScheme.UNICAST
+        assert result.cost == cost.cc1(1, 8, 20)
+
+    def test_scheme_selection_is_honoured(self):
+        net = OmegaNetwork(16)
+        dests = [0, 1, 2, 3]
+        for scheme, expected in [
+            (MulticastScheme.UNICAST, MulticastScheme.UNICAST),
+            (MulticastScheme.VECTOR, MulticastScheme.VECTOR),
+            (MulticastScheme.BROADCAST_TAG, MulticastScheme.BROADCAST_TAG),
+        ]:
+            fresh = Multicaster(OmegaNetwork(16), scheme)
+            assert fresh.send(msg(), dests).scheme is expected
+
+    def test_empty_send_costs_nothing(self):
+        net = OmegaNetwork(8)
+        caster = Multicaster(net)
+        assert caster.send(msg(), []).cost == 0
+        assert net.total_bits == 0
+
+    def test_dispatch_function_broadcast_tag_overdelivers(self):
+        net = OmegaNetwork(8)
+        result = multicast(
+            net, msg(), [0, 1, 2], MulticastScheme.BROADCAST_TAG,
+            commit=False,
+        )
+        assert result.delivered == {0, 1, 2, 3}

@@ -1,0 +1,151 @@
+"""Property-based tests for the multicast schemes over random inputs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import cost
+from repro.network.message import Message
+from repro.network.multicast import (
+    multicast_combined,
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+)
+from repro.network.topology import OmegaNetwork
+
+NETWORK_SIZE = 64
+
+dest_sets = st.sets(
+    st.integers(0, NETWORK_SIZE - 1), min_size=1, max_size=NETWORK_SIZE
+)
+sources = st.integers(0, NETWORK_SIZE - 1)
+payloads = st.integers(0, 100)
+
+
+@st.composite
+def multicast_case(draw):
+    return (
+        draw(sources),
+        draw(dest_sets),
+        draw(payloads),
+    )
+
+
+common = settings(max_examples=120, deadline=None)
+
+
+class TestScheme2Properties:
+    @common
+    @given(case=multicast_case())
+    def test_delivers_exactly_the_requested_set(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        result = multicast_scheme2(
+            net, Message(source=source, payload_bits=payload), dests,
+            commit=False,
+        )
+        assert result.delivered == frozenset(dests)
+
+    @common
+    @given(case=multicast_case())
+    def test_tree_touches_each_link_once(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        result = multicast_scheme2(
+            net, Message(source=source, payload_bits=payload), dests,
+            commit=False,
+        )
+        keys = [load.key for load in result.loads]
+        assert len(keys) == len(set(keys))
+
+    @common
+    @given(case=multicast_case())
+    def test_cost_bounded_by_worst_case_closed_form(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        result = multicast_scheme2(
+            net, Message(source=source, payload_bits=payload), dests,
+            commit=False,
+        )
+        # Round |dests| up to a power of two: eq. 3 is stated for 2**k.
+        n = 1
+        while n < len(dests):
+            n *= 2
+        assert result.cost <= cost.cc2_worst(n, NETWORK_SIZE, payload)
+
+    @common
+    @given(case=multicast_case())
+    def test_branch_count_equals_distinct_prefixes(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        result = multicast_scheme2(
+            net, Message(source=source, payload_bits=payload), dests,
+            commit=False,
+        )
+        by_level = {}
+        for load in result.loads:
+            by_level[load.level] = by_level.get(load.level, 0) + 1
+        m = net.n_stages
+        for level in range(1, m + 1):
+            prefixes = {dest >> (m - level) for dest in dests}
+            assert by_level[level] == len(prefixes)
+
+
+class TestCrossSchemeProperties:
+    @common
+    @given(case=multicast_case())
+    def test_scheme1_cost_is_count_times_unicast(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        result = multicast_scheme1(
+            net, Message(source=source, payload_bits=payload), dests,
+            commit=False,
+        )
+        assert result.cost == len(dests) * cost.cc1(
+            1, NETWORK_SIZE, payload
+        )
+
+    @common
+    @given(case=multicast_case())
+    def test_combined_is_minimum_of_the_three(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        message = Message(source=source, payload_bits=payload)
+        combined = multicast_combined(net, message, dests, commit=False)
+        candidates = [
+            multicast_scheme1(net, message, dests, commit=False).cost,
+            multicast_scheme2(net, message, dests, commit=False).cost,
+            multicast_scheme3(
+                net, message, dests, exact=False, commit=False
+            ).cost,
+        ]
+        assert combined.cost == min(candidates)
+
+    @common
+    @given(case=multicast_case())
+    def test_scheme3_delivery_covers_request(self, case):
+        source, dests, payload = case
+        net = OmegaNetwork(NETWORK_SIZE)
+        result = multicast_scheme3(
+            net,
+            Message(source=source, payload_bits=payload),
+            dests,
+            exact=False,
+            commit=False,
+        )
+        assert result.delivered >= frozenset(dests)
+        # The cover is a subcube: a power-of-two superset.
+        assert len(result.delivered) & (len(result.delivered) - 1) == 0
+
+    @common
+    @given(case=multicast_case(), data=st.data())
+    def test_commit_accounting_matches_probe(self, case, data):
+        source, dests, payload = case
+        probe_net = OmegaNetwork(NETWORK_SIZE)
+        commit_net = OmegaNetwork(NETWORK_SIZE)
+        message = Message(source=source, payload_bits=payload)
+        probe = multicast_scheme2(
+            probe_net, message, dests, commit=False
+        )
+        multicast_scheme2(commit_net, message, dests, commit=True)
+        assert commit_net.total_bits == probe.cost

@@ -1,0 +1,154 @@
+"""Tests for the radix generalisation (a x a switches, §3's remark)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MulticastError
+from repro.network import cost
+from repro.network.message import Message
+from repro.network.radix import (
+    RadixOmegaNetwork,
+    cc1_radix,
+    cc2_worst_radix,
+    cc3_radix,
+    digit_bits,
+    radix_multicast_scheme1,
+    radix_multicast_scheme2,
+    radix_multicast_scheme3,
+    radix_unicast,
+)
+
+
+def msg(source=0, bits=20):
+    return Message(source=source, payload_bits=bits)
+
+
+class TestGeometry:
+    def test_stage_counts(self):
+        assert RadixOmegaNetwork(64, 4).n_stages == 3
+        assert RadixOmegaNetwork(64, 8).n_stages == 2
+        assert RadixOmegaNetwork(27, 3).n_stages == 3
+
+    def test_rejects_non_power_geometries(self):
+        with pytest.raises(ConfigurationError):
+            RadixOmegaNetwork(48, 4)
+        with pytest.raises(ConfigurationError):
+            RadixOmegaNetwork(64, 1)
+
+    def test_digit_bits(self):
+        assert digit_bits(2) == 1
+        assert digit_bits(4) == 2
+        assert digit_bits(5) == 3
+        assert digit_bits(8) == 3
+
+    def test_shuffle_is_digit_rotation(self):
+        net = RadixOmegaNetwork(64, 4)  # 3 base-4 digits
+        # 0o123 (base 4: 1,2,3) rotates to (2,3,1).
+        position = 1 * 16 + 2 * 4 + 3
+        assert net.shuffle(position) == 2 * 16 + 3 * 4 + 1
+
+    def test_shuffle_is_permutation(self):
+        net = RadixOmegaNetwork(27, 3)
+        assert sorted(net.shuffle(p) for p in range(27)) == list(range(27))
+
+
+class TestRouting:
+    @pytest.mark.parametrize("n_ports,radix", [(16, 4), (27, 3), (64, 8)])
+    def test_every_pair_routes(self, n_ports, radix):
+        net = RadixOmegaNetwork(n_ports, radix)
+        for source in range(0, n_ports, 3):
+            for dest in range(n_ports):
+                positions = net.route_positions(source, dest)
+                assert positions[0] == source
+                assert positions[-1] == dest
+
+    def test_radix2_routes_match_binary_network(self):
+        from repro.network.topology import OmegaNetwork
+
+        binary = OmegaNetwork(16)
+        radix = RadixOmegaNetwork(16, 2)
+        for source in range(16):
+            for dest in range(16):
+                assert radix.route_positions(
+                    source, dest
+                ) == binary.route_positions(source, dest)
+
+
+class TestSchemeCosts:
+    def test_radix2_reduces_to_the_paper_closed_forms(self):
+        for n_ports in (8, 64):
+            for n in (1, 2, 4, 8):
+                for m_bits in (0, 20):
+                    assert cc1_radix(n, n_ports, 2, m_bits) == cost.cc1(
+                        n, n_ports, m_bits
+                    )
+                    assert cc2_worst_radix(
+                        n, n_ports, 2, m_bits
+                    ) == cost.cc2_worst(n, n_ports, m_bits)
+                    assert cc3_radix(
+                        n, n_ports, 2, m_bits
+                    ) == cost.cc3(n, n_ports, m_bits)
+
+    @pytest.mark.parametrize("n_ports,radix", [(64, 4), (64, 8), (27, 3)])
+    def test_scheme1_simulation_matches_formula(self, n_ports, radix):
+        net = RadixOmegaNetwork(n_ports, radix)
+        dests = list(range(0, n_ports, max(1, n_ports // 8)))[:4]
+        result = radix_multicast_scheme1(net, msg(), dests, commit=False)
+        assert result.cost == cc1_radix(len(dests), n_ports, radix, 20)
+
+    @pytest.mark.parametrize("n_ports,radix", [(64, 4), (27, 3)])
+    def test_scheme2_worst_simulation_matches_formula(
+        self, n_ports, radix
+    ):
+        net = RadixOmegaNetwork(n_ports, radix)
+        m = net.n_stages
+        for k in range(m + 1):
+            n = radix**k
+            stride = n_ports // n
+            dests = [j * stride for j in range(n)]
+            result = radix_multicast_scheme2(
+                net, msg(), dests, commit=False
+            )
+            assert result.cost == cc2_worst_radix(
+                n, n_ports, radix, 20
+            ), (n_ports, radix, n)
+
+    @pytest.mark.parametrize("n_ports,radix", [(64, 4), (64, 8), (27, 3)])
+    def test_scheme3_simulation_matches_formula(self, n_ports, radix):
+        net = RadixOmegaNetwork(n_ports, radix)
+        for l in range(net.n_stages + 1):
+            n1 = radix**l
+            result = radix_multicast_scheme3(
+                net, msg(source=1), range(n1), commit=False
+            )
+            assert result.cost == cc3_radix(n1, n_ports, radix, 20)
+
+    def test_higher_radix_needs_fewer_stages_hence_less_tag(self):
+        # Same machine size, bigger switches: shorter paths, cheaper
+        # unicasts (the engineering trade §3 alludes to).
+        assert cc1_radix(1, 64, 8, 20) < cc1_radix(1, 64, 2, 20)
+
+
+class TestSchemeBehaviour:
+    def test_scheme2_delivers_arbitrary_sets(self):
+        net = RadixOmegaNetwork(64, 4)
+        dests = {0, 5, 21, 22, 63}
+        result = radix_multicast_scheme2(net, msg(), dests, commit=False)
+        assert result.delivered == dests
+
+    def test_scheme3_rejects_unaligned_blocks(self):
+        net = RadixOmegaNetwork(64, 4)
+        with pytest.raises(MulticastError):
+            radix_multicast_scheme3(net, msg(), [1, 2, 3, 4], commit=False)
+        with pytest.raises(MulticastError):
+            radix_multicast_scheme3(net, msg(), [0, 1, 2], commit=False)
+
+    def test_unicast_commit_updates_counters(self):
+        net = RadixOmegaNetwork(16, 4)
+        result = radix_unicast(net, msg(), 9)
+        assert net.total_bits == result.cost
+        net.reset_traffic()
+        assert net.total_bits == 0
+
+    def test_empty_scheme2_multicast(self):
+        net = RadixOmegaNetwork(16, 4)
+        assert radix_multicast_scheme2(net, msg(), [], commit=False).cost == 0

@@ -1,0 +1,88 @@
+"""Unit tests for destination-tag unicast routing and its cost model."""
+
+import pytest
+
+from repro.network import cost
+from repro.network.message import Message
+from repro.network.routing import (
+    route_path,
+    tag_bits_scheme1,
+    unicast,
+)
+from repro.network.topology import OmegaNetwork
+
+
+class TestTagBits:
+    def test_tag_shrinks_one_bit_per_stage(self):
+        net = OmegaNetwork(16)
+        assert [tag_bits_scheme1(net, level) for level in range(5)] == [
+            4,
+            3,
+            2,
+            1,
+            0,
+        ]
+
+    def test_out_of_range_level(self):
+        net = OmegaNetwork(16)
+        with pytest.raises(ValueError):
+            tag_bits_scheme1(net, 5)
+
+
+class TestUnicast:
+    def test_cost_matches_eq2_single_destination(self):
+        for n_ports in (4, 16, 256):
+            net = OmegaNetwork(n_ports)
+            for payload in (0, 7, 20):
+                result = unicast(
+                    net,
+                    Message(source=1, payload_bits=payload),
+                    dest=2 % n_ports,
+                    commit=False,
+                )
+                assert result.cost == cost.cc1(1, n_ports, payload)
+
+    def test_loads_cover_all_levels(self):
+        net = OmegaNetwork(8)
+        result = unicast(
+            net, Message(source=0, payload_bits=4), dest=6, commit=False
+        )
+        assert [load.level for load in result.loads] == [0, 1, 2, 3]
+        # Level 0 carries the full 3-bit tag, the final level none.
+        assert result.loads[0].bits == 4 + 3
+        assert result.loads[-1].bits == 4
+
+    def test_commit_updates_link_counters(self):
+        net = OmegaNetwork(8)
+        result = unicast(net, Message(source=2, payload_bits=10), dest=5)
+        assert net.total_bits == result.cost
+        for load in result.loads:
+            assert net.link(load.level, load.position).bits == load.bits
+
+    def test_commit_false_leaves_counters_untouched(self):
+        net = OmegaNetwork(8)
+        unicast(net, Message(source=2, payload_bits=10), dest=5, commit=False)
+        assert net.total_bits == 0
+        assert all(s.messages == 0 for s in net.iter_switches())
+
+    def test_commit_records_one_switch_per_stage(self):
+        net = OmegaNetwork(8)
+        unicast(net, Message(source=0, payload_bits=1), dest=7)
+        assert sum(s.messages for s in net.iter_switches()) == net.n_stages
+
+    def test_route_path_matches_topology(self):
+        net = OmegaNetwork(16)
+        keys = route_path(net, 3, 9)
+        assert keys == [
+            (level, position)
+            for level, position in enumerate(net.route_positions(3, 9))
+        ]
+
+    def test_source_equals_destination_still_traverses(self):
+        # The dance-hall model: even a port-to-itself message crosses the
+        # fabric (m + 1 link loads).
+        net = OmegaNetwork(8)
+        result = unicast(
+            net, Message(source=4, payload_bits=0), dest=4, commit=False
+        )
+        assert len(result.loads) == net.n_stages + 1

@@ -1,0 +1,85 @@
+"""Shared fixtures and helpers for the protocol test suite."""
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+
+def build(
+    n_nodes=8,
+    *,
+    default_mode=Mode.GLOBAL_READ,
+    cache_entries=4,
+    block_size_words=2,
+    mode_policy=None,
+    **config_kwargs,
+):
+    """A fresh system + Stenström protocol with small, test-friendly sizes."""
+    system = System(
+        SystemConfig(
+            n_nodes=n_nodes,
+            cache_entries=cache_entries,
+            block_size_words=block_size_words,
+            **config_kwargs,
+        )
+    )
+    protocol = StenstromProtocol(
+        system, default_mode=default_mode, mode_policy=mode_policy
+    )
+    return system, protocol
+
+
+def addr(block, offset=0):
+    return Address(block, offset)
+
+
+def state_of(system, node, block):
+    """The Table 1 state of ``block`` at ``node`` (INVALID if absent)."""
+    from repro.cache.state import CacheState
+
+    entry = system.caches[node].find(block)
+    if entry is None:
+        return CacheState.INVALID
+    return entry.state(node)
+
+
+def field_of(system, node, block):
+    entry = system.caches[node].find(block)
+    assert entry is not None, f"no entry for block {block} at node {node}"
+    return entry.state_field
+
+
+def traffic(protocol, kind):
+    """Total bits the protocol recorded for one message kind."""
+    return protocol.stats.traffic_bits[kind.value]
+
+
+def messages(protocol, kind):
+    """Message count the protocol recorded for one message kind."""
+    return protocol.stats.traffic_messages[kind.value]
+
+
+@pytest.fixture
+def gr_setup():
+    """System with block 0 owned (global read) by node 0 and read by 1, 2."""
+    system, protocol = build()
+    protocol.write(0, addr(0), 10)  # node 0 loads + owns exclusively
+    protocol.read(1, addr(0))
+    protocol.read(2, addr(0))
+    protocol.check_invariants()
+    return system, protocol
+
+
+@pytest.fixture
+def dw_setup():
+    """System with block 0 owned (distributed write) by node 0, copies at
+    nodes 1 and 2."""
+    system, protocol = build(default_mode=Mode.DISTRIBUTED_WRITE)
+    protocol.write(0, addr(0), 10)
+    protocol.read(1, addr(0))
+    protocol.read(2, addr(0))
+    protocol.check_invariants()
+    return system, protocol

@@ -1,0 +1,160 @@
+"""Unit tests for the §4 analytic cost model (eqs. 9-12, Figure 7/8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network import cost as netcost
+from repro.protocol import costs
+
+
+class TestAbsoluteCosts:
+    def test_eq9_no_cache(self):
+        unit = costs.one_traversal(1024, 20)
+        assert costs.cc_no_cache(0.0, 1024, 20) == 2 * unit
+        assert costs.cc_no_cache(1.0, 1024, 20) == unit
+        assert costs.cc_no_cache(0.5, 1024, 20) == pytest.approx(1.5 * unit)
+
+    def test_eq10_write_once_uses_combined_multicast(self):
+        w, n, n1 = 0.3, 16, 128
+        expected = w * (1 - w) * (
+            netcost.cc_combined(n, n1, 1024, 20)
+            + 2 * costs.one_traversal(1024, 20)
+        )
+        assert costs.cc_write_once(w, n, n1, 1024, 20) == pytest.approx(
+            expected
+        )
+
+    def test_eq10_bound_dominates(self):
+        """The paper's bound w(1-w)(n+2)CC1 upper-bounds the exact eq. 10."""
+        for w in (0.1, 0.3, 0.7):
+            for n in (2, 8, 64):
+                exact = costs.cc_write_once(w, n, 128, 1024, 20)
+                bound = costs.cc_write_once_bound(w, n, 1024, 20)
+                assert exact <= bound + 1e-9
+
+    def test_eq11_distributed_write(self):
+        assert costs.cc_distributed_write(0.0, 8, 128, 1024, 20) == 0
+        assert costs.cc_distributed_write(
+            0.5, 8, 128, 1024, 20
+        ) == pytest.approx(0.5 * netcost.cc_combined(8, 128, 1024, 20))
+
+    def test_eq12_global_read(self):
+        unit = costs.one_traversal(1024, 20)
+        assert costs.cc_global_read(0.0, 1024, 20) == 2 * unit
+        assert costs.cc_global_read(1.0, 1024, 20) == 0
+
+    def test_two_mode_is_min_of_modes(self):
+        for w in (0.05, 0.2, 0.9):
+            assert costs.cc_two_mode(w, 8, 128, 1024, 20) == min(
+                costs.cc_distributed_write(w, 8, 128, 1024, 20),
+                costs.cc_global_read(w, 1024, 20),
+            )
+
+    def test_write_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            costs.cc_no_cache(1.5, 64, 20)
+        with pytest.raises(ConfigurationError):
+            costs.cc_global_read(-0.1, 64, 20)
+
+
+class TestNormalizedCurves:
+    def test_figure8_endpoints(self):
+        assert costs.normalized_no_cache(0.0) == 2.0
+        assert costs.normalized_no_cache(1.0) == 1.0
+        assert costs.normalized_write_once(0.0, 16) == 0.0
+        assert costs.normalized_write_once(1.0, 16) == 0.0
+        assert costs.normalized_two_mode(0.0, 16) == 0.0
+        assert costs.normalized_two_mode(1.0, 16) == 0.0
+
+    def test_write_once_peaks_at_half(self):
+        n = 16
+        peak = costs.normalized_write_once(0.5, n)
+        assert peak == (n + 2) / 4
+        for w in (0.2, 0.4, 0.6, 0.8):
+            assert costs.normalized_write_once(w, n) <= peak
+
+    def test_two_mode_peak_value_and_location(self):
+        from repro.protocol.modes import write_fraction_threshold
+
+        for n in (2, 4, 16, 64):
+            w1 = write_fraction_threshold(n)
+            peak = costs.two_mode_peak(n)
+            assert costs.normalized_two_mode(w1, n) == pytest.approx(peak)
+            for w in (0.01, 0.3, 0.77, 0.99):
+                assert costs.normalized_two_mode(w, n) <= peak + 1e-9
+
+
+class TestPaperSection4Claims:
+    """The two claims proved at the end of §4: with the w1 threshold the
+    two-mode cost never exceeds (a) the uncached cost, nor (b) the
+    write-once cost."""
+
+    W_GRID = [i / 50 for i in range(51)]
+    N_VALUES = [1, 2, 4, 8, 16, 64, 256]
+
+    def test_two_mode_never_exceeds_no_cache(self):
+        for n in self.N_VALUES:
+            for w in self.W_GRID:
+                assert costs.normalized_two_mode(
+                    w, n
+                ) <= costs.normalized_no_cache(w)
+
+    def test_two_mode_never_exceeds_write_once(self):
+        # The curves touch exactly at w1 = 2/(n+2) (both equal 2n/(n+2))
+        # and the two-mode curve is below everywhere else.
+        for n in self.N_VALUES:
+            for w in self.W_GRID:
+                assert (
+                    costs.normalized_two_mode(w, n)
+                    <= costs.normalized_write_once(w, n) + 1e-12
+                )
+
+    def test_two_mode_upper_bound_is_below_two(self):
+        """The §5 point: the two-mode upper bound 2n/(n+2) < 2 = the
+        uncached worst case, for every n."""
+        for n in self.N_VALUES:
+            assert costs.two_mode_peak(n) < 2.0
+
+    def test_write_once_can_be_much_worse_than_no_cache(self):
+        """§5: 'write-once and distributed write can result in huge
+        network traffic' -- at w = 0.5 with many sharers."""
+        assert costs.normalized_write_once(0.5, 64) > 10 * (
+            costs.normalized_no_cache(0.5)
+        )
+
+
+class TestWriteOnceChain:
+    def test_stationary_distribution(self):
+        chain = costs.WriteOnceChain(0.3)
+        exclusive, shared = chain.stationary()
+        assert exclusive == pytest.approx(0.3)
+        assert shared == pytest.approx(0.7)
+
+    def test_transition_rate(self):
+        assert costs.WriteOnceChain(0.25).transition_rate() == (
+            pytest.approx(0.1875)
+        )
+
+    def test_monte_carlo_matches_analytic_rate(self):
+        chain = costs.WriteOnceChain(0.3)
+        steps = 200_000
+        to_exclusive, to_shared = chain.simulate(steps, seed=11)
+        rate = chain.transition_rate()
+        assert to_exclusive / steps == pytest.approx(rate, rel=0.05)
+        assert to_shared / steps == pytest.approx(rate, rel=0.05)
+
+    def test_transitions_balance(self):
+        to_exclusive, to_shared = costs.WriteOnceChain(0.5).simulate(
+            10_000, seed=3
+        )
+        assert abs(to_exclusive - to_shared) <= 1
+
+    def test_degenerate_chains_never_transition(self):
+        assert costs.WriteOnceChain(0.0).simulate(1000)[0] == 0
+        assert costs.WriteOnceChain(1.0).simulate(1000)[1] <= 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            costs.WriteOnceChain(1.2)
+        with pytest.raises(ConfigurationError):
+            costs.WriteOnceChain(0.5).simulate(0)

@@ -1,0 +1,124 @@
+"""Exhaustive exploration of small protocol configurations.
+
+Model-checking-lite: enumerate *every* sequence of operations up to a
+fixed depth on a tiny machine (3 caches, 2 blocks, 1-entry caches so
+replacement fires constantly) and verify, after every step,
+
+* value coherence against a shadow memory, and
+* all structural invariants.
+
+Hypothesis samples this space; these tests *cover* it, so any reachable
+protocol state within the horizon is certified, not just probably fine.
+"""
+
+import itertools
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+# Operation alphabet: (kind, node, block).  Writes use a counter value
+# injected at execution time so every write is distinguishable.
+NODES = (0, 1, 2)
+BLOCKS = (0, 1)
+OPS = (
+    [("R", node, block) for node in NODES for block in BLOCKS]
+    + [("W", node, block) for node in NODES for block in BLOCKS]
+)
+MODE_OPS = [
+    ("M", node, block, mode)
+    for node in (0, 1)
+    for block in BLOCKS
+    for mode in Mode
+]
+
+
+def execute(protocol, sequence):
+    """Run an operation sequence with verification at every step."""
+    shadow = {}
+    counter = itertools.count(1)
+    for op in sequence:
+        kind, node, block = op[0], op[1], op[2]
+        address = Address(block, 0)
+        if kind == "R":
+            observed = protocol.read(node, address)
+            expected = shadow.get(address, 0)
+            assert observed == expected, (
+                f"sequence {sequence}: node {node} read {observed}, "
+                f"expected {expected}"
+            )
+        elif kind == "W":
+            value = next(counter)
+            protocol.write(node, address, value)
+            shadow[address] = value
+        else:
+            protocol.set_mode(node, block, op[3])
+        protocol.check_invariants()
+
+
+def tiny_system():
+    # One-entry caches: every second reference replaces something.
+    return System(
+        SystemConfig(n_nodes=4, cache_entries=1, block_size_words=1)
+    )
+
+
+class TestExhaustiveReadWrite:
+    @pytest.mark.parametrize("default_mode", list(Mode))
+    def test_all_depth3_sequences(self, default_mode):
+        for sequence in itertools.product(OPS, repeat=3):
+            protocol = StenstromProtocol(
+                tiny_system(), default_mode=default_mode
+            )
+            execute(protocol, sequence)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("default_mode", list(Mode))
+    def test_all_depth4_sequences_single_block(self, default_mode):
+        ops = [op for op in OPS if op[2] == 0]
+        for sequence in itertools.product(ops, repeat=4):
+            protocol = StenstromProtocol(
+                tiny_system(), default_mode=default_mode
+            )
+            execute(protocol, sequence)
+
+
+class TestExhaustiveWithModeSwitches:
+    def test_all_depth3_sequences_with_a_mode_switch(self):
+        """Every (op, mode-switch, op) sandwich on one block."""
+        ops = [op for op in OPS if op[2] == 0]
+        switches = [op for op in MODE_OPS if op[2] == 0]
+        for first in ops:
+            for switch in switches:
+                for last in ops:
+                    protocol = StenstromProtocol(tiny_system())
+                    execute(protocol, (first, switch, last))
+
+    @pytest.mark.slow
+    def test_double_mode_switches(self):
+        """op, switch, op, switch, op -- mode thrash under traffic."""
+        ops = [op for op in OPS if op[2] == 0 and op[1] in (0, 1)]
+        switches = [
+            op for op in MODE_OPS if op[2] == 0 and op[1] == 0
+        ]
+        for sequence in itertools.product(
+            ops, switches, ops, switches, ops
+        ):
+            protocol = StenstromProtocol(tiny_system())
+            execute(protocol, sequence)
+
+
+class TestExhaustiveBothBlocks:
+    def test_cross_block_interference_depth3(self):
+        """Sequences mixing both blocks: with 1-entry caches, block 0 and
+        block 1 evict each other on every touch."""
+        ops_a = [op for op in OPS if op[2] == 0 and op[1] in (0, 1)]
+        ops_b = [op for op in OPS if op[2] == 1 and op[1] in (0, 1)]
+        for first in ops_a:
+            for second in ops_b:
+                for third in ops_a:
+                    protocol = StenstromProtocol(tiny_system())
+                    execute(protocol, (first, second, third))

@@ -1,0 +1,109 @@
+"""Scenario tests for the full-map directory baseline."""
+
+from repro.protocol.full_map import (
+    FullMapProtocol,
+    FullMapState,
+    decode_state,
+)
+from repro.protocol.messages import MsgKind
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+
+def build(n_nodes=8, cache_entries=4, block_size_words=2):
+    system = System(
+        SystemConfig(
+            n_nodes=n_nodes,
+            cache_entries=cache_entries,
+            block_size_words=block_size_words,
+        )
+    )
+    return system, FullMapProtocol(system)
+
+
+def addr(block, offset=0):
+    return Address(block, offset)
+
+
+def state(system, node, block):
+    return decode_state(system.caches[node].find(block))
+
+
+class TestReads:
+    def test_read_miss_populates_directory(self):
+        system, protocol = build()
+        protocol.read(3, addr(0))
+        assert protocol.directory_present(0) == {3}
+        assert state(system, 3, 0) is FullMapState.SHARED
+
+    def test_many_readers_share(self):
+        system, protocol = build()
+        for node in range(4):
+            protocol.read(node, addr(0))
+        assert protocol.directory_present(0) == {0, 1, 2, 3}
+        protocol.check_invariants()
+
+    def test_read_hit_is_free(self):
+        system, protocol = build()
+        protocol.read(3, addr(0))
+        bits = system.network.total_bits
+        protocol.read(3, addr(0))
+        assert system.network.total_bits == bits
+
+
+class TestWrites:
+    def test_write_invalidates_sharers(self):
+        system, protocol = build()
+        for node in range(3):
+            protocol.read(node, addr(0))
+        protocol.write(0, addr(0), 9)
+        assert protocol.directory_present(0) == {0}
+        assert state(system, 0, 0) is FullMapState.DIRTY
+        assert state(system, 1, 0) is FullMapState.INVALID
+        assert protocol.stats.events["invalidations"] == 2
+
+    def test_dirty_write_hit_is_free(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 9)
+        bits = system.network.total_bits
+        protocol.write(0, addr(0), 10)
+        assert system.network.total_bits == bits
+
+    def test_write_to_dirty_elsewhere_recalls(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 9)
+        protocol.write(1, addr(0), 10)
+        assert (
+            protocol.stats.traffic_messages[MsgKind.DIR_RECALL.value] == 1
+        )
+        assert protocol.directory_present(0) == {1}
+        assert protocol.read(2, addr(0)) == 10
+        protocol.check_invariants()
+
+
+class TestReplacement:
+    def test_dirty_eviction_writes_back(self):
+        system, protocol = build(cache_entries=1)
+        protocol.write(0, addr(0), 5)
+        protocol.read(0, addr(1))
+        assert protocol.stats.events["writebacks"] == 1
+        assert system.memory_for(0).read_word(0, 0) == 5
+        assert protocol.directory_present(0) == frozenset()
+
+    def test_shared_eviction_clears_presence(self):
+        system, protocol = build(cache_entries=1)
+        protocol.read(0, addr(0))
+        protocol.read(0, addr(1))
+        assert protocol.directory_present(0) == frozenset()
+        protocol.check_invariants()
+
+
+class TestStorageContrast:
+    """The reason the paper rejects this design: directory bits scale with
+    N for every memory block."""
+
+    def test_directory_state_grows_with_sharers(self):
+        system, protocol = build()
+        for node in range(8):
+            protocol.read(node, addr(0))
+        assert len(protocol.directory_present(0)) == 8

@@ -1,0 +1,119 @@
+"""The invariant checker must actually catch corruption.
+
+Each test builds a healthy system, breaks one invariant surgically behind
+the protocol's back, and asserts the checker raises -- otherwise the
+property tests' "invariants hold" results would be vacuous.
+"""
+
+import pytest
+
+from repro.errors import CoherenceError
+from repro.cache.state import StateField
+
+from tests.protocol.conftest import addr, build, field_of
+
+
+def healthy_dw():
+    system, protocol = build()
+    from repro.cache.state import Mode
+
+    protocol_dw = protocol
+    protocol_dw.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+    protocol_dw.write(0, addr(0), 10)
+    protocol_dw.read(1, addr(0))
+    protocol_dw.read(2, addr(0))
+    protocol_dw.check_invariants()
+    return system, protocol_dw
+
+
+def healthy_gr():
+    system, protocol = build()
+    protocol.write(0, addr(0), 10)
+    protocol.read(1, addr(0))
+    protocol.check_invariants()
+    return system, protocol
+
+
+class TestSingleOwnerInvariant:
+    def test_two_owners_detected(self):
+        system, protocol = healthy_dw()
+        # Forge a second owner at node 5.
+        cache = system.caches[5]
+        entry = cache.install(cache.slot_for(0), 0)
+        entry.state_field = StateField(
+            valid=True, owned=True, present={5}, owner=5
+        )
+        with pytest.raises(CoherenceError, match="owned by several"):
+            protocol.check_invariants()
+
+
+class TestBlockStoreInvariant:
+    def test_wrong_recorded_owner_detected(self):
+        system, protocol = healthy_dw()
+        system.memory_for(0).block_store.set_owner(0, 7)
+        with pytest.raises(CoherenceError, match="block store"):
+            protocol.check_invariants()
+
+    def test_dangling_block_store_entry_detected(self):
+        system, protocol = healthy_dw()
+        system.memory_for(5).block_store.set_owner(5, 3)
+        with pytest.raises(CoherenceError, match="no cache owns"):
+            protocol.check_invariants()
+
+    def test_orphan_copies_detected(self):
+        system, protocol = healthy_dw()
+        # Remove the owner entirely but leave the copies.
+        system.memory_for(0).block_store.clear(0)
+        system.caches[0].drop(0)
+        with pytest.raises(CoherenceError, match="no owner"):
+            protocol.check_invariants()
+
+
+class TestPresentVectorInvariant:
+    def test_missing_self_flag_detected(self):
+        system, protocol = healthy_dw()
+        field_of(system, 0, 0).present.discard(0)
+        with pytest.raises(CoherenceError, match="missing from its present"):
+            protocol.check_invariants()
+
+    def test_dw_vector_overcounting_detected(self):
+        system, protocol = healthy_dw()
+        field_of(system, 0, 0).present.add(6)  # node 6 has no copy
+        with pytest.raises(CoherenceError, match="present vector"):
+            protocol.check_invariants()
+
+    def test_dw_vector_undercounting_detected(self):
+        system, protocol = healthy_dw()
+        field_of(system, 0, 0).present.discard(2)
+        with pytest.raises(CoherenceError, match="present vector"):
+            protocol.check_invariants()
+
+
+class TestDataCoherenceInvariant:
+    def test_diverged_copy_detected(self):
+        system, protocol = healthy_dw()
+        system.caches[1].find(0).data[0] = 999
+        with pytest.raises(CoherenceError, match="holds"):
+            protocol.check_invariants()
+
+
+class TestGlobalReadInvariants:
+    def test_second_valid_copy_detected(self):
+        system, protocol = healthy_gr()
+        # Forge a valid copy at the placeholder node.
+        entry = system.caches[1].find(0)
+        entry.state_field.valid = True
+        with pytest.raises(CoherenceError, match="valid cop"):
+            protocol.check_invariants()
+
+    def test_misdirected_placeholder_detected(self):
+        system, protocol = healthy_gr()
+        field_of(system, 1, 0).owner = 6
+        with pytest.raises(CoherenceError, match="points at"):
+            protocol.check_invariants()
+
+    def test_vector_member_without_entry_detected(self):
+        system, protocol = healthy_gr()
+        system.caches[1].drop(0)
+        with pytest.raises(CoherenceError, match="no entry"):
+            protocol.check_invariants()

@@ -1,0 +1,151 @@
+"""Scenario and property tests for the limited-pointer directory."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.protocol.full_map import FullMapProtocol
+from repro.protocol.limited_pointer import LimitedPointerProtocol
+from repro.protocol.messages import MsgKind
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+from repro.workloads.synthetic import random_trace
+
+
+def build(n_pointers=2, n_nodes=8, cache_entries=4):
+    system = System(
+        SystemConfig(
+            n_nodes=n_nodes,
+            cache_entries=cache_entries,
+            block_size_words=2,
+        )
+    )
+    return system, LimitedPointerProtocol(system, n_pointers=n_pointers)
+
+
+def addr(block, offset=0):
+    return Address(block, offset)
+
+
+class TestPointerTracking:
+    def test_few_sharers_tracked_exactly(self):
+        system, protocol = build(n_pointers=2)
+        protocol.read(0, addr(0))
+        protocol.read(1, addr(0))
+        pointers, broadcast = protocol.directory_state(0)
+        assert pointers == {0, 1}
+        assert not broadcast
+
+    def test_overflow_flips_to_broadcast(self):
+        system, protocol = build(n_pointers=2)
+        for node in (0, 1, 2):
+            protocol.read(node, addr(0))
+        pointers, broadcast = protocol.directory_state(0)
+        assert broadcast
+        assert pointers == frozenset()
+        assert protocol.stats.events["directory_overflows"] == 1
+
+    def test_write_resets_to_one_pointer(self):
+        system, protocol = build(n_pointers=2)
+        for node in (0, 1, 2):
+            protocol.read(node, addr(0))
+        protocol.write(0, addr(0), 5)
+        pointers, broadcast = protocol.directory_state(0)
+        assert pointers == {0}
+        assert not broadcast
+        protocol.check_invariants()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build(n_pointers=0)
+
+
+class TestBroadcastPenalty:
+    def test_overflowed_write_invalidates_everyone(self):
+        system, protocol = build(n_pointers=1, n_nodes=8)
+        for node in (0, 1):
+            protocol.read(node, addr(0))  # overflow at the second
+        protocol.write(0, addr(0), 7)
+        # The broadcast invalidation addressed all 7 other caches even
+        # though only cache 1 held a copy.
+        result_messages = protocol.stats.traffic_messages[
+            MsgKind.DIR_INVALIDATE.value
+        ]
+        assert result_messages == 1  # one multicast...
+        assert protocol.stats.events["invalidations"] == 1  # ...one victim
+
+    def test_broadcast_costs_more_than_full_map(self):
+        trace_sharers = list(range(6))
+
+        def cost(protocol_factory):
+            system = System(
+                SystemConfig(n_nodes=16, block_size_words=2)
+            )
+            protocol = protocol_factory(system)
+            for node in trace_sharers:
+                protocol.read(node, addr(0))
+            protocol.write(0, addr(0), 1)
+            return system.network.total_bits
+
+        limited = cost(
+            lambda system: LimitedPointerProtocol(system, n_pointers=2)
+        )
+        full = cost(FullMapProtocol)
+        assert limited > full
+
+
+class TestCoherence:
+    def test_values_flow_correctly(self):
+        system, protocol = build(n_pointers=1)
+        protocol.write(0, addr(0), 42)
+        assert protocol.read(5, addr(0)) == 42
+        protocol.write(5, addr(0), 43)
+        assert protocol.read(2, addr(0)) == 43
+        protocol.check_invariants()
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 1000),
+        n_pointers=st.sampled_from([1, 2, 4]),
+    )
+    def test_random_traces_verify(self, seed, n_pointers):
+        system, protocol = build(n_pointers=n_pointers)
+        trace = random_trace(
+            8, 150, n_blocks=6, block_size_words=2,
+            write_fraction=0.35, seed=seed,
+        )
+        report = run_trace(protocol, trace, verify=True)
+        assert report.verified
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_observes_same_values_as_full_map(self, seed):
+        trace = random_trace(
+            8, 120, n_blocks=5, block_size_words=2,
+            write_fraction=0.4, seed=seed,
+        )
+        observations = []
+        for factory in (
+            lambda s: LimitedPointerProtocol(s, n_pointers=1),
+            FullMapProtocol,
+        ):
+            system = System(
+                SystemConfig(
+                    n_nodes=8, cache_entries=4, block_size_words=2
+                )
+            )
+            protocol = factory(system)
+            values = []
+            for ref in trace:
+                if ref.is_write:
+                    protocol.write(ref.node, ref.address, ref.value)
+                else:
+                    values.append(protocol.read(ref.node, ref.address))
+            observations.append(values)
+        assert observations[0] == observations[1]

@@ -1,0 +1,74 @@
+"""Unit tests for the protocol message size model."""
+
+import pytest
+
+from repro.cache.state import StateField
+from repro.errors import ConfigurationError
+from repro.protocol.messages import MessageCosts, MsgKind
+
+
+class TestComponentModel:
+    def test_request_is_control_plus_address(self):
+        costs = MessageCosts(control_bits=4, address_bits=16, word_bits=32)
+        assert costs.request() == 20
+
+    def test_word_data_adds_a_word(self):
+        costs = MessageCosts(control_bits=4, address_bits=16, word_bits=32)
+        assert costs.word_data() == 52
+
+    def test_block_data_scales_with_block_size(self):
+        costs = MessageCosts(control_bits=4, address_bits=16, word_bits=32)
+        assert costs.block_data(4) == 20 + 128
+        assert costs.block_data(8) - costs.block_data(4) == 128
+
+    def test_state_field_uses_real_field_width(self):
+        costs = MessageCosts(control_bits=4, address_bits=16)
+        assert costs.state_field(64) == 20 + StateField.size_bits(64)
+
+    def test_block_and_state_is_sum_of_payloads(self):
+        costs = MessageCosts()
+        combined = costs.block_and_state(4, 64)
+        assert combined == costs.block_data(4) + StateField.size_bits(64)
+
+    def test_owner_id_uses_log2_n(self):
+        costs = MessageCosts(control_bits=4, address_bits=16)
+        assert costs.owner_id(64) == 20 + 6
+        assert costs.owner_id(1024) == 20 + 10
+
+    def test_word_and_owner(self):
+        costs = MessageCosts(control_bits=4, address_bits=16, word_bits=16)
+        assert costs.word_and_owner(256) == 4 + 16 + 16 + 8
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageCosts().block_data(0)
+
+    def test_negative_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageCosts(word_bits=-1)
+
+
+class TestUniformModel:
+    def test_every_message_has_the_same_size(self):
+        costs = MessageCosts.uniform(20)
+        assert costs.request() == 20
+        assert costs.word_data() == 20
+        assert costs.block_data(16) == 20
+        assert costs.state_field(1024) == 20
+        assert costs.block_and_state(16, 1024) == 20
+        assert costs.owner_id(1024) == 20
+        assert costs.word_and_owner(1024) == 20
+        assert costs.ack() == 20
+
+    def test_negative_uniform_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessageCosts.uniform(-5)
+
+
+class TestMsgKind:
+    def test_values_are_unique(self):
+        values = [kind.value for kind in MsgKind]
+        assert len(values) == len(set(values))
+
+    def test_str_is_the_ledger_key(self):
+        assert str(MsgKind.WRITE_UPDATE) == "write_update"

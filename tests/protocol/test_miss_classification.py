@@ -1,0 +1,56 @@
+"""Tests for cold- vs coherence-miss accounting."""
+
+from repro.cache.state import Mode
+
+from tests.protocol.conftest import addr, build
+
+
+class TestMissClassification:
+    def test_first_touch_is_cold(self):
+        system, protocol = build()
+        protocol.read(0, addr(0))
+        assert protocol.stats.events["cold_misses"] == 1
+        assert protocol.stats.events.get("coherence_misses", 0) == 0
+
+    def test_second_cache_miss_is_coherence(self):
+        system, protocol = build()
+        protocol.read(0, addr(0))
+        protocol.read(1, addr(0))
+        assert protocol.stats.events["cold_misses"] == 1
+        assert protocol.stats.events["coherence_misses"] == 1
+
+    def test_gr_placeholder_remisses_are_coherence(self, gr_setup):
+        system, protocol = gr_setup
+        before = protocol.stats.events["coherence_misses"]
+        protocol.read(1, addr(0))  # placeholder -> direct to owner
+        assert protocol.stats.events["coherence_misses"] == before + 1
+
+    def test_write_miss_classified_too(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 1)  # cold
+        protocol.write(5, addr(0), 2)  # coherence (ownership transfer)
+        assert protocol.stats.events["cold_misses"] == 1
+        assert protocol.stats.events["coherence_misses"] == 1
+
+    def test_classes_partition_the_misses(self):
+        from repro.sim.engine import run_trace
+        from repro.workloads.synthetic import random_trace
+
+        system, protocol = build(
+            default_mode=Mode.DISTRIBUTED_WRITE, cache_entries=2
+        )
+        trace = random_trace(
+            8, 600, n_blocks=12, block_size_words=2, seed=9
+        )
+        report = run_trace(protocol, trace, verify=True)
+        events = report.stats.events
+        assert events["cold_misses"] + events["coherence_misses"] == (
+            events["read_misses"] + events["write_misses"]
+        )
+
+    def test_reload_after_total_eviction_is_cold_again(self):
+        system, protocol = build()
+        protocol.read(0, addr(0))
+        protocol.evict(0, 0)  # block store cleared: block uncached
+        protocol.read(0, addr(0))
+        assert protocol.stats.events["cold_misses"] == 2

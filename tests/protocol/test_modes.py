@@ -1,0 +1,140 @@
+"""Unit tests for the §4 threshold and the mode-selection policies."""
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.errors import ConfigurationError
+from repro.protocol.modes import (
+    AdaptiveModePolicy,
+    OracleModePolicy,
+    StaticModePolicy,
+    write_fraction_threshold,
+)
+from repro.types import Op
+
+
+class TestThreshold:
+    def test_formula(self):
+        assert write_fraction_threshold(2) == 0.5
+        assert write_fraction_threshold(6) == 0.25
+        assert write_fraction_threshold(0) == 1.0
+
+    def test_decreases_with_sharers(self):
+        values = [write_fraction_threshold(n) for n in (2, 4, 8, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_negative_sharers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            write_fraction_threshold(-1)
+
+    def test_threshold_is_the_crossover_of_the_normalized_curves(self):
+        from repro.protocol.costs import (
+            normalized_distributed_write,
+            normalized_global_read,
+        )
+
+        for n in (2, 4, 16, 64):
+            w1 = write_fraction_threshold(n)
+            assert normalized_distributed_write(
+                w1, n
+            ) == pytest.approx(normalized_global_read(w1))
+
+
+class TestStaticPolicy:
+    def test_pins_to_requested_mode(self):
+        policy = StaticModePolicy(Mode.DISTRIBUTED_WRITE)
+        assert (
+            policy.decide(0, Mode.GLOBAL_READ, 4)
+            is Mode.DISTRIBUTED_WRITE
+        )
+        assert policy.decide(0, Mode.DISTRIBUTED_WRITE, 4) is None
+
+
+def feed(policy, block, n_writes, n_reads, *, mode, n_sharers):
+    for _ in range(n_writes):
+        policy.observe(
+            block, Op.WRITE, owner_visible=True, mode=mode,
+            n_sharers=n_sharers,
+        )
+    for _ in range(n_reads):
+        policy.observe(
+            block, Op.READ, owner_visible=True, mode=mode,
+            n_sharers=n_sharers,
+        )
+
+
+class TestOraclePolicy:
+    def test_no_decision_before_window_fills(self):
+        policy = OracleModePolicy(window=16)
+        feed(policy, 0, 2, 2, mode=Mode.GLOBAL_READ, n_sharers=4)
+        assert policy.decide(0, Mode.GLOBAL_READ, 4) is None
+
+    def test_read_heavy_block_goes_distributed_write(self):
+        policy = OracleModePolicy(window=8)
+        feed(policy, 0, 0, 8, mode=Mode.GLOBAL_READ, n_sharers=4)
+        assert (
+            policy.decide(0, Mode.GLOBAL_READ, 4)
+            is Mode.DISTRIBUTED_WRITE
+        )
+
+    def test_write_heavy_block_goes_global_read(self):
+        policy = OracleModePolicy(window=8)
+        feed(policy, 0, 8, 0, mode=Mode.DISTRIBUTED_WRITE, n_sharers=4)
+        assert (
+            policy.decide(0, Mode.DISTRIBUTED_WRITE, 4)
+            is Mode.GLOBAL_READ
+        )
+
+    def test_threshold_boundary_uses_w1(self):
+        # n = 6 -> w1 = 0.25.  w exactly at the threshold stays DW.
+        policy = OracleModePolicy(window=8)
+        feed(policy, 0, 2, 6, mode=Mode.DISTRIBUTED_WRITE, n_sharers=6)
+        assert policy.decide(0, Mode.DISTRIBUTED_WRITE, 6) is None
+
+    def test_counters_reset_after_decision(self):
+        policy = OracleModePolicy(window=4)
+        feed(policy, 0, 4, 0, mode=Mode.DISTRIBUTED_WRITE, n_sharers=4)
+        assert policy.decide(0, Mode.DISTRIBUTED_WRITE, 4) is not None
+        # Fresh window: no decision until it fills again.
+        assert policy.decide(0, Mode.GLOBAL_READ, 4) is None
+
+    def test_blocks_are_independent(self):
+        policy = OracleModePolicy(window=4)
+        feed(policy, 0, 4, 0, mode=Mode.DISTRIBUTED_WRITE, n_sharers=4)
+        assert policy.decide(1, Mode.DISTRIBUTED_WRITE, 4) is None
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            OracleModePolicy(window=1)
+
+
+class TestAdaptivePolicy:
+    def test_ignores_invisible_references(self):
+        policy = AdaptiveModePolicy(window=4)
+        for _ in range(10):
+            policy.observe(
+                0, Op.READ, owner_visible=False,
+                mode=Mode.DISTRIBUTED_WRITE, n_sharers=4,
+            )
+        assert policy.decide(0, Mode.DISTRIBUTED_WRITE, 4) is None
+
+    def test_gr_mode_measures_w_exactly(self):
+        policy = AdaptiveModePolicy(window=8)
+        feed(policy, 0, 1, 7, mode=Mode.GLOBAL_READ, n_sharers=4)
+        # w = 1/8 < w1 = 1/3: switch to DW.
+        assert (
+            policy.decide(0, Mode.GLOBAL_READ, 4)
+            is Mode.DISTRIBUTED_WRITE
+        )
+
+    def test_dw_mode_overestimates_w(self):
+        # Owner sees 4 writes and 4 of its own reads: estimate w = 0.5,
+        # above w1 = 1/3 for n=4 -> switches to GR even though the true
+        # w (with invisible remote reads) might be lower.  This is the
+        # documented bias of the §5 counter scheme.
+        policy = AdaptiveModePolicy(window=8)
+        feed(policy, 0, 4, 4, mode=Mode.DISTRIBUTED_WRITE, n_sharers=4)
+        assert (
+            policy.decide(0, Mode.DISTRIBUTED_WRITE, 4)
+            is Mode.GLOBAL_READ
+        )

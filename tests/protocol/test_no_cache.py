@@ -1,0 +1,65 @@
+"""Scenario tests for the uncached baseline (eq. 9)."""
+
+import pytest
+
+from repro.network import cost as netcost
+from repro.protocol.messages import MessageCosts
+from repro.protocol.no_cache import NoCacheProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+from repro.workloads.markov import markov_block_trace
+
+
+def build(message_bits=None):
+    costs = (
+        MessageCosts.uniform(message_bits)
+        if message_bits is not None
+        else MessageCosts()
+    )
+    system = System(SystemConfig(n_nodes=16, costs=costs))
+    return system, NoCacheProtocol(system)
+
+
+class TestSemantics:
+    def test_read_returns_last_write(self):
+        system, protocol = build()
+        protocol.write(0, Address(3, 1), 42)
+        assert protocol.read(5, Address(3, 1)) == 42
+
+    def test_unwritten_memory_reads_zero(self):
+        system, protocol = build()
+        assert protocol.read(2, Address(9, 0)) == 0
+
+
+class TestEq9Correspondence:
+    def test_read_costs_two_traversals_write_one(self):
+        """Under the uniform message model, the simulated per-reference
+        cost is exactly eq. 9's (request + reply for reads, one word
+        message for writes)."""
+        system, protocol = build(message_bits=20)
+        unit = netcost.cc1(1, 16, 20)
+        protocol.read(0, Address(0, 0))
+        assert system.network.total_bits == 2 * unit
+        system.reset_traffic()
+        protocol.write(0, Address(0, 0), 1)
+        assert system.network.total_bits == unit
+
+    @pytest.mark.parametrize("w", [0.0, 0.25, 0.5, 1.0])
+    def test_mean_cost_matches_eq9_over_a_trace(self, w):
+        system, protocol = build(message_bits=20)
+        trace = markov_block_trace(
+            16, tasks=list(range(4)), write_fraction=w,
+            n_references=2000, seed=9,
+        )
+        report = run_trace(protocol, trace, verify=True)
+        unit = netcost.cc1(1, 16, 20)
+        expected = (2 - report.write_fraction) * unit
+        assert report.cost_per_reference == pytest.approx(expected)
+
+    def test_every_reference_crosses_the_network(self):
+        system, protocol = build()
+        for _ in range(5):
+            protocol.read(1, Address(0, 0))
+        assert protocol.stats.events["reads"] == 5
+        assert protocol.stats.total_messages == 10  # request + reply each

@@ -1,0 +1,222 @@
+"""Scenario tests for every numbered behaviour of §2.2.
+
+Each test drives the protocol through one case of the specification and
+checks the resulting states (Table 1), the bookkeeping (present vectors,
+block store) and the messages sent.
+"""
+
+from repro.cache.state import CacheState, Mode
+from repro.protocol.messages import MsgKind
+
+from tests.protocol.conftest import (
+    addr,
+    build,
+    field_of,
+    messages,
+    state_of,
+    traffic,
+)
+
+
+class TestReadHit:
+    """§2.2 item 1: read hits are free."""
+
+    def test_read_hit_costs_nothing(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 5)
+        before = system.network.total_bits
+        assert protocol.read(0, addr(0)) == 5
+        assert system.network.total_bits == before
+        assert protocol.stats.events["read_hits"] == 1
+
+
+class TestReadMissNoCopies:
+    """§2.2 item 2, copy nonexistent, case (a)."""
+
+    def test_first_load_becomes_owned_exclusive_global_read(self):
+        system, protocol = build()
+        assert protocol.read(3, addr(7)) == 0
+        assert state_of(system, 3, 7) is CacheState.OWNED_EXCLUSIVE_GR
+        assert system.memory_for(7).block_store.owner_of(7) == 3
+
+    def test_first_load_in_dw_default_mode(self):
+        system, protocol = build(default_mode=Mode.DISTRIBUTED_WRITE)
+        protocol.read(3, addr(7))
+        assert state_of(system, 3, 7) is CacheState.OWNED_EXCLUSIVE_DW
+
+    def test_messages_are_request_plus_block_reply(self):
+        system, protocol = build()
+        protocol.read(3, addr(7))
+        assert messages(protocol, MsgKind.LOAD_REQ) == 1
+        assert messages(protocol, MsgKind.BLOCK_REPLY) == 1
+        assert messages(protocol, MsgKind.LOAD_FWD) == 0
+
+    def test_memory_data_is_delivered(self):
+        system, protocol = build()
+        system.memory_for(7).write_block(7, [11, 22])
+        assert protocol.read(3, addr(7, 1)) == 22
+
+
+class TestReadMissWithOwner:
+    """§2.2 item 2, copy nonexistent, case (b)."""
+
+    def test_dw_owner_ships_a_copy(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.read(4, addr(0))
+        assert state_of(system, 4, 0) is CacheState.UNOWNED
+        assert state_of(system, 0, 0) is CacheState.OWNED_NONEXCLUSIVE_DW
+        assert 4 in field_of(system, 0, 0).present
+
+    def test_dw_requester_learns_owner(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.read(4, addr(0))
+        assert field_of(system, 4, 0).owner == 0
+
+    def test_gr_owner_ships_only_the_datum(self, gr_setup):
+        system, protocol = gr_setup
+        before = messages(protocol, MsgKind.BLOCK_REPLY)
+        assert protocol.read(4, addr(0)) == 10
+        assert messages(protocol, MsgKind.BLOCK_REPLY) == before
+        assert messages(protocol, MsgKind.WORD_REPLY) >= 1
+
+    def test_gr_requester_keeps_invalid_placeholder(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.read(4, addr(0))
+        assert state_of(system, 4, 0) is CacheState.INVALID
+        assert field_of(system, 4, 0).owner == 0
+        assert 4 in field_of(system, 0, 0).present
+
+    def test_gr_owner_becomes_nonexclusive(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 10)
+        assert state_of(system, 0, 0) is CacheState.OWNED_EXCLUSIVE_GR
+        protocol.read(1, addr(0))
+        assert state_of(system, 0, 0) is CacheState.OWNED_NONEXCLUSIVE_GR
+
+    def test_request_is_forwarded_through_memory(self, gr_setup):
+        system, protocol = gr_setup
+        before = messages(protocol, MsgKind.LOAD_FWD)
+        protocol.read(4, addr(0))
+        assert messages(protocol, MsgKind.LOAD_FWD) == before + 1
+
+
+class TestReadMissInvalidPlaceholder:
+    """§2.2 item 2, state = Invalid: bypass directly to the owner."""
+
+    def test_second_gr_read_bypasses_memory(self, gr_setup):
+        system, protocol = gr_setup
+        load_reqs = messages(protocol, MsgKind.LOAD_REQ)
+        assert protocol.read(1, addr(0)) == 10  # placeholder exists
+        assert messages(protocol, MsgKind.LOAD_REQ) == load_reqs
+        assert messages(protocol, MsgKind.LOAD_DIRECT) == 1
+
+    def test_gr_read_returns_fresh_value_after_owner_write(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.write(0, addr(0), 77)
+        assert protocol.read(1, addr(0)) == 77
+
+
+class TestWriteHit:
+    """§2.2 item 3."""
+
+    def test_exclusive_write_is_local(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 1)
+        before = system.network.total_bits
+        protocol.write(0, addr(0), 2)
+        assert system.network.total_bits == before
+        assert field_of(system, 0, 0).modified
+
+    def test_nonexclusive_dw_distributes_the_write(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.write(0, addr(0, 1), 99)
+        assert messages(protocol, MsgKind.WRITE_UPDATE) == 1
+        for node in (1, 2):
+            assert system.caches[node].find(0).read_word(1) == 99
+
+    def test_nonexclusive_gr_write_is_local(self, gr_setup):
+        system, protocol = gr_setup
+        before = system.network.total_bits
+        protocol.write(0, addr(0), 42)
+        assert system.network.total_bits == before
+
+    def test_unowned_write_acquires_ownership(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.write(1, addr(0), 50)  # node 1 holds an UnOwned copy
+        assert state_of(system, 1, 0) is CacheState.OWNED_NONEXCLUSIVE_DW
+        assert state_of(system, 0, 0) is CacheState.UNOWNED
+        assert system.memory_for(0).block_store.owner_of(0) == 1
+        assert protocol.stats.events["ownership_transfers"] == 1
+
+    def test_unowned_write_transfers_only_state_in_dw(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.write(1, addr(0), 50)
+        assert messages(protocol, MsgKind.STATE_XFER) == 1
+        assert messages(protocol, MsgKind.DATA_STATE_XFER) == 0
+
+    def test_unowned_write_updates_remaining_copies(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.write(1, addr(0, 0), 50)
+        # Old owner 0 and sharer 2 both keep updated copies.
+        assert system.caches[0].find(0).read_word(0) == 50
+        assert system.caches[2].find(0).read_word(0) == 50
+        assert protocol.read(0, addr(0)) == 50
+
+    def test_old_owner_learns_new_owner(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.write(1, addr(0), 50)
+        assert field_of(system, 0, 0).owner == 1
+
+
+class TestWriteMiss:
+    """§2.2 item 4."""
+
+    def test_no_copies_loads_owned_exclusive_gr_and_writes(self):
+        system, protocol = build()
+        protocol.write(5, addr(9), 123)
+        field = field_of(system, 5, 9)
+        assert field.owned and field.modified
+        assert state_of(system, 5, 9) is CacheState.OWNED_EXCLUSIVE_GR
+        assert protocol.read(5, addr(9)) == 123
+
+    def test_write_miss_with_dw_copies_transfers_data_and_state(
+        self, dw_setup
+    ):
+        system, protocol = dw_setup
+        protocol.write(5, addr(0), 60)  # node 5 has no copy at all
+        assert messages(protocol, MsgKind.DATA_STATE_XFER) == 1
+        assert state_of(system, 5, 0) is CacheState.OWNED_NONEXCLUSIVE_DW
+        assert state_of(system, 0, 0) is CacheState.UNOWNED
+        # The write is then distributed to the surviving copies.
+        assert system.caches[1].find(0).read_word(0) == 60
+
+    def test_write_miss_with_gr_copies_repoints_placeholders(
+        self, gr_setup
+    ):
+        system, protocol = gr_setup
+        protocol.write(5, addr(0), 60)
+        # Old owner invalidated, placeholders repointed at node 5.
+        assert state_of(system, 0, 0) is CacheState.INVALID
+        assert field_of(system, 0, 0).owner == 5
+        assert field_of(system, 1, 0).owner == 5
+        assert field_of(system, 2, 0).owner == 5
+        assert messages(protocol, MsgKind.OWNER_UPDATE) == 1
+        assert protocol.read(1, addr(0)) == 60
+
+    def test_write_miss_on_invalid_placeholder(self, gr_setup):
+        system, protocol = gr_setup
+        # Node 1 holds a placeholder; its write miss still acquires the
+        # block with ownership through the home module.
+        protocol.write(1, addr(0), 80)
+        assert system.memory_for(0).block_store.owner_of(0) == 1
+        assert state_of(system, 1, 0) is CacheState.OWNED_NONEXCLUSIVE_GR
+        assert protocol.read(2, addr(0)) == 80
+
+
+class TestModifiedBitTravelsWithOwnership:
+    def test_transfer_preserves_modified(self, dw_setup):
+        system, protocol = dw_setup
+        assert field_of(system, 0, 0).modified  # node 0 wrote at setup
+        protocol.read(1, addr(0))
+        protocol.write(1, addr(0), 70)  # ownership moves 0 -> 1
+        assert field_of(system, 1, 0).modified

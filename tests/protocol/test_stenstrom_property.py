@@ -1,0 +1,216 @@
+"""Property-based tests: random traces, full verification, all protocols.
+
+Hypothesis generates interleaved reference streams (with occasional mode
+switches and forced evictions for the Stenström protocol) and the verifying
+engine checks, after *every* reference:
+
+* value coherence -- each read returns the most recently written value;
+* the structural invariants of :mod:`repro.protocol.invariants`.
+
+This explores corners no hand-written scenario reaches: ownership chains
+across mode switches, hand-offs triggered by capacity pressure mid-stream,
+placeholders outliving their blocks, and so on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.state import Mode
+from repro.protocol.full_map import FullMapProtocol
+from repro.protocol.modes import (
+    AdaptiveModePolicy,
+    OracleModePolicy,
+)
+from repro.protocol.no_cache import NoCacheProtocol
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.protocol.write_once import WriteOnceProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.types import Address, Op, Reference
+
+N_NODES = 8
+N_BLOCKS = 6
+BLOCK_WORDS = 2
+
+
+def reference_strategy():
+    return st.builds(
+        Reference,
+        node=st.integers(0, N_NODES - 1),
+        op=st.sampled_from([Op.READ, Op.WRITE]),
+        address=st.builds(
+            Address,
+            block=st.integers(0, N_BLOCKS - 1),
+            offset=st.integers(0, BLOCK_WORDS - 1),
+        ),
+        value=st.integers(0, 1000),
+    )
+
+
+traces = st.lists(reference_strategy(), min_size=1, max_size=120)
+
+#: (node, block, mode) mode-switch actions interleaved into the stream.
+mode_switches = st.lists(
+    st.tuples(
+        st.integers(0, N_NODES - 1),
+        st.integers(0, N_BLOCKS - 1),
+        st.sampled_from(list(Mode)),
+    ),
+    max_size=6,
+)
+
+
+def small_system(cache_entries=3):
+    # Deliberately tiny caches: capacity evictions happen constantly.
+    return System(
+        SystemConfig(
+            n_nodes=N_NODES,
+            cache_entries=cache_entries,
+            block_size_words=BLOCK_WORDS,
+        )
+    )
+
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStenstromCoherence:
+    @common_settings
+    @given(trace=traces, default=st.sampled_from(list(Mode)))
+    def test_random_traces_verify(self, trace, default):
+        protocol = StenstromProtocol(
+            small_system(), default_mode=default
+        )
+        run_trace(protocol, trace, verify=True)
+
+    @common_settings
+    @given(trace=traces, switches=mode_switches)
+    def test_random_traces_with_mode_switches(self, trace, switches):
+        protocol = StenstromProtocol(small_system())
+        shadow = {}
+        switch_iter = iter(switches)
+        for index, ref in enumerate(trace):
+            if ref.is_write:
+                protocol.write(ref.node, ref.address, ref.value)
+                shadow[ref.address] = ref.value
+            else:
+                observed = protocol.read(ref.node, ref.address)
+                assert observed == shadow.get(ref.address, 0), (
+                    f"stale read at reference {index}"
+                )
+            protocol.check_invariants()
+            if index % 7 == 3:
+                switch = next(switch_iter, None)
+                if switch is not None:
+                    node, block, mode = switch
+                    protocol.set_mode(node, block, mode)
+                    protocol.check_invariants()
+
+    @common_settings
+    @given(trace=traces, policy_window=st.sampled_from([2, 8, 32]))
+    def test_random_traces_with_oracle_policy(self, trace, policy_window):
+        protocol = StenstromProtocol(
+            small_system(),
+            mode_policy=OracleModePolicy(window=policy_window),
+        )
+        run_trace(protocol, trace, verify=True)
+
+    @common_settings
+    @given(trace=traces, policy_window=st.sampled_from([2, 8, 32]))
+    def test_random_traces_with_adaptive_policy(self, trace, policy_window):
+        protocol = StenstromProtocol(
+            small_system(),
+            mode_policy=AdaptiveModePolicy(window=policy_window),
+        )
+        run_trace(protocol, trace, verify=True)
+
+    @common_settings
+    @given(
+        trace=traces,
+        evictions=st.lists(
+            st.tuples(
+                st.integers(0, N_NODES - 1), st.integers(0, N_BLOCKS - 1)
+            ),
+            max_size=8,
+        ),
+    )
+    def test_random_traces_with_forced_evictions(self, trace, evictions):
+        protocol = StenstromProtocol(small_system())
+        shadow = {}
+        eviction_iter = iter(evictions)
+        for index, ref in enumerate(trace):
+            if ref.is_write:
+                protocol.write(ref.node, ref.address, ref.value)
+                shadow[ref.address] = ref.value
+            else:
+                observed = protocol.read(ref.node, ref.address)
+                assert observed == shadow.get(ref.address, 0)
+            if index % 5 == 2:
+                eviction = next(eviction_iter, None)
+                if eviction is not None:
+                    node, block = eviction
+                    if protocol.system.caches[node].find(block) is not None:
+                        protocol.evict(node, block)
+            protocol.check_invariants()
+
+
+class TestBaselineCoherence:
+    @common_settings
+    @given(trace=traces)
+    def test_write_once_verifies(self, trace):
+        run_trace(WriteOnceProtocol(small_system()), trace, verify=True)
+
+    @common_settings
+    @given(trace=traces)
+    def test_full_map_verifies(self, trace):
+        run_trace(FullMapProtocol(small_system()), trace, verify=True)
+
+    @common_settings
+    @given(trace=traces)
+    def test_no_cache_verifies(self, trace):
+        run_trace(NoCacheProtocol(small_system()), trace, verify=True)
+
+
+class TestCrossProtocolEquivalence:
+    """Every protocol must make the same trace observe the same values --
+    they implement the same memory, differing only in traffic."""
+
+    @common_settings
+    @given(trace=traces)
+    def test_all_protocols_observe_identical_values(self, trace):
+        observations = []
+        for factory in (
+            lambda: StenstromProtocol(small_system()),
+            lambda: StenstromProtocol(
+                small_system(), default_mode=Mode.DISTRIBUTED_WRITE
+            ),
+            lambda: WriteOnceProtocol(small_system()),
+            lambda: FullMapProtocol(small_system()),
+            lambda: NoCacheProtocol(small_system()),
+        ):
+            protocol = factory()
+            values = []
+            for ref in trace:
+                if ref.is_write:
+                    protocol.write(ref.node, ref.address, ref.value)
+                else:
+                    values.append(protocol.read(ref.node, ref.address))
+            observations.append(values)
+        first = observations[0]
+        for other in observations[1:]:
+            assert other == first
+
+
+class TestStatsAccountingConsistency:
+    @common_settings
+    @given(trace=traces)
+    def test_protocol_ledger_matches_network_counters(self, trace):
+        """Every bit the protocol logged is on a link, and vice versa."""
+        protocol = StenstromProtocol(small_system())
+        report = run_trace(protocol, trace, verify=False)
+        assert report.network_total_bits == protocol.stats.total_bits

@@ -1,0 +1,239 @@
+"""Scenario tests for §2.2 item 5 (block replacement) and items 6/7
+(mode switching)."""
+
+from repro.cache.state import CacheState, Mode
+from repro.protocol.messages import MsgKind
+
+from tests.protocol.conftest import (
+    addr,
+    build,
+    field_of,
+    messages,
+    state_of,
+)
+
+
+class TestReplaceExclusiveOwner:
+    """§2.2 item 5(a)."""
+
+    def test_clean_exclusive_notifies_memory(self):
+        system, protocol = build()
+        protocol.read(0, addr(3))  # Owned Exclusively GR, clean
+        protocol.evict(0, 3)
+        assert messages(protocol, MsgKind.REPLACE_NOTIFY) == 1
+        assert messages(protocol, MsgKind.WRITEBACK) == 0
+        assert system.memory_for(3).block_store.owner_of(3) is None
+        assert system.caches[0].find(3) is None
+
+    def test_modified_exclusive_writes_back(self):
+        system, protocol = build()
+        protocol.write(0, addr(3, 1), 55)
+        protocol.evict(0, 3)
+        assert messages(protocol, MsgKind.WRITEBACK) == 1
+        assert system.memory_for(3).read_block(3) == [0, 55]
+        assert system.memory_for(3).block_store.owner_of(3) is None
+
+    def test_written_back_data_survives_a_reload(self):
+        system, protocol = build()
+        protocol.write(0, addr(3, 0), 9)
+        protocol.evict(0, 3)
+        assert protocol.read(1, addr(3, 0)) == 9
+
+
+class TestReplaceNonExclusiveOwner:
+    """§2.2 item 5(b): ownership hand-off."""
+
+    def test_dw_owner_hands_off_to_a_copy_holder(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.evict(0, 0)
+        new_owner = system.memory_for(0).block_store.owner_of(0)
+        assert new_owner in (1, 2)
+        assert state_of(system, new_owner, 0).is_owned
+        assert system.caches[0].find(0) is None
+        # The departing cache left the new owner's present vector.
+        assert 0 not in field_of(system, new_owner, 0).present
+
+    def test_dw_handoff_messages(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.evict(0, 0)
+        assert messages(protocol, MsgKind.XFER_OFFER) == 1
+        assert messages(protocol, MsgKind.ACK) == 1
+        assert messages(protocol, MsgKind.STATE_XFER) == 1
+
+    def test_dw_handoff_preserves_data_and_modified(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.evict(0, 0)
+        new_owner = system.memory_for(0).block_store.owner_of(0)
+        assert field_of(system, new_owner, 0).modified
+        assert protocol.read(new_owner, addr(0)) == 10
+
+    def test_gr_owner_hands_off_with_data(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.evict(0, 0)
+        new_owner = system.memory_for(0).block_store.owner_of(0)
+        assert new_owner in (1, 2)
+        assert messages(protocol, MsgKind.DATA_STATE_XFER) == 1
+        assert state_of(system, new_owner, 0).is_owned
+        assert protocol.read(new_owner, addr(0)) == 10
+
+    def test_gr_handoff_keeps_readers_working(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.evict(0, 0)
+        # Every other node can still read the value remotely.
+        for node in (3, 4, 5):
+            assert protocol.read(node, addr(0)) == 10
+        protocol.check_invariants()
+
+    def test_handoff_with_all_candidates_gone_falls_back(self, dw_setup):
+        system, protocol = dw_setup
+        # Break the candidates behind the protocol's back: both copy
+        # holders lose their entries (as if replaced concurrently).
+        system.caches[1].drop(0)
+        system.caches[2].drop(0)
+        protocol.evict(0, 0)
+        assert messages(protocol, MsgKind.NAK) == 2
+        # Fallback: retire as exclusive (modified -> write-back).
+        assert messages(protocol, MsgKind.WRITEBACK) == 1
+        assert system.memory_for(0).block_store.owner_of(0) is None
+
+
+class TestReplaceUnOwnedAndPlaceholder:
+    """§2.2 item 5(c)."""
+
+    def test_unowned_copy_clears_present_flag(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.evict(1, 0)
+        assert 1 not in field_of(system, 0, 0).present
+        assert messages(protocol, MsgKind.REPLACE_NOTIFY) == 1
+        assert messages(protocol, MsgKind.PRESENT_CLEAR) == 1
+        protocol.check_invariants()
+
+    def test_placeholder_clears_present_flag(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.evict(1, 0)
+        assert 1 not in field_of(system, 0, 0).present
+        protocol.check_invariants()
+
+    def test_owner_becomes_exclusive_when_last_copy_leaves(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.evict(1, 0)
+        protocol.evict(2, 0)
+        assert state_of(system, 0, 0) is CacheState.OWNED_EXCLUSIVE_DW
+
+
+class TestReplacementThroughCapacity:
+    """Replacement triggered by the reference stream, not evict()."""
+
+    def test_capacity_eviction_runs_the_protocol(self):
+        system, protocol = build(cache_entries=2)
+        protocol.write(0, addr(0), 1)
+        protocol.write(0, addr(1), 2)
+        protocol.write(0, addr(2), 3)  # evicts one of the first two
+        assert protocol.stats.events["replacements"] == 1
+        assert protocol.stats.events["writebacks"] == 1
+        protocol.check_invariants()
+
+    def test_data_survives_capacity_churn(self):
+        system, protocol = build(cache_entries=2)
+        for block in range(6):
+            protocol.write(0, addr(block), block + 100)
+        for block in range(6):
+            assert protocol.read(0, addr(block)) == block + 100
+        protocol.check_invariants()
+
+
+class TestModeSwitching:
+    """§2.2 items 6 and 7."""
+
+    def test_switch_to_gr_invalidates_copies(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.set_mode(0, 0, Mode.GLOBAL_READ)
+        assert state_of(system, 0, 0) is CacheState.OWNED_NONEXCLUSIVE_GR
+        for node in (1, 2):
+            assert state_of(system, node, 0) is CacheState.INVALID
+            assert field_of(system, node, 0).owner == 0
+        assert messages(protocol, MsgKind.INVALIDATE) == 1
+        assert protocol.stats.events["invalidations"] == 2
+        protocol.check_invariants()
+
+    def test_switch_to_gr_keeps_present_vector(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.set_mode(0, 0, Mode.GLOBAL_READ)
+        assert field_of(system, 0, 0).present == {0, 1, 2}
+
+    def test_reads_still_correct_after_switch_to_gr(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.set_mode(0, 0, Mode.GLOBAL_READ)
+        for node in (1, 2, 3):
+            assert protocol.read(node, addr(0)) == 10
+
+    def test_switch_to_dw_resets_present_vector(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+        assert field_of(system, 0, 0).present == {0}
+        assert state_of(system, 0, 0) is CacheState.OWNED_EXCLUSIVE_DW
+        protocol.check_invariants()
+
+    def test_reads_after_switch_to_dw_create_copies(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+        assert protocol.read(1, addr(0)) == 10
+        assert state_of(system, 1, 0) is CacheState.UNOWNED
+        protocol.check_invariants()
+
+    def test_set_mode_is_idempotent(self, dw_setup):
+        system, protocol = dw_setup
+        switches = protocol.stats.events["mode_switches"]
+        protocol.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+        assert protocol.stats.events["mode_switches"] == switches
+
+    def test_set_mode_by_unowned_holder_acquires_ownership(self, dw_setup):
+        system, protocol = dw_setup
+        protocol.set_mode(1, 0, Mode.GLOBAL_READ)
+        assert system.memory_for(0).block_store.owner_of(0) == 1
+        assert state_of(system, 1, 0) is CacheState.OWNED_NONEXCLUSIVE_GR
+        protocol.check_invariants()
+
+    def test_set_mode_by_stranger_acquires_block(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 5)
+        protocol.set_mode(6, 0, Mode.DISTRIBUTED_WRITE)
+        assert system.memory_for(0).block_store.owner_of(0) == 6
+        assert protocol.read(6, addr(0)) == 5
+        protocol.check_invariants()
+
+    def test_mode_of_reports_current_mode(self, dw_setup):
+        system, protocol = dw_setup
+        assert protocol.mode_of(0) is Mode.DISTRIBUTED_WRITE
+        protocol.set_mode(0, 0, Mode.GLOBAL_READ)
+        assert protocol.mode_of(0) is Mode.GLOBAL_READ
+        assert protocol.mode_of(999) is None
+
+
+class TestStalePlaceholderForwarding:
+    """The lazy repair documented in the module docstring: placeholders
+    orphaned by mode switches follow the OWNER-field chain."""
+
+    def test_forwarding_chain_reaches_new_owner(self, gr_setup):
+        system, protocol = gr_setup
+        # Node 1 and 2 hold placeholders pointing at node 0.  Switch the
+        # block to DW (dropping them from the vector), then move ownership
+        # to node 5 via a write miss.
+        protocol.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+        protocol.write(5, addr(0), 33)
+        # Node 1's placeholder still points at node 0, which is now only
+        # an UnOwned copy holder; the request must be forwarded.
+        assert protocol.read(1, addr(0)) == 33
+        assert messages(protocol, MsgKind.LOAD_FWD) >= 1
+        protocol.check_invariants()
+
+    def test_dead_end_falls_back_to_memory(self, gr_setup):
+        system, protocol = gr_setup
+        protocol.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+        protocol.write(5, addr(0), 33)
+        # Node 0 (the stale target) loses its entry entirely.
+        protocol.evict(0, 0)
+        before_naks = messages(protocol, MsgKind.NAK)
+        assert protocol.read(1, addr(0)) == 33
+        assert messages(protocol, MsgKind.NAK) == before_naks + 1
+        protocol.check_invariants()

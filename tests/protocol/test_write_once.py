@@ -1,0 +1,183 @@
+"""Scenario tests for the directory-adapted write-once protocol."""
+
+import pytest
+
+from repro.protocol.messages import MsgKind
+from repro.protocol.write_once import (
+    WriteOnceProtocol,
+    WriteOnceState,
+    decode_state,
+)
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+
+def build(n_nodes=8, cache_entries=4, block_size_words=2):
+    system = System(
+        SystemConfig(
+            n_nodes=n_nodes,
+            cache_entries=cache_entries,
+            block_size_words=block_size_words,
+        )
+    )
+    return system, WriteOnceProtocol(system)
+
+
+def addr(block, offset=0):
+    return Address(block, offset)
+
+
+def state(system, node, block):
+    return decode_state(system.caches[node].find(block))
+
+
+class TestGoodmanStates:
+    def test_read_miss_loads_valid(self):
+        system, protocol = build()
+        assert protocol.read(0, addr(0)) == 0
+        assert state(system, 0, 0) is WriteOnceState.VALID
+
+    def test_first_write_goes_reserved_and_writes_through(self):
+        system, protocol = build()
+        protocol.read(0, addr(0))
+        protocol.write(0, addr(0), 7)
+        assert state(system, 0, 0) is WriteOnceState.RESERVED
+        # Memory got the word (the defining write-through).
+        assert system.memory_for(0).read_word(0, 0) == 7
+        assert (
+            protocol.stats.traffic_messages[
+                MsgKind.DIR_WRITE_THROUGH.value
+            ]
+            == 1
+        )
+
+    def test_second_write_goes_dirty_locally(self):
+        system, protocol = build()
+        protocol.read(0, addr(0))
+        protocol.write(0, addr(0), 7)
+        bits = system.network.total_bits
+        protocol.write(0, addr(0), 8)
+        assert state(system, 0, 0) is WriteOnceState.DIRTY
+        assert system.network.total_bits == bits  # local
+        # Memory is now stale until write-back.
+        assert system.memory_for(0).read_word(0, 0) == 7
+
+    def test_write_miss_goes_straight_to_dirty(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 9)
+        assert state(system, 0, 0) is WriteOnceState.DIRTY
+
+
+class TestInvalidation:
+    def test_first_write_invalidates_other_copies(self):
+        system, protocol = build()
+        for node in (0, 1, 2):
+            protocol.read(node, addr(0))
+        protocol.write(0, addr(0), 5)
+        assert state(system, 1, 0) is WriteOnceState.INVALID
+        assert state(system, 2, 0) is WriteOnceState.INVALID
+        assert protocol.stats.events["invalidations"] == 2
+        assert protocol.directory_sharers(0) == {0}
+
+    def test_invalidated_reader_refetches_current_value(self):
+        system, protocol = build()
+        protocol.read(1, addr(0))
+        protocol.write(0, addr(0), 5)
+        assert protocol.read(1, addr(0)) == 5
+
+
+class TestDirtyRecall:
+    def test_read_miss_recalls_dirty_block(self):
+        system, protocol = build()
+        protocol.write(0, addr(0), 5)
+        protocol.write(0, addr(0), 6)  # dirty at node 0
+        assert protocol.read(1, addr(0)) == 6
+        assert (
+            protocol.stats.traffic_messages[MsgKind.DIR_RECALL.value] == 1
+        )
+        # The recalled holder is downgraded and memory refreshed.
+        assert state(system, 0, 0) is WriteOnceState.VALID
+        assert system.memory_for(0).read_word(0, 0) == 6
+
+    def test_reserved_holder_recalled_conservatively(self):
+        system, protocol = build()
+        protocol.read(0, addr(0))
+        protocol.write(0, addr(0), 5)  # reserved (memory current)
+        protocol.read(1, addr(0))
+        # The directory cannot see Reserved vs Dirty: it recalls anyway.
+        assert (
+            protocol.stats.traffic_messages[MsgKind.DIR_RECALL.value] == 1
+        )
+
+
+class TestReplacement:
+    def test_dirty_replacement_writes_back(self):
+        system, protocol = build(cache_entries=1)
+        protocol.write(0, addr(0), 5)
+        protocol.write(0, addr(0), 6)
+        protocol.read(0, addr(1))  # evicts dirty block 0
+        assert protocol.stats.events["writebacks"] == 1
+        assert system.memory_for(0).read_word(0, 0) == 6
+        assert protocol.directory_sharers(0) == frozenset()
+
+    def test_clean_replacement_notifies_directory(self):
+        system, protocol = build(cache_entries=1)
+        protocol.read(0, addr(0))
+        protocol.read(0, addr(1))
+        assert protocol.directory_sharers(0) == frozenset()
+        assert (
+            protocol.stats.traffic_messages[MsgKind.REPLACE_NOTIFY.value]
+            == 1
+        )
+
+
+class TestFigure7RatesOnTheMachine:
+    """The Figure 7 chain predicts each consistency-event direction fires
+    at rate w(1-w) per reference; the simulated protocol on a §4 Markov
+    trace must reproduce that rate."""
+
+    @pytest.mark.parametrize("w", [0.2, 0.5, 0.8])
+    def test_transition_rates_match_w_times_one_minus_w(self, w):
+        from repro.sim.engine import run_trace
+        from repro.workloads.markov import markov_block_trace
+
+        references = 8000
+        trace = markov_block_trace(
+            16, list(range(8)), w, references, seed=3
+        )
+        system = System(SystemConfig(n_nodes=16))
+        protocol = WriteOnceProtocol(system)
+        run_trace(
+            protocol, trace, verify=False, check_invariants_every=0
+        )
+        predicted = w * (1 - w)
+        recall_rate = (
+            protocol.stats.traffic_messages[MsgKind.DIR_RECALL.value]
+            / references
+        )
+        invalidate_rate = (
+            protocol.stats.traffic_messages[
+                MsgKind.DIR_INVALIDATE.value
+            ]
+            / references
+        )
+        assert recall_rate == pytest.approx(predicted, rel=0.15)
+        assert invalidate_rate == pytest.approx(predicted, rel=0.15)
+
+
+class TestMarkovCorrespondence:
+    """The Figure 7 model says consistency events happen at rate
+    2 w (1 - w): invalidation bursts on shared->exclusive, reloads on
+    exclusive->shared.  The simulated protocol should show both event
+    kinds on an alternating read/write pattern."""
+
+    def test_alternating_pattern_oscillates_states(self):
+        system, protocol = build()
+        for round_no in range(1, 6):
+            protocol.write(0, addr(0), round_no)  # exclusive
+            protocol.read(1, addr(0))  # shared again
+        # 5 invalidation events (one reader each) after the first round.
+        assert protocol.stats.events["invalidations"] >= 4
+        assert (
+            protocol.stats.traffic_messages[MsgKind.DIR_RECALL.value] >= 4
+        )

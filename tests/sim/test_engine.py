@@ -1,0 +1,122 @@
+"""Unit tests for the verifying simulation engine."""
+
+import pytest
+
+from repro.errors import CoherenceError, TraceError
+from repro.protocol.no_cache import NoCacheProtocol
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.types import Address, Op, Reference
+from repro.workloads.synthetic import random_trace
+
+
+def build_protocol():
+    return NoCacheProtocol(System(SystemConfig(n_nodes=4)))
+
+
+class BrokenProtocol(NoCacheProtocol):
+    """Returns garbage on the third read: verification must catch it."""
+
+    name = "broken"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self._reads = 0
+
+    def read(self, node, address):
+        self._reads += 1
+        value = super().read(node, address)
+        return value + 1 if self._reads == 3 else value
+
+
+class TestVerification:
+    def test_correct_protocol_passes(self):
+        trace = random_trace(4, 200, n_blocks=4, seed=1)
+        report = run_trace(build_protocol(), trace, verify=True)
+        assert report.verified
+
+    def test_stale_read_detected_with_reference_index(self):
+        protocol = BrokenProtocol(System(SystemConfig(n_nodes=4)))
+        trace = [
+            Reference(0, Op.WRITE, Address(0, 0), 5),
+            Reference(1, Op.READ, Address(0, 0)),
+            Reference(2, Op.READ, Address(0, 0)),
+            Reference(3, Op.READ, Address(0, 0)),  # corrupted (3rd read)
+        ]
+        with pytest.raises(CoherenceError, match="reference 3"):
+            run_trace(protocol, trace, verify=True)
+
+    def test_verify_false_skips_value_checks(self):
+        protocol = BrokenProtocol(System(SystemConfig(n_nodes=4)))
+        trace = [
+            Reference(1, Op.READ, Address(0, 0)),
+            Reference(1, Op.READ, Address(0, 0)),
+            Reference(1, Op.READ, Address(0, 0)),
+        ]
+        report = run_trace(protocol, trace, verify=False)
+        assert not report.verified
+
+    def test_foreign_node_rejected(self):
+        trace = [Reference(9, Op.READ, Address(0, 0))]
+        with pytest.raises(TraceError):
+            run_trace(build_protocol(), trace)
+
+
+class TestReportContents:
+    def test_counts_and_fractions(self):
+        trace = [
+            Reference(0, Op.WRITE, Address(0, 0), 1),
+            Reference(0, Op.READ, Address(0, 0)),
+            Reference(1, Op.READ, Address(0, 0)),
+            Reference(1, Op.WRITE, Address(0, 1), 2),
+        ]
+        report = run_trace(build_protocol(), trace)
+        assert report.n_references == 4
+        assert report.n_reads == 2
+        assert report.n_writes == 2
+        assert report.write_fraction == 0.5
+
+    def test_network_totals_match_levels(self):
+        trace = random_trace(4, 100, n_blocks=4, seed=2)
+        report = run_trace(build_protocol(), trace)
+        assert sum(report.network_bits_by_level) == (
+            report.network_total_bits
+        )
+
+    def test_cost_per_reference(self):
+        trace = [Reference(0, Op.READ, Address(0, 0))]
+        report = run_trace(build_protocol(), trace)
+        assert report.cost_per_reference == report.network_total_bits
+
+    def test_empty_trace(self):
+        report = run_trace(build_protocol(), [])
+        assert report.n_references == 0
+        assert report.cost_per_reference == 0.0
+
+    def test_summary_mentions_the_essentials(self):
+        trace = random_trace(4, 50, n_blocks=4, seed=3)
+        report = run_trace(build_protocol(), trace)
+        text = report.summary()
+        assert "no-cache" in text
+        assert "bits" in text
+
+    def test_traffic_reset_between_runs(self):
+        # The second run starts from warm memory, so value verification
+        # is off; the point is that the traffic counters restart at zero.
+        protocol = build_protocol()
+        trace = random_trace(4, 50, n_blocks=4, seed=4)
+        first = run_trace(protocol, trace, verify=False)
+        second = run_trace(protocol, trace, verify=False)
+        assert first.network_total_bits == second.network_total_bits
+
+
+class TestInvariantStride:
+    def test_invariants_checked_with_stride(self):
+        system = System(SystemConfig(n_nodes=4, cache_entries=2))
+        protocol = StenstromProtocol(system)
+        trace = random_trace(4, 300, n_blocks=8, seed=5)
+        report = run_trace(
+            protocol, trace, verify=True, check_invariants_every=50
+        )
+        assert report.verified

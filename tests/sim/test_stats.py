@@ -1,0 +1,61 @@
+"""Unit tests for the statistics ledgers."""
+
+from repro.sim import stats as ev
+from repro.sim.stats import Stats
+
+
+class TestEvents:
+    def test_count_accumulates(self):
+        stats = Stats()
+        stats.count(ev.READS)
+        stats.count(ev.READS, 4)
+        assert stats.events[ev.READS] == 5
+
+    def test_references_sums_reads_and_writes(self):
+        stats = Stats()
+        stats.count(ev.READS, 3)
+        stats.count(ev.WRITES, 2)
+        assert stats.references == 5
+
+
+class TestTraffic:
+    def test_record_traffic(self):
+        stats = Stats()
+        stats.record_traffic("load", 100)
+        stats.record_traffic("load", 50)
+        stats.record_traffic("inv", 10)
+        assert stats.traffic_bits["load"] == 150
+        assert stats.traffic_messages["load"] == 2
+        assert stats.total_bits == 160
+        assert stats.total_messages == 3
+
+    def test_cost_per_reference(self):
+        stats = Stats()
+        stats.count(ev.READS, 4)
+        stats.record_traffic("x", 100)
+        assert stats.cost_per_reference == 25.0
+
+    def test_cost_per_reference_with_no_references(self):
+        assert Stats().cost_per_reference == 0.0
+
+
+class TestMergeAndExport:
+    def test_merge_folds_counters(self):
+        first, second = Stats(), Stats()
+        first.count(ev.READS, 2)
+        first.record_traffic("x", 10)
+        second.count(ev.READS, 3)
+        second.record_traffic("x", 5)
+        second.record_traffic("y", 1)
+        first.merge(second)
+        assert first.events[ev.READS] == 5
+        assert first.traffic_bits == {"x": 15, "y": 1}
+
+    def test_as_dict_snapshot(self):
+        stats = Stats()
+        stats.count(ev.WRITES)
+        stats.record_traffic("x", 7)
+        snapshot = stats.as_dict()
+        assert snapshot["events"] == {ev.WRITES: 1}
+        assert snapshot["traffic_bits"] == {"x": 7}
+        assert snapshot["traffic_messages"] == {"x": 1}

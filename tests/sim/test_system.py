@@ -1,0 +1,74 @@
+"""Unit tests for system configuration and construction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.multicast import MulticastScheme
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+
+class TestConfigValidation:
+    def test_rejects_non_power_of_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_nodes=6)
+
+    def test_rejects_single_node(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_nodes=1)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_nodes=4, block_size_words=0)
+
+    def test_rejects_bad_cache_size(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(n_nodes=4, cache_entries=-1)
+
+    def test_with_scheme_returns_modified_copy(self):
+        config = SystemConfig(n_nodes=4)
+        other = config.with_scheme(MulticastScheme.UNICAST)
+        assert other.multicast_scheme is MulticastScheme.UNICAST
+        assert config.multicast_scheme is MulticastScheme.COMBINED
+        assert other.n_nodes == 4
+
+
+class TestSystemConstruction:
+    def test_component_counts(self):
+        system = System(SystemConfig(n_nodes=8))
+        assert len(system.caches) == 8
+        assert len(system.memories) == 8
+        assert system.network.n_ports == 8
+
+    def test_home_interleaving(self):
+        system = System(SystemConfig(n_nodes=8))
+        assert system.home(0) == 0
+        assert system.home(9) == 1
+        assert system.memory_for(9).module_id == 1
+
+    def test_check_address(self):
+        system = System(SystemConfig(n_nodes=4, block_size_words=2))
+        system.check_address(Address(5, 1))
+        with pytest.raises(ConfigurationError):
+            system.check_address(Address(5, 2))
+        with pytest.raises(ConfigurationError):
+            system.check_address(Address(-1, 0))
+
+    def test_reset_traffic(self):
+        system = System(SystemConfig(n_nodes=4))
+        system.network.link(0, 0).carry(10)
+        system.reset_traffic()
+        assert system.network.total_bits == 0
+
+    def test_caches_have_distinct_seeds(self):
+        # Random replacement policies must not be lock-stepped.
+        system = System(
+            SystemConfig(n_nodes=4, cache_entries=8, replacement="random")
+        )
+        picks = [
+            tuple(
+                cache.policy.choose_victim(0) for _ in range(10)
+            )
+            for cache in system.caches
+        ]
+        assert len(set(picks)) > 1

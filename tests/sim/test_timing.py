@@ -1,0 +1,143 @@
+"""Tests for the store-and-forward timing model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.cost import worst_case_placement
+from repro.network.link import LinkLoad
+from repro.network.message import Message
+from repro.network.multicast import (
+    multicast_scheme1,
+    multicast_scheme2,
+    multicast_scheme3,
+)
+from repro.network.routing import unicast
+from repro.network.topology import OmegaNetwork
+from repro.sim.timing import makespan, schedule
+
+
+def path(*hops):
+    """Helper: a chained load list (hop = (level, position, bits))."""
+    loads = []
+    for index, (level, position, bits) in enumerate(hops):
+        parent = index - 1 if index > 0 else None
+        loads.append(LinkLoad(level, position, bits, parent))
+    return loads
+
+
+class TestSinglePath:
+    def test_makespan_is_sum_of_hop_durations(self):
+        loads = path((0, 0, 10), (1, 2, 8), (2, 1, 6))
+        assert makespan([loads]) == 24
+
+    def test_bandwidth_scales_durations(self):
+        loads = path((0, 0, 10), (1, 2, 10))
+        assert makespan([loads], bandwidth=5) == 4
+
+    def test_zero_bit_hop_takes_one_cycle(self):
+        loads = path((0, 0, 0), (1, 1, 0))
+        assert makespan([loads]) == 2
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            makespan([path((0, 0, 1))], bandwidth=0)
+
+    def test_bad_parent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            makespan([[LinkLoad(0, 0, 1, parent=5)]])
+
+
+class TestContention:
+    def test_disjoint_paths_overlap(self):
+        first = path((0, 0, 10), (1, 0, 10))
+        second = path((0, 1, 10), (1, 1, 10))
+        assert makespan([first, second]) == 20
+
+    def test_shared_link_serialises(self):
+        first = path((0, 0, 10), (1, 5, 10))
+        second = path((0, 0, 10), (1, 6, 10))
+        # Both need link (0, 0): the second starts after the first.
+        assert makespan([first, second]) == 30
+
+    def test_schedule_reports_per_transfer_times(self):
+        report = schedule([path((0, 0, 4), (1, 1, 4))])
+        starts = sorted(
+            (t.load.level, t.start, t.finish) for t in report.transfers
+        )
+        assert starts == [(0, 0, 4), (1, 4, 8)]
+
+    def test_makespan_bounded_below_by_busiest_link(self):
+        first = path((0, 0, 7), (1, 5, 3))
+        second = path((0, 0, 9), (1, 6, 2))
+        report = schedule([first, second])
+        assert report.makespan >= report.busiest_link_busy_time()
+
+    def test_utilisation_in_unit_range(self):
+        report = schedule([path((0, 0, 7), (1, 5, 3))])
+        assert 0.0 < report.link_utilisation() <= 1.0
+
+    def test_empty_batch(self):
+        assert makespan([]) == 0
+
+
+class TestMulticastLatency:
+    """The latency counterpart of the eq. 2 / eq. 3 comparison."""
+
+    def _loads(self, scheme_fn, n_dests, **kwargs):
+        net = OmegaNetwork(64)
+        dests = worst_case_placement(64, n_dests)
+        result = scheme_fn(
+            net,
+            Message(source=0, payload_bits=64),
+            dests,
+            commit=False,
+            **kwargs,
+        )
+        return result.loads
+
+    def test_scheme1_serialises_on_the_source_link(self):
+        one = makespan([self._loads(multicast_scheme1, 1)])
+        many = makespan([self._loads(multicast_scheme1, 16)])
+        # Transfers pipeline hop by hop, but all 16 unicasts must cross
+        # the source's level-0 link one after the other: the makespan is
+        # at least 15 extra source-link occupancies on top of one path.
+        source_hop = 64 + 6  # payload + full routing tag
+        assert many >= one + 15 * source_hop
+
+    def test_scheme2_beats_scheme1_on_latency(self):
+        scheme1 = makespan([self._loads(multicast_scheme1, 16)])
+        scheme2 = makespan([self._loads(multicast_scheme2, 16)])
+        assert scheme2 < scheme1
+
+    def test_scheme3_beats_scheme1_on_latency_for_adjacent_sets(self):
+        net = OmegaNetwork(64)
+        message = Message(source=0, payload_bits=64)
+        adjacent = range(16)
+        s1 = multicast_scheme1(net, message, adjacent, commit=False)
+        s3 = multicast_scheme3(net, message, adjacent, commit=False)
+        assert makespan([s3.loads]) < makespan([s1.loads])
+
+    def test_unicast_parents_form_a_chain(self):
+        net = OmegaNetwork(16)
+        result = unicast(
+            net, Message(source=3, payload_bits=8), 9, commit=False
+        )
+        parents = [load.parent for load in result.loads]
+        assert parents == [None, 0, 1, 2, 3]
+
+    def test_scheme2_parents_form_a_tree(self):
+        net = OmegaNetwork(16)
+        result = multicast_scheme2(
+            net,
+            Message(source=0, payload_bits=8),
+            [0, 5, 9, 15],
+            commit=False,
+        )
+        roots = [
+            load for load in result.loads if load.parent is None
+        ]
+        assert len(roots) == 1
+        for load in result.loads:
+            if load.parent is not None:
+                parent = result.loads[load.parent]
+                assert parent.level == load.level - 1

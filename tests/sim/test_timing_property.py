@@ -1,0 +1,96 @@
+"""Property-based tests for the store-and-forward scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.link import LinkLoad
+from repro.sim.timing import schedule
+
+
+@st.composite
+def random_operations(draw):
+    """A batch of chained-path operations with random geometry."""
+    n_ops = draw(st.integers(1, 5))
+    operations = []
+    for _ in range(n_ops):
+        n_hops = draw(st.integers(1, 6))
+        loads = []
+        for hop in range(n_hops):
+            position = draw(st.integers(0, 3))
+            bits = draw(st.integers(0, 40))
+            parent = hop - 1 if hop > 0 else None
+            loads.append(LinkLoad(hop, position, bits, parent))
+        operations.append(loads)
+    return operations
+
+
+def duration(bits):
+    return max(1, bits)
+
+
+common = settings(max_examples=120, deadline=None)
+
+
+class TestSchedulerProperties:
+    @common
+    @given(operations=random_operations())
+    def test_every_load_is_scheduled_exactly_once(self, operations):
+        report = schedule(operations)
+        assert len(report.transfers) == sum(
+            len(op) for op in operations
+        )
+
+    @common
+    @given(operations=random_operations())
+    def test_makespan_at_least_every_critical_path(self, operations):
+        report = schedule(operations)
+        for op in operations:
+            chain = sum(duration(load.bits) for load in op)
+            assert report.makespan >= chain
+
+    @common
+    @given(operations=random_operations())
+    def test_makespan_at_least_busiest_link(self, operations):
+        report = schedule(operations)
+        assert report.makespan >= report.busiest_link_busy_time()
+
+    @common
+    @given(operations=random_operations())
+    def test_dependencies_respected(self, operations):
+        report = schedule(operations)
+        # Rebuild per-operation transfer order: transfers preserve the
+        # flattened ordering of the input loads.
+        index = 0
+        for op in operations:
+            transfers = report.transfers[index : index + len(op)]
+            for load, transfer in zip(op, transfers):
+                assert transfer.load is load
+                if load.parent is not None:
+                    parent_transfer = transfers[load.parent]
+                    assert transfer.start >= parent_transfer.finish
+            index += len(op)
+
+    @common
+    @given(operations=random_operations())
+    def test_no_link_overlap(self, operations):
+        report = schedule(operations)
+        by_link = {}
+        for transfer in report.transfers:
+            by_link.setdefault(transfer.load.key, []).append(
+                (transfer.start, transfer.finish)
+            )
+        for intervals in by_link.values():
+            intervals.sort()
+            for (_, first_end), (second_start, _) in zip(
+                intervals, intervals[1:]
+            ):
+                assert second_start >= first_end
+
+    @common
+    @given(operations=random_operations())
+    def test_makespan_bounded_by_serialising_everything(self, operations):
+        report = schedule(operations)
+        serial = sum(
+            duration(load.bits) for op in operations for load in op
+        )
+        assert report.makespan <= serial

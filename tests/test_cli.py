@@ -1,0 +1,151 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.sim.trace import Trace, save_trace
+from repro.types import Address, Op, Reference
+
+
+class TestTables:
+    def test_prints_all_three_tables(self, capsys):
+        assert main(["tables"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 2" in output
+        assert "Table 3" in output
+        assert "Table 4" in output
+
+
+class TestFigures:
+    def test_prints_all_three_figures(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 5" in output
+        assert "Figure 6" in output
+        assert "Figure 8" in output
+
+    def test_width_option(self, capsys):
+        assert main(["figures", "--width", "40"]) == 0
+        assert capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_default_markov_run(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--nodes", "8",
+                "--references", "300",
+                "--seed", "3",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "stenstrom-two-mode" in output
+        assert "verified          : True" in output
+
+    def test_protocol_choice(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--protocol", "no-cache",
+                "--references", "100",
+            ]
+        ) == 0
+        assert "no-cache" in capsys.readouterr().out
+
+    def test_random_workload(self, capsys):
+        assert main(
+            [
+                "simulate",
+                "--workload", "random",
+                "--references", "200",
+            ]
+        ) == 0
+        assert "references        : 200" in capsys.readouterr().out
+
+    def test_no_verify_flag(self, capsys):
+        assert main(
+            ["simulate", "--references", "100", "--no-verify"]
+        ) == 0
+        assert "verified          : False" in capsys.readouterr().out
+
+    def test_trace_file_replay(self, tmp_path, capsys):
+        trace = Trace(
+            [
+                Reference(0, Op.WRITE, Address(0, 0), 5),
+                Reference(1, Op.READ, Address(0, 0)),
+            ],
+            n_nodes=4,
+            block_size_words=2,
+        )
+        path = tmp_path / "small.trace"
+        save_trace(trace, path)
+        assert main(["simulate", "--trace", str(path)]) == 0
+        assert "references        : 2" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_ranks_all_protocols(self, capsys):
+        assert main(
+            ["compare", "--nodes", "8", "--references", "300"]
+        ) == 0
+        output = capsys.readouterr().out
+        for name in (
+            "no-cache",
+            "write-once",
+            "full-map",
+            "two-mode",
+        ):
+            assert name in output
+        assert "cheapest:" in output
+
+
+class TestLatency:
+    def test_ranks_by_cycles(self, capsys):
+        assert main(
+            ["latency", "--nodes", "8", "--references", "200"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "cycles/ref" in output
+        assert "no-cache" in output
+
+
+class TestSweep:
+    def test_prints_sharers_table(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "--nodes", "16",
+                "--sharers", "2", "4",
+                "--references", "300",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "n=2" in output and "n=4" in output
+
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "sweep.json"
+        assert main(
+            [
+                "sweep",
+                "--nodes", "16",
+                "--sharers", "2",
+                "--references", "200",
+                "--output", str(out),
+            ]
+        ) == 0
+        from repro.analysis.records import load_records
+
+        records, metadata = load_records(out)
+        assert records
+        assert metadata["n_nodes"] == 16
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

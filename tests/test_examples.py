@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are documentation that executes; these tests keep them from
+rotting.  Output is captured and lightly sanity-checked.
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, "examples"
+)
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "distributed-write mode",
+    "multicast_explorer.py": "combined scheme (eq. 8) picks",
+    "mode_selection.py": "threshold w1",
+    "adaptive_modes.py": "Phase-changing block",
+    "network_contention.py": "Permutation passability",
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, script), run_name="__main__"
+    )
+    output = capsys.readouterr().out
+    assert EXPECTED_SNIPPETS[script] in output
+
+
+@pytest.mark.slow
+def test_matrix_workload_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["matrix_workload.py"])
+    runpy.run_path(
+        os.path.join(EXAMPLES_DIR, "matrix_workload.py"),
+        run_name="__main__",
+    )
+    output = capsys.readouterr().out
+    assert "ownership transfers" in output

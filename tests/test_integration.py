@@ -1,0 +1,282 @@
+"""Integration tests: whole-library flows across module boundaries.
+
+These run realistic multi-module scenarios -- generated workloads through
+protocols over the simulated network with full verification -- and check
+aggregate properties that no single unit owns.
+"""
+
+import pytest
+
+from repro import (
+    Mode,
+    OracleModePolicy,
+    StenstromProtocol,
+    System,
+    SystemConfig,
+    run_trace,
+)
+from repro.analysis.compare import compare_protocols
+from repro.network.multicast import MulticastScheme
+from repro.protocol.no_cache import NoCacheProtocol
+from repro.workloads import (
+    jacobi_trace,
+    markov_block_trace,
+    matrix_multiply_trace,
+    migratory_trace,
+    ping_pong_trace,
+    producer_consumer_trace,
+    random_trace,
+    shared_structure_trace,
+)
+
+
+class TestStructuredWorkloadsVerify:
+    """Every structured workload survives full verification end to end,
+    under both default modes and small (thrashing) caches."""
+
+    WORKLOADS = {
+        "jacobi": lambda: jacobi_trace(
+            8, [0, 1, 2, 3], rows=8, row_words=4, sweeps=2,
+            block_size_words=2,
+        ),
+        "matmul": lambda: matrix_multiply_trace(
+            8, [0, 1], size=4, block_size_words=2
+        ),
+        "migratory": lambda: migratory_trace(
+            8, [0, 1, 2], 30, block_size_words=2
+        ),
+        "producer-consumer": lambda: producer_consumer_trace(
+            8, 0, [1, 2, 3], 20, block_size_words=2
+        ),
+        "ping-pong": lambda: ping_pong_trace(
+            8, 2, 5, 50, block_size_words=2
+        ),
+        "shared-structure": lambda: shared_structure_trace(
+            8, [0, 1, 2, 3], 0.3, 800, n_blocks=10,
+            block_size_words=2, seed=6,
+        ),
+    }
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("mode", list(Mode))
+    def test_workload_verifies(self, name, mode):
+        trace = self.WORKLOADS[name]()
+        system = System(
+            SystemConfig(
+                n_nodes=8, cache_entries=4, block_size_words=2
+            )
+        )
+        protocol = StenstromProtocol(system, default_mode=mode)
+        report = run_trace(protocol, trace, verify=True)
+        assert report.verified
+        assert report.n_references == len(trace)
+
+
+class TestPaperStoryEndToEnd:
+    """The paper's §4 story, measured on the machine."""
+
+    def test_read_mostly_block_prefers_distributed_write(self):
+        trace = markov_block_trace(
+            16, tasks=list(range(8)), write_fraction=0.05,
+            n_references=3000, seed=1,
+        )
+        comparison = compare_protocols(
+            trace, SystemConfig(n_nodes=16)
+        )
+        costs = comparison.cost_per_reference()
+        assert costs["distributed-write"] < costs["global-read"]
+        assert costs["distributed-write"] < costs["no-cache"]
+
+    def test_write_heavy_block_prefers_global_read(self):
+        trace = markov_block_trace(
+            16, tasks=list(range(8)), write_fraction=0.8,
+            n_references=3000, seed=2,
+        )
+        comparison = compare_protocols(
+            trace, SystemConfig(n_nodes=16)
+        )
+        costs = comparison.cost_per_reference()
+        assert costs["global-read"] < costs["distributed-write"]
+        assert costs["global-read"] < costs["no-cache"]
+
+    def test_two_mode_is_never_far_from_the_better_mode(self):
+        for w, seed in ((0.05, 3), (0.5, 4), (0.9, 5)):
+            trace = markov_block_trace(
+                16, tasks=list(range(8)), write_fraction=w,
+                n_references=3000, seed=seed,
+            )
+            comparison = compare_protocols(
+                trace, SystemConfig(n_nodes=16)
+            )
+            costs = comparison.cost_per_reference()
+            best_mode = min(
+                costs["distributed-write"], costs["global-read"]
+            )
+            # The oracle selector needs a learning window, so allow slack.
+            assert costs["two-mode"] <= best_mode * 1.6 + 5
+
+    def test_ownership_stays_put_for_single_writer_blocks(self):
+        trace = shared_structure_trace(
+            16, tasks=list(range(4)), write_fraction=0.3,
+            n_references=2000, n_blocks=4, seed=7,
+        )
+        system = System(SystemConfig(n_nodes=16, cache_entries=16))
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        report = run_trace(protocol, trace, verify=True)
+        # Each block's writer becomes its owner once; at most one initial
+        # transfer per block (if a reader touched it first).
+        assert report.stats.events.get("ownership_transfers", 0) <= 4
+
+    def test_migratory_sharing_transfers_ownership_every_round(self):
+        rounds = 25
+        trace = migratory_trace(8, [0, 1, 2, 3], rounds)
+        system = System(SystemConfig(n_nodes=8))
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        report = run_trace(protocol, trace, verify=True)
+        transfers = report.stats.events["ownership_transfers"]
+        assert transfers >= rounds * 4 - 4  # one per hand-off
+
+
+class TestSchemesUnderProtocol:
+    """The multicast scheme choice matters inside the protocol too."""
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            MulticastScheme.UNICAST,
+            MulticastScheme.VECTOR,
+            MulticastScheme.BROADCAST_TAG,
+            MulticastScheme.COMBINED,
+        ],
+    )
+    def test_protocol_correct_under_every_scheme(self, scheme):
+        trace = random_trace(
+            16, 800, n_blocks=12, write_fraction=0.4, seed=8
+        )
+        system = System(
+            SystemConfig(
+                n_nodes=16, cache_entries=4, multicast_scheme=scheme
+            )
+        )
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        report = run_trace(protocol, trace, verify=True)
+        assert report.verified
+
+    def test_combined_never_beaten_by_pinned_schemes(self):
+        trace = markov_block_trace(
+            32, tasks=list(range(16)), write_fraction=0.4,
+            n_references=1500, seed=9,
+        )
+
+        def cost_with(scheme):
+            system = System(
+                SystemConfig(n_nodes=32, multicast_scheme=scheme)
+            )
+            protocol = StenstromProtocol(
+                system, default_mode=Mode.DISTRIBUTED_WRITE
+            )
+            return run_trace(
+                protocol, trace, verify=False, check_invariants_every=0
+            ).network_total_bits
+
+        combined = cost_with(MulticastScheme.COMBINED)
+        for scheme in (
+            MulticastScheme.UNICAST,
+            MulticastScheme.VECTOR,
+            MulticastScheme.BROADCAST_TAG,
+        ):
+            assert combined <= cost_with(scheme) + 1
+
+
+class TestCacheGeometryEffects:
+    def test_direct_mapped_conflicts_cost_more_than_full_associativity(
+        self,
+    ):
+        trace = random_trace(
+            8, 2000, n_blocks=32, write_fraction=0.3, locality=0.7,
+            seed=10,
+        )
+
+        def cost_with(associativity):
+            system = System(
+                SystemConfig(
+                    n_nodes=8,
+                    cache_entries=8,
+                    associativity=associativity,
+                )
+            )
+            protocol = StenstromProtocol(system)
+            return run_trace(
+                protocol, trace, verify=False, check_invariants_every=0
+            ).network_total_bits
+
+        assert cost_with(None) <= cost_with(1)
+
+    def test_replacement_policies_all_verify(self):
+        trace = random_trace(
+            8, 1000, n_blocks=24, write_fraction=0.3, seed=11
+        )
+        for policy in ("lru", "fifo", "random"):
+            system = System(
+                SystemConfig(
+                    n_nodes=8, cache_entries=4, replacement=policy
+                )
+            )
+            protocol = StenstromProtocol(system)
+            assert run_trace(protocol, trace, verify=True).verified
+
+
+class TestUniformCostModelEquivalences:
+    def test_no_cache_is_exactly_eq9_at_any_scale(self):
+        from repro.network.cost import cc1
+        from repro.protocol.messages import MessageCosts
+
+        for n_nodes in (8, 64):
+            system = System(
+                SystemConfig(
+                    n_nodes=n_nodes, costs=MessageCosts.uniform(20)
+                )
+            )
+            protocol = NoCacheProtocol(system)
+            trace = markov_block_trace(
+                n_nodes, tasks=[0, 1], write_fraction=0.5,
+                n_references=500, seed=12,
+            )
+            report = run_trace(protocol, trace, verify=True)
+            unit = cc1(1, n_nodes, 20)
+            expected = (2 - report.write_fraction) * unit
+            assert report.cost_per_reference == pytest.approx(expected)
+
+
+class TestModePolicyIntegration:
+    def test_oracle_policy_converges_to_the_cheap_mode(self):
+        trace = markov_block_trace(
+            16, tasks=list(range(8)), write_fraction=0.02,
+            n_references=1500, seed=13,
+        )
+        system = System(SystemConfig(n_nodes=16))
+        protocol = StenstromProtocol(
+            system, mode_policy=OracleModePolicy(window=64)
+        )
+        run_trace(protocol, trace, verify=True)
+        assert protocol.mode_of(0) is Mode.DISTRIBUTED_WRITE
+
+    def test_oracle_policy_converges_to_global_read_when_writes_dominate(
+        self,
+    ):
+        trace = markov_block_trace(
+            16, tasks=list(range(8)), write_fraction=0.9,
+            n_references=1500, seed=14,
+        )
+        system = System(SystemConfig(n_nodes=16))
+        protocol = StenstromProtocol(
+            system, mode_policy=OracleModePolicy(window=64)
+        )
+        run_trace(protocol, trace, verify=True)
+        assert protocol.mode_of(0) is Mode.GLOBAL_READ

@@ -1,0 +1,274 @@
+"""The paper's claims, one test per claim, quoted.
+
+A single module that reads as a reproduction certificate: every claim the
+paper states (abstract, §3 bullets, §4 theorems, §5 discussion) is quoted
+and then checked against this library -- analytically where the paper
+argues analytically, and on the simulated machine where that is the
+stronger check.
+"""
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.network import cost
+from repro.network.breakeven import (
+    breakeven_scheme2_vs_scheme1,
+    breakeven_scheme3_vs_scheme2,
+)
+from repro.protocol import costs as pcosts
+from repro.protocol.modes import write_fraction_threshold
+
+W_GRID = [i / 40 for i in range(41)]
+
+
+class TestAbstract:
+    def test_consistency_traffic_restricted_to_copy_holders(self):
+        """'Consistency traffic is restricted to the set of caches which
+        have a copy of a shared block.'"""
+        from repro.protocol.stenstrom import StenstromProtocol
+        from repro.sim.system import System, SystemConfig
+        from repro.types import Address
+
+        system = System(SystemConfig(n_nodes=16))
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        protocol.enable_message_log()
+        protocol.write(0, Address(0, 0), 1)
+        for node in (1, 2, 3):
+            protocol.read(node, Address(0, 0))
+        protocol.message_log.clear()
+        protocol.write(0, Address(0, 0), 2)
+        (update,) = protocol.message_log
+        assert update.dests == {1, 2, 3}  # exactly the copy holders
+
+    def test_memory_modules_not_consulted_for_consistency_actions(self):
+        """'State information is distributed to the caches and the memory
+        modules need not be consulted for consistency actions.'  A warm
+        distributed write touches no memory module port."""
+        from repro.protocol.messages import MsgKind
+        from repro.protocol.stenstrom import StenstromProtocol
+        from repro.sim.system import System, SystemConfig
+        from repro.types import Address
+
+        system = System(SystemConfig(n_nodes=16))
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        protocol.write(0, Address(0, 0), 1)
+        protocol.read(1, Address(0, 0))
+        protocol.enable_message_log()
+        protocol.write(0, Address(0, 0), 2)
+        kinds = {entry.kind for entry in protocol.message_log}
+        assert kinds == {MsgKind.WRITE_UPDATE}
+
+    def test_two_mode_upper_bound_considerably_lower(self):
+        """'The two-mode approach limits the upperbound for the
+        communication cost to a value considerably lower than that for
+        other protocols.'"""
+        for n in (4, 16, 64, 256):
+            two_mode_peak = max(
+                pcosts.normalized_two_mode(w, n) for w in W_GRID
+            )
+            write_once_peak = max(
+                pcosts.normalized_write_once(w, n) for w in W_GRID
+            )
+            no_cache_peak = max(
+                pcosts.normalized_no_cache(w) for w in W_GRID
+            )
+            assert two_mode_peak < no_cache_peak
+            assert two_mode_peak < write_once_peak
+            if n >= 16:
+                # 'Considerably': the gap widens without bound in n
+                # (two-mode peaks below 2, write-once at (n+2)/4).
+                assert two_mode_peak < write_once_peak / 2
+
+
+class TestSection1Storage:
+    def test_state_memory_scaling_claims(self):
+        """Directory schemes need O(N M); 'the size of the state
+        information memory in this case is O(C(N + log N) + M log N)'.
+        Check the scaling exponents empirically on the exact formulas."""
+        from repro.memory.sizing import (
+            full_map_directory_bits,
+            stenstrom_state_bits,
+        )
+
+        # Full map: doubling M doubles the bits (linear in M).
+        assert full_map_directory_bits(64, 2_000_000) == (
+            2 * full_map_directory_bits(64, 1_000_000)
+        )
+        # Stenström: doubling M adds only (1 + log2 N) per extra block.
+        small = stenstrom_state_bits(64, 1_000_000, 1024)
+        large = stenstrom_state_bits(64, 2_000_000, 1024)
+        assert large - small == 1_000_000 * 7
+
+
+class TestSection3MulticastBullets:
+    def test_breakeven_12_exists_for_n_ge_4(self):
+        """'There exists an n <= N such that scheme 2 results in less
+        communication cost than scheme 1, for N >= 4.'  (Ties allowed at
+        the N=4, M=0 corner, where the formulas give equality.)"""
+        for network in (4, 16, 64, 1024):
+            for m_bits in (0, 20, 100):
+                wins = [
+                    n
+                    for n in _powers(network)
+                    if cost.cc2_worst(n, network, m_bits)
+                    <= cost.cc1(n, network, m_bits)
+                ]
+                assert wins
+
+    def test_breakeven_12_decreases_with_message_size(self):
+        """'Break-even will decrease when the message size (M)
+        increases.'"""
+        values = [
+            breakeven_scheme2_vs_scheme1(256, m).first_winning_n
+            for m in (0, 20, 40, 100)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_breakeven_12_increases_with_network_size(self):
+        """'Break-even will increase when the number of caches (N)
+        increases.'"""
+        values = [
+            breakeven_scheme2_vs_scheme1(n, 20).first_winning_n
+            for n in (64, 256, 1024)
+        ]
+        assert values == sorted(values)
+
+    def test_breakeven_23_exists(self):
+        """'There exists an n <= n1 such that scheme 3 results in less
+        communication cost than scheme 2.'"""
+        point = breakeven_scheme3_vs_scheme2(128, 1024, 20)
+        assert point.first_winning_n is not None
+
+    def test_breakeven_23_increases_with_message_size(self):
+        """'Break-even between scheme 2 and 3 will increase when the
+        message size (M) increases.'"""
+        values = [
+            breakeven_scheme3_vs_scheme2(128, 1024, m).first_winning_n
+            for m in (0, 20, 40, 60)
+        ]
+        assert values == sorted(values)
+
+    def test_breakeven_23_decreases_with_network_size(self):
+        """'Break-even will decrease when the number of caches (N)
+        increases.'"""
+        values = [
+            breakeven_scheme3_vs_scheme2(128, n, 20).first_winning_n
+            for n in (256, 1024, 4096)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestSection4Theorems:
+    """'From equations 9, 10, 11, and 12 we can prove that if distributed
+    write mode is used when w <= w1 = 2/(n+2) and else global read then
+    the average communication cost per reference is (a) less than the
+    communication cost without a cache, and (b) [less than] the
+    communication cost for write-once.'"""
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024])
+    def test_threshold_policy_beats_no_cache(self, n):
+        for w in W_GRID:
+            threshold = write_fraction_threshold(n)
+            chosen = (
+                pcosts.normalized_distributed_write(w, n)
+                if w <= threshold
+                else pcosts.normalized_global_read(w)
+            )
+            assert chosen <= pcosts.normalized_no_cache(w)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024])
+    def test_threshold_policy_beats_write_once(self, n):
+        for w in W_GRID:
+            threshold = write_fraction_threshold(n)
+            chosen = (
+                pcosts.normalized_distributed_write(w, n)
+                if w <= threshold
+                else pcosts.normalized_global_read(w)
+            )
+            assert chosen <= pcosts.normalized_write_once(w, n) + 1e-12
+
+    def test_threshold_is_the_exact_crossover(self):
+        for n in (2, 8, 32):
+            w1 = write_fraction_threshold(n)
+            assert pcosts.normalized_distributed_write(
+                w1, n
+            ) == pytest.approx(pcosts.normalized_global_read(w1))
+
+
+class TestSection5Discussion:
+    def test_single_writer_blocks_keep_their_owner(self):
+        """'For any application where each block of its shared data
+        structure is modified by at most one task, ownership will not
+        change.'"""
+        from repro.protocol.stenstrom import StenstromProtocol
+        from repro.sim.engine import run_trace
+        from repro.sim.system import System, SystemConfig
+        from repro.workloads.matrix import matrix_multiply_trace
+
+        trace = matrix_multiply_trace(
+            8, [0, 1, 2, 3], size=4, block_size_words=4
+        )
+        system = System(
+            SystemConfig(n_nodes=8, cache_entries=64, block_size_words=4)
+        )
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        report = run_trace(protocol, trace, verify=True)
+        assert report.stats.events.get("ownership_transfers", 0) == 0
+
+    def test_migratory_blocks_change_owner(self):
+        """'However, for applications where several tasks can modify a
+        block ... ownership will change which increases the network
+        traffic.'"""
+        from repro.protocol.stenstrom import StenstromProtocol
+        from repro.sim.engine import run_trace
+        from repro.sim.system import System, SystemConfig
+        from repro.workloads.sharing import migratory_trace
+
+        trace = migratory_trace(8, [0, 1, 2, 3], 10)
+        system = System(SystemConfig(n_nodes=8))
+        protocol = StenstromProtocol(system)
+        report = run_trace(protocol, trace, verify=True)
+        assert report.stats.events["ownership_transfers"] > 30
+
+    def test_write_once_can_produce_huge_traffic(self):
+        """'The point here was to show that write-once and distributed
+        write can result in huge network traffic' -- both exceed the
+        uncached cost somewhere, while two-mode never does."""
+        n = 64
+        exceeds_no_cache = lambda curve: any(  # noqa: E731
+            curve(w) > pcosts.normalized_no_cache(w) for w in W_GRID
+        )
+        assert exceeds_no_cache(
+            lambda w: pcosts.normalized_write_once(w, n)
+        )
+        assert exceeds_no_cache(
+            lambda w: pcosts.normalized_distributed_write(w, n)
+        )
+        assert not exceeds_no_cache(
+            lambda w: pcosts.normalized_two_mode(w, n)
+        )
+
+    def test_adjacent_allocation_reduces_cost_considerably(self):
+        """'Communication cost can be reduced considerably if tasks are
+        allocated on adjacently placed processors.'  Compare eq. 8 for
+        an adjacent partition against scheme-2 worst case for the same
+        destinations scattered."""
+        network, n = 1024, 64
+        adjacent = cost.cc_combined(n, n, network, 20)
+        scattered = min(
+            cost.cc1(n, network, 20), cost.cc2_worst(n, network, 20)
+        )
+        assert adjacent < 0.75 * scattered
+
+
+def _powers(limit):
+    value = 1
+    while value <= limit:
+        yield value
+        value *= 2

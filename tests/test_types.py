@@ -1,0 +1,72 @@
+"""Unit tests for the shared elementary types."""
+
+import pytest
+
+from repro.types import Address, Op, Reference, ilog2, is_power_of_two
+
+
+class TestAddress:
+    def test_from_word_splits(self):
+        assert Address.from_word(11, block_size=4) == Address(2, 3)
+        assert Address.from_word(0, block_size=4) == Address(0, 0)
+
+    def test_to_word_rebuilds(self):
+        assert Address(2, 3).to_word(4) == 11
+
+    def test_roundtrip(self):
+        for word in range(64):
+            assert Address.from_word(word, 8).to_word(8) == word
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            Address.from_word(10, 0)
+        with pytest.raises(ValueError):
+            Address(0, 0).to_word(-1)
+
+    def test_out_of_range_offset_rejected(self):
+        with pytest.raises(ValueError):
+            Address(0, 4).to_word(4)
+
+
+class TestReference:
+    def test_predicates(self):
+        write = Reference(0, Op.WRITE, Address(0, 0), 1)
+        read = Reference(0, Op.READ, Address(0, 0))
+        assert write.is_write and not write.is_read
+        assert read.is_read and not read.is_write
+
+    def test_default_value(self):
+        assert Reference(0, Op.READ, Address(0, 0)).value == 0
+
+
+class TestPowerHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 1024, 1 << 30])
+    def test_powers_accepted(self, value):
+        assert is_power_of_two(value)
+        assert 2 ** ilog2(value) == value
+
+    @pytest.mark.parametrize("value", [0, -1, 3, 6, 12, 1000])
+    def test_non_powers_rejected(self, value):
+        assert not is_power_of_two(value)
+        with pytest.raises(ValueError):
+            ilog2(value)
+
+
+class TestErrorsHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "NetworkError",
+            "MulticastError",
+            "ProtocolError",
+            "CoherenceError",
+            "TraceError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_multicast_error_is_a_network_error(self):
+        from repro.errors import MulticastError, NetworkError
+
+        assert issubclass(MulticastError, NetworkError)

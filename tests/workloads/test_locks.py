@@ -1,0 +1,96 @@
+"""Tests for the spinlock workload generator."""
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.errors import ConfigurationError
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.locks import spinlock_trace
+
+
+class TestStructure:
+    def test_round_robin_holders(self):
+        trace = spinlock_trace(8, [0, 1, 2], 6, spin_reads=0)
+        lock_writers = [
+            ref.node
+            for ref in trace
+            if ref.is_write and ref.address.block == 0
+        ]
+        # Acquire + release per acquisition, round robin.
+        assert lock_writers == [0, 0, 1, 1, 2, 2, 0, 0, 1, 1, 2, 2]
+
+    def test_everyone_spins_on_the_lock(self):
+        trace = spinlock_trace(8, [0, 1, 2], 1, spin_reads=2)
+        spin = [
+            ref.node
+            for ref in trace
+            if ref.is_read and ref.address.block == 0
+        ]
+        assert spin == [0, 1, 2, 0, 1, 2]
+
+    def test_critical_section_touches_the_data_block(self):
+        trace = spinlock_trace(8, [0, 1], 2, data_words=2)
+        data_refs = [
+            ref for ref in trace if ref.address.block == 1
+        ]
+        assert {ref.node for ref in data_refs} == {0, 1}
+        assert any(ref.is_write for ref in data_refs)
+
+    def test_reference_count(self):
+        tasks, acquisitions, spins, words = 3, 4, 2, 2
+        trace = spinlock_trace(
+            8, list(range(tasks)), acquisitions, spin_reads=spins,
+            data_words=words,
+        )
+        per_acquisition = spins * tasks + 1 + 2 * words + 1
+        assert len(trace) == acquisitions * per_acquisition
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            spinlock_trace(8, [0, 1], -1)
+        with pytest.raises(ConfigurationError):
+            spinlock_trace(8, [0, 1], 1, data_words=0)
+        with pytest.raises(ConfigurationError):
+            spinlock_trace(8, [0, 1], 1, data_words=9)
+        with pytest.raises(ConfigurationError):
+            spinlock_trace(8, [0, 1], 1, lock_block=3, data_block=3)
+
+
+class TestUnderTheProtocols:
+    def test_verifies_under_both_modes(self):
+        trace = spinlock_trace(8, [0, 1, 2, 3], 20)
+        for mode in Mode:
+            system = System(SystemConfig(n_nodes=8))
+            protocol = StenstromProtocol(system, default_mode=mode)
+            assert run_trace(protocol, trace, verify=True).verified
+
+    def test_lock_migrates_ownership(self):
+        """The §5 caveat in the flesh: a lock word written by every
+        contender transfers ownership on (at least) every hand-over."""
+        acquisitions = 12
+        trace = spinlock_trace(
+            8, [0, 1, 2, 3], acquisitions, data_words=1
+        )
+        system = System(SystemConfig(n_nodes=8))
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        report = run_trace(protocol, trace, verify=True)
+        assert (
+            report.stats.events["ownership_transfers"] >= acquisitions - 1
+        )
+
+    def test_lock_traffic_dwarfs_data_traffic_under_contention(self):
+        trace = spinlock_trace(
+            8, [0, 1, 2, 3], 15, spin_reads=4, data_words=1
+        )
+        system = System(SystemConfig(n_nodes=8))
+        protocol = StenstromProtocol(
+            system, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        run_trace(protocol, trace, verify=True)
+        # Most references target the lock block, and so does the traffic:
+        # the write updates fan out to every spinning reader.
+        assert protocol.stats.events["write_updates"] > 0
