@@ -5,27 +5,23 @@ the protocol pinned to each §3 scheme and to the combined scheme.  The
 combined scheme must never lose to a pinned one -- the operational content
 of eq. 8 -- and the per-scheme ordering must match the analysis for this
 sharer count.
+
+The scheme grid is declared as a :class:`repro.runner.SweepSpec` (one
+config per scheme, verification on) and executed through the runner; the
+parallel fan-out must reproduce the sequential reference path.
 """
+
+import json
 
 from conftest import save_exhibit
 
 from repro.analysis.report import render_table
-from repro.cache.state import Mode
 from repro.network.multicast import MulticastScheme
-from repro.protocol.stenstrom import StenstromProtocol
-from repro.sim.engine import run_trace
-from repro.sim.system import System, SystemConfig
-from repro.workloads.markov import markov_block_trace
+from repro.runner import Executor, SweepSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
 
 N_NODES = 64
 N_SHARERS = 16
-TRACE = markov_block_trace(
-    N_NODES,
-    tasks=list(range(N_SHARERS)),  # adjacently placed tasks (§3.4)
-    write_fraction=0.3,
-    n_references=3000,
-    seed=31,
-)
 
 SCHEMES = (
     MulticastScheme.UNICAST,
@@ -35,24 +31,44 @@ SCHEMES = (
 )
 
 
-def _run(scheme):
-    config = SystemConfig(n_nodes=N_NODES, multicast_scheme=scheme)
-    protocol = StenstromProtocol(
-        System(config), default_mode=Mode.DISTRIBUTED_WRITE
+def build_sweep() -> SweepSpec:
+    workload = WorkloadSpec(
+        kind="markov",
+        n_nodes=N_NODES,
+        n_references=3000,
+        write_fraction=0.3,
+        seed=31,
+        tasks=tuple(range(N_SHARERS)),  # adjacently placed tasks (§3.4)
     )
-    return run_trace(
-        protocol, TRACE, verify=True, check_invariants_every=500
+    return SweepSpec.from_grid(
+        "ablation-multicast-scheme",
+        protocols=["distributed-write"],
+        workloads=[workload],
+        configs=[
+            SystemConfig(n_nodes=N_NODES, multicast_scheme=scheme)
+            for scheme in SCHEMES
+        ],
+        verify=True,
+        check_invariants_every=500,
     )
 
 
 def test_multicast_scheme_ablation(benchmark):
-    def sweep():
-        return {scheme: _run(scheme) for scheme in SCHEMES}
+    sweep = build_sweep()
+    results = benchmark.pedantic(
+        Executor(workers=0).run, args=(sweep,), iterations=1, rounds=1
+    )
 
-    reports = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    parallel = Executor(workers=4).run(sweep)
+    for sequential_cell, parallel_cell in zip(results, parallel):
+        assert json.dumps(
+            sequential_cell.report.to_dict(), sort_keys=True
+        ) == json.dumps(parallel_cell.report.to_dict(), sort_keys=True)
+
     costs = {
-        scheme: report.cost_per_reference
-        for scheme, report in reports.items()
+        result.spec.config.multicast_scheme:
+            result.report.cost_per_reference
+        for result in results
     }
     # eq. 8: picking the cheapest scheme per multicast can only help.
     pinned_best = min(
@@ -77,4 +93,9 @@ def test_multicast_scheme_ablation(benchmark):
                 f"N={N_NODES}"
             ),
         ),
+        data={
+            result.spec.config.multicast_scheme.name.lower():
+                result.report.to_dict()
+            for result in results
+        },
     )

@@ -8,21 +8,31 @@ Two layers:
 * an *empirical* Figure 8 (extension): the same workloads run through the
   actual protocol machines on the simulated network, normalized the same
   way -- who-wins and crossover locations must agree with the analysis.
+  The empirical grid is declared as a :class:`repro.runner.SweepSpec`
+  (write fraction x protocol, with the cold-start warm-up split) and
+  executed through the runner, asserting the parallel fan-out equals the
+  sequential reference path.
 """
+
+import json
 
 import pytest
 from conftest import save_exhibit
 
-from repro.analysis.compare import simulated_cost_curve
+from repro.analysis.compare import default_factories
 from repro.analysis.figures import fig8_data
 from repro.analysis.report import render_series
 from repro.protocol.costs import (
     normalized_no_cache,
     normalized_two_mode,
     normalized_write_once,
+    one_traversal,
     two_mode_peak,
 )
+from repro.protocol.messages import MessageCosts
 from repro.protocol.modes import write_fraction_threshold
+from repro.runner import Executor, SweepSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
 
 N_VALUES = (4, 16, 64)
 
@@ -55,18 +65,53 @@ def test_fig8_analytic(benchmark):
 
 
 def test_fig8_simulated(benchmark):
-    """Empirical Figure 8 on the trace-driven simulator."""
+    """Empirical Figure 8 on the trace-driven simulator, via the runner."""
     write_fractions = (0.05, 0.2, 0.5, 0.8, 0.95)
+    n_nodes, n_sharers, warmup, references = 16, 8, 500, 2500
 
-    curves = benchmark.pedantic(
-        simulated_cost_curve,
-        args=(write_fractions, 8),
-        kwargs=dict(
-            n_nodes=16, references=2500, warmup=500, seed=17
-        ),
-        iterations=1,
-        rounds=1,
+    sweep = SweepSpec.from_grid(
+        "fig8-simulated",
+        protocols=sorted(default_factories()),
+        workloads=[
+            WorkloadSpec(
+                kind="markov",
+                n_nodes=n_nodes,
+                n_references=warmup + references,
+                write_fraction=w,
+                seed=17,
+                tasks=tuple(range(n_sharers)),
+            )
+            for w in write_fractions
+        ],
+        configs=[
+            SystemConfig(
+                n_nodes=n_nodes, costs=MessageCosts.uniform(20)
+            )
+        ],
+        warmup=warmup,
     )
+    results = benchmark.pedantic(
+        Executor(workers=0).run, args=(sweep,), iterations=1, rounds=1
+    )
+
+    # Parallel execution reproduces the sequential cells bit for bit.
+    parallel = Executor(workers=4).run(sweep)
+    for sequential_cell, parallel_cell in zip(results, parallel):
+        assert json.dumps(
+            sequential_cell.report.to_dict(), sort_keys=True
+        ) == json.dumps(parallel_cell.report.to_dict(), sort_keys=True)
+
+    unit = one_traversal(n_nodes, 20)
+    curves: dict[str, list[tuple[float, float]]] = {}
+    for result in results:
+        curves.setdefault(result.spec.protocol, []).append(
+            (
+                result.spec.workload.write_fraction,
+                result.report.cost_per_reference / unit,
+            )
+        )
+    for points in curves.values():
+        points.sort()
 
     no_cache = dict(curves["no-cache"])
     two_mode = dict(curves["two-mode"])
@@ -99,4 +144,11 @@ def test_fig8_simulated(benchmark):
         )
         for w in write_fractions
     )
-    save_exhibit("fig8_simulated", f"{chart}\n\n{rows}")
+    save_exhibit(
+        "fig8_simulated",
+        f"{chart}\n\n{rows}",
+        data={
+            result.spec.spec_hash: result.report.to_dict()
+            for result in results
+        },
+    )

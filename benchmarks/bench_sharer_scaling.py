@@ -13,29 +13,73 @@ probing the §4 upper-bound claim from the other axis.  The analysis says:
   to a value considerably lower than that for other protocols"
   (abstract).
 
-All four behaviours are asserted on the measured series.
+All four behaviours are asserted on the measured series.  The grid is
+declared as a :class:`repro.runner.SweepSpec` and executed through the
+runner; the parallel fan-out must reproduce the sequential reference
+path cell for cell.
 """
+
+import json
 
 from conftest import save_exhibit
 
 from repro.analysis.compare import default_factories
 from repro.analysis.report import render_table
-from repro.analysis.sweep import series_by_protocol, sharer_sweep
+from repro.protocol.messages import MessageCosts
+from repro.runner import Executor, SweepSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
 
 SHARERS = (2, 4, 8, 16, 32)
 WRITE_FRACTION = 0.3
+N_NODES = 64
+
+
+def build_sweep() -> SweepSpec:
+    return SweepSpec.from_grid(
+        "sharer-scaling",
+        protocols=sorted(default_factories()),
+        workloads=[
+            WorkloadSpec(
+                kind="markov",
+                n_nodes=N_NODES,
+                n_references=2500,
+                write_fraction=WRITE_FRACTION,
+                seed=13,
+                tasks=tuple(range(n)),
+            )
+            for n in SHARERS
+        ],
+        configs=[
+            SystemConfig(
+                n_nodes=N_NODES, costs=MessageCosts.uniform(20)
+            )
+        ],
+    )
 
 
 def test_sharer_scaling(benchmark):
-    factories = default_factories()
-    records = benchmark.pedantic(
-        sharer_sweep,
-        args=(SHARERS, WRITE_FRACTION, factories),
-        kwargs=dict(n_nodes=64, references=2500, seed=13),
-        iterations=1,
-        rounds=1,
+    sweep = build_sweep()
+    results = benchmark.pedantic(
+        Executor(workers=0).run, args=(sweep,), iterations=1, rounds=1
     )
-    series = series_by_protocol(records, "n_sharers")
+
+    # The parallel path must be bit-identical to the sequential one.
+    parallel = Executor(workers=4).run(sweep)
+    for sequential_cell, parallel_cell in zip(results, parallel):
+        assert json.dumps(
+            sequential_cell.report.to_dict(), sort_keys=True
+        ) == json.dumps(parallel_cell.report.to_dict(), sort_keys=True)
+
+    series: dict[str, list[tuple[int, float]]] = {}
+    for result in results:
+        series.setdefault(result.spec.protocol, []).append(
+            (
+                len(result.spec.workload.tasks),
+                result.report.cost_per_reference,
+            )
+        )
+    for points in series.values():
+        points.sort()
 
     def costs(name):
         return [cost for _, cost in series[name]]
@@ -71,4 +115,8 @@ def test_sharer_scaling(benchmark):
                 f"(w={WRITE_FRACTION}, N=64, uniform M=20)"
             ),
         ),
+        data={
+            result.spec.spec_hash: result.report.to_dict()
+            for result in results
+        },
     )

@@ -5,6 +5,7 @@ and writes the rendered result to ``benchmarks/results/<name>.txt`` so the
 regenerated numbers are inspectable artifacts, not just timings.
 """
 
+import json
 import os
 import sys
 
@@ -15,10 +16,20 @@ sys.path.insert(
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def save_exhibit(name: str, text: str) -> str:
-    """Write a rendered exhibit under ``benchmarks/results/``."""
+def save_exhibit(name: str, text: str, data=None) -> str:
+    """Write a rendered exhibit under ``benchmarks/results/``.
+
+    With ``data`` given (any JSON-serialisable object, e.g. a dict of
+    ``SimulationReport.to_dict()`` cells), a machine-readable
+    ``<name>.json`` lands next to the human-readable ``<name>.txt``.
+    """
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"{name}.txt")
     with open(path, "w", encoding="utf-8") as stream:
         stream.write(text + "\n")
+    if data is not None:
+        json_path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(json_path, "w", encoding="utf-8") as stream:
+            json.dump(data, stream, indent=2, sort_keys=True)
+            stream.write("\n")
     return path

@@ -14,7 +14,10 @@ The package provides, from the bottom up:
 * :mod:`repro.sim` -- a verifying trace-driven simulation engine;
 * :mod:`repro.workloads` -- reference-trace generators;
 * :mod:`repro.analysis` -- the harness regenerating every table and figure
-  of the paper's evaluation.
+  of the paper's evaluation;
+* :mod:`repro.runner` -- parallel, cached, observable execution of
+  declarative experiment grids (specs, worker fan-out, result cache,
+  run journal).
 
 Quickstart::
 
@@ -36,6 +39,7 @@ from repro.cache import Cache, CacheState, Mode, StateField
 from repro.errors import (
     CoherenceError,
     ConfigurationError,
+    ExecutionError,
     MulticastError,
     NetworkError,
     ProtocolError,
@@ -83,6 +87,7 @@ __all__ = [
     "CoherenceError",
     "CoherenceProtocol",
     "ConfigurationError",
+    "ExecutionError",
     "FullMapProtocol",
     "LimitedPointerProtocol",
     "MemoryModule",

@@ -9,7 +9,10 @@ Six commands cover the common uses of the library without writing code:
   protocol on the verifying simulator and print the report;
 * ``compare`` -- run one workload through every protocol and rank them;
 * ``latency`` -- zero-contention cycles per reference, per protocol;
-* ``sweep``   -- cost vs sharer count, optionally archived as JSON.
+* ``sweep``   -- cost vs sharer count, executed through the
+  :mod:`repro.runner` subsystem (``--workers`` fans cells out over
+  processes, ``--cache-dir`` skips unchanged cells, ``--journal``
+  records task events), optionally archived as JSON.
 """
 
 from __future__ import annotations
@@ -80,7 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sweep = commands.add_parser(
         "sweep",
-        help="cost vs sharer count across protocols (JSON-exportable)",
+        help=(
+            "cost vs sharer count across protocols, executed through "
+            "the repro.runner subsystem (JSON-exportable)"
+        ),
     )
     sweep.add_argument(
         "--nodes", type=int, default=64, help="processors (power of two)"
@@ -101,6 +107,20 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument(
         "--output", help="write the records as JSON to this path"
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = sequential in-process)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache; re-runs only changed cells",
+    )
+    sweep.add_argument(
+        "--journal",
+        help="append task start/finish/retry events to this JSONL file",
     )
 
     return parser
@@ -250,16 +270,56 @@ def _command_latency(args: argparse.Namespace) -> int:
 def _command_sweep(args: argparse.Namespace) -> int:
     from repro.analysis.records import save_records
     from repro.analysis.report import render_table
-    from repro.analysis.sweep import series_by_protocol, sharer_sweep
-
-    records = sharer_sweep(
-        args.sharers,
-        args.write_fraction,
-        default_factories(),
-        n_nodes=args.nodes,
-        references=args.references,
-        seed=args.seed,
+    from repro.analysis.sweep import SweepRecord, series_by_protocol
+    from repro.protocol.messages import MessageCosts
+    from repro.runner import (
+        Executor,
+        ResultCache,
+        RunJournal,
+        SweepSpec,
+        WorkloadSpec,
     )
+
+    workloads = [
+        WorkloadSpec(
+            kind="markov",
+            n_nodes=args.nodes,
+            n_references=args.references,
+            write_fraction=args.write_fraction,
+            seed=args.seed,
+            tasks=tuple(range(n)),
+        )
+        for n in args.sharers
+    ]
+    sweep = SweepSpec.from_grid(
+        "cli-sharer-sweep",
+        protocols=sorted(default_factories()),
+        workloads=workloads,
+        configs=[
+            SystemConfig(
+                n_nodes=args.nodes, costs=MessageCosts.uniform(20)
+            )
+        ],
+    )
+    journal = RunJournal(args.journal)
+    executor = Executor(
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        journal=journal,
+    )
+    results = executor.run(sweep)
+    records = [
+        SweepRecord(
+            protocol=result.spec.protocol,
+            parameters=(
+                ("n_sharers", len(result.spec.workload.tasks)),
+            ),
+            cost_per_reference=result.report.cost_per_reference,
+            total_bits=result.report.network_total_bits,
+            events=tuple(sorted(result.report.stats.events.items())),
+        )
+        for result in results
+    ]
     series = series_by_protocol(records, "n_sharers")
     names = sorted(series)
     rows = [
@@ -277,6 +337,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+    counts = journal.counts()
+    print(
+        f"runner: {len(results)} cells, {counts['executed']} executed, "
+        f"{counts['cached']} cached, {counts['retried']} retried "
+        f"(workers={args.workers})"
+    )
     if args.output:
         save_records(
             records,
@@ -286,9 +352,11 @@ def _command_sweep(args: argparse.Namespace) -> int:
                 "n_nodes": args.nodes,
                 "references": args.references,
                 "seed": args.seed,
+                "sweep_hash": sweep.spec_hash,
             },
         )
         print(f"records written to {args.output}")
+    journal.close()
     return 0
 
 

@@ -55,3 +55,12 @@ class CoherenceError(ReproError):
 
 class TraceError(ReproError):
     """A reference trace is malformed or refers to nonexistent processors."""
+
+
+class ExecutionError(ReproError):
+    """An experiment task could not be completed by the runner.
+
+    Raised by :mod:`repro.runner.executor` when a task exhausts its retry
+    budget -- the worker process kept crashing, timing out, or raising --
+    with the last failure's traceback in the message.
+    """

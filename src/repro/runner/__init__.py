@@ -1,0 +1,58 @@
+"""Parallel, cached, observable experiment execution.
+
+The layer between the simulator and everything that sweeps it:
+
+* :mod:`repro.runner.spec` -- frozen, declarative, content-hashed
+  descriptions of experiment cells and grids;
+* :mod:`repro.runner.executor` -- multiprocess fan-out with per-task
+  timeout and bounded retry, plus a bit-identical sequential fallback;
+* :mod:`repro.runner.cache` -- content-addressed on-disk result store,
+  so re-running a sweep only executes changed cells;
+* :mod:`repro.runner.journal` -- JSONL event log and terminal summary.
+
+Quickstart::
+
+    from repro.runner import Executor, SweepSpec, WorkloadSpec
+    from repro.sim.system import SystemConfig
+
+    sweep = SweepSpec.from_grid(
+        "demo",
+        protocols=["two-mode", "write-once"],
+        workloads=[
+            WorkloadSpec(
+                kind="markov", n_nodes=8, n_references=500,
+                write_fraction=w, tasks=tuple(range(4)),
+            )
+            for w in (0.1, 0.5)
+        ],
+        configs=[SystemConfig(n_nodes=8)],
+    )
+    results = Executor(workers=4).run(sweep)
+"""
+
+from repro.runner.cache import ResultCache
+from repro.runner.executor import Executor, TaskResult, execute_spec
+from repro.runner.journal import RunJournal, read_journal
+from repro.runner.spec import (
+    SPEC_VERSION,
+    ExperimentSpec,
+    SweepSpec,
+    WorkloadSpec,
+    config_from_dict,
+    config_to_dict,
+)
+
+__all__ = [
+    "Executor",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunJournal",
+    "SPEC_VERSION",
+    "SweepSpec",
+    "TaskResult",
+    "WorkloadSpec",
+    "config_from_dict",
+    "config_to_dict",
+    "execute_spec",
+    "read_journal",
+]

@@ -1,0 +1,91 @@
+"""Content-addressed on-disk store of experiment results.
+
+Each completed :class:`~repro.runner.spec.ExperimentSpec` lands at
+``<root>/<hh>/<hash>.json`` (``hh`` = first two hex digits of the spec
+hash, to keep directories small) as one JSON document holding both the
+full spec and the serialised :class:`~repro.sim.engine.SimulationReport`.
+Because the path *is* the content hash, re-running a sweep only executes
+cells whose spec changed -- everything else is a file read.
+
+Writes are atomic (temp file + ``os.replace``) so a killed run never
+leaves a half-written entry for the next run to trip over, and
+:meth:`ResultCache.get` re-checks the stored spec against the requested
+one, so a truncated or foreign file degrades to a miss, never a wrong
+result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.runner.spec import ExperimentSpec
+from repro.sim.engine import SimulationReport
+
+
+class ResultCache:
+    """Spec-hash -> :class:`~repro.sim.engine.SimulationReport` store."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def _path(self, spec_hash: str) -> Path:
+        return self.root / spec_hash[:2] / f"{spec_hash}.json"
+
+    def get(self, spec: ExperimentSpec) -> SimulationReport | None:
+        """The cached report for ``spec``, or ``None`` on a miss.
+
+        Unreadable or mismatched entries (truncated writes, a stale
+        format, a hash collision) are treated as misses.
+        """
+        path = self._path(spec.spec_hash)
+        try:
+            with open(path, "r", encoding="utf-8") as stream:
+                data = json.load(stream)
+        except (OSError, ValueError):
+            return None
+        if data.get("spec") != spec.to_dict():
+            return None
+        try:
+            return SimulationReport.from_dict(data["report"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(self, spec: ExperimentSpec, report: SimulationReport) -> Path:
+        """Store ``report`` under ``spec``'s content hash, atomically."""
+        spec_hash = spec.spec_hash
+        path = self._path(spec_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "spec_hash": spec_hash,
+            "spec": spec.to_dict(),
+            "report": report.to_dict(),
+        }
+        temp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(temp, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, sort_keys=True, indent=1)
+            stream.write("\n")
+        os.replace(temp, path)
+        return path
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.get(spec) is not None
+
+    def __len__(self) -> int:
+        return sum(
+            1 for _ in self.root.glob("??/*.json")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,356 @@
+"""Parallel, cached, observable execution of experiment specs.
+
+The :class:`Executor` fans a :class:`~repro.runner.spec.SweepSpec` out over
+worker processes -- one short-lived process per cell, fed the cell's spec
+as plain JSON data and returning the serialised
+:class:`~repro.sim.engine.SimulationReport` over a pipe.  Because every
+cell is a pure function of its spec (the workload generator is reseeded
+from the spec inside the worker), the parallel path is bit-identical to
+the sequential in-process fallback (``workers=0``): same specs in, same
+reports out, in cell order, regardless of completion order.
+
+Robustness knobs:
+
+* ``timeout`` -- per-attempt wall-clock limit; a worker that overruns is
+  terminated and the cell retried (parallel mode only -- an in-process
+  task cannot be interrupted);
+* ``retries`` -- how many *additional* attempts a cell gets after a
+  worker crash, raised exception, or timeout, before the whole run fails
+  with :class:`~repro.errors.ExecutionError`;
+* ``cache`` -- a :class:`~repro.runner.cache.ResultCache`; hits skip
+  execution entirely and are journaled as ``task_cached``;
+* ``journal`` -- a :class:`~repro.runner.journal.RunJournal` receiving
+  start/finish/retry/failure events with wall time and traffic counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError, ExecutionError
+from repro.runner.cache import ResultCache
+from repro.runner.journal import RunJournal
+from repro.runner.spec import ExperimentSpec, SweepSpec
+from repro.sim.engine import SimulationReport, run_trace
+from repro.sim.system import System
+
+#: How long the scheduler sleeps in :func:`multiprocessing.connection.wait`
+#: between bookkeeping passes (timeout checks, launches).
+_POLL_SECONDS = 0.05
+
+
+def execute_spec(spec: ExperimentSpec) -> SimulationReport:
+    """Run one cell in-process: build the machine, the trace, measure.
+
+    This single function is the whole task body -- the sequential path
+    calls it directly and the worker processes call it on a deserialised
+    copy of the spec, which is what makes the two paths bit-identical.
+    """
+    from repro.analysis.compare import default_factories
+
+    factories = default_factories()
+    if spec.protocol not in factories:
+        raise ConfigurationError(
+            f"unknown protocol {spec.protocol!r}; "
+            f"expected one of {sorted(factories)}"
+        )
+    protocol = factories[spec.protocol](System(spec.config))
+    references = spec.workload.build().references
+    if spec.warmup:
+        run_trace(
+            protocol,
+            references[: spec.warmup],
+            verify=False,
+            check_invariants_every=0,
+        )
+    return run_trace(
+        protocol,
+        references[spec.warmup :],
+        verify=spec.verify,
+        check_invariants_every=spec.check_invariants_every,
+    )
+
+
+def _worker_main(spec_dict: dict, task_fn, conn) -> None:
+    """Worker-process entry: run one cell, ship the outcome, exit."""
+    try:
+        spec = ExperimentSpec.from_dict(spec_dict)
+        fn = execute_spec if task_fn is None else task_fn
+        report = fn(spec)
+        conn.send(("ok", report.to_dict()))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # parent gone; nothing left to report to
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One executed (or cache-served) cell.
+
+    ``attempts`` counts executions actually performed (0 for a cache
+    hit); ``wall_time`` is the successful attempt's duration in seconds.
+    """
+
+    spec: ExperimentSpec
+    report: SimulationReport
+    cached: bool
+    attempts: int
+    wall_time: float
+
+
+class _Running:
+    """Bookkeeping for one in-flight worker process."""
+
+    def __init__(self, index, spec, attempt, process, conn, started):
+        self.index = index
+        self.spec = spec
+        self.attempt = attempt
+        self.process = process
+        self.conn = conn
+        self.started = started
+
+
+class Executor:
+    """Runs experiment specs, optionally in parallel, through the cache.
+
+    ``workers=0`` (the default) executes sequentially in-process --
+    useful under debuggers, in environments without ``multiprocessing``
+    head-room, and as the reference the parallel path is checked against.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        timeout: float | None = None,
+        retries: int = 1,
+        cache: ResultCache | None = None,
+        journal: RunJournal | None = None,
+        task_fn: Callable[[ExperimentSpec], SimulationReport] | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0, got {workers}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive, got {timeout}"
+            )
+        if retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {retries}"
+            )
+        self.workers = workers
+        self.timeout = timeout
+        self.retries = retries
+        self.cache = cache
+        self.journal = journal if journal is not None else RunJournal()
+        # Testing hook: replaces execute_spec as the task body.  Under the
+        # fork start method any callable works; under spawn it must be an
+        # importable module-level function.
+        self._task_fn = task_fn
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, sweep: SweepSpec | Sequence[ExperimentSpec]
+    ) -> list[TaskResult]:
+        """Execute every cell; results come back in cell order.
+
+        Cache hits never reach a worker.  A cell that exhausts
+        ``retries`` aborts the run with
+        :class:`~repro.errors.ExecutionError` (remaining workers are
+        terminated first).
+        """
+        if isinstance(sweep, SweepSpec):
+            name, cells = sweep.name, list(sweep.cells)
+        else:
+            name, cells = "ad-hoc", list(sweep)
+        started = time.perf_counter()
+        self.journal.sweep_start(name, len(cells), self.workers)
+
+        results: list[TaskResult | None] = [None] * len(cells)
+        pending: list[tuple[int, ExperimentSpec]] = []
+        for index, spec in enumerate(cells):
+            report = self.cache.get(spec) if self.cache else None
+            if report is not None:
+                self.journal.task_cached(spec)
+                results[index] = TaskResult(
+                    spec=spec,
+                    report=report,
+                    cached=True,
+                    attempts=0,
+                    wall_time=0.0,
+                )
+            else:
+                pending.append((index, spec))
+
+        if self.workers == 0:
+            self._run_sequential(pending, results)
+        else:
+            self._run_parallel(pending, results)
+
+        self.journal.sweep_finish(name, time.perf_counter() - started)
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Sequential fallback
+    # ------------------------------------------------------------------
+
+    def _run_sequential(self, pending, results) -> None:
+        fn = execute_spec if self._task_fn is None else self._task_fn
+        for index, spec in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                self.journal.task_start(spec, attempt)
+                t0 = time.perf_counter()
+                try:
+                    report = fn(spec)
+                except Exception:
+                    error = traceback.format_exc()
+                    if attempt > self.retries:
+                        self._fail(spec, attempt, error)
+                    self.journal.task_retry(spec, attempt, error)
+                    continue
+                self._finish(
+                    results, index, spec, attempt,
+                    time.perf_counter() - t0, report,
+                )
+                break
+
+    # ------------------------------------------------------------------
+    # Parallel fan-out
+    # ------------------------------------------------------------------
+
+    def _run_parallel(self, pending, results) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        queue = list(pending)  # (index, spec); retries carry attempt no.
+        retry_queue: list[tuple[int, ExperimentSpec, int]] = []
+        running: list[_Running] = []
+        try:
+            while queue or retry_queue or running:
+                while (queue or retry_queue) and len(running) < self.workers:
+                    if retry_queue:
+                        index, spec, attempt = retry_queue.pop(0)
+                    else:
+                        index, spec = queue.pop(0)
+                        attempt = 1
+                    running.append(
+                        self._launch(context, index, spec, attempt)
+                    )
+                self._reap(running, retry_queue, results)
+        except BaseException:
+            self._terminate_all(running)
+            raise
+
+    def _launch(self, context, index, spec, attempt) -> _Running:
+        self.journal.task_start(spec, attempt)
+        parent_conn, child_conn = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_worker_main,
+            args=(spec.to_dict(), self._task_fn, child_conn),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the parent keeps only the reading end
+        return _Running(
+            index, spec, attempt, process, parent_conn,
+            time.perf_counter(),
+        )
+
+    def _reap(self, running, retry_queue, results) -> None:
+        """One scheduler pass: collect finished, crashed and overrun."""
+        if running:
+            connection_wait(
+                [task.conn for task in running], timeout=_POLL_SECONDS
+            )
+        now = time.perf_counter()
+        for task in list(running):
+            outcome = None  # ("ok", report) | ("error", text) | None
+            if task.conn.poll():
+                try:
+                    outcome = task.conn.recv()
+                except EOFError:  # died between send and close
+                    outcome = ("error", "worker closed the pipe early")
+            elif self.timeout is not None and (
+                now - task.started > self.timeout
+            ):
+                outcome = (
+                    "error",
+                    f"timed out after {self.timeout:g} s",
+                )
+            elif not task.process.is_alive():
+                outcome = (
+                    "error",
+                    f"worker exited with code "
+                    f"{task.process.exitcode} before reporting",
+                )
+            if outcome is None:
+                continue
+
+            running.remove(task)
+            self._retire(task)
+            status, payload = outcome
+            if status == "ok":
+                self._finish(
+                    results, task.index, task.spec, task.attempt,
+                    now - task.started,
+                    SimulationReport.from_dict(payload),
+                )
+            else:
+                if task.attempt > self.retries:
+                    self._terminate_all(running)
+                    self._fail(task.spec, task.attempt, payload)
+                self.journal.task_retry(task.spec, task.attempt, payload)
+                retry_queue.append(
+                    (task.index, task.spec, task.attempt + 1)
+                )
+
+    @staticmethod
+    def _retire(task: _Running) -> None:
+        task.conn.close()
+        if task.process.is_alive():
+            task.process.terminate()
+        task.process.join()
+
+    @staticmethod
+    def _terminate_all(running: list[_Running]) -> None:
+        for task in running:
+            Executor._retire(task)
+        running.clear()
+
+    # ------------------------------------------------------------------
+
+    def _finish(
+        self, results, index, spec, attempt, wall_time, report
+    ) -> None:
+        self.journal.task_finish(spec, attempt, wall_time, report)
+        if self.cache is not None:
+            self.cache.put(spec, report)
+        results[index] = TaskResult(
+            spec=spec,
+            report=report,
+            cached=False,
+            attempts=attempt,
+            wall_time=wall_time,
+        )
+
+    def _fail(self, spec, attempts, error) -> None:
+        self.journal.task_failed(spec, attempts, error)
+        raise ExecutionError(
+            f"task {spec.spec_hash[:12]} ({spec.describe()}) failed "
+            f"after {attempts} attempt(s):\n{error}"
+        )

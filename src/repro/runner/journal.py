@@ -1,0 +1,181 @@
+"""JSONL run journal: what the executor did, when, and at what cost.
+
+Every scheduling decision emits one JSON object per line -- ``sweep_start``,
+``task_cached``, ``task_start``, ``task_retry``, ``task_finish``,
+``task_failed``, ``sweep_finish`` -- with the task's spec hash, attempt
+number, wall time and traffic counters where applicable.  The journal is
+the runner's observability surface: it is how a test (or an operator)
+proves that a warm re-run executed zero tasks, that retries happened, or
+where the wall-clock went.
+
+Events are buffered in memory as well, so :meth:`RunJournal.counts` and
+:meth:`RunJournal.summary` (a terminal table rendered via
+:func:`repro.analysis.report.render_table`) work with or without a file
+behind the journal.  :func:`read_journal` parses a journal file back into
+event dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import IO
+
+from repro.analysis.report import render_table
+
+#: Spec-hash prefix length used in events (full hashes live in the cache).
+_HASH_PREFIX = 12
+
+
+class RunJournal:
+    """Append-only event log for one or more executor runs.
+
+    With ``path=None`` the journal is memory-only; otherwise events are
+    appended (and flushed) to the file as they happen, so a tail of the
+    file tracks a live sweep.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.events: list[dict] = []
+        self._stream: IO[str] | None = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+
+    def record(self, event: str, **fields: object) -> dict:
+        """Append one event (adds the wall-clock ``time`` field)."""
+        entry: dict = {"event": event, "time": time.time(), **fields}
+        self.events.append(entry)
+        if self._stream is not None:
+            self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._stream.flush()
+        return entry
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Typed events (the executor's vocabulary)
+    # ------------------------------------------------------------------
+
+    def sweep_start(self, name: str, n_tasks: int, workers: int) -> None:
+        self.record(
+            "sweep_start", sweep=name, tasks=n_tasks, workers=workers
+        )
+
+    def task_cached(self, spec) -> None:
+        self.record(
+            "task_cached",
+            task=spec.spec_hash[:_HASH_PREFIX],
+            protocol=spec.protocol,
+        )
+
+    def task_start(self, spec, attempt: int) -> None:
+        self.record(
+            "task_start",
+            task=spec.spec_hash[:_HASH_PREFIX],
+            protocol=spec.protocol,
+            attempt=attempt,
+        )
+
+    def task_retry(self, spec, attempt: int, error: str) -> None:
+        self.record(
+            "task_retry",
+            task=spec.spec_hash[:_HASH_PREFIX],
+            attempt=attempt,
+            error=error,
+        )
+
+    def task_finish(
+        self, spec, attempt: int, wall_time: float, report
+    ) -> None:
+        self.record(
+            "task_finish",
+            task=spec.spec_hash[:_HASH_PREFIX],
+            protocol=spec.protocol,
+            attempt=attempt,
+            wall_time=wall_time,
+            references=report.n_references,
+            total_bits=report.network_total_bits,
+        )
+
+    def task_failed(self, spec, attempts: int, error: str) -> None:
+        self.record(
+            "task_failed",
+            task=spec.spec_hash[:_HASH_PREFIX],
+            attempts=attempts,
+            error=error,
+        )
+
+    def sweep_finish(self, name: str, wall_time: float) -> None:
+        counts = self.counts()
+        self.record(
+            "sweep_finish",
+            sweep=name,
+            wall_time=wall_time,
+            **counts,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Executed / cached / retried / failed task tallies so far."""
+        tally = {"executed": 0, "cached": 0, "retried": 0, "failed": 0}
+        for entry in self.events:
+            if entry["event"] == "task_finish":
+                tally["executed"] += 1
+            elif entry["event"] == "task_cached":
+                tally["cached"] += 1
+            elif entry["event"] == "task_retry":
+                tally["retried"] += 1
+            elif entry["event"] == "task_failed":
+                tally["failed"] += 1
+        return tally
+
+    def summary(self) -> str:
+        """A terminal progress summary of everything journaled so far."""
+        counts = self.counts()
+        finishes = [
+            entry for entry in self.events
+            if entry["event"] == "task_finish"
+        ]
+        wall = sum(entry["wall_time"] for entry in finishes)
+        references = sum(entry["references"] for entry in finishes)
+        bits = sum(entry["total_bits"] for entry in finishes)
+        rows = [
+            ("tasks executed", counts["executed"]),
+            ("tasks cached", counts["cached"]),
+            ("retries", counts["retried"]),
+            ("failures", counts["failed"]),
+            ("task wall time", f"{wall:.3f} s"),
+            ("references simulated", references),
+            ("network bits", bits),
+        ]
+        return render_table(
+            ("metric", "value"), rows, title="runner summary"
+        )
+
+
+def read_journal(path: str | Path) -> list[dict]:
+    """Parse a journal file back into its event dicts (blank-line safe)."""
+    events = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -47,6 +47,38 @@ class SimulationReport:
             return 0.0
         return self.n_writes / self.n_references
 
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every field.
+
+        The result round-trips through :meth:`from_dict`, so reports can
+        cross process boundaries (the :mod:`repro.runner` workers) and land
+        in result caches and journals as plain JSON.
+        """
+        return {
+            "protocol_name": self.protocol_name,
+            "n_references": self.n_references,
+            "n_reads": self.n_reads,
+            "n_writes": self.n_writes,
+            "stats": self.stats.to_dict(),
+            "network_total_bits": self.network_total_bits,
+            "network_bits_by_level": list(self.network_bits_by_level),
+            "verified": self.verified,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationReport":
+        """Rebuild a report from a :meth:`to_dict` snapshot."""
+        return cls(
+            protocol_name=data["protocol_name"],
+            n_references=data["n_references"],
+            n_reads=data["n_reads"],
+            n_writes=data["n_writes"],
+            stats=Stats.from_dict(data["stats"]),
+            network_total_bits=data["network_total_bits"],
+            network_bits_by_level=tuple(data["network_bits_by_level"]),
+            verified=data["verified"],
+        )
+
     def summary(self) -> str:
         """A one-paragraph human-readable digest."""
         lines = [
@@ -75,11 +107,28 @@ def run_trace(
 ) -> SimulationReport:
     """Run ``trace`` through ``protocol`` and report traffic and events.
 
-    With ``verify=True`` every read is checked against a shadow memory and
-    the protocol invariants are re-checked every
-    ``check_invariants_every`` references (default: every reference while
-    verifying; pass a larger stride to trade confidence for speed on long
-    traces).  Violations raise :class:`~repro.errors.CoherenceError`.
+    Two independent checks are controlled by two independent knobs:
+
+    * ``verify`` turns *value* verification on or off: every read is
+      compared against a shadow memory of the most recent writes;
+    * ``check_invariants_every`` sets the stride of *structural* invariant
+      re-checks (single owner, present-vector accuracy).  ``0`` means
+      never; ``None`` (the default) derives the stride from ``verify`` --
+      every reference while verifying, never otherwise.
+
+    The knobs compose; the three non-default combinations are:
+
+    * ``verify=True, check_invariants_every=0`` -- value checks on every
+      read, structural invariants never re-checked (useful when a test
+      drives a protocol through states whose invariants it checks itself);
+    * ``verify=False, check_invariants_every=k`` -- no value checks, but
+      invariants re-checked every ``k`` references (cheap structural
+      confidence on bulk sweeps);
+    * ``verify=True, check_invariants_every=k`` -- both, with the
+      invariant stride relaxed to ``k``.
+
+    Violations of either check raise
+    :class:`~repro.errors.CoherenceError`.
 
     The network's traffic counters are reset at the start, so the report's
     network totals are attributable to this run alone.

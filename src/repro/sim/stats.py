@@ -96,6 +96,19 @@ class Stats:
             "traffic_messages": dict(self.traffic_messages),
         }
 
+    def to_dict(self) -> dict[str, dict[str, int]]:
+        """JSON-ready snapshot; round-trips through :meth:`from_dict`."""
+        return self.as_dict()
+
+    @classmethod
+    def from_dict(cls, data: dict[str, dict[str, int]]) -> "Stats":
+        """Rebuild a :class:`Stats` from a :meth:`to_dict` snapshot."""
+        stats = cls()
+        stats.events.update(data.get("events", {}))
+        stats.traffic_bits.update(data.get("traffic_bits", {}))
+        stats.traffic_messages.update(data.get("traffic_messages", {}))
+        return stats
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Stats(references={self.references}, "

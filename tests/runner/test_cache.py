@@ -1,0 +1,70 @@
+"""Result cache: round trips, miss semantics, corruption tolerance."""
+
+import json
+
+from repro.runner import ResultCache, execute_spec
+from repro.runner.spec import ExperimentSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
+
+
+def make_spec(seed=5) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="no-cache",
+        workload=WorkloadSpec(
+            kind="markov",
+            n_nodes=4,
+            n_references=50,
+            write_fraction=0.3,
+            seed=seed,
+            tasks=(0, 1),
+        ),
+        config=SystemConfig(n_nodes=4),
+    )
+
+
+class TestResultCache:
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_spec()) is None
+        assert make_spec() not in cache
+
+    def test_round_trip_preserves_every_field(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        report = execute_spec(spec)
+        cache.put(spec, report)
+        restored = cache.get(spec)
+        assert restored is not None
+        assert restored.to_dict() == report.to_dict()
+        assert spec in cache
+        assert len(cache) == 1
+
+    def test_entries_are_per_spec(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first, second = make_spec(seed=1), make_spec(seed=2)
+        cache.put(first, execute_spec(first))
+        assert cache.get(second) is None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        path = cache.put(spec, execute_spec(spec))
+        path.write_text("{ not json", encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_foreign_spec_at_our_path_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec, other = make_spec(seed=1), make_spec(seed=2)
+        path = cache.put(spec, execute_spec(spec))
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["spec"] = other.to_dict()
+        path.write_text(json.dumps(document), encoding="utf-8")
+        assert cache.get(spec) is None
+
+    def test_clear_empties_the_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3):
+            spec = make_spec(seed=seed)
+            cache.put(spec, execute_spec(spec))
+        assert cache.clear() == 3
+        assert len(cache) == 0

@@ -1,0 +1,74 @@
+"""Run journal: event capture, file round trips, summaries."""
+
+from repro.runner import RunJournal, execute_spec, read_journal
+from repro.runner.spec import ExperimentSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
+
+
+def make_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="no-cache",
+        workload=WorkloadSpec(
+            kind="markov",
+            n_nodes=4,
+            n_references=40,
+            write_fraction=0.3,
+            tasks=(0, 1),
+        ),
+        config=SystemConfig(n_nodes=4),
+    )
+
+
+def drive(journal: RunJournal) -> None:
+    spec = make_spec()
+    report = execute_spec(spec)
+    journal.sweep_start("demo", 2, 0)
+    journal.task_cached(spec)
+    journal.task_start(spec, attempt=1)
+    journal.task_retry(spec, attempt=1, error="boom")
+    journal.task_start(spec, attempt=2)
+    journal.task_finish(spec, attempt=2, wall_time=0.5, report=report)
+    journal.sweep_finish("demo", 1.0)
+
+
+class TestRunJournal:
+    def test_memory_only_journal_accumulates(self):
+        journal = RunJournal()
+        drive(journal)
+        assert journal.counts() == {
+            "executed": 1, "cached": 1, "retried": 1, "failed": 0,
+        }
+
+    def test_file_journal_round_trips(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            drive(journal)
+        events = read_journal(path)
+        assert [e["event"] for e in events] == [
+            "sweep_start", "task_cached", "task_start", "task_retry",
+            "task_start", "task_finish", "sweep_finish",
+        ]
+        finish = events[-1]
+        assert finish["executed"] == 1 and finish["cached"] == 1
+
+    def test_appends_across_journal_instances(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.record("sweep_start")
+        with RunJournal(path) as journal:
+            journal.record("sweep_finish")
+        assert len(read_journal(path)) == 2
+
+    def test_summary_renders_tallies(self):
+        journal = RunJournal()
+        drive(journal)
+        text = journal.summary()
+        assert "runner summary" in text
+        assert "tasks executed" in text
+        assert "tasks cached" in text
+        assert "40" in text  # references simulated
+
+    def test_failed_event_counted(self):
+        journal = RunJournal()
+        journal.task_failed(make_spec(), attempts=3, error="gone")
+        assert journal.counts()["failed"] == 1

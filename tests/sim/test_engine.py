@@ -120,3 +120,108 @@ class TestInvariantStride:
             protocol, trace, verify=True, check_invariants_every=50
         )
         assert report.verified
+
+
+class CountingProtocol(NoCacheProtocol):
+    """Counts structural-invariant re-checks so strides are observable."""
+
+    name = "counting"
+
+    def __init__(self, system):
+        super().__init__(system)
+        self.invariant_checks = 0
+
+    def check_invariants(self):
+        self.invariant_checks += 1
+        super().check_invariants()
+
+
+class TestVerifyStrideCombinations:
+    """The two knobs of run_trace compose; each combination is explicit.
+
+    ``verify`` controls *value* checks (shadow memory), while
+    ``check_invariants_every`` controls *structural* checks -- setting
+    the stride to 0 turns invariants off without touching value
+    verification, and a non-zero stride enables invariants even with
+    ``verify=False``.
+    """
+
+    def trace(self, n=20):
+        return random_trace(4, n, n_blocks=4, seed=8)
+
+    def test_verify_with_stride_zero_keeps_value_checks(self):
+        # Invariants never run...
+        protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
+        run_trace(
+            protocol, self.trace(), verify=True, check_invariants_every=0
+        )
+        assert protocol.invariant_checks == 0
+        # ...but a stale read is still caught by the shadow memory.
+        broken = BrokenProtocol(System(SystemConfig(n_nodes=4)))
+        stale = [
+            Reference(0, Op.WRITE, Address(0, 0), 5),
+            Reference(1, Op.READ, Address(0, 0)),
+            Reference(2, Op.READ, Address(0, 0)),
+            Reference(3, Op.READ, Address(0, 0)),
+        ]
+        with pytest.raises(CoherenceError):
+            run_trace(
+                broken, stale, verify=True, check_invariants_every=0
+            )
+
+    def test_no_verify_with_stride_runs_only_invariants(self):
+        # Structural checks at the stride plus one final check...
+        protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
+        run_trace(
+            protocol,
+            self.trace(20),
+            verify=False,
+            check_invariants_every=5,
+        )
+        assert protocol.invariant_checks == 20 // 5 + 1
+        # ...while value corruption sails through unchecked.
+        broken = BrokenProtocol(System(SystemConfig(n_nodes=4)))
+        reads = [Reference(1, Op.READ, Address(0, 0))] * 6
+        report = run_trace(
+            broken, reads, verify=False, check_invariants_every=5
+        )
+        assert not report.verified
+
+    def test_default_verify_checks_every_reference(self):
+        protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
+        run_trace(protocol, self.trace(20), verify=True)
+        assert protocol.invariant_checks == 20 + 1
+
+    def test_default_no_verify_checks_nothing(self):
+        protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
+        run_trace(protocol, self.trace(20), verify=False)
+        assert protocol.invariant_checks == 0
+
+
+class TestReportSerialisation:
+    def make_report(self):
+        system = System(SystemConfig(n_nodes=4, cache_entries=2))
+        protocol = StenstromProtocol(system)
+        trace = random_trace(4, 200, n_blocks=8, seed=6)
+        return run_trace(protocol, trace, verify=True)
+
+    def test_round_trip_preserves_every_field(self):
+        report = self.make_report()
+        rebuilt = type(report).from_dict(report.to_dict())
+        assert rebuilt.to_dict() == report.to_dict()
+        assert rebuilt.protocol_name == report.protocol_name
+        assert rebuilt.n_references == report.n_references
+        assert rebuilt.network_bits_by_level == (
+            report.network_bits_by_level
+        )
+        assert rebuilt.stats.events == report.stats.events
+        assert rebuilt.stats.traffic_bits == report.stats.traffic_bits
+        assert rebuilt.cost_per_reference == report.cost_per_reference
+
+    def test_to_dict_is_json_clean(self):
+        import json
+
+        report = self.make_report()
+        encoded = json.dumps(report.to_dict(), sort_keys=True)
+        decoded = type(report).from_dict(json.loads(encoded))
+        assert decoded.to_dict() == report.to_dict()

@@ -139,6 +139,52 @@ class TestSweep:
         records, metadata = load_records(out)
         assert records
         assert metadata["n_nodes"] == 16
+        assert metadata["sweep_hash"]
+
+    def _sweep_table(self, capsys, extra=()):
+        argv = [
+            "sweep",
+            "--nodes", "16",
+            "--sharers", "2", "4",
+            "--references", "200",
+            *extra,
+        ]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        table = output.split("runner:")[0]
+        return table, output
+
+    def test_parallel_workers_match_sequential_table(self, capsys):
+        sequential, _ = self._sweep_table(capsys)
+        parallel, output = self._sweep_table(
+            capsys, ("--workers", "2")
+        )
+        assert parallel == sequential
+        assert "workers=2" in output
+
+    def test_cache_dir_makes_second_run_all_cached(
+        self, tmp_path, capsys
+    ):
+        cache = str(tmp_path / "cache")
+        _, cold = self._sweep_table(capsys, ("--cache-dir", cache))
+        assert "12 executed, 0 cached" in cold
+        warm_table, warm = self._sweep_table(
+            capsys, ("--cache-dir", cache)
+        )
+        assert "0 executed, 12 cached" in warm
+        cold_table = cold.split("runner:")[0]
+        assert warm_table == cold_table
+
+    def test_journal_records_task_events(self, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        self._sweep_table(capsys, ("--journal", str(journal)))
+        from repro.runner import read_journal
+
+        events = read_journal(journal)
+        kinds = {event["event"] for event in events}
+        assert "sweep_start" in kinds
+        assert "task_finish" in kinds
+        assert "sweep_finish" in kinds
 
 
 class TestParser:

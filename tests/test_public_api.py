@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.memory",
     "repro.network",
     "repro.protocol",
+    "repro.runner",
     "repro.sim",
     "repro.workloads",
 ]
