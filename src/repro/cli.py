@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common uses of the library without writing code:
+Seven commands cover the common uses of the library without writing code:
 
 * ``tables``  -- regenerate the paper's Tables 2, 3 and 4 next to the
   published values;
@@ -12,7 +12,10 @@ Six commands cover the common uses of the library without writing code:
 * ``sweep``   -- cost vs sharer count, executed through the
   :mod:`repro.runner` subsystem (``--workers`` fans cells out over
   processes, ``--cache-dir`` skips unchanged cells, ``--journal``
-  records task events), optionally archived as JSON.
+  records task events), optionally archived as JSON;
+* ``perf``    -- the :mod:`repro.perf` microbenchmarks: cached-vs-cold
+  equivalence checks always run; timings compare against the committed
+  ``BENCH_perf.json`` baseline (see docs/PERF.md).
 """
 
 from __future__ import annotations
@@ -121,6 +124,49 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--journal",
         help="append task start/finish/retry events to this JSONL file",
+    )
+
+    perf = commands.add_parser(
+        "perf",
+        help=(
+            "run the perf microbenchmarks (trace replay, multicast "
+            "fan-out, sweep throughput) with cached-vs-cold equivalence "
+            "checks, and gate against the BENCH_perf.json baseline"
+        ),
+    )
+    perf.add_argument(
+        "--equivalence-only",
+        action="store_true",
+        help=(
+            "assert cached == cold results but skip the timing gate "
+            "(for CI machines whose timing is unreliable)"
+        ),
+    )
+    perf.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record this run as the new baseline instead of comparing",
+    )
+    perf.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline file (default: BENCH_perf.json at the repo root)",
+    )
+    perf.add_argument(
+        "--output",
+        help="also write this run's results as JSON to this path",
+    )
+    perf.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    perf.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per benchmark (best is kept)",
     )
 
     return parser
@@ -360,6 +406,75 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_perf(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.report import render_table
+    from repro.perf import run_benchmarks
+    from repro.perf.regress import (
+        DEFAULT_BASELINE,
+        DEFAULT_THRESHOLD,
+        compare_to_baseline,
+        load_baseline,
+        results_payload,
+        write_baseline,
+    )
+
+    results = run_benchmarks(
+        equivalence_only=args.equivalence_only, repeats=args.repeats
+    )
+    rows = [
+        (
+            result.name,
+            f"{result.rate:,.0f} {result.unit}/s",
+            f"{result.wall_time:.3f}s",
+            "yes" if result.equivalent else "NO",
+        )
+        for result in results.values()
+    ]
+    print(
+        render_table(
+            ("benchmark", "rate", "wall", "cached == cold"),
+            rows,
+            title="perf microbenchmarks (pinned seeds)",
+        )
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(results_payload(results), indent=2, sort_keys=True)
+            + "\n"
+        )
+        print(f"results written to {args.output}")
+
+    baseline_path = Path(args.baseline or DEFAULT_BASELINE)
+    if args.write_baseline:
+        written = write_baseline(results, baseline_path)
+        print(f"baseline written to {written}")
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path} "
+            f"(run with --write-baseline to create one)"
+        )
+        return 0
+    problems = compare_to_baseline(
+        results,
+        load_baseline(baseline_path),
+        threshold=(
+            DEFAULT_THRESHOLD if args.threshold is None else args.threshold
+        ),
+        check_timing=not args.equivalence_only,
+    )
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        return 1
+    mode = "equivalence" if args.equivalence_only else "equivalence + timing"
+    print(f"baseline {baseline_path}: pass ({mode})")
+    return 0
+
+
 _COMMANDS = {
     "tables": _command_tables,
     "figures": _command_figures,
@@ -367,6 +482,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "latency": _command_latency,
     "sweep": _command_sweep,
+    "perf": _command_perf,
 }
 
 

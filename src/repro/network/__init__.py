@@ -11,7 +11,11 @@ This subpackage provides everything §3 of the paper needs:
 * :mod:`repro.network.cost` -- the closed-form communication-cost formulas
   (eqs. 1-8) and independent per-stage summations used to cross-check them;
 * :mod:`repro.network.breakeven` -- break-even analysis between the schemes
-  (Tables 2, 3 and 4 of the paper).
+  (Tables 2, 3 and 4 of the paper);
+* :mod:`repro.network.routeplan` -- memoised route plans: the
+  switch-by-switch walk of any scheme is computed once per
+  ``(scheme, source, destination set)`` and replayed bit-identically
+  (see docs/PERF.md).
 """
 
 from repro.network.baseline import BaselineNetwork, tree_multicast_cost
@@ -30,6 +34,7 @@ from repro.network.multicast import (
     Multicaster,
     multicast,
 )
+from repro.network.routeplan import RoutePlan, RoutePlanCache
 from repro.network.routing import route_path, unicast
 from repro.network.selector import (
     BreakEvenRegisters,
@@ -49,6 +54,8 @@ __all__ = [
     "Multicaster",
     "OmegaNetwork",
     "RegisterMulticaster",
+    "RoutePlan",
+    "RoutePlanCache",
     "Switch",
     "cc1",
     "cc2_prime",

@@ -124,6 +124,22 @@ class LinkLoadProfile:
 
 def link_load_profile(network: OmegaNetwork) -> LinkLoadProfile:
     """Summarise the accumulated per-link traffic of a network."""
+    bits = getattr(network, "_link_bits", None)
+    if bits is not None:
+        # Scan the flat counter buffer directly (slot = level * N + pos,
+        # the same level-major order iter_links yields, so ties resolve
+        # identically) instead of touching every Link view.
+        n_links = len(bits)
+        total = sum(bits)
+        busiest_slot = max(range(n_links), key=bits.__getitem__)
+        n_ports = network.n_ports
+        return LinkLoadProfile(
+            total_bits=total,
+            n_links=n_links,
+            busiest_bits=bits[busiest_slot],
+            busiest_link=(busiest_slot // n_ports, busiest_slot % n_ports),
+            mean_bits=total / n_links if n_links else 0.0,
+        )
     links = list(network.iter_links())
     total = sum(link.bits for link in links)
     busiest = max(links, key=lambda link: link.bits)

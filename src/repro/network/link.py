@@ -5,14 +5,23 @@ that has to pass each link, summed over all links*.  Links are therefore the
 unit of accounting in the whole network model: every routing and multicast
 function ultimately calls :meth:`Link.carry` with a bit count, and the
 aggregate statistics of a simulation are sums over these counters.
+
+For speed the counters themselves live in flat ``array('q')`` buffers --
+either a pair owned by an :class:`~repro.network.topology.OmegaNetwork`
+(every link of the network indexes one shared slot per array) or, for a
+standalone ``Link(level, position)``, a private single-slot pair.  A
+:class:`Link` is thus a *view*: reading ``link.bits`` or calling
+``link.carry`` always observes the same storage that the network's bulk
+accounting (:meth:`~repro.network.topology.OmegaNetwork.apply_plan_traffic`)
+writes, so the object facade and the fast path can never disagree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
 
 
-@dataclass
 class Link:
     """One unidirectional link in the omega network.
 
@@ -22,29 +31,65 @@ class Link:
     stage ``i-1`` to switch stage ``i``, and level ``m`` links connect the
     last switch stage to the destination endpoints.  ``position`` is the
     index of the link within its level (``0 <= position < N``).
+
+    ``counters`` and ``slot`` bind the link to shared ``(bits, messages)``
+    arrays at a flat index; omitted, the link owns private counters.
     """
 
-    level: int
-    position: int
-    messages: int = field(default=0, compare=False)
-    bits: int = field(default=0, compare=False)
+    __slots__ = ("level", "position", "_bits", "_messages", "_slot")
+
+    def __init__(
+        self,
+        level: int,
+        position: int,
+        *,
+        counters: tuple[array, array] | None = None,
+        slot: int = 0,
+    ) -> None:
+        self.level = level
+        self.position = position
+        if counters is None:
+            self._bits = array("q", (0,))
+            self._messages = array("q", (0,))
+            self._slot = 0
+        else:
+            self._bits, self._messages = counters
+            self._slot = slot
+
+    @property
+    def bits(self) -> int:
+        """Bits carried so far (this link's share of eq. 1)."""
+        return self._bits[self._slot]
+
+    @property
+    def messages(self) -> int:
+        """Messages that traversed this link so far."""
+        return self._messages[self._slot]
 
     def carry(self, bits: int) -> None:
         """Account for one message of ``bits`` bits traversing this link."""
         if bits < 0:
             raise ValueError(f"cannot carry a negative bit count ({bits})")
-        self.messages += 1
-        self.bits += bits
+        self._messages[self._slot] += 1
+        self._bits[self._slot] += bits
 
     def reset(self) -> None:
         """Zero the traffic counters (used between experiment runs)."""
-        self.messages = 0
-        self.bits = 0
+        self._messages[self._slot] = 0
+        self._bits[self._slot] = 0
 
     @property
     def key(self) -> tuple[int, int]:
         """Hashable identity ``(level, position)`` of this link."""
         return (self.level, self.position)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Link):
+            return NotImplemented
+        return self.level == other.level and self.position == other.position
+
+    # Mutable counter semantics, like the dataclass this class replaced.
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -53,7 +98,7 @@ class Link:
         )
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class LinkLoad:
     """Traffic deposited on one link by a single network operation.
 
@@ -66,6 +111,9 @@ class LinkLoad:
     branch the subvector split off from in a multicast tree.  ``None``
     marks an injection at the source.  The timing model of
     :mod:`repro.sim.timing` uses these dependencies to compute makespans.
+
+    Loads are immutable so memoised route plans can hand the same tuple to
+    every caller (see :mod:`repro.network.routeplan`).
     """
 
     level: int

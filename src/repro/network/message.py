@@ -20,7 +20,7 @@ from repro.types import NodeId
 _serial = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An immutable network message.
 

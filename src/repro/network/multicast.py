@@ -23,6 +23,16 @@ Every function both *measures* (returns the exact per-link loads) and
 *accounts* (increments the network's link and switch counters), so closed
 forms from :mod:`repro.network.cost` can be validated against what actually
 flows through the fabric.
+
+The switch-by-switch walk for a given ``(scheme, source, destination set)``
+is performed once per network and memoised as a
+:class:`~repro.network.routeplan.RoutePlan` in the network's
+:class:`~repro.network.routeplan.RoutePlanCache`; repeat sends -- the
+common case, since the §4 Markov workloads cycle blocks through a small
+set of present-flag vectors -- replay the plan with bit-identical loads
+and counter increments.  Destinations are validated once, when the plan is
+built; the memoised fast path skips re-validation (an invalid set can
+never hit, because plans are only cached after validating).
 """
 
 from __future__ import annotations
@@ -30,12 +40,14 @@ from __future__ import annotations
 import bisect
 import enum
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Sequence
 
 from repro.errors import MulticastError
 from repro.network.link import LinkLoad
 from repro.network.message import Message
-from repro.network.routing import unicast
+from repro.network.routeplan import RoutePlan
+from repro.network.routing import unicast_plan
 from repro.network.topology import OmegaNetwork
 from repro.types import NodeId
 
@@ -66,30 +78,130 @@ class MulticastResult:
     delivered: frozenset[NodeId]
     loads: tuple[LinkLoad, ...]
 
-    @property
+    @cached_property
     def cost(self) -> int:
         """Bits placed on links (this operation's share of eq. 1)."""
         return sum(load.bits for load in self.loads)
 
-    @property
+    @cached_property
     def links_used(self) -> int:
         """Distinct links touched (scheme 1 may touch one link repeatedly)."""
-        return len({load.key for load in self.loads})
+        # Pack (level, position) into one int per load: counting distinct
+        # keys without allocating an intermediate tuple object per load.
+        return len({(load.level << 32) | load.position for load in self.loads})
+
+
+def _freeze(dests: Iterable[NodeId]) -> frozenset[NodeId]:
+    """The destination set as a frozenset, without validating members."""
+    return dests if type(dests) is frozenset else frozenset(dests)
 
 
 def _as_destset(network: OmegaNetwork, dests: Iterable[NodeId]) -> frozenset:
-    dest_set = frozenset(dests)
+    """Validated destination frozenset.
+
+    Called when a plan is *built*; plan-cache hits skip it (only validated
+    sets are ever cached, so an invalid set can never hit).
+    """
+    dest_set = _freeze(dests)
+    n_ports = network.n_ports
     for dest in dest_set:
-        if not 0 <= dest < network.n_ports:
+        if not 0 <= dest < n_ports:
             raise MulticastError(
-                f"destination {dest} outside 0..{network.n_ports - 1}"
+                f"destination {dest} outside 0..{n_ports - 1}"
             )
     return dest_set
+
+
+def _scheme_plan(
+    network: OmegaNetwork,
+    scheme: MulticastScheme,
+    source: NodeId,
+    dest_set: frozenset[NodeId],
+    builder,
+) -> RoutePlan:
+    """Fetch (or build, validate and cache) the plan for one scheme send."""
+    cache = getattr(network, "route_plans", None)
+    if cache is None:
+        _as_destset(network, dest_set)
+        return builder(network, source, dest_set)
+    key = (scheme, source, dest_set)
+    plan = cache.get(key)
+    if plan is None:
+        _as_destset(network, dest_set)
+        plan = builder(network, source, dest_set)
+        cache.put(key, plan)
+    return plan
+
+
+def _replay(
+    network: OmegaNetwork,
+    plan: RoutePlan,
+    payload_bits: int,
+    commit: bool,
+) -> MulticastResult:
+    """Replay ``plan`` for one payload size.
+
+    The :class:`MulticastResult` (immutable throughout) is memoised per
+    payload size on the plan, so repeat sends allocate nothing.
+    """
+    result = plan.result_get(payload_bits)
+    if result is None:
+        result = MulticastResult(
+            plan.scheme,
+            plan.source,
+            plan.requested,
+            plan.delivered,
+            plan.loads_for(payload_bits),
+        )
+        plan.result_put(payload_bits, result)
+    if commit:
+        network.apply_plan_traffic(plan, payload_bits)
+    return result
 
 
 # ----------------------------------------------------------------------
 # Scheme 1: repeated unicast
 # ----------------------------------------------------------------------
+
+
+def _build_scheme1_plan(
+    network: OmegaNetwork, source: NodeId, dest_set: frozenset[NodeId]
+) -> RoutePlan:
+    """One destination-tag unicast per destination, concatenated."""
+    m = network.n_stages
+    entries: list[tuple[int, int, int, int | None]] = []
+    switch_ops: list[tuple[int, int, bool]] = []
+    for dest in sorted(dest_set):
+        base = len(entries)
+        positions = network.route_positions(source, dest)
+        for level, position in enumerate(positions):
+            parent = base + level - 1 if level > 0 else None
+            entries.append((level, position, m - level, parent))
+        for stage in range(m):
+            switch_ops.append((stage, positions[stage + 1] // 2, False))
+    return RoutePlan(
+        MulticastScheme.UNICAST,
+        source,
+        dest_set,
+        dest_set,
+        entries,
+        switch_ops,
+        n_ports=network.n_ports,
+        n_switches_per_stage=network.n_ports // 2,
+    )
+
+
+def _payload_scheme1(
+    network: OmegaNetwork,
+    source: NodeId,
+    payload_bits: int,
+    dest_set: frozenset[NodeId],
+    commit: bool,
+) -> MulticastResult:
+    plan = _scheme_plan(
+        network, MulticastScheme.UNICAST, source, dest_set, _build_scheme1_plan
+    )
+    return _replay(network, plan, payload_bits, commit)
 
 
 def multicast_scheme1(
@@ -100,27 +212,83 @@ def multicast_scheme1(
     commit: bool = True,
 ) -> MulticastResult:
     """Deliver ``message`` by sending one scheme-1 unicast per destination."""
-    dest_set = _as_destset(network, dests)
-    loads: list[LinkLoad] = []
-    for dest in sorted(dest_set):
-        base = len(loads)
-        for load in unicast(network, message, dest, commit=commit).loads:
-            parent = None if load.parent is None else load.parent + base
-            loads.append(
-                LinkLoad(load.level, load.position, load.bits, parent)
-            )
-    return MulticastResult(
-        MulticastScheme.UNICAST,
-        message.source,
-        dest_set,
-        dest_set,
-        tuple(loads),
+    return _payload_scheme1(
+        network, message.source, message.payload_bits, _freeze(dests), commit
     )
 
 
 # ----------------------------------------------------------------------
 # Scheme 2: present-flag vector routing
 # ----------------------------------------------------------------------
+
+
+def _build_scheme2_plan(
+    network: OmegaNetwork, source: NodeId, dest_set: frozenset[NodeId]
+) -> RoutePlan:
+    """The present-flag vector's split tree, link loads and switch forks."""
+    sorted_dests = sorted(dest_set)
+    n = network.n_ports
+    m = network.n_stages
+    entries: list[tuple[int, int, int, int | None]] = []
+    switch_ops: list[tuple[int, int, bool]] = []
+    if dest_set:
+        # A branch is (link position, destination range [lo, hi), index of
+        # the entry that fed it); the range always has size N / 2**level
+        # and contains >= 1 destination.
+        branches: list[tuple[int, int, int, int]] = [(source, 0, n, 0)]
+        entries.append((0, source, n, None))
+        for stage in range(m):
+            next_branches: list[tuple[int, int, int, int]] = []
+            half = n >> (stage + 1)  # subvector length after the split
+            for position, lo, hi, parent in branches:
+                shuffled = network.shuffle(position)
+                mid = (lo + hi) // 2
+                lo_i = bisect.bisect_left(sorted_dests, lo)
+                mid_i = bisect.bisect_left(sorted_dests, mid)
+                hi_i = bisect.bisect_left(sorted_dests, hi)
+                go_low = mid_i > lo_i
+                go_high = hi_i > mid_i
+                switch_ops.append(
+                    (stage, shuffled // 2, go_low and go_high)
+                )
+                if go_low:
+                    out = shuffled & ~1
+                    next_branches.append((out, lo, mid, len(entries)))
+                    entries.append((stage + 1, out, half, parent))
+                if go_high:
+                    out = shuffled | 1
+                    next_branches.append((out, mid, hi, len(entries)))
+                    entries.append((stage + 1, out, half, parent))
+            branches = next_branches
+        final_positions = {position for position, _, _, _ in branches}
+        if final_positions != dest_set:
+            raise MulticastError(
+                f"scheme 2 routing reached {sorted(final_positions)} "
+                f"instead of {sorted(dest_set)}"
+            )
+    return RoutePlan(
+        MulticastScheme.VECTOR,
+        source,
+        dest_set,
+        dest_set,
+        entries,
+        switch_ops,
+        n_ports=n,
+        n_switches_per_stage=n // 2,
+    )
+
+
+def _payload_scheme2(
+    network: OmegaNetwork,
+    source: NodeId,
+    payload_bits: int,
+    dest_set: frozenset[NodeId],
+    commit: bool,
+) -> MulticastResult:
+    plan = _scheme_plan(
+        network, MulticastScheme.VECTOR, source, dest_set, _build_scheme2_plan
+    )
+    return _replay(network, plan, payload_bits, commit)
 
 
 def multicast_scheme2(
@@ -137,72 +305,8 @@ def multicast_scheme2(
     a set flag.  The vector shrinks to ``N / 2**i`` bits at link level ``i``,
     which is exactly the per-stage cost the paper tabulates for eq. 3.
     """
-    dest_set = _as_destset(network, dests)
-    sorted_dests = sorted(dest_set)
-    n = network.n_ports
-    m = network.n_stages
-    loads: list[LinkLoad] = []
-    if dest_set:
-        # A branch is (link position, destination range [lo, hi), index of
-        # the load that fed it); the range always has size N / 2**level
-        # and contains >= 1 destination.
-        branches: list[tuple[int, int, int, int]] = [
-            (message.source, 0, n, 0)
-        ]
-        loads.append(LinkLoad(0, message.source, message.payload_bits + n))
-        for stage in range(m):
-            next_branches: list[tuple[int, int, int, int]] = []
-            half = n >> (stage + 1)  # subvector length after the split
-            for position, lo, hi, parent in branches:
-                shuffled = network.shuffle(position)
-                mid = (lo + hi) // 2
-                lo_i = bisect.bisect_left(sorted_dests, lo)
-                mid_i = bisect.bisect_left(sorted_dests, mid)
-                hi_i = bisect.bisect_left(sorted_dests, hi)
-                go_low = mid_i > lo_i
-                go_high = hi_i > mid_i
-                if commit:
-                    network.switch_for_position(stage, shuffled).record(
-                        split=go_low and go_high
-                    )
-                if go_low:
-                    out = shuffled & ~1
-                    next_branches.append((out, lo, mid, len(loads)))
-                    loads.append(
-                        LinkLoad(
-                            stage + 1,
-                            out,
-                            message.payload_bits + half,
-                            parent,
-                        )
-                    )
-                if go_high:
-                    out = shuffled | 1
-                    next_branches.append((out, mid, hi, len(loads)))
-                    loads.append(
-                        LinkLoad(
-                            stage + 1,
-                            out,
-                            message.payload_bits + half,
-                            parent,
-                        )
-                    )
-            branches = next_branches
-        final_positions = {position for position, _, _, _ in branches}
-        if final_positions != dest_set:
-            raise MulticastError(
-                f"scheme 2 routing reached {sorted(final_positions)} "
-                f"instead of {sorted(dest_set)}"
-            )
-    if commit:
-        for load in loads:
-            network.link(load.level, load.position).carry(load.bits)
-    return MulticastResult(
-        MulticastScheme.VECTOR,
-        message.source,
-        dest_set,
-        dest_set,
-        tuple(loads),
+    return _payload_scheme2(
+        network, message.source, message.payload_bits, _freeze(dests), commit
     )
 
 
@@ -244,6 +348,80 @@ def subcube_members(
     return frozenset(members)
 
 
+def _build_scheme3_plan(
+    network: OmegaNetwork, source: NodeId, dest_set: frozenset[NodeId]
+) -> RoutePlan:
+    """Wen's broadcast-bit tree over the minimal enclosing subcube."""
+    base, varying = enclosing_subcube(network, dest_set)
+    delivered = subcube_members(network, base, varying)
+    m = network.n_stages
+    entries: list[tuple[int, int, int, int | None]] = [
+        (0, source, 2 * m, None)
+    ]
+    switch_ops: list[tuple[int, int, bool]] = []
+    branches: list[tuple[int, int]] = [(source, 0)]
+    for stage in range(m):
+        # Stage i consumes b_i and d_i: MSB-first, stage i governs address
+        # bit (m - 1 - stage).
+        bit_index = m - 1 - stage
+        broadcast = (varying >> bit_index) & 1
+        tag_left = 2 * (m - stage - 1)
+        next_branches: list[tuple[int, int]] = []
+        for position, parent in branches:
+            shuffled = network.shuffle(position)
+            if broadcast:
+                outs = [shuffled & ~1, shuffled | 1]
+            else:
+                outs = [(shuffled & ~1) | ((base >> bit_index) & 1)]
+            switch_ops.append((stage, shuffled // 2, bool(broadcast)))
+            for out in outs:
+                next_branches.append((out, len(entries)))
+                entries.append((stage + 1, out, tag_left, parent))
+        branches = next_branches
+    if frozenset(position for position, _ in branches) != delivered:
+        raise MulticastError(
+            f"scheme 3 routing reached "
+            f"{sorted(position for position, _ in branches)} "
+            f"instead of {sorted(delivered)}"
+        )
+    return RoutePlan(
+        MulticastScheme.BROADCAST_TAG,
+        source,
+        dest_set,
+        delivered,
+        entries,
+        switch_ops,
+        n_ports=network.n_ports,
+        n_switches_per_stage=network.n_ports // 2,
+    )
+
+
+def _payload_scheme3(
+    network: OmegaNetwork,
+    source: NodeId,
+    payload_bits: int,
+    dest_set: frozenset[NodeId],
+    commit: bool,
+    exact: bool,
+) -> MulticastResult:
+    if not dest_set:
+        raise MulticastError("scheme 3 needs at least one destination")
+    plan = _scheme_plan(
+        network,
+        MulticastScheme.BROADCAST_TAG,
+        source,
+        dest_set,
+        _build_scheme3_plan,
+    )
+    if exact and plan.over_delivers:
+        raise MulticastError(
+            f"destinations {sorted(dest_set)} do not form a subcube "
+            f"(minimal cover has {len(plan.delivered)} members); "
+            f"pass exact=False to over-deliver"
+        )
+    return _replay(network, plan, payload_bits, commit)
+
+
 def multicast_scheme3(
     network: OmegaNetwork,
     message: Message,
@@ -258,72 +436,63 @@ def multicast_scheme3(
     restriction stated in §3.3); with ``exact=False`` the minimal enclosing
     subcube is used and the message is over-delivered.
     """
-    dest_set = _as_destset(network, dests)
-    if not dest_set:
-        raise MulticastError("scheme 3 needs at least one destination")
-    base, varying = enclosing_subcube(network, dest_set)
-    delivered = subcube_members(network, base, varying)
-    if exact and delivered != dest_set:
-        raise MulticastError(
-            f"destinations {sorted(dest_set)} do not form a subcube "
-            f"(minimal cover has {len(delivered)} members); "
-            f"pass exact=False to over-deliver"
-        )
-
-    m = network.n_stages
-    loads: list[LinkLoad] = [
-        LinkLoad(0, message.source, message.payload_bits + 2 * m)
-    ]
-    branches: list[tuple[int, int]] = [(message.source, 0)]
-    for stage in range(m):
-        # Stage i consumes b_i and d_i: MSB-first, stage i governs address
-        # bit (m - 1 - stage).
-        bit_index = m - 1 - stage
-        broadcast = (varying >> bit_index) & 1
-        tag_left = 2 * (m - stage - 1)
-        next_branches: list[tuple[int, int]] = []
-        for position, parent in branches:
-            shuffled = network.shuffle(position)
-            if broadcast:
-                outs = [shuffled & ~1, shuffled | 1]
-            else:
-                outs = [(shuffled & ~1) | ((base >> bit_index) & 1)]
-            if commit:
-                network.switch_for_position(stage, shuffled).record(
-                    split=bool(broadcast)
-                )
-            for out in outs:
-                next_branches.append((out, len(loads)))
-                loads.append(
-                    LinkLoad(
-                        stage + 1,
-                        out,
-                        message.payload_bits + tag_left,
-                        parent,
-                    )
-                )
-        branches = next_branches
-    if frozenset(position for position, _ in branches) != delivered:
-        raise MulticastError(
-            f"scheme 3 routing reached "
-            f"{sorted(position for position, _ in branches)} "
-            f"instead of {sorted(delivered)}"
-        )
-    if commit:
-        for load in loads:
-            network.link(load.level, load.position).carry(load.bits)
-    return MulticastResult(
-        MulticastScheme.BROADCAST_TAG,
+    return _payload_scheme3(
+        network,
         message.source,
-        dest_set,
-        delivered,
-        tuple(loads),
+        message.payload_bits,
+        _freeze(dests),
+        commit,
+        exact,
     )
 
 
 # ----------------------------------------------------------------------
 # Combined scheme (eq. 8)
 # ----------------------------------------------------------------------
+
+
+def _payload_combined(
+    network: OmegaNetwork,
+    source: NodeId,
+    payload_bits: int,
+    dest_set: frozenset[NodeId],
+    commit: bool,
+) -> MulticastResult:
+    if not dest_set:
+        return MulticastResult(
+            MulticastScheme.COMBINED, source, dest_set, dest_set, ()
+        )
+    cache = getattr(network, "route_plans", None)
+    key = (MulticastScheme.COMBINED, source, dest_set)
+    plans = cache.get(key) if cache is not None else None
+    if plans is None:
+        plans = (
+            _scheme_plan(
+                network,
+                MulticastScheme.UNICAST,
+                source,
+                dest_set,
+                _build_scheme1_plan,
+            ),
+            _scheme_plan(
+                network,
+                MulticastScheme.VECTOR,
+                source,
+                dest_set,
+                _build_scheme2_plan,
+            ),
+            _scheme_plan(
+                network,
+                MulticastScheme.BROADCAST_TAG,
+                source,
+                dest_set,
+                _build_scheme3_plan,
+            ),
+        )
+        if cache is not None:
+            cache.put(key, plans)
+    best = min(plans, key=lambda plan: plan.cost_for(payload_bits))
+    return _replay(network, best, payload_bits, commit)
 
 
 def multicast_combined(
@@ -338,32 +507,13 @@ def multicast_combined(
     Scheme 3 competes with its minimal enclosing subcube (over-delivering
     where the destination set is not itself a subcube), mirroring §3.4 where
     it addresses the whole block of ``n1`` adjacently-placed tasks.
+
+    With memoised plans the probe is O(1) arithmetic per candidate
+    (``n_loads * M + tag_total``), not three fabric walks; ties break in
+    scheme order 1, 2, 3, exactly like the original probe-all-three path.
     """
-    dest_set = _as_destset(network, dests)
-    if not dest_set:
-        return MulticastResult(
-            MulticastScheme.COMBINED,
-            message.source,
-            dest_set,
-            dest_set,
-            (),
-        )
-    candidates = [
-        multicast_scheme1(network, message, dest_set, commit=False),
-        multicast_scheme2(network, message, dest_set, commit=False),
-        multicast_scheme3(
-            network, message, dest_set, exact=False, commit=False
-        ),
-    ]
-    best = min(candidates, key=lambda result: result.cost)
-    if not commit:
-        return best
-    if best.scheme is MulticastScheme.UNICAST:
-        return multicast_scheme1(network, message, dest_set, commit=True)
-    if best.scheme is MulticastScheme.VECTOR:
-        return multicast_scheme2(network, message, dest_set, commit=True)
-    return multicast_scheme3(
-        network, message, dest_set, exact=False, commit=True
+    return _payload_combined(
+        network, message.source, message.payload_bits, _freeze(dests), commit
     )
 
 
@@ -371,6 +521,12 @@ _DISPATCH = {
     MulticastScheme.UNICAST: multicast_scheme1,
     MulticastScheme.VECTOR: multicast_scheme2,
     MulticastScheme.COMBINED: multicast_combined,
+}
+
+_PAYLOAD_DISPATCH = {
+    MulticastScheme.UNICAST: _payload_scheme1,
+    MulticastScheme.VECTOR: _payload_scheme2,
+    MulticastScheme.COMBINED: _payload_combined,
 }
 
 
@@ -394,12 +550,58 @@ def multicast(
     return _DISPATCH[scheme](network, message, dests, commit=commit)
 
 
+def _payload_unicast_result(
+    network: OmegaNetwork,
+    source: NodeId,
+    payload_bits: int,
+    dest: NodeId,
+    commit: bool,
+) -> MulticastResult:
+    plan = unicast_plan(network, source, dest)
+    result = plan.result_get(payload_bits)
+    if result is None:
+        result = MulticastResult(
+            MulticastScheme.UNICAST,
+            source,
+            plan.requested,
+            plan.delivered,
+            plan.loads_for(payload_bits),
+        )
+        plan.result_put(payload_bits, result)
+    if commit:
+        network.apply_plan_traffic(plan, payload_bits)
+    return result
+
+
+def unicast_result(
+    network: OmegaNetwork,
+    message: Message,
+    dest: NodeId,
+    *,
+    commit: bool = True,
+) -> MulticastResult:
+    """A single-destination send as a :class:`MulticastResult`.
+
+    This is the :class:`Multicaster` degenerate path: plain unicast under
+    every scheme, memoised on the unicast plan so repeat sends allocate
+    nothing.
+    """
+    return _payload_unicast_result(
+        network, message.source, message.payload_bits, dest, commit
+    )
+
+
 class Multicaster:
     """A network bound to a multicast scheme choice.
 
     The coherence protocols talk to the network exclusively through this
     object, so switching the protocol between schemes (for the ablation
     benchmarks) is a one-argument change.
+
+    The :class:`~repro.network.message.Message`-free ``send_payload`` /
+    ``send_payload_one`` entry points carry the two fields the fabric
+    actually routes on (source port, payload size) and skip one object
+    construction per protocol message -- the protocols' hot path.
     """
 
     def __init__(
@@ -414,24 +616,45 @@ class Multicaster:
         self, message: Message, dests: Sequence[NodeId] | frozenset[NodeId]
     ) -> MulticastResult:
         """Deliver ``message`` to ``dests`` and account its traffic."""
-        dest_set = frozenset(dests)
+        return self.send_payload(message.source, message.payload_bits, dests)
+
+    def send_one(self, message: Message, dest: NodeId) -> MulticastResult:
+        """Unicast convenience wrapper with the same result type."""
+        return _payload_unicast_result(
+            self.network, message.source, message.payload_bits, dest, True
+        )
+
+    def send_payload(
+        self,
+        source: NodeId,
+        payload_bits: int,
+        dests: Sequence[NodeId] | frozenset[NodeId],
+    ) -> MulticastResult:
+        """Deliver ``payload_bits`` from ``source`` to ``dests``."""
+        dest_set = _freeze(dests)
         if not dest_set:
             return MulticastResult(
-                self.scheme, message.source, dest_set, dest_set, ()
+                self.scheme, source, dest_set, dest_set, ()
             )
         if len(dest_set) == 1:
             # A single destination is plain unicast under every scheme.
             (dest,) = dest_set
-            result = unicast(self.network, message, dest, commit=True)
-            return MulticastResult(
-                MulticastScheme.UNICAST,
-                message.source,
-                dest_set,
-                dest_set,
-                result.loads,
+            return _payload_unicast_result(
+                self.network, source, payload_bits, dest, True
             )
-        return multicast(self.network, message, dest_set, self.scheme)
+        scheme = self.scheme
+        if scheme is MulticastScheme.BROADCAST_TAG:
+            return _payload_scheme3(
+                self.network, source, payload_bits, dest_set, True, False
+            )
+        return _PAYLOAD_DISPATCH[scheme](
+            self.network, source, payload_bits, dest_set, True
+        )
 
-    def send_one(self, message: Message, dest: NodeId) -> MulticastResult:
-        """Unicast convenience wrapper with the same result type."""
-        return self.send(message, (dest,))
+    def send_payload_one(
+        self, source: NodeId, payload_bits: int, dest: NodeId
+    ) -> MulticastResult:
+        """Unicast ``payload_bits`` from ``source`` to ``dest``."""
+        return _payload_unicast_result(
+            self.network, source, payload_bits, dest, True
+        )

@@ -1,0 +1,253 @@
+"""Memoised route plans: compute a multicast tree once, replay it forever.
+
+Every multicast scheme in :mod:`repro.network.multicast` (and the unicast
+routing of :mod:`repro.network.routing`) walks the omega network switch by
+switch to discover *which links carry how many tag bits* and *which switches
+forward (and split) the message*.  That walk depends only on
+``(scheme, source, destination set, topology)`` -- never on the payload
+size, whose contribution to every link is a flat ``+M`` -- so its outcome
+can be computed once and replayed.  The paper's §4 Markov model guarantees
+the same destination sets recur heavily across a trace (blocks cycle
+through a small set of present-flag vectors), which is what makes the
+memoisation pay off; precomputed routing tables are likewise the standard
+device in the wormhole-routing MIN and NoC multicast literature.
+
+Two classes:
+
+* :class:`RoutePlan` -- the payload-independent outcome of one routing
+  operation: an immutable tuple of ``(level, position, tag_bits, parent)``
+  entries (one per link load), the switch traversals with their split
+  flags, and flat counter indices precomputed for
+  :meth:`~repro.network.topology.OmegaNetwork.apply_plan_traffic`.
+  ``cost_for(M)`` and ``loads_for(M)`` reconstitute the exact per-payload
+  numbers the switch-by-switch walk would have produced.
+* :class:`RoutePlanCache` -- a bounded LRU of plans.  Each
+  :class:`~repro.network.topology.OmegaNetwork` instance owns one, so plans
+  can never leak across topologies: a different network (or port count)
+  starts from an empty cache, and :meth:`OmegaNetwork.reset_traffic` zeroes
+  counters while leaving the plans -- they describe wiring, not traffic.
+
+Replaying a plan is *bit-identical* to the walk it replaces: the same
+``LinkLoad`` tuples (identical values, parents and order), the same
+per-link and per-switch counter increments, the same delivered sets.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable, Sequence
+
+from repro.network.link import LinkLoad
+
+#: How many distinct payload sizes one plan memoises results for before
+#: starting over; protocols use a handful of message sizes, so this is
+#: effectively unbounded while still guarding pathological callers.
+_PAYLOAD_MEMO_LIMIT = 32
+
+
+class RoutePlan:
+    """The payload-independent part of one routing or multicast operation.
+
+    Parameters
+    ----------
+    scheme:
+        The :class:`~repro.network.multicast.MulticastScheme` this plan
+        replays (``None`` for plain unicast plans).
+    source:
+        Injection port.
+    requested / delivered:
+        The destination set asked for and the set actually reached
+        (scheme 3 may over-deliver to its enclosing subcube).
+    entries:
+        One ``(level, position, tag_bits, parent)`` tuple per link load,
+        in the exact order the switch-by-switch walk emits them.
+    switch_ops:
+        One ``(stage, switch_index, split)`` tuple per switch traversal.
+    n_ports / n_switches_per_stage:
+        Geometry of the network the plan was built for, used to precompute
+        the flat counter indices consumed by
+        :meth:`~repro.network.topology.OmegaNetwork.apply_plan_traffic`.
+    """
+
+    __slots__ = (
+        "scheme",
+        "source",
+        "requested",
+        "delivered",
+        "entries",
+        "switch_ops",
+        "link_ops",
+        "switch_msg_slots",
+        "switch_split_slots",
+        "tag_total",
+        "n_loads",
+        "over_delivers",
+        "_memo",
+        "_results",
+    )
+
+    def __init__(
+        self,
+        scheme: object,
+        source: int,
+        requested: frozenset[int],
+        delivered: frozenset[int],
+        entries: Sequence[tuple[int, int, int, int | None]],
+        switch_ops: Sequence[tuple[int, int, bool]],
+        *,
+        n_ports: int,
+        n_switches_per_stage: int,
+    ) -> None:
+        self.scheme = scheme
+        self.source = source
+        self.requested = requested
+        self.delivered = delivered
+        self.entries = tuple(entries)
+        self.switch_ops = tuple(switch_ops)
+        self.link_ops = tuple(
+            (level * n_ports + position, tag)
+            for level, position, tag, _ in self.entries
+        )
+        self.switch_msg_slots = tuple(
+            stage * n_switches_per_stage + index
+            for stage, index, _ in self.switch_ops
+        )
+        self.switch_split_slots = tuple(
+            stage * n_switches_per_stage + index
+            for stage, index, split in self.switch_ops
+            if split
+        )
+        self.tag_total = sum(tag for _, _, tag, _ in self.entries)
+        self.n_loads = len(self.entries)
+        self.over_delivers = delivered != requested
+        # payload_bits -> loads tuple (plus scheme-specific keys); results
+        # are attached lazily by the replay layer that owns the result type.
+        self._memo: dict[Hashable, object] = {}
+        # payload_bits -> replayed result object, on the hottest lookup
+        # path (plain int keys, no tuple allocation per send).
+        self._results: dict[int, object] = {}
+
+    # ------------------------------------------------------------------
+
+    def cost_for(self, payload_bits: int) -> int:
+        """Total bits this operation places on links for payload ``M``.
+
+        Equals ``sum(load.bits for load in loads_for(M))`` by construction:
+        every load carries ``M`` payload bits plus its tag remainder.
+        """
+        return self.n_loads * payload_bits + self.tag_total
+
+    def loads_for(self, payload_bits: int) -> tuple[LinkLoad, ...]:
+        """The exact :class:`LinkLoad` tuple the cold path would build.
+
+        Tuples are memoised per payload size; loads are frozen, so sharing
+        one tuple across results is safe.
+        """
+        loads = self._memo.get(payload_bits)
+        if loads is None:
+            loads = tuple(
+                LinkLoad(level, position, payload_bits + tag, parent)
+                for level, position, tag, parent in self.entries
+            )
+            self.remember(payload_bits, loads)
+        return loads
+
+    # ------------------------------------------------------------------
+    # Per-payload memo (loads and scheme-specific result objects)
+    # ------------------------------------------------------------------
+
+    def memo_get(self, key: Hashable) -> object | None:
+        """Look up a memoised per-payload value (loads or result)."""
+        return self._memo.get(key)
+
+    def remember(self, key: Hashable, value: object) -> None:
+        """Memoise a per-payload value, bounding the memo size."""
+        if len(self._memo) >= _PAYLOAD_MEMO_LIMIT:
+            self._memo.clear()
+        self._memo[key] = value
+
+    def result_get(self, payload_bits: int) -> object | None:
+        """The memoised replayed-result object for this payload size."""
+        return self._results.get(payload_bits)
+
+    def result_put(self, payload_bits: int, result: object) -> None:
+        """Memoise a replayed result, bounding the memo size."""
+        if len(self._results) >= _PAYLOAD_MEMO_LIMIT:
+            self._results.clear()
+        self._results[payload_bits] = result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutePlan(scheme={self.scheme!r}, source={self.source}, "
+            f"loads={self.n_loads}, switches={len(self.switch_ops)})"
+        )
+
+
+class RoutePlanCache:
+    """A bounded LRU of :class:`RoutePlan` values keyed by route identity.
+
+    Keys are ``(scheme tag, source, frozen destination set)`` tuples; the
+    cache itself is owned by one network instance, so topology is implied
+    by ownership and plans can never be replayed against a network with
+    different wiring.  ``hits`` / ``misses`` make the cache observable
+    (the perf harness reports the hit rate).
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "_plans")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._plans: OrderedDict[Hashable, object] = OrderedDict()
+
+    def get(self, key: Hashable) -> object | None:
+        """The cached plan for ``key``, refreshing its LRU position."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._plans.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: Hashable, plan: object) -> None:
+        """Insert ``plan``, evicting the least recently used on overflow."""
+        plans = self._plans
+        plans[key] = plan
+        plans.move_to_end(key)
+        while len(plans) > self.maxsize:
+            plans.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every plan (hit/miss counters are kept)."""
+        self._plans.clear()
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._plans
+
+    def keys(self) -> Iterable[Hashable]:
+        """The cached keys, least recently used first."""
+        return self._plans.keys()
+
+    def stats(self) -> dict[str, int | float]:
+        """Hit/miss counters and the resulting hit rate."""
+        lookups = self.hits + self.misses
+        return {
+            "plans": len(self._plans),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / lookups if lookups else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RoutePlanCache(plans={len(self._plans)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -5,6 +5,12 @@ destination address ``d_0 d_1 ... d_{m-1}``; switch stage ``i`` forwards to
 output ``d_i`` and strips that bit.  A message of ``M`` payload bits therefore
 places ``M + (m - i)`` bits on its link at level ``i`` -- the term summed in
 eq. 2 of the paper.
+
+Routes are memoised: the ``(level, position)`` path and its tag remainders
+depend only on ``(source, dest)``, so :func:`unicast` builds a
+:class:`~repro.network.routeplan.RoutePlan` once per pair (stored in the
+network's plan cache) and replays it -- identical loads, identical counter
+increments -- on every subsequent call.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.network.link import LinkLoad
 from repro.network.message import Message
+from repro.network.routeplan import RoutePlan
 from repro.network.topology import OmegaNetwork
 from repro.types import NodeId
 
@@ -52,6 +59,53 @@ def route_path(
     ]
 
 
+def build_unicast_plan(
+    network: OmegaNetwork, source: NodeId, dest: NodeId
+) -> RoutePlan:
+    """The payload-independent plan of one destination-tag unicast.
+
+    Validates both ports (via :meth:`OmegaNetwork.route_positions`), so a
+    plan-cache hit may skip re-validation.
+    """
+    positions = network.route_positions(source, dest)
+    m = network.n_stages
+    entries = [
+        (level, position, m - level, level - 1 if level > 0 else None)
+        for level, position in enumerate(positions)
+    ]
+    # The switch traversed at stage i only rewrites the low bit of the
+    # shuffled position, so it is identified by its *output* position,
+    # which is the level-(i+1) link position.
+    switch_ops = [
+        (stage, positions[stage + 1] // 2, False) for stage in range(m)
+    ]
+    return RoutePlan(
+        None,
+        source,
+        frozenset((dest,)),
+        frozenset((dest,)),
+        entries,
+        switch_ops,
+        n_ports=network.n_ports,
+        n_switches_per_stage=network.n_ports // 2,
+    )
+
+
+def unicast_plan(
+    network: OmegaNetwork, source: NodeId, dest: NodeId
+) -> RoutePlan:
+    """The (memoised) route plan from ``source`` to ``dest``."""
+    cache = network.route_plans
+    if cache is None:
+        return build_unicast_plan(network, source, dest)
+    key = ("u", source, dest)
+    plan = cache.get(key)
+    if plan is None:
+        plan = build_unicast_plan(network, source, dest)
+        cache.put(key, plan)
+    return plan
+
+
 def unicast(
     network: OmegaNetwork,
     message: Message,
@@ -65,20 +119,14 @@ def unicast(
     accumulate the traffic; with ``commit=False`` the result is computed
     without touching any counter (a "what would this cost" probe).
     """
-    positions = network.route_positions(message.source, dest)
-    loads = []
-    for level, position in enumerate(positions):
-        bits = message.payload_bits + tag_bits_scheme1(network, level)
-        parent = level - 1 if level > 0 else None
-        loads.append(LinkLoad(level, position, bits, parent))
-        if commit:
-            network.link(level, position).carry(bits)
+    plan = unicast_plan(network, message.source, dest)
+    payload_bits = message.payload_bits
+    result = plan.memo_get(("result", payload_bits))
+    if result is None:
+        result = UnicastResult(
+            message.source, dest, plan.loads_for(payload_bits)
+        )
+        plan.remember(("result", payload_bits), result)
     if commit:
-        # The switch traversed at stage i only rewrites the low bit of the
-        # shuffled position, so it is identified by its *output* position,
-        # which is the level-(i+1) link position.
-        for stage in range(network.n_stages):
-            network.switch_for_position(stage, positions[stage + 1]).record(
-                split=False
-            )
-    return UnicastResult(message.source, dest, tuple(loads))
+        network.apply_plan_traffic(plan, payload_bits)
+    return result

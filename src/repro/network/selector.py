@@ -29,9 +29,10 @@ from repro.network.message import Message
 from repro.network.multicast import (
     MulticastResult,
     MulticastScheme,
-    multicast_scheme1,
-    multicast_scheme2,
-    multicast_scheme3,
+    _freeze,
+    _payload_scheme1,
+    _payload_scheme2,
+    _payload_scheme3,
 )
 from repro.network.topology import OmegaNetwork
 from repro.types import NodeId, is_power_of_two
@@ -146,26 +147,40 @@ class RegisterMulticaster:
     def send(
         self, message: Message, dests
     ) -> MulticastResult:
-        dest_set = frozenset(dests)
+        return self.send_payload(message.source, message.payload_bits, dests)
+
+    def send_one(self, message: Message, dest: NodeId) -> MulticastResult:
+        return self.send_payload(message.source, message.payload_bits, (dest,))
+
+    def send_payload(
+        self, source: NodeId, payload_bits: int, dests
+    ) -> MulticastResult:
+        """Deliver ``payload_bits`` from ``source``, deciding by registers."""
+        # Already-frozen destination sets pass through unchanged, so
+        # repeated sends to the same copy-set hit the network's plan cache
+        # without re-hashing a rebuilt set.
+        dest_set = _freeze(dests)
         if not dest_set:
             return MulticastResult(
-                MulticastScheme.COMBINED,
-                message.source,
-                dest_set,
-                dest_set,
-                (),
+                MulticastScheme.COMBINED, source, dest_set, dest_set, ()
             )
         scheme = self.registers.choose(len(dest_set))
         if scheme is MulticastScheme.UNICAST:
-            return multicast_scheme1(self.network, message, dest_set)
+            return _payload_scheme1(
+                self.network, source, payload_bits, dest_set, True
+            )
         if scheme is MulticastScheme.VECTOR:
-            return multicast_scheme2(self.network, message, dest_set)
-        return multicast_scheme3(
-            self.network, message, dest_set, exact=False
+            return _payload_scheme2(
+                self.network, source, payload_bits, dest_set, True
+            )
+        return _payload_scheme3(
+            self.network, source, payload_bits, dest_set, True, False
         )
 
-    def send_one(self, message: Message, dest: NodeId) -> MulticastResult:
-        return self.send(message, (dest,))
+    def send_payload_one(
+        self, source: NodeId, payload_bits: int, dest: NodeId
+    ) -> MulticastResult:
+        return self.send_payload(source, payload_bits, (dest,))
 
 
 def register_table(

@@ -8,28 +8,61 @@ Switches do two jobs in this model:
 * they implement the per-stage routing decision used by every scheme in the
   paper -- select output ``0`` or ``1`` (or both) from the routing tag.
 
-The routing decision itself is a pure function (:meth:`Switch.output_for_bit`)
+The routing decision itself is a pure function (:meth:`Switch.output_position`)
 so the multicast simulator can ask "where would this go" without touching the
 counters, and then commit traffic explicitly.
+
+Like :class:`~repro.network.link.Link`, a switch is a *view* onto flat
+``array('q')`` counter buffers -- shared with its owning network, or private
+single-slot arrays for a standalone ``Switch(stage, index)`` -- so the
+object facade always agrees with the network's bulk accounting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 
 
-@dataclass
 class Switch:
     """One ``2 x 2`` switch: stage ``stage`` (0-based), index within stage.
 
     The switch occupies positions ``2 * index`` and ``2 * index + 1`` of its
     stage; its output port ``b`` drives position ``2 * index + b``.
+
+    ``counters`` and ``slot`` bind the switch to shared
+    ``(messages, splits)`` arrays at a flat index; omitted, the switch owns
+    private counters.
     """
 
-    stage: int
-    index: int
-    messages: int = field(default=0, compare=False)
-    splits: int = field(default=0, compare=False)
+    __slots__ = ("stage", "index", "_messages", "_splits", "_slot")
+
+    def __init__(
+        self,
+        stage: int,
+        index: int,
+        *,
+        counters: tuple[array, array] | None = None,
+        slot: int = 0,
+    ) -> None:
+        self.stage = stage
+        self.index = index
+        if counters is None:
+            self._messages = array("q", (0,))
+            self._splits = array("q", (0,))
+            self._slot = 0
+        else:
+            self._messages, self._splits = counters
+            self._slot = slot
+
+    @property
+    def messages(self) -> int:
+        """Messages routed through this switch so far."""
+        return self._messages[self._slot]
+
+    @property
+    def splits(self) -> int:
+        """Messages forwarded to both outputs (multicast splits) so far."""
+        return self._splits[self._slot]
 
     @property
     def positions(self) -> tuple[int, int]:
@@ -49,19 +82,27 @@ class Switch:
         outputs at this switch (the defining action of scheme 2 and of the
         broadcast bits of scheme 3).
         """
-        self.messages += 1
+        self._messages[self._slot] += 1
         if split:
-            self.splits += 1
+            self._splits[self._slot] += 1
 
     def reset(self) -> None:
         """Zero the traffic counters (used between experiment runs)."""
-        self.messages = 0
-        self.splits = 0
+        self._messages[self._slot] = 0
+        self._splits[self._slot] = 0
 
     @property
     def key(self) -> tuple[int, int]:
         """Hashable identity ``(stage, index)`` of this switch."""
         return (self.stage, self.index)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Switch):
+            return NotImplemented
+        return self.stage == other.stage and self.index == other.index
+
+    # Mutable counter semantics, like the dataclass this class replaced.
+    __hash__ = None  # type: ignore[assignment]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -23,12 +23,28 @@ equal (for example a memory module replying to its local cache, which cannot
 happen in this system but is allowed by the API) still traverses the network,
 matching the paper's cost model in which every global access crosses the
 network.
+
+Accounting layout
+-----------------
+All traffic counters live in four flat ``array('q')`` buffers owned by the
+network (link bits, link messages, switch messages, switch splits); the
+:class:`~repro.network.link.Link` and :class:`~repro.network.switch.Switch`
+objects are views into them, so per-object reads and the bulk fast path
+(:meth:`OmegaNetwork.apply_plan_traffic`, which replays a memoised
+:class:`~repro.network.routeplan.RoutePlan`) always agree.  The network
+also owns the :class:`~repro.network.routeplan.RoutePlanCache` that the
+routing and multicast layers memoise their plans in; plans describe wiring,
+not traffic, so :meth:`reset_traffic` clears the counters but not the
+plans.
 """
 
 from __future__ import annotations
 
+from array import array
+
 from repro.errors import ConfigurationError
 from repro.network.link import Link
+from repro.network.routeplan import RoutePlan, RoutePlanCache
 from repro.network.switch import Switch
 from repro.types import NodeId, ilog2, is_power_of_two
 
@@ -61,14 +77,43 @@ class OmegaNetwork:
             )
         self.n_ports = n_ports
         self.n_stages = ilog2(n_ports)
+        n_links = (self.n_stages + 1) * n_ports
+        n_switches = self.n_stages * (n_ports // 2)
+        self._link_bits = array("q", bytes(8 * n_links))
+        self._link_messages = array("q", bytes(8 * n_links))
+        self._switch_messages = array("q", bytes(8 * n_switches))
+        self._switch_splits = array("q", bytes(8 * n_switches))
+        link_counters = (self._link_bits, self._link_messages)
+        switch_counters = (self._switch_messages, self._switch_splits)
         self._links: list[list[Link]] = [
-            [Link(level, position) for position in range(n_ports)]
+            [
+                Link(
+                    level,
+                    position,
+                    counters=link_counters,
+                    slot=level * n_ports + position,
+                )
+                for position in range(n_ports)
+            ]
             for level in range(self.n_stages + 1)
         ]
         self._switches: list[list[Switch]] = [
-            [Switch(stage, index) for index in range(n_ports // 2)]
+            [
+                Switch(
+                    stage,
+                    index,
+                    counters=switch_counters,
+                    slot=stage * (n_ports // 2) + index,
+                )
+                for index in range(n_ports // 2)
+            ]
             for stage in range(self.n_stages)
         ]
+        #: Memoised route plans for this topology (see
+        #: :mod:`repro.network.routeplan`).  Setting this to ``None``
+        #: disables memoisation -- every operation re-walks the fabric --
+        #: which the perf harness uses as its cold reference path.
+        self.route_plans: RoutePlanCache | None = RoutePlanCache()
 
     # ------------------------------------------------------------------
     # Structure
@@ -165,27 +210,55 @@ class OmegaNetwork:
     # ------------------------------------------------------------------
 
     def reset_traffic(self) -> None:
-        """Zero every link and switch counter."""
-        for link in self.iter_links():
-            link.reset()
-        for switch in self.iter_switches():
-            switch.reset()
+        """Zero every link and switch counter.
+
+        Memoised route plans survive: they describe the network's wiring,
+        which a traffic reset does not change.
+        """
+        for buffer in (
+            self._link_bits,
+            self._link_messages,
+            self._switch_messages,
+            self._switch_splits,
+        ):
+            buffer[:] = array("q", bytes(8 * len(buffer)))
+
+    def apply_plan_traffic(self, plan: RoutePlan, payload_bits: int) -> None:
+        """Account one replay of ``plan`` carrying ``payload_bits`` payload.
+
+        Increments exactly the counters the plan's original switch-by-switch
+        walk would have: every link load adds ``payload_bits`` plus its tag
+        remainder (and one message), every switch traversal adds one message
+        (and one split where the tree forked).
+        """
+        bits = self._link_bits
+        messages = self._link_messages
+        for slot, tag in plan.link_ops:
+            bits[slot] += payload_bits + tag
+            messages[slot] += 1
+        switch_messages = self._switch_messages
+        for slot in plan.switch_msg_slots:
+            switch_messages[slot] += 1
+        switch_splits = self._switch_splits
+        for slot in plan.switch_split_slots:
+            switch_splits[slot] += 1
 
     @property
     def total_bits(self) -> int:
         """Communication cost accumulated so far (eq. 1 over all traffic)."""
-        return sum(link.bits for link in self.iter_links())
+        return sum(self._link_bits)
 
     @property
     def total_messages(self) -> int:
         """Link traversals accumulated so far (each hop of each message)."""
-        return sum(link.messages for link in self.iter_links())
+        return sum(self._link_messages)
 
     def bits_by_level(self) -> list[int]:
         """Bits carried per link level, ``[L_0, L_1, ..., L_m]`` of eq. 1."""
+        n = self.n_ports
         return [
-            sum(link.bits for link in level_links)
-            for level_links in self._links
+            sum(self._link_bits[level * n : (level + 1) * n])
+            for level in range(self.n_stages + 1)
         ]
 
     def busiest_links(self, count: int = 8) -> list[Link]:

@@ -1,0 +1,47 @@
+"""Performance measurement for the simulator itself.
+
+The paper's experiments sweep hundreds of configurations; how fast the
+simulator replays a reference trace bounds how much of the design space a
+session can explore.  This package measures that speed and guards it:
+
+* :mod:`repro.perf.timer` -- monotonic phase timers
+  (:class:`~repro.perf.timer.PhaseTimer`), accepted by
+  :func:`repro.sim.engine.run_trace` for coarse phase breakdowns;
+* :mod:`repro.perf.harness` -- pinned-seed microbenchmarks (trace replay,
+  multicast fan-out, sweep throughput), each paired with an *equivalence
+  check* that replays the workload with route-plan memoisation disabled
+  and asserts bit-identical results;
+* :mod:`repro.perf.regress` -- reads and writes the ``BENCH_perf.json``
+  baseline at the repo root and fails when a benchmark regresses beyond a
+  threshold.
+
+Run via ``repro perf`` (see :mod:`repro.cli`).
+"""
+
+from repro.perf.harness import (
+    BenchResult,
+    bench_multicast_fanout,
+    bench_sweep_throughput,
+    bench_trace_replay,
+    run_benchmarks,
+)
+from repro.perf.regress import (
+    PerfRegression,
+    compare_to_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.timer import PhaseTimer
+
+__all__ = [
+    "BenchResult",
+    "PerfRegression",
+    "PhaseTimer",
+    "bench_multicast_fanout",
+    "bench_sweep_throughput",
+    "bench_trace_replay",
+    "compare_to_baseline",
+    "load_baseline",
+    "run_benchmarks",
+    "write_baseline",
+]

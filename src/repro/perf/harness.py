@@ -1,0 +1,315 @@
+"""Pinned-seed microbenchmarks of the simulator's hot paths.
+
+Three benchmarks, chosen to cover the three traffic shapes the repo's
+experiments exercise:
+
+* **trace replay** -- the §4 methodology end to end: a Markov reference
+  trace driven through the two-mode protocol on ``N = 64`` (the paper's
+  network size), measured in references per second;
+* **multicast fan-out** -- the §3 machinery in isolation: repeated
+  combined-scheme sends to randomized destination sets, measured in sends
+  per second;
+* **sweep throughput** -- a miniature parameter sweep (three sharer
+  counts), the shape of the figure-regenerating benchmarks.
+
+Every benchmark is paired with an **equivalence check**: the identical
+workload is replayed with route-plan memoisation disabled
+(``network.route_plans = None``), and the results must match *exactly* --
+same total bits, same per-level bits, same event counters, same
+per-operation :class:`~repro.network.multicast.MulticastResult` values.
+A failed check raises :class:`EquivalenceError`; timing varies with the
+host, correctness must not.
+
+All seeds are pinned, so two runs on one machine do identical work and
+cross-run comparisons (see :mod:`repro.perf.regress`) are fair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from repro.analysis.compare import default_factories
+from repro.network.multicast import Multicaster, MulticastScheme
+from repro.network.topology import OmegaNetwork
+from repro.protocol.messages import MessageCosts
+from repro.sim.engine import SimulationReport, run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.markov import markov_block_trace
+
+
+class EquivalenceError(AssertionError):
+    """Cached and cold replays disagreed -- a memoisation bug."""
+
+
+@dataclass
+class BenchResult:
+    """Outcome of one microbenchmark.
+
+    ``rate`` is ``work / wall_time`` in ``unit`` per second, from the best
+    (lowest-noise) timed repetition; ``checks`` holds machine-independent
+    workload invariants (bit totals) that must agree across runs and
+    machines; ``equivalent`` records that the cold-path check passed.
+    """
+
+    name: str
+    unit: str
+    work: int
+    wall_time: float
+    rate: float
+    equivalent: bool
+    checks: dict[str, int] = field(default_factory=dict)
+    plan_stats: dict[str, int | float] | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot."""
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "work": self.work,
+            "wall_time": self.wall_time,
+            "rate": self.rate,
+            "equivalent": self.equivalent,
+            "checks": dict(self.checks),
+            "plan_stats": (
+                dict(self.plan_stats) if self.plan_stats is not None else None
+            ),
+        }
+
+
+# ----------------------------------------------------------------------
+# Workload builders (pinned seeds throughout)
+# ----------------------------------------------------------------------
+
+
+def _replay_report(
+    n_nodes: int,
+    n_tasks: int,
+    write_fraction: float,
+    n_references: int,
+    seed: int,
+    protocol_name: str,
+    *,
+    memoise: bool,
+) -> tuple[SimulationReport, System, float]:
+    """One full trace replay; returns (report, system, seconds)."""
+    trace = markov_block_trace(
+        n_nodes,
+        tasks=list(range(n_tasks)),
+        write_fraction=write_fraction,
+        n_references=n_references,
+        seed=seed,
+    )
+    config = SystemConfig(n_nodes=n_nodes, costs=MessageCosts.uniform(20))
+    system = System(config)
+    if not memoise:
+        system.network.route_plans = None
+    protocol = default_factories()[protocol_name](system)
+    start = perf_counter()
+    report = run_trace(
+        protocol, trace.references, verify=False, check_invariants_every=0
+    )
+    return report, system, perf_counter() - start
+
+
+def _require(condition: bool, detail: str) -> None:
+    if not condition:
+        raise EquivalenceError(f"cached and cold runs diverged: {detail}")
+
+
+def bench_trace_replay(
+    *,
+    n_nodes: int = 64,
+    n_tasks: int = 16,
+    write_fraction: float = 0.3,
+    n_references: int = 20000,
+    seed: int = 0,
+    protocol_name: str = "two-mode",
+    repeats: int = 3,
+) -> BenchResult:
+    """Markov trace replay on ``N = 64``: the repo's end-to-end hot path."""
+    best_time = None
+    report = system = None
+    for _ in range(max(1, repeats)):
+        report, system, seconds = _replay_report(
+            n_nodes,
+            n_tasks,
+            write_fraction,
+            n_references,
+            seed,
+            protocol_name,
+            memoise=True,
+        )
+        if best_time is None or seconds < best_time:
+            best_time = seconds
+    cold_report, _, _ = _replay_report(
+        n_nodes,
+        n_tasks,
+        write_fraction,
+        n_references,
+        seed,
+        protocol_name,
+        memoise=False,
+    )
+    _require(
+        cold_report.to_dict() == report.to_dict(),
+        f"trace replay reports differ "
+        f"(cached total_bits={report.network_total_bits}, "
+        f"cold total_bits={cold_report.network_total_bits})",
+    )
+    return BenchResult(
+        name=f"trace_replay_n{n_nodes}",
+        unit="refs",
+        work=report.n_references,
+        wall_time=best_time,
+        rate=report.n_references / best_time,
+        equivalent=True,
+        checks={"total_bits": report.network_total_bits},
+        plan_stats=system.route_plan_stats(),
+    )
+
+
+def _fanout_operations(
+    n_nodes: int, n_sets: int, seed: int
+) -> list[tuple[int, int, frozenset[int]]]:
+    """Pinned-seed ``(source, payload_bits, destset)`` operations."""
+    rng = random.Random(seed)
+    operations = []
+    for _ in range(n_sets):
+        source = rng.randrange(n_nodes)
+        size = rng.randint(2, max(2, n_nodes // 4))
+        destset = frozenset(rng.sample(range(n_nodes), size))
+        payload = rng.choice((0, 20, 84, 276))
+        operations.append((source, payload, destset))
+    return operations
+
+
+def bench_multicast_fanout(
+    *,
+    n_nodes: int = 64,
+    n_sets: int = 100,
+    sends_per_set: int = 50,
+    seed: int = 1234,
+) -> BenchResult:
+    """Combined-scheme sends to randomized destination sets.
+
+    Each of ``n_sets`` pinned destination sets is sent ``sends_per_set``
+    times, so the plan cache's steady state (hit on every repeat) is what
+    gets measured -- the same reuse profile protocol traffic exhibits.
+    """
+    operations = _fanout_operations(n_nodes, n_sets, seed)
+    network = OmegaNetwork(n_nodes)
+    caster = Multicaster(network, MulticastScheme.COMBINED)
+    start = perf_counter()
+    for _ in range(sends_per_set):
+        for source, payload, destset in operations:
+            caster.send_payload(source, payload, destset)
+    wall_time = perf_counter() - start
+    total_bits = network.total_bits
+    cached_results = [
+        caster.send_payload(source, payload, destset)
+        for source, payload, destset in operations
+    ]
+
+    cold_network = OmegaNetwork(n_nodes)
+    cold_network.route_plans = None
+    cold_caster = Multicaster(cold_network, MulticastScheme.COMBINED)
+    for repeat in range(sends_per_set):
+        for index, (source, payload, destset) in enumerate(operations):
+            result = cold_caster.send_payload(source, payload, destset)
+            if repeat == 0:
+                _require(
+                    result == cached_results[index],
+                    f"fan-out operation {index} "
+                    f"(source={source}, |dests|={len(destset)})",
+                )
+    # The extra cached send per operation above must be mirrored cold
+    # before counter totals can be compared.
+    for source, payload, destset in operations:
+        cold_caster.send_payload(source, payload, destset)
+    _require(
+        cold_network.total_bits == total_bits
+        + sum(result.cost for result in cached_results),
+        f"fan-out bit totals (cached={total_bits}, "
+        f"cold={cold_network.total_bits})",
+    )
+    work = n_sets * sends_per_set
+    return BenchResult(
+        name=f"multicast_fanout_n{n_nodes}",
+        unit="sends",
+        work=work,
+        wall_time=wall_time,
+        rate=work / wall_time,
+        equivalent=True,
+        checks={"total_bits": total_bits},
+        plan_stats=network.route_plans.stats(),
+    )
+
+
+def bench_sweep_throughput(
+    *,
+    n_nodes: int = 32,
+    sharer_counts: tuple[int, ...] = (4, 8, 16),
+    n_references: int = 4000,
+    seed: int = 7,
+    protocol_name: str = "two-mode",
+) -> BenchResult:
+    """A three-point sharer sweep: the figure-benchmark workload shape."""
+    total_refs = 0
+    total_seconds = 0.0
+    checks: dict[str, int] = {}
+    for n_sharers in sharer_counts:
+        report, _, seconds = _replay_report(
+            n_nodes,
+            n_sharers,
+            0.3,
+            n_references,
+            seed,
+            protocol_name,
+            memoise=True,
+        )
+        cold_report, _, _ = _replay_report(
+            n_nodes,
+            n_sharers,
+            0.3,
+            n_references,
+            seed,
+            protocol_name,
+            memoise=False,
+        )
+        _require(
+            cold_report.to_dict() == report.to_dict(),
+            f"sweep point n_sharers={n_sharers}",
+        )
+        total_refs += report.n_references
+        total_seconds += seconds
+        checks[f"total_bits_s{n_sharers}"] = report.network_total_bits
+    return BenchResult(
+        name=f"sweep_throughput_n{n_nodes}",
+        unit="refs",
+        work=total_refs,
+        wall_time=total_seconds,
+        rate=total_refs / total_seconds,
+        equivalent=True,
+        checks=checks,
+    )
+
+
+def run_benchmarks(
+    *, equivalence_only: bool = False, repeats: int = 3
+) -> dict[str, BenchResult]:
+    """Run the full suite; name -> result, in definition order.
+
+    ``equivalence_only`` drops the timing repetitions to one: the
+    cached-vs-cold asserts still run in full (that is the point of the
+    mode -- CI machines time poorly but must still prove bit-identity).
+    """
+    if equivalence_only:
+        repeats = 1
+    results = [
+        bench_trace_replay(repeats=repeats),
+        bench_multicast_fanout(),
+        bench_sweep_throughput(),
+    ]
+    return {result.name: result for result in results}

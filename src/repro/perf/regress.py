@@ -1,0 +1,117 @@
+"""The ``BENCH_perf.json`` baseline and the regression gate.
+
+The committed baseline records, for every microbenchmark in
+:mod:`repro.perf.harness`, the wall time and rate measured when the
+baseline was (re)established, plus the machine-independent workload
+checks (bit totals).  :func:`compare_to_baseline` then answers two
+questions with different strictness:
+
+* **checks** (bit totals, work counts) must match exactly -- they are
+  machine-independent, so any difference is a correctness change, and the
+  comparison fails regardless of threshold;
+* **rate** may drift with the host; only a slowdown beyond ``threshold``
+  (default 25%) counts as a regression.  Speedups never fail -- rerun
+  with ``--write-baseline`` to ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+from repro.perf.harness import BenchResult
+
+#: Repo-root baseline filename (committed; see docs/PERF.md).
+DEFAULT_BASELINE = "BENCH_perf.json"
+
+#: Fail when a benchmark's rate drops below ``(1 - threshold)`` times the
+#: baseline rate.
+DEFAULT_THRESHOLD = 0.25
+
+_FORMAT_VERSION = 1
+
+
+class PerfRegression(RuntimeError):
+    """At least one benchmark regressed against the baseline."""
+
+
+def results_payload(results: dict[str, BenchResult]) -> dict:
+    """The JSON document written for a set of results."""
+    return {
+        "version": _FORMAT_VERSION,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": {
+            name: result.to_dict() for name, result in results.items()
+        },
+    }
+
+
+def write_baseline(
+    results: dict[str, BenchResult], path: str | Path = DEFAULT_BASELINE
+) -> Path:
+    """Persist ``results`` as the new baseline; returns the path written."""
+    path = Path(path)
+    payload = results_payload(results)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path = DEFAULT_BASELINE) -> dict:
+    """Read a baseline document written by :func:`write_baseline`."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {version!r} in {path} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return data
+
+
+def compare_to_baseline(
+    results: dict[str, BenchResult],
+    baseline: dict,
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    check_timing: bool = True,
+) -> list[str]:
+    """Problems found comparing ``results`` to ``baseline``.
+
+    Returns a list of human-readable regression descriptions (empty means
+    pass).  ``check_timing=False`` restricts the comparison to the
+    machine-independent checks -- the CI equivalence-only mode, where
+    shared-runner timing noise would make a rate gate meaningless.
+    """
+    problems: list[str] = []
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    for name, result in results.items():
+        recorded = baseline_benchmarks.get(name)
+        if recorded is None:
+            problems.append(f"{name}: not present in baseline")
+            continue
+        if recorded.get("work") != result.work:
+            problems.append(
+                f"{name}: work changed "
+                f"({recorded.get('work')} -> {result.work}); "
+                f"rewrite the baseline"
+            )
+        if recorded.get("checks") != result.checks:
+            problems.append(
+                f"{name}: workload checks changed "
+                f"({recorded.get('checks')} -> {result.checks}) -- "
+                f"a correctness difference, not a timing one"
+            )
+        if check_timing:
+            floor = recorded.get("rate", 0.0) * (1.0 - threshold)
+            if result.rate < floor:
+                problems.append(
+                    f"{name}: {result.rate:,.0f} {result.unit}/s is more "
+                    f"than {threshold:.0%} below the baseline "
+                    f"{recorded.get('rate'):,.0f} {result.unit}/s"
+                )
+    for name in baseline_benchmarks:
+        if name not in results:
+            problems.append(f"{name}: in baseline but not measured")
+    return problems

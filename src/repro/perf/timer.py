@@ -1,0 +1,76 @@
+"""Monotonic phase timers.
+
+A :class:`PhaseTimer` slices wall-clock time into named phases with a
+single ``lap(name)`` call per boundary -- the shape
+:func:`repro.sim.engine.run_trace` expects from its ``timer`` argument.
+Laps with the same name accumulate, so a timer can be threaded through a
+whole sweep and still report one number per phase.
+
+Built on :func:`time.perf_counter` (monotonic, highest available
+resolution); the clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time into named phases.
+
+    ``lap(name)`` charges everything since the previous boundary (the
+    timer's creation, the last ``lap`` or the last ``restart``) to
+    ``name``.  The :meth:`phase` context manager is the bracketed
+    equivalent for callers that prefer explicit scopes.
+    """
+
+    __slots__ = ("_clock", "_last", "_laps")
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._laps: dict[str, float] = {}
+        self._last: float = clock()
+
+    def lap(self, name: str) -> float:
+        """Charge the time since the last boundary to ``name``; return it."""
+        now = self._clock()
+        elapsed = now - self._last
+        self._last = now
+        self._laps[name] = self._laps.get(name, 0.0) + elapsed
+        return elapsed
+
+    def restart(self) -> None:
+        """Move the boundary to now without charging anyone."""
+        self._last = self._clock()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Scope whose wall time is charged to ``name`` on exit."""
+        start = self._clock()
+        try:
+            yield self
+        finally:
+            now = self._clock()
+            self._laps[name] = self._laps.get(name, 0.0) + (now - start)
+            self._last = now
+
+    @property
+    def laps(self) -> dict[str, float]:
+        """Accumulated seconds per phase (insertion-ordered copy)."""
+        return dict(self._laps)
+
+    @property
+    def total(self) -> float:
+        """Seconds accounted to any phase so far."""
+        return sum(self._laps.values())
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-ready ``{phase: seconds}`` snapshot."""
+        return dict(self._laps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{name}={seconds:.4f}s" for name, seconds in self._laps.items()
+        )
+        return f"PhaseTimer({inner})"

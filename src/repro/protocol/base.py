@@ -16,7 +16,6 @@ from typing import NamedTuple
 
 from repro.network.multicast import MulticastResult
 from repro.protocol.messages import MsgKind
-from repro.network.message import Message
 from repro.sim.stats import Stats
 from repro.sim.system import System
 from repro.types import Address, BlockId, NodeId
@@ -99,11 +98,11 @@ class CoherenceProtocol(abc.ABC):
         self, kind: MsgKind, source: NodeId, dest: NodeId, bits: int
     ) -> None:
         """Unicast ``bits`` payload bits from ``source`` to ``dest``."""
-        result = self.system.multicaster.send_one(
-            Message(source=source, payload_bits=bits, kind=kind.value), dest
-        )
+        result = self.system.multicaster.send_payload_one(source, bits, dest)
         self.stats.record_traffic(kind.value, result.cost)
-        self._log(kind, source, frozenset((dest,)), bits, result)
+        if self.message_log is not None:
+            # result.requested is exactly frozenset((dest,)).
+            self._log(kind, source, result.requested, bits, result)
 
     def _multicast(
         self,
@@ -113,12 +112,11 @@ class CoherenceProtocol(abc.ABC):
         bits: int,
     ) -> MulticastResult:
         """One-to-many send using the system's configured scheme."""
-        result = self.system.multicaster.send(
-            Message(source=source, payload_bits=bits, kind=kind.value),
-            frozenset(dests),
-        )
+        dest_set = dests if type(dests) is frozenset else frozenset(dests)
+        result = self.system.multicaster.send_payload(source, bits, dest_set)
         self.stats.record_traffic(kind.value, result.cost)
-        self._log(kind, source, frozenset(dests), bits, result)
+        if self.message_log is not None:
+            self._log(kind, source, dest_set, bits, result)
         return result
 
     # ------------------------------------------------------------------

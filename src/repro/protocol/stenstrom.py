@@ -418,7 +418,9 @@ class StenstromProtocol(CoherenceProtocol):
                 costs.block_and_state(self._block_words(), n_nodes),
             )
             entry.data = list(old_entry.data)
-            placeholders = transferred.present - {old_owner, node}
+            placeholders = frozenset(
+                transferred.present - {old_owner, node}
+            )
             if placeholders:
                 self._multicast(
                     MsgKind.OWNER_UPDATE,
@@ -501,7 +503,9 @@ class StenstromProtocol(CoherenceProtocol):
                 valid=True, owned=False, owner=node
             )
         else:
-            placeholders = transferred.present - {old_owner, node}
+            placeholders = frozenset(
+                transferred.present - {old_owner, node}
+            )
             if placeholders:
                 self._multicast(
                     MsgKind.OWNER_UPDATE,

@@ -108,6 +108,11 @@ class RunJournal:
             attempt=attempt,
             wall_time=wall_time,
             references=report.n_references,
+            refs_per_sec=(
+                round(report.n_references / wall_time, 1)
+                if wall_time > 0
+                else None
+            ),
             total_bits=report.network_total_bits,
         )
 
@@ -163,6 +168,10 @@ class RunJournal:
             ("failures", counts["failed"]),
             ("task wall time", f"{wall:.3f} s"),
             ("references simulated", references),
+            (
+                "throughput",
+                f"{references / wall:,.0f} refs/s" if wall > 0 else "n/a",
+            ),
             ("network bits", bits),
         ]
         return render_table(

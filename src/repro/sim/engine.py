@@ -104,6 +104,7 @@ def run_trace(
     *,
     verify: bool = True,
     check_invariants_every: int | None = None,
+    timer=None,
 ) -> SimulationReport:
     """Run ``trace`` through ``protocol`` and report traffic and events.
 
@@ -132,9 +133,17 @@ def run_trace(
 
     The network's traffic counters are reset at the start, so the report's
     network totals are attributable to this run alone.
+
+    ``timer``, if given, is any object with a ``lap(name)`` method (e.g.
+    :class:`repro.perf.timer.PhaseTimer`); it receives ``"reset"``,
+    ``"replay"`` and ``"report"`` laps around the run's three phases.  The
+    per-reference loop is never instrumented, so timing is free when no
+    timer is passed and coarse-grained when one is.
     """
     system = protocol.system
     system.reset_traffic()
+    if timer is not None:
+        timer.lap("reset")
     if check_invariants_every is None:
         check_invariants_every = 1 if verify else 0
     shadow: dict[tuple[int, int], int] = {}
@@ -166,7 +175,9 @@ def run_trace(
             protocol.check_invariants()
     if check_invariants_every:
         protocol.check_invariants()
-    return SimulationReport(
+    if timer is not None:
+        timer.lap("replay")
+    report = SimulationReport(
         protocol_name=protocol.name,
         n_references=n_refs,
         n_reads=n_reads,
@@ -176,3 +187,6 @@ def run_trace(
         network_bits_by_level=tuple(system.network.bits_by_level()),
         verified=bool(verify),
     )
+    if timer is not None:
+        timer.lap("report")
+    return report

@@ -41,6 +41,8 @@ REMOTE_WORD_WRITES = "remote_word_writes"  # uncached baseline writes
 class Stats:
     """Counters for one protocol run."""
 
+    __slots__ = ("events", "traffic_bits", "traffic_messages")
+
     def __init__(self) -> None:
         self.events: Counter[str] = Counter()
         self.traffic_bits: Counter[str] = Counter()

@@ -67,8 +67,9 @@ class System:
 
     ``multicaster_factory`` optionally replaces the default
     :class:`~repro.network.multicast.Multicaster` with any object offering
-    the same ``send`` / ``send_one`` interface built over this system's
-    network -- e.g. the §5 register-driven selector
+    the same ``send`` / ``send_one`` / ``send_payload`` /
+    ``send_payload_one`` interface built over this system's network --
+    e.g. the §5 register-driven selector
     (:class:`~repro.network.selector.RegisterMulticaster`).
     """
 
@@ -128,6 +129,17 @@ class System:
     def reset_traffic(self) -> None:
         """Zero the network counters (protocol stats are separate)."""
         self.network.reset_traffic()
+
+    def route_plan_stats(self) -> dict[str, int | float] | None:
+        """The network's route-plan cache statistics (hits, misses, size).
+
+        Returns ``None`` when plan memoisation is disabled
+        (``network.route_plans = None``, the perf harness's cold path).
+        """
+        cache = self.network.route_plans
+        if cache is None:
+            return None
+        return cache.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"System({self.config!r})"

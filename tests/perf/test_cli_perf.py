@@ -1,0 +1,109 @@
+"""The ``repro perf`` subcommand end to end, with stubbed benchmarks.
+
+The real suite takes tens of seconds (it is the committed-baseline
+workload); these tests monkeypatch :func:`repro.perf.run_benchmarks` with
+an instant stand-in so every CLI path -- table, JSON export, baseline
+write, gate pass and gate fail -- is exercised in milliseconds.
+"""
+
+import json
+
+import pytest
+
+import repro.perf
+from repro.cli import main
+from repro.perf import BenchResult, write_baseline
+
+
+def _stub_results(rate=1000.0, total_bits=42):
+    result = BenchResult(
+        name="trace_replay_n8",
+        unit="refs",
+        work=300,
+        wall_time=300 / rate,
+        rate=rate,
+        equivalent=True,
+        checks={"total_bits": total_bits},
+    )
+    return {result.name: result}
+
+
+@pytest.fixture
+def stub_benchmarks(monkeypatch):
+    def install(**kwargs):
+        monkeypatch.setattr(
+            repro.perf,
+            "run_benchmarks",
+            lambda *, equivalence_only=False, repeats=3: _stub_results(
+                **kwargs
+            ),
+        )
+
+    install()
+    return install
+
+
+def test_prints_table_without_baseline(stub_benchmarks, tmp_path, capsys):
+    baseline = tmp_path / "BENCH_perf.json"
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    output = capsys.readouterr().out
+    assert "perf microbenchmarks" in output
+    assert "trace_replay_n8" in output
+    assert "--write-baseline" in output  # the hint when none exists
+
+
+def test_write_baseline_then_pass(stub_benchmarks, tmp_path, capsys):
+    baseline = tmp_path / "BENCH_perf.json"
+    assert main(
+        ["perf", "--write-baseline", "--baseline", str(baseline)]
+    ) == 0
+    assert baseline.exists()
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    assert "pass (equivalence + timing)" in capsys.readouterr().out
+
+
+def test_timing_regression_fails(stub_benchmarks, tmp_path, capsys):
+    baseline = tmp_path / "BENCH_perf.json"
+    write_baseline(_stub_results(rate=10000.0), baseline)
+    assert main(["perf", "--baseline", str(baseline)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_equivalence_only_ignores_timing_but_not_checks(
+    stub_benchmarks, tmp_path, capsys
+):
+    baseline = tmp_path / "BENCH_perf.json"
+    write_baseline(_stub_results(rate=10000.0), baseline)
+    assert main(
+        ["perf", "--equivalence-only", "--baseline", str(baseline)]
+    ) == 0
+    assert "pass (equivalence)" in capsys.readouterr().out
+
+    write_baseline(_stub_results(rate=10000.0, total_bits=43), baseline)
+    assert main(
+        ["perf", "--equivalence-only", "--baseline", str(baseline)]
+    ) == 1
+    assert "correctness" in capsys.readouterr().out
+
+
+def test_threshold_flag(stub_benchmarks, tmp_path):
+    baseline = tmp_path / "BENCH_perf.json"
+    write_baseline(_stub_results(rate=1100.0), baseline)
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    assert main(
+        ["perf", "--baseline", str(baseline), "--threshold", "0.01"]
+    ) == 1
+
+
+def test_output_json_export(stub_benchmarks, tmp_path):
+    baseline = tmp_path / "BENCH_perf.json"
+    output = tmp_path / "results.json"
+    assert main(
+        [
+            "perf",
+            "--baseline", str(baseline),
+            "--output", str(output),
+        ]
+    ) == 0
+    payload = json.loads(output.read_text())
+    assert payload["benchmarks"]["trace_replay_n8"]["work"] == 300

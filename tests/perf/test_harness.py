@@ -1,0 +1,79 @@
+"""Harness smoke tests at tier-1-friendly sizes.
+
+The committed benchmark sizes (``N = 64``, 20k references) belong to
+``repro perf``; here each benchmark runs a miniature configuration so the
+full equivalence machinery -- cached vs cold replay, bit-total
+reconciliation -- executes in well under a second.
+"""
+
+from repro.perf import (
+    BenchResult,
+    bench_multicast_fanout,
+    bench_sweep_throughput,
+    bench_trace_replay,
+)
+from repro.perf.harness import EquivalenceError, _require
+
+
+def _assert_well_formed(result, unit):
+    assert isinstance(result, BenchResult)
+    assert result.equivalent is True
+    assert result.unit == unit
+    assert result.work > 0
+    assert result.wall_time > 0
+    assert result.rate == result.work / result.wall_time
+    payload = result.to_dict()
+    assert payload["checks"] == result.checks
+    assert payload["name"] == result.name
+
+
+def test_trace_replay_small():
+    result = bench_trace_replay(
+        n_nodes=8, n_tasks=4, n_references=300, repeats=1
+    )
+    _assert_well_formed(result, "refs")
+    assert result.name == "trace_replay_n8"
+    assert result.work == 300
+    assert result.checks["total_bits"] > 0
+    assert result.plan_stats is not None
+    assert result.plan_stats["hits"] > 0
+
+
+def test_trace_replay_is_deterministic_across_runs():
+    first = bench_trace_replay(
+        n_nodes=8, n_tasks=4, n_references=300, repeats=1
+    )
+    second = bench_trace_replay(
+        n_nodes=8, n_tasks=4, n_references=300, repeats=1
+    )
+    assert first.checks == second.checks
+    assert first.work == second.work
+
+
+def test_multicast_fanout_small():
+    result = bench_multicast_fanout(n_nodes=16, n_sets=8, sends_per_set=4)
+    _assert_well_formed(result, "sends")
+    assert result.name == "multicast_fanout_n16"
+    assert result.work == 32
+    assert result.checks["total_bits"] > 0
+    # Every repeat after the first hits the plan cache.
+    assert result.plan_stats["hits"] >= result.plan_stats["misses"]
+
+
+def test_sweep_throughput_small():
+    result = bench_sweep_throughput(
+        n_nodes=8, sharer_counts=(2, 4), n_references=200
+    )
+    _assert_well_formed(result, "refs")
+    assert result.work == 400
+    assert set(result.checks) == {"total_bits_s2", "total_bits_s4"}
+
+
+def test_require_raises_equivalence_error():
+    _require(True, "fine")
+    try:
+        _require(False, "bit totals differ")
+    except EquivalenceError as error:
+        assert "bit totals differ" in str(error)
+    else:  # pragma: no cover - the assert above must fire
+        raise AssertionError("EquivalenceError not raised")

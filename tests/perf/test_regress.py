@@ -1,0 +1,91 @@
+"""Baseline round-trip and the regression gate's two strictness levels."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    BenchResult,
+    compare_to_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.perf.regress import results_payload
+
+
+def _result(name="bench", rate=1000.0, checks=None, work=500):
+    return BenchResult(
+        name=name,
+        unit="refs",
+        work=work,
+        wall_time=work / rate,
+        rate=rate,
+        equivalent=True,
+        checks=checks if checks is not None else {"total_bits": 42},
+        plan_stats={"plans": 3, "hits": 10, "misses": 3},
+    )
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    results = {"bench": _result()}
+    write_baseline(results, path)
+    baseline = load_baseline(path)
+    assert baseline["benchmarks"]["bench"]["rate"] == 1000.0
+    assert baseline["benchmarks"]["bench"]["checks"] == {"total_bits": 42}
+    assert compare_to_baseline(results, baseline) == []
+
+
+def test_unsupported_version_rejected(tmp_path):
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps({"version": 99, "benchmarks": {}}))
+    with pytest.raises(ValueError):
+        load_baseline(path)
+
+
+def test_small_slowdown_passes_large_slowdown_fails():
+    baseline = results_payload({"bench": _result(rate=1000.0)})
+    assert compare_to_baseline({"bench": _result(rate=900.0)}, baseline) == []
+    problems = compare_to_baseline({"bench": _result(rate=700.0)}, baseline)
+    assert len(problems) == 1
+    assert "below the baseline" in problems[0]
+
+
+def test_speedup_never_fails():
+    baseline = results_payload({"bench": _result(rate=1000.0)})
+    assert compare_to_baseline({"bench": _result(rate=5000.0)}, baseline) == []
+
+
+def test_threshold_is_tunable():
+    baseline = results_payload({"bench": _result(rate=1000.0)})
+    slow = {"bench": _result(rate=880.0)}
+    assert compare_to_baseline(slow, baseline, threshold=0.25) == []
+    assert compare_to_baseline(slow, baseline, threshold=0.05) != []
+
+
+def test_checks_mismatch_fails_even_without_timing():
+    baseline = results_payload({"bench": _result(checks={"total_bits": 42})})
+    drifted = {"bench": _result(checks={"total_bits": 43})}
+    problems = compare_to_baseline(drifted, baseline, check_timing=False)
+    assert len(problems) == 1
+    assert "correctness" in problems[0]
+
+
+def test_work_change_flagged():
+    baseline = results_payload({"bench": _result(work=500)})
+    problems = compare_to_baseline({"bench": _result(work=600)}, baseline)
+    assert any("work changed" in problem for problem in problems)
+
+
+def test_missing_benchmarks_flagged_both_directions():
+    baseline = results_payload({"old": _result(name="old")})
+    problems = compare_to_baseline({"new": _result(name="new")}, baseline)
+    assert "new: not present in baseline" in problems
+    assert "old: in baseline but not measured" in problems
+
+
+def test_equivalence_only_ignores_timing():
+    baseline = results_payload({"bench": _result(rate=1000.0)})
+    crawl = {"bench": _result(rate=1.0)}
+    assert compare_to_baseline(crawl, baseline, check_timing=False) == []
+    assert compare_to_baseline(crawl, baseline, check_timing=True) != []
