@@ -17,7 +17,10 @@ The package provides, from the bottom up:
   of the paper's evaluation;
 * :mod:`repro.runner` -- parallel, cached, observable execution of
   declarative experiment grids (specs, worker fan-out, result cache,
-  run journal).
+  run journal);
+* :mod:`repro.faults` -- deterministic fault injection (message drops,
+  duplicates, delays, dead links/switches) with protocol-level recovery
+  and chaos campaigns.
 
 Quickstart::
 
@@ -40,12 +43,16 @@ from repro.errors import (
     CoherenceError,
     ConfigurationError,
     ExecutionError,
+    FaultInjectionError,
     MulticastError,
     NetworkError,
     ProtocolError,
     ReproError,
     TraceError,
+    TransientNetworkError,
+    UnreachableRouteError,
 )
+from repro.faults import FaultPlan
 from repro.memory import BlockStore, MemoryModule
 from repro.network import (
     Multicaster,
@@ -88,6 +95,8 @@ __all__ = [
     "CoherenceProtocol",
     "ConfigurationError",
     "ExecutionError",
+    "FaultInjectionError",
+    "FaultPlan",
     "FullMapProtocol",
     "LimitedPointerProtocol",
     "MemoryModule",
@@ -112,6 +121,8 @@ __all__ = [
     "SystemConfig",
     "Trace",
     "TraceError",
+    "TransientNetworkError",
+    "UnreachableRouteError",
     "WriteOnceProtocol",
     "load_trace",
     "run_trace",

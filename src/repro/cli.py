@@ -15,7 +15,11 @@ Seven commands cover the common uses of the library without writing code:
   records task events), optionally archived as JSON;
 * ``perf``    -- the :mod:`repro.perf` microbenchmarks: cached-vs-cold
   equivalence checks always run; timings compare against the committed
-  ``BENCH_perf.json`` baseline (see docs/PERF.md).
+  ``BENCH_perf.json`` baseline (see docs/PERF.md);
+* ``chaos``   -- a fault-injection campaign (:mod:`repro.faults`):
+  sweep message drop rates (plus optional duplicates, delays and dead
+  links/switches) with invariants checked after every reference, and
+  report survival (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -167,6 +171,96 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="timed repetitions per benchmark (best is kept)",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help=(
+            "fault-injection campaign: sweep drop rates (plus optional "
+            "duplicates, delays, dead links/switches) with invariants "
+            "checked every reference, and report survival"
+        ),
+    )
+    chaos.add_argument(
+        "--nodes", type=int, default=16, help="processors (power of two)"
+    )
+    chaos.add_argument(
+        "--references", type=int, default=400, help="trace length per cell"
+    )
+    chaos.add_argument(
+        "--write-fraction", type=float, default=0.3, help="w of §4"
+    )
+    chaos.add_argument(
+        "--workload",
+        choices=("random", "markov", "shared-structure"),
+        default="random",
+        help="generated workload kind (default: random)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=0, help="workload generator seed"
+    )
+    chaos.add_argument(
+        "--drop-rates",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.02, 0.05, 0.1],
+        help="message drop probabilities to sweep",
+    )
+    chaos.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.02,
+        help="message duplication probability (every cell)",
+    )
+    chaos.add_argument(
+        "--delay-rate",
+        type=float,
+        default=0.02,
+        help="message delay probability (every cell)",
+    )
+    chaos.add_argument(
+        "--kill-link",
+        action="append",
+        default=[],
+        metavar="LEVEL:POSITION",
+        help="declare a network link dead (repeatable)",
+    )
+    chaos.add_argument(
+        "--kill-switch",
+        action="append",
+        default=[],
+        metavar="STAGE:INDEX",
+        help="declare a 2x2 switch dead (repeatable)",
+    )
+    chaos.add_argument(
+        "--fault-seeds",
+        type=int,
+        nargs="+",
+        default=[0],
+        help="fault-injection RNG seeds to sweep",
+    )
+    chaos.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry budget per delivery before giving up",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = sequential in-process)",
+    )
+    chaos.add_argument(
+        "--cache-dir",
+        help="content-addressed result cache; re-runs only changed cells",
+    )
+    chaos.add_argument(
+        "--journal",
+        help="append task start/finish/retry events to this JSONL file",
+    )
+    chaos.add_argument(
+        "--output", help="write the survival report as JSON to this path"
     )
 
     return parser
@@ -475,6 +569,71 @@ def _command_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pairs(values: list[str], label: str) -> tuple[tuple[int, int], ...]:
+    """``["1:3", "0:0"]`` -> ``((1, 3), (0, 0))`` with a usable error."""
+    from repro.errors import ConfigurationError
+
+    pairs = []
+    for value in values:
+        try:
+            left, right = value.split(":")
+            pairs.append((int(left), int(right)))
+        except ValueError:
+            raise ConfigurationError(
+                f"bad {label} {value!r}: expected two integers as A:B"
+            ) from None
+    return tuple(pairs)
+
+
+def _command_chaos(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.faults.campaign import chaos_cells, run_campaign
+    from repro.runner import ResultCache, RunJournal
+
+    cells = chaos_cells(
+        n_nodes=args.nodes,
+        n_references=args.references,
+        write_fraction=args.write_fraction,
+        workload_seed=args.seed,
+        workload_kind=args.workload,
+        drop_rates=tuple(args.drop_rates),
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        dead_links=_parse_pairs(args.kill_link, "--kill-link"),
+        dead_switches=_parse_pairs(args.kill_switch, "--kill-switch"),
+        fault_seeds=tuple(args.fault_seeds),
+        max_retries=args.max_retries,
+    )
+    journal = RunJournal(args.journal)
+    report = run_campaign(
+        cells,
+        name="cli-chaos",
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        journal=journal,
+    )
+    print(report.render())
+    counts = journal.counts()
+    print(
+        f"runner: {len(report.cells)} cells, {counts['executed']} executed, "
+        f"{counts['cached']} cached, {counts['failed']} failed "
+        f"(workers={args.workers})"
+    )
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"survival report written to {args.output}")
+    journal.close()
+    if not report.survived:
+        print("CHAOS: campaign FAILED (see rows marked NO)")
+        return 1
+    print("CHAOS: campaign survived (zero coherence violations)")
+    return 0
+
+
 _COMMANDS = {
     "tables": _command_tables,
     "figures": _command_figures,
@@ -483,6 +642,7 @@ _COMMANDS = {
     "latency": _command_latency,
     "sweep": _command_sweep,
     "perf": _command_perf,
+    "chaos": _command_chaos,
 }
 
 

@@ -25,6 +25,40 @@ class NetworkError(ReproError):
     """A message could not be routed through the interconnection network."""
 
 
+class TransientNetworkError(NetworkError):
+    """A message kept being lost despite retrying.
+
+    Raised by the recovery layer in :mod:`repro.protocol.base` when a
+    send is dropped more than ``FaultPlan.max_retries`` times in a row.
+    Under realistic drop rates this is astronomically unlikely; seeing it
+    means the fault plan is hostile enough that forward progress cannot
+    be guaranteed.
+    """
+
+
+class UnreachableRouteError(NetworkError):
+    """The unique omega-network path between two ports crosses a dead
+    link or switch, so no amount of retrying can deliver the message.
+
+    ``block`` carries the block the protocol was operating on when the
+    dead route was hit (when known), so the recovery layer can degrade
+    exactly the affected block.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: int | None = None,
+        dest: int | None = None,
+        block: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.dest = dest
+        self.block = block
+
+
 class MulticastError(NetworkError):
     """A multicast request violated the constraints of the chosen scheme.
 
@@ -55,6 +89,16 @@ class CoherenceError(ReproError):
 
 class TraceError(ReproError):
     """A reference trace is malformed or refers to nonexistent processors."""
+
+
+class FaultInjectionError(ReproError):
+    """The fault-injection subsystem was misconfigured or got stuck.
+
+    Raised for invalid :class:`~repro.faults.plan.FaultPlan` parameters
+    (probabilities outside ``[0, 1)``, dead links or switches outside the
+    network geometry) and, as a safety net, when protocol-level recovery
+    fails to make progress against the injected faults.
+    """
 
 
 class ExecutionError(ReproError):

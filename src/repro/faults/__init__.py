@@ -1,0 +1,30 @@
+"""Deterministic fault injection and the recovery that survives it.
+
+This package extends the reproduction beyond the paper's lossless-network
+assumption (see DESIGN.md):
+
+* :mod:`repro.faults.plan` -- :class:`FaultPlan`, frozen content-hashed
+  fault configuration (per-delivery drop/duplicate/delay probabilities,
+  dead links and switches, seed, retry budget);
+* :mod:`repro.faults.injector` -- :class:`FaultInjector`, the seeded
+  per-network oracle the :class:`~repro.network.multicast.Multicaster`
+  and the protocol recovery layer consult;
+* :mod:`repro.faults.campaign` -- chaos campaigns: fault-rate sweeps
+  through the :mod:`repro.runner` executor with a survival report
+  (imported lazily by the CLI; not re-exported here to keep the
+  ``runner -> faults`` import direction acyclic).
+
+See docs/FAULTS.md for the fault model, the recovery semantics, and the
+determinism guarantees.
+"""
+
+from repro.faults.injector import DeliveryOutcome, FaultInjector
+from repro.faults.plan import DEFAULT_MAX_RETRIES, PLAN_VERSION, FaultPlan
+
+__all__ = [
+    "DEFAULT_MAX_RETRIES",
+    "DeliveryOutcome",
+    "FaultInjector",
+    "FaultPlan",
+    "PLAN_VERSION",
+]

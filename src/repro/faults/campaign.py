@@ -1,0 +1,244 @@
+"""Chaos campaigns: fault-rate sweeps with a survival verdict.
+
+A campaign is an ordinary :mod:`repro.runner` sweep whose cells carry
+non-empty fault plans and run the *verifying* simulator with
+``check_invariants_every=1`` -- every reference re-checks all six
+structural invariants and the shadow-memory value oracle.  Survival means
+what the issue demands: zero :class:`~repro.errors.CoherenceError` under
+any injected-fault schedule.
+
+The executor runs in ``on_error="collect"`` mode, so a cell that dies
+(coherence violation, wedged recovery, retry exhaustion) becomes a
+failed row in the :class:`SurvivalReport` instead of aborting the sweep,
+and the campaign's exit status reflects the whole grid.
+
+Everything in the report payload is a deterministic function of the
+cells -- no wall-clock values -- so two same-seed campaign runs must
+produce byte-identical report JSON; CI's chaos-smoke job diffs exactly
+that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.report import render_table
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.runner.cache import ResultCache
+from repro.runner.executor import Executor, TaskResult
+from repro.runner.journal import RunJournal
+from repro.runner.spec import ExperimentSpec, SweepSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One campaign cell's survival verdict."""
+
+    spec_hash: str
+    description: str
+    drop_rate: float
+    fault_seed: int
+    survived: bool
+    fault_events: dict[str, int]
+    cost_per_reference: float | None
+    error_class: str | None
+    error_summary: str | None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_hash": self.spec_hash,
+            "description": self.description,
+            "drop_rate": self.drop_rate,
+            "fault_seed": self.fault_seed,
+            "survived": self.survived,
+            "fault_events": self.fault_events,
+            "cost_per_reference": self.cost_per_reference,
+            "error_class": self.error_class,
+            "error_summary": self.error_summary,
+        }
+
+
+@dataclass(frozen=True)
+class SurvivalReport:
+    """The campaign verdict: one row per cell, plus the aggregate."""
+
+    name: str
+    cells: tuple[CellOutcome, ...]
+
+    @property
+    def survived(self) -> bool:
+        return all(cell.survived for cell in self.cells)
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON payload (no timestamps, no wall times)."""
+        return {
+            "campaign": self.name,
+            "survived": self.survived,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def render(self) -> str:
+        """A terminal survival table."""
+        rows = []
+        for cell in self.cells:
+            events = cell.fault_events
+            rows.append(
+                (
+                    f"{cell.drop_rate:g}",
+                    cell.fault_seed,
+                    "yes" if cell.survived else "NO",
+                    events.get("fault_drops", 0),
+                    events.get("fault_retries", 0),
+                    events.get("fault_degraded_blocks", 0),
+                    (
+                        f"{cell.cost_per_reference:.1f}"
+                        if cell.cost_per_reference is not None
+                        else cell.error_class or "failed"
+                    ),
+                )
+            )
+        return render_table(
+            (
+                "drop", "seed", "survived", "drops", "retries",
+                "degraded", "bits/ref",
+            ),
+            rows,
+            title=f"chaos campaign: {self.name}",
+        )
+
+
+def chaos_cells(
+    *,
+    n_nodes: int = 16,
+    n_references: int = 400,
+    write_fraction: float = 0.3,
+    workload_seed: int = 0,
+    workload_kind: str = "random",
+    n_blocks: int = 24,
+    drop_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    duplicate_rate: float = 0.02,
+    delay_rate: float = 0.02,
+    dead_links: Sequence[tuple[int, int]] = (),
+    dead_switches: Sequence[tuple[int, int]] = (),
+    fault_seeds: Sequence[int] = (0,),
+    max_retries: int | None = None,
+    protocol: str = "two-mode",
+    cache_entries: int = 8,
+) -> list[ExperimentSpec]:
+    """The campaign grid: drop rate x fault seed, everything verifying.
+
+    Every cell runs with ``verify=True`` and ``check_invariants_every=1``
+    -- that is the whole point.  The two-mode protocol is the default and
+    the only one with a degradation path for dead routes; with dead
+    elements in the plan, other protocols will fail their cells (which
+    the survival report then shows).
+    """
+    if not drop_rates:
+        raise ConfigurationError("a chaos campaign needs drop rates")
+    if not fault_seeds:
+        raise ConfigurationError("a chaos campaign needs fault seeds")
+    workload = WorkloadSpec(
+        kind=workload_kind,
+        n_nodes=n_nodes,
+        n_references=n_references,
+        write_fraction=write_fraction,
+        seed=workload_seed,
+        n_blocks=n_blocks,
+        tasks=(
+            tuple(range(min(4, n_nodes)))
+            if workload_kind in ("markov", "shared-structure")
+            else ()
+        ),
+    )
+    config = SystemConfig(n_nodes=n_nodes, cache_entries=cache_entries)
+    extra = {} if max_retries is None else {"max_retries": max_retries}
+    return [
+        ExperimentSpec(
+            protocol=protocol,
+            workload=workload,
+            config=config,
+            verify=True,
+            check_invariants_every=1,
+            fault_plan=FaultPlan(
+                drop_probability=drop_rate,
+                duplicate_probability=duplicate_rate,
+                delay_probability=delay_rate,
+                dead_links=tuple(dead_links),
+                dead_switches=tuple(dead_switches),
+                seed=fault_seed,
+                **extra,
+            ),
+        )
+        for drop_rate in drop_rates
+        for fault_seed in fault_seeds
+    ]
+
+
+def run_campaign(
+    cells: Sequence[ExperimentSpec],
+    *,
+    name: str = "chaos",
+    workers: int = 0,
+    retries: int = 0,
+    cache: ResultCache | None = None,
+    journal: RunJournal | None = None,
+) -> SurvivalReport:
+    """Run the grid in collect mode and fold results into the report.
+
+    ``retries=0`` by default: every cell is a deterministic function of
+    its spec, so a failure would only repeat (and the executor's
+    classifier fails coherence violations fast regardless).
+    """
+    executor = Executor(
+        workers=workers,
+        retries=retries,
+        on_error="collect",
+        cache=cache,
+        journal=journal,
+    )
+    results = executor.run(SweepSpec(name, tuple(cells)))
+    return SurvivalReport(
+        name=name,
+        cells=tuple(_outcome(result) for result in results),
+    )
+
+
+def _outcome(result: TaskResult) -> CellOutcome:
+    spec = result.spec
+    plan = spec.fault_plan
+    drop_rate = plan.drop_probability if plan is not None else 0.0
+    fault_seed = plan.seed if plan is not None else 0
+    if result.report is not None:
+        return CellOutcome(
+            spec_hash=spec.spec_hash,
+            description=spec.describe(),
+            drop_rate=drop_rate,
+            fault_seed=fault_seed,
+            survived=True,
+            fault_events=result.report.stats.fault_events(),
+            cost_per_reference=result.report.cost_per_reference,
+            error_class=None,
+            error_summary=None,
+        )
+    # Keep only the final exception line: deterministic across runs
+    # (full tracebacks embed absolute paths and line context that have
+    # no place in a byte-compared report).
+    last_line = (
+        (result.error or "").strip().splitlines()[-1]
+        if result.error
+        else None
+    )
+    return CellOutcome(
+        spec_hash=spec.spec_hash,
+        description=spec.describe(),
+        drop_rate=drop_rate,
+        fault_seed=fault_seed,
+        survived=False,
+        fault_events={},
+        cost_per_reference=None,
+        error_class=result.error_class,
+        error_summary=last_line,
+    )

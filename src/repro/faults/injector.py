@@ -1,0 +1,176 @@
+"""Deterministic, seeded fault decisions over one omega network.
+
+One :class:`FaultInjector` is built per :class:`~repro.sim.system.System`
+whose config carries a non-empty :class:`~repro.faults.plan.FaultPlan`.
+It answers two questions:
+
+* **Is this route alive?**  The omega network has exactly one path per
+  ``(source, dest)`` pair, so a dead link or switch on that path makes
+  the pair permanently unreachable -- no rerouting exists.  Liveness is a
+  pure function of the wiring and is memoised.
+* **What happens to this delivery?**  :meth:`draw` consumes exactly
+  three variates from a private ``random.Random(plan.seed)`` per
+  delivery, so the fault schedule is a deterministic function of
+  ``(plan, sequence of protocol sends)`` -- identical whether the
+  network's route-plan memoisation is on or off, which keeps the PR 2
+  cached-vs-cold equivalence proofs intact.
+
+The injector is attached to both the system and the network
+(``network.fault_injector``); :class:`~repro.network.multicast.Multicaster`
+refuses to route over dead paths by raising
+:class:`~repro.errors.UnreachableRouteError` *before* any traffic is
+accounted, and the recovery layer in :mod:`repro.protocol.base` consults
+:meth:`draw` after each successful routing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, NamedTuple
+
+from repro.errors import FaultInjectionError, UnreachableRouteError
+from repro.faults.plan import FaultPlan
+from repro.network.topology import OmegaNetwork
+from repro.types import NodeId
+
+
+class DeliveryOutcome(NamedTuple):
+    """The injector's verdict on one message delivery."""
+
+    dropped: bool
+    duplicated: bool
+    delayed: bool
+
+
+_CLEAN = DeliveryOutcome(False, False, False)
+
+
+class FaultInjector:
+    """Fault decisions for one network under one plan."""
+
+    def __init__(self, network: OmegaNetwork, plan: FaultPlan) -> None:
+        self.network = network
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._validate_geometry()
+        self._dead_links = frozenset(plan.dead_links)
+        self._dead_switches = frozenset(plan.dead_switches)
+        self._has_dead = bool(self._dead_links or self._dead_switches)
+        self._has_probabilistic = (
+            plan.drop_probability > 0.0
+            or plan.duplicate_probability > 0.0
+            or plan.delay_probability > 0.0
+        )
+        #: (source, dest) -> bool, filled lazily; wiring never changes.
+        self._alive: dict[tuple[NodeId, NodeId], bool] = {}
+        #: Deliveries judged so far (observability; not part of results).
+        self.draws = 0
+
+    def _validate_geometry(self) -> None:
+        network = self.network
+        n_ports, n_stages = network.n_ports, network.n_stages
+        for level, position in self.plan.dead_links:
+            if not (0 <= level <= n_stages and 0 <= position < n_ports):
+                raise FaultInjectionError(
+                    f"dead link ({level}, {position}) outside the "
+                    f"{n_ports}-port network (levels 0..{n_stages}, "
+                    f"positions 0..{n_ports - 1})"
+                )
+        for stage, index in self.plan.dead_switches:
+            if not (0 <= stage < n_stages and 0 <= index < n_ports // 2):
+                raise FaultInjectionError(
+                    f"dead switch ({stage}, {index}) outside the "
+                    f"{n_ports}-port network (stages 0..{n_stages - 1}, "
+                    f"indices 0..{n_ports // 2 - 1})"
+                )
+
+    # ------------------------------------------------------------------
+    # Hard failures: route liveness
+    # ------------------------------------------------------------------
+
+    def route_alive(self, source: NodeId, dest: NodeId) -> bool:
+        """Does the unique ``source -> dest`` path avoid dead elements?"""
+        if not self._has_dead:
+            return True
+        key = (source, dest)
+        alive = self._alive.get(key)
+        if alive is None:
+            alive = self._walk_route(source, dest)
+            self._alive[key] = alive
+        return alive
+
+    def _walk_route(self, source: NodeId, dest: NodeId) -> bool:
+        positions = self.network.route_positions(source, dest)
+        for level, position in enumerate(positions):
+            if (level, position) in self._dead_links:
+                return False
+        for stage in range(self.network.n_stages):
+            # The switch a message crosses at stage i sits in front of
+            # the link it occupies at level i+1 (see routing.py).
+            if (stage, positions[stage + 1] // 2) in self._dead_switches:
+                return False
+        return True
+
+    def pair_alive(self, a: NodeId, b: NodeId) -> bool:
+        """Can ``a`` and ``b`` exchange a request *and* its ack?
+
+        Omega routes are not symmetric -- ``a -> b`` and ``b -> a`` use
+        different links -- and the recovery layer needs both directions
+        (data one way, acknowledgement back), so a pair is usable only
+        when both routes are alive.
+        """
+        return self.route_alive(a, b) and self.route_alive(b, a)
+
+    def unreachable_dests(
+        self, source: NodeId, dests: Iterable[NodeId]
+    ) -> tuple[NodeId, ...]:
+        """The destinations ``source`` cannot exchange messages with."""
+        if not self._has_dead:
+            return ()
+        return tuple(
+            dest for dest in sorted(dests) if not self.pair_alive(source, dest)
+        )
+
+    def check_route(self, source: NodeId, dest: NodeId) -> None:
+        """Raise :class:`UnreachableRouteError` if the path is dead.
+
+        Called by the :class:`~repro.network.multicast.Multicaster` entry
+        points before any routing or traffic accounting happens, so a
+        dead path costs nothing and corrupts no counters.
+        """
+        if not self.route_alive(source, dest):
+            raise UnreachableRouteError(
+                f"no live path from port {source} to port {dest}: the "
+                f"unique omega route crosses a dead link or switch",
+                source=source,
+                dest=dest,
+            )
+
+    # ------------------------------------------------------------------
+    # Probabilistic faults: per-delivery outcomes
+    # ------------------------------------------------------------------
+
+    def draw(self) -> DeliveryOutcome:
+        """Judge one delivery.
+
+        Consumes exactly three variates per delivery whenever any
+        probability is non-zero (even for the categories whose own
+        probability is zero), so the variate stream stays aligned across
+        plans that differ only in rates.  A dead-elements-only plan
+        consumes none and is fully deterministic without the RNG.
+        """
+        self.draws += 1
+        if not self._has_probabilistic:
+            return _CLEAN
+        rng = self._rng
+        plan = self.plan
+        dropped = rng.random() < plan.drop_probability
+        duplicated = rng.random() < plan.duplicate_probability
+        delayed = rng.random() < plan.delay_probability
+        return DeliveryOutcome(dropped, duplicated, delayed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultInjector(n_ports={self.network.n_ports}, "
+            f"{self.plan.summary()})"
+        )

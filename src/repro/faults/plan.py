@@ -1,0 +1,165 @@
+"""Frozen, content-hashed fault plans for the injection layer.
+
+A :class:`FaultPlan` is to :class:`~repro.faults.injector.FaultInjector`
+what :class:`~repro.runner.spec.ExperimentSpec` is to the executor: pure
+frozen data, JSON-serialisable both ways, hashed over its canonical JSON
+form.  Two plans hash equal exactly when they inject the same faults, and
+the plan participates in the experiment spec's content hash so a cached
+fault-free result can never be served for a faulty configuration.
+
+The empty plan (all probabilities zero, nothing dead) is special: it is
+normalised away entirely -- ``System`` builds no injector for it, the
+spec serialises without a ``fault_plan`` key, and every result is
+bit-identical to a run that never heard of fault injection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjectionError
+
+#: Bumped if the serialised plan layout ever changes incompatibly.
+PLAN_VERSION = 1
+
+#: Retry budget applied when a plan does not choose its own: enough that
+#: exhaustion needs ``drop_probability ** 17``, i.e. never at sane rates.
+DEFAULT_MAX_RETRIES = 16
+
+_PROBABILITIES = (
+    "drop_probability",
+    "duplicate_probability",
+    "delay_probability",
+)
+
+
+def _canonical_pairs(pairs: object, name: str) -> tuple[tuple[int, int], ...]:
+    """Validate and normalise a dead-element coordinate list.
+
+    Coordinates are sorted and deduplicated so two plans naming the same
+    elements in a different order hash identically.  Geometry (are the
+    coordinates inside the network?) is checked by the injector, which
+    knows the network.
+    """
+    try:
+        canonical = sorted({(int(a), int(b)) for a, b in pairs})  # type: ignore[union-attr]
+    except (TypeError, ValueError) as exc:
+        raise FaultInjectionError(
+            f"{name} must be (level/stage, position) integer pairs, "
+            f"got {pairs!r}"
+        ) from exc
+    return tuple(canonical)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector needs, as frozen data.
+
+    * ``drop_probability`` / ``duplicate_probability`` /
+      ``delay_probability`` -- per-delivery probabilities in ``[0, 1)``
+      (1.0 is rejected: a network that drops everything cannot carry a
+      protocol, and allowing it would only manufacture retry-exhaustion);
+    * ``dead_links`` -- ``(level, position)`` pairs of permanently failed
+      links (level ``0..m``, position ``0..N-1``);
+    * ``dead_switches`` -- ``(stage, index)`` pairs of failed 2x2
+      switches (stage ``0..m-1``, index ``0..N/2-1``);
+    * ``seed`` -- seeds the injector's private RNG; same plan, same seed,
+      same fault schedule, always;
+    * ``max_retries`` -- consecutive re-sends of one message before the
+      recovery layer gives up with
+      :class:`~repro.errors.TransientNetworkError`.
+    """
+
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_probability: float = 0.0
+    dead_links: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    dead_switches: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    seed: int = 0
+    max_retries: int = DEFAULT_MAX_RETRIES
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITIES:
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be in [0, 1), got {value}"
+                )
+        object.__setattr__(
+            self, "dead_links", _canonical_pairs(self.dead_links, "dead_links")
+        )
+        object.__setattr__(
+            self,
+            "dead_switches",
+            _canonical_pairs(self.dead_switches, "dead_switches"),
+        )
+        if self.max_retries < 1:
+            raise FaultInjectionError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when this plan injects nothing at all."""
+        return (
+            self.drop_probability == 0.0
+            and self.duplicate_probability == 0.0
+            and self.delay_probability == 0.0
+            and not self.dead_links
+            and not self.dead_switches
+        )
+
+    @property
+    def plan_hash(self) -> str:
+        """SHA-256 over the canonical JSON form."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()
+
+    def summary(self) -> str:
+        """A short human label for journals and survival reports."""
+        return (
+            f"drop={self.drop_probability:g}"
+            f" dup={self.duplicate_probability:g}"
+            f" delay={self.delay_probability:g}"
+            f" dead_links={len(self.dead_links)}"
+            f" dead_switches={len(self.dead_switches)}"
+            f" seed={self.seed}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "version": PLAN_VERSION,
+            "drop_probability": self.drop_probability,
+            "duplicate_probability": self.duplicate_probability,
+            "delay_probability": self.delay_probability,
+            "dead_links": [list(pair) for pair in self.dead_links],
+            "dead_switches": [list(pair) for pair in self.dead_switches],
+            "seed": self.seed,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        version = data.get("version", PLAN_VERSION)
+        if version != PLAN_VERSION:
+            raise FaultInjectionError(
+                f"fault plan version {version} not supported "
+                f"(this build reads version {PLAN_VERSION})"
+            )
+        return cls(
+            drop_probability=data["drop_probability"],
+            duplicate_probability=data["duplicate_probability"],
+            delay_probability=data["delay_probability"],
+            dead_links=tuple(tuple(pair) for pair in data["dead_links"]),
+            dead_switches=tuple(
+                tuple(pair) for pair in data["dead_switches"]
+            ),
+            seed=data["seed"],
+            max_retries=data["max_retries"],
+        )

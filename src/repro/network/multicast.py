@@ -602,6 +602,14 @@ class Multicaster:
     ``send_payload_one`` entry points carry the two fields the fabric
     actually routes on (source port, payload size) and skip one object
     construction per protocol message -- the protocols' hot path.
+
+    When the network carries a fault injector (``network.fault_injector``
+    is not ``None``), every entry point first checks that the unique
+    omega route to each destination is alive and raises
+    :class:`~repro.errors.UnreachableRouteError` otherwise, *before* any
+    traffic is accounted.  Both the memoised route-plan fast path and the
+    cold re-walk path pass through these same entry points, so they see
+    identical faults.
     """
 
     def __init__(
@@ -620,8 +628,8 @@ class Multicaster:
 
     def send_one(self, message: Message, dest: NodeId) -> MulticastResult:
         """Unicast convenience wrapper with the same result type."""
-        return _payload_unicast_result(
-            self.network, message.source, message.payload_bits, dest, True
+        return self.send_payload_one(
+            message.source, message.payload_bits, dest
         )
 
     def send_payload(
@@ -636,6 +644,10 @@ class Multicaster:
             return MulticastResult(
                 self.scheme, source, dest_set, dest_set, ()
             )
+        injector = self.network.fault_injector
+        if injector is not None:
+            for dest in dest_set:
+                injector.check_route(source, dest)
         if len(dest_set) == 1:
             # A single destination is plain unicast under every scheme.
             (dest,) = dest_set
@@ -655,6 +667,9 @@ class Multicaster:
         self, source: NodeId, payload_bits: int, dest: NodeId
     ) -> MulticastResult:
         """Unicast ``payload_bits`` from ``source`` to ``dest``."""
+        injector = self.network.fault_injector
+        if injector is not None:
+            injector.check_route(source, dest)
         return _payload_unicast_result(
             self.network, source, payload_bits, dest, True
         )

@@ -114,6 +114,13 @@ class OmegaNetwork:
         #: disables memoisation -- every operation re-walks the fabric --
         #: which the perf harness uses as its cold reference path.
         self.route_plans: RoutePlanCache | None = RoutePlanCache()
+        #: Optional :class:`~repro.faults.injector.FaultInjector` attached
+        #: by :class:`~repro.sim.system.System` when its fault plan is
+        #: non-empty.  The :class:`~repro.network.multicast.Multicaster`
+        #: entry points consult it, so the memoised fast path and the
+        #: cold path see the exact same faults.  ``None`` = lossless
+        #: network, zero overhead.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Structure

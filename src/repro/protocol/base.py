@@ -14,8 +14,10 @@ from __future__ import annotations
 import abc
 from typing import NamedTuple
 
+from repro.errors import TransientNetworkError, UnreachableRouteError
 from repro.network.multicast import MulticastResult
 from repro.protocol.messages import MsgKind
+from repro.sim import stats as ev
 from repro.sim.stats import Stats
 from repro.sim.system import System
 from repro.types import Address, BlockId, NodeId
@@ -54,6 +56,12 @@ class CoherenceProtocol(abc.ABC):
         self.system = system
         self.stats = Stats()
         self.message_log: list[LoggedMessage] | None = None
+        #: The block the protocol is currently operating on; maintained by
+        #: fault-aware subclasses so that an
+        #: :class:`~repro.errors.UnreachableRouteError` surfacing from deep
+        #: inside a reference (e.g. while retiring an eviction victim) can
+        #: be attributed to the right block for degradation.
+        self._active_block: BlockId | None = None
 
     def enable_message_log(self) -> None:
         """Start recording every protocol message in ``message_log``.
@@ -98,6 +106,9 @@ class CoherenceProtocol(abc.ABC):
         self, kind: MsgKind, source: NodeId, dest: NodeId, bits: int
     ) -> None:
         """Unicast ``bits`` payload bits from ``source`` to ``dest``."""
+        if self.system.fault_injector is not None:
+            self._send_recovering(kind, source, dest, bits)
+            return
         result = self.system.multicaster.send_payload_one(source, bits, dest)
         self.stats.record_traffic(kind.value, result.cost)
         if self.message_log is not None:
@@ -113,11 +124,160 @@ class CoherenceProtocol(abc.ABC):
     ) -> MulticastResult:
         """One-to-many send using the system's configured scheme."""
         dest_set = dests if type(dests) is frozenset else frozenset(dests)
+        if self.system.fault_injector is not None:
+            return self._multicast_recovering(kind, source, dest_set, bits)
         result = self.system.multicaster.send_payload(source, bits, dest_set)
         self.stats.record_traffic(kind.value, result.cost)
         if self.message_log is not None:
             self._log(kind, source, dest_set, bits, result)
         return result
+
+    # ------------------------------------------------------------------
+    # Fault-aware messaging (only reached when a fault plan is active)
+    # ------------------------------------------------------------------
+    #
+    # The recovery contract (docs/FAULTS.md): every delivery is judged by
+    # the injector; a dropped delivery is detected by ack timeout and the
+    # message re-sent (each attempt pays its network cost), bounded by
+    # the plan's retry budget; a successful delivery is confirmed by an
+    # ack whose cost is also accounted.  A dead route -- the unique omega
+    # path crossing a failed link or switch, in either direction, since
+    # the ack must travel back -- cannot be retried around, so it raises
+    # UnreachableRouteError tagged with the block being operated on;
+    # protocols catch it at the reference level and degrade that block.
+    # Recovery-control traffic (the acks) is assumed fault-free: re-acking
+    # acks would recurse without changing what the protocol can observe.
+
+    def _dead_route(
+        self, source: NodeId, dest: NodeId
+    ) -> UnreachableRouteError:
+        self.stats.count(ev.FAULT_DEAD_ROUTES)
+        return UnreachableRouteError(
+            f"no live round trip between port {source} and port {dest}",
+            source=source,
+            dest=dest,
+            block=self._active_block,
+        )
+
+    def _send_recovering(
+        self, kind: MsgKind, source: NodeId, dest: NodeId, bits: int
+    ) -> None:
+        injector = self.system.fault_injector
+        if not injector.pair_alive(source, dest):
+            raise self._dead_route(source, dest)
+        multicaster = self.system.multicaster
+        stats = self.stats
+        ack_bits = self.system.costs.ack()
+        attempt = 0
+        while True:
+            result = multicaster.send_payload_one(source, bits, dest)
+            stats.record_traffic(kind.value, result.cost)
+            if self.message_log is not None:
+                self._log(kind, source, result.requested, bits, result)
+            outcome = injector.draw()
+            if outcome.duplicated:
+                # The fabric delivered a second copy; its traffic is real.
+                dup = multicaster.send_payload_one(source, bits, dest)
+                stats.record_traffic(kind.value, dup.cost)
+                stats.count(ev.FAULT_DUPLICATES)
+            if outcome.delayed:
+                stats.count(ev.FAULT_DELAYS)
+            if not outcome.dropped:
+                ack = multicaster.send_payload_one(dest, ack_bits, source)
+                stats.record_traffic(MsgKind.ACK.value, ack.cost)
+                return
+            stats.count(ev.FAULT_DROPS)
+            attempt += 1
+            if attempt > injector.plan.max_retries:
+                raise TransientNetworkError(
+                    f"{kind.value} from {source} to {dest} dropped "
+                    f"{attempt} times; retry budget "
+                    f"({injector.plan.max_retries}) exhausted"
+                )
+            stats.count(ev.FAULT_RETRIES)
+
+    def _multicast_recovering(
+        self,
+        kind: MsgKind,
+        source: NodeId,
+        dest_set: frozenset[NodeId],
+        bits: int,
+    ) -> MulticastResult:
+        injector = self.system.fault_injector
+        if not dest_set:
+            return self.system.multicaster.send_payload(source, bits, dest_set)
+        for dest in sorted(dest_set):
+            if not injector.pair_alive(source, dest):
+                raise self._dead_route(source, dest)
+        multicaster = self.system.multicaster
+        stats = self.stats
+        ack_bits = self.system.costs.ack()
+        result = multicaster.send_payload(source, bits, dest_set)
+        stats.record_traffic(kind.value, result.cost)
+        if self.message_log is not None:
+            self._log(kind, source, dest_set, bits, result)
+        pending: tuple[NodeId, ...] = tuple(sorted(dest_set))
+        rounds = 0
+        while True:
+            missed: list[NodeId] = []
+            # Per-destination verdicts in sorted order, so the variate
+            # stream is a function of the destination *set*, never of
+            # set-iteration order.
+            for dest in pending:
+                outcome = injector.draw()
+                if outcome.duplicated:
+                    dup = multicaster.send_payload_one(source, bits, dest)
+                    stats.record_traffic(kind.value, dup.cost)
+                    stats.count(ev.FAULT_DUPLICATES)
+                if outcome.delayed:
+                    stats.count(ev.FAULT_DELAYS)
+                if outcome.dropped:
+                    stats.count(ev.FAULT_DROPS)
+                    missed.append(dest)
+                else:
+                    ack = multicaster.send_payload_one(
+                        dest, ack_bits, source
+                    )
+                    stats.record_traffic(MsgKind.ACK.value, ack.cost)
+            if not missed:
+                return result
+            rounds += 1
+            if rounds > injector.plan.max_retries:
+                raise TransientNetworkError(
+                    f"{kind.value} multicast from {source} to "
+                    f"{sorted(dest_set)} still undelivered at "
+                    f"{sorted(missed)} after {rounds} rounds; retry "
+                    f"budget ({injector.plan.max_retries}) exhausted"
+                )
+            stats.count(ev.FAULT_RETRIES)
+            # Re-send only to the destinations that missed the update.
+            resend = multicaster.send_payload(
+                source, bits, frozenset(missed)
+            )
+            stats.record_traffic(kind.value, resend.cost)
+            pending = tuple(missed)
+
+    def _send_unguarded(
+        self, kind: MsgKind, source: NodeId, dest: NodeId, bits: int
+    ) -> None:
+        """Best-effort accounting send for degraded-mode operation.
+
+        Used on paths that must never raise (write-backs during
+        degradation, memory-direct service of uncacheable blocks): if the
+        round trip is alive the cost is accounted normally, otherwise the
+        attempt is only counted.  No delivery verdict is drawn -- the
+        data moves by direct state manipulation as everywhere else in the
+        atomic-reference model, and degraded-mode accounting stays a
+        deterministic function of the reference stream.
+        """
+        injector = self.system.fault_injector
+        if injector is not None and not injector.pair_alive(source, dest):
+            self.stats.count(ev.FAULT_UNROUTABLE)
+            return
+        result = self.system.multicaster.send_payload_one(source, bits, dest)
+        self.stats.record_traffic(kind.value, result.cost)
+        if self.message_log is not None:
+            self._log(kind, source, result.requested, bits, result)
 
     # ------------------------------------------------------------------
     # Common structure

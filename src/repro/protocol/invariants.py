@@ -37,8 +37,21 @@ if TYPE_CHECKING:  # pragma: no cover - import for typing only
     from repro.protocol.stenstrom import StenstromProtocol
 
 
-def _fail(message: str) -> None:
-    raise CoherenceError(message)
+def _fail(
+    block: BlockId, node: NodeId | None, mode: Mode | None, detail: str
+) -> None:
+    """Raise with the uniform context prefix.
+
+    Every violation message names the block, the cache the violation was
+    observed at (the owner when no single cache is more specific), and
+    the block's operating mode (``none`` when no owner exists to define
+    one), so a failure deep inside a long trace is actionable on its own.
+    """
+    mode_name = mode.name if mode is not None else "none"
+    node_name = node if node is not None else "none"
+    raise CoherenceError(
+        f"block {block} (node {node_name}, mode {mode_name}): {detail}"
+    )
 
 
 def _blocks_in_play(protocol: "StenstromProtocol") -> set[BlockId]:
@@ -74,29 +87,42 @@ def _check_block(protocol: "StenstromProtocol", block: BlockId) -> None:
         else:
             placeholder_holders.append(cache.node_id)
 
+    # The mode is defined by the (first) owner's DW bit; before an owner
+    # is identified the block has no mode and _fail reports "none".
+    mode: Mode | None = None
+    if owners:
+        first = system.caches[owners[0]].find(block)
+        assert first is not None
+        mode = first.state_field.mode
+
     # 1. Single owner.
     if len(owners) > 1:
-        _fail(f"block {block} owned by several caches: {owners}")
+        _fail(
+            block, owners[0], mode,
+            f"owned by several caches: {owners}",
+        )
 
     # 2. Block store accuracy.
     recorded = system.memory_for(block).block_store.owner_of(block)
     if owners:
         if recorded != owners[0]:
             _fail(
-                f"block {block}: block store says owner {recorded}, "
-                f"caches say {owners[0]}"
+                block, owners[0], mode,
+                f"block store says owner {recorded}, "
+                f"caches say {owners[0]}",
             )
     else:
         if recorded is not None:
             _fail(
-                f"block {block}: block store names owner {recorded} "
-                f"but no cache owns it"
+                block, recorded, mode,
+                f"block store names owner {recorded} "
+                f"but no cache owns it",
             )
         # 6. No orphan copies without an owner.
         if valid_holders:
             _fail(
-                f"block {block}: valid copies at {valid_holders} "
-                f"with no owner"
+                block, valid_holders[0], mode,
+                f"valid copies at {valid_holders} with no owner",
             )
         return
 
@@ -108,49 +134,54 @@ def _check_block(protocol: "StenstromProtocol", block: BlockId) -> None:
     # 3. Owner in its own vector.
     if owner not in field.present:
         _fail(
-            f"block {block}: owner {owner} missing from its present "
-            f"vector {sorted(field.present)}"
+            block, owner, mode,
+            f"owner {owner} missing from its present vector "
+            f"{sorted(field.present)}",
         )
 
     if field.mode is Mode.DISTRIBUTED_WRITE:
         # 4. DW vector = valid copies, data coherent.
         if field.present != set(valid_holders):
             _fail(
-                f"block {block} (DW): present vector "
-                f"{sorted(field.present)} != valid copies "
-                f"{sorted(valid_holders)}"
+                block, owner, mode,
+                f"present vector {sorted(field.present)} != valid "
+                f"copies {sorted(valid_holders)}",
             )
         for holder in valid_holders:
             copy = system.caches[holder].find(block)
             assert copy is not None
             if copy.data != entry.data:
                 _fail(
-                    f"block {block} (DW): cache {holder} holds "
-                    f"{copy.data}, owner holds {entry.data}"
+                    block, holder, mode,
+                    f"cache {holder} holds {copy.data}, "
+                    f"owner holds {entry.data}",
                 )
     else:
         # 5. GR: only the owner's copy is valid; vector members other than
         # the owner are placeholders pointing at the owner.
         if valid_holders != [owner]:
             _fail(
-                f"block {block} (GR): valid copies at "
-                f"{sorted(valid_holders)}, expected only owner {owner}"
+                block, owner, mode,
+                f"valid copies at {sorted(valid_holders)}, "
+                f"expected only owner {owner}",
             )
-        for member in field.present - {owner}:
+        for member in sorted(field.present - {owner}):
             member_entry = system.caches[member].find(block)
             if member_entry is None:
                 _fail(
-                    f"block {block} (GR): present vector names cache "
-                    f"{member}, which has no entry"
+                    block, member, mode,
+                    f"present vector names cache {member}, "
+                    f"which has no entry",
                 )
                 return
             if member_entry.state_field.valid:
                 _fail(
-                    f"block {block} (GR): present vector member {member} "
-                    f"holds a valid copy"
+                    block, member, mode,
+                    f"present vector member {member} holds a valid copy",
                 )
             if member_entry.state_field.owner != owner:
                 _fail(
-                    f"block {block} (GR): placeholder at {member} points "
-                    f"at {member_entry.state_field.owner}, owner is {owner}"
+                    block, member, mode,
+                    f"placeholder at {member} points at "
+                    f"{member_entry.state_field.owner}, owner is {owner}",
                 )

@@ -39,7 +39,11 @@ from __future__ import annotations
 from repro.cache.cache import Cache
 from repro.cache.entry import CacheEntry
 from repro.cache.state import CacheState, Mode, StateField
-from repro.errors import ProtocolError
+from repro.errors import (
+    FaultInjectionError,
+    ProtocolError,
+    UnreachableRouteError,
+)
 from repro.protocol.base import CoherenceProtocol
 from repro.protocol.invariants import check_stenstrom
 from repro.protocol.messages import MsgKind
@@ -79,6 +83,10 @@ class StenstromProtocol(CoherenceProtocol):
         super().__init__(system)
         self.default_mode = default_mode
         self.mode_policy = mode_policy
+        #: Blocks degraded to memory-direct service after a dead route
+        #: made their owner (or a sharer) unreachable.  Only ever grows;
+        #: empty for the lifetime of a fault-free system.
+        self._uncacheable: set[BlockId] = set()
 
     # ------------------------------------------------------------------
     # Small accessors
@@ -122,7 +130,19 @@ class StenstromProtocol(CoherenceProtocol):
         """§2.2 items 1 and 2."""
         self.system.check_address(address)
         self.stats.count(ev.READS)
+        if self.system.fault_injector is None:
+            return self._read_body(node, address)
+        while True:
+            try:
+                return self._read_body(node, address)
+            except UnreachableRouteError as exc:
+                self._recover_dead_route(exc, address)
+
+    def _read_body(self, node: NodeId, address: Address) -> int:
         block, offset = address
+        if block in self._uncacheable:
+            return self._memory_direct_read(node, address)
+        self._active_block = block
         entry = self._cache(node).find(block)
         if entry is not None and entry.state_field.valid:
             self.stats.count(ev.READ_HITS)
@@ -142,7 +162,24 @@ class StenstromProtocol(CoherenceProtocol):
         """§2.2 items 3 and 4."""
         self.system.check_address(address)
         self.stats.count(ev.WRITES)
+        if self.system.fault_injector is None:
+            self._write_body(node, address, value)
+            return
+        while True:
+            try:
+                self._write_body(node, address, value)
+                return
+            except UnreachableRouteError as exc:
+                self._recover_dead_route(exc, address)
+
+    def _write_body(
+        self, node: NodeId, address: Address, value: int
+    ) -> None:
         block, offset = address
+        if block in self._uncacheable:
+            self._memory_direct_write(node, address, value)
+            return
+        self._active_block = block
         entry = self._cache(node).find(block)
         if entry is not None and entry.state_field.valid:
             self.stats.count(ev.WRITE_HITS)
@@ -158,11 +195,106 @@ class StenstromProtocol(CoherenceProtocol):
         self._consult_mode_policy(node, block, Op.WRITE)
 
     # ------------------------------------------------------------------
+    # Graceful degradation under dead routes (fault injection only)
+    # ------------------------------------------------------------------
+    #
+    # A dead link or switch makes some (source, dest) pairs permanently
+    # unreachable -- the omega network has exactly one path per pair.  The
+    # protocol cannot keep distributed state for a block whose sharers can
+    # no longer all talk, so it retreats to the one agent every port can
+    # still be served by deterministically: home memory.  Degrading a
+    # block writes back the freshest copy, purges every cache entry and
+    # the block-store record, and marks the block uncacheable; from then
+    # on reads and writes are served memory-direct (the no-cache idiom).
+    # All six structural invariants hold trivially for a degraded block
+    # (no copies, no owner), and the shadow-memory value check holds
+    # because the freshest data reached memory before the purge.
+
+    @property
+    def uncacheable_blocks(self) -> frozenset[BlockId]:
+        """Blocks degraded to memory-direct service (empty without faults)."""
+        return frozenset(self._uncacheable)
+
+    def _recover_dead_route(
+        self, exc: UnreachableRouteError, address: Address
+    ) -> None:
+        """Reference-level recovery: degrade the block that hit the fault."""
+        block = exc.block if exc.block is not None else address.block
+        if block in self._uncacheable:
+            # Degraded blocks never route through the recovering send
+            # paths, so reaching this means recovery is not making
+            # progress; refuse to loop forever.
+            raise FaultInjectionError(
+                f"recovery loop: block {block} hit a dead route after "
+                f"it was already degraded"
+            ) from exc
+        self._degrade_block(block)
+
+    def _degrade_block(self, block: BlockId) -> None:
+        system = self.system
+        memory = system.memory_for(block)
+        home = self.home(block)
+        # Write back the freshest data first.  At every point a dead
+        # route can surface, at most one cache holds a valid modified
+        # entry (the owner, possibly mid-transfer), and in DW mode all
+        # valid copies are identical -- so the first modified entry in
+        # node order is the freshest copy, deterministically.
+        for cache in system.caches:
+            entry = cache.find(block)
+            if (
+                entry is not None
+                and entry.state_field.valid
+                and entry.state_field.modified
+            ):
+                self._send_unguarded(
+                    MsgKind.WRITEBACK,
+                    cache.node_id,
+                    home,
+                    system.costs.block_data(self._block_words()),
+                )
+                memory.write_block(block, list(entry.data))
+                self.stats.count(ev.WRITEBACKS)
+                break
+        for cache in system.caches:
+            if cache.find(block) is not None:
+                cache.drop(block)
+        memory.block_store.clear(block)
+        self._uncacheable.add(block)
+        self.stats.count(ev.FAULT_DEGRADED_BLOCKS)
+
+    def _memory_direct_read(self, node: NodeId, address: Address) -> int:
+        """Serve a degraded block like the no-cache baseline would."""
+        block, offset = address
+        home = self.home(block)
+        costs = self.system.costs
+        self.stats.count(ev.FAULT_DIRECT_READS)
+        self._send_unguarded(MsgKind.MEM_READ, node, home, costs.request())
+        self._send_unguarded(
+            MsgKind.WORD_REPLY, home, node, costs.word_data()
+        )
+        return self.system.memory_for(block).read_word(block, offset)
+
+    def _memory_direct_write(
+        self, node: NodeId, address: Address, value: int
+    ) -> None:
+        block, offset = address
+        home = self.home(block)
+        self.stats.count(ev.FAULT_DIRECT_WRITES)
+        self._send_unguarded(
+            MsgKind.MEM_WRITE, node, home, self.system.costs.word_data()
+        )
+        self.system.memory_for(block).write_word(block, offset, value)
+
+    # ------------------------------------------------------------------
     # Mode switching (items 6 and 7)
     # ------------------------------------------------------------------
 
     def set_mode(self, node: NodeId, block: BlockId, mode: Mode) -> None:
         """Switch ``block`` to ``mode``, acquiring ownership first."""
+        if block in self._uncacheable:
+            # A degraded block has no owner and no modes; the request is
+            # meaningless and must not re-cache the block.
+            return
         entry = self._ensure_owner(node, block)
         field = entry.state_field
         if mode is Mode.DISTRIBUTED_WRITE and not field.distributed_write:
@@ -570,13 +702,20 @@ class StenstromProtocol(CoherenceProtocol):
         block = entry.tag
         assert block is not None
         self.stats.count(ev.REPLACEMENTS)
-        state = entry.state(node)
-        if state in (CacheState.INVALID, CacheState.UNOWNED):
-            self._replace_unowned(node, block)
-        elif state.is_exclusive:
-            self._replace_exclusive_owner(node, entry)
-        else:
-            self._replace_nonexclusive_owner(node, entry)
+        # A dead route hit while retiring the victim must degrade the
+        # *victim's* block, not the block being allocated for.
+        outer_block = self._active_block
+        self._active_block = block
+        try:
+            state = entry.state(node)
+            if state in (CacheState.INVALID, CacheState.UNOWNED):
+                self._replace_unowned(node, block)
+            elif state.is_exclusive:
+                self._replace_exclusive_owner(node, entry)
+            else:
+                self._replace_nonexclusive_owner(node, entry)
+        finally:
+            self._active_block = outer_block
         # The protocol actions are complete; whatever remains in the slot
         # is dead state awaiting overwrite (or drop).
         entry.state_field = StateField()

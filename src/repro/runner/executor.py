@@ -17,10 +17,25 @@ Robustness knobs:
 * ``retries`` -- how many *additional* attempts a cell gets after a
   worker crash, raised exception, or timeout, before the whole run fails
   with :class:`~repro.errors.ExecutionError`;
+* ``backoff`` -- base delay before a retry, doubled per attempt
+  (``backoff * 2**(attempt-1)``): a deterministic schedule derived from
+  the attempt number alone, never from the clock, recorded per retry in
+  the journal;
+* ``on_error`` -- ``"raise"`` (default) aborts the run when a cell
+  exhausts its budget; ``"collect"`` records the failure as a
+  :class:`TaskResult` with ``report=None`` and keeps going, which is how
+  chaos campaigns turn failures into survival-report rows;
 * ``cache`` -- a :class:`~repro.runner.cache.ResultCache`; hits skip
   execution entirely and are journaled as ``task_cached``;
 * ``journal`` -- a :class:`~repro.runner.journal.RunJournal` receiving
-  start/finish/retry/failure events with wall time and traffic counters.
+  start/finish/retry/failure events with wall time, traffic counters,
+  and the error class of every failed attempt.
+
+Errors are *classified before retrying*: an exception whose type says
+the outcome is a pure function of the spec -- a bad configuration, a
+coherence violation, a malformed trace -- will fail identically on every
+attempt, so the executor fails fast instead of burning the retry budget
+(see :data:`PERMANENT_ERROR_CLASSES`).
 """
 
 from __future__ import annotations
@@ -43,6 +58,20 @@ from repro.sim.system import System
 #: between bookkeeping passes (timeout checks, launches).
 _POLL_SECONDS = 0.05
 
+#: Exception class names whose failure is a deterministic function of the
+#: spec: retrying re-runs the same pure function on the same input, so
+#: these fail fast regardless of the retry budget.  Classes not listed
+#: here (worker crashes, timeouts, MemoryError, ...) stay retryable.
+PERMANENT_ERROR_CLASSES = frozenset(
+    {
+        "ConfigurationError",
+        "CoherenceError",
+        "TraceError",
+        "ProtocolError",
+        "FaultInjectionError",
+    }
+)
+
 
 def execute_spec(spec: ExperimentSpec) -> SimulationReport:
     """Run one cell in-process: build the machine, the trace, measure.
@@ -59,7 +88,9 @@ def execute_spec(spec: ExperimentSpec) -> SimulationReport:
             f"unknown protocol {spec.protocol!r}; "
             f"expected one of {sorted(factories)}"
         )
-    protocol = factories[spec.protocol](System(spec.config))
+    protocol = factories[spec.protocol](
+        System(spec.config, fault_plan=spec.fault_plan)
+    )
     references = spec.workload.build().references
     if spec.warmup:
         run_trace(
@@ -83,9 +114,17 @@ def _worker_main(spec_dict: dict, task_fn, conn) -> None:
         fn = execute_spec if task_fn is None else task_fn
         report = fn(spec)
         conn.send(("ok", report.to_dict()))
-    except BaseException:
+    except BaseException as exc:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send(
+                (
+                    "error",
+                    {
+                        "class": type(exc).__name__,
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
         except Exception:  # parent gone; nothing left to report to
             pass
     finally:
@@ -94,17 +133,26 @@ def _worker_main(spec_dict: dict, task_fn, conn) -> None:
 
 @dataclass(frozen=True)
 class TaskResult:
-    """One executed (or cache-served) cell.
+    """One executed (or cache-served, or collected-failed) cell.
 
     ``attempts`` counts executions actually performed (0 for a cache
     hit); ``wall_time`` is the successful attempt's duration in seconds.
+    Under ``on_error="collect"`` a cell that exhausted its budget comes
+    back with ``report=None`` and the last failure's class and text in
+    ``error_class`` / ``error``.
     """
 
     spec: ExperimentSpec
-    report: SimulationReport
+    report: SimulationReport | None
     cached: bool
     attempts: int
     wall_time: float
+    error: str | None = None
+    error_class: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.report is None
 
 
 class _Running:
@@ -133,6 +181,8 @@ class Executor:
         workers: int = 0,
         timeout: float | None = None,
         retries: int = 1,
+        backoff: float = 0.0,
+        on_error: str = "raise",
         cache: ResultCache | None = None,
         journal: RunJournal | None = None,
         task_fn: Callable[[ExperimentSpec], SimulationReport] | None = None,
@@ -149,15 +199,42 @@ class Executor:
             raise ConfigurationError(
                 f"retries must be >= 0, got {retries}"
             )
+        if backoff < 0:
+            raise ConfigurationError(
+                f"backoff must be >= 0, got {backoff}"
+            )
+        if on_error not in ("raise", "collect"):
+            raise ConfigurationError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}"
+            )
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
+        self.backoff = backoff
+        self.on_error = on_error
         self.cache = cache
         self.journal = journal if journal is not None else RunJournal()
         # Testing hook: replaces execute_spec as the task body.  Under the
         # fork start method any callable works; under spawn it must be an
         # importable module-level function.
         self._task_fn = task_fn
+
+    def _backoff_for(self, attempt: int) -> float:
+        """Delay before re-running a cell that just failed ``attempt``.
+
+        A pure function of the attempt number (exponential doubling from
+        ``backoff``), so the retry schedule is reproducible and
+        journalable -- no clock reads, no jitter.
+        """
+        if self.backoff == 0.0:
+            return 0.0
+        return self.backoff * (2 ** (attempt - 1))
+
+    def _give_up(self, error_class: str | None, attempt: int) -> bool:
+        """Classify before retrying: permanent errors never retry."""
+        if error_class in PERMANENT_ERROR_CLASSES:
+            return True
+        return attempt > self.retries
 
     # ------------------------------------------------------------------
 
@@ -167,9 +244,11 @@ class Executor:
         """Execute every cell; results come back in cell order.
 
         Cache hits never reach a worker.  A cell that exhausts
-        ``retries`` aborts the run with
-        :class:`~repro.errors.ExecutionError` (remaining workers are
-        terminated first).
+        ``retries`` (or fails with a permanent error class) aborts the
+        run with :class:`~repro.errors.ExecutionError` (remaining
+        workers are terminated first) -- unless ``on_error="collect"``,
+        in which case the failure becomes a ``TaskResult`` with
+        ``report=None`` and the run continues.
         """
         if isinstance(sweep, SweepSpec):
             name, cells = sweep.name, list(sweep.cells)
@@ -216,11 +295,22 @@ class Executor:
                 t0 = time.perf_counter()
                 try:
                     report = fn(spec)
-                except Exception:
+                except Exception as exc:
                     error = traceback.format_exc()
-                    if attempt > self.retries:
-                        self._fail(spec, attempt, error)
-                    self.journal.task_retry(spec, attempt, error)
+                    error_class = type(exc).__name__
+                    if self._give_up(error_class, attempt):
+                        self._fail(
+                            results, index, spec, attempt, error,
+                            error_class,
+                        )
+                        break
+                    delay = self._backoff_for(attempt)
+                    self.journal.task_retry(
+                        spec, attempt, error,
+                        error_class=error_class, backoff=delay,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
                     continue
                 self._finish(
                     results, index, spec, attempt,
@@ -238,20 +328,46 @@ class Executor:
             "fork" if "fork" in methods else "spawn"
         )
         queue = list(pending)  # (index, spec); retries carry attempt no.
-        retry_queue: list[tuple[int, ExperimentSpec, int]] = []
+        # Retries wait out their backoff in this queue as
+        # (ready_at, index, spec, attempt); ready ones launch first.
+        retry_queue: list[tuple[float, int, ExperimentSpec, int]] = []
         running: list[_Running] = []
         try:
             while queue or retry_queue or running:
-                while (queue or retry_queue) and len(running) < self.workers:
-                    if retry_queue:
-                        index, spec, attempt = retry_queue.pop(0)
-                    else:
+                while len(running) < self.workers:
+                    now = time.perf_counter()
+                    ready = next(
+                        (
+                            item for item in retry_queue
+                            if item[0] <= now
+                        ),
+                        None,
+                    )
+                    if ready is not None:
+                        retry_queue.remove(ready)
+                        _, index, spec, attempt = ready
+                    elif queue:
                         index, spec = queue.pop(0)
                         attempt = 1
+                    else:
+                        break
                     running.append(
                         self._launch(context, index, spec, attempt)
                     )
-                self._reap(running, retry_queue, results)
+                if running:
+                    self._reap(running, retry_queue, results)
+                elif retry_queue:
+                    # Only backoffs in flight: wait for the earliest.
+                    time.sleep(
+                        min(
+                            _POLL_SECONDS,
+                            max(
+                                0.0,
+                                min(item[0] for item in retry_queue)
+                                - time.perf_counter(),
+                            ),
+                        )
+                    )
         except BaseException:
             self._terminate_all(running)
             raise
@@ -279,24 +395,38 @@ class Executor:
             )
         now = time.perf_counter()
         for task in list(running):
-            outcome = None  # ("ok", report) | ("error", text) | None
+            outcome = None  # ("ok", report) | ("error", payload) | None
             if task.conn.poll():
                 try:
                     outcome = task.conn.recv()
                 except EOFError:  # died between send and close
-                    outcome = ("error", "worker closed the pipe early")
+                    outcome = (
+                        "error",
+                        {
+                            "class": "WorkerCrash",
+                            "traceback": "worker closed the pipe early",
+                        },
+                    )
             elif self.timeout is not None and (
                 now - task.started > self.timeout
             ):
                 outcome = (
                     "error",
-                    f"timed out after {self.timeout:g} s",
+                    {
+                        "class": "Timeout",
+                        "traceback": f"timed out after {self.timeout:g} s",
+                    },
                 )
             elif not task.process.is_alive():
                 outcome = (
                     "error",
-                    f"worker exited with code "
-                    f"{task.process.exitcode} before reporting",
+                    {
+                        "class": "WorkerCrash",
+                        "traceback": (
+                            f"worker exited with code "
+                            f"{task.process.exitcode} before reporting"
+                        ),
+                    },
                 )
             if outcome is None:
                 continue
@@ -311,12 +441,23 @@ class Executor:
                     SimulationReport.from_dict(payload),
                 )
             else:
-                if task.attempt > self.retries:
-                    self._terminate_all(running)
-                    self._fail(task.spec, task.attempt, payload)
-                self.journal.task_retry(task.spec, task.attempt, payload)
+                error = payload["traceback"]
+                error_class = payload["class"]
+                if self._give_up(error_class, task.attempt):
+                    if self.on_error == "raise":
+                        self._terminate_all(running)
+                    self._fail(
+                        results, task.index, task.spec, task.attempt,
+                        error, error_class,
+                    )
+                    continue
+                delay = self._backoff_for(task.attempt)
+                self.journal.task_retry(
+                    task.spec, task.attempt, error,
+                    error_class=error_class, backoff=delay,
+                )
                 retry_queue.append(
-                    (task.index, task.spec, task.attempt + 1)
+                    (now + delay, task.index, task.spec, task.attempt + 1)
                 )
 
     @staticmethod
@@ -348,9 +489,24 @@ class Executor:
             wall_time=wall_time,
         )
 
-    def _fail(self, spec, attempts, error) -> None:
-        self.journal.task_failed(spec, attempts, error)
+    def _fail(
+        self, results, index, spec, attempts, error, error_class
+    ) -> None:
+        self.journal.task_failed(
+            spec, attempts, error, error_class=error_class
+        )
+        if self.on_error == "collect":
+            results[index] = TaskResult(
+                spec=spec,
+                report=None,
+                cached=False,
+                attempts=attempts,
+                wall_time=0.0,
+                error=error,
+                error_class=error_class,
+            )
+            return
         raise ExecutionError(
             f"task {spec.spec_hash[:12]} ({spec.describe()}) failed "
-            f"after {attempts} attempt(s):\n{error}"
+            f"after {attempts} attempt(s) [{error_class}]:\n{error}"
         )

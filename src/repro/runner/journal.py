@@ -90,17 +90,33 @@ class RunJournal:
             attempt=attempt,
         )
 
-    def task_retry(self, spec, attempt: int, error: str) -> None:
+    def task_retry(
+        self,
+        spec,
+        attempt: int,
+        error: str,
+        *,
+        error_class: str | None = None,
+        backoff: float = 0.0,
+    ) -> None:
         self.record(
             "task_retry",
             task=spec.spec_hash[:_HASH_PREFIX],
             attempt=attempt,
             error=error,
+            error_class=error_class,
+            backoff=backoff,
         )
 
     def task_finish(
         self, spec, attempt: int, wall_time: float, report
     ) -> None:
+        fields: dict = {}
+        # Fault/recovery counters ride along only when faults actually
+        # happened, so fault-free journals keep their exact prior shape.
+        fault_events = report.stats.fault_events()
+        if fault_events:
+            fields["fault_events"] = fault_events
         self.record(
             "task_finish",
             task=spec.spec_hash[:_HASH_PREFIX],
@@ -114,14 +130,23 @@ class RunJournal:
                 else None
             ),
             total_bits=report.network_total_bits,
+            **fields,
         )
 
-    def task_failed(self, spec, attempts: int, error: str) -> None:
+    def task_failed(
+        self,
+        spec,
+        attempts: int,
+        error: str,
+        *,
+        error_class: str | None = None,
+    ) -> None:
         self.record(
             "task_failed",
             task=spec.spec_hash[:_HASH_PREFIX],
             attempts=attempts,
             error=error,
+            error_class=error_class,
         )
 
     def sweep_finish(self, name: str, wall_time: float) -> None:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.network.multicast import MulticastScheme
 from repro.protocol.messages import MessageCosts
 from repro.sim.system import SystemConfig
@@ -214,6 +215,14 @@ class ExperimentSpec:
     only the remaining ``n_references - warmup``.  ``verify`` and
     ``check_invariants_every`` pass straight to
     :func:`repro.sim.engine.run_trace`.
+
+    ``fault_plan`` optionally subjects the cell's network to a
+    :class:`~repro.faults.plan.FaultPlan` (see docs/FAULTS.md).  An empty
+    plan is normalised to ``None`` at construction, and ``None`` is
+    omitted from the serialised form entirely -- so every pre-fault-layer
+    spec hash (including the ``sweep_hash`` metadata baked into committed
+    benchmark exhibits) is unchanged, while any *non*-empty plan changes
+    the hash and can never be served a cached fault-free result.
     """
 
     protocol: str
@@ -222,6 +231,7 @@ class ExperimentSpec:
     warmup: int = 0
     verify: bool = False
     check_invariants_every: int | None = None
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not self.protocol:
@@ -231,6 +241,8 @@ class ExperimentSpec:
                 f"warmup {self.warmup} outside "
                 f"0..{self.workload.n_references}"
             )
+        if self.fault_plan is not None and self.fault_plan.is_empty:
+            object.__setattr__(self, "fault_plan", None)
 
     # ------------------------------------------------------------------
 
@@ -244,14 +256,17 @@ class ExperimentSpec:
     def describe(self) -> str:
         """A short human label for journals and error messages."""
         wl = self.workload
-        return (
+        label = (
             f"{self.protocol} | {wl.kind} w={wl.write_fraction:g} "
             f"n_refs={wl.n_references} seed={wl.seed} "
             f"N={self.config.n_nodes}"
         )
+        if self.fault_plan is not None:
+            label += f" | faults[{self.fault_plan.summary()}]"
+        return label
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "version": SPEC_VERSION,
             "protocol": self.protocol,
             "workload": self.workload.to_dict(),
@@ -260,6 +275,11 @@ class ExperimentSpec:
             "verify": self.verify,
             "check_invariants_every": self.check_invariants_every,
         }
+        if self.fault_plan is not None:
+            # Only serialised when present, so fault-free specs keep the
+            # exact hashes they had before the fault layer existed.
+            data["fault_plan"] = self.fault_plan.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentSpec":
@@ -269,6 +289,7 @@ class ExperimentSpec:
                 f"spec version {version} not supported "
                 f"(this build reads version {SPEC_VERSION})"
             )
+        plan = data.get("fault_plan")
         return cls(
             protocol=data["protocol"],
             workload=WorkloadSpec.from_dict(data["workload"]),
@@ -276,6 +297,7 @@ class ExperimentSpec:
             warmup=data["warmup"],
             verify=data["verify"],
             check_invariants_every=data["check_invariants_every"],
+            fault_plan=FaultPlan.from_dict(plan) if plan else None,
         )
 
 

@@ -37,6 +37,19 @@ MODE_SWITCHES = "mode_switches"
 GLOBAL_READS = "global_reads"  # word reads served remotely by an owner
 REMOTE_WORD_WRITES = "remote_word_writes"  # uncached baseline writes
 
+# Fault-injection and recovery events (see repro.faults / docs/FAULTS.md).
+# All zero on a fault-free run; the ``fault_`` prefix is the contract used
+# by Stats.fault_events and the runner journal.
+FAULT_DROPS = "fault_drops"  # deliveries lost and detected via ack timeout
+FAULT_DUPLICATES = "fault_duplicates"  # deliveries the network repeated
+FAULT_DELAYS = "fault_delays"  # deliveries that arrived late
+FAULT_RETRIES = "fault_retries"  # re-sends triggered by drops
+FAULT_DEAD_ROUTES = "fault_dead_routes"  # sends aborted by a dead path
+FAULT_DEGRADED_BLOCKS = "fault_degraded_blocks"  # blocks forced uncacheable
+FAULT_DIRECT_READS = "fault_direct_reads"  # memory-direct degraded reads
+FAULT_DIRECT_WRITES = "fault_direct_writes"  # memory-direct degraded writes
+FAULT_UNROUTABLE = "fault_unroutable_sends"  # recovery sends with no path
+
 
 class Stats:
     """Counters for one protocol run."""
@@ -83,6 +96,18 @@ class Stats:
         """Mean communication cost per memory reference (the §4 metric)."""
         refs = self.references
         return self.total_bits / refs if refs else 0.0
+
+    def fault_events(self) -> dict[str, int]:
+        """The fault/recovery counters alone, sorted by name.
+
+        Empty on a fault-free run; the runner journal and the chaos
+        survival report both record exactly this subset.
+        """
+        return {
+            name: count
+            for name, count in sorted(self.events.items())
+            if name.startswith("fault_")
+        }
 
     def merge(self, other: "Stats") -> None:
         """Fold another run's counters into this one."""

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.cache.cache import Cache
 from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
 from repro.memory.module import MemoryModule
 from repro.network.multicast import Multicaster, MulticastScheme
 from repro.network.topology import OmegaNetwork
@@ -71,11 +72,29 @@ class System:
     ``send_payload_one`` interface built over this system's network --
     e.g. the §5 register-driven selector
     (:class:`~repro.network.selector.RegisterMulticaster`).
+
+    ``fault_plan`` optionally subjects the network to a
+    :class:`~repro.faults.plan.FaultPlan`: a non-empty plan builds a
+    :class:`~repro.faults.injector.FaultInjector` and attaches it to both
+    the system and the network before the multicaster is created.  An
+    empty (or absent) plan builds nothing -- ``fault_injector`` stays
+    ``None`` and the system is bit-identical to one constructed without
+    the parameter.
     """
 
-    def __init__(self, config: SystemConfig, *, multicaster_factory=None) -> None:
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        multicaster_factory=None,
+        fault_plan=None,
+    ) -> None:
         self.config = config
         self.network = OmegaNetwork(config.n_nodes)
+        self.fault_injector = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            self.fault_injector = FaultInjector(self.network, fault_plan)
+            self.network.fault_injector = self.fault_injector
         if multicaster_factory is None:
             self.multicaster = Multicaster(
                 self.network, config.multicast_scheme

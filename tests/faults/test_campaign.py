@@ -1,0 +1,130 @@
+"""Chaos campaigns and the ``repro chaos`` CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.cli import main
+from repro.faults.campaign import chaos_cells, run_campaign
+from repro.runner import RunJournal
+
+
+def small_cells(**overrides):
+    kwargs = dict(
+        n_nodes=8,
+        n_references=120,
+        drop_rates=(0.0, 0.05),
+        fault_seeds=(0,),
+        dead_links=((1, 1),),
+    )
+    kwargs.update(overrides)
+    return chaos_cells(**kwargs)
+
+
+class TestCells:
+    def test_grid_is_drop_rates_times_fault_seeds(self):
+        cells = small_cells(drop_rates=(0.0, 0.05, 0.1), fault_seeds=(0, 1))
+        assert len(cells) == 6
+        # Every cell verifies every reference.
+        assert all(cell.verify for cell in cells)
+        assert all(cell.check_invariants_every == 1 for cell in cells)
+
+    def test_zero_rate_cell_still_carries_the_dead_link(self):
+        cells = small_cells(drop_rates=(0.0,))
+        assert cells[0].fault_plan is not None
+        assert cells[0].fault_plan.dead_links == ((1, 1),)
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError, match="drop rates"):
+            small_cells(drop_rates=())
+        with pytest.raises(ConfigurationError, match="fault seeds"):
+            small_cells(fault_seeds=())
+
+
+class TestCampaign:
+    def test_survival_report_is_deterministic(self):
+        a = run_campaign(small_cells(), name="t")
+        b = run_campaign(small_cells(), name="t")
+        assert a.survived
+        assert a.to_dict() == b.to_dict()
+
+    def test_parallel_equals_sequential(self):
+        sequential = run_campaign(small_cells(), name="t", workers=0)
+        parallel = run_campaign(small_cells(), name="t", workers=2)
+        assert sequential.to_dict() == parallel.to_dict()
+
+    def test_failed_cell_becomes_row_not_exception(self):
+        # drop=0.9 with a budget of 1 retry exhausts quickly; the
+        # campaign must keep going and report the failure.
+        cells = small_cells(
+            drop_rates=(0.0, 0.9), max_retries=1, dead_links=()
+        )
+        report = run_campaign(cells, name="t")
+        assert not report.survived
+        by_rate = {cell.drop_rate: cell for cell in report.cells}
+        assert by_rate[0.0].survived
+        failed = by_rate[0.9]
+        assert not failed.survived
+        assert failed.error_class == "TransientNetworkError"
+        assert failed.cost_per_reference is None
+
+    def test_fault_events_reach_the_journal(self):
+        journal = RunJournal()
+        run_campaign(small_cells(), name="t", journal=journal)
+        finishes = [
+            event for event in journal.events
+            if event["event"] == "task_finish"
+        ]
+        assert finishes
+        assert any("fault_events" in event for event in finishes)
+        tallied = [
+            event["fault_events"] for event in finishes
+            if "fault_events" in event
+        ]
+        assert any(
+            events.get("fault_degraded_blocks", 0) > 0 for events in tallied
+        )
+
+
+class TestCli:
+    ARGS = [
+        "chaos",
+        "--nodes", "8",
+        "--references", "120",
+        "--drop-rates", "0.0", "0.05",
+        "--kill-link", "1:1",
+    ]
+
+    def test_cli_reports_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = main(self.ARGS + ["--output", str(out)])
+        assert code == 0
+        assert "survived" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["survived"] is True
+        assert len(payload["cells"]) == 2
+
+    def test_cli_output_byte_identical_across_runs(self, tmp_path):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.ARGS + ["--output", str(first)]) == 0
+        assert main(self.ARGS + ["--output", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_cli_exits_nonzero_on_failure(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--nodes", "8",
+                "--references", "120",
+                "--drop-rates", "0.9",
+                "--max-retries", "1",
+            ]
+        )
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_cli_rejects_malformed_kill_pairs(self):
+        with pytest.raises(ConfigurationError, match="--kill-link"):
+            main(self.ARGS[:-2] + ["--kill-link", "banana"])

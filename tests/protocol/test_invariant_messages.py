@@ -1,0 +1,151 @@
+"""Every CoherenceError names the block, the cache, and the mode.
+
+A violation raised deep inside a long chaos trace is only actionable if
+the message itself says *where* -- so for each of the six structural
+invariants this file corrupts a healthy system and asserts the error
+carries the uniform ``block B (node N, mode M)`` context prefix with the
+right values, not just any message.
+"""
+
+import pytest
+
+from repro.cache.state import Mode, StateField
+from repro.errors import CoherenceError
+
+from tests.protocol.conftest import addr, build, field_of
+
+
+def healthy_dw():
+    system, protocol = build()
+    protocol.set_mode(0, 0, Mode.DISTRIBUTED_WRITE)
+    protocol.write(0, addr(0), 10)
+    protocol.read(1, addr(0))
+    protocol.read(2, addr(0))
+    protocol.check_invariants()
+    return system, protocol
+
+
+def healthy_gr():
+    system, protocol = build()
+    protocol.write(0, addr(0), 10)
+    protocol.read(1, addr(0))
+    protocol.check_invariants()
+    return system, protocol
+
+
+def violation(protocol) -> str:
+    with pytest.raises(CoherenceError) as info:
+        protocol.check_invariants()
+    return str(info.value)
+
+
+class TestInvariant1SingleOwner:
+    def test_message_names_block_node_and_mode(self):
+        system, protocol = healthy_dw()
+        cache = system.caches[5]
+        entry = cache.install(cache.slot_for(0), 0)
+        entry.state_field = StateField(
+            valid=True, owned=True, present={5}, owner=5
+        )
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "node 0" in message
+        assert "mode DISTRIBUTED_WRITE" in message
+        assert "owned by several caches" in message
+
+
+class TestInvariant2BlockStoreAccuracy:
+    def test_wrong_owner_message(self):
+        system, protocol = healthy_dw()
+        system.memory_for(0).block_store.set_owner(0, 7)
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "node 0" in message
+        assert "mode DISTRIBUTED_WRITE" in message
+        assert "block store says owner 7" in message
+
+    def test_dangling_entry_names_the_recorded_node_and_no_mode(self):
+        system, protocol = healthy_dw()
+        system.memory_for(5).block_store.set_owner(5, 3)
+        message = violation(protocol)
+        # No cache holds block 5, so no owner defines a mode: the
+        # message must say so rather than invent one.
+        assert "block 5" in message
+        assert "node 3" in message
+        assert "mode none" in message
+        assert "no cache owns it" in message
+
+
+class TestInvariant3OwnerInOwnVector:
+    def test_message_names_the_owner(self):
+        system, protocol = healthy_dw()
+        field_of(system, 0, 0).present.discard(0)
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "node 0" in message
+        assert "mode DISTRIBUTED_WRITE" in message
+        assert "missing from its present vector" in message
+
+
+class TestInvariant4DwVectorAccuracy:
+    def test_vector_mismatch_names_the_owner(self):
+        system, protocol = healthy_dw()
+        field_of(system, 0, 0).present.add(6)
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "node 0" in message
+        assert "mode DISTRIBUTED_WRITE" in message
+        assert "present vector" in message
+
+    def test_divergent_copy_names_the_diverged_holder(self):
+        system, protocol = healthy_dw()
+        entry = system.caches[2].find(0)
+        entry.data = list(entry.data)
+        entry.data[0] = 999
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "node 2" in message  # the holder, not the owner
+        assert "mode DISTRIBUTED_WRITE" in message
+        assert "cache 2 holds" in message
+
+
+class TestInvariant5GrSingleCopy:
+    def test_extra_valid_copy_names_the_owner(self):
+        system, protocol = healthy_gr()
+        # Forge a second valid (unowned) copy next to the owner's.
+        owner = system.memory_for(0).block_store.owner_of(0)
+        forger = (owner + 3) % len(system.caches)
+        cache = system.caches[forger]
+        entry = cache.find(0) or cache.install(cache.slot_for(0), 0)
+        entry.state_field = StateField(
+            valid=True, owned=False, present=set(), owner=owner
+        )
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "mode GLOBAL_READ" in message
+        assert "expected only owner" in message
+
+    def test_placeholder_pointing_elsewhere_names_the_member(self):
+        system, protocol = healthy_gr()
+        owner = system.memory_for(0).block_store.owner_of(0)
+        member = next(
+            m for m in field_of(system, owner, 0).present if m != owner
+        )
+        system.caches[member].find(0).state_field.owner = 7
+        message = violation(protocol)
+        assert "block 0" in message
+        assert f"node {member}" in message
+        assert "mode GLOBAL_READ" in message
+        assert "points at 7" in message
+
+
+class TestInvariant6NoOrphanCopies:
+    def test_orphans_name_the_first_holder_and_no_mode(self):
+        system, protocol = healthy_dw()
+        system.memory_for(0).block_store.clear(0)
+        system.caches[0].drop(0)
+        message = violation(protocol)
+        assert "block 0" in message
+        assert "node 1" in message  # first surviving holder
+        assert "mode none" in message
+        assert "with no owner" in message

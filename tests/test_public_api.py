@@ -8,6 +8,7 @@ PACKAGES = [
     "repro",
     "repro.analysis",
     "repro.cache",
+    "repro.faults",
     "repro.memory",
     "repro.network",
     "repro.protocol",
