@@ -20,7 +20,10 @@ The package provides, from the bottom up:
   run journal);
 * :mod:`repro.faults` -- deterministic fault injection (message drops,
   duplicates, delays, dead links/switches) with protocol-level recovery
-  and chaos campaigns.
+  and chaos campaigns;
+* :mod:`repro.obs` -- structured tracing (virtual-clock trace records,
+  JSONL / Chrome-trace exporters), a metrics registry, and per-link /
+  per-switch utilization heatmaps.
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan
 from repro.memory import BlockStore, MemoryModule
+from repro.obs import MetricsRegistry, TraceRecorder
 from repro.network import (
     Multicaster,
     MulticastScheme,
@@ -101,6 +105,7 @@ __all__ = [
     "LimitedPointerProtocol",
     "MemoryModule",
     "MessageCosts",
+    "MetricsRegistry",
     "Mode",
     "MulticastError",
     "MulticastScheme",
@@ -121,6 +126,7 @@ __all__ = [
     "SystemConfig",
     "Trace",
     "TraceError",
+    "TraceRecorder",
     "TransientNetworkError",
     "UnreachableRouteError",
     "WriteOnceProtocol",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the common uses of the library without writing code:
+Ten commands cover the common uses of the library without writing code:
 
 * ``tables``  -- regenerate the paper's Tables 2, 3 and 4 next to the
   published values;
@@ -19,7 +19,16 @@ Seven commands cover the common uses of the library without writing code:
 * ``chaos``   -- a fault-injection campaign (:mod:`repro.faults`):
   sweep message drop rates (plus optional duplicates, delays and dead
   links/switches) with invariants checked after every reference, and
-  report survival (see docs/FAULTS.md).
+  report survival (see docs/FAULTS.md);
+* ``trace``   -- run one workload with a
+  :class:`~repro.obs.recorder.TraceRecorder` attached and export the
+  JSONL trace, the Perfetto-loadable Chrome trace and the heatmap JSON
+  (see docs/OBSERVABILITY.md);
+* ``heatmap`` -- run one workload and render the per-link / per-switch
+  utilization grids as ASCII (optionally archived as JSON).
+
+``sweep`` and ``chaos`` additionally accept ``--trace-dir`` to export
+per-cell trace artifacts while the grid runs.
 """
 
 from __future__ import annotations
@@ -128,6 +137,13 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--journal",
         help="append task start/finish/retry events to this JSONL file",
+    )
+    sweep.add_argument(
+        "--trace-dir",
+        help=(
+            "export per-cell trace + heatmap artifacts to this directory "
+            "(bypasses the result cache)"
+        ),
     )
 
     perf = commands.add_parser(
@@ -261,6 +277,51 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--output", help="write the survival report as JSON to this path"
+    )
+    chaos.add_argument(
+        "--trace-dir",
+        help=(
+            "export per-cell trace + heatmap artifacts to this directory "
+            "(bypasses the result cache)"
+        ),
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help=(
+            "run one workload with tracing on and export JSONL, Chrome "
+            "trace (Perfetto) and heatmap JSON artifacts"
+        ),
+    )
+    _add_workload_arguments(trace)
+    trace.add_argument(
+        "--protocol",
+        choices=sorted(default_factories()),
+        default="two-mode",
+        help="protocol to drive (default: two-mode)",
+    )
+    trace.add_argument(
+        "--out",
+        default="trace-out",
+        help="directory receiving the artifacts (default: trace-out)",
+    )
+
+    heatmap = commands.add_parser(
+        "heatmap",
+        help=(
+            "run one workload and render per-link / per-switch "
+            "utilization as ASCII stage-by-position grids"
+        ),
+    )
+    _add_workload_arguments(heatmap)
+    heatmap.add_argument(
+        "--protocol",
+        choices=sorted(default_factories()),
+        default="two-mode",
+        help="protocol to drive (default: two-mode)",
+    )
+    heatmap.add_argument(
+        "--json", help="also write all four heatmaps as JSON to this path"
     )
 
     return parser
@@ -446,6 +507,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         journal=journal,
+        trace_dir=args.trace_dir,
     )
     results = executor.run(sweep)
     records = [
@@ -613,6 +675,7 @@ def _command_chaos(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=ResultCache(args.cache_dir) if args.cache_dir else None,
         journal=journal,
+        trace_dir=args.trace_dir,
     )
     print(report.render())
     counts = journal.counts()
@@ -634,6 +697,73 @@ def _command_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        TraceRecorder,
+        write_chrome_trace,
+        write_heatmaps,
+        write_jsonl,
+    )
+
+    trace = _make_trace(args)
+    config = SystemConfig(n_nodes=trace.n_nodes or args.nodes,
+                          block_size_words=trace.block_size_words)
+    factory = default_factories()[args.protocol]
+    protocol = factory(System(config))
+    recorder = TraceRecorder()
+    report = run_trace(
+        protocol, trace, verify=not args.no_verify, recorder=recorder
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    paths = [
+        write_jsonl(recorder, out / "trace.jsonl"),
+        write_chrome_trace(
+            recorder, out / "trace.chrome.json", process_name=args.protocol
+        ),
+        write_heatmaps(protocol.system.network, out / "heatmap.json"),
+    ]
+    print(report.summary())
+    kinds = ", ".join(
+        f"{name}={count}"
+        for name, count in recorder.counts_by_kind().items()
+    )
+    print(f"trace             : {len(recorder)} events ({kinds})")
+    for path in paths:
+        print(f"written           : {path}")
+    print(
+        "open the .chrome.json file at https://ui.perfetto.dev "
+        "(or chrome://tracing)"
+    )
+    return 0
+
+
+def _command_heatmap(args: argparse.Namespace) -> int:
+    from repro.obs import link_heatmap, switch_heatmap, write_heatmaps
+
+    trace = _make_trace(args)
+    config = SystemConfig(n_nodes=trace.n_nodes or args.nodes,
+                          block_size_words=trace.block_size_words)
+    factory = default_factories()[args.protocol]
+    protocol = factory(System(config))
+    run_trace(protocol, trace, verify=not args.no_verify)
+    network = protocol.system.network
+    for grid in (
+        link_heatmap(network, "bits"),
+        link_heatmap(network, "messages"),
+        switch_heatmap(network, "messages"),
+        switch_heatmap(network, "splits"),
+    ):
+        print(grid.render())
+        print()
+    if args.json:
+        path = write_heatmaps(network, args.json)
+        print(f"heatmaps written to {path}")
+    return 0
+
+
 _COMMANDS = {
     "tables": _command_tables,
     "figures": _command_figures,
@@ -643,6 +773,8 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "perf": _command_perf,
     "chaos": _command_chaos,
+    "trace": _command_trace,
+    "heatmap": _command_heatmap,
 }
 
 

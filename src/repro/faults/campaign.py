@@ -185,12 +185,18 @@ def run_campaign(
     retries: int = 0,
     cache: ResultCache | None = None,
     journal: RunJournal | None = None,
+    trace_dir=None,
 ) -> SurvivalReport:
     """Run the grid in collect mode and fold results into the report.
 
     ``retries=0`` by default: every cell is a deterministic function of
     its spec, so a failure would only repeat (and the executor's
     classifier fails coherence violations fast regardless).
+
+    ``trace_dir`` passes through to the :class:`Executor`: every
+    surviving cell exports its trace and heatmap artifacts there (cells
+    that die mid-run export nothing).  The survival report itself is
+    unchanged by tracing.
     """
     executor = Executor(
         workers=workers,
@@ -198,6 +204,7 @@ def run_campaign(
         on_error="collect",
         cache=cache,
         journal=journal,
+        trace_dir=trace_dir,
     )
     results = executor.run(SweepSpec(name, tuple(cells)))
     return SurvivalReport(

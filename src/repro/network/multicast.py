@@ -616,9 +616,17 @@ class Multicaster:
         self,
         network: OmegaNetwork,
         scheme: MulticastScheme = MulticastScheme.COMBINED,
+        *,
+        recorder=None,
     ) -> None:
         self.network = network
         self.scheme = scheme
+        #: Optional :class:`~repro.obs.recorder.TraceRecorder` for
+        #: network-only studies (no protocol in front): every payload
+        #: entry point emits one ``net_send`` event when set.  Protocols
+        #: trace at their own layer instead (``message`` events), so a
+        #: protocol-driven multicaster keeps this ``None``.
+        self.recorder = recorder
 
     def send(
         self, message: Message, dests: Sequence[NodeId] | frozenset[NodeId]
@@ -651,17 +659,20 @@ class Multicaster:
         if len(dest_set) == 1:
             # A single destination is plain unicast under every scheme.
             (dest,) = dest_set
-            return _payload_unicast_result(
+            result = _payload_unicast_result(
                 self.network, source, payload_bits, dest, True
             )
-        scheme = self.scheme
-        if scheme is MulticastScheme.BROADCAST_TAG:
-            return _payload_scheme3(
+        elif self.scheme is MulticastScheme.BROADCAST_TAG:
+            result = _payload_scheme3(
                 self.network, source, payload_bits, dest_set, True, False
             )
-        return _PAYLOAD_DISPATCH[scheme](
-            self.network, source, payload_bits, dest_set, True
-        )
+        else:
+            result = _PAYLOAD_DISPATCH[self.scheme](
+                self.network, source, payload_bits, dest_set, True
+            )
+        if self.recorder is not None:
+            self.recorder.net_send(source, payload_bits, result)
+        return result
 
     def send_payload_one(
         self, source: NodeId, payload_bits: int, dest: NodeId
@@ -670,6 +681,9 @@ class Multicaster:
         injector = self.network.fault_injector
         if injector is not None:
             injector.check_route(source, dest)
-        return _payload_unicast_result(
+        result = _payload_unicast_result(
             self.network, source, payload_bits, dest, True
         )
+        if self.recorder is not None:
+            self.recorder.net_send(source, payload_bits, result)
+        return result

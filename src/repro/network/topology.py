@@ -41,12 +41,42 @@ plans.
 from __future__ import annotations
 
 from array import array
+from typing import NamedTuple
 
 from repro.errors import ConfigurationError
 from repro.network.link import Link
 from repro.network.routeplan import RoutePlan, RoutePlanCache
 from repro.network.switch import Switch
 from repro.types import NodeId, ilog2, is_power_of_two
+
+
+class LinkUtilization(NamedTuple):
+    """Zero-copy view of the per-link counters, row-major by level.
+
+    ``bits[level * n_positions + position]`` is the bit count of the link
+    at ``(level, position)``; likewise ``messages``.  Both are
+    :class:`memoryview`\\ s over the network's live ``array('q')``
+    buffers -- reading tracks ongoing traffic, and nothing is copied.
+    """
+
+    n_levels: int
+    n_positions: int
+    bits: memoryview
+    messages: memoryview
+
+
+class SwitchUtilization(NamedTuple):
+    """Zero-copy view of the per-switch counters, row-major by stage.
+
+    ``messages[stage * n_positions + index]`` is the traversal count of
+    the switch at ``(stage, index)``; ``splits`` counts the traversals
+    where the multicast tree forked inside that switch.
+    """
+
+    n_stages: int
+    n_positions: int
+    messages: memoryview
+    splits: memoryview
 
 
 class OmegaNetwork:
@@ -267,6 +297,34 @@ class OmegaNetwork:
             sum(self._link_bits[level * n : (level + 1) * n])
             for level in range(self.n_stages + 1)
         ]
+
+    def link_utilization(self) -> LinkUtilization:
+        """The per-link counters as a :class:`LinkUtilization` view.
+
+        This is the supported way to read the flat accounting buffers in
+        bulk (heatmaps, exports): it hands out ``memoryview``\\ s, never
+        copies, so calling it on the hot path costs nothing.  Layout is
+        row-major: slot ``level * n_ports + position``.
+        """
+        return LinkUtilization(
+            self.n_stages + 1,
+            self.n_ports,
+            memoryview(self._link_bits),
+            memoryview(self._link_messages),
+        )
+
+    def switch_utilization(self) -> SwitchUtilization:
+        """The per-switch counters as a :class:`SwitchUtilization` view.
+
+        Same contract as :meth:`link_utilization`; layout is row-major
+        with ``n_ports // 2`` switches per stage.
+        """
+        return SwitchUtilization(
+            self.n_stages,
+            self.n_ports // 2,
+            memoryview(self._switch_messages),
+            memoryview(self._switch_splits),
+        )
 
     def busiest_links(self, count: int = 8) -> list[Link]:
         """The ``count`` links that carried the most bits (load imbalance)."""

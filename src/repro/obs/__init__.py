@@ -1,0 +1,60 @@
+"""repro.obs -- structured tracing, metrics and utilization heatmaps.
+
+The observability layer of the reproduction (see docs/OBSERVABILITY.md):
+
+* :mod:`repro.obs.recorder` -- :class:`TraceRecorder`, typed span/event
+  records on a virtual clock, hooked into the protocol, network, fault
+  and simulation layers behind ``recorder=None`` defaults;
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry` (counters,
+  gauges, fixed-bucket histograms) folding into ``Stats.to_dict()`` and
+  the runner journal;
+* :mod:`repro.obs.heatmap` -- per-link / per-switch stage-by-position
+  utilization grids over the network's flat counters;
+* :mod:`repro.obs.export` -- deterministic JSONL and Chrome trace-event
+  (Perfetto-loadable) exporters;
+* :mod:`repro.obs.hooks` -- :func:`attach_recorder` and the traced
+  runner task body behind ``Executor(trace_dir=...)`` and the CLI's
+  ``--trace-dir``.
+
+Everything is seed-deterministic: virtual timestamps, sorted keys,
+fixed bucket bounds -- two same-seed runs export byte-identical files.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    trace_lines,
+    write_chrome_trace,
+    write_heatmaps,
+    write_jsonl,
+)
+from repro.obs.heatmap import (
+    Heatmap,
+    link_heatmap,
+    network_heatmaps,
+    switch_heatmap,
+)
+from repro.obs.hooks import attach_recorder, detach_recorder, execute_spec_traced
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.recorder import TraceEvent, TraceRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Heatmap",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "TraceRecorder",
+    "attach_recorder",
+    "chrome_trace",
+    "detach_recorder",
+    "execute_spec_traced",
+    "link_heatmap",
+    "network_heatmaps",
+    "read_jsonl",
+    "switch_heatmap",
+    "trace_lines",
+    "write_chrome_trace",
+    "write_heatmaps",
+    "write_jsonl",
+]

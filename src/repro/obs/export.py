@@ -1,0 +1,109 @@
+"""Trace exporters: JSONL and Chrome trace-event format.
+
+Both exporters are deterministic: records serialise with sorted keys and
+compact separators, timestamps are the recorder's virtual ticks (never
+the wall clock), and event order is a stable sort by timestamp.  Two
+same-seed runs therefore produce byte-identical files, which is what the
+CI trace-smoke job ``cmp``\\ s.
+
+The Chrome trace-event output follows the documented JSON-array format
+(``{"traceEvents": [...]}``): ``reference`` spans become ``ph: "X"``
+complete events, everything else becomes ``ph: "i"`` instants with
+thread scope, and ticks are reported as microseconds so Perfetto and
+``chrome://tracing`` render them directly (File > Open trace).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: JSON settings shared by every exporter; key order and separators are
+#: part of the on-disk format, not a style choice.
+_JSON_KWARGS = {"sort_keys": True, "separators": (",", ":")}
+
+
+def trace_lines(recorder) -> list[str]:
+    """One compact JSON document per event, in emission order."""
+    return [
+        json.dumps(event.to_dict(), **_JSON_KWARGS)
+        for event in recorder.events
+    ]
+
+
+def write_jsonl(recorder, path) -> Path:
+    """Write the recorder's events as JSONL; returns the path written."""
+    path = Path(path)
+    body = "".join(line + "\n" for line in trace_lines(recorder))
+    path.write_text(body, encoding="utf-8")
+    return path
+
+
+def read_jsonl(path) -> list[dict]:
+    """Parse a JSONL trace back into event dictionaries."""
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def chrome_trace(recorder, *, process_name: str = "repro") -> dict:
+    """The recorder's events as a Chrome trace-event JSON document.
+
+    Events are stably sorted by ``ts`` (spans carry the tick they were
+    *opened* at, so without the sort a long span would appear after the
+    instants it encloses and viewers that require non-decreasing
+    timestamps would reject the file).
+    """
+    trace_events = [
+        {
+            "args": {"name": process_name},
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0,
+        }
+    ]
+    for event in sorted(recorder.events, key=lambda e: e.ts):
+        record = {
+            "args": dict(event.args),
+            "cat": event.kind,
+            "name": event.name,
+            "pid": 1,
+            "tid": event.tid,
+            "ts": event.ts,
+        }
+        if event.kind == "reference":
+            record["ph"] = "X"
+            record["dur"] = event.dur
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+    return {"displayTimeUnit": "ms", "traceEvents": trace_events}
+
+
+def write_chrome_trace(recorder, path, *, process_name: str = "repro") -> Path:
+    """Write a Perfetto-loadable trace file; returns the path written."""
+    path = Path(path)
+    document = chrome_trace(recorder, process_name=process_name)
+    path.write_text(
+        json.dumps(document, **_JSON_KWARGS) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def write_heatmaps(network, path) -> Path:
+    """Write :func:`repro.obs.heatmap.network_heatmaps` JSON to ``path``."""
+    from repro.obs.heatmap import network_heatmaps
+
+    path = Path(path)
+    path.write_text(
+        json.dumps(network_heatmaps(network), **_JSON_KWARGS) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,159 @@
+"""Stage-by-position utilization heatmaps for the omega network.
+
+The network already accounts every bit and message per link and per
+switch in flat ``array('q')`` buffers (see
+:meth:`~repro.network.topology.OmegaNetwork.link_utilization` /
+:meth:`~repro.network.topology.OmegaNetwork.switch_utilization`); this
+module folds those counters into a :class:`Heatmap` -- a dense
+``rows x cols`` integer grid where rows are link levels (or switch
+stages) and columns are positions -- and renders it either as
+deterministic JSON (:meth:`Heatmap.to_dict`, sorted keys, pure
+integers) or as an ASCII grid (:meth:`Heatmap.render`) for terminals.
+
+The ASCII rendering scales each cell against the grid maximum into a
+fixed intensity ramp, so it is deterministic too: same counters, same
+characters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Intensity ramp for ASCII cells, blank (zero) to ``@`` (grid maximum).
+INTENSITY = " .:-=+*#%@"
+
+#: metric name -> (utilization field, heatmap kind, row label)
+_LINK_METRICS = {"bits": "bits", "messages": "messages"}
+_SWITCH_METRICS = {"messages": "messages", "splits": "splits"}
+
+
+class Heatmap:
+    """A dense grid of utilization counters with labelled axes.
+
+    ``rows[r][c]`` is the counter value at row ``r`` (link level or
+    switch stage, top to bottom in network order) and column ``c``
+    (position).  Construct via :func:`link_heatmap` /
+    :func:`switch_heatmap` rather than directly.
+    """
+
+    __slots__ = ("kind", "metric", "row_label", "rows")
+
+    def __init__(
+        self, kind: str, metric: str, row_label: str, rows: list[list[int]]
+    ) -> None:
+        self.kind = kind
+        self.metric = metric
+        self.row_label = row_label
+        self.rows = rows
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    @property
+    def max_value(self) -> int:
+        return max((max(row) for row in self.rows), default=0)
+
+    def to_dict(self) -> dict:
+        """Deterministic JSON form (integers only, fixed key order)."""
+        return {
+            "kind": self.kind,
+            "metric": self.metric,
+            "row_label": self.row_label,
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "max": self.max_value,
+            "rows": [list(row) for row in self.rows],
+        }
+
+    def render(self) -> str:
+        """ASCII grid: one intensity character per cell, plus row totals.
+
+        Cells scale linearly against the grid maximum into
+        :data:`INTENSITY`; a zero cell is blank, the maximum is ``@``.
+        """
+        peak = self.max_value
+        top = len(INTENSITY) - 1
+        lines = [
+            f"{self.kind} {self.metric} heatmap "
+            f"({self.n_rows} x {self.n_cols}, max={peak})"
+        ]
+        width = len(f"{self.row_label}{self.n_rows - 1}")
+        for index, row in enumerate(self.rows):
+            if peak:
+                cells = "".join(
+                    INTENSITY[value * top // peak] for value in row
+                )
+            else:
+                cells = " " * len(row)
+            label = f"{self.row_label}{index}".rjust(width)
+            lines.append(f"{label} |{cells}| {sum(row)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Heatmap(kind={self.kind!r}, metric={self.metric!r}, "
+            f"shape=({self.n_rows}, {self.n_cols}))"
+        )
+
+
+def _grid(view_flat, n_rows: int, n_cols: int) -> list[list[int]]:
+    return [
+        list(view_flat[row * n_cols : (row + 1) * n_cols])
+        for row in range(n_rows)
+    ]
+
+
+def link_heatmap(network, metric: str = "bits") -> Heatmap:
+    """Heatmap of per-link counters: rows are link levels ``0 .. m``.
+
+    ``metric`` is ``"bits"`` (communication cost, eq. 1 resolved per
+    link) or ``"messages"`` (link traversals).
+    """
+    if metric not in _LINK_METRICS:
+        raise ConfigurationError(
+            f"link heatmap metric must be one of "
+            f"{sorted(_LINK_METRICS)}, got {metric!r}"
+        )
+    view = network.link_utilization()
+    flat = getattr(view, _LINK_METRICS[metric])
+    return Heatmap(
+        "links", metric, "L", _grid(flat, view.n_levels, view.n_positions)
+    )
+
+
+def switch_heatmap(network, metric: str = "messages") -> Heatmap:
+    """Heatmap of per-switch counters: rows are switch stages ``0 .. m-1``.
+
+    ``metric`` is ``"messages"`` (traversals) or ``"splits"`` (multicast
+    tree forks inside the switch).
+    """
+    if metric not in _SWITCH_METRICS:
+        raise ConfigurationError(
+            f"switch heatmap metric must be one of "
+            f"{sorted(_SWITCH_METRICS)}, got {metric!r}"
+        )
+    view = network.switch_utilization()
+    flat = getattr(view, _SWITCH_METRICS[metric])
+    return Heatmap(
+        "switches",
+        metric,
+        "S",
+        _grid(flat, view.n_stages, view.n_positions),
+    )
+
+
+def network_heatmaps(network) -> dict:
+    """All four heatmaps of one network as a deterministic JSON document."""
+    return {
+        "n_ports": network.n_ports,
+        "n_stages": network.n_stages,
+        "link_bits": link_heatmap(network, "bits").to_dict(),
+        "link_messages": link_heatmap(network, "messages").to_dict(),
+        "switch_messages": switch_heatmap(network, "messages").to_dict(),
+        "switch_splits": switch_heatmap(network, "splits").to_dict(),
+    }

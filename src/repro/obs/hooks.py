@@ -1,0 +1,99 @@
+"""Wiring the observability layer into the protocol stack and the runner.
+
+Two entry points:
+
+* :func:`attach_recorder` binds a
+  :class:`~repro.obs.recorder.TraceRecorder` to a protocol: the
+  protocol's messaging and fault-accounting helpers start emitting trace
+  events, and the recorder's :class:`~repro.obs.metrics.MetricsRegistry`
+  becomes the ``metrics`` of the protocol's :class:`~repro.sim.stats.Stats`
+  (so :meth:`Stats.to_dict` and the runner journal pick the aggregates
+  up without further plumbing);
+* :func:`execute_spec_traced` is the traced twin of
+  :func:`repro.runner.executor.execute_spec` -- the executor substitutes
+  it as the task body when built with ``trace_dir=...``.  It runs the
+  cell with a recorder attached and exports three artifacts named by the
+  spec hash: ``<hash>.trace.jsonl``, ``<hash>.chrome.json`` (Perfetto)
+  and ``<hash>.heatmap.json``.  It is a module-level function so it
+  survives pickling under the ``spawn`` start method.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs.export import write_chrome_trace, write_heatmaps, write_jsonl
+from repro.obs.recorder import TraceRecorder
+
+#: Artifact filenames use the same spec-hash prefix as the run journal.
+_HASH_PREFIX = 12
+
+
+def attach_recorder(protocol, recorder: TraceRecorder) -> TraceRecorder:
+    """Bind ``recorder`` to ``protocol`` (and its stats); returns it.
+
+    Idempotent; reattaching a different recorder replaces the previous
+    one.  Pass ``recorder=None``?  Then simply don't call this -- the
+    protocol's default is no recorder, and that path is untouched.
+    """
+    protocol.recorder = recorder
+    protocol.stats.metrics = recorder.metrics
+    return recorder
+
+
+def detach_recorder(protocol) -> None:
+    """Remove any recorder from ``protocol`` (metrics stay on the stats)."""
+    protocol.recorder = None
+
+
+def execute_spec_traced(spec, trace_dir: str | Path):
+    """Run one cell with tracing on; export trace + heatmap artifacts.
+
+    Same build-warmup-measure sequence as
+    :func:`~repro.runner.executor.execute_spec`; the recorder is attached
+    only to the measured run, so the artifacts (and the metrics folded
+    into the report) describe exactly what the report's counters count.
+    """
+    from repro.analysis.compare import default_factories
+    from repro.errors import ConfigurationError
+    from repro.sim.engine import run_trace
+    from repro.sim.system import System
+
+    factories = default_factories()
+    if spec.protocol not in factories:
+        raise ConfigurationError(
+            f"unknown protocol {spec.protocol!r}; "
+            f"expected one of {sorted(factories)}"
+        )
+    protocol = factories[spec.protocol](
+        System(spec.config, fault_plan=spec.fault_plan)
+    )
+    references = spec.workload.build().references
+    if spec.warmup:
+        run_trace(
+            protocol,
+            references[: spec.warmup],
+            verify=False,
+            check_invariants_every=0,
+        )
+    recorder = TraceRecorder()
+    report = run_trace(
+        protocol,
+        references[spec.warmup :],
+        verify=spec.verify,
+        check_invariants_every=spec.check_invariants_every,
+        recorder=recorder,
+    )
+    trace_dir = Path(trace_dir)
+    trace_dir.mkdir(parents=True, exist_ok=True)
+    stem = spec.spec_hash[:_HASH_PREFIX]
+    write_jsonl(recorder, trace_dir / f"{stem}.trace.jsonl")
+    write_chrome_trace(
+        recorder,
+        trace_dir / f"{stem}.chrome.json",
+        process_name=f"{spec.protocol} {stem}",
+    )
+    write_heatmaps(
+        protocol.system.network, trace_dir / f"{stem}.heatmap.json"
+    )
+    return report

@@ -1,0 +1,170 @@
+"""A small metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the *aggregated* half of the observability layer (the
+:class:`~repro.obs.recorder.TraceRecorder` is the per-event half): it
+holds named counters (monotone), gauges (last value wins) and histograms
+with **fixed, explicit bucket bounds**, so two runs of the same workload
+produce byte-identical snapshots -- there is no adaptive resizing, no
+wall-clock, no sampling.
+
+Everything serialises through :meth:`MetricsRegistry.to_dict` with sorted
+names, which is how metrics fold into :meth:`repro.sim.stats.Stats.to_dict`,
+the runner journal's ``task_finish`` records, and JSON exhibits.  The
+module is dependency-free (it imports nothing from the rest of the repo)
+so any layer can use it without cycles.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+#: Default histogram bucket upper bounds (inclusive); one overflow bucket
+#: is always appended.  Powers of two, matching the quantities observed
+#: by the recorder (fan-out sizes, link counts, retry depths).
+DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+class Histogram:
+    """A fixed-bucket histogram of integer (or float) observations.
+
+    ``bounds`` are inclusive upper bounds; observations above the last
+    bound land in the overflow bucket, so ``counts`` has
+    ``len(bounds) + 1`` cells and every observation is counted somewhere.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram bounds must be non-empty, sorted and unique, "
+                f"got {bounds!r}"
+            )
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0
+
+    def observe(self, value: float, increment: int = 1) -> None:
+        """Record ``increment`` observations of ``value``."""
+        self.counts[bisect_left(self.bounds, value)] += increment
+        self.total += increment
+        self.sum += value * increment
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram(total={self.total}, bounds={self.bounds})"
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with deterministic snapshots.
+
+    Names are plain strings; metric kinds live in separate namespaces, so
+    a counter and a histogram may share a name (they serialise under
+    different keys).  All mutators are get-or-create, which keeps call
+    sites one-liners: ``metrics.inc("messages")``,
+    ``metrics.observe("multicast_fanout", 5)``.
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name``; the last value wins."""
+        self.gauges[name] = value
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram called ``name``, created with ``bounds`` if new."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(bounds)
+            self.histograms[name] = hist
+        return hist
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        """Record one observation in histogram ``name``."""
+        self.histogram(name, bounds).observe(value)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters and histogram cells add; gauges take the other's value
+        (last writer wins, matching :meth:`set_gauge`).  Histograms with
+        the same name must have the same bounds.
+        """
+        for name, value in other.counters.items():
+            self.inc(name, value)
+        self.gauges.update(other.gauges)
+        for name, theirs in other.histograms.items():
+            mine = self.histogram(name, theirs.bounds)
+            if mine.bounds != theirs.bounds:
+                raise ValueError(
+                    f"histogram {name!r} bounds differ: "
+                    f"{mine.bounds} vs {theirs.bounds}"
+                )
+            for index, count in enumerate(theirs.counts):
+                mine.counts[index] += count
+            mine.total += theirs.total
+            mine.sum += theirs.sum
+
+    # ------------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing has been recorded (snapshot would be ``{}``s)."""
+        return not (self.counters or self.gauges or self.histograms)
+
+    def to_dict(self) -> dict:
+        """Deterministic (sorted-name) snapshot; round-trips ``from_dict``."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: hist.to_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.counters.update(data.get("counters", {}))
+        registry.gauges.update(data.get("gauges", {}))
+        for name, payload in data.get("histograms", {}).items():
+            hist = Histogram(tuple(payload["bounds"]))
+            hist.counts = list(payload["counts"])
+            hist.total = payload["total"]
+            hist.sum = payload["sum"]
+            registry.histograms[name] = hist
+        return registry
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, "
+            f"histograms={len(self.histograms)})"
+        )

@@ -92,6 +92,7 @@ def _replay_report(
     protocol_name: str,
     *,
     memoise: bool,
+    recorder=None,
 ) -> tuple[SimulationReport, System, float]:
     """One full trace replay; returns (report, system, seconds)."""
     trace = markov_block_trace(
@@ -108,7 +109,11 @@ def _replay_report(
     protocol = default_factories()[protocol_name](system)
     start = perf_counter()
     report = run_trace(
-        protocol, trace.references, verify=False, check_invariants_every=0
+        protocol,
+        trace.references,
+        verify=False,
+        check_invariants_every=0,
+        recorder=recorder,
     )
     return report, system, perf_counter() - start
 
@@ -157,6 +162,34 @@ def bench_trace_replay(
         f"trace replay reports differ "
         f"(cached total_bits={report.network_total_bits}, "
         f"cold total_bits={cold_report.network_total_bits})",
+    )
+    # Observability must be free when off and exact when on: a replay
+    # with a TraceRecorder attached has to reproduce the untraced report
+    # bit-for-bit (metrics aside -- that key only exists when tracing)
+    # and its message events have to reconcile with the traffic ledger.
+    from repro.obs.recorder import TraceRecorder
+
+    recorder = TraceRecorder()
+    traced_report, _, _ = _replay_report(
+        n_nodes,
+        n_tasks,
+        write_fraction,
+        n_references,
+        seed,
+        protocol_name,
+        memoise=True,
+        recorder=recorder,
+    )
+    traced_dict = traced_report.to_dict()
+    traced_dict["stats"].pop("metrics", None)
+    _require(
+        traced_dict == report.to_dict(),
+        "attaching a TraceRecorder changed the replay results",
+    )
+    _require(
+        sum(1 for event in recorder.events if event.kind == "message")
+        == traced_report.stats.total_messages,
+        "trace message events do not reconcile with stats.total_messages",
     )
     return BenchResult(
         name=f"trace_replay_n{n_nodes}",

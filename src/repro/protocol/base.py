@@ -56,6 +56,13 @@ class CoherenceProtocol(abc.ABC):
         self.system = system
         self.stats = Stats()
         self.message_log: list[LoggedMessage] | None = None
+        #: Optional :class:`~repro.obs.recorder.TraceRecorder`.  Attached
+        #: via :func:`repro.obs.hooks.attach_recorder`; every traffic and
+        #: fault accounting site below also emits a trace event when one
+        #: is present, so trace event counts reconcile exactly with
+        #: ``stats``.  ``None`` (the default) costs one attribute test
+        #: per site and allocates nothing.
+        self.recorder = None
         #: The block the protocol is currently operating on; maintained by
         #: fault-aware subclasses so that an
         #: :class:`~repro.errors.UnreachableRouteError` surfacing from deep
@@ -111,6 +118,8 @@ class CoherenceProtocol(abc.ABC):
             return
         result = self.system.multicaster.send_payload_one(source, bits, dest)
         self.stats.record_traffic(kind.value, result.cost)
+        if self.recorder is not None:
+            self.recorder.message(kind.value, source, (dest,), bits, result)
         if self.message_log is not None:
             # result.requested is exactly frozenset((dest,)).
             self._log(kind, source, result.requested, bits, result)
@@ -128,6 +137,8 @@ class CoherenceProtocol(abc.ABC):
             return self._multicast_recovering(kind, source, dest_set, bits)
         result = self.system.multicaster.send_payload(source, bits, dest_set)
         self.stats.record_traffic(kind.value, result.cost)
+        if self.recorder is not None:
+            self.recorder.message(kind.value, source, dest_set, bits, result)
         if self.message_log is not None:
             self._log(kind, source, dest_set, bits, result)
         return result
@@ -152,6 +163,11 @@ class CoherenceProtocol(abc.ABC):
         self, source: NodeId, dest: NodeId
     ) -> UnreachableRouteError:
         self.stats.count(ev.FAULT_DEAD_ROUTES)
+        if self.recorder is not None:
+            self.recorder.fault(
+                ev.FAULT_DEAD_ROUTES, source,
+                block=self._active_block, dest=dest,
+            )
         return UnreachableRouteError(
             f"no live round trip between port {source} and port {dest}",
             source=source,
@@ -167,11 +183,14 @@ class CoherenceProtocol(abc.ABC):
             raise self._dead_route(source, dest)
         multicaster = self.system.multicaster
         stats = self.stats
+        recorder = self.recorder
         ack_bits = self.system.costs.ack()
         attempt = 0
         while True:
             result = multicaster.send_payload_one(source, bits, dest)
             stats.record_traffic(kind.value, result.cost)
+            if recorder is not None:
+                recorder.message(kind.value, source, (dest,), bits, result)
             if self.message_log is not None:
                 self._log(kind, source, result.requested, bits, result)
             outcome = injector.draw()
@@ -180,13 +199,24 @@ class CoherenceProtocol(abc.ABC):
                 dup = multicaster.send_payload_one(source, bits, dest)
                 stats.record_traffic(kind.value, dup.cost)
                 stats.count(ev.FAULT_DUPLICATES)
+                if recorder is not None:
+                    recorder.message(kind.value, source, (dest,), bits, dup)
+                    recorder.fault(ev.FAULT_DUPLICATES, dest, source=source)
             if outcome.delayed:
                 stats.count(ev.FAULT_DELAYS)
+                if recorder is not None:
+                    recorder.fault(ev.FAULT_DELAYS, dest, source=source)
             if not outcome.dropped:
                 ack = multicaster.send_payload_one(dest, ack_bits, source)
                 stats.record_traffic(MsgKind.ACK.value, ack.cost)
+                if recorder is not None:
+                    recorder.message(
+                        MsgKind.ACK.value, dest, (source,), ack_bits, ack
+                    )
                 return
             stats.count(ev.FAULT_DROPS)
+            if recorder is not None:
+                recorder.fault(ev.FAULT_DROPS, dest, source=source)
             attempt += 1
             if attempt > injector.plan.max_retries:
                 raise TransientNetworkError(
@@ -195,6 +225,10 @@ class CoherenceProtocol(abc.ABC):
                     f"({injector.plan.max_retries}) exhausted"
                 )
             stats.count(ev.FAULT_RETRIES)
+            if recorder is not None:
+                recorder.fault(
+                    ev.FAULT_RETRIES, source, attempt=attempt, dest=dest
+                )
 
     def _multicast_recovering(
         self,
@@ -211,14 +245,19 @@ class CoherenceProtocol(abc.ABC):
                 raise self._dead_route(source, dest)
         multicaster = self.system.multicaster
         stats = self.stats
+        recorder = self.recorder
         ack_bits = self.system.costs.ack()
         result = multicaster.send_payload(source, bits, dest_set)
         stats.record_traffic(kind.value, result.cost)
+        if recorder is not None:
+            recorder.message(kind.value, source, dest_set, bits, result)
         if self.message_log is not None:
             self._log(kind, source, dest_set, bits, result)
         pending: tuple[NodeId, ...] = tuple(sorted(dest_set))
         rounds = 0
         while True:
+            if recorder is not None:
+                recorder.multicast_round(source, rounds, len(pending))
             missed: list[NodeId] = []
             # Per-destination verdicts in sorted order, so the variate
             # stream is a function of the destination *set*, never of
@@ -229,16 +268,32 @@ class CoherenceProtocol(abc.ABC):
                     dup = multicaster.send_payload_one(source, bits, dest)
                     stats.record_traffic(kind.value, dup.cost)
                     stats.count(ev.FAULT_DUPLICATES)
+                    if recorder is not None:
+                        recorder.message(
+                            kind.value, source, (dest,), bits, dup
+                        )
+                        recorder.fault(
+                            ev.FAULT_DUPLICATES, dest, source=source
+                        )
                 if outcome.delayed:
                     stats.count(ev.FAULT_DELAYS)
+                    if recorder is not None:
+                        recorder.fault(ev.FAULT_DELAYS, dest, source=source)
                 if outcome.dropped:
                     stats.count(ev.FAULT_DROPS)
+                    if recorder is not None:
+                        recorder.fault(ev.FAULT_DROPS, dest, source=source)
                     missed.append(dest)
                 else:
                     ack = multicaster.send_payload_one(
                         dest, ack_bits, source
                     )
                     stats.record_traffic(MsgKind.ACK.value, ack.cost)
+                    if recorder is not None:
+                        recorder.message(
+                            MsgKind.ACK.value, dest, (source,), ack_bits,
+                            ack,
+                        )
             if not missed:
                 return result
             rounds += 1
@@ -250,11 +305,18 @@ class CoherenceProtocol(abc.ABC):
                     f"budget ({injector.plan.max_retries}) exhausted"
                 )
             stats.count(ev.FAULT_RETRIES)
+            if recorder is not None:
+                recorder.fault(
+                    ev.FAULT_RETRIES, source, attempt=rounds,
+                    dests=sorted(missed),
+                )
             # Re-send only to the destinations that missed the update.
             resend = multicaster.send_payload(
                 source, bits, frozenset(missed)
             )
             stats.record_traffic(kind.value, resend.cost)
+            if recorder is not None:
+                recorder.message(kind.value, source, missed, bits, resend)
             pending = tuple(missed)
 
     def _send_unguarded(
@@ -273,9 +335,13 @@ class CoherenceProtocol(abc.ABC):
         injector = self.system.fault_injector
         if injector is not None and not injector.pair_alive(source, dest):
             self.stats.count(ev.FAULT_UNROUTABLE)
+            if self.recorder is not None:
+                self.recorder.fault(ev.FAULT_UNROUTABLE, source, dest=dest)
             return
         result = self.system.multicaster.send_payload_one(source, bits, dest)
         self.stats.record_traffic(kind.value, result.cost)
+        if self.recorder is not None:
+            self.recorder.message(kind.value, source, (dest,), bits, result)
         if self.message_log is not None:
             self._log(kind, source, result.requested, bits, result)
 

@@ -261,6 +261,8 @@ class StenstromProtocol(CoherenceProtocol):
         memory.block_store.clear(block)
         self._uncacheable.add(block)
         self.stats.count(ev.FAULT_DEGRADED_BLOCKS)
+        if self.recorder is not None:
+            self.recorder.fault(ev.FAULT_DEGRADED_BLOCKS, home, block=block)
 
     def _memory_direct_read(self, node: NodeId, address: Address) -> int:
         """Serve a degraded block like the no-cache baseline would."""
@@ -268,6 +270,8 @@ class StenstromProtocol(CoherenceProtocol):
         home = self.home(block)
         costs = self.system.costs
         self.stats.count(ev.FAULT_DIRECT_READS)
+        if self.recorder is not None:
+            self.recorder.fault(ev.FAULT_DIRECT_READS, node, block=block)
         self._send_unguarded(MsgKind.MEM_READ, node, home, costs.request())
         self._send_unguarded(
             MsgKind.WORD_REPLY, home, node, costs.word_data()
@@ -280,6 +284,8 @@ class StenstromProtocol(CoherenceProtocol):
         block, offset = address
         home = self.home(block)
         self.stats.count(ev.FAULT_DIRECT_WRITES)
+        if self.recorder is not None:
+            self.recorder.fault(ev.FAULT_DIRECT_WRITES, node, block=block)
         self._send_unguarded(
             MsgKind.MEM_WRITE, node, home, self.system.costs.word_data()
         )
@@ -299,6 +305,8 @@ class StenstromProtocol(CoherenceProtocol):
         field = entry.state_field
         if mode is Mode.DISTRIBUTED_WRITE and not field.distributed_write:
             self.stats.count(ev.MODE_SWITCHES)
+            if self.recorder is not None:
+                self.recorder.mode_switch(block, node, "distributed-write")
             # The present vector tracked invalid placeholders; they hold no
             # copies, so in DW mode they must leave the vector (see module
             # docstring).  They re-register on their next read miss.
@@ -306,6 +314,8 @@ class StenstromProtocol(CoherenceProtocol):
             field.distributed_write = True
         elif mode is Mode.GLOBAL_READ and field.distributed_write:
             self.stats.count(ev.MODE_SWITCHES)
+            if self.recorder is not None:
+                self.recorder.mode_switch(block, node, "global-read")
             copies = field.others(node)
             if copies:
                 self._multicast(
@@ -517,6 +527,8 @@ class StenstromProtocol(CoherenceProtocol):
         self._send(MsgKind.OWN_FWD, home, old_owner, costs.request())
         self.system.memory_for(block).block_store.set_owner(block, node)
         self.stats.count(ev.OWNERSHIP_TRANSFERS)
+        if self.recorder is not None:
+            self.recorder.ownership_transfer(block, old_owner, node)
 
         old_field = old_entry.state_field
         old_field.present.add(node)
@@ -614,6 +626,8 @@ class StenstromProtocol(CoherenceProtocol):
         self._send(MsgKind.OWN_FWD, home, old_owner, costs.request())
         memory.block_store.set_owner(block, node)
         self.stats.count(ev.OWNERSHIP_TRANSFERS)
+        if self.recorder is not None:
+            self.recorder.ownership_transfer(block, old_owner, node)
         old_entry = self._cache(old_owner).find(block)
         if old_entry is None or not old_entry.state_field.owned:
             raise ProtocolError(

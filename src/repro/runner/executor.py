@@ -29,7 +29,12 @@ Robustness knobs:
   execution entirely and are journaled as ``task_cached``;
 * ``journal`` -- a :class:`~repro.runner.journal.RunJournal` receiving
   start/finish/retry/failure events with wall time, traffic counters,
-  and the error class of every failed attempt.
+  and the error class of every failed attempt;
+* ``trace_dir`` -- when set, every cell runs with a
+  :class:`~repro.obs.recorder.TraceRecorder` attached and exports its
+  JSONL trace, Chrome trace and heatmap JSON there (named by spec
+  hash); the result cache is bypassed so every cell actually runs and
+  traced reports never leak into untraced consumers.
 
 Errors are *classified before retrying*: an exception whose type says
 the outcome is a pure function of the spec -- a bad configuration, a
@@ -40,11 +45,13 @@ attempt, so the executor fails fast instead of burning the retry budget
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
 import traceback
 from dataclasses import dataclass
 from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, ExecutionError
@@ -186,6 +193,7 @@ class Executor:
         cache: ResultCache | None = None,
         journal: RunJournal | None = None,
         task_fn: Callable[[ExperimentSpec], SimulationReport] | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(
@@ -207,17 +215,35 @@ class Executor:
             raise ConfigurationError(
                 f"on_error must be 'raise' or 'collect', got {on_error!r}"
             )
+        if trace_dir is not None and task_fn is not None:
+            raise ConfigurationError(
+                "trace_dir and task_fn are mutually exclusive: tracing "
+                "substitutes its own task body"
+            )
         self.workers = workers
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
         self.on_error = on_error
-        self.cache = cache
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        # Tracing bypasses the result cache in both directions: a cache
+        # hit would skip the run that produces the trace artifacts, and
+        # a traced report (which carries metrics) must not be served to
+        # later untraced runs.
+        self.cache = cache if self.trace_dir is None else None
         self.journal = journal if journal is not None else RunJournal()
         # Testing hook: replaces execute_spec as the task body.  Under the
         # fork start method any callable works; under spawn it must be an
-        # importable module-level function.
-        self._task_fn = task_fn
+        # importable module-level function (a functools.partial of one,
+        # as built for trace_dir below, also pickles fine).
+        if self.trace_dir is not None:
+            from repro.obs.hooks import execute_spec_traced
+
+            self._task_fn = functools.partial(
+                execute_spec_traced, trace_dir=str(self.trace_dir)
+            )
+        else:
+            self._task_fn = task_fn
 
     def _backoff_for(self, attempt: int) -> float:
         """Delay before re-running a cell that just failed ``attempt``.

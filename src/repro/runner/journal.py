@@ -27,6 +27,12 @@ from repro.analysis.report import render_table
 #: Spec-hash prefix length used in events (full hashes live in the cache).
 _HASH_PREFIX = 12
 
+#: Version stamped into every record's ``schema`` field.  Bump when the
+#: *meaning* of an existing field changes; merely adding fields does not
+#: need a bump -- readers must tolerate unknown keys (and unknown
+#: events), so new optional fields like ``metrics`` ride along freely.
+JOURNAL_SCHEMA = 1
+
 
 class RunJournal:
     """Append-only event log for one or more executor runs.
@@ -47,8 +53,13 @@ class RunJournal:
     # ------------------------------------------------------------------
 
     def record(self, event: str, **fields: object) -> dict:
-        """Append one event (adds the wall-clock ``time`` field)."""
-        entry: dict = {"event": event, "time": time.time(), **fields}
+        """Append one event (adds ``schema`` and wall-clock ``time``)."""
+        entry: dict = {
+            "event": event,
+            "schema": JOURNAL_SCHEMA,
+            "time": time.time(),
+            **fields,
+        }
         self.events.append(entry)
         if self._stream is not None:
             self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
@@ -117,6 +128,11 @@ class RunJournal:
         fault_events = report.stats.fault_events()
         if fault_events:
             fields["fault_events"] = fault_events
+        # Same contract for the observability aggregates: only traced
+        # runs (Stats with a non-empty MetricsRegistry) carry them.
+        metrics = report.stats.metrics
+        if metrics is not None and not metrics.empty:
+            fields["metrics"] = metrics.to_dict()
         self.record(
             "task_finish",
             task=spec.spec_hash[:_HASH_PREFIX],
@@ -205,11 +221,21 @@ class RunJournal:
 
 
 def read_journal(path: str | Path) -> list[dict]:
-    """Parse a journal file back into its event dicts (blank-line safe)."""
+    """Parse a journal file back into its event dicts (blank-line safe).
+
+    Forward-compatible by construction: records keep whatever keys they
+    carry -- unknown fields, unknown event names and newer ``schema``
+    versions all pass through untouched, so a reader built against this
+    version can load journals written by later ones (and journals from
+    before the ``schema`` field existed).  Non-object lines are skipped
+    rather than fatal.
+    """
     events = []
     with open(path, "r", encoding="utf-8") as stream:
         for line in stream:
             line = line.strip()
             if line:
-                events.append(json.loads(line))
+                entry = json.loads(line)
+                if isinstance(entry, dict):
+                    events.append(entry)
     return events

@@ -105,6 +105,7 @@ def run_trace(
     verify: bool = True,
     check_invariants_every: int | None = None,
     timer=None,
+    recorder=None,
 ) -> SimulationReport:
     """Run ``trace`` through ``protocol`` and report traffic and events.
 
@@ -139,9 +140,22 @@ def run_trace(
     ``"replay"`` and ``"report"`` laps around the run's three phases.  The
     per-reference loop is never instrumented, so timing is free when no
     timer is passed and coarse-grained when one is.
+
+    ``recorder``, if given, is a
+    :class:`~repro.obs.recorder.TraceRecorder`: it is attached to the
+    protocol for the duration of the run (via
+    :func:`repro.obs.hooks.attach_recorder`), every reference becomes a
+    span enclosing the protocol messages it caused, and the network's
+    route-plan cache statistics land in the recorder's gauges at the
+    end.  The default ``None`` leaves the loop exactly as it was --
+    no per-reference branch, no allocation.
     """
     system = protocol.system
     system.reset_traffic()
+    if recorder is not None:
+        from repro.obs.hooks import attach_recorder
+
+        attach_recorder(protocol, recorder)
     if timer is not None:
         timer.lap("reset")
     if check_invariants_every is None:
@@ -155,6 +169,14 @@ def run_trace(
                 f"{system.n_nodes}-node system"
             )
         n_refs += 1
+        if recorder is not None:
+            recorder.begin_reference(
+                index,
+                ref.node,
+                "write" if ref.is_write else "read",
+                ref.address.block,
+                ref.address.offset,
+            )
         if ref.is_write:
             n_writes += 1
             protocol.write(ref.node, ref.address, ref.value)
@@ -171,12 +193,19 @@ def run_trace(
                         f"{observed} from {ref.address}, but the most "
                         f"recent write stored {expected}"
                     )
+        if recorder is not None:
+            recorder.end_reference()
         if check_invariants_every and (index + 1) % check_invariants_every == 0:
             protocol.check_invariants()
     if check_invariants_every:
         protocol.check_invariants()
     if timer is not None:
         timer.lap("replay")
+    if recorder is not None:
+        plan_stats = system.route_plan_stats()
+        if plan_stats is not None:
+            for key, value in sorted(plan_stats.items()):
+                recorder.metrics.set_gauge(f"route_plans_{key}", value)
     report = SimulationReport(
         protocol_name=protocol.name,
         n_references=n_refs,

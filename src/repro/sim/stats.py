@@ -54,12 +54,18 @@ FAULT_UNROUTABLE = "fault_unroutable_sends"  # recovery sends with no path
 class Stats:
     """Counters for one protocol run."""
 
-    __slots__ = ("events", "traffic_bits", "traffic_messages")
+    __slots__ = ("events", "traffic_bits", "traffic_messages", "metrics")
 
     def __init__(self) -> None:
         self.events: Counter[str] = Counter()
         self.traffic_bits: Counter[str] = Counter()
         self.traffic_messages: Counter[str] = Counter()
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry` attached
+        #: by :func:`repro.obs.hooks.attach_recorder` when tracing is on.
+        #: ``None`` (the default) keeps snapshots in their exact prior
+        #: shape -- ``to_dict`` only emits a ``metrics`` key when there
+        #: is something in it.
+        self.metrics = None
 
     # ------------------------------------------------------------------
 
@@ -110,10 +116,16 @@ class Stats:
         }
 
     def merge(self, other: "Stats") -> None:
-        """Fold another run's counters into this one."""
+        """Fold another run's counters (and metrics, if any) into this one."""
         self.events.update(other.events)
         self.traffic_bits.update(other.traffic_bits)
         self.traffic_messages.update(other.traffic_messages)
+        if other.metrics is not None:
+            if self.metrics is None:
+                from repro.obs.metrics import MetricsRegistry
+
+                self.metrics = MetricsRegistry()
+            self.metrics.merge(other.metrics)
 
     def as_dict(self) -> dict[str, dict[str, int]]:
         """Plain-dict snapshot (for reports and JSON dumps)."""
@@ -123,17 +135,31 @@ class Stats:
             "traffic_messages": dict(self.traffic_messages),
         }
 
-    def to_dict(self) -> dict[str, dict[str, int]]:
-        """JSON-ready snapshot; round-trips through :meth:`from_dict`."""
-        return self.as_dict()
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot; round-trips through :meth:`from_dict`.
+
+        A ``metrics`` key appears only when a registry is attached and
+        non-empty, so untraced snapshots keep their exact prior bytes.
+        """
+        data = self.as_dict()
+        if self.metrics is not None and not self.metrics.empty:
+            data["metrics"] = self.metrics.to_dict()
+        return data
 
     @classmethod
-    def from_dict(cls, data: dict[str, dict[str, int]]) -> "Stats":
+    def from_dict(cls, data: dict) -> "Stats":
         """Rebuild a :class:`Stats` from a :meth:`to_dict` snapshot."""
         stats = cls()
         stats.events.update(data.get("events", {}))
         stats.traffic_bits.update(data.get("traffic_bits", {}))
         stats.traffic_messages.update(data.get("traffic_messages", {}))
+        metrics = data.get("metrics")
+        if metrics:
+            # Imported lazily: repro.sim must stay importable without
+            # pulling the observability layer into every run.
+            from repro.obs.metrics import MetricsRegistry
+
+            stats.metrics = MetricsRegistry.from_dict(metrics)
         return stats
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,96 @@
+"""Exporters: JSONL round trip, Chrome trace validity, determinism."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    trace_lines,
+    write_chrome_trace,
+    write_heatmaps,
+    write_jsonl,
+)
+from repro.obs.recorder import TraceRecorder
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.synthetic import random_trace
+
+
+def _traced_run(n_nodes=8, seed=5, n_references=200):
+    protocol = StenstromProtocol(System(SystemConfig(n_nodes=n_nodes)))
+    trace = random_trace(
+        n_nodes, n_references, write_fraction=0.3, seed=seed
+    )
+    recorder = TraceRecorder()
+    run_trace(protocol, trace, recorder=recorder)
+    return recorder, protocol
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        recorder, _ = _traced_run()
+        path = write_jsonl(recorder, tmp_path / "t.jsonl")
+        events = read_jsonl(path)
+        assert len(events) == len(recorder.events)
+        assert events[0] == recorder.events[0].to_dict()
+
+    def test_lines_are_compact_sorted_json(self):
+        recorder, _ = _traced_run(n_references=20)
+        for line in trace_lines(recorder):
+            parsed = json.loads(line)
+            assert json.dumps(
+                parsed, sort_keys=True, separators=(",", ":")
+            ) == line
+
+
+class TestChromeTrace:
+    def test_valid_json_with_non_decreasing_timestamps(self, tmp_path):
+        recorder, _ = _traced_run()
+        path = write_chrome_trace(recorder, tmp_path / "t.chrome.json")
+        document = json.load(open(path))
+        timestamps = [event["ts"] for event in document["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_references_are_complete_events(self):
+        recorder, _ = _traced_run()
+        document = chrome_trace(recorder)
+        phases = {event["ph"] for event in document["traceEvents"]}
+        assert "X" in phases  # reference spans
+        assert "i" in phases  # instants
+        spans = [
+            event
+            for event in document["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert all("dur" in event for event in spans)
+
+    def test_event_counts_match_recorder(self):
+        recorder, _ = _traced_run()
+        document = chrome_trace(recorder)
+        # One metadata record (process_name) on top of the real events.
+        assert len(document["traceEvents"]) == len(recorder.events) + 1
+
+
+class TestDeterminism:
+    def test_same_seed_runs_export_identical_bytes(self, tmp_path):
+        paths = []
+        for name in ("a", "b"):
+            recorder, protocol = _traced_run(seed=9)
+            jsonl = write_jsonl(recorder, tmp_path / f"{name}.jsonl")
+            chrome = write_chrome_trace(
+                recorder, tmp_path / f"{name}.chrome.json"
+            )
+            heat = write_heatmaps(
+                protocol.system.network, tmp_path / f"{name}.heat.json"
+            )
+            paths.append((jsonl, chrome, heat))
+        for left, right in zip(paths[0], paths[1]):
+            assert left.read_bytes() == right.read_bytes()
+
+    def test_different_seed_differs(self, tmp_path):
+        first, _ = _traced_run(seed=9)
+        second, _ = _traced_run(seed=10)
+        a = write_jsonl(first, tmp_path / "a.jsonl")
+        b = write_jsonl(second, tmp_path / "b.jsonl")
+        assert a.read_bytes() != b.read_bytes()

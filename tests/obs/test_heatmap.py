@@ -1,0 +1,110 @@
+"""Utilization accessors and heatmap grids over the flat counters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.multicast import Multicaster, MulticastScheme
+from repro.network.topology import OmegaNetwork
+from repro.obs.heatmap import (
+    link_heatmap,
+    network_heatmaps,
+    switch_heatmap,
+)
+
+
+def _loaded_network(n_ports=8):
+    network = OmegaNetwork(n_ports)
+    caster = Multicaster(network, MulticastScheme.COMBINED)
+    caster.send_payload(0, 20, frozenset(range(1, n_ports)))
+    caster.send_payload_one(3, 84, 6)
+    return network
+
+
+class TestUtilizationAccessors:
+    def test_link_view_matches_link_objects(self):
+        network = _loaded_network()
+        view = network.link_utilization()
+        assert view.n_levels == network.n_stages + 1
+        assert view.n_positions == network.n_ports
+        for level in range(view.n_levels):
+            for position in range(view.n_positions):
+                slot = level * view.n_positions + position
+                link = network.link(level, position)
+                assert view.bits[slot] == link.bits
+                assert view.messages[slot] == link.messages
+
+    def test_switch_view_matches_switch_objects(self):
+        network = _loaded_network()
+        view = network.switch_utilization()
+        assert view.n_stages == network.n_stages
+        assert view.n_positions == network.n_ports // 2
+        for stage in range(view.n_stages):
+            for index in range(view.n_positions):
+                slot = stage * view.n_positions + index
+                switch = network.switch(stage, index)
+                assert view.messages[slot] == switch.messages
+                assert view.splits[slot] == switch.splits
+
+    def test_views_are_live_not_copies(self):
+        network = OmegaNetwork(8)
+        view = network.link_utilization()
+        assert sum(view.bits) == 0
+        caster = Multicaster(network, MulticastScheme.COMBINED)
+        caster.send_payload_one(0, 20, 5)
+        # The same view object sees traffic accounted after its creation.
+        assert sum(view.bits) > 0
+
+
+class TestHeatmaps:
+    def test_link_grid_shape_and_totals(self):
+        network = _loaded_network()
+        grid = link_heatmap(network, "bits")
+        assert grid.n_rows == network.n_stages + 1
+        assert grid.n_cols == network.n_ports
+        assert sum(sum(row) for row in grid.rows) == network.total_bits
+
+    def test_switch_grid_shape(self):
+        network = _loaded_network()
+        grid = switch_heatmap(network, "messages")
+        assert grid.n_rows == network.n_stages
+        assert grid.n_cols == network.n_ports // 2
+
+    def test_unknown_metric_rejected(self):
+        network = OmegaNetwork(8)
+        with pytest.raises(ConfigurationError):
+            link_heatmap(network, "splits")
+        with pytest.raises(ConfigurationError):
+            switch_heatmap(network, "bits")
+
+    def test_render_is_deterministic_and_shaped(self):
+        network = _loaded_network()
+        grid = link_heatmap(network, "bits")
+        first, second = grid.render(), grid.render()
+        assert first == second
+        lines = first.splitlines()
+        assert len(lines) == grid.n_rows + 1  # header + one line per row
+        assert all("|" in line for line in lines[1:])
+
+    def test_render_empty_network_all_blank(self):
+        grid = link_heatmap(OmegaNetwork(8), "bits")
+        assert grid.max_value == 0
+        body = grid.render().splitlines()[1]
+        cells = body.split("|")[1]
+        assert set(cells) == {" "}
+
+    def test_to_dict_is_pure_integers(self):
+        network = _loaded_network()
+        document = network_heatmaps(network)
+        assert document["n_ports"] == 8
+        for key in (
+            "link_bits",
+            "link_messages",
+            "switch_messages",
+            "switch_splits",
+        ):
+            payload = document[key]
+            assert all(
+                isinstance(value, int)
+                for row in payload["rows"]
+                for value in row
+            )

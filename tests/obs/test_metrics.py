@@ -1,0 +1,82 @@
+"""MetricsRegistry and Histogram: buckets, snapshots, merging."""
+
+import pytest
+
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_inclusive_upper_bounds(self):
+        hist = Histogram((1, 2, 4))
+        for value in (1, 2, 2, 4):
+            hist.observe(value)
+        assert hist.counts == [1, 2, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram((1, 2, 4))
+        hist.observe(5)
+        hist.observe(1000)
+        assert hist.counts == [0, 0, 0, 2]
+
+    def test_total_and_sum(self):
+        hist = Histogram((10,))
+        hist.observe(3)
+        hist.observe(7, increment=2)
+        assert hist.total == 3
+        assert hist.sum == 3 + 7 * 2
+
+    @pytest.mark.parametrize("bad", [(), (2, 1), (1, 1, 2)])
+    def test_bad_bounds_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Histogram(bad)
+
+
+class TestMetricsRegistry:
+    def test_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.inc("messages")
+        registry.inc("messages", 4)
+        registry.set_gauge("hit_rate", 0.25)
+        registry.set_gauge("hit_rate", 0.5)
+        assert registry.counters["messages"] == 5
+        assert registry.gauges["hit_rate"] == 0.5
+
+    def test_observe_creates_histogram_with_default_buckets(self):
+        registry = MetricsRegistry()
+        registry.observe("fanout", 3)
+        assert registry.histograms["fanout"].bounds == DEFAULT_BUCKETS
+
+    def test_empty_property(self):
+        registry = MetricsRegistry()
+        assert registry.empty
+        registry.inc("x")
+        assert not registry.empty
+
+    def test_to_dict_sorted_and_round_trips(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 9)
+        snapshot = registry.to_dict()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        rebuilt = MetricsRegistry.from_dict(snapshot)
+        assert rebuilt.to_dict() == snapshot
+
+    def test_merge_adds_counters_and_histogram_cells(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("n", 1)
+        b.inc("n", 2)
+        a.observe("h", 1, (1, 2))
+        b.observe("h", 2, (1, 2))
+        a.merge(b)
+        assert a.counters["n"] == 3
+        assert a.histograms["h"].counts == [1, 1, 0]
+        assert a.histograms["h"].total == 2
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1, (1, 2))
+        b.observe("h", 1, (1, 4))
+        with pytest.raises(ValueError):
+            a.merge(b)

@@ -1,0 +1,150 @@
+"""Runner integration: ``trace_dir`` artifacts and the journal schema."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    Executor,
+    ResultCache,
+    RunJournal,
+    WorkloadSpec,
+    execute_spec,
+)
+from repro.runner.journal import JOURNAL_SCHEMA, read_journal
+from repro.runner.spec import ExperimentSpec
+from repro.sim.system import SystemConfig
+
+
+def make_cell(seed=3) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="two-mode",
+        workload=WorkloadSpec(
+            kind="markov",
+            n_nodes=8,
+            n_references=120,
+            write_fraction=0.3,
+            seed=seed,
+            tasks=(0, 1, 2),
+        ),
+        config=SystemConfig(n_nodes=8),
+    )
+
+
+class TestTraceDir:
+    def test_artifacts_written_per_cell(self, tmp_path):
+        cell = make_cell()
+        trace_dir = tmp_path / "traces"
+        Executor(workers=0, trace_dir=trace_dir).run([cell])
+        stem = cell.spec_hash[:12]
+        jsonl = trace_dir / f"{stem}.trace.jsonl"
+        chrome = trace_dir / f"{stem}.chrome.json"
+        heat = trace_dir / f"{stem}.heatmap.json"
+        for path in (jsonl, chrome, heat):
+            assert path.exists(), path
+        document = json.loads(chrome.read_text())
+        timestamps = [e["ts"] for e in document["traceEvents"]]
+        assert timestamps == sorted(timestamps)
+
+    def test_traced_report_matches_untraced(self, tmp_path):
+        cell = make_cell()
+        untraced = Executor(workers=0).run([cell])
+        traced = Executor(
+            workers=0, trace_dir=tmp_path / "traces"
+        ).run([cell])
+        expected = untraced[0].report.to_dict()
+        observed = traced[0].report.to_dict()
+        observed["stats"].pop("metrics", None)
+        assert observed == expected
+
+    def test_same_seed_traces_are_byte_identical(self, tmp_path):
+        cell = make_cell()
+        stem = cell.spec_hash[:12]
+        outputs = []
+        for name in ("a", "b"):
+            trace_dir = tmp_path / name
+            Executor(workers=0, trace_dir=trace_dir).run([cell])
+            outputs.append(
+                tuple(
+                    (trace_dir / f"{stem}{suffix}").read_bytes()
+                    for suffix in (
+                        ".trace.jsonl", ".chrome.json", ".heatmap.json"
+                    )
+                )
+            )
+        assert outputs[0] == outputs[1]
+
+    def test_trace_dir_conflicts_with_task_fn(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            Executor(trace_dir=tmp_path, task_fn=execute_spec)
+
+    def test_tracing_bypasses_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cell = make_cell()
+        Executor(workers=0, cache=cache).run([cell])
+        trace_dir = tmp_path / "traces"
+        journal = RunJournal()
+        results = Executor(
+            workers=0, cache=cache, trace_dir=trace_dir, journal=journal
+        ).run([cell])
+        # Executed (not served from cache), and the artifacts exist.
+        assert not results[0].cached
+        assert journal.counts()["cached"] == 0
+        assert (trace_dir / f"{cell.spec_hash[:12]}.trace.jsonl").exists()
+
+
+class TestJournalSchema:
+    def test_every_record_carries_the_schema_version(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        Executor(
+            workers=0, journal=RunJournal(path)
+        ).run([make_cell()])
+        events = read_journal(path)
+        assert events
+        assert all(e["schema"] == JOURNAL_SCHEMA for e in events)
+
+    def test_traced_task_finish_carries_metrics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        Executor(
+            workers=0,
+            journal=RunJournal(path),
+            trace_dir=tmp_path / "traces",
+        ).run([make_cell()])
+        finish = [
+            e for e in read_journal(path) if e["event"] == "task_finish"
+        ]
+        assert finish and "metrics" in finish[0]
+        assert finish[0]["metrics"]["counters"]["messages"] > 0
+
+    def test_untraced_task_finish_has_no_metrics(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        Executor(workers=0, journal=RunJournal(path)).run([make_cell()])
+        finish = [
+            e for e in read_journal(path) if e["event"] == "task_finish"
+        ]
+        assert finish and "metrics" not in finish[0]
+
+    def test_reader_tolerates_unknown_keys_and_junk_lines(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            "\n".join(
+                [
+                    json.dumps(
+                        {
+                            "event": "task_finish",
+                            "schema": JOURNAL_SCHEMA + 5,
+                            "novel_field": [1, 2, 3],
+                        }
+                    ),
+                    '"just a string"',
+                    "",
+                    json.dumps({"event": "mystery_event", "schema": 1}),
+                ]
+            )
+            + "\n"
+        )
+        events = read_journal(path)
+        assert len(events) == 2
+        assert events[0]["novel_field"] == [1, 2, 3]
+        assert events[1]["event"] == "mystery_event"

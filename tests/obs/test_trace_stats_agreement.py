@@ -1,0 +1,90 @@
+"""Trace <-> Stats agreement: every counted event appears in the trace.
+
+The recorder emits exactly one ``message`` event per
+``Stats.record_traffic`` call and one fault event (whose kind equals
+the ``Stats`` counter name) per fault counter increment, so agreement
+reduces to counting trace events.  These tests exercise seeded runs at
+N in {8, 16}, fault-free and under a fault plan.
+"""
+
+import pytest
+
+from repro.analysis.compare import default_factories
+from repro.faults.plan import FaultPlan
+from repro.obs.recorder import TraceRecorder
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.workloads.markov import markov_block_trace
+
+FAULTY_PLAN = FaultPlan(
+    drop_probability=0.05,
+    duplicate_probability=0.02,
+    delay_probability=0.02,
+    seed=0,
+)
+
+
+def _traced_run(n_nodes, fault_plan=None, protocol_name="two-mode"):
+    system = System(SystemConfig(n_nodes=n_nodes), fault_plan=fault_plan)
+    protocol = default_factories()[protocol_name](system)
+    trace = markov_block_trace(
+        n_nodes, tasks=range(4), write_fraction=0.3,
+        n_references=800, seed=2,
+    )
+    recorder = TraceRecorder()
+    report = run_trace(protocol, trace, recorder=recorder)
+    return recorder, report
+
+
+@pytest.mark.parametrize("n_nodes", [8, 16])
+@pytest.mark.parametrize(
+    "fault_plan", [None, FAULTY_PLAN], ids=["clean", "faulty"]
+)
+class TestTraceStatsAgreement:
+    def test_every_fault_counter_matches_trace_events(
+        self, n_nodes, fault_plan
+    ):
+        recorder, report = _traced_run(n_nodes, fault_plan)
+        by_kind = recorder.counts_by_kind()
+        fault_counters = {
+            name: value
+            for name, value in report.stats.events.items()
+            if name.startswith("fault_")
+        }
+        for name, value in fault_counters.items():
+            assert by_kind.get(name, 0) == value, name
+        # No fault event kinds beyond the counted ones.
+        for kind in by_kind:
+            if kind.startswith("fault_"):
+                assert kind in fault_counters
+
+    def test_mode_switches_match_trace_events(self, n_nodes, fault_plan):
+        recorder, report = _traced_run(n_nodes, fault_plan)
+        counted = report.stats.events.get("mode_switches", 0)
+        assert recorder.counts_by_kind().get("mode_switches", 0) == counted
+
+    def test_ownership_transfers_match_trace_events(
+        self, n_nodes, fault_plan
+    ):
+        recorder, report = _traced_run(n_nodes, fault_plan)
+        counted = report.stats.events.get("ownership_transfers", 0)
+        traced = recorder.counts_by_kind().get("ownership_transfers", 0)
+        assert traced == counted
+
+    def test_message_events_match_total_messages(self, n_nodes, fault_plan):
+        recorder, report = _traced_run(n_nodes, fault_plan)
+        traced = recorder.counts_by_kind().get("message", 0)
+        assert traced == report.stats.total_messages
+
+
+class TestAgreementIsMeaningful:
+    """Guard against the agreement tests passing vacuously on zeros."""
+
+    def test_clean_run_switches_modes(self):
+        _, report = _traced_run(16)
+        assert report.stats.events.get("mode_switches", 0) > 0
+
+    def test_faulty_run_exercises_fault_counters(self):
+        _, report = _traced_run(16, FAULTY_PLAN)
+        for name in ("fault_drops", "fault_duplicates", "fault_retries"):
+            assert report.stats.events.get(name, 0) > 0, name

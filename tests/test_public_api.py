@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.faults",
     "repro.memory",
     "repro.network",
+    "repro.obs",
     "repro.protocol",
     "repro.runner",
     "repro.sim",
