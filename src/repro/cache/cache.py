@@ -84,6 +84,10 @@ class Cache:
         self._sets: list[list[CacheEntry]] = [
             [CacheEntry() for _ in range(n_ways)] for _ in range(self.n_sets)
         ]
+        # Tag index: block -> (set_index, way) for every tagged entry.
+        # Tags are only ever written by install() and drop(), which keep
+        # this exact; every lookup below is O(1) instead of a way scan.
+        self._index: dict[BlockId, tuple[int, int]] = {}
         self.policy: ReplacementPolicy = make_policy(
             policy, self.n_sets, n_ways, seed=seed
         )
@@ -98,19 +102,23 @@ class Cache:
 
     def find(self, block: BlockId) -> CacheEntry | None:
         """The entry tagged with ``block`` (valid *or* invalid), if any."""
-        for entry in self._sets[self.set_index(block)]:
-            if entry.tag == block:
-                return entry
-        return None
+        location = self._index.get(block)
+        if location is None:
+            return None
+        return self._sets[location[0]][location[1]]
+
+    def locate(self, block: BlockId) -> tuple[int, int] | None:
+        """The ``(set_index, way)`` of ``block``'s entry, if tagged."""
+        return self._index.get(block)
 
     def slot_for(self, block: BlockId) -> Slot:
         """Where ``block`` would live: its current slot, a free way, or the
         replacement policy's victim (in that order of preference)."""
         set_index = self.set_index(block)
         ways = self._sets[set_index]
-        for way, entry in enumerate(ways):
-            if entry.tag == block:
-                return Slot(set_index, way, entry)
+        location = self._index.get(block)
+        if location is not None:
+            return Slot(set_index, location[1], ways[location[1]])
         for way, entry in enumerate(ways):
             if not entry.occupied:
                 return Slot(set_index, way, entry)
@@ -134,34 +142,35 @@ class Cache:
                 f"cache {self.node_id}: installing block {block} over "
                 f"unreplaced owned block {entry.tag}"
             )
+        if entry.tag is not None:
+            del self._index[entry.tag]
         entry.clear()
         entry.tag = block
         entry.data = [0] * self.block_size_words
+        self._index[block] = (slot.set_index, slot.way)
         self.policy.touch(slot.set_index, slot.way)
         return entry
 
     def touch(self, block: BlockId) -> None:
         """Refresh replacement recency for a hit on ``block``."""
-        set_index = self.set_index(block)
-        for way, entry in enumerate(self._sets[set_index]):
-            if entry.tag == block:
-                self.policy.touch(set_index, way)
-                return
-        raise ProtocolError(
-            f"cache {self.node_id}: touch of non-resident block {block}"
-        )
+        location = self._index.get(block)
+        if location is None:
+            raise ProtocolError(
+                f"cache {self.node_id}: touch of non-resident block {block}"
+            )
+        self.policy.touch(location[0], location[1])
 
     def drop(self, block: BlockId) -> None:
         """Clear the entry tagged ``block`` (protocol already cleaned up)."""
-        set_index = self.set_index(block)
-        for way, entry in enumerate(self._sets[set_index]):
-            if entry.tag == block:
-                entry.clear()
-                self.policy.forget(set_index, way)
-                return
-        raise ProtocolError(
-            f"cache {self.node_id}: drop of non-resident block {block}"
-        )
+        location = self._index.get(block)
+        if location is None:
+            raise ProtocolError(
+                f"cache {self.node_id}: drop of non-resident block {block}"
+            )
+        set_index, way = location
+        self._sets[set_index][way].clear()
+        del self._index[block]
+        self.policy.forget(set_index, way)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -149,9 +149,11 @@ def _build_parser() -> argparse.ArgumentParser:
     perf = commands.add_parser(
         "perf",
         help=(
-            "run the perf microbenchmarks (trace replay, multicast "
-            "fan-out, sweep throughput) with cached-vs-cold equivalence "
-            "checks, and gate against the BENCH_perf.json baseline"
+            "run the perf microbenchmarks (trace replay, compiled "
+            "replay, fast-path hit rate, multicast fan-out, sweep "
+            "throughput) with equivalence checks, gate against the "
+            "BENCH_perf.json baseline, and append a BENCH_history.jsonl "
+            "row"
         ),
     )
     perf.add_argument(
@@ -187,6 +189,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="timed repetitions per benchmark (best is kept)",
+    )
+    perf.add_argument(
+        "--history",
+        default=None,
+        help=(
+            "append this run's timestamped rates to this JSONL file "
+            "(default: BENCH_history.jsonl at the repo root)"
+        ),
+    )
+    perf.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending to the history file",
     )
 
     chaos = commands.add_parser(
@@ -570,7 +585,9 @@ def _command_perf(args: argparse.Namespace) -> int:
     from repro.perf import run_benchmarks
     from repro.perf.regress import (
         DEFAULT_BASELINE,
+        DEFAULT_HISTORY,
         DEFAULT_THRESHOLD,
+        append_history,
         compare_to_baseline,
         load_baseline,
         results_payload,
@@ -602,6 +619,9 @@ def _command_perf(args: argparse.Namespace) -> int:
             + "\n"
         )
         print(f"results written to {args.output}")
+    if not args.no_history:
+        history = append_history(results, args.history or DEFAULT_HISTORY)
+        print(f"history row appended to {history}")
 
     baseline_path = Path(args.baseline or DEFAULT_BASELINE)
     if args.write_baseline:

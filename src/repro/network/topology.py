@@ -280,6 +280,28 @@ class OmegaNetwork:
         for slot in plan.switch_split_slots:
             switch_splits[slot] += 1
 
+    def apply_plan_traffic_scaled(
+        self, plan: RoutePlan, payload_bits: int, count: int
+    ) -> None:
+        """Account ``count`` identical replays of ``plan`` in one pass.
+
+        Exactly ``count`` successive :meth:`apply_plan_traffic` calls --
+        the increments are linear in ``count``, so batched application is
+        bit-identical and callers that know their repeat count up front
+        (the replay fast path) skip the per-replay loop.
+        """
+        bits = self._link_bits
+        messages = self._link_messages
+        for slot, tag in plan.link_ops:
+            bits[slot] += (payload_bits + tag) * count
+            messages[slot] += count
+        switch_messages = self._switch_messages
+        for slot in plan.switch_msg_slots:
+            switch_messages[slot] += count
+        switch_splits = self._switch_splits
+        for slot in plan.switch_split_slots:
+            switch_splits[slot] += count
+
     @property
     def total_bits(self) -> int:
         """Communication cost accumulated so far (eq. 1 over all traffic)."""

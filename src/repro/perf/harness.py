@@ -1,11 +1,18 @@
 """Pinned-seed microbenchmarks of the simulator's hot paths.
 
-Three benchmarks, chosen to cover the three traffic shapes the repo's
+Five benchmarks, chosen to cover the traffic shapes the repo's
 experiments exercise:
 
 * **trace replay** -- the §4 methodology end to end: a Markov reference
   trace driven through the two-mode protocol on ``N = 64`` (the paper's
   network size), measured in references per second;
+* **compiled replay** -- the identical workload in columnar
+  :class:`~repro.sim.ctrace.CompiledTrace` form, replayed through the
+  protocol's stable-state fast path (what the executor runs by default);
+  its equivalence check requires the report to be bit-identical to the
+  per-``Reference`` loop's;
+* **fast-path hit rate** -- fast-path engagement on that workload, with
+  the exact hit/miss split pinned as machine-independent checks;
 * **multicast fan-out** -- the §3 machinery in isolation: repeated
   combined-scheme sends to randomized destination sets, measured in sends
   per second;
@@ -93,14 +100,21 @@ def _replay_report(
     *,
     memoise: bool,
     recorder=None,
-) -> tuple[SimulationReport, System, float]:
-    """One full trace replay; returns (report, system, seconds)."""
+    compiled: bool = False,
+) -> tuple[SimulationReport, System, object, float]:
+    """One full trace replay; returns (report, system, protocol, seconds).
+
+    ``compiled=True`` builds the columnar trace form instead, which takes
+    the engine's column loop and -- with every per-reference check off,
+    as here -- the protocol's stable-state fast path.
+    """
     trace = markov_block_trace(
         n_nodes,
         tasks=list(range(n_tasks)),
         write_fraction=write_fraction,
         n_references=n_references,
         seed=seed,
+        compiled=compiled,
     )
     config = SystemConfig(n_nodes=n_nodes, costs=MessageCosts.uniform(20))
     system = System(config)
@@ -110,12 +124,12 @@ def _replay_report(
     start = perf_counter()
     report = run_trace(
         protocol,
-        trace.references,
+        trace if compiled else trace.references,
         verify=False,
         check_invariants_every=0,
         recorder=recorder,
     )
-    return report, system, perf_counter() - start
+    return report, system, protocol, perf_counter() - start
 
 
 def _require(condition: bool, detail: str) -> None:
@@ -137,7 +151,7 @@ def bench_trace_replay(
     best_time = None
     report = system = None
     for _ in range(max(1, repeats)):
-        report, system, seconds = _replay_report(
+        report, system, _protocol, seconds = _replay_report(
             n_nodes,
             n_tasks,
             write_fraction,
@@ -148,7 +162,7 @@ def bench_trace_replay(
         )
         if best_time is None or seconds < best_time:
             best_time = seconds
-    cold_report, _, _ = _replay_report(
+    cold_report, _, _, _ = _replay_report(
         n_nodes,
         n_tasks,
         write_fraction,
@@ -170,7 +184,7 @@ def bench_trace_replay(
     from repro.obs.recorder import TraceRecorder
 
     recorder = TraceRecorder()
-    traced_report, _, _ = _replay_report(
+    traced_report, _, _, _ = _replay_report(
         n_nodes,
         n_tasks,
         write_fraction,
@@ -200,6 +214,152 @@ def bench_trace_replay(
         equivalent=True,
         checks={"total_bits": report.network_total_bits},
         plan_stats=system.route_plan_stats(),
+    )
+
+
+def bench_compiled_replay(
+    *,
+    n_nodes: int = 64,
+    n_tasks: int = 16,
+    write_fraction: float = 0.3,
+    n_references: int = 20000,
+    seed: int = 0,
+    protocol_name: str = "two-mode",
+    repeats: int = 3,
+) -> BenchResult:
+    """Compiled-trace replay through the stable-state fast path.
+
+    The exact workload of :func:`bench_trace_replay`, built in columnar
+    :class:`~repro.sim.ctrace.CompiledTrace` form -- what the runner's
+    executor replays by default.  The equivalence check replays the same
+    references through the classic per-``Reference`` loop (fast path
+    structurally disengaged) and requires the reports to be bit-identical,
+    so any fast-path shortcut that changes a counter, a traffic ledger,
+    or a cache decision fails the perf gate as a correctness bug, not a
+    timing blip.
+    """
+    best_time = None
+    report = system = protocol = None
+    for _ in range(max(1, repeats)):
+        report, system, protocol, seconds = _replay_report(
+            n_nodes,
+            n_tasks,
+            write_fraction,
+            n_references,
+            seed,
+            protocol_name,
+            memoise=True,
+            compiled=True,
+        )
+        if best_time is None or seconds < best_time:
+            best_time = seconds
+    reference_report, _, _, _ = _replay_report(
+        n_nodes,
+        n_tasks,
+        write_fraction,
+        n_references,
+        seed,
+        protocol_name,
+        memoise=True,
+        compiled=False,
+    )
+    _require(
+        reference_report.to_dict() == report.to_dict(),
+        f"compiled fast-path replay diverged from the per-reference loop "
+        f"(compiled total_bits={report.network_total_bits}, "
+        f"reference total_bits={reference_report.network_total_bits})",
+    )
+    table = protocol.fastpath()
+    _require(
+        table is not None
+        and table.hits + table.misses == report.n_references,
+        "fast-path hit/miss counters do not cover every reference",
+    )
+    return BenchResult(
+        name=f"compiled_replay_n{n_nodes}",
+        unit="refs",
+        work=report.n_references,
+        wall_time=best_time,
+        rate=report.n_references / best_time,
+        equivalent=True,
+        checks={"total_bits": report.network_total_bits},
+        plan_stats=system.route_plan_stats(),
+    )
+
+
+def bench_fastpath_hit_rate(
+    *,
+    n_nodes: int = 64,
+    n_tasks: int = 16,
+    write_fraction: float = 0.3,
+    n_references: int = 20000,
+    seed: int = 0,
+    protocol_name: str = "two-mode",
+) -> BenchResult:
+    """Fast-path engagement on the flagship workload.
+
+    ``rate`` is fast-path *hits* per second; the machine-independent
+    checks pin the exact hit/miss split, so a change in fast-path
+    coverage (a lost record kind, a new epoch-bump site) shows up as a
+    cross-machine check mismatch, not silent slowdown.  The equivalence
+    check replays the same compiled trace with the message log enabled --
+    which must disable the fast path entirely -- and requires the generic
+    column loop to produce the identical report.
+    """
+    report, _, protocol, seconds = _replay_report(
+        n_nodes,
+        n_tasks,
+        write_fraction,
+        n_references,
+        seed,
+        protocol_name,
+        memoise=True,
+        compiled=True,
+    )
+    table = protocol.fastpath()
+    _require(table is not None, "fast path did not engage on a clean replay")
+    _require(
+        table.hits + table.misses == report.n_references,
+        "fast-path hit/miss counters do not cover every reference",
+    )
+    trace = markov_block_trace(
+        n_nodes,
+        tasks=list(range(n_tasks)),
+        write_fraction=write_fraction,
+        n_references=n_references,
+        seed=seed,
+        compiled=True,
+    )
+    config = SystemConfig(n_nodes=n_nodes, costs=MessageCosts.uniform(20))
+    gated_system = System(config)
+    gated_protocol = default_factories()[protocol_name](gated_system)
+    gated_protocol.enable_message_log()
+    gated_report = run_trace(
+        gated_protocol,
+        trace,
+        verify=False,
+        check_invariants_every=0,
+    )
+    _require(
+        gated_protocol.fastpath() is None,
+        "an enabled message log must disable the fast path",
+    )
+    _require(
+        gated_report.to_dict() == report.to_dict(),
+        "fast-path replay diverged from the gated column loop",
+    )
+    return BenchResult(
+        name=f"fastpath_hit_rate_n{n_nodes}",
+        unit="hits",
+        work=table.hits,
+        wall_time=seconds,
+        rate=table.hits / seconds,
+        equivalent=True,
+        checks={
+            "fastpath_hits": table.hits,
+            "fastpath_misses": table.misses,
+            "total_bits": report.network_total_bits,
+        },
     )
 
 
@@ -293,7 +453,7 @@ def bench_sweep_throughput(
     total_seconds = 0.0
     checks: dict[str, int] = {}
     for n_sharers in sharer_counts:
-        report, _, seconds = _replay_report(
+        report, _, _protocol, seconds = _replay_report(
             n_nodes,
             n_sharers,
             0.3,
@@ -302,7 +462,7 @@ def bench_sweep_throughput(
             protocol_name,
             memoise=True,
         )
-        cold_report, _, _ = _replay_report(
+        cold_report, _, _, _ = _replay_report(
             n_nodes,
             n_sharers,
             0.3,
@@ -342,6 +502,8 @@ def run_benchmarks(
         repeats = 1
     results = [
         bench_trace_replay(repeats=repeats),
+        bench_compiled_replay(repeats=repeats),
+        bench_fastpath_hit_rate(),
         bench_multicast_fanout(),
         bench_sweep_throughput(),
     ]

@@ -12,18 +12,28 @@ questions with different strictness:
 * **rate** may drift with the host; only a slowdown beyond ``threshold``
   (default 25%) counts as a regression.  Speedups never fail -- rerun
   with ``--write-baseline`` to ratchet.
+
+Alongside the gate, every ``repro perf`` run appends one JSONL row to
+``BENCH_history.jsonl`` (:func:`append_history`): timestamp, commit, and
+per-benchmark rates.  The baseline answers "did this run regress?"; the
+history answers "when did the rate move?" across runs and machines.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 
 from repro.perf.harness import BenchResult
 
 #: Repo-root baseline filename (committed; see docs/PERF.md).
 DEFAULT_BASELINE = "BENCH_perf.json"
+
+#: Repo-root append-only rate log (one JSON object per line).
+DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 #: Fail when a benchmark's rate drops below ``(1 - threshold)`` times the
 #: baseline rate.
@@ -55,6 +65,56 @@ def write_baseline(
     path = Path(path)
     payload = results_payload(results)
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _current_commit() -> str | None:
+    """The checked-out git commit, or None outside a repository."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def append_history(
+    results: dict[str, BenchResult],
+    path: str | Path = DEFAULT_HISTORY,
+    *,
+    timestamp: str | None = None,
+    commit: str | None = None,
+) -> Path:
+    """Append one history row for this run; returns the path written.
+
+    The row is a single JSON object per line (JSONL), so the file is
+    append-only across runs and survives concurrent writers on different
+    machines merging cleanly.  ``timestamp`` and ``commit`` default to
+    now (UTC) and ``git rev-parse HEAD`` but can be injected for tests.
+    """
+    path = Path(path)
+    if timestamp is None:
+        timestamp = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    if commit is None:
+        commit = _current_commit()
+    row = {
+        "timestamp": timestamp,
+        "commit": commit,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rates": {name: result.rate for name, result in results.items()},
+        "equivalent": all(
+            result.equivalent for result in results.values()
+        ),
+    }
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
     return path
 
 

@@ -63,6 +63,13 @@ class CoherenceProtocol(abc.ABC):
         #: ``stats``.  ``None`` (the default) costs one attribute test
         #: per site and allocates nothing.
         self.recorder = None
+        #: Monotonic generation counter for stable-state fast paths.  Any
+        #: event that can invalidate a cached "this reference needs no
+        #: messages" answer -- ownership transfer, mode switch, replacement,
+        #: fault degradation -- bumps it, and every
+        #: :class:`~repro.protocol.fastpath.FastPathTable` record carries
+        #: the epoch it was minted under (docs/PERF.md).
+        self.fastpath_epoch = 0
         #: The block the protocol is currently operating on; maintained by
         #: fault-aware subclasses so that an
         #: :class:`~repro.errors.UnreachableRouteError` surfacing from deep
@@ -352,6 +359,18 @@ class CoherenceProtocol(abc.ABC):
     def home(self, block: BlockId) -> NodeId:
         """Home memory module port of ``block``."""
         return self.system.home(block)
+
+    def fastpath(self):
+        """A stable-state fast-path table for the replay loop, or ``None``.
+
+        Protocols that can answer "this reference is a message-free hit"
+        without a full :meth:`read`/:meth:`write` dispatch return a
+        :class:`~repro.protocol.fastpath.FastPathTable`; the base class --
+        and any protocol in a configuration where the shortcut would be
+        unsound (fault injection, attached recorder) -- returns ``None``
+        and the engine replays every reference on the slow path.
+        """
+        return None
 
     def check_invariants(self) -> None:
         """Verify protocol-specific structural invariants (optional).

@@ -1,0 +1,402 @@
+"""Stable-state fast paths for the compiled-trace replay loop.
+
+Most references in a steady-state workload are *message-free*: a read hit
+on a valid local copy, or a write by an exclusive owner (in either mode).
+The full :meth:`~repro.protocol.stenstrom.StenstromProtocol.read` /
+``write`` dispatch still pays for address checking, a cache probe, state
+decoding and the mode-policy owner lookup on every one of them.
+
+A :class:`FastPathTable` memoises the answer per ``(node, block)``: after a
+slow-path reference it records the live cache entry, its replacement-policy
+slot and (for reads) the owner's entry, stamped with the protocol's
+``fastpath_epoch``.  Any event that could change a "no messages needed"
+answer -- ownership transfer, mode switch, replacement, fault degradation
+-- bumps the epoch, so a stale record fails its stamp comparison and the
+reference falls back to the slow path (which re-registers it).  Conditions
+the epoch deliberately does *not* cover -- the present vector gaining or
+losing sharers -- are re-checked live on every hit, because a record's
+entry object is the protocol's own entry, not a copy.
+
+A third record kind covers the dominant *message-bearing* stable state:
+the global-read remote read (§2.2 item 2(b)ii via the OWNER field).  Its
+two unicasts -- request out, word-and-owner back -- are a pure function
+of the ``(node, owner)`` pair, so the record carries their memoised
+route plans and costs and a hit replays the exact link, switch and
+ledger increments the slow path would have produced.
+
+A fast-path hit replicates the slow path's observable effects exactly:
+the same ``stats`` events and traffic ledgers, the same per-link network
+counters, the same replacement-policy touch, the same data-word access
+and the same mode-policy consultation (which may itself trigger a
+``set_mode`` and bump the epoch).  Replaying a compiled trace through
+the table is therefore bit-identical to replaying it reference by
+reference (proven every ``repro perf`` run; docs/PERF.md).
+
+The table is only handed out in configurations where the shortcut is
+sound: ``StenstromProtocol.fastpath`` returns ``None`` under fault
+injection, with a trace recorder attached, or with the message log
+enabled (a hit does not append ``LoggedMessage`` entries), and the
+engine engages it only when value verification and invariant re-checks
+are off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cache.state import Mode
+from repro.errors import TraceError
+from repro.network.multicast import _payload_unicast_result
+from repro.network.routing import unicast_plan
+from repro.protocol.messages import MsgKind
+from repro.sim import stats as ev
+from repro.types import Address, Op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.protocol.stenstrom import StenstromProtocol
+    from repro.sim.ctrace import CompiledTrace
+
+
+class FastPathTable:
+    """Per-``(node, block)`` memo of message-free reference answers.
+
+    Records are keyed by the integer ``block * n_nodes + node`` (never
+    negative for a registered block, so malformed trace rows simply miss).
+    A local read hit is a 7-tuple ``(epoch, entry, policy, set_index,
+    way, owner, owner_entry)``; a global-read remote read is an 11-tuple
+    extending it with ``(plan_out, cost_out, plan_back, cost_back)`` --
+    the memoised request/reply unicasts; a write record is the 5-tuple
+    ``(epoch, entry, policy, set_index, way)`` -- the writer *is* the
+    owner, so no separate owner fields are needed.  Record kinds are
+    discriminated by length.  ``hits`` and ``misses`` count fast-path
+    engagement across all :meth:`replay` calls (the
+    ``bench_fastpath_hit_rate`` checks).
+    """
+
+    __slots__ = ("_protocol", "_reads", "_writes", "hits", "misses")
+
+    def __init__(self, protocol: "StenstromProtocol") -> None:
+        self._protocol = protocol
+        self._reads: dict[int, tuple] = {}
+        self._writes: dict[int, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Registration (off the hot path: runs once per slow-path reference)
+    # ------------------------------------------------------------------
+
+    def _register_read(self, node: int, block: int) -> None:
+        protocol = self._protocol
+        system = protocol.system
+        cache = system.caches[node]
+        location = cache.locate(block)
+        if location is None:
+            return
+        entry = cache.find(block)
+        owner = protocol._owner_of(block)
+        if owner is None:
+            return
+        owner_entry = system.caches[owner].find(block)
+        if owner_entry is None or not owner_entry.state_field.owned:
+            return
+        key = block * system.n_nodes + node
+        if entry.state_field.valid:
+            self._reads[key] = (
+                protocol.fastpath_epoch,
+                entry,
+                cache.policy,
+                location[0],
+                location[1],
+                owner,
+                owner_entry,
+            )
+            return
+        # Invalid placeholder in global-read mode: the steady-state remote
+        # read (2b ii via the OWNER field) is two deterministic unicasts
+        # whose plans and costs depend only on the (node, owner) pair.
+        if owner_entry.state_field.distributed_write:
+            return
+        if entry.state_field.owner != owner:
+            return
+        network = system.network
+        self._reads[key] = (
+            protocol.fastpath_epoch,
+            entry,
+            cache.policy,
+            location[0],
+            location[1],
+            owner,
+            owner_entry,
+            unicast_plan(network, node, owner),
+            _payload_unicast_result(
+                network, node, protocol._cost_request, owner, False
+            ).cost,
+            unicast_plan(network, owner, node),
+            _payload_unicast_result(
+                network, owner, protocol._cost_word_owner, node, False
+            ).cost,
+        )
+
+    def _register_write(self, node: int, block: int) -> None:
+        protocol = self._protocol
+        cache = protocol.system.caches[node]
+        location = cache.locate(block)
+        if location is None:
+            return
+        entry = cache.find(block)
+        field = entry.state_field
+        if not (field.valid and field.owned):
+            return
+        self._writes[block * protocol.system.n_nodes + node] = (
+            protocol.fastpath_epoch,
+            entry,
+            cache.policy,
+            location[0],
+            location[1],
+        )
+
+    # ------------------------------------------------------------------
+    # The hot loop
+    # ------------------------------------------------------------------
+
+    def replay(self, trace: "CompiledTrace") -> tuple[int, int]:
+        """Replay every column row; returns ``(n_reads, n_writes)``.
+
+        Owns the whole loop so the per-reference cost on a hit is a dict
+        probe, an epoch compare and a handful of attribute checks -- no
+        ``Reference`` or ``Address`` is constructed, no message sent.
+        Misses take the ordinary ``protocol.read``/``write`` path and then
+        register the reference for next time.
+        """
+        protocol = self._protocol
+        system = protocol.system
+        n_nodes = system.n_nodes
+        block_size = system.config.block_size_words
+        events = protocol.stats.events
+        traffic_bits = protocol.stats.traffic_bits
+        traffic_messages = protocol.stats.traffic_messages
+        request_bits = protocol._cost_request
+        word_owner_bits = protocol._cost_word_owner
+        policy = protocol.mode_policy
+        reads_get = self._reads.get
+        writes_get = self._writes.get
+        read_slow = protocol.read
+        write_slow = protocol.write
+        set_mode = protocol.set_mode
+        register_read = self._register_read
+        register_write = self._register_write
+        dw = Mode.DISTRIBUTED_WRITE
+        gr = Mode.GLOBAL_READ
+        op_read = Op.READ
+        op_write = Op.WRITE
+        reads_name = ev.READS
+        read_hits_name = ev.READ_HITS
+        read_misses_name = ev.READ_MISSES
+        coherence_misses_name = ev.COHERENCE_MISSES
+        global_reads_name = ev.GLOBAL_READS
+        writes_name = ev.WRITES
+        write_hits_name = ev.WRITE_HITS
+        load_direct_kind = MsgKind.LOAD_DIRECT.value
+        word_reply_kind = MsgKind.WORD_REPLY.value
+        hits = misses = 0
+        n_reads = n_writes = 0
+        # Per-hit accounting that is identical for every hit of a kind is
+        # deferred: plain int accumulators (and a per-record count for the
+        # global-read records) here, flushed into the Counter ledgers and
+        # link arrays once at the end.  Counter and array addition commute
+        # with the interleaved slow-path updates and nothing reads the
+        # ledgers mid-replay, so batched flushing is bit-identical; the
+        # ``finally`` keeps the flush exact even when a slow-path call
+        # raises mid-trace.
+        local_read_hits = 0
+        fast_write_hits = 0
+        # Keyed by id(record): the tuples hold unhashable entries, and
+        # the value keeps the record alive so ids cannot be recycled.
+        pending: dict[int, list] = {}
+        pending_get = pending.get
+        epoch = protocol.fastpath_epoch
+        try:
+            for index, (node, op, block, offset, value) in enumerate(
+                zip(
+                    trace.nodes,
+                    trace.ops,
+                    trace.blocks,
+                    trace.offsets,
+                    trace.values,
+                )
+            ):
+                if node < 0 or node >= n_nodes:
+                    raise TraceError(
+                        f"reference {index}: node {node} outside this "
+                        f"{n_nodes}-node system"
+                    )
+                key = block * n_nodes + node
+                if op:
+                    n_writes += 1
+                    record = writes_get(key)
+                    if record is not None and record[0] == epoch:
+                        entry = record[1]
+                        field = entry.state_field
+                        # Exclusivity is re-checked live: the present
+                        # vector changes without bumping the epoch.
+                        if (
+                            field.valid
+                            and field.owned
+                            and (
+                                not field.distributed_write
+                                or len(field.present) == 1
+                            )
+                            and 0 <= offset < block_size
+                        ):
+                            hits += 1
+                            fast_write_hits += 1
+                            record[2].touch(record[3], record[4])
+                            entry.data[offset] = value
+                            field.modified = True
+                            if policy is not None:
+                                mode = (
+                                    dw if field.distributed_write else gr
+                                )
+                                n_sharers = len(field.present)
+                                policy.observe(
+                                    block,
+                                    op_write,
+                                    owner_visible=True,
+                                    mode=mode,
+                                    n_sharers=n_sharers,
+                                )
+                                desired = policy.decide(
+                                    block, mode, n_sharers
+                                )
+                                if (
+                                    desired is not None
+                                    and desired is not mode
+                                ):
+                                    set_mode(node, block, desired)
+                                    epoch = protocol.fastpath_epoch
+                            continue
+                    misses += 1
+                    write_slow(node, Address(block, offset), value)
+                    register_write(node, block)
+                    epoch = protocol.fastpath_epoch
+                else:
+                    n_reads += 1
+                    record = reads_get(key)
+                    if record is not None and record[0] == epoch:
+                        entry = record[1]
+                        if len(record) == 7:
+                            if (
+                                entry.state_field.valid
+                                and 0 <= offset < block_size
+                            ):
+                                hits += 1
+                                local_read_hits += 1
+                                record[2].touch(record[3], record[4])
+                                if policy is not None:
+                                    owner = record[5]
+                                    owner_field = record[6].state_field
+                                    mode = (
+                                        dw
+                                        if owner_field.distributed_write
+                                        else gr
+                                    )
+                                    n_sharers = len(owner_field.present)
+                                    policy.observe(
+                                        block,
+                                        op_read,
+                                        owner_visible=(
+                                            node == owner or mode is gr
+                                        ),
+                                        mode=mode,
+                                        n_sharers=n_sharers,
+                                    )
+                                    desired = policy.decide(
+                                        block, mode, n_sharers
+                                    )
+                                    if (
+                                        desired is not None
+                                        and desired is not mode
+                                    ):
+                                        set_mode(owner, block, desired)
+                                        epoch = protocol.fastpath_epoch
+                                continue
+                        elif (
+                            not entry.state_field.valid
+                            and 0 <= offset < block_size
+                        ):
+                            # Global-read remote read: count the hit per
+                            # record; the flush replays its memoised
+                            # request/reply unicasts.  The owner's mode
+                            # is epoch-stable but re-checked live for
+                            # free.
+                            owner_field = record[6].state_field
+                            if (
+                                owner_field.owned
+                                and not owner_field.distributed_write
+                            ):
+                                hits += 1
+                                counted = pending_get(id(record))
+                                if counted is None:
+                                    pending[id(record)] = [record, 1]
+                                else:
+                                    counted[1] += 1
+                                record[2].touch(record[3], record[4])
+                                if policy is not None:
+                                    n_sharers = len(owner_field.present)
+                                    policy.observe(
+                                        block,
+                                        op_read,
+                                        owner_visible=True,
+                                        mode=gr,
+                                        n_sharers=n_sharers,
+                                    )
+                                    desired = policy.decide(
+                                        block, gr, n_sharers
+                                    )
+                                    if (
+                                        desired is not None
+                                        and desired is not gr
+                                    ):
+                                        set_mode(record[5], block, desired)
+                                        epoch = protocol.fastpath_epoch
+                                continue
+                    misses += 1
+                    read_slow(node, Address(block, offset))
+                    register_read(node, block)
+                    epoch = protocol.fastpath_epoch
+        finally:
+            gr_hits = 0
+            if pending:
+                apply_scaled = system.network.apply_plan_traffic_scaled
+                bits_out = bits_back = 0
+                for record, count in pending.values():
+                    gr_hits += count
+                    bits_out += record[8] * count
+                    bits_back += record[10] * count
+                    apply_scaled(record[7], request_bits, count)
+                    apply_scaled(record[9], word_owner_bits, count)
+                traffic_bits[load_direct_kind] += bits_out
+                traffic_messages[load_direct_kind] += gr_hits
+                traffic_bits[word_reply_kind] += bits_back
+                traffic_messages[word_reply_kind] += gr_hits
+                events[read_misses_name] += gr_hits
+                events[coherence_misses_name] += gr_hits
+                events[global_reads_name] += gr_hits
+            if local_read_hits or gr_hits:
+                events[reads_name] += local_read_hits + gr_hits
+            if local_read_hits:
+                events[read_hits_name] += local_read_hits
+            if fast_write_hits:
+                events[writes_name] += fast_write_hits
+                events[write_hits_name] += fast_write_hits
+            self.hits += hits
+            self.misses += misses
+        return n_reads, n_writes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FastPathTable(reads={len(self._reads)}, "
+            f"writes={len(self._writes)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -45,6 +45,7 @@ from repro.errors import (
     UnreachableRouteError,
 )
 from repro.protocol.base import CoherenceProtocol
+from repro.protocol.fastpath import FastPathTable
 from repro.protocol.invariants import check_stenstrom
 from repro.protocol.messages import MsgKind
 from repro.protocol.modes import ModePolicy
@@ -87,6 +88,16 @@ class StenstromProtocol(CoherenceProtocol):
         #: made their owner (or a sharer) unreachable.  Only ever grows;
         #: empty for the lifetime of a fault-free system.
         self._uncacheable: set[BlockId] = set()
+        self._fastpath: FastPathTable | None = None
+        # Hot message costs, precomputed once; each is a pure function of
+        # the (immutable) system configuration.
+        costs = system.costs
+        words = system.config.block_size_words
+        self._cost_request = costs.request()
+        self._cost_ack = costs.ack()
+        self._cost_word = costs.word_data()
+        self._cost_block = costs.block_data(words)
+        self._cost_word_owner = costs.word_and_owner(system.n_nodes)
 
     # ------------------------------------------------------------------
     # Small accessors
@@ -121,6 +132,29 @@ class StenstromProtocol(CoherenceProtocol):
                 f"but it does not"
             )
         return owner, entry
+
+    # ------------------------------------------------------------------
+    # Stable-state fast path
+    # ------------------------------------------------------------------
+
+    def fastpath(self) -> FastPathTable | None:
+        """The replay fast-path table, when the shortcut is sound.
+
+        Fault injection can degrade blocks and kill routes mid-reference,
+        an attached recorder must see every reference as a span, and the
+        message log must receive a ``LoggedMessage`` per send; each makes
+        the memoised per-reference answer incomplete, so those
+        configurations replay entirely on the slow path.
+        """
+        if (
+            self.system.fault_injector is not None
+            or self.recorder is not None
+            or self.message_log is not None
+        ):
+            return None
+        if self._fastpath is None:
+            self._fastpath = FastPathTable(self)
+        return self._fastpath
 
     # ------------------------------------------------------------------
     # Processor interface
@@ -261,6 +295,7 @@ class StenstromProtocol(CoherenceProtocol):
         memory.block_store.clear(block)
         self._uncacheable.add(block)
         self.stats.count(ev.FAULT_DEGRADED_BLOCKS)
+        self.fastpath_epoch += 1
         if self.recorder is not None:
             self.recorder.fault(ev.FAULT_DEGRADED_BLOCKS, home, block=block)
 
@@ -305,6 +340,7 @@ class StenstromProtocol(CoherenceProtocol):
         field = entry.state_field
         if mode is Mode.DISTRIBUTED_WRITE and not field.distributed_write:
             self.stats.count(ev.MODE_SWITCHES)
+            self.fastpath_epoch += 1
             if self.recorder is not None:
                 self.recorder.mode_switch(block, node, "distributed-write")
             # The present vector tracked invalid placeholders; they hold no
@@ -314,6 +350,7 @@ class StenstromProtocol(CoherenceProtocol):
             field.distributed_write = True
         elif mode is Mode.GLOBAL_READ and field.distributed_write:
             self.stats.count(ev.MODE_SWITCHES)
+            self.fastpath_epoch += 1
             if self.recorder is not None:
                 self.recorder.mode_switch(block, node, "global-read")
             copies = field.others(node)
@@ -356,20 +393,14 @@ class StenstromProtocol(CoherenceProtocol):
         """Read miss, copy nonexistent: request the home module (2a/2b)."""
         block, offset = address
         home = self.home(block)
-        costs = self.system.costs
-        self._send(MsgKind.LOAD_REQ, node, home, costs.request())
+        self._send(MsgKind.LOAD_REQ, node, home, self._cost_request)
         owner = self._owner_of(block)
         if owner is None:
             # 2(a): no cached copy anywhere; load from memory and own it
             # exclusively in the default mode.
             memory = self.system.memory_for(block)
-            self._send(
-                MsgKind.BLOCK_REPLY,
-                home,
-                node,
-                costs.block_data(self._block_words()),
-            )
-            entry = self._allocate(node, block)
+            self._send(MsgKind.BLOCK_REPLY, home, node, self._cost_block)
+            entry = self._reuse_or_allocate(node, block)
             entry.data = memory.read_block(block)
             entry.state_field = StateField(
                 valid=True,
@@ -384,7 +415,7 @@ class StenstromProtocol(CoherenceProtocol):
             memory.block_store.set_owner(block, node)
             return entry.read_word(offset)
         # 2(b): forward to the owner, which serves per its mode.
-        self._send(MsgKind.LOAD_FWD, home, owner, costs.request())
+        self._send(MsgKind.LOAD_FWD, home, owner, self._cost_request)
         return self._serve_read_at_owner(node, address, owner)
 
     def _read_miss_direct(
@@ -399,21 +430,35 @@ class StenstromProtocol(CoherenceProtocol):
         end or after touring ``N`` caches.
         """
         block, _ = address
-        costs = self.system.costs
         target = placeholder.state_field.owner
         if target is None:
             raise ProtocolError(
                 f"invalid placeholder for block {block} at cache {node} "
                 f"has no OWNER field"
             )
-        self._send(MsgKind.LOAD_DIRECT, node, target, costs.request())
-        visited: set[NodeId] = set()
+        self._send(MsgKind.LOAD_DIRECT, node, target, self._cost_request)
+        # Steady state: the placeholder's OWNER field points straight at
+        # the current owner, so no chain bookkeeping is needed.
+        entry = self._cache(target).find(block)
+        if (
+            entry is not None
+            and entry.state_field.valid
+            and entry.state_field.owned
+        ):
+            return self._serve_read_at_owner(node, address, target, entry)
+        visited: set[NodeId] = {target}
         while True:
-            if target in visited:
-                raise ProtocolError(
-                    f"OWNER-field cycle while locating block {block}: "
-                    f"{sorted(visited)}"
-                )
+            next_hop = (
+                entry.state_field.owner if entry is not None else None
+            )
+            if next_hop is None or next_hop in visited:
+                # Dead end: answer with a NAK and retry through memory.
+                self._send(MsgKind.NAK, target, node, self._cost_ack)
+                return self._read_miss_via_memory(node, address)
+            self._send(
+                MsgKind.LOAD_FWD, target, next_hop, self._cost_request
+            )
+            target = next_hop
             visited.add(target)
             entry = self._cache(target).find(block)
             if (
@@ -421,24 +466,23 @@ class StenstromProtocol(CoherenceProtocol):
                 and entry.state_field.valid
                 and entry.state_field.owned
             ):
-                return self._serve_read_at_owner(node, address, target)
-            next_hop = (
-                entry.state_field.owner if entry is not None else None
-            )
-            if next_hop is None or next_hop in visited:
-                # Dead end: answer with a NAK and retry through memory.
-                self._send(MsgKind.NAK, target, node, costs.ack())
-                return self._read_miss_via_memory(node, address)
-            self._send(MsgKind.LOAD_FWD, target, next_hop, costs.request())
-            target = next_hop
+                return self._serve_read_at_owner(node, address, target, entry)
 
     def _serve_read_at_owner(
-        self, node: NodeId, address: Address, owner: NodeId
+        self,
+        node: NodeId,
+        address: Address,
+        owner: NodeId,
+        owner_entry: CacheEntry | None = None,
     ) -> int:
-        """Owner-side service of a remote read miss (2b i/ii)."""
+        """Owner-side service of a remote read miss (2b i/ii).
+
+        ``owner_entry`` may be passed by a caller that already located the
+        owner's entry (the direct-load path); ``None`` looks it up here.
+        """
         block, offset = address
-        costs = self.system.costs
-        owner_entry = self._cache(owner).find(block)
+        if owner_entry is None:
+            owner_entry = self._cache(owner).find(block)
         if owner_entry is None or not owner_entry.state_field.owned:
             raise ProtocolError(
                 f"cache {owner} asked to serve block {block} it does not own"
@@ -447,13 +491,8 @@ class StenstromProtocol(CoherenceProtocol):
         owner_field.present.add(node)
         if owner_field.distributed_write:
             # 2(b)i: ship a whole copy; requester becomes UnOwned.
-            self._send(
-                MsgKind.BLOCK_REPLY,
-                owner,
-                node,
-                costs.block_data(self._block_words()),
-            )
-            entry = self._allocate(node, block)
+            self._send(MsgKind.BLOCK_REPLY, owner, node, self._cost_block)
+            entry = self._reuse_or_allocate(node, block)
             entry.data = list(owner_entry.data)
             entry.state_field = StateField(
                 valid=True, owned=False, owner=owner
@@ -462,13 +501,8 @@ class StenstromProtocol(CoherenceProtocol):
         # 2(b)ii: global read -- only the datum and the owner id travel;
         # the requester keeps (or creates) an invalid placeholder.
         self.stats.count(ev.GLOBAL_READS)
-        self._send(
-            MsgKind.WORD_REPLY,
-            owner,
-            node,
-            costs.word_and_owner(self.system.n_nodes),
-        )
-        entry = self._allocate(node, block)
+        self._send(MsgKind.WORD_REPLY, owner, node, self._cost_word_owner)
+        entry = self._reuse_or_allocate(node, block)
         entry.state_field = StateField(valid=False, owner=owner)
         return owner_entry.read_word(offset)
 
@@ -491,10 +525,7 @@ class StenstromProtocol(CoherenceProtocol):
         if field.distributed_write and copies:
             # 3(b): distribute the write to every cache with a copy.
             self._multicast(
-                MsgKind.WRITE_UPDATE,
-                node,
-                copies,
-                self.system.costs.word_data(),
+                MsgKind.WRITE_UPDATE, node, copies, self._cost_word
             )
             self.stats.count(ev.WRITE_UPDATES)
             block = entry.tag
@@ -527,6 +558,7 @@ class StenstromProtocol(CoherenceProtocol):
         self._send(MsgKind.OWN_FWD, home, old_owner, costs.request())
         self.system.memory_for(block).block_store.set_owner(block, node)
         self.stats.count(ev.OWNERSHIP_TRANSFERS)
+        self.fastpath_epoch += 1
         if self.recorder is not None:
             self.recorder.ownership_transfer(block, old_owner, node)
 
@@ -598,13 +630,8 @@ class StenstromProtocol(CoherenceProtocol):
         n_nodes = self.system.n_nodes
         if old_owner is None:
             # 4(a): no cached copy; load from memory, own exclusively.
-            self._send(
-                MsgKind.BLOCK_REPLY,
-                home,
-                node,
-                costs.block_data(self._block_words()),
-            )
-            entry = self._allocate(node, block)
+            self._send(MsgKind.BLOCK_REPLY, home, node, self._cost_block)
+            entry = self._reuse_or_allocate(node, block)
             entry.data = memory.read_block(block)
             entry.state_field = StateField(
                 valid=True,
@@ -626,6 +653,7 @@ class StenstromProtocol(CoherenceProtocol):
         self._send(MsgKind.OWN_FWD, home, old_owner, costs.request())
         memory.block_store.set_owner(block, node)
         self.stats.count(ev.OWNERSHIP_TRANSFERS)
+        self.fastpath_epoch += 1
         if self.recorder is not None:
             self.recorder.ownership_transfer(block, old_owner, node)
         old_entry = self._cache(old_owner).find(block)
@@ -664,7 +692,7 @@ class StenstromProtocol(CoherenceProtocol):
                     if other_entry is not None:
                         other_entry.state_field.owner = node
             old_entry.state_field = StateField(valid=False, owner=node)
-        entry = self._allocate(node, block)
+        entry = self._reuse_or_allocate(node, block)
         entry.data = data
         entry.state_field = StateField(
             valid=True,
@@ -697,6 +725,24 @@ class StenstromProtocol(CoherenceProtocol):
             self._replace_entry(node, slot.entry)
         return cache.install(slot, block)
 
+    def _reuse_or_allocate(self, node: NodeId, block: BlockId) -> CacheEntry:
+        """``block``'s existing entry at ``node``, or a fresh allocation.
+
+        Reinstalling over the block's own entry (typically an invalid
+        placeholder being refreshed) would clear and re-zero data the
+        caller immediately overwrites or never exposes -- an invalid
+        entry's data is unreadable by construction.  Reusing the entry
+        skips that work; the replacement-policy effect is identical
+        (``install`` touches the slot, and so does this), and every
+        caller overwrites ``state_field`` before the entry is next seen.
+        """
+        cache = self._cache(node)
+        entry = cache.find(block)
+        if entry is not None:
+            cache.touch(block)
+            return entry
+        return self._allocate(node, block)
+
     def evict(self, node: NodeId, block: BlockId) -> None:
         """Explicitly replace ``block`` at ``node`` (protocol actions + drop).
 
@@ -716,6 +762,7 @@ class StenstromProtocol(CoherenceProtocol):
         block = entry.tag
         assert block is not None
         self.stats.count(ev.REPLACEMENTS)
+        self.fastpath_epoch += 1
         # A dead route hit while retiring the victim must degrade the
         # *victim's* block, not the block being allocated for.
         outer_block = self._active_block

@@ -98,17 +98,23 @@ def execute_spec(spec: ExperimentSpec) -> SimulationReport:
     protocol = factories[spec.protocol](
         System(spec.config, fault_plan=spec.fault_plan)
     )
-    references = spec.workload.build().references
+    # Both trace forms slice and replay to bit-identical reports; the
+    # compiled default takes the columnar loop (and, where the protocol
+    # offers one, its stable-state fast path -- see docs/PERF.md).
+    if spec.compiled:
+        trace = spec.workload.build_compiled()
+    else:
+        trace = spec.workload.build().references
     if spec.warmup:
         run_trace(
             protocol,
-            references[: spec.warmup],
+            trace[: spec.warmup],
             verify=False,
             check_invariants_every=0,
         )
     return run_trace(
         protocol,
-        references[spec.warmup :],
+        trace[spec.warmup :],
         verify=spec.verify,
         check_invariants_every=spec.check_invariants_every,
     )

@@ -21,7 +21,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
@@ -29,6 +29,9 @@ from repro.network.multicast import MulticastScheme
 from repro.protocol.messages import MessageCosts
 from repro.sim.system import SystemConfig
 from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.ctrace import CompiledTrace
 
 #: Bumped whenever the serialised form changes incompatibly, so stale
 #: cache entries from an older layout can never be mistaken for current.
@@ -92,6 +95,18 @@ class WorkloadSpec:
 
     def build(self) -> Trace:
         """Generate the trace this spec describes (deterministic)."""
+        return self._build(compiled=False)
+
+    def build_compiled(self) -> "CompiledTrace":
+        """The same trace in columnar form.
+
+        Every generator emits the identical reference stream under either
+        form (the seeded round-trip property tests), so a spec's report is
+        the same whichever one the executor replays.
+        """
+        return self._build(compiled=True)
+
+    def _build(self, *, compiled: bool):
         if self.kind == "markov":
             from repro.workloads.markov import markov_block_trace
 
@@ -102,6 +117,7 @@ class WorkloadSpec:
                 n_references=self.n_references,
                 block_size_words=self.block_size_words,
                 seed=self.seed,
+                compiled=compiled,
             )
         if self.kind == "shared-structure":
             from repro.workloads.markov import shared_structure_trace
@@ -114,6 +130,7 @@ class WorkloadSpec:
                 n_blocks=self.n_blocks,
                 block_size_words=self.block_size_words,
                 seed=self.seed,
+                compiled=compiled,
             )
         from repro.workloads.synthetic import random_trace
 
@@ -125,6 +142,7 @@ class WorkloadSpec:
             write_fraction=self.write_fraction,
             locality=self.locality,
             seed=self.seed,
+            compiled=compiled,
         )
 
     def to_dict(self) -> dict:
@@ -223,6 +241,14 @@ class ExperimentSpec:
     spec hash (including the ``sweep_hash`` metadata baked into committed
     benchmark exhibits) is unchanged, while any *non*-empty plan changes
     the hash and can never be served a cached fault-free result.
+
+    ``compiled`` selects the trace form the executor replays: columnar
+    (:meth:`WorkloadSpec.build_compiled`, the default) or per-reference
+    (:meth:`WorkloadSpec.build`).  The two replays are bit-identical
+    (docs/PERF.md), so the knob cannot change a report; like
+    ``fault_plan`` it is serialised only in its non-default state, which
+    keeps every existing spec hash -- and therefore every cache key and
+    committed exhibit -- unchanged.
     """
 
     protocol: str
@@ -232,6 +258,7 @@ class ExperimentSpec:
     verify: bool = False
     check_invariants_every: int | None = None
     fault_plan: FaultPlan | None = None
+    compiled: bool = True
 
     def __post_init__(self) -> None:
         if not self.protocol:
@@ -279,6 +306,10 @@ class ExperimentSpec:
             # Only serialised when present, so fault-free specs keep the
             # exact hashes they had before the fault layer existed.
             data["fault_plan"] = self.fault_plan.to_dict()
+        if not self.compiled:
+            # Same rule: the default (compiled replay) is the absence of
+            # the key, so pre-existing hashes are untouched.
+            data["compiled"] = False
         return data
 
     @classmethod
@@ -298,6 +329,7 @@ class ExperimentSpec:
             verify=data["verify"],
             check_invariants_every=data["check_invariants_every"],
             fault_plan=FaultPlan.from_dict(plan) if plan else None,
+            compiled=data.get("compiled", True),
         )
 
 

@@ -1,0 +1,405 @@
+"""Columnar compiled traces: the replay-speed form of a reference stream.
+
+A :class:`~repro.sim.trace.Trace` is a list of
+:class:`~repro.types.Reference` NamedTuples -- convenient to build and
+inspect, but every replayed reference pays for attribute access and (when
+generated) a heap allocation.  A :class:`CompiledTrace` stores the same
+stream as five parallel ``array('q')`` columns::
+
+    nodes[i] ops[i] blocks[i] offsets[i] values[i]
+
+with ``ops[i]`` equal to 1 for a write and 0 for a read.  The batched loop
+in :func:`repro.sim.engine.run_trace` iterates the columns directly (C-speed
+``zip`` over arrays, no NamedTuple construction), and the workload
+generators can emit straight into the columns through
+:func:`trace_builder` without ever materialising a ``Reference``.
+
+Both forms describe *exactly* the same stream: ``Trace.compile()`` /
+:meth:`CompiledTrace.to_trace` round-trip losslessly, the text format of
+:mod:`repro.sim.trace` reads and writes both, and replaying either through
+the same protocol produces bit-identical
+:class:`~repro.sim.engine.SimulationReport` results (proven every ``repro
+perf`` run; see docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+import io
+from array import array
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.sim.trace import Trace, _parse_header
+from repro.types import Address, Op, Reference
+
+_WRITE = 1
+_READ = 0
+
+
+class CompiledTrace:
+    """A reference stream as five parallel ``array('q')`` columns."""
+
+    __slots__ = (
+        "nodes",
+        "ops",
+        "blocks",
+        "offsets",
+        "values",
+        "n_nodes",
+        "block_size_words",
+    )
+
+    def __init__(
+        self,
+        nodes: array,
+        ops: array,
+        blocks: array,
+        offsets: array,
+        values: array,
+        n_nodes: int,
+        block_size_words: int,
+        *,
+        validate: bool = True,
+    ) -> None:
+        self.nodes = nodes
+        self.ops = ops
+        self.blocks = blocks
+        self.offsets = offsets
+        self.values = values
+        self.n_nodes = n_nodes
+        self.block_size_words = block_size_words
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation (same contract as Trace.validate)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the columns against the declared geometry."""
+        if self.n_nodes <= 0:
+            raise TraceError(f"n_nodes must be positive, got {self.n_nodes}")
+        if self.block_size_words <= 0:
+            raise TraceError(
+                f"block_size_words must be positive, "
+                f"got {self.block_size_words}"
+            )
+        lengths = {
+            len(self.nodes),
+            len(self.ops),
+            len(self.blocks),
+            len(self.offsets),
+            len(self.values),
+        }
+        if len(lengths) != 1:
+            raise TraceError(
+                f"ragged columns: lengths {sorted(lengths)} must agree"
+            )
+        if not self.nodes:
+            return
+        # min/max run at C speed; the index hunt only happens on failure.
+        if min(self.nodes) < 0 or max(self.nodes) >= self.n_nodes:
+            index, node = next(
+                (i, n)
+                for i, n in enumerate(self.nodes)
+                if not 0 <= n < self.n_nodes
+            )
+            raise TraceError(
+                f"reference {index}: node {node} outside "
+                f"0..{self.n_nodes - 1}"
+            )
+        if min(self.blocks) < 0:
+            index = next(
+                i for i, b in enumerate(self.blocks) if b < 0
+            )
+            raise TraceError(
+                f"reference {index}: negative block {self.blocks[index]}"
+            )
+        if min(self.offsets) < 0 or max(self.offsets) >= self.block_size_words:
+            index = next(
+                i
+                for i, o in enumerate(self.offsets)
+                if not 0 <= o < self.block_size_words
+            )
+            raise TraceError(
+                f"reference {index}: offset {self.offsets[index]} "
+                f"outside block of {self.block_size_words} words"
+            )
+        if min(self.ops) < _READ or max(self.ops) > _WRITE:
+            index = next(
+                i for i, op in enumerate(self.ops) if op not in (0, 1)
+            )
+            raise TraceError(
+                f"reference {index}: op column holds {self.ops[index]}, "
+                f"expected 0 (read) or 1 (write)"
+            )
+
+    # ------------------------------------------------------------------
+    # Sequence behaviour
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[Reference]:
+        for node, op, block, offset, value in zip(
+            self.nodes, self.ops, self.blocks, self.offsets, self.values
+        ):
+            yield Reference(
+                node,
+                Op.WRITE if op else Op.READ,
+                Address(block, offset),
+                value,
+            )
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return CompiledTrace(
+                self.nodes[item],
+                self.ops[item],
+                self.blocks[item],
+                self.offsets[item],
+                self.values[item],
+                self.n_nodes,
+                self.block_size_words,
+                validate=False,
+            )
+        return Reference(
+            self.nodes[item],
+            Op.WRITE if self.ops[item] else Op.READ,
+            Address(self.blocks[item], self.offsets[item]),
+            self.values[item],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledTrace):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.block_size_words == other.block_size_words
+            and self.nodes == other.nodes
+            and self.ops == other.ops
+            and self.blocks == other.blocks
+            and self.offsets == other.offsets
+            and self.values == other.values
+        )
+
+    @property
+    def write_fraction(self) -> float:
+        """Observed fraction of writes (the paper's ``w``)."""
+        if not self.ops:
+            return 0.0
+        return sum(self.ops) / len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CompiledTrace(n_references={len(self)}, "
+            f"n_nodes={self.n_nodes}, "
+            f"block_size_words={self.block_size_words})"
+        )
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "CompiledTrace":
+        """Compile an in-memory :class:`Trace` (see ``Trace.compile``)."""
+        nodes = array("q")
+        ops = array("q")
+        blocks = array("q")
+        offsets = array("q")
+        values = array("q")
+        for ref in trace.references:
+            nodes.append(ref.node)
+            ops.append(_WRITE if ref.op is Op.WRITE else _READ)
+            blocks.append(ref.address.block)
+            offsets.append(ref.address.offset)
+            values.append(ref.value)
+        return cls(
+            nodes,
+            ops,
+            blocks,
+            offsets,
+            values,
+            trace.n_nodes,
+            trace.block_size_words,
+            # A constructed Trace already validated itself.
+            validate=False,
+        )
+
+    def to_trace(self) -> Trace:
+        """The equivalent reference-list :class:`Trace` (lossless)."""
+        return Trace(
+            list(self), self.n_nodes, self.block_size_words
+        )
+
+
+# ----------------------------------------------------------------------
+# Builders: how the workload generators emit either form
+# ----------------------------------------------------------------------
+
+
+class CompiledTraceBuilder:
+    """Accumulates references straight into columns (no ``Reference``)."""
+
+    __slots__ = (
+        "n_nodes",
+        "block_size_words",
+        "_nodes",
+        "_ops",
+        "_blocks",
+        "_offsets",
+        "_values",
+    )
+
+    def __init__(self, n_nodes: int, block_size_words: int) -> None:
+        self.n_nodes = n_nodes
+        self.block_size_words = block_size_words
+        self._nodes = array("q")
+        self._ops = array("q")
+        self._blocks = array("q")
+        self._offsets = array("q")
+        self._values = array("q")
+
+    def read(self, node: int, block: int, offset: int) -> None:
+        self._nodes.append(node)
+        self._ops.append(_READ)
+        self._blocks.append(block)
+        self._offsets.append(offset)
+        self._values.append(0)
+
+    def write(self, node: int, block: int, offset: int, value: int) -> None:
+        self._nodes.append(node)
+        self._ops.append(_WRITE)
+        self._blocks.append(block)
+        self._offsets.append(offset)
+        self._values.append(value)
+
+    def build(self) -> CompiledTrace:
+        return CompiledTrace(
+            self._nodes,
+            self._ops,
+            self._blocks,
+            self._offsets,
+            self._values,
+            self.n_nodes,
+            self.block_size_words,
+        )
+
+
+class ReferenceTraceBuilder:
+    """Accumulates :class:`Reference` objects (the classic ``Trace``)."""
+
+    __slots__ = ("n_nodes", "block_size_words", "_references")
+
+    def __init__(self, n_nodes: int, block_size_words: int) -> None:
+        self.n_nodes = n_nodes
+        self.block_size_words = block_size_words
+        self._references: list[Reference] = []
+
+    def read(self, node: int, block: int, offset: int) -> None:
+        self._references.append(
+            Reference(node, Op.READ, Address(block, offset))
+        )
+
+    def write(self, node: int, block: int, offset: int, value: int) -> None:
+        self._references.append(
+            Reference(node, Op.WRITE, Address(block, offset), value)
+        )
+
+    def build(self) -> Trace:
+        return Trace(self._references, self.n_nodes, self.block_size_words)
+
+
+def trace_builder(
+    n_nodes: int, block_size_words: int, *, compiled: bool
+) -> CompiledTraceBuilder | ReferenceTraceBuilder:
+    """The builder a generator should emit into for the requested form.
+
+    Both builders expose the same ``read(node, block, offset)`` /
+    ``write(node, block, offset, value)`` surface, so a generator's RNG
+    draw order (and therefore its output stream) is identical whichever
+    form it targets.
+    """
+    if compiled:
+        return CompiledTraceBuilder(n_nodes, block_size_words)
+    return ReferenceTraceBuilder(n_nodes, block_size_words)
+
+
+# ----------------------------------------------------------------------
+# Text format (same on-disk format as repro.sim.trace)
+# ----------------------------------------------------------------------
+
+
+def parse_compiled_trace(stream: Iterable[str]) -> CompiledTrace:
+    """Read the v1 text format straight into columns."""
+    lines = iter(stream)
+    try:
+        header = next(lines)
+    except StopIteration:
+        raise TraceError("empty trace file") from None
+    n_nodes, block_size = _parse_header(header)
+    nodes = array("q")
+    ops = array("q")
+    blocks = array("q")
+    offsets = array("q")
+    values = array("q")
+    for line_no, line in enumerate(lines, start=2):
+        text = line.strip()
+        if not text or text.startswith("#"):
+            continue
+        parts = text.split()
+        if len(parts) != 4:
+            raise TraceError(
+                f"line {line_no}: expected 'node op block:offset value', "
+                f"got {text!r}"
+            )
+        node_text, op_text, addr_text, value_text = parts
+        if op_text == "W":
+            op = _WRITE
+        elif op_text == "R":
+            op = _READ
+        else:
+            raise TraceError(
+                f"line {line_no}: unknown operation {op_text!r}"
+            )
+        try:
+            block_text, offset_text = addr_text.split(":")
+            nodes.append(int(node_text))
+            blocks.append(int(block_text))
+            offsets.append(int(offset_text))
+            values.append(int(value_text))
+        except ValueError:
+            raise TraceError(
+                f"line {line_no}: malformed fields in {text!r}"
+            ) from None
+        ops.append(op)
+    return CompiledTrace(nodes, ops, blocks, offsets, values, n_nodes, block_size)
+
+
+def dump_compiled_trace(trace: CompiledTrace, stream: io.TextIOBase) -> None:
+    """Write ``trace`` to an open text stream (v1 format)."""
+    stream.write(
+        f"# repro-trace v1 n_nodes={trace.n_nodes} "
+        f"block_size={trace.block_size_words}\n"
+    )
+    for node, op, block, offset, value in zip(
+        trace.nodes, trace.ops, trace.blocks, trace.offsets, trace.values
+    ):
+        stream.write(
+            f"{node} {'W' if op else 'R'} {block}:{offset} {value}\n"
+        )
+
+
+def load_compiled_trace(path: str | Path) -> CompiledTrace:
+    """Read a trace from ``path`` directly into compiled form."""
+    with open(path, "r", encoding="ascii") as stream:
+        return parse_compiled_trace(stream)
+
+
+def save_compiled_trace(trace: CompiledTrace, path: str | Path) -> None:
+    """Write a compiled trace to ``path`` (readable by both loaders)."""
+    with open(path, "w", encoding="ascii") as stream:
+        dump_compiled_trace(trace, stream)

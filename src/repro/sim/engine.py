@@ -14,8 +14,9 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import CoherenceError, TraceError
+from repro.sim.ctrace import CompiledTrace
 from repro.sim.stats import Stats
-from repro.types import Reference
+from repro.types import Address, Reference
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
     from repro.protocol.base import CoherenceProtocol
@@ -100,7 +101,7 @@ class SimulationReport:
 
 def run_trace(
     protocol: "CoherenceProtocol",
-    trace: Iterable[Reference],
+    trace: "Iterable[Reference] | CompiledTrace",
     *,
     verify: bool = True,
     check_invariants_every: int | None = None,
@@ -108,6 +109,17 @@ def run_trace(
     recorder=None,
 ) -> SimulationReport:
     """Run ``trace`` through ``protocol`` and report traffic and events.
+
+    ``trace`` is either an iterable of :class:`~repro.types.Reference`
+    items (a :class:`~repro.sim.trace.Trace`, a list, a generator) or a
+    columnar :class:`~repro.sim.ctrace.CompiledTrace`.  A compiled trace
+    replays through a loop that iterates its columns directly -- no
+    ``Reference`` is ever constructed -- and, when every per-reference
+    check is off (``verify=False``, invariant stride ``0``, no recorder)
+    and the protocol offers one, through its stable-state fast-path
+    table (:meth:`~repro.protocol.base.CoherenceProtocol.fastpath`).
+    Both routes are bit-identical to the reference-by-reference loop;
+    see docs/PERF.md.
 
     Two independent checks are controlled by two independent knobs:
 
@@ -160,13 +172,79 @@ def run_trace(
         timer.lap("reset")
     if check_invariants_every is None:
         check_invariants_every = 1 if verify else 0
+    fast = None
+    if (
+        isinstance(trace, CompiledTrace)
+        and not verify
+        and not check_invariants_every
+        and recorder is None
+    ):
+        fast = protocol.fastpath()
+    if fast is not None:
+        n_reads, n_writes = fast.replay(trace)
+        n_refs = n_reads + n_writes
+    elif isinstance(trace, CompiledTrace):
+        n_refs, n_reads, n_writes = _replay_columns(
+            protocol,
+            trace,
+            verify=verify,
+            check_invariants_every=check_invariants_every,
+            recorder=recorder,
+        )
+    else:
+        n_refs, n_reads, n_writes = _replay_references(
+            protocol,
+            trace,
+            verify=verify,
+            check_invariants_every=check_invariants_every,
+            recorder=recorder,
+        )
+    # Final structural check -- unless the loop's last reference already
+    # ran it (the stride divides the trace length exactly).  An empty
+    # trace still gets its one check.
+    if check_invariants_every and (
+        n_refs == 0 or n_refs % check_invariants_every != 0
+    ):
+        protocol.check_invariants()
+    if timer is not None:
+        timer.lap("replay")
+    if recorder is not None:
+        plan_stats = system.route_plan_stats()
+        if plan_stats is not None:
+            for key, value in sorted(plan_stats.items()):
+                recorder.metrics.set_gauge(f"route_plans_{key}", value)
+    report = SimulationReport(
+        protocol_name=protocol.name,
+        n_references=n_refs,
+        n_reads=n_reads,
+        n_writes=n_writes,
+        stats=protocol.stats,
+        network_total_bits=system.network.total_bits,
+        network_bits_by_level=tuple(system.network.bits_by_level()),
+        verified=bool(verify),
+    )
+    if timer is not None:
+        timer.lap("report")
+    return report
+
+
+def _replay_references(
+    protocol: "CoherenceProtocol",
+    trace: Iterable[Reference],
+    *,
+    verify: bool,
+    check_invariants_every: int,
+    recorder,
+) -> tuple[int, int, int]:
+    """The classic loop over :class:`Reference` items."""
+    n_nodes = protocol.system.n_nodes
     shadow: dict[tuple[int, int], int] = {}
     n_refs = n_reads = n_writes = 0
     for index, ref in enumerate(trace):
-        if not 0 <= ref.node < system.n_nodes:
+        if not 0 <= ref.node < n_nodes:
             raise TraceError(
                 f"reference {index}: node {ref.node} outside this "
-                f"{system.n_nodes}-node system"
+                f"{n_nodes}-node system"
             )
         n_refs += 1
         if recorder is not None:
@@ -197,25 +275,61 @@ def run_trace(
             recorder.end_reference()
         if check_invariants_every and (index + 1) % check_invariants_every == 0:
             protocol.check_invariants()
-    if check_invariants_every:
-        protocol.check_invariants()
-    if timer is not None:
-        timer.lap("replay")
-    if recorder is not None:
-        plan_stats = system.route_plan_stats()
-        if plan_stats is not None:
-            for key, value in sorted(plan_stats.items()):
-                recorder.metrics.set_gauge(f"route_plans_{key}", value)
-    report = SimulationReport(
-        protocol_name=protocol.name,
-        n_references=n_refs,
-        n_reads=n_reads,
-        n_writes=n_writes,
-        stats=protocol.stats,
-        network_total_bits=system.network.total_bits,
-        network_bits_by_level=tuple(system.network.bits_by_level()),
-        verified=bool(verify),
-    )
-    if timer is not None:
-        timer.lap("report")
-    return report
+    return n_refs, n_reads, n_writes
+
+
+def _replay_columns(
+    protocol: "CoherenceProtocol",
+    trace: CompiledTrace,
+    *,
+    verify: bool,
+    check_invariants_every: int,
+    recorder,
+) -> tuple[int, int, int]:
+    """Column iteration for :class:`CompiledTrace` -- no ``Reference``.
+
+    Used whenever a compiled trace replays with verification, an
+    invariant stride, a recorder, or a protocol without a fast path;
+    observable behaviour (shadow checks, recorder spans, error messages)
+    matches :func:`_replay_references` exactly.
+    """
+    n_nodes = protocol.system.n_nodes
+    shadow: dict[tuple[int, int], int] = {}
+    n_refs = n_reads = n_writes = 0
+    for index, (node, op, block, offset, value) in enumerate(
+        zip(
+            trace.nodes, trace.ops, trace.blocks, trace.offsets, trace.values
+        )
+    ):
+        if not 0 <= node < n_nodes:
+            raise TraceError(
+                f"reference {index}: node {node} outside this "
+                f"{n_nodes}-node system"
+            )
+        n_refs += 1
+        if recorder is not None:
+            recorder.begin_reference(
+                index, node, "write" if op else "read", block, offset
+            )
+        address = Address(block, offset)
+        if op:
+            n_writes += 1
+            protocol.write(node, address, value)
+            if verify:
+                shadow[address] = value
+        else:
+            n_reads += 1
+            observed = protocol.read(node, address)
+            if verify:
+                expected = shadow.get(address, 0)
+                if observed != expected:
+                    raise CoherenceError(
+                        f"reference {index}: node {node} read "
+                        f"{observed} from {address}, but the most "
+                        f"recent write stored {expected}"
+                    )
+        if recorder is not None:
+            recorder.end_reference()
+        if check_invariants_every and (index + 1) % check_invariants_every == 0:
+            protocol.check_invariants()
+    return n_refs, n_reads, n_writes

@@ -18,10 +18,13 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import TraceError
 from repro.types import Address, NodeId, Op, Reference
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.sim.ctrace import CompiledTrace
 
 _HEADER_PREFIX = "# repro-trace v1"
 
@@ -71,6 +74,17 @@ class Trace:
 
     def append(self, reference: Reference) -> None:
         self.references.append(reference)
+
+    def compile(self) -> "CompiledTrace":
+        """The columnar :class:`~repro.sim.ctrace.CompiledTrace` form.
+
+        Lossless: ``trace.compile().to_trace()`` reproduces the exact
+        reference list, and replaying either form is bit-identical.
+        """
+        # Imported lazily: ctrace sits above this module.
+        from repro.sim.ctrace import CompiledTrace
+
+        return CompiledTrace.from_trace(self)
 
     @property
     def write_fraction(self) -> float:
@@ -174,8 +188,34 @@ def _parse_reference(line: str, line_no: int) -> Reference:
         raise TraceError(f"line {line_no}: malformed fields in {line!r}") from None
 
 
-def dump_trace(trace: Trace, stream: io.TextIOBase) -> None:
-    """Write ``trace`` to an open text stream."""
+def _parse_header(header: str) -> tuple[int, int]:
+    """``(n_nodes, block_size)`` from a v1 header line."""
+    if not header.startswith(_HEADER_PREFIX):
+        raise TraceError(
+            f"bad trace header {header.strip()!r}; "
+            f"expected {_HEADER_PREFIX!r}"
+        )
+    fields = dict(
+        item.split("=", 1)
+        for item in header[len(_HEADER_PREFIX) :].split()
+        if "=" in item
+    )
+    try:
+        return int(fields["n_nodes"]), int(fields["block_size"])
+    except (KeyError, ValueError):
+        raise TraceError(
+            f"trace header missing n_nodes/block_size: {header.strip()!r}"
+        ) from None
+
+
+def dump_trace(trace: "Trace | CompiledTrace", stream: io.TextIOBase) -> None:
+    """Write either trace form to an open text stream (same format)."""
+    if not isinstance(trace, Trace):
+        # Imported lazily: ctrace sits above this module.
+        from repro.sim.ctrace import dump_compiled_trace
+
+        dump_compiled_trace(trace, stream)
+        return
     stream.write(
         f"{_HEADER_PREFIX} n_nodes={trace.n_nodes} "
         f"block_size={trace.block_size_words}\n"
@@ -191,23 +231,7 @@ def parse_trace(stream: Iterable[str]) -> Trace:
         header = next(lines)
     except StopIteration:
         raise TraceError("empty trace file") from None
-    if not header.startswith(_HEADER_PREFIX):
-        raise TraceError(
-            f"bad trace header {header.strip()!r}; "
-            f"expected {_HEADER_PREFIX!r}"
-        )
-    fields = dict(
-        item.split("=", 1)
-        for item in header[len(_HEADER_PREFIX) :].split()
-        if "=" in item
-    )
-    try:
-        n_nodes = int(fields["n_nodes"])
-        block_size = int(fields["block_size"])
-    except (KeyError, ValueError):
-        raise TraceError(
-            f"trace header missing n_nodes/block_size: {header.strip()!r}"
-        ) from None
+    n_nodes, block_size = _parse_header(header)
     references = []
     for line_no, line in enumerate(lines, start=2):
         text = line.strip()
@@ -217,8 +241,8 @@ def parse_trace(stream: Iterable[str]) -> Trace:
     return Trace(references, n_nodes, block_size)
 
 
-def save_trace(trace: Trace, path: str | Path) -> None:
-    """Write ``trace`` to ``path``."""
+def save_trace(trace: "Trace | CompiledTrace", path: str | Path) -> None:
+    """Write either trace form to ``path``."""
     with open(path, "w", encoding="ascii") as stream:
         dump_trace(trace, stream)
 

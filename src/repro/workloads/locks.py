@@ -18,8 +18,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.ctrace import CompiledTrace, trace_builder
 from repro.sim.trace import Trace
-from repro.types import Address, NodeId, Op, Reference
+from repro.types import NodeId
 from repro.workloads.markov import _check_tasks
 
 
@@ -33,7 +34,8 @@ def spinlock_trace(
     spin_reads: int = 2,
     data_words: int = 2,
     block_size_words: int = 4,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """``n_acquisitions`` critical sections, round-robin over ``tasks``.
 
     Per acquisition by task ``t``:
@@ -63,27 +65,19 @@ def spinlock_trace(
         raise ConfigurationError(
             "lock and data must live in different blocks"
         )
-    lock_word = Address(lock_block, 0)
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for acquisition in range(n_acquisitions):
         holder = tasks[acquisition % len(tasks)]
         for _ in range(spin_reads):
             for task in tasks:
-                references.append(Reference(task, Op.READ, lock_word))
-        references.append(
-            Reference(holder, Op.WRITE, lock_word, next_value)
-        )
+                builder.read(task, lock_block, 0)
+        builder.write(holder, lock_block, 0, next_value)
         next_value += 1
         for word in range(data_words):
-            address = Address(data_block, word)
-            references.append(Reference(holder, Op.READ, address))
-            references.append(
-                Reference(holder, Op.WRITE, address, next_value)
-            )
+            builder.read(holder, data_block, word)
+            builder.write(holder, data_block, word, next_value)
             next_value += 1
-        references.append(
-            Reference(holder, Op.WRITE, lock_word, next_value)
-        )
+        builder.write(holder, lock_block, 0, next_value)
         next_value += 1
-    return Trace(references, n_nodes, block_size_words)
+    return builder.build()

@@ -17,8 +17,9 @@ import random
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.ctrace import CompiledTrace, trace_builder
 from repro.sim.trace import Trace
-from repro.types import Address, NodeId, Op, Reference
+from repro.types import NodeId
 
 
 def _check_tasks(tasks: Sequence[NodeId], n_nodes: int) -> None:
@@ -43,12 +44,17 @@ def markov_block_trace(
     block_size_words: int = 4,
     writer: NodeId | None = None,
     seed: int = 0,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """References of ``tasks`` to one shared block, one writing task.
 
     Each reference is a write with probability ``write_fraction`` (issued
     by ``writer``, default the first task) and otherwise a read by a
     uniformly random task.  Offsets are uniform over the block.
+
+    ``compiled=True`` emits a columnar
+    :class:`~repro.sim.ctrace.CompiledTrace` instead (same RNG draw order,
+    so the streams are identical reference for reference).
     """
     _check_tasks(tasks, n_nodes)
     if not 0.0 <= write_fraction <= 1.0:
@@ -65,26 +71,17 @@ def markov_block_trace(
             f"writer {chosen_writer} is not one of the tasks {list(tasks)}"
         )
     rng = random.Random(seed)
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(n_references):
         offset = rng.randrange(block_size_words)
         if rng.random() < write_fraction:
-            references.append(
-                Reference(
-                    chosen_writer,
-                    Op.WRITE,
-                    Address(block, offset),
-                    next_value,
-                )
-            )
+            builder.write(chosen_writer, block, offset, next_value)
             next_value += 1
         else:
             reader = tasks[rng.randrange(len(tasks))]
-            references.append(
-                Reference(reader, Op.READ, Address(block, offset))
-            )
-    return Trace(references, n_nodes, block_size_words)
+            builder.read(reader, block, offset)
+    return builder.build()
 
 
 def shared_structure_trace(
@@ -97,7 +94,8 @@ def shared_structure_trace(
     first_block: int = 0,
     block_size_words: int = 4,
     seed: int = 0,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """References to a structure of ``n_blocks`` blocks, writers rotating.
 
     Block ``first_block + i`` is written (only) by ``tasks[i % len(tasks)]``
@@ -110,7 +108,7 @@ def shared_structure_trace(
             f"n_blocks must be positive, got {n_blocks}"
         )
     rng = random.Random(seed)
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(n_references):
         index = rng.randrange(n_blocks)
@@ -118,13 +116,9 @@ def shared_structure_trace(
         offset = rng.randrange(block_size_words)
         if rng.random() < write_fraction:
             writer = tasks[index % len(tasks)]
-            references.append(
-                Reference(writer, Op.WRITE, Address(block, offset), next_value)
-            )
+            builder.write(writer, block, offset, next_value)
             next_value += 1
         else:
             reader = tasks[rng.randrange(len(tasks))]
-            references.append(
-                Reference(reader, Op.READ, Address(block, offset))
-            )
-    return Trace(references, n_nodes, block_size_words)
+            builder.read(reader, block, offset)
+    return builder.build()

@@ -25,8 +25,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.ctrace import CompiledTrace, trace_builder
 from repro.sim.trace import Trace
-from repro.types import Address, NodeId, Op, Reference
+from repro.types import Address, NodeId
 
 
 def _blocks_per_row(row_words: int, block_size_words: int) -> int:
@@ -57,7 +58,8 @@ def jacobi_trace(
     sweeps: int = 2,
     block_size_words: int = 4,
     first_block: int = 0,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """Jacobi relaxation, rows banded across ``tasks``.
 
     Each sweep, every task reads its own rows plus the rows adjacent to its
@@ -83,7 +85,7 @@ def jacobi_trace(
     owner_of_row = [
         tasks[min(row // band, n_tasks - 1)] for row in range(rows)
     ]
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(sweeps):
         for task_index, task in enumerate(tasks):
@@ -94,17 +96,17 @@ def jacobi_trace(
                 for address in _row_addresses(
                     first_block, row, row_words, block_size_words
                 ):
-                    references.append(Reference(task, Op.READ, address))
+                    builder.read(task, address.block, address.offset)
             for row in range(low, high):
                 assert owner_of_row[row] == task
                 for address in _row_addresses(
                     first_block, row, row_words, block_size_words
                 ):
-                    references.append(
-                        Reference(task, Op.WRITE, address, next_value)
+                    builder.write(
+                        task, address.block, address.offset, next_value
                     )
                     next_value += 1
-    return Trace(references, n_nodes, block_size_words)
+    return builder.build()
 
 
 def matrix_multiply_trace(
@@ -114,7 +116,8 @@ def matrix_multiply_trace(
     size: int = 8,
     block_size_words: int = 4,
     first_block: int = 0,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """Blocked ``C = A x B`` with ``C``/``A`` rows partitioned by task.
 
     ``B`` occupies the blocks after ``A`` and is only ever read -- the
@@ -138,7 +141,7 @@ def matrix_multiply_trace(
     c_first = b_first + size * per_row
     n_tasks = len(tasks)
     band = size // n_tasks
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for task_index, task in enumerate(tasks):
         low = task_index * band
@@ -148,13 +151,13 @@ def matrix_multiply_trace(
             c_row = _row_addresses(c_first, i, size, block_size_words)
             for j in range(size):
                 for k in range(size):
-                    references.append(Reference(task, Op.READ, a_row[k]))
-                    b_row = _row_addresses(
+                    a_word = a_row[k]
+                    builder.read(task, a_word.block, a_word.offset)
+                    b_word = _row_addresses(
                         b_first, k, size, block_size_words
-                    )
-                    references.append(Reference(task, Op.READ, b_row[j]))
-                references.append(
-                    Reference(task, Op.WRITE, c_row[j], next_value)
-                )
+                    )[j]
+                    builder.read(task, b_word.block, b_word.offset)
+                c_word = c_row[j]
+                builder.write(task, c_word.block, c_word.offset, next_value)
                 next_value += 1
-    return Trace(references, n_nodes, block_size_words)
+    return builder.build()

@@ -8,6 +8,10 @@
   increases the network traffic");
 * :func:`ping_pong_trace` -- two tasks alternately writing one block, the
   degenerate migratory case.
+
+Every generator accepts ``compiled=True`` to emit a columnar
+:class:`~repro.sim.ctrace.CompiledTrace` (identical stream, no
+``Reference`` objects).
 """
 
 from __future__ import annotations
@@ -15,8 +19,9 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.ctrace import CompiledTrace, trace_builder
 from repro.sim.trace import Trace
-from repro.types import Address, NodeId, Op, Reference
+from repro.types import NodeId
 from repro.workloads.markov import _check_tasks
 
 
@@ -28,29 +33,24 @@ def producer_consumer_trace(
     *,
     block: int = 0,
     block_size_words: int = 4,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """``n_rounds`` of: producer writes every word, consumers read them."""
     _check_tasks([producer, *consumers], n_nodes)
     if n_rounds < 0:
         raise ConfigurationError(
             f"n_rounds must be non-negative, got {n_rounds}"
         )
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(n_rounds):
         for offset in range(block_size_words):
-            references.append(
-                Reference(
-                    producer, Op.WRITE, Address(block, offset), next_value
-                )
-            )
+            builder.write(producer, block, offset, next_value)
             next_value += 1
         for consumer in consumers:
             for offset in range(block_size_words):
-                references.append(
-                    Reference(consumer, Op.READ, Address(block, offset))
-                )
-    return Trace(references, n_nodes, block_size_words)
+                builder.read(consumer, block, offset)
+    return builder.build()
 
 
 def migratory_trace(
@@ -60,23 +60,22 @@ def migratory_trace(
     *,
     block: int = 0,
     block_size_words: int = 4,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """Each task in turn reads then updates the block (lock-like sharing)."""
     _check_tasks(tasks, n_nodes)
     if n_rounds < 0:
         raise ConfigurationError(
             f"n_rounds must be non-negative, got {n_rounds}"
         )
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(n_rounds):
         for task in tasks:
-            references.append(Reference(task, Op.READ, Address(block, 0)))
-            references.append(
-                Reference(task, Op.WRITE, Address(block, 0), next_value)
-            )
+            builder.read(task, block, 0)
+            builder.write(task, block, 0, next_value)
             next_value += 1
-    return Trace(references, n_nodes, block_size_words)
+    return builder.build()
 
 
 def ping_pong_trace(
@@ -87,20 +86,19 @@ def ping_pong_trace(
     *,
     block: int = 0,
     block_size_words: int = 4,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """Two tasks alternately writing (and reading back) one word."""
     _check_tasks([first, second], n_nodes)
     if n_rounds < 0:
         raise ConfigurationError(
             f"n_rounds must be non-negative, got {n_rounds}"
         )
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(n_rounds):
         for task in (first, second):
-            references.append(
-                Reference(task, Op.WRITE, Address(block, 0), next_value)
-            )
-            references.append(Reference(task, Op.READ, Address(block, 0)))
+            builder.write(task, block, 0, next_value)
+            builder.read(task, block, 0)
             next_value += 1
-    return Trace(references, n_nodes, block_size_words)
+    return builder.build()

@@ -12,8 +12,9 @@ import random
 from typing import Sequence
 
 from repro.errors import ConfigurationError
+from repro.sim.ctrace import CompiledTrace, trace_builder
 from repro.sim.trace import Trace
-from repro.types import Address, NodeId, Op, Reference
+from repro.types import NodeId
 
 
 def random_trace(
@@ -26,7 +27,8 @@ def random_trace(
     locality: float = 0.5,
     nodes: Sequence[NodeId] | None = None,
     seed: int = 0,
-) -> Trace:
+    compiled: bool = False,
+) -> Trace | CompiledTrace:
     """A seeded random reference stream.
 
     ``locality`` is the probability that a reference repeats the issuing
@@ -57,7 +59,7 @@ def random_trace(
 
     rng = random.Random(seed)
     last_block: dict[NodeId, int] = {}
-    references = []
+    builder = trace_builder(n_nodes, block_size_words, compiled=compiled)
     next_value = 1
     for _ in range(n_references):
         node = chosen_nodes[rng.randrange(len(chosen_nodes))]
@@ -66,12 +68,10 @@ def random_trace(
         else:
             block = rng.randrange(n_blocks)
         last_block[node] = block
-        address = Address(block, rng.randrange(block_size_words))
+        offset = rng.randrange(block_size_words)
         if rng.random() < write_fraction:
-            references.append(
-                Reference(node, Op.WRITE, address, next_value)
-            )
+            builder.write(node, block, offset, next_value)
             next_value += 1
         else:
-            references.append(Reference(node, Op.READ, address))
-    return Trace(references, n_nodes, block_size_words)
+            builder.read(node, block, offset)
+    return builder.build()

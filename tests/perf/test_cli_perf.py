@@ -28,6 +28,13 @@ def _stub_results(rate=1000.0, total_bits=42):
     return {result.name: result}
 
 
+@pytest.fixture(autouse=True)
+def _isolate_history(monkeypatch, tmp_path):
+    """Run every test from ``tmp_path`` so the default
+    ``BENCH_history.jsonl`` append never touches the repository root."""
+    monkeypatch.chdir(tmp_path)
+
+
 @pytest.fixture
 def stub_benchmarks(monkeypatch):
     def install(**kwargs):
@@ -45,7 +52,10 @@ def stub_benchmarks(monkeypatch):
 
 def test_prints_table_without_baseline(stub_benchmarks, tmp_path, capsys):
     baseline = tmp_path / "BENCH_perf.json"
-    assert main(["perf", "--baseline", str(baseline)]) == 0
+    history = tmp_path / "history.jsonl"
+    assert main(
+        ["perf", "--baseline", str(baseline), "--history", str(history)]
+    ) == 0
     output = capsys.readouterr().out
     assert "perf microbenchmarks" in output
     assert "trace_replay_n8" in output
@@ -107,3 +117,23 @@ def test_output_json_export(stub_benchmarks, tmp_path):
     ) == 0
     payload = json.loads(output.read_text())
     assert payload["benchmarks"]["trace_replay_n8"]["work"] == 300
+
+
+def test_history_appended_by_default(stub_benchmarks, tmp_path, capsys):
+    baseline = tmp_path / "BENCH_perf.json"
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    history = tmp_path / "BENCH_history.jsonl"
+    assert "history row appended" in capsys.readouterr().out
+    rows = [json.loads(line) for line in history.read_text().splitlines()]
+    assert len(rows) == 2
+    assert rows[0]["rates"] == {"trace_replay_n8": 1000.0}
+    assert rows[0]["equivalent"] is True
+
+
+def test_no_history_flag_skips_the_append(stub_benchmarks, tmp_path):
+    baseline = tmp_path / "BENCH_perf.json"
+    assert main(
+        ["perf", "--no-history", "--baseline", str(baseline)]
+    ) == 0
+    assert not (tmp_path / "BENCH_history.jsonl").exists()

@@ -89,3 +89,49 @@ def test_equivalence_only_ignores_timing():
     crawl = {"bench": _result(rate=1.0)}
     assert compare_to_baseline(crawl, baseline, check_timing=False) == []
     assert compare_to_baseline(crawl, baseline, check_timing=True) != []
+
+
+class TestHistory:
+    def _results(self):
+        return {
+            "bench": _result(rate=1234.5),
+            "other": _result(name="other", rate=99.0),
+        }
+
+    def test_appends_one_row_per_run(self, tmp_path):
+        from repro.perf.regress import append_history
+
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(
+            self._results(),
+            path,
+            timestamp="2026-08-05T00:00:00+00:00",
+            commit="abc123",
+        )
+        append_history(
+            self._results(),
+            path,
+            timestamp="2026-08-05T00:01:00+00:00",
+            commit="abc123",
+        )
+        rows = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(rows) == 2
+        first = rows[0]
+        assert first["timestamp"] == "2026-08-05T00:00:00+00:00"
+        assert first["commit"] == "abc123"
+        assert first["rates"] == {"bench": 1234.5, "other": 99.0}
+        assert first["equivalent"] is True
+
+    def test_defaults_fill_timestamp_and_commit(self, tmp_path):
+        from repro.perf.regress import append_history
+
+        path = append_history(
+            self._results(), tmp_path / "history.jsonl"
+        )
+        row = json.loads(path.read_text())
+        assert row["timestamp"]  # now(); format checked by fromisoformat
+        from datetime import datetime
+
+        datetime.fromisoformat(row["timestamp"])

@@ -234,3 +234,36 @@ class TestValidation:
     def test_negative_retries_rejected(self):
         with pytest.raises(ConfigurationError):
             Executor(retries=-1)
+
+
+class TestCompiledReplay:
+    def test_compiled_default_is_bit_identical(self):
+        """The ``compiled`` knob changes speed, never results.
+
+        Same cell, with and without the columnar fast path (and with a
+        warmup, so the trace-slicing path is exercised too): the reports
+        must agree byte for byte.
+        """
+        from dataclasses import replace
+
+        from repro.runner.executor import execute_spec
+
+        spec = ExperimentSpec(
+            protocol="two-mode",
+            workload=WorkloadSpec(
+                kind="markov",
+                n_nodes=8,
+                n_references=400,
+                write_fraction=0.3,
+                seed=21,
+                tasks=(0, 1, 2, 3),
+            ),
+            config=SystemConfig(n_nodes=8),
+            warmup=50,
+        )
+        assert spec.compiled
+        compiled_report = execute_spec(spec)
+        reference_report = execute_spec(replace(spec, compiled=False))
+        assert json.dumps(
+            compiled_report.to_dict(), sort_keys=True
+        ) == json.dumps(reference_report.to_dict(), sort_keys=True)

@@ -184,3 +184,30 @@ class TestSweepSpec:
             SweepSpec.from_grid("a", **kwargs).spec_hash
             != SweepSpec.from_grid("b", **kwargs).spec_hash
         )
+
+
+class TestCompiledKnob:
+    def test_default_is_compiled_and_hash_neutral(self):
+        spec = make_spec()
+        assert spec.compiled is True
+        assert "compiled" not in spec.to_dict()
+        # The knob default must not disturb hashes of pre-existing spec
+        # dicts: explicit True serialises identically to the default.
+        assert make_spec(compiled=True).spec_hash == spec.spec_hash
+
+    def test_from_dict_defaults_to_compiled(self):
+        data = make_spec().to_dict()
+        data.pop("compiled", None)
+        assert ExperimentSpec.from_dict(data).compiled is True
+
+    def test_disabled_knob_round_trips(self):
+        spec = make_spec(compiled=False)
+        data = spec.to_dict()
+        assert data["compiled"] is False
+        rebuilt = ExperimentSpec.from_dict(data)
+        assert rebuilt.compiled is False
+        assert rebuilt == spec
+
+    def test_build_compiled_matches_build(self):
+        workload = make_workload()
+        assert workload.build_compiled() == workload.build().compile()

@@ -1,0 +1,298 @@
+"""Unit and property tests for columnar compiled traces.
+
+The load-bearing guarantee is at the bottom: for *every* workload
+generator, the compiled and reference-list forms describe the identical
+stream and replay to bit-identical ``SimulationReport`` dictionaries --
+through both the verifying loop and the fast-path loop.
+"""
+
+import io
+from array import array
+
+import pytest
+
+from repro.analysis.compare import default_factories
+from repro.errors import TraceError
+from repro.sim.ctrace import (
+    CompiledTrace,
+    dump_compiled_trace,
+    load_compiled_trace,
+    parse_compiled_trace,
+    save_compiled_trace,
+    trace_builder,
+)
+from repro.sim.engine import run_trace
+from repro.sim.system import System, SystemConfig
+from repro.sim.trace import Trace, dump_trace, load_trace, save_trace
+from repro.types import Address, Op, Reference
+from repro.workloads.locks import spinlock_trace
+from repro.workloads.markov import markov_block_trace, shared_structure_trace
+from repro.workloads.matrix import jacobi_trace, matrix_multiply_trace
+from repro.workloads.sharing import (
+    migratory_trace,
+    ping_pong_trace,
+    producer_consumer_trace,
+)
+from repro.workloads.synthetic import random_trace
+
+
+def sample_trace():
+    return Trace(
+        [
+            Reference(0, Op.WRITE, Address(3, 1), 42),
+            Reference(2, Op.READ, Address(3, 1)),
+            Reference(1, Op.READ, Address(0, 0)),
+        ],
+        n_nodes=4,
+        block_size_words=2,
+    )
+
+
+def columns(*rows):
+    """``(node, op, block, offset, value)`` rows -> five ``array('q')``."""
+    return tuple(array("q", column) for column in zip(*rows)) or tuple(
+        array("q") for _ in range(5)
+    )
+
+
+class TestRoundTrip:
+    def test_compile_preserves_stream(self):
+        trace = sample_trace()
+        compiled = trace.compile()
+        assert len(compiled) == len(trace)
+        assert list(compiled) == trace.references
+        assert compiled.n_nodes == trace.n_nodes
+        assert compiled.block_size_words == trace.block_size_words
+
+    def test_to_trace_round_trips(self):
+        trace = sample_trace()
+        back = trace.compile().to_trace()
+        assert back.references == trace.references
+        assert back.n_nodes == trace.n_nodes
+        assert back.block_size_words == trace.block_size_words
+
+    def test_compile_of_to_trace_is_equal(self):
+        compiled = sample_trace().compile()
+        assert compiled.to_trace().compile() == compiled
+
+    def test_write_fraction_matches(self):
+        trace = sample_trace()
+        assert trace.compile().write_fraction == trace.write_fraction
+
+    def test_empty_write_fraction(self):
+        empty = Trace([], n_nodes=2, block_size_words=2).compile()
+        assert empty.write_fraction == 0.0
+
+
+class TestSequenceBehaviour:
+    def test_indexing_yields_references(self):
+        compiled = sample_trace().compile()
+        assert compiled[0] == Reference(0, Op.WRITE, Address(3, 1), 42)
+        assert compiled[-1] == Reference(1, Op.READ, Address(0, 0))
+
+    def test_slicing_yields_compiled_trace(self):
+        compiled = sample_trace().compile()
+        tail = compiled[1:]
+        assert isinstance(tail, CompiledTrace)
+        assert len(tail) == 2
+        assert list(tail) == sample_trace().references[1:]
+        assert tail.n_nodes == compiled.n_nodes
+        assert tail.block_size_words == compiled.block_size_words
+
+    def test_equality_distinguishes_geometry(self):
+        compiled = sample_trace().compile()
+        other = CompiledTrace(
+            compiled.nodes,
+            compiled.ops,
+            compiled.blocks,
+            compiled.offsets,
+            compiled.values,
+            compiled.n_nodes + 4,
+            compiled.block_size_words,
+        )
+        assert compiled != other
+        assert compiled == sample_trace().compile()
+
+
+class TestValidation:
+    def test_node_out_of_range_rejected(self):
+        with pytest.raises(TraceError, match="node 4"):
+            CompiledTrace(*columns((4, 0, 0, 0, 0)), 4, 2)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(TraceError, match="negative block"):
+            CompiledTrace(*columns((0, 0, -1, 0, 0)), 4, 2)
+
+    def test_offset_out_of_range_rejected(self):
+        with pytest.raises(TraceError, match="offset 2"):
+            CompiledTrace(*columns((0, 0, 0, 2, 0)), 4, 2)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(TraceError, match="op column"):
+            CompiledTrace(*columns((0, 7, 0, 0, 0)), 4, 2)
+
+    def test_ragged_columns_rejected(self):
+        good = columns((0, 0, 0, 0, 0), (1, 1, 0, 1, 9))
+        with pytest.raises(TraceError, match="ragged"):
+            CompiledTrace(
+                good[0][:1], good[1], good[2], good[3], good[4], 4, 2
+            )
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(TraceError):
+            CompiledTrace(*columns(), 0, 2)
+        with pytest.raises(TraceError):
+            CompiledTrace(*columns(), 4, 0)
+
+    def test_error_names_offending_index(self):
+        with pytest.raises(TraceError, match="reference 1"):
+            CompiledTrace(
+                *columns((0, 0, 0, 0, 0), (9, 0, 0, 0, 0)), 4, 2
+            )
+
+
+class TestBuilders:
+    def test_both_builders_emit_the_same_stream(self):
+        reference = trace_builder(4, 2, compiled=False)
+        compiled = trace_builder(4, 2, compiled=True)
+        for builder in (reference, compiled):
+            builder.write(0, 3, 1, 42)
+            builder.read(2, 3, 1)
+            builder.read(1, 0, 0)
+        assert compiled.build() == reference.build().compile()
+
+    def test_builder_output_validates(self):
+        builder = trace_builder(2, 2, compiled=True)
+        builder.read(5, 0, 0)
+        with pytest.raises(TraceError):
+            builder.build()
+
+
+class TestTextFormat:
+    def test_compiled_stream_round_trip(self):
+        compiled = sample_trace().compile()
+        buffer = io.StringIO()
+        dump_compiled_trace(compiled, buffer)
+        assert parse_compiled_trace(buffer.getvalue().splitlines()) == compiled
+
+    def test_dump_trace_accepts_compiled_form(self):
+        trace = sample_trace()
+        plain, columnar = io.StringIO(), io.StringIO()
+        dump_trace(trace, plain)
+        dump_trace(trace.compile(), columnar)
+        assert plain.getvalue() == columnar.getvalue()
+
+    def test_file_round_trip_across_forms(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "stream.trace"
+        save_trace(trace.compile(), path)
+        assert load_trace(path).references == trace.references
+        assert load_compiled_trace(path) == trace.compile()
+        save_compiled_trace(trace.compile(), path)
+        assert load_trace(path).references == trace.references
+
+    def test_comments_and_blanks_ignored(self):
+        text = [
+            "# repro-trace v1 n_nodes=4 block_size=2",
+            "",
+            "# a comment",
+            "0 W 3:1 42",
+        ]
+        compiled = parse_compiled_trace(text)
+        assert list(compiled) == [Reference(0, Op.WRITE, Address(3, 1), 42)]
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            parse_compiled_trace([])
+
+    def test_malformed_line_rejected(self):
+        header = "# repro-trace v1 n_nodes=4 block_size=2"
+        with pytest.raises(TraceError, match="line 2"):
+            parse_compiled_trace([header, "0 W 3:1"])
+        with pytest.raises(TraceError, match="unknown operation"):
+            parse_compiled_trace([header, "0 X 3:1 0"])
+        with pytest.raises(TraceError, match="malformed"):
+            parse_compiled_trace([header, "0 W three:1 0"])
+
+
+# ----------------------------------------------------------------------
+# Property tests: every generator, both forms, identical replays
+# ----------------------------------------------------------------------
+
+# name -> builder(n_nodes, compiled) covering every workload generator.
+GENERATORS = {
+    "markov": lambda n, c: markov_block_trace(
+        n, tasks=list(range(min(n, 6))), write_fraction=0.3,
+        n_references=300, seed=11, compiled=c,
+    ),
+    "shared-structure": lambda n, c: shared_structure_trace(
+        n, tasks=list(range(min(n, 6))), write_fraction=0.4,
+        n_references=300, n_blocks=5, seed=13, compiled=c,
+    ),
+    "random": lambda n, c: random_trace(
+        n, 300, n_blocks=6, write_fraction=0.25, seed=17, compiled=c,
+    ),
+    "spinlock": lambda n, c: spinlock_trace(
+        n, tasks=list(range(min(n, 4))), n_acquisitions=20, compiled=c,
+    ),
+    "producer-consumer": lambda n, c: producer_consumer_trace(
+        n, producer=0, consumers=list(range(1, min(n, 5))), n_rounds=15,
+        compiled=c,
+    ),
+    "migratory": lambda n, c: migratory_trace(
+        n, tasks=list(range(min(n, 5))), n_rounds=15, compiled=c,
+    ),
+    "ping-pong": lambda n, c: ping_pong_trace(
+        n, first=0, second=1, n_rounds=25, compiled=c,
+    ),
+    "jacobi": lambda n, c: jacobi_trace(
+        n, tasks=list(range(min(n, 4))), rows=8, sweeps=1, compiled=c,
+    ),
+    "matrix-multiply": lambda n, c: matrix_multiply_trace(
+        n, tasks=list(range(min(n, 4))), size=4, compiled=c,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+@pytest.mark.parametrize("n_nodes", [8, 16])
+def test_generator_forms_describe_identical_streams(name, n_nodes):
+    build = GENERATORS[name]
+    trace = build(n_nodes, False)
+    compiled = build(n_nodes, True)
+    assert isinstance(compiled, CompiledTrace)
+    assert compiled == trace.compile()
+    assert compiled.to_trace().references == trace.references
+    # ... and survive the text format in either form.
+    buffer = io.StringIO()
+    dump_trace(compiled, buffer)
+    assert parse_compiled_trace(buffer.getvalue().splitlines()) == compiled
+
+
+def _replay(trace, n_nodes, *, verify):
+    system = System(SystemConfig(n_nodes=n_nodes))
+    protocol = default_factories()["two-mode"](system)
+    return run_trace(
+        protocol,
+        trace,
+        verify=verify,
+        check_invariants_every=100 if verify else 0,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+@pytest.mark.parametrize("n_nodes", [8, 16])
+def test_generator_forms_replay_identically(name, n_nodes):
+    build = GENERATORS[name]
+    reference_report = _replay(
+        build(n_nodes, False).references, n_nodes, verify=False
+    )
+    # The fast-path column loop (all per-reference checks off) ...
+    fast_report = _replay(build(n_nodes, True), n_nodes, verify=False)
+    assert fast_report.to_dict() == reference_report.to_dict()
+    # ... and the verifying column loop must agree with the classic loop.
+    verified_columns = _replay(build(n_nodes, True), n_nodes, verify=True)
+    verified_reference = _replay(
+        build(n_nodes, False).references, n_nodes, verify=True
+    )
+    assert verified_columns.to_dict() == verified_reference.to_dict()

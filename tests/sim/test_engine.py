@@ -170,7 +170,8 @@ class TestVerifyStrideCombinations:
             )
 
     def test_no_verify_with_stride_runs_only_invariants(self):
-        # Structural checks at the stride plus one final check...
+        # Structural checks at the stride; the final check is folded into
+        # the last in-loop one when the stride divides the length exactly.
         protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
         run_trace(
             protocol,
@@ -178,7 +179,7 @@ class TestVerifyStrideCombinations:
             verify=False,
             check_invariants_every=5,
         )
-        assert protocol.invariant_checks == 20 // 5 + 1
+        assert protocol.invariant_checks == 20 // 5
         # ...while value corruption sails through unchecked.
         broken = BrokenProtocol(System(SystemConfig(n_nodes=4)))
         reads = [Reference(1, Op.READ, Address(0, 0))] * 6
@@ -190,7 +191,7 @@ class TestVerifyStrideCombinations:
     def test_default_verify_checks_every_reference(self):
         protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
         run_trace(protocol, self.trace(20), verify=True)
-        assert protocol.invariant_checks == 20 + 1
+        assert protocol.invariant_checks == 20
 
     def test_default_no_verify_checks_nothing(self):
         protocol = CountingProtocol(System(SystemConfig(n_nodes=4)))
