@@ -1,6 +1,7 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the common uses of the library without writing code:
+Twelve commands cover the common uses of the library without writing
+code:
 
 * ``tables``  -- regenerate the paper's Tables 2, 3 and 4 next to the
   published values;
@@ -25,7 +26,15 @@ Ten commands cover the common uses of the library without writing code:
   JSONL trace, the Perfetto-loadable Chrome trace and the heatmap JSON
   (see docs/OBSERVABILITY.md);
 * ``heatmap`` -- run one workload and render the per-link / per-switch
-  utilization grids as ASCII (optionally archived as JSON).
+  utilization grids as ASCII (optionally archived as JSON);
+* ``serve``   -- run the :mod:`repro.serve` daemon on a unix socket:
+  request coalescing by spec hash, two-tier result cache, bounded-queue
+  admission control, streamed progress, graceful drain on SIGTERM
+  (see docs/SERVE.md);
+* ``submit``  -- submit the ``sweep`` grid to a running daemon instead
+  of executing locally (plus ``--ping`` / ``--status`` / ``--drain``
+  daemon controls); same table out, so the CLI is just one client of
+  the service.
 
 ``sweep`` and ``chaos`` additionally accept ``--trace-dir`` to export
 per-cell trace artifacts while the grid runs.
@@ -104,23 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "the repro.runner subsystem (JSON-exportable)"
         ),
     )
-    sweep.add_argument(
-        "--nodes", type=int, default=64, help="processors (power of two)"
-    )
-    sweep.add_argument(
-        "--sharers",
-        type=int,
-        nargs="+",
-        default=[2, 4, 8, 16],
-        help="sharer counts to sweep",
-    )
-    sweep.add_argument(
-        "--write-fraction", type=float, default=0.3, help="w of §4"
-    )
-    sweep.add_argument(
-        "--references", type=int, default=2000, help="trace length"
-    )
-    sweep.add_argument("--seed", type=int, default=0)
+    _add_sharer_grid_arguments(sweep)
     sweep.add_argument(
         "--output", help="write the records as JSON to this path"
     )
@@ -339,7 +332,128 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", help="also write all four heatmaps as JSON to this path"
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the experiment-serving daemon on a unix socket: "
+            "coalescing, two-tier caching, admission control, graceful "
+            "drain on SIGTERM (see docs/SERVE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--socket",
+        required=True,
+        help="unix socket path to listen on (removed on clean drain)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrently executing cells (default: 2)",
+    )
+    serve.add_argument(
+        "--exec-workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes per cell inside the executor "
+            "(0 = in-process, the default)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help=(
+            "admitted-but-not-started cell bound; submissions beyond it "
+            "are rejected whole (default: 64)"
+        ),
+    )
+    serve.add_argument(
+        "--hot-capacity",
+        type=int,
+        default=256,
+        help="in-memory LRU hot-tier entries (default: 256)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        help="disk tier behind the hot cache (content-addressed store)",
+    )
+    serve.add_argument(
+        "--journal",
+        help=(
+            "append fsynced daemon + task events to this JSONL file "
+            "(the source of streamed progress)"
+        ),
+    )
+
+    submit = commands.add_parser(
+        "submit",
+        help=(
+            "submit the sweep grid to a running serve daemon instead of "
+            "executing locally (same table out)"
+        ),
+    )
+    submit.add_argument(
+        "--socket", required=True, help="daemon unix socket path"
+    )
+    _add_sharer_grid_arguments(submit)
+    submit.add_argument(
+        "--output",
+        help=(
+            "write spec hashes + full reports as deterministic JSON "
+            "(byte-identical across clients for identical grids)"
+        ),
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="socket timeout in seconds (default: 300)",
+    )
+    submit.add_argument(
+        "--quiet-events",
+        action="store_true",
+        help="do not print streamed progress events",
+    )
+    submit.add_argument(
+        "--ping",
+        action="store_true",
+        help="liveness-probe the daemon and exit",
+    )
+    submit.add_argument(
+        "--status",
+        action="store_true",
+        help="print the daemon's status snapshot as JSON and exit",
+    )
+    submit.add_argument(
+        "--drain",
+        action="store_true",
+        help="ask the daemon to drain and shut down, then exit",
+    )
+
     return parser
+
+
+def _add_sharer_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sharer-sweep grid knobs, shared by ``sweep`` and ``submit``."""
+    parser.add_argument(
+        "--nodes", type=int, default=64, help="processors (power of two)"
+    )
+    parser.add_argument(
+        "--sharers",
+        type=int,
+        nargs="+",
+        default=[2, 4, 8, 16],
+        help="sharer counts to sweep",
+    )
+    parser.add_argument(
+        "--write-fraction", type=float, default=0.3, help="w of §4"
+    )
+    parser.add_argument(
+        "--references", type=int, default=2000, help="trace length"
+    )
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -483,18 +597,10 @@ def _command_latency(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
-    from repro.analysis.records import save_records
-    from repro.analysis.report import render_table
-    from repro.analysis.sweep import SweepRecord, series_by_protocol
+def _sharer_sweep(args: argparse.Namespace):
+    """The sharer-sweep grid shared by ``sweep`` and ``submit``."""
     from repro.protocol.messages import MessageCosts
-    from repro.runner import (
-        Executor,
-        ResultCache,
-        RunJournal,
-        SweepSpec,
-        WorkloadSpec,
-    )
+    from repro.runner import SweepSpec, WorkloadSpec
 
     workloads = [
         WorkloadSpec(
@@ -507,7 +613,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
         )
         for n in args.sharers
     ]
-    sweep = SweepSpec.from_grid(
+    return SweepSpec.from_grid(
         "cli-sharer-sweep",
         protocols=sorted(default_factories()),
         workloads=workloads,
@@ -517,26 +623,28 @@ def _command_sweep(args: argparse.Namespace) -> int:
             )
         ],
     )
-    journal = RunJournal(args.journal)
-    executor = Executor(
-        workers=args.workers,
-        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
-        journal=journal,
-        trace_dir=args.trace_dir,
-    )
-    results = executor.run(sweep)
-    records = [
+
+
+def _sharer_records(pairs):
+    """``(spec, report)`` pairs -> sweep records for the shared table."""
+    from repro.analysis.sweep import SweepRecord
+
+    return [
         SweepRecord(
-            protocol=result.spec.protocol,
-            parameters=(
-                ("n_sharers", len(result.spec.workload.tasks)),
-            ),
-            cost_per_reference=result.report.cost_per_reference,
-            total_bits=result.report.network_total_bits,
-            events=tuple(sorted(result.report.stats.events.items())),
+            protocol=spec.protocol,
+            parameters=(("n_sharers", len(spec.workload.tasks)),),
+            cost_per_reference=report.cost_per_reference,
+            total_bits=report.network_total_bits,
+            events=tuple(sorted(report.stats.events.items())),
         )
-        for result in results
+        for spec, report in pairs
     ]
+
+
+def _print_sharer_table(records, args: argparse.Namespace) -> None:
+    from repro.analysis.report import render_table
+    from repro.analysis.sweep import series_by_protocol
+
     series = series_by_protocol(records, "n_sharers")
     names = sorted(series)
     rows = [
@@ -554,6 +662,25 @@ def _command_sweep(args: argparse.Namespace) -> int:
             ),
         )
     )
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.records import save_records
+    from repro.runner import Executor, ResultCache, RunJournal
+
+    sweep = _sharer_sweep(args)
+    journal = RunJournal(args.journal)
+    executor = Executor(
+        workers=args.workers,
+        cache=ResultCache(args.cache_dir) if args.cache_dir else None,
+        journal=journal,
+        trace_dir=args.trace_dir,
+    )
+    results = executor.run(sweep)
+    records = _sharer_records(
+        [(result.spec, result.report) for result in results]
+    )
+    _print_sharer_table(records, args)
     counts = journal.counts()
     print(
         f"runner: {len(results)} cells, {counts['executed']} executed, "
@@ -784,6 +911,126 @@ def _command_heatmap(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.daemon import ServeConfig, ServeDaemon
+
+    config = ServeConfig(
+        socket_path=args.socket,
+        workers=args.workers,
+        exec_workers=args.exec_workers,
+        max_queue=args.max_queue,
+        hot_capacity=args.hot_capacity,
+        cache_dir=args.cache_dir,
+        journal_path=args.journal,
+    )
+    daemon = ServeDaemon(config)
+
+    async def _main() -> None:
+        await daemon.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, daemon.request_stop)
+        print(
+            f"serving on {args.socket} "
+            f"(workers={args.workers}, max_queue={args.max_queue}, "
+            f"hot_capacity={args.hot_capacity})",
+            flush=True,
+        )
+        await daemon.run_until_stopped()
+
+    asyncio.run(_main())
+    counts = daemon.journal.counts()
+    print(
+        f"drained: {counts['executed']} executed, "
+        f"{daemon.cache.hot_hits} hot hits, "
+        f"{daemon._coalesced} coalesced, "
+        f"{daemon._rejected} rejected"
+    )
+    return 0
+
+
+def _command_submit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.errors import OverloadedError
+    from repro.serve.client import ServeClient
+    from repro.sim.engine import SimulationReport
+
+    client = ServeClient(args.socket, timeout=args.timeout)
+    if args.ping:
+        print(json.dumps(client.ping(), sort_keys=True))
+        return 0
+    if args.status:
+        print(json.dumps(client.status(), indent=2, sort_keys=True))
+        return 0
+    if args.drain:
+        print(json.dumps(client.drain(), sort_keys=True))
+        return 0
+
+    sweep = _sharer_sweep(args)
+
+    def show_event(frame: dict) -> None:
+        task = frame.get("task", "?")
+        label = frame.get("event", "event")
+        extra = ""
+        if frame.get("refs_per_sec") is not None:
+            extra = f" ({frame['refs_per_sec']:,.0f} refs/s)"
+        print(f"  event: {task} {label}{extra}")
+
+    try:
+        outcome = client.submit(
+            list(sweep.cells),
+            name=sweep.name,
+            on_event=None if args.quiet_events else show_event,
+        )
+    except OverloadedError as exc:
+        print(f"rejected: {exc}")
+        return 3
+    by_hash = {
+        frame["spec_hash"]: frame["report"] for frame in outcome.results
+    }
+    pairs = [
+        (spec, SimulationReport.from_dict(by_hash[spec.spec_hash]))
+        for spec in sweep.cells
+        if spec.spec_hash in by_hash
+    ]
+    records = _sharer_records(pairs)
+    _print_sharer_table(records, args)
+    accepted = outcome.accepted
+    print(
+        f"serve: {accepted['tasks']} cells "
+        f"({accepted['unique']} unique), "
+        f"{accepted['queued']} queued, "
+        f"{accepted['coalesced']} coalesced, "
+        f"{accepted['cached']} cached "
+        f"(socket={args.socket})"
+    )
+    if args.output:
+        # Deterministic payload: spec hash + report only, sorted keys --
+        # two clients submitting the same grid write identical bytes.
+        payload = {
+            "name": sweep.name,
+            "sweep_hash": sweep.spec_hash,
+            "results": [
+                {"spec_hash": frame["spec_hash"], "report": frame["report"]}
+                for frame in outcome.results
+            ],
+        }
+        Path(args.output).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"results written to {args.output}")
+    if outcome.failed:
+        for frame in outcome.errors:
+            print(f"FAILED: {frame.get('task')}: {frame.get('error')}")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "tables": _command_tables,
     "figures": _command_figures,
@@ -795,6 +1042,8 @@ _COMMANDS = {
     "chaos": _command_chaos,
     "trace": _command_trace,
     "heatmap": _command_heatmap,
+    "serve": _command_serve,
+    "submit": _command_submit,
 }
 
 

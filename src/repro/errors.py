@@ -108,3 +108,30 @@ class ExecutionError(ReproError):
     budget -- the worker process kept crashing, timing out, or raising --
     with the last failure's traceback in the message.
     """
+
+
+class ServeError(ReproError):
+    """The experiment-serving layer (:mod:`repro.serve`) failed.
+
+    Base class for daemon/client failures that are not plain socket
+    errors: protocol violations, server-side task failures reported back
+    to a client, a daemon that refused a request.
+    """
+
+
+class FrameError(ServeError):
+    """A wire frame violated the length-prefixed JSON protocol.
+
+    Raised for oversized frames, truncated length prefixes or payloads,
+    payloads that are not valid JSON, and payloads whose top level is not
+    an object (see docs/SERVE.md for the framing rules).
+    """
+
+
+class OverloadedError(ServeError):
+    """The serve daemon refused a submission to protect itself.
+
+    Raised client-side when the daemon answers ``rejected`` -- its
+    admission queue is full, or it is draining for shutdown.  The
+    request was not partially executed: admission is all-or-nothing.
+    """

@@ -21,6 +21,7 @@ Run via ``repro perf`` (see :mod:`repro.cli`).
 from repro.perf.harness import (
     BenchResult,
     bench_multicast_fanout,
+    bench_serve_hot_cache,
     bench_sweep_throughput,
     bench_trace_replay,
     run_benchmarks,
@@ -38,6 +39,7 @@ __all__ = [
     "PerfRegression",
     "PhaseTimer",
     "bench_multicast_fanout",
+    "bench_serve_hot_cache",
     "bench_sweep_throughput",
     "bench_trace_replay",
     "compare_to_baseline",

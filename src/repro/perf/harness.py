@@ -1,6 +1,6 @@
 """Pinned-seed microbenchmarks of the simulator's hot paths.
 
-Five benchmarks, chosen to cover the traffic shapes the repo's
+Six benchmarks, chosen to cover the traffic shapes the repo's
 experiments exercise:
 
 * **trace replay** -- the §4 methodology end to end: a Markov reference
@@ -17,7 +17,13 @@ experiments exercise:
   combined-scheme sends to randomized destination sets, measured in sends
   per second;
 * **sweep throughput** -- a miniature parameter sweep (three sharer
-  counts), the shape of the figure-regenerating benchmarks.
+  counts), the shape of the figure-regenerating benchmarks;
+* **serve hot cache** -- the :mod:`repro.serve` daemon answering
+  repeated submissions of the flagship cell from its in-memory hot
+  tier, measured in requests per second through the real unix-socket
+  protocol; its equivalence check requires the served report to be
+  bit-identical to a direct executor run and the daemon to have
+  executed the cell exactly once.
 
 Every benchmark is paired with an **equivalence check**: the identical
 workload is replayed with route-plan memoisation disabled
@@ -489,6 +495,107 @@ def bench_sweep_throughput(
     )
 
 
+def bench_serve_hot_cache(
+    *,
+    n_nodes: int = 64,
+    n_tasks: int = 16,
+    write_fraction: float = 0.3,
+    n_references: int = 20000,
+    seed: int = 0,
+    protocol_name: str = "two-mode",
+    n_requests: int = 200,
+) -> BenchResult:
+    """Hot-tier serving throughput through the real daemon.
+
+    A :class:`~repro.serve.daemon.DaemonThread` serves the flagship
+    ``N = 64`` cell over a real unix socket; one warming submission
+    executes it, then ``n_requests`` timed submissions must all be
+    answered from the in-memory hot tier.  The equivalence check
+    compares every served report bit-for-bit against a direct
+    :class:`~repro.runner.executor.Executor` run of the same spec and
+    requires the daemon's per-hash execution ledger to read exactly one
+    -- a cache or coalescing bug fails the perf gate as a correctness
+    bug, not a timing blip.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.runner.executor import Executor
+    from repro.runner.spec import ExperimentSpec, WorkloadSpec
+    from repro.serve import DaemonThread, ServeClient, ServeConfig
+
+    spec = ExperimentSpec(
+        protocol=protocol_name,
+        workload=WorkloadSpec(
+            kind="markov",
+            n_nodes=n_nodes,
+            n_references=n_references,
+            write_fraction=write_fraction,
+            seed=seed,
+            tasks=tuple(range(n_tasks)),
+        ),
+        config=SystemConfig(n_nodes=n_nodes, costs=MessageCosts.uniform(20)),
+    )
+    direct = Executor(workers=0).run([spec])[0].report
+    direct_dict = direct.to_dict()
+
+    # Unix socket paths are length-limited (~108 bytes), so a short
+    # mkdtemp path rather than anything derived from the repo layout.
+    tmp = tempfile.mkdtemp(prefix="repro-bench-")
+    socket_path = os.path.join(tmp, "serve.sock")
+    try:
+        config = ServeConfig(socket_path=socket_path, workers=2)
+        with DaemonThread(config) as daemon:
+            client = ServeClient(socket_path)
+            warm = client.submit([spec], name="warm", stream=False)
+            _require(
+                warm.results[0]["source"] == "queued",
+                "warming submission was not executed fresh",
+            )
+            start = perf_counter()
+            outcomes = [
+                client.submit([spec], name="hot", stream=False)
+                for _ in range(n_requests)
+            ]
+            wall_time = perf_counter() - start
+            for outcome in outcomes:
+                frame = outcome.results[0]
+                _require(
+                    frame["source"] == "hot",
+                    f"request served from {frame['source']!r}, "
+                    f"not the hot tier",
+                )
+                _require(
+                    frame["report"] == direct_dict,
+                    "served report differs from the direct executor run",
+                )
+            status = client.status()
+            _require(
+                status["executed"] == {spec.spec_hash: 1},
+                f"daemon executed {status['executed']}, expected exactly "
+                f"one run of the flagship cell",
+            )
+            _require(
+                status["cache"]["hot_hits"] >= n_requests,
+                "hot-tier hit counter does not cover the timed requests",
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return BenchResult(
+        name=f"serve_hot_cache_n{n_nodes}",
+        unit="requests",
+        work=n_requests,
+        wall_time=wall_time,
+        rate=n_requests / wall_time,
+        equivalent=True,
+        checks={
+            "total_bits": direct.network_total_bits,
+            "unique_executions": 1,
+        },
+    )
+
+
 def run_benchmarks(
     *, equivalence_only: bool = False, repeats: int = 3
 ) -> dict[str, BenchResult]:
@@ -506,5 +613,6 @@ def run_benchmarks(
         bench_fastpath_hit_rate(),
         bench_multicast_fanout(),
         bench_sweep_throughput(),
+        bench_serve_hot_cache(),
     ]
     return {result.name: result for result in results}

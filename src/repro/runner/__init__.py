@@ -7,7 +7,8 @@ The layer between the simulator and everything that sweeps it:
 * :mod:`repro.runner.executor` -- multiprocess fan-out with per-task
   timeout and bounded retry, plus a bit-identical sequential fallback;
 * :mod:`repro.runner.cache` -- content-addressed on-disk result store,
-  so re-running a sweep only executes changed cells;
+  so re-running a sweep only executes changed cells, plus an in-memory
+  LRU hot tier (:class:`TieredResultCache`) for serving paths;
 * :mod:`repro.runner.journal` -- JSONL event log and terminal summary.
 
 Quickstart::
@@ -30,7 +31,7 @@ Quickstart::
     results = Executor(workers=4).run(sweep)
 """
 
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ResultCache, TieredResultCache
 from repro.runner.executor import Executor, TaskResult, execute_spec
 from repro.runner.journal import RunJournal, read_journal
 from repro.runner.spec import (
@@ -50,6 +51,7 @@ __all__ = [
     "SPEC_VERSION",
     "SweepSpec",
     "TaskResult",
+    "TieredResultCache",
     "WorkloadSpec",
     "config_from_dict",
     "config_to_dict",

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk store of experiment results.
+"""Content-addressed stores of experiment results: disk, and a hot tier.
 
 Each completed :class:`~repro.runner.spec.ExperimentSpec` lands at
 ``<root>/<hh>/<hash>.json`` (``hh`` = first two hex digits of the spec
@@ -12,12 +12,23 @@ leaves a half-written entry for the next run to trip over, and
 :meth:`ResultCache.get` re-checks the stored spec against the requested
 one, so a truncated or foreign file degrades to a miss, never a wrong
 result.
+
+:class:`TieredResultCache` layers a bounded in-memory LRU **hot tier**
+in front of the disk store (or stands alone, memory-only), with hit /
+miss / eviction counters optionally exported through a
+:class:`~repro.obs.metrics.MetricsRegistry`.  It is the serving-path
+cache of :mod:`repro.serve` -- repeated submissions of a spec are a
+dictionary lookup, not a file read -- but works anywhere a
+:class:`ResultCache` does (the :class:`~repro.runner.executor.Executor`
+only needs ``get``/``put``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+from collections import OrderedDict
 from pathlib import Path
 
 from repro.runner.spec import ExperimentSpec
@@ -89,3 +100,137 @@ class ResultCache:
             path.unlink()
             removed += 1
         return removed
+
+
+class TieredResultCache:
+    """A bounded in-memory LRU hot tier over an optional disk store.
+
+    ``get`` consults the hot tier first (a dictionary lookup), then the
+    disk :class:`ResultCache` (promoting hits into the hot tier); ``put``
+    writes through to both.  With ``root=None`` the cache is memory-only
+    -- same interface, nothing persisted.  The tier holds at most
+    ``capacity`` reports; inserting beyond that evicts the least
+    recently used entry (disk copies, when present, survive eviction).
+
+    All operations are thread-safe: the serve daemon's worker threads
+    ``put`` while its event loop ``get``\\ s during admission.
+
+    Counters (``hot_hits``, ``hot_misses``, ``disk_hits``,
+    ``disk_misses``, ``evictions``) are kept on the instance and, when a
+    ``metrics`` registry is supplied, mirrored as
+    ``result_cache.<counter>`` counters plus a
+    ``result_cache.hot_entries`` gauge, so serving metrics fold into the
+    same :class:`~repro.obs.metrics.MetricsRegistry` snapshots as
+    everything else.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        *,
+        capacity: int = 256,
+        metrics=None,
+    ) -> None:
+        if capacity < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"hot-tier capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.disk = ResultCache(root) if root is not None else None
+        self.metrics = metrics
+        self._hot: OrderedDict[str, SimulationReport] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hot_hits = 0
+        self.hot_misses = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        setattr(self, name, getattr(self, name) + 1)
+        if self.metrics is not None:
+            self.metrics.inc(f"result_cache.{name}")
+
+    def _gauge_entries(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge(
+                "result_cache.hot_entries", len(self._hot)
+            )
+
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, spec: ExperimentSpec
+    ) -> tuple[SimulationReport | None, str | None]:
+        """``(report, tier)`` where tier is ``"hot"``, ``"disk"`` or None.
+
+        The tier label is what the serve daemon streams back to clients
+        (``task_hot`` vs ``task_disk`` admission events); plain callers
+        use :meth:`get`.
+        """
+        spec_hash = spec.spec_hash
+        with self._lock:
+            report = self._hot.get(spec_hash)
+            if report is not None:
+                self._hot.move_to_end(spec_hash)
+                self._count("hot_hits")
+                return report, "hot"
+            self._count("hot_misses")
+        if self.disk is None:
+            return None, None
+        report = self.disk.get(spec)
+        if report is None:
+            self._count("disk_misses")
+            return None, None
+        self._count("disk_hits")
+        with self._lock:
+            self._insert(spec_hash, report)
+        return report, "disk"
+
+    def get(self, spec: ExperimentSpec) -> SimulationReport | None:
+        """The cached report for ``spec``, or ``None`` on a miss."""
+        report, _tier = self.lookup(spec)
+        return report
+
+    def put(self, spec: ExperimentSpec, report: SimulationReport) -> None:
+        """Store ``report`` in the hot tier and (if present) on disk."""
+        if self.disk is not None:
+            self.disk.put(spec, report)
+        with self._lock:
+            self._insert(spec.spec_hash, report)
+
+    def _insert(self, spec_hash: str, report: SimulationReport) -> None:
+        # Caller holds the lock.
+        self._hot[spec_hash] = report
+        self._hot.move_to_end(spec_hash)
+        while len(self._hot) > self.capacity:
+            self._hot.popitem(last=False)
+            self._count("evictions")
+        self._gauge_entries()
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.get(spec) is not None
+
+    def __len__(self) -> int:
+        """Entries resident in the hot tier (not the disk store)."""
+        with self._lock:
+            return len(self._hot)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (JSON-ready, deterministic key order)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
+                "evictions": self.evictions,
+                "hot_entries": len(self._hot),
+                "hot_hits": self.hot_hits,
+                "hot_misses": self.hot_misses,
+            }

@@ -18,6 +18,7 @@ event dicts.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import IO
@@ -40,10 +41,19 @@ class RunJournal:
     With ``path=None`` the journal is memory-only; otherwise events are
     appended (and flushed) to the file as they happen, so a tail of the
     file tracks a live sweep.
+
+    ``fsync=True`` additionally forces every appended line to stable
+    storage (``os.fsync`` after the flush).  Long-running daemons
+    (:mod:`repro.serve`) use this so a kill at any instant loses at most
+    the line being written -- and a torn final line is exactly what
+    :func:`read_journal` tolerates.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(
+        self, path: str | Path | None = None, *, fsync: bool = False
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.fsync = bool(fsync)
         self.events: list[dict] = []
         self._stream: IO[str] | None = None
         if self.path is not None:
@@ -64,6 +74,8 @@ class RunJournal:
         if self._stream is not None:
             self._stream.write(json.dumps(entry, sort_keys=True) + "\n")
             self._stream.flush()
+            if self.fsync:
+                os.fsync(self._stream.fileno())
         return entry
 
     def close(self) -> None:
@@ -229,13 +241,26 @@ def read_journal(path: str | Path) -> list[dict]:
     version can load journals written by later ones (and journals from
     before the ``schema`` field existed).  Non-object lines are skipped
     rather than fatal.
+
+    Tolerant of a **torn tail**: a writer killed mid-append (power loss,
+    ``SIGKILL`` on the serve daemon) leaves at most one truncated final
+    line, which is dropped rather than fatal.  Corruption anywhere
+    *before* the final line still raises -- that is not a crash
+    signature, it is a damaged file.
     """
     events = []
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                entry = json.loads(line)
-                if isinstance(entry, dict):
-                    events.append(entry)
+        lines = stream.read().split("\n")
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            if any(rest.strip() for rest in lines[index + 1:]):
+                raise
+            break  # torn final line from an interrupted append
+        if isinstance(entry, dict):
+            events.append(entry)
     return events

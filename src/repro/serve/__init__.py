@@ -1,0 +1,53 @@
+"""Experiment-as-a-service: a daemon serving heavy sweep traffic.
+
+The serving layer over :mod:`repro.runner` (see docs/SERVE.md):
+
+* :mod:`repro.serve.protocol` -- the length-prefixed JSON wire format
+  and request validation;
+* :mod:`repro.serve.daemon` -- the asyncio unix-socket daemon:
+  in-flight coalescing by spec content hash, a two-tier result cache
+  (in-memory LRU over the disk store), bounded-queue admission control
+  with explicit overload rejection, a sharded worker pool over the
+  existing :class:`~repro.runner.executor.Executor`, streamed progress
+  events sourced from the run journal, and graceful drain;
+* :mod:`repro.serve.client` -- a blocking client (what ``repro submit``
+  uses; the CLI is just one client of the service).
+
+Quickstart::
+
+    from repro.serve import DaemonThread, ServeClient, ServeConfig
+
+    with DaemonThread(ServeConfig(socket_path="/tmp/repro.sock")):
+        client = ServeClient("/tmp/repro.sock")
+        outcome = client.submit(list(sweep.cells), name=sweep.name)
+        reports = outcome.reports()
+"""
+
+from repro.serve.client import ServeClient, SubmitOutcome
+from repro.serve.daemon import DaemonThread, ServeConfig, ServeDaemon
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    decode_payload,
+    encode_frame,
+    parse_submit_cells,
+    read_frame,
+    read_frame_sync,
+    write_frame,
+    write_frame_sync,
+)
+
+__all__ = [
+    "DaemonThread",
+    "MAX_FRAME_BYTES",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "SubmitOutcome",
+    "decode_payload",
+    "encode_frame",
+    "parse_submit_cells",
+    "read_frame",
+    "read_frame_sync",
+    "write_frame",
+    "write_frame_sync",
+]

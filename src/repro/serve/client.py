@@ -1,0 +1,163 @@
+"""A blocking client for the serve daemon.
+
+:class:`ServeClient` speaks the length-prefixed JSON protocol over a
+unix socket with one connection per call -- the simplest shape that is
+correct, and what ``repro submit`` and the CI smoke test use.  Each
+:meth:`submit` collects the full exchange (``accepted``, streamed
+``event`` frames, per-cell ``result``/``error`` frames, ``done``) into a
+:class:`SubmitOutcome`; a daemon ``rejected`` answer raises
+:class:`~repro.errors.OverloadedError` so callers cannot mistake
+backpressure for results.
+
+The client is intentionally dependency-free and synchronous: anything
+async enough to want a non-blocking client can speak
+:mod:`repro.serve.protocol` directly over asyncio streams (that is all
+the daemon's own tests do).
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import OverloadedError, ServeError
+from repro.runner.spec import ExperimentSpec
+from repro.serve.protocol import read_frame_sync, write_frame_sync
+
+
+@dataclass
+class SubmitOutcome:
+    """Everything one submission produced, in arrival order.
+
+    ``results`` holds the per-cell ``result`` frames in cell order
+    (``reports()`` unwraps just the report dicts); ``errors`` the
+    per-cell ``error`` frames; ``events`` every streamed progress frame.
+    """
+
+    accepted: dict
+    done: dict | None = None
+    results: list[dict] = field(default_factory=list)
+    errors: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+
+    def reports(self) -> list[dict]:
+        """The serialised reports, one per successful cell, in order."""
+        return [frame["report"] for frame in self.results]
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.errors)
+
+
+class ServeClient:
+    """Blocking unix-socket client; one connection per operation."""
+
+    def __init__(
+        self, socket_path: str | Path, *, timeout: float = 60.0
+    ) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self.socket_path)
+        return sock
+
+    def _roundtrip(self, request: dict) -> dict:
+        """Send one request, read exactly one response frame."""
+        with self._connect() as sock, sock.makefile("rwb") as stream:
+            write_frame_sync(stream, request)
+            frame = read_frame_sync(stream)
+        if frame is None:
+            raise ServeError(
+                f"daemon at {self.socket_path} closed the connection "
+                f"without answering {request.get('op')!r}"
+            )
+        return frame
+
+    # ------------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the ``pong`` frame."""
+        return self._roundtrip({"op": "ping"})
+
+    def status(self) -> dict:
+        """The daemon's full status snapshot (see docs/SERVE.md)."""
+        return self._roundtrip({"op": "status"})
+
+    def drain(self) -> dict:
+        """Ask the daemon to drain and shut down; returns its ack."""
+        return self._roundtrip({"op": "drain"})
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        cells: Sequence[ExperimentSpec],
+        *,
+        name: str = "submit",
+        stream: bool = True,
+        on_event: Callable[[dict], None] | None = None,
+    ) -> SubmitOutcome:
+        """Submit ``cells`` and block until every result has streamed back.
+
+        ``on_event`` observes each progress frame as it arrives (they
+        are also collected in the outcome).  Raises
+        :class:`~repro.errors.OverloadedError` if the daemon rejects the
+        submission (queue full, or draining) and
+        :class:`~repro.errors.ServeError` on a malformed exchange.
+        """
+        request = {
+            "op": "submit",
+            "name": name,
+            "stream": bool(stream),
+            "cells": [spec.to_dict() for spec in cells],
+        }
+        with self._connect() as sock, sock.makefile("rwb") as stream_io:
+            write_frame_sync(stream_io, request)
+            first = read_frame_sync(stream_io)
+            if first is None:
+                raise ServeError(
+                    f"daemon at {self.socket_path} closed the "
+                    f"connection before answering the submission"
+                )
+            if first.get("type") == "rejected":
+                raise OverloadedError(
+                    f"submission rejected: {first.get('reason')}"
+                )
+            if first.get("type") == "error":
+                raise ServeError(
+                    f"submission refused: {first.get('error')}"
+                )
+            if first.get("type") != "accepted":
+                raise ServeError(
+                    f"expected an 'accepted' frame, got {first!r}"
+                )
+            outcome = SubmitOutcome(accepted=first)
+            while True:
+                frame = read_frame_sync(stream_io)
+                if frame is None:
+                    raise ServeError(
+                        "connection closed before the 'done' frame"
+                    )
+                kind = frame.get("type")
+                if kind == "event":
+                    outcome.events.append(frame)
+                    if on_event is not None:
+                        on_event(frame)
+                elif kind == "result":
+                    outcome.results.append(frame)
+                elif kind == "error":
+                    outcome.errors.append(frame)
+                elif kind == "done":
+                    outcome.done = frame
+                    return outcome
+                else:
+                    raise ServeError(
+                        f"unexpected frame type {kind!r} mid-submission"
+                    )

@@ -1,0 +1,658 @@
+"""The experiment-serving daemon: coalescing, caching, backpressure.
+
+:class:`ServeDaemon` is a long-running asyncio service that accepts
+sweep submissions over a unix socket (see :mod:`repro.serve.protocol`
+for the wire format), validates them into
+:class:`~repro.runner.spec.ExperimentSpec` cells, and satisfies each
+unique cell exactly once:
+
+* **two-tier cache** -- a :class:`~repro.runner.cache.TieredResultCache`
+  (bounded in-memory LRU over the optional disk store) answers repeated
+  submissions without touching the executor;
+* **in-flight coalescing** -- cells already executing are joined, not
+  re-queued: every submitter of a spec hash awaits the *same* future,
+  so a thousand clients with overlapping sweeps collapse to one
+  execution each;
+* **admission control** -- new work beyond ``max_queue`` pending cells
+  is rejected whole (``rejected`` frame, all-or-nothing) rather than
+  buffered without bound; rejection is explicit backpressure, never
+  silent queueing;
+* **worker pool** -- ``workers`` asyncio workers each run one cell at a
+  time through the existing :class:`~repro.runner.executor.Executor`
+  (in a thread via ``asyncio.to_thread``; ``exec_workers`` forwards to
+  the executor's own process fan-out), so retry/backoff/error
+  classification semantics are exactly the CLI's;
+* **streamed progress** -- every journal event carrying a task hash
+  (``task_start``, ``task_finish`` with ``refs_per_sec``, retries,
+  fault events) is broadcast to the clients whose submissions cover
+  that task, prefixed by an admission event (``task_hot`` /
+  ``task_disk`` / ``task_coalesced`` / ``task_queued``) telling each
+  client how each cell will be satisfied;
+* **graceful drain** -- on ``drain`` (or SIGTERM via the CLI) the
+  daemon stops admitting, finishes every queued and in-flight cell,
+  lets connected clients collect their results, fsyncs the journal and
+  removes the socket.
+
+The daemon journals through a :class:`~repro.runner.journal.RunJournal`
+with ``fsync=True``, so a ``SIGKILL`` at any instant leaves at most one
+torn final line -- which :func:`~repro.runner.journal.read_journal`
+drops by design.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError, FrameError, ServeError
+from repro.obs.metrics import MetricsRegistry
+from repro.runner.cache import TieredResultCache
+from repro.runner.executor import Executor
+from repro.runner.journal import _HASH_PREFIX, RunJournal
+from repro.runner.spec import ExperimentSpec
+from repro.serve import protocol as wire
+
+#: In-memory event cap for the daemon journal: beyond this the oldest
+#: half is dropped from RAM (the file, when configured, keeps all of
+#: them).  Counts stay exact -- they are tallied incrementally.
+_JOURNAL_EVENT_CAP = 20000
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`ServeDaemon` needs, as frozen data.
+
+    ``workers`` is the number of concurrently executing cells (each runs
+    in its own thread); ``exec_workers`` is forwarded to each cell's
+    :class:`~repro.runner.executor.Executor` (0 = in-process, the
+    default -- process fan-out *per cell* only pays off for huge cells).
+    ``max_queue`` bounds cells admitted but not yet started; submissions
+    that would exceed it are rejected whole.  ``task_fn`` is the
+    executor's testing hook, threaded through for deterministic daemon
+    tests.
+    """
+
+    socket_path: str | Path
+    workers: int = 2
+    exec_workers: int = 0
+    max_queue: int = 64
+    hot_capacity: int = 256
+    cache_dir: str | Path | None = None
+    journal_path: str | Path | None = None
+    retries: int = 1
+    task_fn: Callable | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"serve workers must be >= 1, got {self.workers}"
+            )
+        if self.max_queue < 1:
+            raise ConfigurationError(
+                f"max_queue must be >= 1, got {self.max_queue}"
+            )
+
+
+class _DaemonJournal(RunJournal):
+    """The daemon's journal: thread-safe, fsynced, broadcast, bounded.
+
+    Executor threads and the event loop both append; a lock keeps lines
+    whole.  Every record is handed to ``on_event`` (the daemon's
+    broadcast hook).  ``counts`` is tallied incrementally so it stays
+    O(1) while the in-memory event list is trimmed to a cap -- a serving
+    daemon runs indefinitely and must not hold every event it ever saw.
+    """
+
+    def __init__(self, path, *, on_event) -> None:
+        super().__init__(path, fsync=True)
+        self._record_lock = threading.Lock()
+        self._on_event = on_event
+        self._tally = {
+            "executed": 0, "cached": 0, "retried": 0, "failed": 0,
+        }
+        self._tally_keys = {
+            "task_finish": "executed",
+            "task_cached": "cached",
+            "task_retry": "retried",
+            "task_failed": "failed",
+        }
+
+    def record(self, event: str, **fields: object) -> dict:
+        with self._record_lock:
+            entry = super().record(event, **fields)
+            key = self._tally_keys.get(event)
+            if key is not None:
+                self._tally[key] += 1
+            if len(self.events) > _JOURNAL_EVENT_CAP:
+                del self.events[: _JOURNAL_EVENT_CAP // 2]
+        self._on_event(entry)
+        return entry
+
+    def counts(self) -> dict[str, int]:
+        with self._record_lock:
+            return dict(self._tally)
+
+
+class ServeDaemon:
+    """The asyncio serving core.  See the module docstring for the model.
+
+    Lifecycle: :meth:`start` binds the socket and launches the worker
+    pool; :meth:`run` starts, waits for :meth:`request_stop` (signal
+    handlers, a ``drain`` request, or a test), then :meth:`drain`\\ s.
+    All coroutine methods must run on one event loop; only
+    :meth:`request_stop` is thread-safe.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.metrics = MetricsRegistry()
+        self.cache = TieredResultCache(
+            config.cache_dir,
+            capacity=config.hot_capacity,
+            metrics=self.metrics,
+        )
+        self.journal = _DaemonJournal(
+            config.journal_path, on_event=self._event_from_any_thread
+        )
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._queue: asyncio.Queue | None = None
+        self._stop: asyncio.Event | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._executed: dict[str, int] = {}
+        self._coalesced = 0
+        self._rejected = 0
+        self._draining = False
+        self._subscribers: dict[str, set[asyncio.Queue]] = {}
+        self._workers: list[asyncio.Task] = []
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the unix socket and launch the worker pool."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stop = asyncio.Event()
+        path = Path(self.config.socket_path)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        # A socket file left by a dead daemon would make bind() fail;
+        # a *live* daemon holds the listener, so unlinking is safe.
+        with contextlib.suppress(OSError):
+            path.unlink()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(path)
+        )
+        self._workers = [
+            asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+        self.journal.record(
+            "serve_start",
+            socket=str(path),
+            workers=self.config.workers,
+            max_queue=self.config.max_queue,
+            hot_capacity=self.config.hot_capacity,
+        )
+
+    def request_stop(self) -> None:
+        """Ask the daemon to drain and stop (safe from any thread)."""
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._stop.set)
+
+    async def run(self) -> None:
+        """Start, serve until :meth:`request_stop`, then drain."""
+        await self.start()
+        await self.run_until_stopped()
+
+    async def run_until_stopped(self) -> None:
+        """After :meth:`start`: serve until :meth:`request_stop`, then drain."""
+        await self._stop.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Finish all admitted work, then shut everything down cleanly.
+
+        New submissions are rejected from the moment drain begins; every
+        queued and in-flight cell completes; connected clients get up to
+        a grace period to collect results and hang up before their
+        connections are cancelled.  The socket file is removed last, so
+        its absence means the daemon is truly gone.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self.journal.record(
+            "serve_drain",
+            queue_depth=self._queue.qsize(),
+            in_flight=len(self._inflight),
+        )
+        self._server.close()
+        await self._server.wait_closed()
+        await self._queue.join()
+        for _ in self._workers:
+            self._queue.put_nowait(None)
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        if self._conn_tasks:
+            _done, pending = await asyncio.wait(
+                self._conn_tasks, timeout=5.0
+            )
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        self.journal.record(
+            "serve_stop",
+            executed=sum(self._executed.values()),
+            coalesced=self._coalesced,
+            rejected=self._rejected,
+        )
+        self.journal.close()
+        with contextlib.suppress(OSError):
+            Path(self.config.socket_path).unlink()
+
+    # ------------------------------------------------------------------
+    # Event broadcast (journal -> subscribed submissions)
+    # ------------------------------------------------------------------
+
+    def _event_from_any_thread(self, entry: dict) -> None:
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._dispatch_event, entry)
+
+    def _dispatch_event(self, entry: dict) -> None:
+        task = entry.get("task")
+        if not task:
+            return
+        for queue in self._subscribers.get(task, ()):
+            queue.put_nowait({"type": "event", **entry})
+
+    # ------------------------------------------------------------------
+    # Execution pipeline
+    # ------------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                self._queue.task_done()
+                return
+            spec, future = item
+            self.metrics.set_gauge(
+                "serve.queue_depth", self._queue.qsize()
+            )
+            try:
+                report_dict = await asyncio.to_thread(self._execute, spec)
+            except BaseException as exc:
+                if not future.done():
+                    future.set_exception(exc)
+            else:
+                spec_hash = spec.spec_hash
+                self._executed[spec_hash] = (
+                    self._executed.get(spec_hash, 0) + 1
+                )
+                self.metrics.inc("serve.executed")
+                if not future.done():
+                    future.set_result(report_dict)
+            finally:
+                self._inflight.pop(spec.spec_hash, None)
+                self._queue.task_done()
+
+    def _execute(self, spec: ExperimentSpec) -> dict:
+        """One cell, in a worker thread, through the real executor.
+
+        The cell lands in the tiered cache *before* it leaves the
+        in-flight table (the worker pops in-flight only after this
+        returns), so there is no window in which a concurrent submission
+        of the same hash could trigger a second execution.
+        """
+        executor = Executor(
+            workers=self.config.exec_workers,
+            retries=self.config.retries,
+            journal=self.journal,
+            task_fn=self.config.task_fn,
+        )
+        result = executor.run([spec])[0]
+        self.cache.put(spec, result.report)
+        return result.report.to_dict()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    frame = await wire.read_frame(reader)
+                except FrameError as exc:
+                    await self._send(
+                        writer, lock, {"type": "error", "error": str(exc)}
+                    )
+                    break
+                if frame is None:
+                    break
+                op = frame.get("op")
+                if op == "ping":
+                    await self._send(
+                        writer,
+                        lock,
+                        {"type": "pong", "draining": self._draining},
+                    )
+                elif op == "status":
+                    await self._send(writer, lock, self._status_payload())
+                elif op == "drain":
+                    self.request_stop()
+                    await self._send(writer, lock, {"type": "draining"})
+                elif op == "submit":
+                    await self._handle_submit(frame, writer, lock)
+                else:
+                    await self._send(
+                        writer,
+                        lock,
+                        {"type": "error", "error": f"unknown op {op!r}"},
+                    )
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing left to tell it
+        finally:
+            self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _send(writer, lock: asyncio.Lock, payload: dict) -> None:
+        async with lock:
+            await wire.write_frame(writer, payload)
+
+    def _status_payload(self) -> dict:
+        self.metrics.set_gauge("serve.queue_depth", self._queue.qsize())
+        return {
+            "type": "status",
+            "draining": self._draining,
+            "queue_depth": self._queue.qsize(),
+            "in_flight": len(self._inflight),
+            "executed": dict(sorted(self._executed.items())),
+            "coalesced": self._coalesced,
+            "rejected": self._rejected,
+            "cache": self.cache.stats(),
+            "counts": self.journal.counts(),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+
+    async def _handle_submit(self, frame, writer, lock) -> None:
+        self.metrics.inc("serve.requests")
+        request_id = frame.get("id")
+        try:
+            name, specs = wire.parse_submit_cells(frame)
+        except ConfigurationError as exc:
+            self.journal.record("serve_invalid", error=str(exc))
+            await self._send(
+                writer,
+                lock,
+                {"type": "error", "error": str(exc), "id": request_id},
+            )
+            return
+        stream_events = bool(frame.get("stream", True))
+
+        # Resolve every unique cell: cache hit, in-flight join, or new
+        # execution -- in that order, so duplicates are never queued.
+        unique: dict[str, ExperimentSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.spec_hash, spec)
+        resolution: dict[str, tuple[str, object]] = {}
+        to_queue: list[tuple[str, ExperimentSpec]] = []
+        for spec_hash, spec in unique.items():
+            inflight = self._inflight.get(spec_hash)
+            if inflight is not None:
+                resolution[spec_hash] = ("coalesced", inflight)
+                continue
+            report, tier = self.cache.lookup(spec)
+            if report is not None:
+                resolution[spec_hash] = (tier, report)
+                continue
+            to_queue.append((spec_hash, spec))
+
+        # Admission control: all-or-nothing, with an explicit reason.
+        reason = None
+        if self._draining:
+            reason = "draining: daemon is shutting down"
+        elif (
+            to_queue
+            and self._queue.qsize() + len(to_queue) > self.config.max_queue
+        ):
+            reason = (
+                f"queue full: {self._queue.qsize()} pending + "
+                f"{len(to_queue)} new exceeds max_queue="
+                f"{self.config.max_queue}"
+            )
+        if reason is not None:
+            self._rejected += 1
+            self.metrics.inc("serve.rejected")
+            self.journal.record(
+                "serve_reject", reason=reason, tasks=len(specs)
+            )
+            await self._send(
+                writer,
+                lock,
+                {"type": "rejected", "reason": reason, "id": request_id},
+            )
+            return
+
+        for spec_hash, spec in to_queue:
+            future = self._loop.create_future()
+            # A submission whose clients all disconnect still completes;
+            # retrieving the exception here silences the "never
+            # retrieved" warning for that orphaned case.
+            future.add_done_callback(
+                lambda f: f.cancelled() or f.exception()
+            )
+            self._inflight[spec_hash] = future
+            resolution[spec_hash] = ("queued", future)
+            self._queue.put_nowait((spec, future))
+        self.metrics.set_gauge("serve.queue_depth", self._queue.qsize())
+        coalesced = sum(
+            1 for source, _ in resolution.values() if source == "coalesced"
+        )
+        cached = sum(
+            1
+            for source, _ in resolution.values()
+            if source in ("hot", "disk")
+        )
+        self._coalesced += coalesced
+        if coalesced:
+            self.metrics.inc("serve.coalesced", coalesced)
+        self.journal.record(
+            "serve_accept",
+            name=name,
+            tasks=len(specs),
+            unique=len(unique),
+            queued=len(to_queue),
+            coalesced=coalesced,
+            cached=cached,
+        )
+        await self._send(
+            writer,
+            lock,
+            {
+                "type": "accepted",
+                "id": request_id,
+                "name": name,
+                "tasks": len(specs),
+                "unique": len(unique),
+                "queued": len(to_queue),
+                "coalesced": coalesced,
+                "cached": cached,
+            },
+        )
+
+        # Progress streaming: subscribe this submission to its task
+        # prefixes, then seed the stream with one admission event per
+        # unique cell so every client learns how each cell is satisfied
+        # even when execution finished long ago.
+        prefixes = {
+            spec_hash[:_HASH_PREFIX] for spec_hash in unique
+        }
+        events_queue: asyncio.Queue | None = None
+        forwarder: asyncio.Task | None = None
+        if stream_events:
+            events_queue = asyncio.Queue()
+            for prefix in prefixes:
+                self._subscribers.setdefault(prefix, set()).add(
+                    events_queue
+                )
+            forwarder = asyncio.create_task(
+                self._forward_events(events_queue, writer, lock)
+            )
+            for spec_hash, (source, _value) in resolution.items():
+                events_queue.put_nowait(
+                    {
+                        "type": "event",
+                        "event": f"task_{source}",
+                        "task": spec_hash[:_HASH_PREFIX],
+                    }
+                )
+
+        failed = 0
+        try:
+            for spec in specs:
+                spec_hash = spec.spec_hash
+                source, value = resolution[spec_hash]
+                prefix = spec_hash[:_HASH_PREFIX]
+                if source in ("hot", "disk"):
+                    payload = {
+                        "type": "result",
+                        "task": prefix,
+                        "spec_hash": spec_hash,
+                        "source": source,
+                        "report": value.to_dict(),
+                    }
+                else:
+                    try:
+                        # shield: cancelling this handler (client gone)
+                        # must not cancel the shared execution future.
+                        report_dict = await asyncio.shield(value)
+                    except Exception as exc:
+                        failed += 1
+                        payload = {
+                            "type": "error",
+                            "task": prefix,
+                            "spec_hash": spec_hash,
+                            "error": str(exc),
+                        }
+                    else:
+                        payload = {
+                            "type": "result",
+                            "task": prefix,
+                            "spec_hash": spec_hash,
+                            "source": source,
+                            "report": report_dict,
+                        }
+                await self._send(writer, lock, payload)
+        finally:
+            if events_queue is not None:
+                for prefix in prefixes:
+                    subscribers = self._subscribers.get(prefix)
+                    if subscribers is not None:
+                        subscribers.discard(events_queue)
+                        if not subscribers:
+                            self._subscribers.pop(prefix, None)
+                events_queue.put_nowait(None)
+                with contextlib.suppress(asyncio.CancelledError):
+                    await forwarder
+        await self._send(
+            writer,
+            lock,
+            {
+                "type": "done",
+                "id": request_id,
+                "name": name,
+                "tasks": len(specs),
+                "queued": len(to_queue),
+                "coalesced": coalesced,
+                "cached": cached,
+                "failed": failed,
+            },
+        )
+
+    async def _forward_events(self, queue, writer, lock) -> None:
+        dead = False
+        while True:
+            entry = await queue.get()
+            if entry is None:
+                return
+            if dead:
+                continue
+            try:
+                await self._send(writer, lock, entry)
+            except (ConnectionResetError, BrokenPipeError):
+                dead = True  # keep draining so the sentinel arrives
+
+
+class DaemonThread:
+    """A :class:`ServeDaemon` on a private event loop in a thread.
+
+    The in-process deployment shape: benchmarks and tests start a real
+    daemon (real socket, real protocol) without managing a subprocess.
+    ``start`` blocks until the socket is accepting; ``stop`` drains and
+    joins.  Usable as a context manager.
+    """
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.daemon = ServeDaemon(config)
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+
+    def start(self, timeout: float = 10.0) -> "DaemonThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ServeError(
+                f"serve daemon did not start within {timeout:g}s"
+            )
+        if self._failure is not None:
+            raise ServeError(
+                f"serve daemon failed to start: {self._failure!r}"
+            ) from self._failure
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surfaced by start() or stop()
+            self._failure = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        await self.daemon.start()
+        self._ready.set()
+        await self.daemon.run_until_stopped()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.daemon.request_stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ServeError(
+                f"serve daemon did not drain within {timeout:g}s"
+            )
+
+    def __enter__(self) -> "DaemonThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,190 @@
+"""The serve wire protocol: length-prefixed JSON frames.
+
+Every message in either direction is one **frame**: a 4-byte big-endian
+unsigned length followed by that many bytes of UTF-8 JSON whose top
+level is an object.  Length-prefixing (rather than newline-delimiting)
+keeps the protocol 8-bit clean and lets a reader allocate exactly once;
+the :data:`MAX_FRAME_BYTES` ceiling stops a confused or hostile peer
+from making the daemon buffer gigabytes.
+
+Requests are objects with an ``op`` field -- ``ping``, ``status``,
+``submit``, ``drain`` -- and responses carry a ``type`` field
+(``pong``, ``status``, ``accepted``, ``event``, ``result``, ``error``,
+``rejected``, ``done``).  See docs/SERVE.md for the full exchange.
+
+Both an asyncio flavour (:func:`read_frame` / :func:`write_frame`, used
+by the daemon) and a blocking-stream flavour (:func:`read_frame_sync` /
+:func:`write_frame_sync`, used by :class:`~repro.serve.client.ServeClient`)
+share the same :func:`encode_frame` / :func:`decode_payload` core, so
+the two sides cannot drift.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import BinaryIO
+
+from repro.errors import ConfigurationError, FrameError
+from repro.runner.spec import ExperimentSpec
+
+#: Frame payload ceiling.  A 10k-cell sweep of serialised reports fits
+#: comfortably; anything bigger is a protocol violation, not a workload.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Request operations the daemon understands.
+REQUEST_OPS = ("ping", "status", "submit", "drain")
+
+
+# ---------------------------------------------------------------------------
+# Frame encoding (shared by both flavours)
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialise ``payload`` as one length-prefixed frame."""
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """Parse a frame body back into its payload object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise FrameError(
+            f"frame payload must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"peer announced a {length}-byte frame, above the "
+            f"{MAX_FRAME_BYTES}-byte ceiling"
+        )
+
+
+# ---------------------------------------------------------------------------
+# asyncio flavour (daemon side)
+# ---------------------------------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise FrameError(
+            f"connection closed mid-header "
+            f"({len(exc.partial)}/{_HEADER.size} bytes)"
+        ) from None
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)}/{length} bytes)"
+        ) from None
+    return decode_payload(body)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, payload: dict
+) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# Blocking flavour (client side)
+# ---------------------------------------------------------------------------
+
+
+def read_frame_sync(stream: BinaryIO) -> dict | None:
+    """Read one frame from a blocking binary stream; ``None`` on EOF."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise FrameError(
+            f"stream ended mid-header ({len(header)}/{_HEADER.size} bytes)"
+        )
+    (length,) = _HEADER.unpack(header)
+    _check_length(length)
+    body = stream.read(length)
+    if len(body) < length:
+        raise FrameError(
+            f"stream ended mid-frame ({len(body)}/{length} bytes)"
+        )
+    return decode_payload(body)
+
+
+def write_frame_sync(stream: BinaryIO, payload: dict) -> None:
+    """Write one frame to a blocking binary stream and flush."""
+    stream.write(encode_frame(payload))
+    stream.flush()
+
+
+# ---------------------------------------------------------------------------
+# Request validation (daemon side)
+# ---------------------------------------------------------------------------
+
+
+def parse_submit_cells(frame: dict) -> tuple[str, list[ExperimentSpec]]:
+    """Validate a ``submit`` frame into ``(name, specs)``.
+
+    The ``cells`` field is a non-empty list of serialised
+    :class:`~repro.runner.spec.ExperimentSpec` objects; every cell is
+    fully validated (spec construction re-runs all the constructor
+    checks), so nothing malformed ever reaches the execution pipeline.
+    Raises :class:`~repro.errors.ConfigurationError` with a cell index
+    in the message so clients can fix the right one.
+    """
+    name = frame.get("name", "submit")
+    if not isinstance(name, str) or not name:
+        raise ConfigurationError(
+            f"submit name must be a non-empty string, got {name!r}"
+        )
+    cells = frame.get("cells")
+    if not isinstance(cells, list) or not cells:
+        raise ConfigurationError(
+            "submit needs a non-empty 'cells' list of experiment specs"
+        )
+    specs = []
+    for index, cell in enumerate(cells):
+        if not isinstance(cell, dict):
+            raise ConfigurationError(
+                f"cell {index} is not an object "
+                f"(got {type(cell).__name__})"
+            )
+        try:
+            specs.append(ExperimentSpec.from_dict(cell))
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"cell {index}: {exc}") from None
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"cell {index} is not a valid experiment spec: {exc!r}"
+            ) from None
+    return name, specs

@@ -2,7 +2,11 @@
 
 import json
 
-from repro.runner import ResultCache, execute_spec
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import ResultCache, TieredResultCache, execute_spec
 from repro.runner.spec import ExperimentSpec, WorkloadSpec
 from repro.sim.system import SystemConfig
 
@@ -68,3 +72,87 @@ class TestResultCache:
             cache.put(spec, execute_spec(spec))
         assert cache.clear() == 3
         assert len(cache) == 0
+
+
+class TestTieredResultCache:
+    def test_memory_only_round_trip(self):
+        cache = TieredResultCache()
+        spec = make_spec()
+        assert cache.lookup(spec) == (None, None)
+        report = execute_spec(spec)
+        cache.put(spec, report)
+        hit, tier = cache.lookup(spec)
+        assert tier == "hot"
+        assert hit.to_dict() == report.to_dict()
+        assert spec in cache and len(cache) == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TieredResultCache(capacity=0)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = TieredResultCache(capacity=2)
+        specs = [make_spec(seed=seed) for seed in (1, 2, 3)]
+        reports = [execute_spec(spec) for spec in specs]
+        cache.put(specs[0], reports[0])
+        cache.put(specs[1], reports[1])
+        cache.get(specs[0])  # refresh: seed=2 becomes the LRU entry
+        cache.put(specs[2], reports[2])
+        assert cache.get(specs[1]) is None
+        assert cache.get(specs[0]) is not None
+        assert cache.get(specs[2]) is not None
+        assert cache.evictions == 1 and len(cache) == 2
+
+    def test_disk_copy_survives_eviction_and_promotes(self, tmp_path):
+        cache = TieredResultCache(tmp_path, capacity=1)
+        first, second = make_spec(seed=1), make_spec(seed=2)
+        cache.put(first, execute_spec(first))
+        cache.put(second, execute_spec(second))  # evicts seed=1 from hot
+        report, tier = cache.lookup(first)
+        assert tier == "disk" and report is not None
+        _, again = cache.lookup(first)
+        assert again == "hot"  # the disk hit promoted it
+
+    def test_fresh_instance_reads_the_disk_tier(self, tmp_path):
+        spec = make_spec()
+        report = execute_spec(spec)
+        TieredResultCache(tmp_path).put(spec, report)
+        reopened = TieredResultCache(tmp_path)
+        hit, tier = reopened.lookup(spec)
+        assert tier == "disk"
+        assert hit.to_dict() == report.to_dict()
+
+    def test_stats_and_metrics_mirror_the_counters(self):
+        metrics = MetricsRegistry()
+        cache = TieredResultCache(capacity=1, metrics=metrics)
+        first, second = make_spec(seed=1), make_spec(seed=2)
+        cache.put(first, execute_spec(first))
+        cache.get(first)
+        cache.get(second)  # hot miss (no disk tier configured)
+        cache.put(second, execute_spec(second))  # evicts seed=1
+        stats = cache.stats()
+        assert stats == {
+            "capacity": 1,
+            "disk_hits": 0,
+            "disk_misses": 0,
+            "evictions": 1,
+            "hot_entries": 1,
+            "hot_hits": 1,
+            "hot_misses": 1,
+        }
+        snapshot = metrics.to_dict()
+        assert snapshot["counters"]["result_cache.hot_hits"] == 1
+        assert snapshot["counters"]["result_cache.evictions"] == 1
+        assert snapshot["gauges"]["result_cache.hot_entries"] == 1
+
+    def test_executor_accepts_the_tiered_cache(self, tmp_path):
+        from repro.runner import Executor, RunJournal
+
+        spec = make_spec()
+        cache = TieredResultCache(tmp_path)
+        journal = RunJournal()
+        executor = Executor(cache=cache, journal=journal)
+        executor.run([spec])
+        executor.run([spec])  # second run must be served, not executed
+        assert journal.counts()["executed"] == 1
+        assert journal.counts()["cached"] == 1

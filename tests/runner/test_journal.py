@@ -72,3 +72,49 @@ class TestRunJournal:
         journal = RunJournal()
         journal.task_failed(make_spec(), attempts=3, error="gone")
         assert journal.counts()["failed"] == 1
+
+    def test_fsync_journal_round_trips(self, tmp_path):
+        path = tmp_path / "durable.jsonl"
+        with RunJournal(path, fsync=True) as journal:
+            drive(journal)
+        assert len(read_journal(path)) == 7
+
+
+class TestTornTail:
+    """A writer killed mid-append leaves at most one truncated line."""
+
+    def write_events(self, path, n=3):
+        with RunJournal(path) as journal:
+            for index in range(n):
+                journal.record("sweep_start", index=index)
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self.write_events(path)
+        whole = path.read_text(encoding="utf-8")
+        # Chop the file mid-way through the last record, exactly what an
+        # interrupted append (SIGKILL between write and close) leaves.
+        torn = whole.rstrip("\n")
+        path.write_text(torn[: len(torn) - 7], encoding="utf-8")
+        events = read_journal(path)
+        assert [entry["index"] for entry in events] == [0, 1]
+
+    def test_torn_tail_with_trailing_newline_is_dropped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        self.write_events(path)
+        torn = path.read_text(encoding="utf-8").rstrip("\n")
+        path.write_text(torn[: len(torn) - 7] + "\n", encoding="utf-8")
+        assert len(read_journal(path)) == 2
+
+    def test_appends_after_a_torn_tail_still_raise(self, tmp_path):
+        import json
+
+        import pytest
+
+        path = tmp_path / "damaged.jsonl"
+        self.write_events(path)
+        content = path.read_text(encoding="utf-8").splitlines()
+        content[1] = content[1][:-5]  # corrupt a *middle* line
+        path.write_text("\n".join(content) + "\n", encoding="utf-8")
+        with pytest.raises(json.JSONDecodeError):
+            read_journal(path)

@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.obs",
     "repro.protocol",
     "repro.runner",
+    "repro.serve",
     "repro.sim",
     "repro.workloads",
 ]
