@@ -143,10 +143,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "perf",
         help=(
             "run the perf microbenchmarks (trace replay, compiled "
-            "replay, fast-path hit rate, multicast fan-out, sweep "
-            "throughput) with equivalence checks, gate against the "
-            "BENCH_perf.json baseline, and append a BENCH_history.jsonl "
-            "row"
+            "replay, fast-path hit rate, batched replay, multicast "
+            "fan-out, sweep throughput, serve hot cache) with "
+            "equivalence checks, gate against the BENCH_perf.json "
+            "baseline, and append a BENCH_history.jsonl row"
         ),
     )
     perf.add_argument(
@@ -182,6 +182,16 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         help="timed repetitions per benchmark (best is kept)",
+    )
+    perf.add_argument(
+        "--only",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help=(
+            "run only these comma-separated benchmarks (e.g. "
+            "batched_replay_n1024); the baseline gate then skips "
+            "benchmarks that were not run"
+        ),
     )
     perf.add_argument(
         "--history",
@@ -704,6 +714,22 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rate_delta(result, previous: dict | None) -> str:
+    """This run's rate vs the last ``BENCH_history.jsonl`` row.
+
+    Display-only (the enforced gate is the baseline comparison): the
+    history row may come from another machine or Python version, so a
+    delta here is a hint about when a rate moved, never a failure.
+    """
+    if not previous:
+        return "-"
+    rates = previous.get("rates")
+    before = rates.get(result.name) if isinstance(rates, dict) else None
+    if not isinstance(before, (int, float)) or before <= 0:
+        return "-"
+    return f"{(result.rate - before) / before:+.1%}"
+
+
 def _command_perf(args: argparse.Namespace) -> int:
     import json
     from pathlib import Path
@@ -716,18 +742,27 @@ def _command_perf(args: argparse.Namespace) -> int:
         DEFAULT_THRESHOLD,
         append_history,
         compare_to_baseline,
+        latest_history_row,
         load_baseline,
         results_payload,
         write_baseline,
     )
 
+    only = None
+    if args.only:
+        only = [name.strip() for name in args.only.split(",") if name.strip()]
     results = run_benchmarks(
-        equivalence_only=args.equivalence_only, repeats=args.repeats
+        equivalence_only=args.equivalence_only,
+        repeats=args.repeats,
+        only=only,
     )
+    history_path = args.history or DEFAULT_HISTORY
+    previous = latest_history_row(history_path)
     rows = [
         (
             result.name,
             f"{result.rate:,.0f} {result.unit}/s",
+            _rate_delta(result, previous),
             f"{result.wall_time:.3f}s",
             "yes" if result.equivalent else "NO",
         )
@@ -735,7 +770,7 @@ def _command_perf(args: argparse.Namespace) -> int:
     ]
     print(
         render_table(
-            ("benchmark", "rate", "wall", "cached == cold"),
+            ("benchmark", "rate", "vs last run", "wall", "cached == cold"),
             rows,
             title="perf microbenchmarks (pinned seeds)",
         )
@@ -747,7 +782,7 @@ def _command_perf(args: argparse.Namespace) -> int:
         )
         print(f"results written to {args.output}")
     if not args.no_history:
-        history = append_history(results, args.history or DEFAULT_HISTORY)
+        history = append_history(results, history_path)
         print(f"history row appended to {history}")
 
     baseline_path = Path(args.baseline or DEFAULT_BASELINE)
@@ -768,6 +803,7 @@ def _command_perf(args: argparse.Namespace) -> int:
             DEFAULT_THRESHOLD if args.threshold is None else args.threshold
         ),
         check_timing=not args.equivalence_only,
+        subset=only is not None,
     )
     if problems:
         for problem in problems:

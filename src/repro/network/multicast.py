@@ -451,17 +451,12 @@ def multicast_scheme3(
 # ----------------------------------------------------------------------
 
 
-def _payload_combined(
+def _combined_plans(
     network: OmegaNetwork,
     source: NodeId,
-    payload_bits: int,
     dest_set: frozenset[NodeId],
-    commit: bool,
-) -> MulticastResult:
-    if not dest_set:
-        return MulticastResult(
-            MulticastScheme.COMBINED, source, dest_set, dest_set, ()
-        )
+) -> tuple[RoutePlan, RoutePlan, RoutePlan]:
+    """The three candidate plans of eq. 8, cached as one tuple."""
     cache = getattr(network, "route_plans", None)
     key = (MulticastScheme.COMBINED, source, dest_set)
     plans = cache.get(key) if cache is not None else None
@@ -491,6 +486,21 @@ def _payload_combined(
         )
         if cache is not None:
             cache.put(key, plans)
+    return plans
+
+
+def _payload_combined(
+    network: OmegaNetwork,
+    source: NodeId,
+    payload_bits: int,
+    dest_set: frozenset[NodeId],
+    commit: bool,
+) -> MulticastResult:
+    if not dest_set:
+        return MulticastResult(
+            MulticastScheme.COMBINED, source, dest_set, dest_set, ()
+        )
+    plans = _combined_plans(network, source, dest_set)
     best = min(plans, key=lambda plan: plan.cost_for(payload_bits))
     return _replay(network, best, payload_bits, commit)
 
@@ -588,6 +598,60 @@ def unicast_result(
     """
     return _payload_unicast_result(
         network, message.source, message.payload_bits, dest, commit
+    )
+
+
+def multicast_plan_for(
+    network: OmegaNetwork,
+    scheme: MulticastScheme,
+    source: NodeId,
+    dest_set: frozenset[NodeId],
+    payload_bits: int,
+) -> RoutePlan:
+    """The exact plan :meth:`Multicaster.send_payload` would commit.
+
+    This is the memoisation hook for the stable-state fast path: a
+    ``(source, present-vector)`` pair fully determines the plan -- the
+    scheme-2 split tree in particular is a pure function of it -- so a
+    caller can fetch the plan once and replay it with
+    :meth:`~repro.network.topology.OmegaNetwork.apply_plan_traffic_scaled`
+    for bit-identical traffic without re-running scheme selection per
+    send.  ``payload_bits`` only matters under the combined scheme, where
+    it picks the eq. 8 winner (ties break in scheme order 1, 2, 3, like
+    the send path).
+    """
+    if not dest_set:
+        raise MulticastError("plan lookup needs at least one destination")
+    if len(dest_set) == 1:
+        # A single destination is plain unicast under every scheme.
+        (dest,) = dest_set
+        return unicast_plan(network, source, dest)
+    if scheme is MulticastScheme.BROADCAST_TAG:
+        # The send path over-delivers (exact=False) for arbitrary sets.
+        return _scheme_plan(
+            network,
+            MulticastScheme.BROADCAST_TAG,
+            source,
+            dest_set,
+            _build_scheme3_plan,
+        )
+    if scheme is MulticastScheme.COMBINED:
+        plans = _combined_plans(network, source, dest_set)
+        return min(plans, key=lambda plan: plan.cost_for(payload_bits))
+    if scheme is MulticastScheme.UNICAST:
+        return _scheme_plan(
+            network,
+            MulticastScheme.UNICAST,
+            source,
+            dest_set,
+            _build_scheme1_plan,
+        )
+    return _scheme_plan(
+        network,
+        MulticastScheme.VECTOR,
+        source,
+        dest_set,
+        _build_scheme2_plan,
     )
 
 

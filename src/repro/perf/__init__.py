@@ -20,15 +20,20 @@ Run via ``repro perf`` (see :mod:`repro.cli`).
 
 from repro.perf.harness import (
     BenchResult,
+    bench_batched_replay,
+    bench_compiled_replay,
+    bench_fastpath_hit_rate,
     bench_multicast_fanout,
     bench_serve_hot_cache,
     bench_sweep_throughput,
     bench_trace_replay,
+    benchmark_names,
     run_benchmarks,
 )
 from repro.perf.regress import (
     PerfRegression,
     compare_to_baseline,
+    latest_history_row,
     load_baseline,
     write_baseline,
 )
@@ -38,11 +43,16 @@ __all__ = [
     "BenchResult",
     "PerfRegression",
     "PhaseTimer",
+    "bench_batched_replay",
+    "bench_compiled_replay",
+    "bench_fastpath_hit_rate",
     "bench_multicast_fanout",
     "bench_serve_hot_cache",
     "bench_sweep_throughput",
     "bench_trace_replay",
+    "benchmark_names",
     "compare_to_baseline",
+    "latest_history_row",
     "load_baseline",
     "run_benchmarks",
     "write_baseline",

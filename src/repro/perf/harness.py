@@ -1,6 +1,6 @@
 """Pinned-seed microbenchmarks of the simulator's hot paths.
 
-Six benchmarks, chosen to cover the traffic shapes the repo's
+Seven benchmarks, chosen to cover the traffic shapes the repo's
 experiments exercise:
 
 * **trace replay** -- the §4 methodology end to end: a Markov reference
@@ -13,6 +13,12 @@ experiments exercise:
   per-``Reference`` loop's;
 * **fast-path hit rate** -- fast-path engagement on that workload, with
   the exact hit/miss split pinned as machine-independent checks;
+* **batched replay** -- the large-system stress: an ``N = 1024``
+  distributed-write workload replayed through the chunked
+  :class:`~repro.sim.kernel.BatchedKernel`; its equivalence checks
+  require the kernel's ledgers to be bit-identical to the
+  per-reference fast-path table at full length *and* to the classic
+  per-``Reference`` dispatch loop on a same-seed prefix;
 * **multicast fan-out** -- the §3 machinery in isolation: repeated
   combined-scheme sends to randomized destination sets, measured in sends
   per second;
@@ -42,8 +48,10 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from time import perf_counter
+from typing import Sequence
 
 from repro.analysis.compare import default_factories
+from repro.errors import ConfigurationError
 from repro.network.multicast import Multicaster, MulticastScheme
 from repro.network.topology import OmegaNetwork
 from repro.protocol.messages import MessageCosts
@@ -312,7 +320,7 @@ def bench_fastpath_hit_rate(
     which must disable the fast path entirely -- and requires the generic
     column loop to produce the identical report.
     """
-    report, _, protocol, seconds = _replay_report(
+    report, system, protocol, seconds = _replay_report(
         n_nodes,
         n_tasks,
         write_fraction,
@@ -366,6 +374,155 @@ def bench_fastpath_hit_rate(
             "fastpath_misses": table.misses,
             "total_bits": report.network_total_bits,
         },
+        plan_stats=system.route_plan_stats(),
+    )
+
+
+def bench_batched_replay(
+    *,
+    n_nodes: int = 1024,
+    write_fraction: float = 0.3,
+    n_references: int = 200000,
+    n_slow_references: int = 20000,
+    seed: int = 11,
+    protocol_name: str = "distributed-write",
+    repeats: int = 3,
+) -> BenchResult:
+    """Chunked-kernel replay at ``N = 1024``: the large-system hot path.
+
+    A Markov workload over a strided task set drives the
+    distributed-write protocol on a vector-scheme multicaster (the
+    scheme whose split-tree plans the fast path memoises), so the
+    steady state is owner-write multicasts executed by the
+    :class:`~repro.sim.kernel.BatchedKernel`'s clean chunks.  Two
+    equivalence checks bound the kernel from both sides:
+
+    * the identical compiled trace replayed through the per-reference
+      :class:`~repro.protocol.fastpath.FastPathTable` (kernel bypassed)
+      must leave bit-identical Stats ledgers and network counters at
+      the full trace length;
+    * a same-seed prefix (``markov_block_trace`` draws per reference,
+      so a shorter trace is an exact prefix of a longer one) replayed
+      through the classic per-``Reference`` dispatch loop must produce
+      a bit-identical report.
+
+    The machine-independent checks additionally pin the exact
+    batched/fallback reference split, so a chunk-validation regression
+    shows up as a cross-machine check mismatch, not silent slowdown.
+    """
+    # 64 tasks strided across the machine (every 16th node at N=1024).
+    tasks = list(range(0, n_nodes, max(1, n_nodes // 64)))
+
+    def build() -> tuple[System, object]:
+        config = SystemConfig(
+            n_nodes=n_nodes, costs=MessageCosts.uniform(20)
+        )
+        system = System(
+            config,
+            multicaster_factory=lambda network: Multicaster(
+                network, MulticastScheme.VECTOR
+            ),
+        )
+        return system, default_factories()[protocol_name](system)
+
+    trace = markov_block_trace(
+        n_nodes,
+        tasks=tasks,
+        write_fraction=write_fraction,
+        n_references=n_references,
+        seed=seed,
+        compiled=True,
+    )
+    best_time = None
+    report = system = protocol = None
+    for _ in range(max(1, repeats)):
+        system, protocol = build()
+        start = perf_counter()
+        report = run_trace(
+            protocol, trace, verify=False, check_invariants_every=0
+        )
+        seconds = perf_counter() - start
+        if best_time is None or seconds < best_time:
+            best_time = seconds
+    kernel = protocol.batched_kernel()
+    _require(
+        kernel is not None, "batched kernel did not engage on a clean replay"
+    )
+    _require(
+        kernel.batched_refs + kernel.fallback_refs == report.n_references,
+        "kernel batched/fallback counters do not cover every reference",
+    )
+    _require(
+        kernel.batched_refs > kernel.fallback_refs,
+        "clean chunks did not dominate the steady state",
+    )
+    # Side one: the per-reference fast-path table, kernel bypassed.
+    table_system, table_protocol = build()
+    table_protocol.fastpath().replay(trace)
+    _require(
+        dict(table_protocol.stats.events) == dict(protocol.stats.events)
+        and dict(table_protocol.stats.traffic_bits)
+        == dict(protocol.stats.traffic_bits)
+        and dict(table_protocol.stats.traffic_messages)
+        == dict(protocol.stats.traffic_messages),
+        "batched kernel ledgers diverged from the per-reference table",
+    )
+    _require(
+        table_system.network.total_bits == system.network.total_bits
+        and table_system.network.bits_by_level()
+        == system.network.bits_by_level(),
+        f"batched kernel traffic diverged from the per-reference table "
+        f"(batched total_bits={system.network.total_bits}, "
+        f"table total_bits={table_system.network.total_bits})",
+    )
+    # Side two: the classic per-Reference dispatch loop, on a same-seed
+    # prefix short enough to afford per-reference Python dispatch.
+    prefix = markov_block_trace(
+        n_nodes,
+        tasks=tasks,
+        write_fraction=write_fraction,
+        n_references=n_slow_references,
+        seed=seed,
+        compiled=True,
+    )
+    _, prefix_protocol = build()
+    prefix_report = run_trace(
+        prefix_protocol, prefix, verify=False, check_invariants_every=0
+    )
+    slow_trace = markov_block_trace(
+        n_nodes,
+        tasks=tasks,
+        write_fraction=write_fraction,
+        n_references=n_slow_references,
+        seed=seed,
+    )
+    _, slow_protocol = build()
+    slow_report = run_trace(
+        slow_protocol,
+        slow_trace.references,
+        verify=False,
+        check_invariants_every=0,
+    )
+    _require(
+        slow_report.to_dict() == prefix_report.to_dict(),
+        f"batched kernel diverged from the per-Reference dispatch loop "
+        f"(batched total_bits={prefix_report.network_total_bits}, "
+        f"reference total_bits={slow_report.network_total_bits})",
+    )
+    return BenchResult(
+        name=f"batched_replay_n{n_nodes}",
+        unit="refs",
+        work=report.n_references,
+        wall_time=best_time,
+        rate=report.n_references / best_time,
+        equivalent=True,
+        checks={
+            "total_bits": report.network_total_bits,
+            "batched_refs": kernel.batched_refs,
+            "fallback_refs": kernel.fallback_refs,
+            "total_bits_prefix": prefix_report.network_total_bits,
+        },
+        plan_stats=system.route_plan_stats(),
     )
 
 
@@ -596,23 +753,57 @@ def bench_serve_hot_cache(
     )
 
 
+#: Definition-order registry: benchmark name -> runner taking the timing
+#: repeat count (ignored by benchmarks that time a single pass).  The
+#: keys are the exact ``BenchResult.name`` values, so ``repro perf
+#: --only`` can select by the names the baseline and history files use.
+_BENCHMARKS = {
+    "trace_replay_n64": lambda repeats: bench_trace_replay(repeats=repeats),
+    "compiled_replay_n64": lambda repeats: bench_compiled_replay(
+        repeats=repeats
+    ),
+    "fastpath_hit_rate_n64": lambda repeats: bench_fastpath_hit_rate(),
+    "batched_replay_n1024": lambda repeats: bench_batched_replay(
+        repeats=repeats
+    ),
+    "multicast_fanout_n64": lambda repeats: bench_multicast_fanout(),
+    "sweep_throughput_n32": lambda repeats: bench_sweep_throughput(),
+    "serve_hot_cache_n64": lambda repeats: bench_serve_hot_cache(),
+}
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """The registered benchmark names, in definition order."""
+    return tuple(_BENCHMARKS)
+
+
 def run_benchmarks(
-    *, equivalence_only: bool = False, repeats: int = 3
+    *,
+    equivalence_only: bool = False,
+    repeats: int = 3,
+    only: "Sequence[str] | None" = None,
 ) -> dict[str, BenchResult]:
-    """Run the full suite; name -> result, in definition order.
+    """Run the suite (or a subset); name -> result, in definition order.
 
     ``equivalence_only`` drops the timing repetitions to one: the
     cached-vs-cold asserts still run in full (that is the point of the
     mode -- CI machines time poorly but must still prove bit-identity).
+    ``only`` selects a subset of benchmarks by name (in any order; they
+    run in definition order); an unknown name raises
+    :class:`~repro.errors.ConfigurationError` listing the valid names.
     """
     if equivalence_only:
         repeats = 1
-    results = [
-        bench_trace_replay(repeats=repeats),
-        bench_compiled_replay(repeats=repeats),
-        bench_fastpath_hit_rate(),
-        bench_multicast_fanout(),
-        bench_sweep_throughput(),
-        bench_serve_hot_cache(),
-    ]
+    if only is None:
+        selected = list(_BENCHMARKS)
+    else:
+        unknown = sorted(set(only) - set(_BENCHMARKS))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown benchmark name(s): {', '.join(unknown)} "
+                f"(valid names: {', '.join(_BENCHMARKS)})"
+            )
+        wanted = set(only)
+        selected = [name for name in _BENCHMARKS if name in wanted]
+    results = [_BENCHMARKS[name](repeats) for name in selected]
     return {result.name: result for result in results}

@@ -118,6 +118,32 @@ def append_history(
     return path
 
 
+def latest_history_row(path: str | Path = DEFAULT_HISTORY) -> dict | None:
+    """The most recent :func:`append_history` row, or None.
+
+    Reads the last well-formed JSONL line of ``path``; a missing file,
+    an empty file, or trailing garbage (a torn concurrent write) all
+    yield None rather than an error -- history is advisory, and the
+    caller (``repro perf``'s rate-delta report) must degrade to "no
+    previous run" instead of failing the perf gate.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return None
+    for line in reversed(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(row, dict):
+            return row
+    return None
+
+
 def load_baseline(path: str | Path = DEFAULT_BASELINE) -> dict:
     """Read a baseline document written by :func:`write_baseline`."""
     data = json.loads(Path(path).read_text())
@@ -136,6 +162,7 @@ def compare_to_baseline(
     *,
     threshold: float = DEFAULT_THRESHOLD,
     check_timing: bool = True,
+    subset: bool = False,
 ) -> list[str]:
     """Problems found comparing ``results`` to ``baseline``.
 
@@ -143,6 +170,10 @@ def compare_to_baseline(
     pass).  ``check_timing=False`` restricts the comparison to the
     machine-independent checks -- the CI equivalence-only mode, where
     shared-runner timing noise would make a rate gate meaningless.
+    ``subset=True`` drops the "in baseline but not measured" coverage
+    check -- the ``repro perf --only`` mode, where missing benchmarks
+    were deliberately not run; every benchmark that *was* run is still
+    held to the full gate.
     """
     problems: list[str] = []
     baseline_benchmarks = baseline.get("benchmarks", {})
@@ -171,7 +202,8 @@ def compare_to_baseline(
                     f"than {threshold:.0%} below the baseline "
                     f"{recorded.get('rate'):,.0f} {result.unit}/s"
                 )
-    for name in baseline_benchmarks:
-        if name not in results:
-            problems.append(f"{name}: in baseline but not measured")
+    if not subset:
+        for name in baseline_benchmarks:
+            if name not in results:
+                problems.append(f"{name}: in baseline but not measured")
     return problems

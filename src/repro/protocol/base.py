@@ -70,6 +70,14 @@ class CoherenceProtocol(abc.ABC):
         #: :class:`~repro.protocol.fastpath.FastPathTable` record carries
         #: the epoch it was minted under (docs/PERF.md).
         self.fastpath_epoch = 0
+        #: Companion generation counter for the *membership* of present
+        #: vectors.  Some membership changes (a reader joining at the
+        #: owner, an UnOwned copy clearing its flag on replacement) leave
+        #: every memoised message-free answer intact -- so they must not
+        #: bump ``fastpath_epoch`` -- but they do invalidate the
+        #: distributed-write multicast records, whose memoised split tree
+        #: is a pure function of ``(owner, present-vector)``.
+        self.present_epoch = 0
         #: The block the protocol is currently operating on; maintained by
         #: fault-aware subclasses so that an
         #: :class:`~repro.errors.UnreachableRouteError` surfacing from deep
@@ -369,6 +377,19 @@ class CoherenceProtocol(abc.ABC):
         and any protocol in a configuration where the shortcut would be
         unsound (fault injection, attached recorder) -- returns ``None``
         and the engine replays every reference on the slow path.
+        """
+        return None
+
+    def batched_kernel(self):
+        """A batched columnar replay kernel, or ``None``.
+
+        Protocols whose :meth:`fastpath` records can additionally be
+        validated once per *chunk* of references (rather than once per
+        reference) return a :class:`~repro.sim.kernel.BatchedKernel`;
+        everything that gates the fast path gates this too, plus any
+        per-reference-order-dependent machinery (e.g. a counting mode
+        policy).  The base class returns ``None`` and the engine uses the
+        per-reference table, or the slow path.
         """
         return None
 

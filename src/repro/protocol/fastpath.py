@@ -17,12 +17,18 @@ the epoch deliberately does *not* cover -- the present vector gaining or
 losing sharers -- are re-checked live on every hit, because a record's
 entry object is the protocol's own entry, not a copy.
 
-A third record kind covers the dominant *message-bearing* stable state:
-the global-read remote read (§2.2 item 2(b)ii via the OWNER field).  Its
-two unicasts -- request out, word-and-owner back -- are a pure function
-of the ``(node, owner)`` pair, so the record carries their memoised
-route plans and costs and a hit replays the exact link, switch and
-ledger increments the slow path would have produced.
+Two further record kinds cover the dominant *message-bearing* stable
+states.  The global-read remote read (§2.2 item 2(b)ii via the OWNER
+field): its two unicasts -- request out, word-and-owner back -- are a
+pure function of the ``(node, owner)`` pair, so the record carries their
+memoised route plans and costs and a hit replays the exact link, switch
+and ledger increments the slow path would have produced.  And the
+distributed-write owner write with sharers (item 3(b)): its WRITE_UPDATE
+multicast plan -- notably the scheme-2 vector-split tree -- is a pure
+function of the ``(owner, present-vector)`` pair, so the record memoises
+the plan :func:`~repro.network.multicast.multicast_plan_for` selects and
+stamps the protocol's ``present_epoch``; any present-vector membership
+change anywhere retires it.
 
 A fast-path hit replicates the slow path's observable effects exactly:
 the same ``stats`` events and traffic ledgers, the same per-link network
@@ -46,7 +52,11 @@ from typing import TYPE_CHECKING
 
 from repro.cache.state import Mode
 from repro.errors import TraceError
-from repro.network.multicast import _payload_unicast_result
+from repro.network.multicast import (
+    Multicaster,
+    _payload_unicast_result,
+    multicast_plan_for,
+)
 from repro.network.routing import unicast_plan
 from repro.protocol.messages import MsgKind
 from repro.sim import stats as ev
@@ -65,12 +75,14 @@ class FastPathTable:
     A local read hit is a 7-tuple ``(epoch, entry, policy, set_index,
     way, owner, owner_entry)``; a global-read remote read is an 11-tuple
     extending it with ``(plan_out, cost_out, plan_back, cost_back)`` --
-    the memoised request/reply unicasts; a write record is the 5-tuple
-    ``(epoch, entry, policy, set_index, way)`` -- the writer *is* the
-    owner, so no separate owner fields are needed.  Record kinds are
-    discriminated by length.  ``hits`` and ``misses`` count fast-path
-    engagement across all :meth:`replay` calls (the
-    ``bench_fastpath_hit_rate`` checks).
+    the memoised request/reply unicasts; a message-free write is the
+    5-tuple ``(epoch, entry, policy, set_index, way)`` -- the writer *is*
+    the owner, so no separate owner fields are needed; a distributed-write
+    owner write with sharers is the 9-tuple extending the write record
+    with ``(present_epoch, copy_entries, plan, cost)`` -- the memoised
+    WRITE_UPDATE multicast.  Record kinds are discriminated by length.
+    ``hits`` and ``misses`` count fast-path engagement across all
+    :meth:`replay` calls (the ``bench_fastpath_hit_rate`` checks).
     """
 
     __slots__ = ("_protocol", "_reads", "_writes", "hits", "misses")
@@ -140,7 +152,8 @@ class FastPathTable:
 
     def _register_write(self, node: int, block: int) -> None:
         protocol = self._protocol
-        cache = protocol.system.caches[node]
+        system = protocol.system
+        cache = system.caches[node]
         location = cache.locate(block)
         if location is None:
             return
@@ -148,26 +161,72 @@ class FastPathTable:
         field = entry.state_field
         if not (field.valid and field.owned):
             return
-        self._writes[block * protocol.system.n_nodes + node] = (
+        key = block * system.n_nodes + node
+        if not field.distributed_write or len(field.present) == 1:
+            self._writes[key] = (
+                protocol.fastpath_epoch,
+                entry,
+                cache.policy,
+                location[0],
+                location[1],
+            )
+            return
+        # Non-exclusive distributed-write owner (3b): the steady-state
+        # write is one WRITE_UPDATE multicast to the copy holders plus a
+        # data-word store at every copy.  The plan depends only on the
+        # (owner, present-vector) pair, so it is memoised here; a custom
+        # multicaster (or one with a net recorder) may account sends
+        # differently, so only the plain Multicaster is memoised.
+        multicaster = system.multicaster
+        if (
+            type(multicaster) is not Multicaster
+            or multicaster.recorder is not None
+        ):
+            return
+        copy_entries = []
+        caches = system.caches
+        for copy in field.others(node):
+            copy_entry = caches[copy].find(block)
+            if copy_entry is None or not copy_entry.state_field.valid:
+                return
+            copy_entries.append(copy_entry)
+        word_bits = protocol._cost_word
+        plan = multicast_plan_for(
+            system.network,
+            multicaster.scheme,
+            node,
+            field.others(node),
+            word_bits,
+        )
+        self._writes[key] = (
             protocol.fastpath_epoch,
             entry,
             cache.policy,
             location[0],
             location[1],
+            protocol.present_epoch,
+            tuple(copy_entries),
+            plan,
+            plan.cost_for(word_bits),
         )
 
     # ------------------------------------------------------------------
     # The hot loop
     # ------------------------------------------------------------------
 
-    def replay(self, trace: "CompiledTrace") -> tuple[int, int]:
+    def replay(
+        self, trace: "CompiledTrace", base_index: int = 0
+    ) -> tuple[int, int]:
         """Replay every column row; returns ``(n_reads, n_writes)``.
 
         Owns the whole loop so the per-reference cost on a hit is a dict
         probe, an epoch compare and a handful of attribute checks -- no
         ``Reference`` or ``Address`` is constructed, no message sent.
         Misses take the ordinary ``protocol.read``/``write`` path and then
-        register the reference for next time.
+        register the reference for next time.  ``base_index`` offsets the
+        reference index reported in errors, so a caller replaying a slice
+        of a larger trace (the batched kernel's fallback) reports the
+        position in the original trace.
         """
         protocol = self._protocol
         system = protocol.system
@@ -199,6 +258,9 @@ class FastPathTable:
         write_hits_name = ev.WRITE_HITS
         load_direct_kind = MsgKind.LOAD_DIRECT.value
         word_reply_kind = MsgKind.WORD_REPLY.value
+        write_update_kind = MsgKind.WRITE_UPDATE.value
+        write_updates_name = ev.WRITE_UPDATES
+        word_bits = protocol._cost_word
         hits = misses = 0
         n_reads = n_writes = 0
         # Per-hit accounting that is identical for every hit of a kind is
@@ -215,7 +277,10 @@ class FastPathTable:
         # the value keeps the record alive so ids cannot be recycled.
         pending: dict[int, list] = {}
         pending_get = pending.get
+        dw_pending: dict[int, list] = {}
+        dw_pending_get = dw_pending.get
         epoch = protocol.fastpath_epoch
+        pepoch = protocol.present_epoch
         try:
             for index, (node, op, block, offset, value) in enumerate(
                 zip(
@@ -228,8 +293,8 @@ class FastPathTable:
             ):
                 if node < 0 or node >= n_nodes:
                     raise TraceError(
-                        f"reference {index}: node {node} outside this "
-                        f"{n_nodes}-node system"
+                        f"reference {base_index + index}: node {node} "
+                        f"outside this {n_nodes}-node system"
                     )
                 key = block * n_nodes + node
                 if op:
@@ -238,48 +303,96 @@ class FastPathTable:
                     if record is not None and record[0] == epoch:
                         entry = record[1]
                         field = entry.state_field
-                        # Exclusivity is re-checked live: the present
-                        # vector changes without bumping the epoch.
-                        if (
+                        if len(record) == 5:
+                            # Exclusivity is re-checked live: the present
+                            # vector changes without bumping the epoch.
+                            if (
+                                field.valid
+                                and field.owned
+                                and (
+                                    not field.distributed_write
+                                    or len(field.present) == 1
+                                )
+                                and 0 <= offset < block_size
+                            ):
+                                hits += 1
+                                fast_write_hits += 1
+                                record[2].touch(record[3], record[4])
+                                entry.data[offset] = value
+                                field.modified = True
+                                if policy is not None:
+                                    mode = (
+                                        dw
+                                        if field.distributed_write
+                                        else gr
+                                    )
+                                    n_sharers = len(field.present)
+                                    policy.observe(
+                                        block,
+                                        op_write,
+                                        owner_visible=True,
+                                        mode=mode,
+                                        n_sharers=n_sharers,
+                                    )
+                                    desired = policy.decide(
+                                        block, mode, n_sharers
+                                    )
+                                    if (
+                                        desired is not None
+                                        and desired is not mode
+                                    ):
+                                        set_mode(node, block, desired)
+                                        epoch = protocol.fastpath_epoch
+                                        pepoch = protocol.present_epoch
+                                continue
+                        elif (
                             field.valid
                             and field.owned
-                            and (
-                                not field.distributed_write
-                                or len(field.present) == 1
-                            )
+                            and field.distributed_write
+                            and record[5] == pepoch
                             and 0 <= offset < block_size
                         ):
+                            # Distributed-write multicast hit: the word
+                            # lands at the owner and every copy now; the
+                            # per-hit WRITE_UPDATE traffic is identical
+                            # for every hit of the record, so it is
+                            # counted here and flushed scaled.
                             hits += 1
-                            fast_write_hits += 1
                             record[2].touch(record[3], record[4])
                             entry.data[offset] = value
                             field.modified = True
+                            for copy_entry in record[6]:
+                                copy_entry.data[offset] = value
+                            counted = dw_pending_get(id(record))
+                            if counted is None:
+                                dw_pending[id(record)] = [record, 1]
+                            else:
+                                counted[1] += 1
                             if policy is not None:
-                                mode = (
-                                    dw if field.distributed_write else gr
-                                )
                                 n_sharers = len(field.present)
                                 policy.observe(
                                     block,
                                     op_write,
                                     owner_visible=True,
-                                    mode=mode,
+                                    mode=dw,
                                     n_sharers=n_sharers,
                                 )
                                 desired = policy.decide(
-                                    block, mode, n_sharers
+                                    block, dw, n_sharers
                                 )
                                 if (
                                     desired is not None
-                                    and desired is not mode
+                                    and desired is not dw
                                 ):
                                     set_mode(node, block, desired)
                                     epoch = protocol.fastpath_epoch
+                                    pepoch = protocol.present_epoch
                             continue
                     misses += 1
                     write_slow(node, Address(block, offset), value)
                     register_write(node, block)
                     epoch = protocol.fastpath_epoch
+                    pepoch = protocol.present_epoch
                 else:
                     n_reads += 1
                     record = reads_get(key)
@@ -320,6 +433,7 @@ class FastPathTable:
                                     ):
                                         set_mode(owner, block, desired)
                                         epoch = protocol.fastpath_epoch
+                                        pepoch = protocol.present_epoch
                                 continue
                         elif (
                             not entry.state_field.valid
@@ -360,11 +474,13 @@ class FastPathTable:
                                     ):
                                         set_mode(record[5], block, desired)
                                         epoch = protocol.fastpath_epoch
+                                        pepoch = protocol.present_epoch
                                 continue
                     misses += 1
                     read_slow(node, Address(block, offset))
                     register_read(node, block)
                     epoch = protocol.fastpath_epoch
+                    pepoch = protocol.present_epoch
         finally:
             gr_hits = 0
             if pending:
@@ -383,13 +499,24 @@ class FastPathTable:
                 events[read_misses_name] += gr_hits
                 events[coherence_misses_name] += gr_hits
                 events[global_reads_name] += gr_hits
+            dw_hits = 0
+            if dw_pending:
+                apply_scaled = system.network.apply_plan_traffic_scaled
+                bits_update = 0
+                for record, count in dw_pending.values():
+                    dw_hits += count
+                    bits_update += record[8] * count
+                    apply_scaled(record[7], word_bits, count)
+                traffic_bits[write_update_kind] += bits_update
+                traffic_messages[write_update_kind] += dw_hits
+                events[write_updates_name] += dw_hits
             if local_read_hits or gr_hits:
                 events[reads_name] += local_read_hits + gr_hits
             if local_read_hits:
                 events[read_hits_name] += local_read_hits
-            if fast_write_hits:
-                events[writes_name] += fast_write_hits
-                events[write_hits_name] += fast_write_hits
+            if fast_write_hits or dw_hits:
+                events[writes_name] += fast_write_hits + dw_hits
+                events[write_hits_name] += fast_write_hits + dw_hits
             self.hits += hits
             self.misses += misses
         return n_reads, n_writes

@@ -70,7 +70,16 @@ class ModePolicy(abc.ABC):
     whether the owner's hardware could see it) and :meth:`decide` after the
     reference completes; a non-``None`` return asks the owner to switch the
     block to that mode.
+
+    ``batchable`` declares whether the policy is safe to consult once per
+    *run* of identical references instead of once per reference: it must
+    hold that :meth:`observe` is a no-op and :meth:`decide` is a pure
+    function of ``(block, mode, n_sharers)``.  The counting policies
+    measure per-reference windows, so they keep the default ``False`` and
+    the batched kernel (docs/PERF.md) stands down for them.
     """
+
+    batchable = False
 
     @abc.abstractmethod
     def observe(
@@ -94,6 +103,8 @@ class ModePolicy(abc.ABC):
 class StaticModePolicy(ModePolicy):
     """Pin every block to one mode (the 'software sets the mode' case)."""
 
+    batchable = True
+
     def __init__(self, mode: Mode) -> None:
         self.mode = mode
 
@@ -114,6 +125,8 @@ class PerBlockModePolicy(ModePolicy):
     write fraction against its ``w1`` threshold, emit a mode per block.
     Blocks absent from the map keep their current mode.
     """
+
+    batchable = True
 
     def __init__(self, modes: dict[BlockId, Mode]) -> None:
         self.modes = dict(modes)

@@ -50,6 +50,7 @@ from repro.protocol.invariants import check_stenstrom
 from repro.protocol.messages import MsgKind
 from repro.protocol.modes import ModePolicy
 from repro.sim import stats as ev
+from repro.sim.kernel import BatchedKernel
 from repro.sim.system import System
 from repro.types import Address, BlockId, NodeId, Op
 
@@ -89,6 +90,7 @@ class StenstromProtocol(CoherenceProtocol):
         #: empty for the lifetime of a fault-free system.
         self._uncacheable: set[BlockId] = set()
         self._fastpath: FastPathTable | None = None
+        self._batched_kernel: BatchedKernel | None = None
         # Hot message costs, precomputed once; each is a pure function of
         # the (immutable) system configuration.
         costs = system.costs
@@ -155,6 +157,25 @@ class StenstromProtocol(CoherenceProtocol):
         if self._fastpath is None:
             self._fastpath = FastPathTable(self)
         return self._fastpath
+
+    def batched_kernel(self) -> BatchedKernel | None:
+        """The batched columnar kernel, when chunked replay is sound.
+
+        Everything that gates :meth:`fastpath` gates this too.  On top of
+        that, a chunk validates its records once and then skips the
+        per-reference policy consultation, so a mode policy must declare
+        itself ``batchable`` (observe a no-op, decide pure); the counting
+        policies are order-dependent and force the per-reference table.
+        """
+        table = self.fastpath()
+        if table is None:
+            return None
+        policy = self.mode_policy
+        if policy is not None and not policy.batchable:
+            return None
+        if self._batched_kernel is None:
+            self._batched_kernel = BatchedKernel(self, table)
+        return self._batched_kernel
 
     # ------------------------------------------------------------------
     # Processor interface
@@ -488,7 +509,9 @@ class StenstromProtocol(CoherenceProtocol):
                 f"cache {owner} asked to serve block {block} it does not own"
             )
         owner_field = owner_entry.state_field
-        owner_field.present.add(node)
+        if node not in owner_field.present:
+            owner_field.present.add(node)
+            self.present_epoch += 1
         if owner_field.distributed_write:
             # 2(b)i: ship a whole copy; requester becomes UnOwned.
             self._send(MsgKind.BLOCK_REPLY, owner, node, self._cost_block)
@@ -793,8 +816,9 @@ class StenstromProtocol(CoherenceProtocol):
             return
         self._send(MsgKind.PRESENT_CLEAR, home, owner, costs.request())
         owner_entry = self._cache(owner).find(block)
-        if owner_entry is not None:
+        if owner_entry is not None and node in owner_entry.state_field.present:
             owner_entry.state_field.present.discard(node)
+            self.present_epoch += 1
 
     def _replace_exclusive_owner(
         self, node: NodeId, entry: CacheEntry

@@ -181,7 +181,11 @@ def run_trace(
     ):
         fast = protocol.fastpath()
     if fast is not None:
-        n_reads, n_writes = fast.replay(trace)
+        kernel = protocol.batched_kernel()
+        if kernel is not None:
+            n_reads, n_writes = kernel.replay(trace)
+        else:
+            n_reads, n_writes = fast.replay(trace)
         n_refs = n_reads + n_writes
     elif isinstance(trace, CompiledTrace):
         n_refs, n_reads, n_writes = _replay_columns(

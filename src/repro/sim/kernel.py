@@ -1,0 +1,336 @@
+"""Batched columnar replay: chunk-at-a-time execution of compiled traces.
+
+The per-reference fast path (:class:`~repro.protocol.fastpath.FastPathTable`)
+already answers most steady-state references from a memo, but it still pays
+a Python-level dispatch -- dict probe, epoch compare, live state checks,
+policy consultation -- for *every* reference.  At N=1024 that dispatch, not
+the protocol, is the simulation's bottleneck.
+
+:class:`BatchedKernel` removes it.  A compiled trace's ``array('q')``
+columns are scanned in chunks; each chunk is folded to its distinct
+``(node, block, op)`` keys in one C-speed pass, and the fast-path record
+behind each key is validated *once per chunk* instead of once per
+reference.  A fully-validated chunk then executes without touching Python
+per reference again:
+
+* reference counts per record come from one :class:`collections.Counter`
+  pass, and identical per-hit ledger/Stats deltas are accumulated as plain
+  integers and flushed once at the end of the replay;
+* replacement-policy touches collapse to one touch per distinct key, in
+  last-occurrence order -- for a recency policy the final per-set order
+  depends only on each way's *last* touch, so this is exact;
+* data-word stores collapse to the last value written per ``(key,
+  offset)`` -- intermediate values are never observed, because fast-path
+  reads do not read data words and value verification is gated off;
+* message-bearing records (global-read remote reads, distributed-write
+  multicast writes) replay their memoised route plans with
+  ``apply_plan_traffic_scaled``, bit-identical to per-send accounting.
+
+Any chunk that fails validation -- an unregistered key, a stale epoch or
+present-vector stamp, a node or offset outside the configuration, a mode
+policy that wants to switch -- falls back to
+:meth:`~repro.protocol.fastpath.FastPathTable.replay` for that chunk, which
+handles misses, re-registration and error reporting exactly as before
+(``base_index`` keeps error messages numbered in the full trace).  The
+chunk size adapts: it shrinks on fallback so a churning phase pays little
+validation, and doubles on clean chunks up to a cap so a steady-state
+phase amortises validation over thousands of references.
+
+Nothing inside a clean chunk can invalidate its own validation: every
+executed reference is a hit, hits send no un-memoised messages, never
+bump ``fastpath_epoch``/``present_epoch``, and the kernel is only handed
+out (:meth:`~repro.protocol.stenstrom.StenstromProtocol.batched_kernel`)
+when the mode policy declares itself ``batchable`` (observe a no-op,
+decide pure) -- and decide is pre-checked to return ``None`` for every
+key in the chunk.  Everything that gates the fast path (faults, recorder,
+message log, verification) gates the kernel too, so batched replay is
+bit-identical to the per-reference path (proven every ``repro perf`` run;
+docs/PERF.md).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from itertools import compress
+from typing import TYPE_CHECKING
+
+from repro.cache.state import Mode
+from repro.protocol.messages import MsgKind
+from repro.sim import stats as ev
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a cycle)
+    from repro.protocol.fastpath import FastPathTable
+    from repro.protocol.stenstrom import StenstromProtocol
+    from repro.sim.ctrace import CompiledTrace
+
+#: Chunk-size bounds.  The kernel starts small (cheap warmup misses),
+#: doubles on every clean chunk and halves back on every fallback.
+MIN_CHUNK = 64
+MAX_CHUNK = 8192
+
+
+class BatchedKernel:
+    """Chunked replay over a :class:`FastPathTable`'s records.
+
+    ``batched_refs`` counts references executed by clean chunks and
+    ``fallback_refs`` those delegated to the per-reference table, across
+    all :meth:`replay` calls -- the observability hook for benchmarks and
+    the eligibility tests.
+    """
+
+    __slots__ = ("_protocol", "_table", "batched_refs", "fallback_refs")
+
+    def __init__(
+        self, protocol: "StenstromProtocol", table: "FastPathTable"
+    ) -> None:
+        self._protocol = protocol
+        self._table = table
+        self.batched_refs = 0
+        self.fallback_refs = 0
+
+    def replay(self, trace: "CompiledTrace") -> tuple[int, int]:
+        """Replay every column row; returns ``(n_reads, n_writes)``."""
+        protocol = self._protocol
+        table = self._table
+        system = protocol.system
+        n_nodes = system.n_nodes
+        block_size = system.config.block_size_words
+        policy = protocol.mode_policy
+        reads = table._reads
+        writes = table._writes
+        table_replay = table.replay
+        dw = Mode.DISTRIBUTED_WRITE
+        gr = Mode.GLOBAL_READ
+        nodes_col = trace.nodes
+        ops_col = trace.ops
+        blocks_col = trace.blocks
+        offsets_col = trace.offsets
+        values_col = trace.values
+        n = len(nodes_col)
+        n_reads = n_writes = 0
+        batched = fallback = 0
+        # Deferred per-record counts and scalar accumulators, flushed once
+        # (same commuting argument as FastPathTable.replay: nothing reads
+        # the ledgers mid-replay and Counter/array addition commutes with
+        # the interleaved fallback-chunk updates).
+        local_read_hits = 0
+        fast_write_hits = 0
+        gr_pending: dict[int, list] = {}
+        gr_pending_get = gr_pending.get
+        dw_pending: dict[int, list] = {}
+        dw_pending_get = dw_pending.get
+        chunk = MIN_CHUNK
+        i = 0
+        try:
+            while i < n:
+                j = i + chunk
+                if j > n:
+                    j = n
+                nodes = nodes_col[i:j]
+                ops = ops_col[i:j]
+                blocks = blocks_col[i:j]
+                offsets = offsets_col[i:j]
+                epoch = protocol.fastpath_epoch
+                pepoch = protocol.present_epoch
+                keys = None
+                counts = None
+                ok = (
+                    min(nodes) >= 0
+                    and max(nodes) < n_nodes
+                    and min(offsets) >= 0
+                    and max(offsets) < block_size
+                )
+                if ok:
+                    keys = [
+                        ((block * n_nodes + node) << 1) | op
+                        for node, op, block in zip(nodes, ops, blocks)
+                    ]
+                    counts = Counter(keys)
+                    for key in counts:
+                        record = (
+                            writes.get(key >> 1)
+                            if key & 1
+                            else reads.get(key >> 1)
+                        )
+                        if record is None or record[0] != epoch:
+                            ok = False
+                            break
+                        field = record[1].state_field
+                        if key & 1:
+                            if len(record) == 5:
+                                if not (
+                                    field.valid
+                                    and field.owned
+                                    and (
+                                        not field.distributed_write
+                                        or len(field.present) == 1
+                                    )
+                                ):
+                                    ok = False
+                                    break
+                                mode = (
+                                    dw if field.distributed_write else gr
+                                )
+                                n_sharers = len(field.present)
+                            else:
+                                if not (
+                                    field.valid
+                                    and field.owned
+                                    and field.distributed_write
+                                    and record[5] == pepoch
+                                ):
+                                    ok = False
+                                    break
+                                mode = dw
+                                n_sharers = len(field.present)
+                        else:
+                            owner_field = record[6].state_field
+                            if len(record) == 7:
+                                if not field.valid:
+                                    ok = False
+                                    break
+                                mode = (
+                                    dw
+                                    if owner_field.distributed_write
+                                    else gr
+                                )
+                            else:
+                                if field.valid or not (
+                                    owner_field.owned
+                                    and not owner_field.distributed_write
+                                ):
+                                    ok = False
+                                    break
+                                mode = gr
+                            n_sharers = len(owner_field.present)
+                        if policy is not None and (
+                            policy.decide(
+                                (key >> 1) // n_nodes, mode, n_sharers
+                            )
+                            is not None
+                        ):
+                            # The per-reference path would switch modes
+                            # mid-chunk; let it.
+                            ok = False
+                            break
+                if not ok:
+                    nr, nw = table_replay(trace[i:j], i)
+                    n_reads += nr
+                    n_writes += nw
+                    fallback += j - i
+                    i = j
+                    if chunk > MIN_CHUNK:
+                        chunk >>= 1
+                    continue
+                # Clean chunk: every reference is a hit of a validated
+                # record and nothing below can invalidate one.
+                chunk_writes = 0
+                has_write_keys = False
+                for key, count in counts.items():
+                    if key & 1:
+                        has_write_keys = True
+                        chunk_writes += count
+                        record = writes[key >> 1]
+                        record[1].state_field.modified = True
+                        if len(record) == 5:
+                            fast_write_hits += count
+                        else:
+                            counted = dw_pending_get(id(record))
+                            if counted is None:
+                                dw_pending[id(record)] = [record, count]
+                            else:
+                                counted[1] += count
+                    else:
+                        record = reads[key >> 1]
+                        if len(record) == 7:
+                            local_read_hits += count
+                        else:
+                            counted = gr_pending_get(id(record))
+                            if counted is None:
+                                gr_pending[id(record)] = [record, count]
+                            else:
+                                counted[1] += count
+                # One touch per key, in last-occurrence order: the final
+                # recency order per set depends only on each way's last
+                # touch.
+                last_pos = dict(zip(keys, range(len(keys))))
+                for key in sorted(last_pos, key=last_pos.__getitem__):
+                    record = writes[key >> 1] if key & 1 else reads[key >> 1]
+                    record[2].touch(record[3], record[4])
+                if has_write_keys:
+                    # Last value per (key, offset) wins; intermediate
+                    # values are unobservable (fast-path reads do not
+                    # read data and verification is gated off).
+                    values = values_col[i:j]
+                    stores = dict(
+                        zip(
+                            compress(zip(keys, offsets), ops),
+                            compress(values, ops),
+                        )
+                    )
+                    for (key, offset), value in stores.items():
+                        record = writes[key >> 1]
+                        record[1].data[offset] = value
+                        if len(record) != 5:
+                            for copy_entry in record[6]:
+                                copy_entry.data[offset] = value
+                n_chunk = j - i
+                n_writes += chunk_writes
+                n_reads += n_chunk - chunk_writes
+                batched += n_chunk
+                i = j
+                if chunk < MAX_CHUNK:
+                    chunk <<= 1
+        finally:
+            stats = protocol.stats
+            events = stats.events
+            traffic_bits = stats.traffic_bits
+            traffic_messages = stats.traffic_messages
+            gr_hits = 0
+            if gr_pending:
+                apply_scaled = system.network.apply_plan_traffic_scaled
+                request_bits = protocol._cost_request
+                word_owner_bits = protocol._cost_word_owner
+                bits_out = bits_back = 0
+                for record, count in gr_pending.values():
+                    gr_hits += count
+                    bits_out += record[8] * count
+                    bits_back += record[10] * count
+                    apply_scaled(record[7], request_bits, count)
+                    apply_scaled(record[9], word_owner_bits, count)
+                traffic_bits[MsgKind.LOAD_DIRECT.value] += bits_out
+                traffic_messages[MsgKind.LOAD_DIRECT.value] += gr_hits
+                traffic_bits[MsgKind.WORD_REPLY.value] += bits_back
+                traffic_messages[MsgKind.WORD_REPLY.value] += gr_hits
+                events[ev.READ_MISSES] += gr_hits
+                events[ev.COHERENCE_MISSES] += gr_hits
+                events[ev.GLOBAL_READS] += gr_hits
+            dw_hits = 0
+            if dw_pending:
+                apply_scaled = system.network.apply_plan_traffic_scaled
+                word_bits = protocol._cost_word
+                bits_update = 0
+                for record, count in dw_pending.values():
+                    dw_hits += count
+                    bits_update += record[8] * count
+                    apply_scaled(record[7], word_bits, count)
+                traffic_bits[MsgKind.WRITE_UPDATE.value] += bits_update
+                traffic_messages[MsgKind.WRITE_UPDATE.value] += dw_hits
+                events[ev.WRITE_UPDATES] += dw_hits
+            if local_read_hits or gr_hits:
+                events[ev.READS] += local_read_hits + gr_hits
+            if local_read_hits:
+                events[ev.READ_HITS] += local_read_hits
+            if fast_write_hits or dw_hits:
+                events[ev.WRITES] += fast_write_hits + dw_hits
+                events[ev.WRITE_HITS] += fast_write_hits + dw_hits
+            table.hits += batched
+            self.batched_refs += batched
+            self.fallback_refs += fallback
+        return n_reads, n_writes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BatchedKernel(batched={self.batched_refs}, "
+            f"fallback={self.fallback_refs})"
+        )

@@ -38,13 +38,17 @@ def _isolate_history(monkeypatch, tmp_path):
 @pytest.fixture
 def stub_benchmarks(monkeypatch):
     def install(**kwargs):
-        monkeypatch.setattr(
-            repro.perf,
-            "run_benchmarks",
-            lambda *, equivalence_only=False, repeats=3: _stub_results(
-                **kwargs
-            ),
-        )
+        def fake(*, equivalence_only=False, repeats=3, only=None):
+            results = _stub_results(**kwargs)
+            if only is not None:
+                results = {
+                    name: result
+                    for name, result in results.items()
+                    if name in only
+                }
+            return results
+
+        monkeypatch.setattr(repro.perf, "run_benchmarks", fake)
 
     install()
     return install
@@ -137,3 +141,39 @@ def test_no_history_flag_skips_the_append(stub_benchmarks, tmp_path):
         ["perf", "--no-history", "--baseline", str(baseline)]
     ) == 0
     assert not (tmp_path / "BENCH_history.jsonl").exists()
+
+
+def test_only_flag_relaxes_the_coverage_check(stub_benchmarks, tmp_path, capsys):
+    # A baseline with an extra benchmark: a full run must flag it as
+    # unmeasured, an --only run must not (the subset was deliberate).
+    baseline = tmp_path / "BENCH_perf.json"
+    results = _stub_results()
+    results["other_bench"] = BenchResult(
+        name="other_bench",
+        unit="refs",
+        work=100,
+        wall_time=0.1,
+        rate=1000.0,
+        equivalent=True,
+    )
+    write_baseline(results, baseline)
+    assert main(["perf", "--baseline", str(baseline)]) == 1
+    assert "in baseline but not measured" in capsys.readouterr().out
+    assert main(
+        ["perf", "--only", "trace_replay_n8", "--baseline", str(baseline)]
+    ) == 0
+    output = capsys.readouterr().out
+    assert "in baseline but not measured" not in output
+    assert "pass" in output
+
+
+def test_rate_delta_against_previous_history_row(
+    stub_benchmarks, tmp_path, capsys
+):
+    baseline = tmp_path / "BENCH_perf.json"
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    first = capsys.readouterr().out
+    assert " - " in first  # no previous row yet
+    stub_benchmarks(rate=1500.0)
+    assert main(["perf", "--baseline", str(baseline)]) == 0
+    assert "+50.0%" in capsys.readouterr().out

@@ -6,13 +6,19 @@ full equivalence machinery -- cached vs cold replay, bit-total
 reconciliation -- executes in well under a second.
 """
 
+import pytest
+
+from repro.errors import ConfigurationError
 from repro.perf import (
     BenchResult,
+    bench_batched_replay,
+    bench_fastpath_hit_rate,
     bench_multicast_fanout,
     bench_sweep_throughput,
     bench_trace_replay,
+    benchmark_names,
 )
-from repro.perf.harness import EquivalenceError, _require
+from repro.perf.harness import EquivalenceError, _require, run_benchmarks
 
 
 def _assert_well_formed(result, unit):
@@ -67,6 +73,65 @@ def test_sweep_throughput_small():
     _assert_well_formed(result, "refs")
     assert result.work == 400
     assert set(result.checks) == {"total_bits_s2", "total_bits_s4"}
+
+
+def test_fastpath_hit_rate_reports_plan_stats():
+    result = bench_fastpath_hit_rate(n_nodes=8, n_tasks=4, n_references=300)
+    _assert_well_formed(result, "hits")
+    assert result.checks["fastpath_hits"] + result.checks[
+        "fastpath_misses"
+    ] == 300
+    assert result.plan_stats is not None
+
+
+def test_batched_replay_small():
+    result = bench_batched_replay(
+        n_nodes=16,
+        n_references=2000,
+        n_slow_references=400,
+        repeats=1,
+    )
+    _assert_well_formed(result, "refs")
+    assert result.name == "batched_replay_n16"
+    assert result.work == 2000
+    assert result.checks["batched_refs"] > result.checks["fallback_refs"]
+    assert (
+        result.checks["batched_refs"] + result.checks["fallback_refs"]
+        == 2000
+    )
+    assert result.checks["total_bits"] > 0
+
+
+def test_run_benchmarks_only_selects_in_definition_order(monkeypatch):
+    import repro.perf.harness as harness
+
+    def stub(name):
+        def run(repeats):
+            return BenchResult(
+                name=name,
+                unit="refs",
+                work=1,
+                wall_time=1.0,
+                rate=1.0,
+                equivalent=True,
+            )
+
+        return run
+
+    monkeypatch.setattr(
+        harness, "_BENCHMARKS", {name: stub(name) for name in "abc"}
+    )
+    assert list(run_benchmarks(only=["c", "a"])) == ["a", "c"]
+    assert list(run_benchmarks()) == ["a", "b", "c"]
+    with pytest.raises(ConfigurationError, match="unknown benchmark"):
+        run_benchmarks(only=["a", "nope"])
+
+
+def test_benchmark_names_cover_the_committed_baseline():
+    names = benchmark_names()
+    assert "batched_replay_n1024" in names
+    assert "compiled_replay_n64" in names
+    assert len(names) == len(set(names)) == 7
 
 
 def test_require_raises_equivalence_error():

@@ -84,6 +84,20 @@ def test_missing_benchmarks_flagged_both_directions():
     assert "old: in baseline but not measured" in problems
 
 
+def test_subset_mode_skips_the_coverage_check_only():
+    baseline = results_payload(
+        {"bench": _result(rate=1000.0), "old": _result(name="old")}
+    )
+    measured = {"bench": _result(rate=1000.0)}
+    assert compare_to_baseline(measured, baseline, subset=True) == []
+    assert "old: in baseline but not measured" in compare_to_baseline(
+        measured, baseline
+    )
+    # Benchmarks that did run are still held to the full gate.
+    slow = {"bench": _result(rate=100.0)}
+    assert compare_to_baseline(slow, baseline, subset=True) != []
+
+
 def test_equivalence_only_ignores_timing():
     baseline = results_payload({"bench": _result(rate=1000.0)})
     crawl = {"bench": _result(rate=1.0)}
@@ -135,3 +149,39 @@ class TestHistory:
         from datetime import datetime
 
         datetime.fromisoformat(row["timestamp"])
+
+    def test_latest_row_returns_the_last_line(self, tmp_path):
+        from repro.perf.regress import append_history, latest_history_row
+
+        path = tmp_path / "history.jsonl"
+        assert latest_history_row(path) is None  # no file yet
+        append_history(
+            self._results(),
+            path,
+            timestamp="2026-08-05T00:00:00+00:00",
+            commit="first",
+        )
+        append_history(
+            self._results(),
+            path,
+            timestamp="2026-08-05T00:01:00+00:00",
+            commit="second",
+        )
+        row = latest_history_row(path)
+        assert row["commit"] == "second"
+        assert row["rates"] == {"bench": 1234.5, "other": 99.0}
+
+    def test_latest_row_skips_a_torn_tail(self, tmp_path):
+        from repro.perf.regress import append_history, latest_history_row
+
+        path = tmp_path / "history.jsonl"
+        append_history(
+            self._results(),
+            path,
+            timestamp="2026-08-05T00:00:00+00:00",
+            commit="good",
+        )
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"timestamp": "2026-08-05T00:0')  # torn write
+        row = latest_history_row(path)
+        assert row is not None and row["commit"] == "good"

@@ -1,0 +1,276 @@
+"""Tests for the batched columnar kernel (:mod:`repro.sim.kernel`).
+
+Three concerns, mirroring the fast-path table's suite: the kernel must
+only be handed out when chunked execution is sound (gating), everything
+that can invalidate a memoised answer must be caught by the per-chunk
+revalidation (epoch and present-vector stamps), and batched replay must
+be bit-identical to the per-``Reference`` dispatch loop for every
+workload generator in the repo (equivalence).
+"""
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.errors import TraceError
+from repro.faults.plan import FaultPlan
+from repro.obs.hooks import attach_recorder
+from repro.obs.recorder import TraceRecorder
+from repro.protocol.modes import (
+    AdaptiveModePolicy,
+    OracleModePolicy,
+    PerBlockModePolicy,
+    StaticModePolicy,
+)
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.engine import run_trace
+from repro.sim.kernel import BatchedKernel
+from repro.sim.system import System, SystemConfig
+from repro.sim.trace import Trace
+from repro.types import Address, Op, Reference
+from repro.workloads.locks import spinlock_trace
+from repro.workloads.markov import markov_block_trace, shared_structure_trace
+from repro.workloads.matrix import jacobi_trace, matrix_multiply_trace
+from repro.workloads.sharing import (
+    migratory_trace,
+    ping_pong_trace,
+    producer_consumer_trace,
+)
+from repro.workloads.synthetic import random_trace
+
+from tests.protocol.conftest import build
+
+
+def _workloads(n_nodes):
+    """Every trace generator in the repo, at test-friendly sizes."""
+    tasks = list(range(8))
+    return {
+        "jacobi": lambda compiled: jacobi_trace(
+            n_nodes, tasks[:4], rows=8, row_words=8, sweeps=2,
+            compiled=compiled,
+        ),
+        "markov_block": lambda compiled: markov_block_trace(
+            n_nodes, tasks, 0.3, 600, seed=3, compiled=compiled
+        ),
+        "matrix_multiply": lambda compiled: matrix_multiply_trace(
+            n_nodes, tasks[:4], size=6, compiled=compiled
+        ),
+        "migratory": lambda compiled: migratory_trace(
+            n_nodes, tasks[:3], 40, compiled=compiled
+        ),
+        "ping_pong": lambda compiled: ping_pong_trace(
+            n_nodes, 0, 1, 60, compiled=compiled
+        ),
+        "producer_consumer": lambda compiled: producer_consumer_trace(
+            n_nodes, 0, tasks[1:4], 40, compiled=compiled
+        ),
+        "random": lambda compiled: random_trace(
+            n_nodes, 600, seed=9, compiled=compiled
+        ),
+        "shared_structure": lambda compiled: shared_structure_trace(
+            n_nodes, tasks[:6], 0.3, 600, seed=4, compiled=compiled
+        ),
+        "spinlock": lambda compiled: spinlock_trace(
+            n_nodes, tasks[:3], 25, compiled=compiled
+        ),
+    }
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "default_mode",
+        [Mode.GLOBAL_READ, Mode.DISTRIBUTED_WRITE],
+        ids=["gr", "dw"],
+    )
+    @pytest.mark.parametrize("n_nodes", [16, 64])
+    @pytest.mark.parametrize("name", sorted(_workloads(16)))
+    def test_batched_matches_per_reference(self, name, n_nodes, default_mode):
+        make = _workloads(n_nodes)[name]
+        compiled_trace = make(True)
+        _, batched_protocol = build(
+            n_nodes=n_nodes, block_size_words=4, default_mode=default_mode
+        )
+        batched_report = run_trace(
+            batched_protocol,
+            compiled_trace,
+            verify=False,
+            check_invariants_every=0,
+        )
+        kernel = batched_protocol.batched_kernel()
+        assert kernel is not None
+        assert (
+            kernel.batched_refs + kernel.fallback_refs
+            == len(compiled_trace)
+        )
+        _, slow_protocol = build(
+            n_nodes=n_nodes, block_size_words=4, default_mode=default_mode
+        )
+        slow_report = run_trace(
+            slow_protocol,
+            make(False).references,
+            verify=False,
+            check_invariants_every=0,
+        )
+        assert batched_report.to_dict() == slow_report.to_dict()
+
+    def test_batchable_policy_decisions_match_per_reference(self):
+        # A per-block mode map whose decisions fire mid-trace: the kernel
+        # must refuse to batch the chunk where decide() wants a switch
+        # and route it through the per-reference path.
+        n_nodes = 16
+        modes = {0: Mode.DISTRIBUTED_WRITE, 1: Mode.GLOBAL_READ}
+        reports = []
+        for compiled in (True, False):
+            trace = shared_structure_trace(
+                n_nodes,
+                list(range(4)),
+                0.4,
+                600,
+                n_blocks=4,
+                seed=12,
+                compiled=compiled,
+            )
+            _, protocol = build(
+                n_nodes=n_nodes,
+                block_size_words=4,
+                mode_policy=PerBlockModePolicy(modes),
+            )
+            reports.append(
+                run_trace(
+                    protocol,
+                    trace if compiled else trace.references,
+                    verify=False,
+                    check_invariants_every=0,
+                )
+            )
+        assert reports[0].to_dict() == reports[1].to_dict()
+
+    def test_malformed_row_raises_with_absolute_index(self):
+        # The bad row lands in a later chunk, so the index in the error
+        # must survive the kernel's chunk-relative fallback replay.
+        good = [Reference(0, Op.WRITE, Address(0, 0), 1)] * 100
+        bad = good + [Reference(7, Op.READ, Address(0, 0))]
+        trace = Trace(bad, 8, 2).compile()
+        _, protocol = build(n_nodes=4)
+        with pytest.raises(TraceError, match="reference 100"):
+            run_trace(protocol, trace, verify=False, check_invariants_every=0)
+
+
+class TestGating:
+    def test_kernel_is_memoised(self):
+        _, protocol = build()
+        kernel = protocol.batched_kernel()
+        assert isinstance(kernel, BatchedKernel)
+        assert protocol.batched_kernel() is kernel
+
+    def test_message_log_gates_the_kernel(self):
+        _, protocol = build()
+        protocol.enable_message_log()
+        assert protocol.fastpath() is None
+        assert protocol.batched_kernel() is None
+
+    def test_recorder_gates_the_kernel(self):
+        _, protocol = build()
+        attach_recorder(protocol, TraceRecorder())
+        assert protocol.batched_kernel() is None
+
+    def test_fault_injection_gates_the_kernel(self):
+        system = System(
+            SystemConfig(n_nodes=4),
+            fault_plan=FaultPlan(drop_probability=0.1, seed=3),
+        )
+        protocol = StenstromProtocol(system)
+        assert protocol.batched_kernel() is None
+
+    def test_batchable_policies_allow_the_kernel(self):
+        for policy in (
+            StaticModePolicy(Mode.GLOBAL_READ),
+            PerBlockModePolicy({0: Mode.DISTRIBUTED_WRITE}),
+        ):
+            _, protocol = build(mode_policy=policy)
+            assert protocol.batched_kernel() is not None
+
+    def test_counting_policies_stand_the_kernel_down(self):
+        # Oracle/adaptive policies observe every reference, which a
+        # batched chunk cannot replicate -- but the per-reference fast
+        # path (which does observe) must stay engaged.
+        for policy in (OracleModePolicy(), AdaptiveModePolicy()):
+            _, protocol = build(mode_policy=policy)
+            assert protocol.batched_kernel() is None
+            assert protocol.fastpath() is not None
+
+    def test_engine_skips_kernel_when_verifying(self):
+        _, protocol = build(n_nodes=4)
+        refs = [Reference(0, Op.WRITE, Address(0, 0), 1)] * 200
+        trace = Trace(refs, 4, 2).compile()
+        run_trace(protocol, trace, verify=True)
+        kernel = protocol.batched_kernel()
+        assert kernel.batched_refs == kernel.fallback_refs == 0
+
+    def test_counters_accumulate_across_runs(self):
+        _, protocol = build(n_nodes=4)
+        refs = [Reference(0, Op.WRITE, Address(0, 0), 1)] * 200
+        trace = Trace(refs, 4, 2).compile()
+        run_trace(protocol, trace, verify=False, check_invariants_every=0)
+        kernel = protocol.batched_kernel()
+        first = kernel.batched_refs + kernel.fallback_refs
+        assert first == 200
+        run_trace(protocol, trace, verify=False, check_invariants_every=0)
+        assert kernel.batched_refs + kernel.fallback_refs == 400
+        # Batched hits count as table hits, so coverage stays total.
+        table = protocol.fastpath()
+        assert table.hits + table.misses == 400
+
+
+class TestPresentEpochInvalidation:
+    def test_new_reader_at_owner_bumps_present_epoch(self):
+        _, protocol = build(default_mode=Mode.GLOBAL_READ)
+        protocol.write(0, Address(0, 0), 1)
+        before = protocol.present_epoch
+        protocol.read(1, Address(0, 0))  # joins the present vector
+        after = protocol.present_epoch
+        assert after > before
+        protocol.read(1, Address(0, 0))  # already present: no churn
+        assert protocol.present_epoch == after
+
+    def test_unowned_replacement_bumps_present_epoch(self):
+        _, protocol = build(
+            default_mode=Mode.DISTRIBUTED_WRITE,
+            cache_entries=4,
+            associativity=1,
+        )
+        protocol.write(0, Address(0, 0), 1)
+        protocol.read(1, Address(0, 0))  # node 1 holds an unowned copy
+        before = protocol.present_epoch
+        # Direct-mapped with 4 sets: block 4 lands on block 0's set and
+        # evicts node 1's copy, shrinking the owner's present vector.
+        protocol.write(1, Address(4, 0), 2)
+        assert protocol.present_epoch > before
+
+    def test_stale_present_vector_re_registers_the_dw_record(self):
+        n_nodes = 8
+        _, protocol = build(
+            n_nodes=n_nodes, default_mode=Mode.DISTRIBUTED_WRITE
+        )
+        protocol.write(0, Address(0, 0), 1)
+        protocol.read(1, Address(0, 0))
+        protocol.read(2, Address(0, 0))
+        table = protocol.fastpath()
+        warm = Trace(
+            [Reference(0, Op.WRITE, Address(0, 0), v) for v in (2, 3, 4)],
+            n_nodes,
+            2,
+        ).compile()
+        table.replay(warm)
+        assert (table.hits, table.misses) == (2, 1)
+        # A new reader grows the present vector without touching
+        # fastpath_epoch; only the present stamp can catch it.
+        epoch = protocol.fastpath_epoch
+        stamp = protocol.present_epoch
+        protocol.read(3, Address(0, 0))
+        assert protocol.fastpath_epoch == epoch
+        assert protocol.present_epoch > stamp
+        table.replay(warm)  # first row re-registers, rest hit again
+        assert (table.hits, table.misses) == (4, 2)
+        # The refreshed record multicasts to all three copies now.
+        for reader in (1, 2, 3):
+            assert protocol.read(reader, Address(0, 0)) == 4
