@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve commands cover the common uses of the library without writing
+Thirteen commands cover the common uses of the library without writing
 code:
 
 * ``tables``  -- regenerate the paper's Tables 2, 3 and 4 next to the
@@ -34,7 +34,12 @@ code:
 * ``submit``  -- submit the ``sweep`` grid to a running daemon instead
   of executing locally (plus ``--ping`` / ``--status`` / ``--drain``
   daemon controls); same table out, so the CLI is just one client of
-  the service.
+  the service;
+* ``mc``      -- model-check the protocol (:mod:`repro.mc`): exhaustive
+  breadth-first exploration of the abstract two-mode model with
+  coherence/recovery invariants and minimal counterexample traces,
+  plus ``--fuzz`` differential fuzzing of the model against the
+  concrete simulator (see docs/MODELCHECK.md).
 
 ``sweep`` and ``chaos`` additionally accept ``--trace-dir`` to export
 per-cell trace artifacts while the grid runs.
@@ -440,6 +445,92 @@ def _build_parser() -> argparse.ArgumentParser:
         "--drain",
         action="store_true",
         help="ask the daemon to drain and shut down, then exit",
+    )
+
+    mc = commands.add_parser(
+        "mc",
+        help=(
+            "model-check the two-mode protocol: exhaustive exploration "
+            "with invariants + counterexample traces, and differential "
+            "fuzzing against the simulator (see docs/MODELCHECK.md)"
+        ),
+    )
+    mc.add_argument(
+        "--nodes", type=int, default=2, help="model nodes (power of two)"
+    )
+    mc.add_argument(
+        "--blocks", type=int, default=1, help="model blocks (default: 1)"
+    )
+    mc.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="explore the full reachable space (no state cap)",
+    )
+    mc.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        help=(
+            "visited-state cap when not --exhaustive (default: 200000)"
+        ),
+    )
+    mc.add_argument(
+        "--default-dw",
+        action="store_true",
+        help=(
+            "blocks enter distributed-write mode on first load "
+            "(default: global-read)"
+        ),
+    )
+    mc.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="multicast re-send budget before degradation (default: 1)",
+    )
+    mc.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="disable the fault actions (degrade, partial delivery)",
+    )
+    mc.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="RUNS",
+        help=(
+            "also run this many differential-fuzz interleavings against "
+            "the concrete simulator (0 = exploration only)"
+        ),
+    )
+    mc.add_argument(
+        "--fuzz-mode",
+        choices=("none", "scripted", "dead", "mixed"),
+        default="mixed",
+        help="fault regime for the fuzz runs (default: mixed)",
+    )
+    mc.add_argument(
+        "--fuzz-nodes",
+        type=int,
+        default=None,
+        help="fuzzer system size (default: same as --nodes)",
+    )
+    mc.add_argument(
+        "--fuzz-blocks",
+        type=int,
+        default=None,
+        help="fuzzer block count (default: same as --blocks)",
+    )
+    mc.add_argument(
+        "--ops",
+        type=int,
+        default=24,
+        help="operations per fuzz run (default: 24)",
+    )
+    mc.add_argument("--seed", type=int, default=0, help="fuzzer seed")
+    mc.add_argument(
+        "--output",
+        help="write the summary text to this path as well as stdout",
     )
 
     return parser
@@ -1067,6 +1158,49 @@ def _command_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_mc(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.mc import DifferentialFuzzer, ModelConfig, explore
+
+    cfg = ModelConfig(
+        n_nodes=args.nodes,
+        n_blocks=args.blocks,
+        default_dw=args.default_dw,
+        max_retries=args.max_retries,
+        faults=not args.no_faults,
+    )
+    result = explore(
+        cfg, max_states=None if args.exhaustive else args.max_states
+    )
+    sections = [result.summary()]
+
+    fuzz_ok = True
+    if args.fuzz:
+        fuzzer = DifferentialFuzzer(
+            n_nodes=args.fuzz_nodes or args.nodes,
+            n_blocks=args.fuzz_blocks or args.blocks,
+            ops_per_run=args.ops,
+            fault_mode=args.fuzz_mode,
+            max_retries=args.max_retries,
+            seed=args.seed,
+        )
+        report = fuzzer.run(args.fuzz)
+        fuzz_ok = report.ok
+        sections.append("differential fuzz:")
+        sections.append(report.summary())
+    text = "\n".join(sections)
+    print(text)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"summary written to {args.output}")
+    if not result.ok or not fuzz_ok:
+        print("MC: FAILED (see violations/divergences above)")
+        return 1
+    print("MC: pass")
+    return 0
+
+
 _COMMANDS = {
     "tables": _command_tables,
     "figures": _command_figures,
@@ -1080,6 +1214,7 @@ _COMMANDS = {
     "heatmap": _command_heatmap,
     "serve": _command_serve,
     "submit": _command_submit,
+    "mc": _command_mc,
 }
 
 

@@ -33,7 +33,32 @@ class TransientNetworkError(NetworkError):
     Under realistic drop rates this is astronomically unlikely; seeing it
     means the fault plan is hostile enough that forward progress cannot
     be guaranteed.
+
+    The structured fields let the protocol's reference-level recovery
+    decide what to do without parsing the message: ``multicast`` is True
+    when a *multicast re-send* exhausted its budget (partial delivery has
+    already mutated shared state, so the protocol degrades the block
+    rather than aborting mid-update); ``dests`` names the destinations
+    still undelivered when the budget ran out; ``block`` the block being
+    operated on, when known.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str | None = None,
+        source: int | None = None,
+        dests: tuple[int, ...] = (),
+        block: int | None = None,
+        multicast: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.source = source
+        self.dests = tuple(dests)
+        self.block = block
+        self.multicast = multicast
 
 
 class UnreachableRouteError(NetworkError):
@@ -84,7 +109,31 @@ class CoherenceError(ReproError):
     other than the one written by the most recent write to that address, or
     when a structural invariant check (single owner, present-vector accuracy)
     fails.
+
+    Structured fields carry the violation's context so automated
+    consumers (the model-checking differential fuzzer, the invariant
+    checker of :mod:`repro.mc`) compare fields instead of parsing the
+    message: ``block`` and ``node`` locate the violation, ``mode`` is the
+    block's operating-mode name (``None`` when no owner defines one), and
+    ``detail`` is the violation description without the context prefix.
+    The human-readable message is unchanged from before these fields
+    existed.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        block: int | None = None,
+        node: int | None = None,
+        mode: str | None = None,
+        detail: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.block = block
+        self.node = node
+        self.mode = mode
+        self.detail = detail
 
 
 class TraceError(ReproError):

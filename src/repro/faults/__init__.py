@@ -20,11 +20,15 @@ determinism guarantees.
 
 from repro.faults.injector import DeliveryOutcome, FaultInjector
 from repro.faults.plan import DEFAULT_MAX_RETRIES, PLAN_VERSION, FaultPlan
+from repro.faults.scripted import DropRule, ScriptedInjector, attach_scripted
 
 __all__ = [
     "DEFAULT_MAX_RETRIES",
     "DeliveryOutcome",
+    "DropRule",
     "FaultInjector",
     "FaultPlan",
     "PLAN_VERSION",
+    "ScriptedInjector",
+    "attach_scripted",
 ]

@@ -150,7 +150,13 @@ class FaultInjector:
     # Probabilistic faults: per-delivery outcomes
     # ------------------------------------------------------------------
 
-    def draw(self) -> DeliveryOutcome:
+    def draw(
+        self,
+        *,
+        kind: str | None = None,
+        source: NodeId | None = None,
+        dest: NodeId | None = None,
+    ) -> DeliveryOutcome:
         """Judge one delivery.
 
         Consumes exactly three variates per delivery whenever any
@@ -158,6 +164,12 @@ class FaultInjector:
         probability is zero), so the variate stream stays aligned across
         plans that differ only in rates.  A dead-elements-only plan
         consumes none and is fully deterministic without the RNG.
+
+        The keyword context (message ``kind``, ``source``, ``dest``) is
+        ignored here -- outcomes stay a pure function of the draw
+        *sequence*, preserving the variate-stream alignment above -- but
+        lets subclasses (:class:`~repro.faults.scripted.ScriptedInjector`)
+        target specific deliveries deterministically.
         """
         self.draws += 1
         if not self._has_probabilistic:

@@ -1,0 +1,149 @@
+"""Scripted, delivery-targeted fault injection for differential testing.
+
+:class:`ScriptedInjector` replaces the probabilistic verdicts of
+:class:`~repro.faults.injector.FaultInjector` with *rules*: each rule
+names a delivery by its context (message kind, source, destination --
+any of which may be wildcards) and a number of consecutive drops to
+inflict on matching deliveries.  Because verdicts are a pure function of
+the delivery context and the per-rule countdown (no RNG), the resulting
+fault schedule is robust against unrelated deliveries interleaving in
+the same reference -- exactly what the model-checking differential
+fuzzer (:mod:`repro.mc.diff`) needs to make the abstract model and the
+concrete simulator fail in lockstep.
+
+A rule with ``drops > plan.max_retries`` exhausts the recovery layer's
+retry budget on a unicast, or forces per-destination re-send exhaustion
+on a multicast when every remaining destination is targeted; see
+docs/MODELCHECK.md for how the fuzzer exploits this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.injector import _CLEAN, DeliveryOutcome, FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.network.topology import OmegaNetwork
+from repro.types import NodeId
+
+_DROP = DeliveryOutcome(True, False, False)
+
+
+@dataclass
+class DropRule:
+    """Drop the next ``drops`` deliveries matching the context pattern.
+
+    ``kind``, ``source`` and ``dest`` are matched against the context the
+    recovery layer passes to :meth:`ScriptedInjector.draw`; ``None``
+    matches anything.  ``drops`` counts down as matches occur; an
+    exhausted rule never matches again.
+    """
+
+    drops: int
+    kind: str | None = None
+    source: NodeId | None = None
+    dest: NodeId | None = None
+    #: Deliveries this rule has dropped so far (observability).
+    matched: int = field(default=0, compare=False)
+
+    def matches(
+        self, kind: str | None, source: NodeId | None, dest: NodeId | None
+    ) -> bool:
+        """Does this rule still apply, and does the context fit it?"""
+        if self.matched >= self.drops:
+            return False
+        if self.kind is not None and kind != self.kind:
+            return False
+        if self.source is not None and source != self.source:
+            return False
+        if self.dest is not None and dest != self.dest:
+            return False
+        return True
+
+
+class ScriptedInjector(FaultInjector):
+    """A :class:`FaultInjector` whose verdicts follow explicit rules.
+
+    Construct with a (possibly empty) list of :class:`DropRule` items and
+    attach to a built system in place of its probabilistic injector::
+
+        injector = ScriptedInjector(system.network, plan, rules)
+        system.fault_injector = injector
+        system.network.fault_injector = injector
+
+    Dead-element handling (``route_alive``/``check_route``) is inherited
+    unchanged, so scripted drops compose with dead links and switches.
+    The ``plan`` passed in should normally be *clean of probabilistic
+    rates* (all probabilities zero) -- its ``max_retries`` still bounds
+    the recovery layer -- but this is not enforced: non-zero rates simply
+    apply to deliveries no rule claims.
+    """
+
+    def __init__(
+        self,
+        network: OmegaNetwork,
+        plan: FaultPlan,
+        rules: list[DropRule] | tuple[DropRule, ...] = (),
+    ) -> None:
+        super().__init__(network, plan)
+        self.rules: list[DropRule] = list(rules)
+        #: Contexts dropped by rules, in order (observability for tests).
+        self.dropped_log: list[tuple] = []
+
+    def add_rule(self, rule: DropRule) -> None:
+        """Append one more rule (rules are consulted in insertion order)."""
+        self.rules.append(rule)
+
+    def draw(
+        self,
+        *,
+        kind: str | None = None,
+        source: NodeId | None = None,
+        dest: NodeId | None = None,
+    ) -> DeliveryOutcome:
+        """Judge one delivery by the first matching live rule.
+
+        A match drops the delivery and decrements the rule's budget; no
+        match falls through to the base class's verdict (clean unless the
+        plan carries probabilistic rates).  The base draw counter still
+        advances for unmatched deliveries, so ``draws`` stays the total.
+        """
+        for rule in self.rules:
+            if rule.matches(kind, source, dest):
+                rule.matched += 1
+                self.draws += 1
+                self.dropped_log.append((kind, source, dest))
+                return _DROP
+        return super().draw(kind=kind, source=source, dest=dest)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        live = sum(1 for r in self.rules if r.matched < r.drops)
+        return (
+            f"ScriptedInjector(n_ports={self.network.n_ports}, "
+            f"rules={len(self.rules)}, live={live})"
+        )
+
+
+def attach_scripted(system, rules=(), *, max_retries=None):
+    """Build a :class:`ScriptedInjector` and attach it to ``system``.
+
+    Convenience for tests and the differential fuzzer: wraps the system's
+    network in a scripted injector carrying only ``max_retries`` (from
+    the system's existing plan when present, else the default), attaches
+    it to both attachment points, and returns it.
+    """
+    existing = system.fault_injector
+    if max_retries is None:
+        max_retries = (
+            existing.plan.max_retries
+            if existing is not None
+            else FaultPlan().max_retries
+        )
+    scripted = ScriptedInjector(
+        system.network,
+        FaultPlan(max_retries=max_retries),
+        rules,
+    )
+    system.fault_injector = scripted
+    system.network.fault_injector = scripted
+    return scripted

@@ -1,0 +1,439 @@
+"""Differential fuzzing: abstract model vs. the concrete simulator.
+
+Each fuzz run replays one random interleaving of protocol operations
+(reads, writes, explicit evictions, mode switches -- optionally with
+injected faults) through **both** the abstract model of
+:mod:`repro.mc.model` and the concrete
+:class:`~repro.protocol.stenstrom.StenstromProtocol`, asserting
+*lockstep agreement on observable state* after every operation: the
+concrete protocol's :meth:`abstract_state` snapshot, projected onto the
+model's freshness abstraction (a copy is fresh iff its data equals the
+fuzzer's shadow of the most recent write), must equal the model state
+exactly -- ownership, mode, present vector, every entry's kind and
+OWNER pointer, the modified bit, memory freshness, and degradation.
+
+Fault modes per run:
+
+* ``none`` -- no injector; the protocol's fault-free paths.
+* ``scripted`` -- a :class:`~repro.faults.scripted.ScriptedInjector`
+  drives *targeted* deterministic drops: sub-budget drops anywhere
+  (which must be observably invisible) and write-update multicast
+  drops past the re-send budget (which must degrade the block exactly
+  as the model's partial-delivery/exhaustion transitions predict).
+* ``dead`` -- a :class:`~repro.faults.plan.FaultPlan` with a dead link
+  or switch; degradations are oracle-scheduled (the concrete run
+  reveals which block degraded, the model replays ``degrade`` and then
+  the operation) because *when* a route dies depends on message-level
+  detail below the model's abstraction.
+
+Configurations keep every cache large enough (fully associative,
+``n_blocks`` << entries) that no implicit replacement occurs; eviction
+behaviour is exercised through the explicit ``evict`` operation, which
+both sides model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cache.state import Mode
+from repro.faults.plan import FaultPlan
+from repro.faults.scripted import DropRule, attach_scripted
+from repro.mc.model import ModelConfig, apply, initial_state
+from repro.mc.state import BlockState, Copy, MCState, PLACEHOLDER
+from repro.protocol.messages import MsgKind
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+#: Multiplier giving each run an independent, reproducible seed.
+RUN_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First disagreement of one fuzz run."""
+
+    run_seed: int
+    fault_mode: str
+    step: int
+    op: str
+    detail: str
+
+    def render(self) -> str:
+        return (
+            f"run seed {self.run_seed} ({self.fault_mode}), step "
+            f"{self.step}: {self.op}\n{self.detail}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing campaign."""
+
+    n_runs: int
+    n_ops: int
+    runs_by_mode: dict[str, int] = field(default_factory=dict)
+    n_degradations: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        modes = ", ".join(
+            f"{mode}={count}"
+            for mode, count in sorted(self.runs_by_mode.items())
+        )
+        lines = [
+            f"runs              : {self.n_runs} ({modes})",
+            f"operations        : {self.n_ops}",
+            f"degradations      : {self.n_degradations}",
+            f"divergences       : {len(self.divergences)}",
+        ]
+        for divergence in self.divergences[:5]:
+            lines.append("")
+            lines.append(divergence.render())
+        return "\n".join(lines)
+
+
+class DifferentialFuzzer:
+    """Replays random interleavings through model and simulator."""
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int = 4,
+        n_blocks: int = 2,
+        ops_per_run: int = 24,
+        fault_mode: str = "mixed",
+        max_retries: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if fault_mode not in ("none", "scripted", "dead", "mixed"):
+            raise ValueError(f"unknown fault mode {fault_mode!r}")
+        self.n_nodes = n_nodes
+        self.n_blocks = n_blocks
+        self.ops_per_run = ops_per_run
+        self.fault_mode = fault_mode
+        self.max_retries = max_retries
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def run(self, n_runs: int) -> FuzzReport:
+        """Execute ``n_runs`` independent runs; stops early on divergence."""
+        report = FuzzReport(n_runs=0, n_ops=0)
+        for index in range(n_runs):
+            run_seed = self.seed * RUN_SEED_STRIDE + index
+            divergence, ops, mode, degradations = self._run_one(run_seed)
+            report.n_runs += 1
+            report.n_ops += ops
+            report.n_degradations += degradations
+            report.runs_by_mode[mode] = report.runs_by_mode.get(mode, 0) + 1
+            if divergence is not None:
+                report.divergences.append(divergence)
+                break
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _run_one(
+        self, run_seed: int
+    ) -> tuple[Divergence | None, int, str, int]:
+        rng = random.Random(run_seed)
+        mode = self.fault_mode
+        if mode == "mixed":
+            mode = rng.choice(("none", "scripted", "dead"))
+        default_dw = rng.random() < 0.5
+
+        plan = None
+        if mode == "dead":
+            plan = self._random_dead_plan(rng)
+        system = System(
+            SystemConfig(
+                n_nodes=self.n_nodes,
+                block_size_words=1,
+                cache_entries=max(8, self.n_blocks + 2),
+            ),
+            fault_plan=plan,
+        )
+        protocol = StenstromProtocol(
+            system,
+            default_mode=(
+                Mode.DISTRIBUTED_WRITE if default_dw else Mode.GLOBAL_READ
+            ),
+        )
+        scripted = None
+        if mode == "scripted":
+            scripted = attach_scripted(system, max_retries=self.max_retries)
+
+        cfg = ModelConfig(
+            n_nodes=self.n_nodes,
+            n_blocks=self.n_blocks,
+            default_dw=default_dw,
+            max_retries=self.max_retries,
+            faults=mode != "none",
+        )
+        mstate = initial_state(cfg)
+        shadow = [0] * self.n_blocks
+        next_value = 1
+        degradations = 0
+
+        for step in range(self.ops_per_run):
+            op = self._pick_op(rng, cfg, mstate, scripted is not None)
+            if (
+                mode == "scripted"
+                and op[0] != "write_exhaust"
+                and rng.random() < 0.15
+                and all(r.matched >= r.drops for r in scripted.rules)
+            ):
+                # Sub-budget noise: one drop somewhere, fully recovered
+                # by a retry -- must be observably invisible.  Only when
+                # no earlier rule is still live: consecutive single-drop
+                # rules would compound into budget exhaustion.
+                scripted.add_rule(DropRule(drops=1))
+            label = self._label(op)
+
+            degraded_before = protocol.uncacheable_blocks
+            try:
+                value_check = self._apply_concrete(
+                    protocol, scripted, op, next_value
+                )
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                return (
+                    Divergence(
+                        run_seed, mode, step, label,
+                        f"concrete simulator raised {type(exc).__name__}: "
+                        f"{exc}",
+                    ),
+                    step,
+                    mode,
+                    degradations,
+                )
+            newly_degraded = sorted(
+                protocol.uncacheable_blocks - degraded_before
+            )
+            degradations += len(newly_degraded)
+
+            if op[0] in ("write", "write_exhaust"):
+                shadow[op[2]] = next_value
+                next_value += 1
+            if value_check is not None:
+                observed, block = value_check
+                if observed != shadow[block]:
+                    return (
+                        Divergence(
+                            run_seed, mode, step, label,
+                            f"read observed {observed}, most recent write "
+                            f"stored {shadow[block]}",
+                        ),
+                        step,
+                        mode,
+                        degradations,
+                    )
+
+            mstate = self._apply_model(
+                cfg, mstate, op, newly_degraded
+            )
+            detail = self._compare(protocol, cfg, mstate, shadow)
+            if detail is not None:
+                return (
+                    Divergence(run_seed, mode, step, label, detail),
+                    step,
+                    mode,
+                    degradations,
+                )
+        return None, self.ops_per_run, mode, degradations
+
+    # ------------------------------------------------------------------
+    # Operation selection
+    # ------------------------------------------------------------------
+
+    def _pick_op(
+        self,
+        rng: random.Random,
+        cfg: ModelConfig,
+        mstate: MCState,
+        scripted: bool,
+    ) -> tuple:
+        node = rng.randrange(cfg.n_nodes)
+        block = rng.randrange(cfg.n_blocks)
+        bs = mstate.blocks[block]
+        if scripted and rng.random() < 0.12:
+            # Target a write-update multicast past its re-send budget,
+            # when some block is in the right configuration.
+            for candidate in range(cfg.n_blocks):
+                cbs = mstate.blocks[candidate]
+                if (
+                    not cbs.degraded
+                    and cbs.owner is not None
+                    and cbs.dw
+                    and len(cbs.present) > 1
+                ):
+                    others = [n for n in cbs.present if n != cbs.owner]
+                    dest = rng.choice(others)
+                    return ("write_exhaust", cbs.owner, candidate, dest)
+        roll = rng.random()
+        if roll < 0.40:
+            return ("read", node, block)
+        if roll < 0.75:
+            return ("write", node, block)
+        if roll < 0.87:
+            if bs.copies[node] is not None:
+                return ("evict", node, block)
+            return ("read", node, block)
+        return ("set_mode", node, block, rng.random() < 0.5)
+
+    @staticmethod
+    def _label(op: tuple) -> str:
+        if op[0] == "write_exhaust":
+            return (
+                f"write(node={op[1]}, block={op[2]}) with write_update to "
+                f"node {op[3]} dropped past the retry budget"
+            )
+        return repr(op)
+
+    # ------------------------------------------------------------------
+    # Concrete side
+    # ------------------------------------------------------------------
+
+    def _apply_concrete(
+        self, protocol, scripted, op, next_value
+    ) -> tuple[int, int] | None:
+        """Run ``op`` on the simulator; returns (observed, block) for reads."""
+        kind = op[0]
+        if kind == "read":
+            return protocol.read(op[1], Address(op[2], 0)), op[2]
+        if kind == "write":
+            protocol.write(op[1], Address(op[2], 0), next_value)
+            return None
+        if kind == "evict":
+            protocol.evict(op[1], op[2])
+            return None
+        if kind == "set_mode":
+            mode = Mode.DISTRIBUTED_WRITE if op[3] else Mode.GLOBAL_READ
+            protocol.set_mode(op[1], op[2], mode)
+            return None
+        if kind == "write_exhaust":
+            # The initial round drops once, and so does every re-send:
+            # max_retries + 1 consecutive drops exhaust the budget.
+            scripted.add_rule(
+                DropRule(
+                    drops=self.max_retries + 1,
+                    kind=MsgKind.WRITE_UPDATE.value,
+                    source=op[1],
+                    dest=op[3],
+                )
+            )
+            protocol.write(op[1], Address(op[2], 0), next_value)
+            return None
+        raise ValueError(f"unknown fuzz op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Model side
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _apply_model(
+        cfg: ModelConfig,
+        mstate: MCState,
+        op: tuple,
+        newly_degraded: list[int],
+    ) -> MCState:
+        # Oracle-scheduled degradations (dead-route mode): the concrete
+        # run reveals which blocks retreated to memory-direct service;
+        # the model degrades them first, then replays the operation --
+        # equivalent because degradation purges every partial mutation
+        # of the block and the concrete reference retried from scratch.
+        kind = op[0]
+        if kind == "write_exhaust":
+            # Deterministic exhaustion: the model walks the partial
+            # delivery through lost re-send rounds to degradation.
+            mstate, _ = apply(
+                cfg, mstate, ("write_partial", op[1], op[2], (op[3],))
+            )
+            while mstate.inflight is not None:
+                mstate, _ = apply(cfg, mstate, ("drop_round", op[2]))
+            return mstate
+        for block in newly_degraded:
+            mstate, _ = apply(cfg, mstate, ("degrade", block))
+        if kind == "evict" and mstate.blocks[op[2]].copies[op[1]] is None:
+            # The eviction completed through degradation: no entry left.
+            return mstate
+        return apply(cfg, mstate, op)[0]
+
+    # ------------------------------------------------------------------
+    # Lockstep comparison
+    # ------------------------------------------------------------------
+
+    def _compare(
+        self,
+        protocol: StenstromProtocol,
+        cfg: ModelConfig,
+        mstate: MCState,
+        shadow: list[int],
+    ) -> str | None:
+        """Mismatch description, or ``None`` when in lockstep."""
+        projected = self._project(protocol, shadow)
+        if projected == mstate.blocks:
+            return None
+        lines = []
+        for block, (got, expected) in enumerate(
+            zip(projected, mstate.blocks)
+        ):
+            if got != expected:
+                lines.append(f"block {block}:")
+                lines.append(f"  model    : {expected}")
+                lines.append(f"  simulator: {got}")
+        return "\n".join(lines)
+
+    def _project(
+        self, protocol: StenstromProtocol, shadow: list[int]
+    ) -> tuple[BlockState, ...]:
+        """The simulator's snapshot in the model's freshness abstraction."""
+        snapshot = protocol.abstract_state(range(self.n_blocks))
+        out = []
+        for ba in snapshot:
+            expected = (shadow[ba.block],)
+            copies: list[Copy | None] = [None] * self.n_nodes
+            for ca in ba.copies:
+                fresh = (
+                    False if ca.kind == PLACEHOLDER else ca.data == expected
+                )
+                copies[ca.node] = Copy(
+                    kind=ca.kind,
+                    ptr=ca.ptr,
+                    fresh=fresh,
+                    modified=ca.modified,
+                )
+            out.append(
+                BlockState(
+                    owner=ba.owner,
+                    dw=ba.mode == Mode.DISTRIBUTED_WRITE.name,
+                    present=ba.present,
+                    copies=tuple(copies),
+                    mem_fresh=ba.memory == expected,
+                    degraded=ba.degraded,
+                )
+            )
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+
+    def _random_dead_plan(self, rng: random.Random) -> FaultPlan:
+        """One random dead link or switch inside the network geometry."""
+        import math
+
+        n_stages = int(math.log2(self.n_nodes))
+        if rng.random() < 0.5:
+            level = rng.randrange(n_stages + 1)
+            position = rng.randrange(self.n_nodes)
+            return FaultPlan(
+                dead_links=((level, position),), max_retries=16
+            )
+        stage = rng.randrange(n_stages)
+        index = rng.randrange(self.n_nodes // 2)
+        return FaultPlan(dead_switches=((stage, index),), max_retries=16)

@@ -1,0 +1,187 @@
+"""Breadth-first explicit-state exploration of the abstract model.
+
+:func:`explore` enumerates every state reachable from the initial state
+under the enabled actions of :mod:`repro.mc.model`, checking the
+invariants of :mod:`repro.mc.invariants` on each *new* state and the
+``read_fresh`` observation on each transition.  States are canonical
+immutable tuples, so the visited set is an ordinary dict; its values
+are ``(parent_state, action)`` back-pointers, which make the first
+(and therefore *minimal* -- BFS visits states in distance order)
+counterexample trace reconstructible on violation.
+
+Exploration is deterministic: the action order is fixed, dict iteration
+is insertion-ordered, and nothing consults a clock or an RNG -- two runs
+of the same configuration report identical state and transition counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.mc.invariants import check_state
+from repro.mc.model import ModelConfig, apply, enabled_actions, initial_state
+from repro.mc.state import MCState, render_action, render_state
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation, with the shortest trace that reaches it."""
+
+    #: ``invariant``, ``stale-read``, or ``deadlock``.
+    kind: str
+    detail: str
+    #: Action labels from the initial state to the violating state.
+    trace: tuple[str, ...]
+    #: Rendered violating state.
+    state: str
+
+    def render(self) -> str:
+        lines = [f"{self.kind}: {self.detail}", "trace:"]
+        if not self.trace:
+            lines.append("  (initial state)")
+        for step, label in enumerate(self.trace, 1):
+            lines.append(f"  {step}. {label}")
+        lines.append("state reached:")
+        lines.append(self.state)
+        return "\n".join(lines)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive (or capped) exploration."""
+
+    config: ModelConfig
+    n_states: int
+    n_transitions: int
+    depth: int
+    #: Exploration covered the full reachable space (no cap hit).
+    complete: bool
+    violations: list[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"nodes             : {self.config.n_nodes}",
+            f"blocks            : {self.config.n_blocks}",
+            f"default mode      : "
+            f"{'distributed-write' if self.config.default_dw else 'global-read'}",
+            f"fault actions     : {'on' if self.config.faults else 'off'}",
+            f"states explored   : {self.n_states}",
+            f"transitions       : {self.n_transitions}",
+            f"diameter          : {self.depth}",
+            f"exhaustive        : {self.complete}",
+            f"violations        : {len(self.violations)}",
+        ]
+        for violation in self.violations:
+            lines.append("")
+            lines.append(violation.render())
+        return "\n".join(lines)
+
+
+def _trace_to(
+    parents: dict[MCState, tuple[MCState, tuple] | None], state: MCState
+) -> tuple[str, ...]:
+    """The action labels along the BFS tree path from the root."""
+    labels: list[str] = []
+    cursor: MCState | None = state
+    while cursor is not None:
+        entry = parents[cursor]
+        if entry is None:
+            break
+        parent, action = entry
+        labels.append(render_action(action))
+        cursor = parent
+    return tuple(reversed(labels))
+
+
+def explore(
+    cfg: ModelConfig,
+    *,
+    max_states: int | None = None,
+    max_violations: int = 1,
+) -> ExplorationResult:
+    """Breadth-first exploration from the initial state.
+
+    ``max_states`` caps the visited set (``None`` explores exhaustively;
+    the result's ``complete`` flag records which happened).  Exploration
+    stops early once ``max_violations`` violations are collected -- the
+    default stops at the first, whose BFS trace is minimal.
+    """
+    init = initial_state(cfg)
+    parents: dict[MCState, tuple[MCState, tuple] | None] = {init: None}
+    depth_of = {init: 0}
+    queue: deque[MCState] = deque([init])
+    n_transitions = 0
+    depth = 0
+    complete = True
+    violations: list[Violation] = []
+
+    for detail in check_state(cfg, init):
+        violations.append(
+            Violation("invariant", detail, (), render_state(init))
+        )
+
+    while queue and len(violations) < max_violations:
+        state = queue.popleft()
+        actions = enabled_actions(cfg, state)
+        if not actions:
+            violations.append(
+                Violation(
+                    "deadlock",
+                    "reachable state with no enabled action",
+                    _trace_to(parents, state),
+                    render_state(state),
+                )
+            )
+            continue
+        for action in actions:
+            new_state, obs = apply(cfg, state, action)
+            n_transitions += 1
+            if obs.get("read_fresh") is False:
+                violations.append(
+                    Violation(
+                        "stale-read",
+                        f"{render_action(action)} observed a value older "
+                        f"than the most recent write",
+                        _trace_to(parents, state) + (render_action(action),),
+                        render_state(new_state),
+                    )
+                )
+                if len(violations) >= max_violations:
+                    break
+            if new_state in parents:
+                continue
+            if max_states is not None and len(parents) >= max_states:
+                complete = False
+                continue
+            parents[new_state] = (state, action)
+            depth_of[new_state] = depth_of[state] + 1
+            depth = max(depth, depth_of[new_state])
+            for detail in check_state(cfg, new_state):
+                violations.append(
+                    Violation(
+                        "invariant",
+                        detail,
+                        _trace_to(parents, new_state),
+                        render_state(new_state),
+                    )
+                )
+            if len(violations) >= max_violations:
+                break
+            queue.append(new_state)
+
+    if queue:
+        # Stopped early on violations: coverage is unknown, not full.
+        complete = False
+    return ExplorationResult(
+        config=cfg,
+        n_states=len(parents),
+        n_transitions=n_transitions,
+        depth=depth,
+        complete=complete,
+        violations=violations,
+    )

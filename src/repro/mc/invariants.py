@@ -1,0 +1,158 @@
+"""Coherence invariants over abstract model states.
+
+The model-level image of :mod:`repro.protocol.invariants`, extended
+with the freshness and fault-recovery properties the concrete checker
+cannot express structurally:
+
+1.  **Single owner** -- at most one ``owner``-kind entry, at the node the
+    (abstract) block store names.
+2.  **Block-store accuracy** -- ``owner is None`` iff no cache owns it.
+3.  **Owner in its own vector.**
+4.  **DW vector accuracy** -- present vector == valid copies; all copies
+    hold the same data (equal freshness), except destinations of an
+    update still in flight.
+5.  **GR single copy** -- the owner holds the only valid copy; other
+    vector members are placeholders naming the owner.
+6.  **No orphan copies** without an owner.
+7.  **Degraded blocks are empty** -- no entries, no owner, memory fresh,
+    and (by the guards of :mod:`repro.mc.model`) never re-cached.
+8.  **Freshness** -- at quiescent points the owner's copy is fresh, and
+    an unmodified owned block implies fresh memory; a read can therefore
+    never observe a stale value (checked per-transition by the
+    explorer via the ``read_fresh`` observation).
+9.  **In-flight sanity** -- an in-flight update names the DW owner as
+    writer, misses only real copies, and its round counter never
+    exceeds the retry budget (termination of the re-send loop).
+"""
+
+from __future__ import annotations
+
+from repro.mc.model import ModelConfig
+from repro.mc.state import COPY, OWNER, PLACEHOLDER, MCState
+
+
+def check_state(cfg: ModelConfig, state: MCState) -> list[str]:
+    """All invariant violations in ``state`` (empty when it is sound)."""
+    violations: list[str] = []
+    inflight = state.inflight
+    for block, bs in enumerate(state.blocks):
+        def fail(detail: str, block: int = block) -> None:
+            violations.append(f"block {block}: {detail}")
+
+        owners = [
+            n for n, c in enumerate(bs.copies) if c is not None and c.kind == OWNER
+        ]
+        valid = [
+            n
+            for n, c in enumerate(bs.copies)
+            if c is not None and c.kind != PLACEHOLDER
+        ]
+        if bs.degraded:
+            # 7: degraded means purged, memory-served, and fresh.
+            if any(c is not None for c in bs.copies):
+                fail("degraded block still has cache entries")
+            if bs.owner is not None or bs.present:
+                fail("degraded block still has an owner or present vector")
+            if not bs.mem_fresh:
+                fail("degraded block served from stale memory")
+            continue
+        # 1 + 2: single owner, matching the abstract block store.
+        if len(owners) > 1:
+            fail(f"owned by several caches: {owners}")
+        if bs.owner is None:
+            if owners:
+                fail(f"no recorded owner but cache {owners[0]} owns it")
+            if valid:
+                fail(f"valid copies at {valid} with no owner")  # 6
+            if bs.present:
+                fail("present vector without an owner")
+            if not bs.mem_fresh:
+                fail("unowned block with stale memory")
+            continue
+        if owners != [bs.owner]:
+            fail(
+                f"block store names owner {bs.owner}, caches say {owners}"
+            )
+            continue
+        owner_copy = bs.copies[bs.owner]
+        assert owner_copy is not None
+        # 3: the owner appears in its own vector.
+        if bs.owner not in bs.present:
+            fail(
+                f"owner {bs.owner} missing from its present vector "
+                f"{list(bs.present)}"
+            )
+        in_flight_here = inflight is not None and inflight.block == block
+        if bs.dw:
+            # 4: vector == valid copies; data coherent (equal freshness)
+            # except at the missed destinations of an in-flight update.
+            if set(bs.present) != set(valid):
+                fail(
+                    f"present vector {list(bs.present)} != valid copies "
+                    f"{valid}"
+                )
+            missed = set(inflight.missed) if in_flight_here else set()
+            for n in valid:
+                copy = bs.copies[n]
+                assert copy is not None
+                expected = owner_copy.fresh and n not in missed
+                if n != bs.owner and copy.fresh != expected:
+                    fail(
+                        f"copy at {n} freshness {copy.fresh}, owner's "
+                        f"update state implies {expected}"
+                    )
+                if n != bs.owner and copy.modified:
+                    fail(f"non-owner copy at {n} claims the modified bit")
+        else:
+            # 5: only the owner's copy is valid; vector members are
+            # placeholders pointing at the owner.
+            if valid != [bs.owner]:
+                fail(
+                    f"valid copies at {valid}, expected only owner "
+                    f"{bs.owner}"
+                )
+            for member in bs.present:
+                if member == bs.owner:
+                    continue
+                copy = bs.copies[member]
+                if copy is None:
+                    fail(
+                        f"present vector names cache {member}, which has "
+                        f"no entry"
+                    )
+                elif copy.kind != PLACEHOLDER:
+                    fail(f"present vector member {member} holds a copy")
+                elif copy.ptr != bs.owner:
+                    fail(
+                        f"placeholder at {member} points at {copy.ptr}, "
+                        f"owner is {bs.owner}"
+                    )
+        # 8: quiescent freshness -- the owner is current, and clean
+        # ownership implies current memory.
+        if not in_flight_here:
+            if not owner_copy.fresh:
+                fail(f"owner {bs.owner} holds a stale copy at quiescence")
+            if not owner_copy.modified and not bs.mem_fresh:
+                fail("unmodified owned block but memory is stale")
+    # 9: in-flight sanity and re-send termination.
+    if inflight is not None:
+        bs = state.blocks[inflight.block]
+        prefix = f"block {inflight.block}: in-flight update"
+        if bs.owner != inflight.writer or not bs.dw:
+            violations.append(
+                f"{prefix} writer {inflight.writer} is not the DW owner"
+            )
+        if not inflight.missed:
+            violations.append(f"{prefix} with an empty missed set")
+        for dest in inflight.missed:
+            copy = bs.copies[dest]
+            if copy is None or copy.kind != COPY:
+                violations.append(
+                    f"{prefix} misses node {dest}, which holds no copy"
+                )
+        if not 1 <= inflight.rounds <= cfg.max_retries:
+            violations.append(
+                f"{prefix} at round {inflight.rounds}, outside the retry "
+                f"budget ({cfg.max_retries}) -- re-send loop not bounded"
+            )
+    return violations

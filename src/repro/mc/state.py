@@ -1,0 +1,165 @@
+"""Immutable abstract states for the two-mode protocol model.
+
+The model checker explores a *finite* abstraction of the protocol: data
+words are abstracted to one **freshness** bit per copy ("does this copy
+hold the globally most recent write?"), which is exactly what the
+verifying simulator's shadow-memory check observes.  Everything else --
+ownership, mode, the present vector, OWNER pointers, the modified bit,
+degradation -- is tracked concretely, because the structural invariants
+constrain those fields directly.
+
+States are nested :class:`typing.NamedTuple` values: hashable (the
+explorer's visited set is a dict keyed by state), comparable with ``==``
+(the differential fuzzer's lockstep check), and canonical by
+construction (``present`` and ``missed`` are sorted tuples; a block with
+no owner always carries ``dw=False`` and ``present=()``).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+#: Entry kinds (shared vocabulary with :mod:`repro.protocol.abstract`).
+OWNER = "owner"
+COPY = "copy"
+PLACEHOLDER = "placeholder"
+
+
+class Copy(NamedTuple):
+    """One cache's entry for a block.
+
+    ``fresh`` is meaningful for valid kinds only and normalized to
+    ``False`` for placeholders (their data is unreadable).  ``ptr`` is
+    the entry's OWNER field: the node itself for an owner, the serving
+    owner at creation time otherwise -- possibly stale afterwards,
+    exactly as in the concrete protocol.
+    """
+
+    kind: str
+    ptr: int
+    fresh: bool
+    modified: bool
+
+
+class BlockState(NamedTuple):
+    """All protocol state for one block at (or between) quiescent points."""
+
+    owner: int | None
+    #: Distributed-write bit of the owner's state field; ``False``
+    #: (normalized) when no owner defines a mode.
+    dw: bool
+    #: The owner's present-flag vector, sorted; ``()`` without an owner.
+    present: tuple[int, ...]
+    #: Per-node entries, ``None`` where a cache holds nothing.
+    copies: tuple[Copy | None, ...]
+    #: Does home memory hold the most recent write?
+    mem_fresh: bool
+    #: Degraded to memory-direct service (never re-cached)?
+    degraded: bool
+
+
+class Inflight(NamedTuple):
+    """A distributed-write update multicast that was partially delivered.
+
+    While an update is in flight the reference has not completed --
+    the atomic-reference model forbids other references until the
+    recovery layer either re-delivers to every missed destination or
+    exhausts the ``max_retries`` re-send budget (and the block
+    degrades).  ``rounds`` mirrors the concrete recovery layer's
+    counter: it is 1 after the initial partial round and exhaustion
+    fires when it would exceed the budget.
+    """
+
+    block: int
+    writer: int
+    missed: tuple[int, ...]
+    rounds: int
+
+
+class MCState(NamedTuple):
+    """One global model state: all blocks plus the (single) in-flight op."""
+
+    blocks: tuple[BlockState, ...]
+    inflight: Inflight | None
+
+
+def empty_block(n_nodes: int) -> BlockState:
+    """The never-referenced block: unowned, memory authoritative."""
+    return BlockState(
+        owner=None,
+        dw=False,
+        present=(),
+        copies=(None,) * n_nodes,
+        mem_fresh=True,
+        degraded=False,
+    )
+
+
+def render_copy(node: int, copy: Copy | None) -> str:
+    """One cache entry as a compact human-readable token."""
+    if copy is None:
+        return f"{node}:-"
+    marks = ""
+    if copy.kind != PLACEHOLDER:
+        marks += "*" if copy.fresh else "!"
+    if copy.modified:
+        marks += "M"
+    short = {OWNER: "O", COPY: "C", PLACEHOLDER: "ph"}[copy.kind]
+    return f"{node}:{short}->{copy.ptr}{marks}"
+
+
+def render_block(block: int, bs: BlockState) -> str:
+    """One block's state on one line (for counterexample traces)."""
+    if bs.degraded:
+        return f"block {block}: DEGRADED (memory-direct)"
+    mode = "-" if bs.owner is None else ("DW" if bs.dw else "GR")
+    entries = " ".join(
+        render_copy(node, copy) for node, copy in enumerate(bs.copies)
+    )
+    mem = "mem*" if bs.mem_fresh else "mem!"
+    return (
+        f"block {block}: owner={bs.owner} mode={mode} "
+        f"present={list(bs.present)} [{entries}] {mem}"
+    )
+
+
+def render_state(state: MCState) -> str:
+    """A full state as an indented multi-line listing."""
+    lines = [
+        "  " + render_block(index, bs)
+        for index, bs in enumerate(state.blocks)
+    ]
+    if state.inflight is not None:
+        inf = state.inflight
+        lines.append(
+            f"  in flight: write-update on block {inf.block} from "
+            f"{inf.writer}, undelivered at {list(inf.missed)} "
+            f"after {inf.rounds} round(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_action(action: tuple) -> str:
+    """One transition label as a human-readable phrase."""
+    name = action[0]
+    if name == "read":
+        return f"read(node={action[1]}, block={action[2]})"
+    if name == "write":
+        return f"write(node={action[1]}, block={action[2]})"
+    if name == "evict":
+        return f"evict(node={action[1]}, block={action[2]})"
+    if name == "set_mode":
+        mode = "DW" if action[3] else "GR"
+        return f"set_mode(node={action[1]}, block={action[2]}, {mode})"
+    if name == "degrade":
+        return f"fault: degrade(block={action[1]})"
+    if name == "write_partial":
+        return (
+            f"fault: write(node={action[1]}, block={action[2]}) with "
+            f"update multicast undelivered at {list(action[3])}"
+        )
+    if name == "redeliver":
+        return f"recovery: re-send reaches node {action[2]} (block {action[1]})"
+    if name == "drop_round":
+        return f"fault: re-send round lost again (block {action[1]})"
+    return repr(action)

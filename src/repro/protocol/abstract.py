@@ -1,0 +1,118 @@
+"""Machine-comparable abstract snapshots of two-mode protocol state.
+
+The model checker (:mod:`repro.mc`) and its differential fuzzer compare
+the concrete simulator against an abstract transition system.  The
+comparison needs a *canonical, hashable* projection of everything the
+protocol considers observable for a block: who owns it, its mode, the
+present vector, every cache's entry (kind, OWNER pointer, data), the
+memory image, and whether the block was degraded to memory-direct
+service.  :func:`snapshot_stenstrom` builds that projection straight
+from the live data structures without mutating anything.
+
+This is deliberately distinct from :mod:`repro.sim.snapshot`, which
+renders *human-readable* block reports; here every field is a plain
+tuple so snapshots can be compared with ``==`` and used as dict keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.types import BlockId, NodeId
+
+if TYPE_CHECKING:  # pragma: no cover - import for typing only
+    from repro.protocol.stenstrom import StenstromProtocol
+
+#: Entry kinds, as the abstract model names them.
+OWNER = "owner"
+COPY = "copy"  # valid UnOwned copy (distributed-write mode)
+PLACEHOLDER = "placeholder"  # invalid entry with an OWNER pointer
+
+
+@dataclass(frozen=True)
+class CopyAbstract:
+    """One cache's entry for a block, projected to observable fields.
+
+    ``data`` is only meaningful for valid entries (``kind`` is ``owner``
+    or ``copy``); an invalid placeholder's words are unreadable by
+    construction, so they are projected to ``None`` rather than leaking
+    stale bytes into comparisons.
+    """
+
+    node: NodeId
+    kind: str
+    modified: bool
+    ptr: NodeId | None
+    data: tuple[int, ...] | None
+
+
+@dataclass(frozen=True)
+class BlockAbstract:
+    """Everything observable about one block, at a quiescent point."""
+
+    block: BlockId
+    owner: NodeId | None
+    #: ``"DISTRIBUTED_WRITE"`` / ``"GLOBAL_READ"`` when an owner defines
+    #: a mode, else ``None``.
+    mode: str | None
+    present: tuple[NodeId, ...]
+    modified: bool
+    degraded: bool
+    copies: tuple[CopyAbstract, ...]
+    memory: tuple[int, ...]
+
+
+def snapshot_stenstrom(
+    protocol: "StenstromProtocol", blocks: Iterable[BlockId]
+) -> tuple[BlockAbstract, ...]:
+    """Project ``protocol``'s state for ``blocks``, sorted by block id."""
+    system = protocol.system
+    out = []
+    for block in sorted(set(blocks)):
+        owner = protocol._owner_of(block)
+        mode = None
+        present: tuple[NodeId, ...] = ()
+        modified = False
+        if owner is not None:
+            owner_entry = system.caches[owner].find(block)
+            if owner_entry is not None:
+                field = owner_entry.state_field
+                mode = field.mode.name
+                present = tuple(sorted(field.present))
+                modified = field.modified
+        copies = []
+        for cache in system.caches:
+            entry = cache.find(block)
+            if entry is None:
+                continue
+            field = entry.state_field
+            if field.valid:
+                kind = OWNER if field.owned else COPY
+                data: tuple[int, ...] | None = tuple(entry.data)
+            else:
+                kind = PLACEHOLDER
+                data = None
+            copies.append(
+                CopyAbstract(
+                    node=cache.node_id,
+                    kind=kind,
+                    modified=field.modified,
+                    ptr=field.owner,
+                    data=data,
+                )
+            )
+        memory = tuple(system.memory_for(block).read_block(block))
+        out.append(
+            BlockAbstract(
+                block=block,
+                owner=owner,
+                mode=mode,
+                present=present,
+                modified=modified,
+                degraded=block in protocol.uncacheable_blocks,
+                copies=tuple(copies),
+                memory=memory,
+            )
+        )
+    return tuple(out)

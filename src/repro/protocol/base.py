@@ -177,7 +177,12 @@ class CoherenceProtocol(abc.ABC):
     def _dead_route(
         self, source: NodeId, dest: NodeId
     ) -> UnreachableRouteError:
-        self.stats.count(ev.FAULT_DEAD_ROUTES)
+        self.stats.record_fault(
+            ev.FAULT_DEAD_ROUTES,
+            source=source,
+            dest=dest,
+            block=self._active_block,
+        )
         if self.recorder is not None:
             self.recorder.fault(
                 ev.FAULT_DEAD_ROUTES, source,
@@ -208,7 +213,9 @@ class CoherenceProtocol(abc.ABC):
                 recorder.message(kind.value, source, (dest,), bits, result)
             if self.message_log is not None:
                 self._log(kind, source, result.requested, bits, result)
-            outcome = injector.draw()
+            outcome = injector.draw(
+                kind=kind.value, source=source, dest=dest
+            )
             if outcome.duplicated:
                 # The fabric delivered a second copy; its traffic is real.
                 dup = multicaster.send_payload_one(source, bits, dest)
@@ -237,7 +244,12 @@ class CoherenceProtocol(abc.ABC):
                 raise TransientNetworkError(
                     f"{kind.value} from {source} to {dest} dropped "
                     f"{attempt} times; retry budget "
-                    f"({injector.plan.max_retries}) exhausted"
+                    f"({injector.plan.max_retries}) exhausted",
+                    kind=kind.value,
+                    source=source,
+                    dests=(dest,),
+                    block=self._active_block,
+                    multicast=False,
                 )
             stats.count(ev.FAULT_RETRIES)
             if recorder is not None:
@@ -278,7 +290,9 @@ class CoherenceProtocol(abc.ABC):
             # stream is a function of the destination *set*, never of
             # set-iteration order.
             for dest in pending:
-                outcome = injector.draw()
+                outcome = injector.draw(
+                    kind=kind.value, source=source, dest=dest
+                )
                 if outcome.duplicated:
                     dup = multicaster.send_payload_one(source, bits, dest)
                     stats.record_traffic(kind.value, dup.cost)
@@ -317,7 +331,12 @@ class CoherenceProtocol(abc.ABC):
                     f"{kind.value} multicast from {source} to "
                     f"{sorted(dest_set)} still undelivered at "
                     f"{sorted(missed)} after {rounds} rounds; retry "
-                    f"budget ({injector.plan.max_retries}) exhausted"
+                    f"budget ({injector.plan.max_retries}) exhausted",
+                    kind=kind.value,
+                    source=source,
+                    dests=tuple(sorted(missed)),
+                    block=self._active_block,
+                    multicast=True,
                 )
             stats.count(ev.FAULT_RETRIES)
             if recorder is not None:

@@ -50,7 +50,11 @@ def _fail(
     mode_name = mode.name if mode is not None else "none"
     node_name = node if node is not None else "none"
     raise CoherenceError(
-        f"block {block} (node {node_name}, mode {mode_name}): {detail}"
+        f"block {block} (node {node_name}, mode {mode_name}): {detail}",
+        block=block,
+        node=node,
+        mode=mode.name if mode is not None else None,
+        detail=detail,
     )
 
 

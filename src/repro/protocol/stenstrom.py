@@ -42,6 +42,7 @@ from repro.cache.state import CacheState, Mode, StateField
 from repro.errors import (
     FaultInjectionError,
     ProtocolError,
+    TransientNetworkError,
     UnreachableRouteError,
 )
 from repro.protocol.base import CoherenceProtocol
@@ -191,7 +192,9 @@ class StenstromProtocol(CoherenceProtocol):
             try:
                 return self._read_body(node, address)
             except UnreachableRouteError as exc:
-                self._recover_dead_route(exc, address)
+                self._recover_dead_route(exc, address.block)
+            except TransientNetworkError as exc:
+                self._recover_retry_exhaustion(exc, address.block)
 
     def _read_body(self, node: NodeId, address: Address) -> int:
         block, offset = address
@@ -225,7 +228,9 @@ class StenstromProtocol(CoherenceProtocol):
                 self._write_body(node, address, value)
                 return
             except UnreachableRouteError as exc:
-                self._recover_dead_route(exc, address)
+                self._recover_dead_route(exc, address.block)
+            except TransientNetworkError as exc:
+                self._recover_retry_exhaustion(exc, address.block)
 
     def _write_body(
         self, node: NodeId, address: Address, value: int
@@ -271,10 +276,10 @@ class StenstromProtocol(CoherenceProtocol):
         return frozenset(self._uncacheable)
 
     def _recover_dead_route(
-        self, exc: UnreachableRouteError, address: Address
+        self, exc: UnreachableRouteError, fallback_block: BlockId
     ) -> None:
         """Reference-level recovery: degrade the block that hit the fault."""
-        block = exc.block if exc.block is not None else address.block
+        block = exc.block if exc.block is not None else fallback_block
         if block in self._uncacheable:
             # Degraded blocks never route through the recovering send
             # paths, so reaching this means recovery is not making
@@ -283,9 +288,61 @@ class StenstromProtocol(CoherenceProtocol):
                 f"recovery loop: block {block} hit a dead route after "
                 f"it was already degraded"
             ) from exc
-        self._degrade_block(block)
+        self._degrade_block(
+            block, cause="dead_route", source=exc.source, dest=exc.dest
+        )
 
-    def _degrade_block(self, block: BlockId) -> None:
+    def _recover_retry_exhaustion(
+        self, exc: TransientNetworkError, fallback_block: BlockId
+    ) -> None:
+        """Reference-level recovery from an exhausted *multicast* budget.
+
+        A unicast send that exhausts its retry budget leaves every
+        protocol data structure exactly as it was, so the exception
+        propagates to the caller unchanged (the historical contract).  A
+        *multicast re-send* budget exhausting is different: the update
+        was partially delivered and the owner's copy already mutated, so
+        aborting would strand incoherent state.  The block is degraded to
+        memory-direct service instead -- the same retreat used for dead
+        routes -- and the reference retries against memory.  Both the
+        exhaustion and the degradation land in the structured fault log
+        as *distinct* events naming the destinations that starved.
+        """
+        if not exc.multicast:
+            raise exc
+        block = exc.block if exc.block is not None else fallback_block
+        if block in self._uncacheable:
+            raise FaultInjectionError(
+                f"recovery loop: block {block} exhausted a multicast "
+                f"retry budget after it was already degraded"
+            ) from exc
+        dests = list(exc.dests)
+        self.stats.record_fault(
+            ev.FAULT_RETRY_EXHAUSTED,
+            block=block,
+            kind=exc.kind,
+            dests=dests,
+        )
+        if self.recorder is not None:
+            self.recorder.fault(
+                ev.FAULT_RETRY_EXHAUSTED,
+                exc.source if exc.source is not None else self.home(block),
+                block=block,
+                dests=dests,
+            )
+        self._degrade_block(
+            block, cause="retry_exhausted", dests=tuple(exc.dests)
+        )
+
+    def _degrade_block(
+        self,
+        block: BlockId,
+        *,
+        cause: str | None = None,
+        source: NodeId | None = None,
+        dest: NodeId | None = None,
+        dests: tuple[NodeId, ...] = (),
+    ) -> None:
         system = self.system
         memory = system.memory_for(block)
         home = self.home(block)
@@ -315,7 +372,14 @@ class StenstromProtocol(CoherenceProtocol):
                 cache.drop(block)
         memory.block_store.clear(block)
         self._uncacheable.add(block)
-        self.stats.count(ev.FAULT_DEGRADED_BLOCKS)
+        self.stats.record_fault(
+            ev.FAULT_DEGRADED_BLOCKS,
+            block=block,
+            cause=cause,
+            source=source,
+            dest=dest,
+            dests=list(dests) if dests else None,
+        )
         self.fastpath_epoch += 1
         if self.recorder is not None:
             self.recorder.fault(ev.FAULT_DEGRADED_BLOCKS, home, block=block)
@@ -352,11 +416,33 @@ class StenstromProtocol(CoherenceProtocol):
     # ------------------------------------------------------------------
 
     def set_mode(self, node: NodeId, block: BlockId, mode: Mode) -> None:
-        """Switch ``block`` to ``mode``, acquiring ownership first."""
+        """Switch ``block`` to ``mode``, acquiring ownership first.
+
+        Under fault injection the switch carries the same reference-level
+        recovery as :meth:`read` / :meth:`write`: a dead route or an
+        exhausted multicast re-send budget degrades the affected block
+        and the request retries -- becoming the degraded no-op below.
+        """
+        if self.system.fault_injector is None:
+            self._set_mode_body(node, block, mode)
+            return
+        while True:
+            try:
+                self._set_mode_body(node, block, mode)
+                return
+            except UnreachableRouteError as exc:
+                self._recover_dead_route(exc, block)
+            except TransientNetworkError as exc:
+                self._recover_retry_exhaustion(exc, block)
+
+    def _set_mode_body(
+        self, node: NodeId, block: BlockId, mode: Mode
+    ) -> None:
         if block in self._uncacheable:
             # A degraded block has no owner and no modes; the request is
             # meaningless and must not re-cache the block.
             return
+        self._active_block = block
         entry = self._ensure_owner(node, block)
         field = entry.state_field
         if mode is Mode.DISTRIBUTED_WRITE and not field.distributed_write:
@@ -771,14 +857,40 @@ class StenstromProtocol(CoherenceProtocol):
 
         Not triggered by the reference stream (that happens through
         :meth:`_allocate`); exposed for experiments that force evictions.
+
+        Under fault injection the eviction carries reference-level
+        recovery: a dead route or an exhausted multicast budget hit while
+        retiring the entry degrades the block -- which purges the entry
+        everywhere, completing the eviction by a harder road.
         """
         entry = self._cache(node).find(block)
         if entry is None:
             raise ProtocolError(
                 f"cache {node} has no entry for block {block} to evict"
             )
-        self._replace_entry(node, entry)
-        self._cache(node).drop(block)
+        if self.system.fault_injector is None:
+            self._replace_entry(node, entry)
+            self._cache(node).drop(block)
+            return
+        while True:
+            try:
+                self._replace_entry(node, entry)
+                self._cache(node).drop(block)
+                return
+            except UnreachableRouteError as exc:
+                self._recover_dead_route(exc, block)
+            except TransientNetworkError as exc:
+                self._recover_retry_exhaustion(exc, block)
+            # Recovery degraded a block.  If it was this one the entry is
+            # gone from every cache and the eviction is complete; if it
+            # was another block (impossible today -- retirement pins
+            # ``_active_block`` to the victim -- but cheap to guard), the
+            # retirement retries with the still-present entry.
+            if block in self._uncacheable:
+                return
+            entry = self._cache(node).find(block)
+            if entry is None:
+                return
 
     def _replace_entry(self, node: NodeId, entry: CacheEntry) -> None:
         """§2.2 item 5, dispatched on the victim's state."""
@@ -905,9 +1017,23 @@ class StenstromProtocol(CoherenceProtocol):
             self.set_mode(owner, block, desired)
 
     # ------------------------------------------------------------------
-    # Invariants
+    # Invariants and abstraction
     # ------------------------------------------------------------------
 
     def check_invariants(self) -> None:
         """Structural coherence invariants (see :mod:`..invariants`)."""
         check_stenstrom(self)
+
+    def abstract_state(self, blocks):
+        """Canonical observable-state snapshot for ``blocks``.
+
+        Returns a tuple of
+        :class:`~repro.protocol.abstract.BlockAbstract` (sorted by block
+        id), the projection the model-checking differential fuzzer
+        compares against the abstract transition system of
+        :mod:`repro.mc` after every operation.  Read-only; safe to call
+        at any quiescent point.
+        """
+        from repro.protocol.abstract import snapshot_stenstrom
+
+        return snapshot_stenstrom(self, blocks)

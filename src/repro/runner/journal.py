@@ -140,6 +140,14 @@ class RunJournal:
         fault_events = report.stats.fault_events()
         if fault_events:
             fields["fault_events"] = fault_events
+        # Per-incident attribution (which block, which destination, what
+        # triggered it) for the rare events -- dead routes, retry
+        # exhaustion, degradation.  Distinct from the counters above:
+        # two incidents on the same block in one reference are two
+        # entries here but may share a counter.
+        fault_log = report.stats.fault_event_log()
+        if fault_log:
+            fields["fault_log"] = fault_log
         # Same contract for the observability aggregates: only traced
         # runs (Stats with a non-empty MetricsRegistry) carry them.
         metrics = report.stats.metrics

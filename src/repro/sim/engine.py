@@ -273,7 +273,10 @@ def _replay_references(
                     raise CoherenceError(
                         f"reference {index}: node {ref.node} read "
                         f"{observed} from {ref.address}, but the most "
-                        f"recent write stored {expected}"
+                        f"recent write stored {expected}",
+                        block=ref.address.block,
+                        node=ref.node,
+                        detail=f"read {observed}, expected {expected}",
                     )
         if recorder is not None:
             recorder.end_reference()
@@ -330,7 +333,10 @@ def _replay_columns(
                     raise CoherenceError(
                         f"reference {index}: node {node} read "
                         f"{observed} from {address}, but the most "
-                        f"recent write stored {expected}"
+                        f"recent write stored {expected}",
+                        block=block,
+                        node=node,
+                        detail=f"read {observed}, expected {expected}",
                     )
         if recorder is not None:
             recorder.end_reference()

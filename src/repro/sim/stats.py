@@ -44,6 +44,7 @@ FAULT_DROPS = "fault_drops"  # deliveries lost and detected via ack timeout
 FAULT_DUPLICATES = "fault_duplicates"  # deliveries the network repeated
 FAULT_DELAYS = "fault_delays"  # deliveries that arrived late
 FAULT_RETRIES = "fault_retries"  # re-sends triggered by drops
+FAULT_RETRY_EXHAUSTED = "fault_retry_exhausted"  # re-send budgets used up
 FAULT_DEAD_ROUTES = "fault_dead_routes"  # sends aborted by a dead path
 FAULT_DEGRADED_BLOCKS = "fault_degraded_blocks"  # blocks forced uncacheable
 FAULT_DIRECT_READS = "fault_direct_reads"  # memory-direct degraded reads
@@ -54,7 +55,13 @@ FAULT_UNROUTABLE = "fault_unroutable_sends"  # recovery sends with no path
 class Stats:
     """Counters for one protocol run."""
 
-    __slots__ = ("events", "traffic_bits", "traffic_messages", "metrics")
+    __slots__ = (
+        "events",
+        "traffic_bits",
+        "traffic_messages",
+        "metrics",
+        "fault_log",
+    )
 
     def __init__(self) -> None:
         self.events: Counter[str] = Counter()
@@ -66,12 +73,36 @@ class Stats:
         #: shape -- ``to_dict`` only emits a ``metrics`` key when there
         #: is something in it.
         self.metrics = None
+        #: Structured log of *rare* fault events (dead routes, retry
+        #: exhaustion, degradation) recorded via :meth:`record_fault`.
+        #: Distinguishes e.g. a retry exhaustion and a degradation of the
+        #: same block within one reference, with the triggering
+        #: destination attached -- information the aggregate counters
+        #: collapse.  Empty on a fault-free run; serialized only when
+        #: non-empty so prior snapshots keep their exact bytes.
+        self.fault_log: list[dict] = []
 
     # ------------------------------------------------------------------
 
     def count(self, event: str, increment: int = 1) -> None:
         """Record ``increment`` occurrences of ``event``."""
         self.events[event] += increment
+
+    def record_fault(self, event: str, **fields) -> None:
+        """Count ``event`` and append a structured entry to the fault log.
+
+        ``fields`` carry per-occurrence context (``block``, ``dest``,
+        ``dests``...); ``None``-valued fields are omitted so entries stay
+        compact and JSON round-trips are exact.  Use for rare recovery
+        events only -- per-delivery events (drops, retries) stay pure
+        counters to keep hostile-plan runs cheap.
+        """
+        self.events[event] += 1
+        entry = {"event": event}
+        for key, value in fields.items():
+            if value is not None:
+                entry[key] = value
+        self.fault_log.append(entry)
 
     def record_traffic(
         self, kind: str, bits: int, messages: int = 1
@@ -115,11 +146,16 @@ class Stats:
             if name.startswith("fault_")
         }
 
+    def fault_event_log(self) -> list[dict]:
+        """The structured fault log, in occurrence order (copies entries)."""
+        return [dict(entry) for entry in self.fault_log]
+
     def merge(self, other: "Stats") -> None:
         """Fold another run's counters (and metrics, if any) into this one."""
         self.events.update(other.events)
         self.traffic_bits.update(other.traffic_bits)
         self.traffic_messages.update(other.traffic_messages)
+        self.fault_log.extend(dict(entry) for entry in other.fault_log)
         if other.metrics is not None:
             if self.metrics is None:
                 from repro.obs.metrics import MetricsRegistry
@@ -142,6 +178,8 @@ class Stats:
         non-empty, so untraced snapshots keep their exact prior bytes.
         """
         data = self.as_dict()
+        if self.fault_log:
+            data["fault_log"] = [dict(entry) for entry in self.fault_log]
         if self.metrics is not None and not self.metrics.empty:
             data["metrics"] = self.metrics.to_dict()
         return data
@@ -153,6 +191,9 @@ class Stats:
         stats.events.update(data.get("events", {}))
         stats.traffic_bits.update(data.get("traffic_bits", {}))
         stats.traffic_messages.update(data.get("traffic_messages", {}))
+        stats.fault_log.extend(
+            dict(entry) for entry in data.get("fault_log", [])
+        )
         metrics = data.get("metrics")
         if metrics:
             # Imported lazily: repro.sim must stay importable without

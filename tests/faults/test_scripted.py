@@ -1,0 +1,145 @@
+"""Scripted (rule-driven) fault injection for deterministic recovery tests."""
+
+import pytest
+
+import repro.sim.stats as ev
+from repro.cache.state import Mode
+from repro.errors import TransientNetworkError
+from repro.faults import DropRule, FaultPlan, ScriptedInjector, attach_scripted
+from repro.protocol.messages import MsgKind
+from repro.protocol.stenstrom import StenstromProtocol
+from repro.sim.system import System, SystemConfig
+from repro.types import Address
+
+
+def build(n_nodes=4, *, max_retries=1, default_mode=Mode.DISTRIBUTED_WRITE):
+    system = System(
+        SystemConfig(n_nodes=n_nodes, cache_entries=8, block_size_words=2)
+    )
+    scripted = attach_scripted(system, max_retries=max_retries)
+    protocol = StenstromProtocol(system, default_mode=default_mode)
+    return system, protocol, scripted
+
+
+def addr(block, offset=0):
+    return Address(block, offset)
+
+
+class TestDropRule:
+    def test_wildcards_match_anything(self):
+        rule = DropRule(drops=2)
+        assert rule.matches("write_update", 0, 1)
+        assert rule.matches(None, None, None)
+
+    def test_specific_fields_must_match(self):
+        rule = DropRule(drops=1, kind="write_update", source=0, dest=3)
+        assert rule.matches("write_update", 0, 3)
+        assert not rule.matches("write_update", 0, 2)
+        assert not rule.matches("invalidate", 0, 3)
+        assert not rule.matches("write_update", 1, 3)
+
+    def test_exhausted_rule_never_matches_again(self):
+        rule = DropRule(drops=1)
+        rule.matched = 1
+        assert not rule.matches("write_update", 0, 1)
+
+
+class TestScriptedInjector:
+    def test_matching_delivery_dropped_and_logged(self):
+        system = System(SystemConfig(n_nodes=4))
+        injector = ScriptedInjector(
+            system.network, FaultPlan(), [DropRule(drops=1, dest=2)]
+        )
+        outcome = injector.draw(kind="load_req", source=0, dest=2)
+        assert outcome.dropped
+        assert injector.dropped_log == [("load_req", 0, 2)]
+
+    def test_nonmatching_delivery_falls_through_clean(self):
+        system = System(SystemConfig(n_nodes=4))
+        injector = ScriptedInjector(
+            system.network, FaultPlan(), [DropRule(drops=1, dest=2)]
+        )
+        outcome = injector.draw(kind="load_req", source=0, dest=3)
+        assert not outcome.dropped
+
+    def test_attach_scripted_wires_both_attachment_points(self):
+        system, _, scripted = build()
+        assert system.fault_injector is scripted
+        assert system.network.fault_injector is scripted
+
+    def test_attach_scripted_inherits_existing_retry_budget(self):
+        system = System(
+            SystemConfig(n_nodes=4),
+            fault_plan=FaultPlan(drop_probability=0.1, max_retries=7),
+        )
+        scripted = attach_scripted(system)
+        assert scripted.plan.max_retries == 7
+
+
+class TestSubBudgetDrops:
+    def test_one_drop_is_retried_and_invisible(self):
+        _, protocol, scripted = build()
+        protocol.write(0, addr(0), 10)
+        protocol.read(1, addr(0))
+        scripted.add_rule(
+            DropRule(
+                drops=1, kind=MsgKind.WRITE_UPDATE.value, source=0, dest=1
+            )
+        )
+        protocol.write(0, addr(0), 11)
+        protocol.check_invariants()
+        assert protocol.read(1, addr(0)) == 11
+        assert protocol.stats.events[ev.FAULT_DROPS] == 1
+        assert protocol.stats.events[ev.FAULT_RETRIES] >= 1
+        assert ev.FAULT_DEGRADED_BLOCKS not in protocol.stats.events
+
+
+class TestTargetedExhaustion:
+    def test_multicast_exhaustion_degrades_the_block(self):
+        _, protocol, scripted = build(max_retries=1)
+        protocol.write(0, addr(0), 10)
+        protocol.read(1, addr(0))
+        protocol.read(2, addr(0))
+        scripted.add_rule(
+            DropRule(
+                drops=2, kind=MsgKind.WRITE_UPDATE.value, source=0, dest=1
+            )
+        )
+        protocol.write(0, addr(0), 11)
+        assert 0 in protocol.uncacheable_blocks
+        assert protocol.stats.events[ev.FAULT_RETRY_EXHAUSTED] == 1
+        assert protocol.stats.events[ev.FAULT_DEGRADED_BLOCKS] == 1
+        # The write still took effect: memory-direct reads see it.
+        assert protocol.read(1, addr(0)) == 11
+        assert protocol.read(3, addr(0)) == 11
+        protocol.check_invariants()
+
+    def test_unicast_exhaustion_still_raises(self):
+        _, protocol, scripted = build(max_retries=1)
+        protocol.write(0, addr(0), 10)
+        scripted.add_rule(
+            DropRule(drops=2, kind=MsgKind.LOAD_REQ.value, source=3)
+        )
+        with pytest.raises(TransientNetworkError, match="retry budget") as info:
+            protocol.read(3, addr(1))
+        assert info.value.multicast is False
+        assert info.value.kind == MsgKind.LOAD_REQ.value
+        assert info.value.source == 3
+        assert len(info.value.dests) == 1
+
+    def test_exhausted_rules_leave_later_traffic_clean(self):
+        _, protocol, scripted = build(max_retries=1)
+        protocol.write(0, addr(0), 10)
+        protocol.read(1, addr(0))
+        scripted.add_rule(
+            DropRule(
+                drops=2, kind=MsgKind.WRITE_UPDATE.value, source=0, dest=1
+            )
+        )
+        protocol.write(0, addr(0), 11)
+        before = dict(protocol.stats.events)
+        protocol.write(2, addr(1), 5)
+        protocol.read(3, addr(1))
+        protocol.check_invariants()
+        after = protocol.stats.events
+        assert after.get(ev.FAULT_DROPS, 0) == before.get(ev.FAULT_DROPS, 0)

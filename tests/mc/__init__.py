@@ -1,0 +1,1 @@
+"""Tests for the model-checking package (:mod:`repro.mc`)."""

@@ -1,0 +1,266 @@
+"""Unit tests for the abstract guarded-action model of the protocol."""
+
+import pytest
+
+from repro.mc.model import ModelConfig, apply, enabled_actions, initial_state
+from repro.mc.state import (
+    COPY,
+    OWNER,
+    PLACEHOLDER,
+    render_action,
+    render_state,
+)
+
+
+def cfg(**overrides):
+    base = dict(n_nodes=4, n_blocks=1, default_dw=False, max_retries=1)
+    base.update(overrides)
+    return ModelConfig(**base)
+
+
+def run(config, *actions):
+    state = initial_state(config)
+    obs = {}
+    for action in actions:
+        state, obs = apply(config, state, action)
+    return state, obs
+
+
+class TestReferenceActions:
+    def test_first_read_loads_exclusively_with_ownership(self):
+        c = cfg()
+        state, obs = run(c, ("read", 2, 0))
+        bs = state.blocks[0]
+        assert bs.owner == 2
+        assert bs.present == (2,)
+        assert bs.copies[2].kind == OWNER
+        assert bs.copies[2].fresh  # memory was fresh
+        assert obs["read_fresh"] is True
+
+    def test_default_mode_follows_config(self):
+        state, _ = run(cfg(default_dw=True), ("read", 0, 0))
+        assert state.blocks[0].dw is True
+        state, _ = run(cfg(default_dw=False), ("read", 0, 0))
+        assert state.blocks[0].dw is False
+
+    def test_gr_read_miss_leaves_placeholder_naming_owner(self):
+        state, obs = run(cfg(), ("write", 0, 0), ("read", 3, 0))
+        bs = state.blocks[0]
+        assert bs.copies[3].kind == PLACEHOLDER
+        assert bs.copies[3].ptr == 0
+        assert bs.present == (0, 3)
+        assert obs["read_fresh"] is True
+
+    def test_dw_read_miss_ships_a_whole_copy(self):
+        state, _ = run(
+            cfg(default_dw=True), ("write", 0, 0), ("read", 3, 0)
+        )
+        assert state.blocks[0].copies[3].kind == COPY
+        assert state.blocks[0].copies[3].fresh
+
+    def test_dw_write_updates_every_copy_and_stales_memory(self):
+        state, _ = run(
+            cfg(default_dw=True),
+            ("read", 0, 0),
+            ("read", 1, 0),
+            ("read", 2, 0),
+            ("write", 0, 0),
+        )
+        bs = state.blocks[0]
+        assert all(bs.copies[n].fresh for n in bs.present)
+        assert not bs.mem_fresh
+        assert bs.copies[0].modified
+
+    def test_write_at_nonowner_transfers_ownership(self):
+        state, _ = run(
+            cfg(default_dw=True),
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("write", 1, 0),
+        )
+        bs = state.blocks[0]
+        assert bs.owner == 1
+        assert bs.copies[1].kind == OWNER
+        assert bs.copies[0].kind == COPY
+        assert bs.copies[0].fresh  # the update reached the old owner
+
+    def test_gr_transfer_repoints_placeholders(self):
+        state, _ = run(
+            cfg(),
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("read", 2, 0),
+            ("write", 2, 0),
+        )
+        bs = state.blocks[0]
+        assert bs.owner == 2
+        assert bs.copies[0].kind == PLACEHOLDER and bs.copies[0].ptr == 2
+        assert bs.copies[1].kind == PLACEHOLDER and bs.copies[1].ptr == 2
+
+
+class TestEvict:
+    def test_exclusive_modified_owner_writes_back(self):
+        state, _ = run(cfg(), ("write", 0, 0), ("evict", 0, 0))
+        bs = state.blocks[0]
+        assert bs.owner is None
+        assert bs.present == ()
+        assert bs.mem_fresh
+
+    def test_shared_owner_hands_off_to_lowest_candidate(self):
+        state, _ = run(
+            cfg(default_dw=True),
+            ("write", 1, 0),
+            ("read", 2, 0),
+            ("read", 3, 0),
+            ("evict", 1, 0),
+        )
+        bs = state.blocks[0]
+        assert bs.owner == 2
+        assert 1 not in bs.present
+        assert bs.copies[1] is None
+        # The hand-off preserved the dirty data: memory is still stale.
+        assert bs.copies[2].modified and not bs.mem_fresh
+
+    def test_placeholder_evict_just_clears_the_flag(self):
+        state, _ = run(
+            cfg(), ("write", 0, 0), ("read", 3, 0), ("evict", 3, 0)
+        )
+        bs = state.blocks[0]
+        assert bs.owner == 0
+        assert bs.present == (0,)
+        assert bs.copies[3] is None
+
+
+class TestSetMode:
+    def test_to_dw_resets_vector_to_owner(self):
+        state, _ = run(
+            cfg(),
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("set_mode", 0, 0, True),
+        )
+        bs = state.blocks[0]
+        assert bs.dw and bs.present == (0,)
+
+    def test_to_gr_invalidates_copies_into_placeholders(self):
+        state, _ = run(
+            cfg(default_dw=True),
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("read", 2, 0),
+            ("set_mode", 0, 0, False),
+        )
+        bs = state.blocks[0]
+        assert not bs.dw
+        assert bs.copies[1].kind == PLACEHOLDER
+        assert bs.copies[1].ptr == 0
+        assert bs.present == (0, 1, 2)
+
+    def test_nonowner_acquires_ownership_first(self):
+        state, _ = run(
+            cfg(),
+            ("write", 0, 0),
+            ("set_mode", 3, 0, True),
+        )
+        assert state.blocks[0].owner == 3
+
+
+class TestFaultActions:
+    def test_degrade_writes_back_and_purges(self):
+        state, obs = run(
+            cfg(default_dw=True),
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("degrade", 0),
+        )
+        bs = state.blocks[0]
+        assert bs.degraded
+        assert bs.owner is None and bs.present == ()
+        assert all(c is None for c in bs.copies)
+        assert bs.mem_fresh  # the modified owner copy reached memory
+        assert obs["degraded"] == 0
+
+    def test_degraded_block_serves_memory_direct(self):
+        state, obs = run(
+            cfg(), ("write", 0, 0), ("degrade", 0), ("read", 2, 0)
+        )
+        assert obs["read_fresh"] is True
+        assert all(c is None for c in state.blocks[0].copies)
+        state, _ = apply(cfg(), state, ("write", 2, 0))[0], None
+        assert state.blocks[0].degraded
+
+    def test_degraded_block_never_reappears_in_actions(self):
+        state, _ = run(cfg(), ("degrade", 0))
+        names = {a[0] for a in enabled_actions(cfg(), state)}
+        assert "degrade" not in names
+        assert "set_mode" not in names
+
+    def test_write_partial_creates_inflight_then_redelivery_completes(self):
+        c = cfg(default_dw=True, max_retries=3)
+        state, _ = run(
+            c,
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("read", 2, 0),
+            ("write_partial", 0, 0, (1, 2)),
+        )
+        inflight = state.inflight
+        assert inflight is not None
+        assert inflight.missed == (1, 2) and inflight.rounds == 1
+        assert not state.blocks[0].copies[1].fresh
+        # Only recovery actions are enabled mid-update.
+        names = {a[0] for a in enabled_actions(c, state)}
+        assert names == {"redeliver", "drop_round"}
+        state, _ = apply(c, state, ("redeliver", 0, 1))
+        state, _ = apply(c, state, ("redeliver", 0, 2))
+        assert state.inflight is None
+        assert all(
+            state.blocks[0].copies[n].fresh
+            for n in state.blocks[0].present
+        )
+
+    def test_drop_rounds_past_budget_degrade(self):
+        c = cfg(default_dw=True, max_retries=2)
+        state, _ = run(
+            c,
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("write_partial", 0, 0, (1,)),
+        )
+        state, obs = apply(c, state, ("drop_round", 0))
+        assert state.inflight.rounds == 2 and not obs
+        state, obs = apply(c, state, ("drop_round", 0))
+        assert state.inflight is None
+        assert state.blocks[0].degraded
+        assert obs["degraded"] == 0 and obs["retry_exhausted"] == (1,)
+        # The writer's (freshest) value reached memory on the way down.
+        assert state.blocks[0].mem_fresh
+
+    def test_zero_budget_write_partial_degrades_immediately(self):
+        c = cfg(default_dw=True, max_retries=0)
+        state, obs = run(
+            c,
+            ("write", 0, 0),
+            ("read", 1, 0),
+            ("write_partial", 0, 0, (1,)),
+        )
+        assert state.blocks[0].degraded and state.inflight is None
+        assert obs["degraded"] == 0
+
+
+class TestEnumerationDeterminism:
+    def test_enabled_actions_are_reproducible(self):
+        c = cfg(default_dw=True)
+        state, _ = run(c, ("write", 0, 0), ("read", 1, 0), ("read", 2, 0))
+        assert enabled_actions(c, state) == enabled_actions(c, state)
+
+    def test_every_action_renders(self):
+        c = cfg(default_dw=True)
+        state, _ = run(c, ("write", 0, 0), ("read", 1, 0))
+        for action in enabled_actions(c, state):
+            assert render_action(action)
+        assert "block 0" in render_state(state)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown model action"):
+            apply(cfg(), initial_state(cfg()), ("warp", 0, 0))

@@ -149,3 +149,57 @@ class TestInvariant6NoOrphanCopies:
         assert "node 1" in message  # first surviving holder
         assert "mode none" in message
         assert "with no owner" in message
+
+
+class TestStructuredFields:
+    """CoherenceError carries machine-readable context alongside the
+    (byte-identical) human message: block, node, mode name, and the
+    detail string without the context prefix."""
+
+    def capture(self, protocol):
+        with pytest.raises(CoherenceError) as info:
+            protocol.check_invariants()
+        return info.value
+
+    def test_fields_match_the_message(self):
+        system, protocol = healthy_dw()
+        field_of(system, 0, 0).present.discard(0)
+        exc = self.capture(protocol)
+        assert exc.block == 0
+        assert exc.node == 0
+        assert exc.mode == "DISTRIBUTED_WRITE"
+        assert "missing from its present vector" in exc.detail
+        # The message is exactly the old prefix + detail: structured
+        # fields added nothing and removed nothing.
+        assert str(exc) == (
+            f"block {exc.block} (node {exc.node}, mode {exc.mode}): "
+            f"{exc.detail}"
+        )
+
+    def test_mode_is_none_when_no_owner_defines_one(self):
+        system, protocol = healthy_dw()
+        system.memory_for(5).block_store.set_owner(5, 3)
+        exc = self.capture(protocol)
+        assert exc.block == 5
+        assert exc.node == 3
+        assert exc.mode is None
+        assert "mode none" in str(exc)
+
+    def test_value_verification_errors_are_structured_too(self):
+        from repro.sim.engine import run_trace
+        from repro.sim.trace import Trace
+        from repro.types import Op, Reference
+
+        _, protocol = build()
+        # A write the verifier's shadow never saw: the trace's read then
+        # observes 7 where the shadow expects the initial 0.
+        protocol.write(0, addr(0), 7)
+        trace = Trace(
+            references=(Reference(node=1, op=Op.READ, address=addr(0)),),
+            n_nodes=8,
+        )
+        with pytest.raises(CoherenceError) as info:
+            run_trace(protocol, trace, verify=True)
+        assert info.value.block == 0
+        assert info.value.node == 1
+        assert "expected 0" in info.value.detail

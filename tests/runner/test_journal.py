@@ -118,3 +118,45 @@ class TestTornTail:
         path.write_text("\n".join(content) + "\n", encoding="utf-8")
         with pytest.raises(json.JSONDecodeError):
             read_journal(path)
+
+
+class TestFaultLogAttribution:
+    """task_finish carries the per-incident fault log when faults struck."""
+
+    def finish(self, mutate=None):
+        import repro.sim.stats as ev
+
+        spec = make_spec()
+        report = execute_spec(spec)
+        if mutate is not None:
+            mutate(report.stats, ev)
+        journal = RunJournal()
+        journal.task_finish(spec, attempt=1, wall_time=0.1, report=report)
+        return journal.events[-1]
+
+    def test_fault_free_finish_has_no_fault_log_key(self):
+        entry = self.finish()
+        assert "fault_log" not in entry
+        assert "fault_events" not in entry
+
+    def test_incidents_ride_along_with_attribution(self):
+        def mutate(stats, ev):
+            stats.record_fault(
+                ev.FAULT_RETRY_EXHAUSTED, block=3, kind="write_update",
+                dests=[5],
+            )
+            stats.record_fault(
+                ev.FAULT_DEGRADED_BLOCKS, block=3, cause="retry_exhausted",
+                dests=[5],
+            )
+
+        entry = self.finish(mutate)
+        log = entry["fault_log"]
+        # Two incidents on the same block in one reference stay two
+        # distinct entries, each naming its trigger.
+        assert [e["event"] for e in log] == [
+            "fault_retry_exhausted", "fault_degraded_blocks",
+        ]
+        assert log[0]["dests"] == [5]
+        assert log[1]["cause"] == "retry_exhausted"
+        assert entry["fault_events"]["fault_retry_exhausted"] == 1

@@ -59,3 +59,55 @@ class TestMergeAndExport:
         assert snapshot["events"] == {ev.WRITES: 1}
         assert snapshot["traffic_bits"] == {"x": 7}
         assert snapshot["traffic_messages"] == {"x": 1}
+
+
+class TestFaultLog:
+    def test_record_fault_counts_and_logs(self):
+        stats = Stats()
+        stats.record_fault(ev.FAULT_DEAD_ROUTES, source=1, dest=5, block=3)
+        assert stats.events[ev.FAULT_DEAD_ROUTES] == 1
+        assert stats.fault_event_log() == [
+            {
+                "event": ev.FAULT_DEAD_ROUTES,
+                "source": 1,
+                "dest": 5,
+                "block": 3,
+            }
+        ]
+
+    def test_none_fields_are_omitted(self):
+        stats = Stats()
+        stats.record_fault(ev.FAULT_DEGRADED_BLOCKS, block=2, cause=None)
+        assert stats.fault_event_log() == [
+            {"event": ev.FAULT_DEGRADED_BLOCKS, "block": 2}
+        ]
+
+    def test_log_view_returns_copies(self):
+        stats = Stats()
+        stats.record_fault(ev.FAULT_DEAD_ROUTES, block=0)
+        stats.fault_event_log()[0]["block"] = 99
+        assert stats.fault_event_log()[0]["block"] == 0
+
+    def test_merge_concatenates_incident_logs(self):
+        first, second = Stats(), Stats()
+        first.record_fault(ev.FAULT_DEAD_ROUTES, block=0)
+        second.record_fault(ev.FAULT_DEGRADED_BLOCKS, block=1)
+        first.merge(second)
+        assert [e["event"] for e in first.fault_event_log()] == [
+            ev.FAULT_DEAD_ROUTES,
+            ev.FAULT_DEGRADED_BLOCKS,
+        ]
+
+    def test_round_trip_preserves_the_log(self):
+        stats = Stats()
+        stats.count(ev.READS)
+        stats.record_fault(ev.FAULT_RETRY_EXHAUSTED, block=4, dests=[1, 2])
+        clone = Stats.from_dict(stats.to_dict())
+        assert clone.fault_event_log() == stats.fault_event_log()
+
+    def test_fault_free_snapshot_shape_is_unchanged(self):
+        stats = Stats()
+        stats.count(ev.READS)
+        stats.record_traffic("x", 8)
+        assert "fault_log" not in stats.to_dict()
+        assert Stats.from_dict(stats.to_dict()).fault_event_log() == []

@@ -195,3 +195,47 @@ class TestParser:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestMc:
+    def test_exhaustive_small_config_passes(self, capsys):
+        assert main(["mc", "--nodes", "2", "--blocks", "1", "--exhaustive"]) == 0
+        output = capsys.readouterr().out
+        assert "states explored" in output
+        assert "exhaustive        : True" in output
+        assert "violations        : 0" in output
+        assert "MC: pass" in output
+
+    def test_two_runs_print_identical_summaries(self, tmp_path, capsys):
+        first = tmp_path / "one.txt"
+        second = tmp_path / "two.txt"
+        base = ["mc", "--nodes", "2", "--blocks", "1", "--exhaustive"]
+        assert main(base + ["--output", str(first)]) == 0
+        assert main(base + ["--output", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_state_cap_reports_incomplete(self, capsys):
+        assert main(
+            ["mc", "--nodes", "4", "--blocks", "1", "--max-states", "100"]
+        ) == 0
+        assert "exhaustive        : False" in capsys.readouterr().out
+
+    def test_fuzz_runs_and_reports(self, capsys):
+        assert main(
+            [
+                "mc", "--nodes", "4", "--blocks", "2", "--exhaustive",
+                "--nodes", "2", "--blocks", "1",
+                "--fuzz", "30", "--fuzz-nodes", "4", "--fuzz-blocks", "2",
+                "--seed", "3",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "differential fuzz:" in output
+        assert "divergences       : 0" in output
+
+    def test_default_dw_flag_changes_the_summary(self, capsys):
+        assert main(
+            ["mc", "--nodes", "2", "--blocks", "1", "--exhaustive",
+             "--default-dw"]
+        ) == 0
+        assert "distributed-write" in capsys.readouterr().out

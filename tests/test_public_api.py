@@ -9,6 +9,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.cache",
     "repro.faults",
+    "repro.mc",
     "repro.memory",
     "repro.network",
     "repro.obs",
