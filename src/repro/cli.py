@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Thirteen commands cover the common uses of the library without writing
+Fourteen commands cover the common uses of the library without writing
 code:
 
 * ``tables``  -- regenerate the paper's Tables 2, 3 and 4 next to the
@@ -32,9 +32,13 @@ code:
   admission control, streamed progress, graceful drain on SIGTERM
   (see docs/SERVE.md);
 * ``submit``  -- submit the ``sweep`` grid to a running daemon instead
-  of executing locally (plus ``--ping`` / ``--status`` / ``--drain``
-  daemon controls); same table out, so the CLI is just one client of
-  the service;
+  of executing locally (plus ``--ping`` / ``--status`` / ``--metrics``
+  / ``--drain`` daemon controls); same table out, so the CLI is just
+  one client of the service;
+* ``top``     -- live terminal view of a running daemon: request rates,
+  p50/p90/p99 latency estimates, cache hit ratios and queue/fabric
+  sparklines, refreshed from the daemon's ``metrics`` op (``--once``
+  for the non-interactive single-frame mode);
 * ``mc``      -- model-check the protocol (:mod:`repro.mc`): exhaustive
   breadth-first exploration of the abstract two-mode model with
   coherence/recovery invariants and minimal counterexample traces,
@@ -401,6 +405,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "(the source of streamed progress)"
         ),
     )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        help=(
+            "telemetry sampling cadence in seconds "
+            "(wall-clock; default: 1.0)"
+        ),
+    )
+    serve.add_argument(
+        "--flight-dir",
+        help=(
+            "directory for automatic flight-recorder JSONL dumps "
+            "(coherence errors, rejection bursts, drain); the incident "
+            "ring records even without this, but nothing is written"
+        ),
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=512,
+        help="flight-recorder ring size in events (default: 512)",
+    )
 
     submit = commands.add_parser(
         "submit",
@@ -442,9 +469,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the daemon's status snapshot as JSON and exit",
     )
     submit.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "print the daemon's /metrics exposition (Prometheus-style "
+            "plaintext) and exit"
+        ),
+    )
+    submit.add_argument(
         "--drain",
         action="store_true",
         help="ask the daemon to drain and shut down, then exit",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help=(
+            "live terminal view of a running serve daemon: request "
+            "rates, p50/p90/p99 latencies, cache hit ratios, queue and "
+            "fabric sparklines (see docs/SERVE.md)"
+        ),
+    )
+    top.add_argument(
+        "--socket", required=True, help="daemon unix socket path"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval in seconds (default: 2.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="frames to render before exiting (0 = until interrupted)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (non-interactive / CI mode)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds (default: 30)",
     )
 
     mc = commands.add_parser(
@@ -1052,6 +1122,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         hot_capacity=args.hot_capacity,
         cache_dir=args.cache_dir,
         journal_path=args.journal,
+        sample_interval=args.sample_interval,
+        flight_capacity=args.flight_capacity,
+        flight_dir=args.flight_dir,
     )
     daemon = ServeDaemon(config)
 
@@ -1093,6 +1166,9 @@ def _command_submit(args: argparse.Namespace) -> int:
         return 0
     if args.status:
         print(json.dumps(client.status(), indent=2, sort_keys=True))
+        return 0
+    if args.metrics:
+        print(client.metrics()["text"], end="")
         return 0
     if args.drain:
         print(json.dumps(client.drain(), sort_keys=True))
@@ -1158,6 +1234,43 @@ def _command_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_top(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs.telemetry import render_top
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(args.socket, timeout=args.timeout)
+    iterations = 1 if args.once else args.iterations
+    previous: dict | None = None
+    scraped_at: float | None = None
+    rendered = 0
+    try:
+        while True:
+            frame = client.metrics()
+            now = time.monotonic()
+            elapsed = (
+                now - scraped_at if scraped_at is not None else None
+            )
+            print(
+                render_top(
+                    frame,
+                    previous=previous,
+                    elapsed=elapsed,
+                    title=f"repro top -- {args.socket}",
+                ),
+                flush=True,
+            )
+            previous, scraped_at = frame, now
+            rendered += 1
+            if iterations and rendered >= iterations:
+                return 0
+            print(flush=True)  # blank line between frames
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _command_mc(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1214,6 +1327,7 @@ _COMMANDS = {
     "heatmap": _command_heatmap,
     "serve": _command_serve,
     "submit": _command_submit,
+    "top": _command_top,
     "mc": _command_mc,
 }
 

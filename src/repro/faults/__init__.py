@@ -12,12 +12,16 @@ assumption (see DESIGN.md):
 * :mod:`repro.faults.campaign` -- chaos campaigns: fault-rate sweeps
   through the :mod:`repro.runner` executor with a survival report
   (imported lazily by the CLI; not re-exported here to keep the
-  ``runner -> faults`` import direction acyclic).
+  ``runner -> faults`` import direction acyclic);
+* :mod:`repro.faults.incidents` -- :func:`incident_entries`, the pure
+  journal-event -> flight-recorder filter the serve daemon feeds its
+  :class:`~repro.obs.recorder.FlightRecorder` with.
 
 See docs/FAULTS.md for the fault model, the recovery semantics, and the
 determinism guarantees.
 """
 
+from repro.faults.incidents import incident_entries
 from repro.faults.injector import DeliveryOutcome, FaultInjector
 from repro.faults.plan import DEFAULT_MAX_RETRIES, PLAN_VERSION, FaultPlan
 from repro.faults.scripted import DropRule, ScriptedInjector, attach_scripted
@@ -31,4 +35,5 @@ __all__ = [
     "PLAN_VERSION",
     "ScriptedInjector",
     "attach_scripted",
+    "incident_entries",
 ]

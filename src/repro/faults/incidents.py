@@ -1,0 +1,97 @@
+"""Journal events -> flight-recorder incidents.
+
+The serve daemon journals everything it does
+(:class:`~repro.runner.journal.RunJournal` vocabulary plus its own
+``serve_*`` events); the :class:`~repro.obs.recorder.FlightRecorder`
+wants only the *incidents* -- faults, failures, degradations,
+rejections, mode-switch churn.  :func:`incident_entries` is that filter,
+pure and stateless: one journal entry in, zero or more
+``(kind, name, fields)`` triples out, ready for
+``FlightRecorder.record(kind, name, **fields)``.
+
+Living in :mod:`repro.faults` because the interesting mappings are the
+fault ones: a ``task_finish`` carrying the per-incident ``fault_log``
+(dead routes, retry exhaustion, block degradation -- see
+``Stats.fault_event_log``) fans out into one flight event per incident,
+preserving the structured attribution the PR 8 work added.
+"""
+
+from __future__ import annotations
+
+#: Journal fields copied onto failure/retry/rejection flight events when
+#: present; everything else is deliberately dropped to keep the ring
+#: cheap (full detail stays in the journal).
+_CONTEXT_FIELDS = ("task", "protocol", "attempt", "attempts", "reason")
+
+
+def _context(entry: dict, **extra: object) -> dict:
+    fields = {
+        key: entry[key] for key in _CONTEXT_FIELDS if key in entry
+    }
+    fields.update((key, value) for key, value in extra.items()
+                  if value is not None)
+    return fields
+
+
+def incident_entries(entry: dict) -> list[tuple[str, str, dict]]:
+    """Flight-recorder triples for one journal entry (often none).
+
+    Returns ``[(kind, name, fields), ...]``:
+
+    * ``task_finish`` with a ``fault_log`` -> one ``fault`` event per
+      logged incident (name = the incident's ``fault_*`` event), plus a
+      ``mode_switch`` churn event when the task's metrics counted any;
+    * ``task_failed`` -> a ``failure`` named after the error class
+      (``CoherenceError`` here is what triggers an automatic dump);
+    * ``task_retry`` -> a ``degradation`` (the task survived, degraded
+      to another attempt);
+    * ``serve_reject`` / ``serve_invalid`` -> a ``rejection``.
+
+    Unknown and uninteresting events return ``[]`` -- the filter is
+    forward-compatible with journal vocabulary growth by construction.
+    """
+    event = entry.get("event")
+    incidents: list[tuple[str, str, dict]] = []
+    if event == "task_finish":
+        task = entry.get("task")
+        for logged in entry.get("fault_log", ()):
+            fields = {
+                key: value for key, value in logged.items()
+                if key != "event"
+            }
+            if task is not None:
+                fields["task"] = task
+            incidents.append(
+                ("fault", logged.get("event", "fault"), fields)
+            )
+        switches = (
+            entry.get("metrics", {})
+            .get("counters", {})
+            .get("mode_switches", 0)
+        )
+        if switches:
+            incidents.append(
+                ("mode_switch", "mode_switches",
+                 _context(entry, count=switches))
+            )
+    elif event == "task_failed":
+        name = entry.get("error_class") or "Error"
+        incidents.append(
+            ("failure", name, _context(entry, error=entry.get("error")))
+        )
+    elif event == "task_retry":
+        incidents.append(
+            ("degradation", "task_retry",
+             _context(entry, error_class=entry.get("error_class")))
+        )
+    elif event == "serve_reject":
+        incidents.append(
+            ("rejection", "serve_reject",
+             _context(entry, tasks=entry.get("tasks")))
+        )
+    elif event == "serve_invalid":
+        incidents.append(
+            ("rejection", "serve_invalid",
+             _context(entry, error=entry.get("error")))
+        )
+    return incidents

@@ -14,7 +14,13 @@ The observability layer of the reproduction (see docs/OBSERVABILITY.md):
   (Perfetto-loadable) exporters;
 * :mod:`repro.obs.hooks` -- :func:`attach_recorder` and the traced
   runner task body behind ``Executor(trace_dir=...)`` and the CLI's
-  ``--trace-dir``.
+  ``--trace-dir``;
+* :mod:`repro.obs.telemetry` -- :class:`TelemetrySampler` time-series
+  rings over a registry, Prometheus-style plaintext exposition, and the
+  ``repro top`` frame renderer;
+* :class:`FlightRecorder` (in :mod:`repro.obs.recorder`) -- always-on
+  bounded incident ring, dumped as JSONL on coherence errors, rejection
+  bursts and daemon drain.
 
 Everything is seed-deterministic: virtual timestamps, sorted keys,
 fixed bucket bounds -- two same-seed runs export byte-identical files.
@@ -35,14 +41,31 @@ from repro.obs.heatmap import (
     switch_heatmap,
 )
 from repro.obs.hooks import attach_recorder, detach_recorder, execute_spec_traced
-from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
-from repro.obs.recorder import TraceEvent, TraceRecorder
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder, TraceEvent, TraceRecorder
+from repro.obs.telemetry import (
+    TelemetrySampler,
+    TimeSeriesRing,
+    parse_exposition,
+    prometheus_text,
+    render_top,
+    sparkline,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Heatmap",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
+    "TelemetrySampler",
+    "TimeSeriesRing",
     "TraceEvent",
     "TraceRecorder",
     "attach_recorder",
@@ -51,7 +74,11 @@ __all__ = [
     "execute_spec_traced",
     "link_heatmap",
     "network_heatmaps",
+    "parse_exposition",
+    "prometheus_text",
     "read_jsonl",
+    "render_top",
+    "sparkline",
     "switch_heatmap",
     "trace_lines",
     "write_chrome_trace",

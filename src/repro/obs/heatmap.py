@@ -22,6 +22,13 @@ from repro.errors import ConfigurationError
 #: Intensity ramp for ASCII cells, blank (zero) to ``@`` (grid maximum).
 INTENSITY = " .:-=+*#%@"
 
+#: Widest ASCII row :meth:`Heatmap.render` will emit before folding
+#: columns.  N=1024 networks have 1024-column grids; one character per
+#: column is unreadable in any terminal, so wider grids fold groups of
+#: adjacent columns into one cell (group maximum, so hot spots survive)
+#: and the header says so.  JSON output is never folded.
+MAX_RENDER_COLS = 128
+
 #: metric name -> (utilization field, heatmap kind, row label)
 _LINK_METRICS = {"bits": "bits", "messages": "messages"}
 _SWITCH_METRICS = {"messages": "messages", "splits": "splits"}
@@ -70,26 +77,50 @@ class Heatmap:
             "rows": [list(row) for row in self.rows],
         }
 
-    def render(self) -> str:
+    def render(self, max_cols: int | None = None) -> str:
         """ASCII grid: one intensity character per cell, plus row totals.
 
         Cells scale linearly against the grid maximum into
         :data:`INTENSITY`; a zero cell is blank, the maximum is ``@``.
+
+        Grids wider than ``max_cols`` (default :data:`MAX_RENDER_COLS`)
+        fold groups of adjacent columns into one cell holding the group
+        **maximum** -- folding never hides a hot spot -- and the header
+        carries an explicit ``…elided`` marker naming the fold factor.
+        Row totals always sum the true (unfolded) row.
         """
+        limit = MAX_RENDER_COLS if max_cols is None else max_cols
+        if limit < 1:
+            raise ConfigurationError(
+                f"render max_cols must be >= 1, got {limit}"
+            )
+        fold = -(-self.n_cols // limit) if self.n_cols > limit else 1
         peak = self.max_value
         top = len(INTENSITY) - 1
-        lines = [
+        header = (
             f"{self.kind} {self.metric} heatmap "
             f"({self.n_rows} x {self.n_cols}, max={peak})"
-        ]
+        )
+        if fold > 1:
+            header += (
+                f" [{fold} cols/cell, …elided: showing group maxima]"
+            )
+        lines = [header]
         width = len(f"{self.row_label}{self.n_rows - 1}")
         for index, row in enumerate(self.rows):
+            if fold > 1:
+                shown = [
+                    max(row[start:start + fold])
+                    for start in range(0, len(row), fold)
+                ]
+            else:
+                shown = row
             if peak:
                 cells = "".join(
-                    INTENSITY[value * top // peak] for value in row
+                    INTENSITY[value * top // peak] for value in shown
                 )
             else:
-                cells = " " * len(row)
+                cells = " " * len(shown)
             label = f"{self.row_label}{index}".rjust(width)
             lines.append(f"{label} |{cells}| {sum(row)}")
         return "\n".join(lines)

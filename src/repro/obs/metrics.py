@@ -23,6 +23,15 @@ from bisect import bisect_left
 #: by the recorder (fan-out sizes, link counts, retry depths).
 DEFAULT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
+#: Bucket bounds for request-latency histograms, in milliseconds: a
+#: 1-2-5 ladder from sub-millisecond cache hits to ten-second cells.
+#: Used by the serve daemon's submit->admit / admit->start timers and
+#: the executor's start->finish timer (see repro.obs.telemetry).
+LATENCY_BUCKETS_MS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0,
+)
+
 
 class Histogram:
     """A fixed-bucket histogram of integer (or float) observations.
@@ -50,6 +59,41 @@ class Histogram:
         self.counts[bisect_left(self.bounds, value)] += increment
         self.total += increment
         self.sum += value * increment
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket holding the target rank,
+        taking the previous bound (0 below the first) as the bucket's
+        lower edge.  Observations in the overflow bucket clamp to the
+        last bound -- the histogram cannot know how far above it they
+        landed.  ``None`` on an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return None
+        target = q * self.total
+        cumulative = 0
+        lower = 0.0
+        for index, bound in enumerate(self.bounds):
+            count = self.counts[index]
+            if count and cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                return lower + (bound - lower) * fraction
+            cumulative += count
+            lower = bound
+        return float(self.bounds[-1])
+
+    def percentiles(self) -> dict[str, float]:
+        """``{"p50", "p90", "p99"}`` estimates; ``{}`` when empty."""
+        if self.total == 0:
+            return {}
+        return {
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
 
     def to_dict(self) -> dict:
         return {

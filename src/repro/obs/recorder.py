@@ -34,6 +34,9 @@ bit-identical results.
 
 from __future__ import annotations
 
+import json
+import threading
+from pathlib import Path
 from typing import NamedTuple
 
 from repro.obs.metrics import MetricsRegistry
@@ -260,3 +263,89 @@ class TraceRecorder:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TraceRecorder(events={len(self.events)}, now={self._now})"
+
+
+#: Default flight-recorder capacity: enough recent incidents for a
+#: post-mortem without the ring ever mattering for memory.
+FLIGHT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """An always-on bounded ring of recent incident events.
+
+    Unlike the :class:`TraceRecorder` -- which captures *every* protocol
+    event and therefore stands the fast paths down -- the flight recorder
+    only sees coarse operational incidents (mode switches surfaced by
+    finished tasks, fault incidents, admission rejections, degradations,
+    lifecycle transitions), fed by the serve daemon's journal hook.  It
+    costs one dict append per incident and nothing at all on the
+    simulation hot path, so it stays attached permanently.
+
+    On trouble -- a ``CoherenceError``, an overload rejection burst, a
+    daemon drain -- :meth:`dump` writes the ring as a JSONL artifact: a
+    header line naming the reason, then the retained events oldest
+    first.  Thread-safe: the daemon records from worker threads and
+    dumps from the event loop.
+    """
+
+    __slots__ = ("capacity", "dropped", "dumps", "_events", "_lock", "_seq")
+
+    def __init__(self, capacity: int = FLIGHT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(
+                f"flight recorder capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.dropped = 0
+        self.dumps = 0
+        self._events: list[dict] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def record(self, kind: str, name: str, **args: object) -> None:
+        """Append one incident; the oldest drops once the ring is full."""
+        with self._lock:
+            event = {"seq": self._seq, "kind": kind, "name": name, **args}
+            self._seq += 1
+            self._events.append(event)
+            if len(self._events) > self.capacity:
+                del self._events[0]
+                self.dropped += 1
+
+    def snapshot(self) -> list[dict]:
+        """The retained events, oldest first (copies, safe to mutate)."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def dump(self, path: str | Path, *, reason: str) -> Path:
+        """Write the ring as JSONL: a header line, then the events.
+
+        The header records the dump ``reason`` plus ring bookkeeping, so
+        an artifact is self-describing even when the ring wrapped.
+        """
+        path = Path(path)
+        events = self.snapshot()
+        with self._lock:
+            header = {
+                "flight_dump": reason,
+                "events": len(events),
+                "dropped": self.dropped,
+                "capacity": self.capacity,
+            }
+            self.dumps += 1
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return path
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FlightRecorder(events={len(self)}, capacity={self.capacity}, "
+            f"dumps={self.dumps})"
+        )

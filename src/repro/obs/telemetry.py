@@ -1,0 +1,411 @@
+"""Live time-series telemetry over the metrics registry.
+
+Three pieces turn the end-of-run :class:`~repro.obs.metrics.MetricsRegistry`
+into an *operational* surface (see docs/OBSERVABILITY.md, "Live
+telemetry"):
+
+* :class:`TelemetrySampler` -- periodically snapshots a registry's
+  counters and gauges into bounded in-memory :class:`TimeSeriesRing`
+  buffers.  Timestamps are **deterministic virtual ticks** (0, 1, 2, ...)
+  when no ``now`` is passed -- the simulation-context mode, where a
+  wall-clock read would break byte-identical artifacts -- and wall-clock
+  seconds when the caller (the serve daemon) passes them.  Sampling is
+  read-only over the registry unless gauge *sources* are registered, in
+  which case each source's values are set as registry gauges first (the
+  daemon uses this for queue depth, in-flight coalesced submissions,
+  cache sizes and worker occupancy).  A sampler that is merely
+  *importable but detached* costs the hot paths nothing: nothing consults
+  it unless someone calls :meth:`TelemetrySampler.sample`.
+
+* :func:`prometheus_text` -- renders a registry as Prometheus-style
+  plaintext exposition (``# TYPE`` comments, ``_bucket{le="..."}``
+  cumulative histogram rows, ``_sum`` / ``_count``).  Deterministic:
+  sorted names, no timestamps.
+
+* :func:`render_top` -- the ``repro top`` frame: rates derived from two
+  successive ``metrics`` scrapes, p50/p90/p99 latency estimates from the
+  registry's histograms, cache hit ratios, and sparklines of the sampled
+  queue-depth and fabric-bits series.  Pure text in, text out, so it is
+  testable without a terminal (and usable one-shot in CI).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.obs.heatmap import INTENSITY
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Default ring capacity: at the daemon's 1 s sampling cadence this is
+#: four minutes of history, enough for a terminal sparkline and a
+#: post-mortem glance without unbounded growth.
+DEFAULT_RING_CAPACITY = 240
+
+#: Series-name prefixes the sampler records under, one per metric kind,
+#: so a counter and a gauge sharing a registry name cannot collide.
+COUNTER_PREFIX = "counter."
+GAUGE_PREFIX = "gauge."
+
+_PROM_SAFE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class TimeSeriesRing:
+    """A bounded ring of ``(tick, value)`` samples; oldest drop first."""
+
+    __slots__ = ("capacity", "dropped", "_ticks", "_values")
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._ticks: list[float] = []
+        self._values: list[float] = []
+
+    def append(self, tick: float, value: float) -> None:
+        self._ticks.append(tick)
+        self._values.append(value)
+        if len(self._ticks) > self.capacity:
+            del self._ticks[0]
+            del self._values[0]
+            self.dropped += 1
+
+    def samples(self) -> list[tuple[float, float]]:
+        return list(zip(self._ticks, self._values))
+
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def last(self) -> tuple[float, float] | None:
+        if not self._ticks:
+            return None
+        return self._ticks[-1], self._values[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "ticks": list(self._ticks),
+            "values": list(self._values),
+        }
+
+    def __len__(self) -> int:
+        return len(self._ticks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeSeriesRing(len={len(self)}, capacity={self.capacity})"
+
+
+class TelemetrySampler:
+    """Snapshots of a :class:`MetricsRegistry` into bounded rings.
+
+    ``sample()`` with no argument stamps a deterministic virtual tick
+    (the number of samples taken so far) -- the mode simulation contexts
+    use, where wall-clock reads are forbidden.  The daemon passes
+    ``sample(now=time.time())`` instead.  Every counter and gauge in the
+    registry gets its own ring, named ``counter.<name>`` /
+    ``gauge.<name>``; rings appear lazily the first time a metric does.
+    """
+
+    __slots__ = ("capacity", "registry", "samples_taken", "_series", "_sources")
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        capacity: int = DEFAULT_RING_CAPACITY,
+    ) -> None:
+        self.registry = registry
+        self.capacity = capacity
+        self.samples_taken = 0
+        self._series: dict[str, TimeSeriesRing] = {}
+        self._sources: list[Callable[[], dict[str, float]]] = []
+
+    def add_source(self, source: Callable[[], dict[str, float]]) -> None:
+        """Register a gauge source consulted at every sample.
+
+        ``source()`` returns ``{gauge_name: value}``; each value is set
+        as a registry gauge *before* the snapshot, so sources are how a
+        host (the daemon) folds live state -- queue depth, worker
+        occupancy -- into both the rings and the exposition output.
+        """
+        self._sources.append(source)
+
+    def sample(self, now: float | None = None) -> float:
+        """Take one snapshot; returns the tick it was stamped with."""
+        tick = float(self.samples_taken) if now is None else float(now)
+        self.samples_taken += 1
+        for source in self._sources:
+            for name, value in source().items():
+                self.registry.set_gauge(name, value)
+        # list() copies: the registry may be appended to concurrently by
+        # daemon worker threads, and a ring for a brand-new metric can
+        # safely start at this sample.
+        for name, value in list(self.registry.counters.items()):
+            self._ring(COUNTER_PREFIX + name).append(tick, value)
+        for name, value in list(self.registry.gauges.items()):
+            self._ring(GAUGE_PREFIX + name).append(tick, value)
+        return tick
+
+    def _ring(self, name: str) -> TimeSeriesRing:
+        ring = self._series.get(name)
+        if ring is None:
+            ring = TimeSeriesRing(self.capacity)
+            self._series[name] = ring
+        return ring
+
+    # ------------------------------------------------------------------
+
+    @property
+    def empty(self) -> bool:
+        return self.samples_taken == 0
+
+    def names(self) -> list[str]:
+        return sorted(self._series)
+
+    def series(self, name: str) -> TimeSeriesRing | None:
+        return self._series.get(name)
+
+    def to_dict(self) -> dict:
+        """Deterministic (sorted-name) snapshot of every ring."""
+        return {
+            name: ring.to_dict()
+            for name, ring in sorted(self._series.items())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TelemetrySampler(samples={self.samples_taken}, "
+            f"series={len(self._series)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style plaintext exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    return prefix + _PROM_SAFE.sub("_", name)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: MetricsRegistry, *, prefix: str = "repro_"
+) -> str:
+    """Render ``registry`` as Prometheus plaintext exposition format.
+
+    Counters, gauges, then histograms, each sorted by name; histogram
+    buckets are emitted cumulatively with inclusive ``le`` labels plus
+    the ``+Inf`` overflow row, and ``_sum`` / ``_count`` follow -- the
+    shape every Prometheus scraper and ``promtool`` understands.  The
+    output is a pure function of the registry contents (no timestamps),
+    so two identical registries expose identical bytes.
+    """
+    lines: list[str] = []
+    for name, value in sorted(registry.counters.items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in sorted(registry.gauges.items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, hist in sorted(registry.histograms.items()):
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist.bounds, hist.counts):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} '
+                f"{cumulative}"
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.total}')
+        lines.append(f"{metric}_sum {_format_value(hist.sum)}")
+        lines.append(f"{metric}_count {hist.total}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """``prometheus_text`` output back to ``{metric_name: value}``.
+
+    Labelled samples (histogram buckets) keep their label suffix in the
+    key.  Used by the CI monotonicity check and tests; lenient about
+    unknown lines (comments are skipped).
+    """
+    values: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            continue
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering (repro top)
+# ---------------------------------------------------------------------------
+
+
+def sparkline(values: list[float], *, width: int = 48) -> str:
+    """ASCII sparkline of ``values`` folded to at most ``width`` chars.
+
+    Reuses the heatmap intensity ramp (deterministic, pure ASCII); each
+    output character is the maximum of its fold group scaled against the
+    series maximum, so spikes survive folding.
+    """
+    if not values:
+        return ""
+    width = max(1, width)
+    fold = -(-len(values) // width)  # ceil
+    folded = [
+        max(values[start:start + fold])
+        for start in range(0, len(values), fold)
+    ]
+    peak = max(folded)
+    if peak <= 0:
+        return " " * len(folded)
+    top = len(INTENSITY) - 1
+    # Blank strictly means zero: any positive value gets at least the
+    # faintest ramp character.
+    return "".join(
+        INTENSITY[max(1, int(value * top // peak)) if value > 0 else 0]
+        for value in folded
+    )
+
+
+def _counter_rate(
+    current: dict, previous: dict | None, name: str, elapsed: float | None
+) -> str:
+    if previous is None or not elapsed or elapsed <= 0:
+        return ""
+    now = current.get("counters", {}).get(name, 0)
+    then = previous.get("counters", {}).get(name, 0)
+    return f" ({(now - then) / elapsed:+,.1f}/s)"
+
+
+def _percentile_cell(hist: Histogram | None) -> str:
+    if hist is None or hist.total == 0:
+        return "-/-/-"
+    pct = hist.percentiles()
+    return (
+        f"{pct['p50']:.1f}/{pct['p90']:.1f}/{pct['p99']:.1f}"
+    )
+
+
+def _hit_ratio(hits: int, misses: int) -> str:
+    total = hits + misses
+    if total == 0:
+        return "n/a"
+    return f"{hits / total:.1%}"
+
+
+def _series_deltas(ring_dict: dict | None) -> list[float]:
+    """Per-sample deltas of a counter ring (rate shape for sparklines)."""
+    if not ring_dict:
+        return []
+    values = ring_dict.get("values", [])
+    return [
+        max(0.0, later - earlier)
+        for earlier, later in zip(values, values[1:])
+    ]
+
+
+def render_top(
+    frame: dict,
+    *,
+    previous: dict | None = None,
+    elapsed: float | None = None,
+    title: str = "repro top",
+) -> str:
+    """One ``repro top`` frame from a daemon ``metrics`` response.
+
+    ``frame`` (and ``previous``, the prior scrape, for rates) is the
+    payload of the daemon's ``metrics`` op: ``{"metrics": <registry
+    dict>, "series": <sampler dict>, "flight": ..., "draining": ...}``.
+    Pure text out, so the one-shot CI mode and tests can assert on it.
+    """
+    registry = MetricsRegistry.from_dict(frame.get("metrics", {}))
+    counters = registry.counters
+    prev_metrics = previous.get("metrics") if previous else None
+    series = frame.get("series", {})
+    flight = frame.get("flight", {})
+
+    lines = [
+        f"{title} -- draining={frame.get('draining', False)}  "
+        f"flight: {flight.get('events', 0)} events, "
+        f"{flight.get('dumps', 0)} dumps"
+    ]
+    lines.append(
+        "requests   : "
+        f"submitted={counters.get('serve.requests', 0)}"
+        f"{_counter_rate(frame.get('metrics', {}), prev_metrics, 'serve.requests', elapsed)}"
+        f"  accepted={counters.get('serve.accepted', 0)}"
+        f"  executed={counters.get('serve.executed', 0)}"
+        f"{_counter_rate(frame.get('metrics', {}), prev_metrics, 'serve.executed', elapsed)}"
+        f"  coalesced={counters.get('serve.coalesced', 0)}"
+        f"  rejected={counters.get('serve.rejected', 0)}"
+    )
+    lines.append(
+        "latency ms : p50/p90/p99  "
+        "submit->admit "
+        f"{_percentile_cell(registry.histograms.get('latency.submit_to_admit_ms'))}"
+        "  admit->start "
+        f"{_percentile_cell(registry.histograms.get('latency.admit_to_start_ms'))}"
+        "  start->finish "
+        f"{_percentile_cell(registry.histograms.get('latency.start_to_finish_ms'))}"
+    )
+    hot_hits = counters.get("result_cache.hot_hits", 0)
+    hot_misses = counters.get("result_cache.hot_misses", 0)
+    disk_hits = counters.get("result_cache.disk_hits", 0)
+    disk_misses = counters.get("result_cache.disk_misses", 0)
+    lines.append(
+        "cache      : "
+        f"hot {hot_hits}/{hot_hits + hot_misses} "
+        f"(hit {_hit_ratio(hot_hits, hot_misses)})"
+        f"  disk {disk_hits}/{disk_hits + disk_misses} "
+        f"(hit {_hit_ratio(disk_hits, disk_misses)})"
+        f"  entries={registry.gauges.get('result_cache.hot_entries', 0):g}"
+    )
+    lines.append(
+        "throughput : "
+        f"references={counters.get('serve.references', 0)}"
+        f"{_counter_rate(frame.get('metrics', {}), prev_metrics, 'serve.references', elapsed)}"
+        f"  fabric bits={counters.get('serve.network_bits', 0)}"
+        f"{_counter_rate(frame.get('metrics', {}), prev_metrics, 'serve.network_bits', elapsed)}"
+    )
+    depth_ring = series.get(GAUGE_PREFIX + "serve.queue_depth", {})
+    depth_values = depth_ring.get("values", [])
+    depth_now = depth_values[-1] if depth_values else 0
+    lines.append(
+        f"queue depth: |{sparkline(depth_values)}| now={depth_now:g}"
+    )
+    fabric = _series_deltas(series.get(COUNTER_PREFIX + "serve.network_bits"))
+    lines.append(
+        f"fabric bits: |{sparkline(fabric)}| per sample"
+    )
+    busy = registry.gauges.get("serve.workers_busy")
+    inflight = registry.gauges.get("serve.in_flight")
+    depth = registry.gauges.get("serve.queue_depth")
+    lines.append(
+        "now        : "
+        f"queue={depth if depth is not None else 0:g}  "
+        f"in-flight={inflight if inflight is not None else 0:g}  "
+        f"workers busy={busy if busy is not None else 0:g}"
+    )
+    return "\n".join(lines)

@@ -219,6 +219,25 @@ def bench_trace_replay(
         == traced_report.stats.total_messages,
         "trace message events do not reconcile with stats.total_messages",
     )
+    # Telemetry sampling is read-only over the traced registry: taking a
+    # sample must leave the metrics snapshot byte-identical, and the
+    # ring must capture the counter it saw -- stamped on the recorder's
+    # deterministic virtual clock, never the wall clock.
+    from repro.obs.telemetry import TelemetrySampler
+
+    sampler = TelemetrySampler(recorder.metrics)
+    before_sample = recorder.metrics.to_dict()
+    tick = sampler.sample(now=recorder.now)
+    _require(
+        recorder.metrics.to_dict() == before_sample,
+        "a telemetry sample mutated the metrics registry",
+    )
+    _require(
+        tick == float(recorder.now)
+        and sampler.series("counter.messages").last()
+        == (float(recorder.now), recorder.metrics.counters["messages"]),
+        "telemetry ring did not capture the sampled message counter",
+    )
     return BenchResult(
         name=f"trace_replay_n{n_nodes}",
         unit="refs",
@@ -433,6 +452,14 @@ def bench_batched_replay(
         seed=seed,
         compiled=True,
     )
+    # The telemetry acceptance shape: a TelemetrySampler importable but
+    # *detached* (its registry is not the one any hook writes to) must
+    # cost the kernel path nothing and observe nothing -- the timed loop
+    # below is exactly the run the 1M refs/s CI floor gates.
+    from repro.obs.metrics import MetricsRegistry as _TelemetryRegistry
+    from repro.obs.telemetry import TelemetrySampler as _Sampler
+
+    detached_sampler = _Sampler(_TelemetryRegistry())
     best_time = None
     report = system = protocol = None
     for _ in range(max(1, repeats)):
@@ -444,6 +471,10 @@ def bench_batched_replay(
         seconds = perf_counter() - start
         if best_time is None or seconds < best_time:
             best_time = seconds
+    _require(
+        detached_sampler.empty and detached_sampler.registry.empty,
+        "a detached TelemetrySampler observed the batched replay",
+    )
     kernel = protocol.batched_kernel()
     _require(
         kernel is not None, "batched kernel did not engage on a clean replay"

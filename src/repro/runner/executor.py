@@ -30,6 +30,12 @@ Robustness knobs:
 * ``journal`` -- a :class:`~repro.runner.journal.RunJournal` receiving
   start/finish/retry/failure events with wall time, traffic counters,
   and the error class of every failed attempt;
+* ``metrics`` -- a :class:`~repro.obs.metrics.MetricsRegistry`; when
+  set, every completed task observes its wall time into the
+  ``latency.start_to_finish_ms`` histogram (the serve daemon's
+  start->finish leg) and the parallel path keeps an
+  ``executor.workers_busy`` occupancy gauge.  ``None`` (the default)
+  costs the execution paths nothing;
 * ``trace_dir`` -- when set, every cell runs with a
   :class:`~repro.obs.recorder.TraceRecorder` attached and exports its
   JSONL trace, Chrome trace and heatmap JSON there (named by spec
@@ -55,6 +61,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.errors import ConfigurationError, ExecutionError
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.runner.cache import ResultCache
 from repro.runner.journal import RunJournal
 from repro.runner.spec import ExperimentSpec, SweepSpec
@@ -200,6 +207,7 @@ class Executor:
         journal: RunJournal | None = None,
         task_fn: Callable[[ExperimentSpec], SimulationReport] | None = None,
         trace_dir: str | Path | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 0:
             raise ConfigurationError(
@@ -238,6 +246,7 @@ class Executor:
         # later untraced runs.
         self.cache = cache if self.trace_dir is None else None
         self.journal = journal if journal is not None else RunJournal()
+        self.metrics = metrics
         # Testing hook: replaces execute_spec as the task body.  Under the
         # fork start method any callable works; under spawn it must be an
         # importable module-level function (a functools.partial of one,
@@ -386,6 +395,10 @@ class Executor:
                     running.append(
                         self._launch(context, index, spec, attempt)
                     )
+                if self.metrics is not None:
+                    self.metrics.set_gauge(
+                        "executor.workers_busy", len(running)
+                    )
                 if running:
                     self._reap(running, retry_queue, results)
                 elif retry_queue:
@@ -510,6 +523,13 @@ class Executor:
     def _finish(
         self, results, index, spec, attempt, wall_time, report
     ) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("executor.tasks")
+            self.metrics.observe(
+                "latency.start_to_finish_ms",
+                wall_time * 1000.0,
+                LATENCY_BUCKETS_MS,
+            )
         self.journal.task_finish(spec, attempt, wall_time, report)
         if self.cache is not None:
             self.cache.put(spec, report)

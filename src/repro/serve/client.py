@@ -90,6 +90,15 @@ class ServeClient:
         """The daemon's full status snapshot (see docs/SERVE.md)."""
         return self._roundtrip({"op": "status"})
 
+    def metrics(self) -> dict:
+        """The ``/metrics`` frame: exposition text, registry, rings.
+
+        ``frame["text"]`` is Prometheus-style plaintext;
+        ``frame["metrics"]`` / ``frame["series"]`` / ``frame["flight"]``
+        are the structured forms ``repro top`` renders.
+        """
+        return self._roundtrip({"op": "metrics"})
+
     def drain(self) -> dict:
         """Ask the daemon to drain and shut down; returns its ack."""
         return self._roundtrip({"op": "drain"})

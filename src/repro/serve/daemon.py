@@ -44,17 +44,27 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import threading
+import time
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
 
 from repro.errors import ConfigurationError, FrameError, ServeError
-from repro.obs.metrics import MetricsRegistry
+from repro.faults.incidents import incident_entries
+from repro.obs.metrics import LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.recorder import FLIGHT_CAPACITY, FlightRecorder
+from repro.obs.telemetry import TelemetrySampler, prometheus_text
 from repro.runner.cache import TieredResultCache
 from repro.runner.executor import Executor
 from repro.runner.journal import _HASH_PREFIX, RunJournal
 from repro.runner.spec import ExperimentSpec
 from repro.serve import protocol as wire
+
+#: Rejection-burst window: this many rejections inside
+#: ``_REJECT_BURST_WINDOW`` seconds counts as an overload incident and
+#: triggers an automatic flight-recorder dump.
+_REJECT_BURST_WINDOW = 10.0
 
 #: In-memory event cap for the daemon journal: beyond this the oldest
 #: half is dropped from RAM (the file, when configured, keeps all of
@@ -74,6 +84,14 @@ class ServeConfig:
     that would exceed it are rejected whole.  ``task_fn`` is the
     executor's testing hook, threaded through for deterministic daemon
     tests.
+
+    Telemetry knobs: ``sample_interval`` is the wall-clock cadence (in
+    seconds) at which the :class:`~repro.obs.telemetry.TelemetrySampler`
+    snapshots the registry; ``flight_capacity`` bounds the always-on
+    :class:`~repro.obs.recorder.FlightRecorder` ring; ``flight_dir``,
+    when set, is where incident dumps land as JSONL (without it the ring
+    still records, but nothing is written); ``reject_burst`` is how many
+    rejections within ten seconds count as an overload incident.
     """
 
     socket_path: str | Path
@@ -85,6 +103,10 @@ class ServeConfig:
     journal_path: str | Path | None = None
     retries: int = 1
     task_fn: Callable | None = None
+    sample_interval: float = 1.0
+    flight_capacity: int = FLIGHT_CAPACITY
+    flight_dir: str | Path | None = None
+    reject_burst: int = 8
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -94,6 +116,14 @@ class ServeConfig:
         if self.max_queue < 1:
             raise ConfigurationError(
                 f"max_queue must be >= 1, got {self.max_queue}"
+            )
+        if self.sample_interval <= 0:
+            raise ConfigurationError(
+                f"sample_interval must be > 0, got {self.sample_interval}"
+            )
+        if self.reject_burst < 2:
+            raise ConfigurationError(
+                f"reject_burst must be >= 2, got {self.reject_burst}"
             )
 
 
@@ -156,8 +186,11 @@ class ServeDaemon:
             metrics=self.metrics,
         )
         self.journal = _DaemonJournal(
-            config.journal_path, on_event=self._event_from_any_thread
+            config.journal_path, on_event=self._observe_event
         )
+        self.flight = FlightRecorder(config.flight_capacity)
+        self.sampler = TelemetrySampler(self.metrics)
+        self.sampler.add_source(self._telemetry_gauges)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
         self._queue: asyncio.Queue | None = None
@@ -166,10 +199,18 @@ class ServeDaemon:
         self._executed: dict[str, int] = {}
         self._coalesced = 0
         self._rejected = 0
+        self._accepted = 0
+        self._busy_workers = 0
         self._draining = False
         self._subscribers: dict[str, set[asyncio.Queue]] = {}
         self._workers: list[asyncio.Task] = []
         self._conn_tasks: set[asyncio.Task] = set()
+        self._sampler_task: asyncio.Task | None = None
+        self._reject_times: deque[float] = deque(
+            maxlen=config.reject_burst
+        )
+        self._flight_seq = 0
+        self._flight_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -194,6 +235,9 @@ class ServeDaemon:
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self.config.workers)
         ]
+        self._sampler_task = asyncio.create_task(
+            self._sample_loop(), name="serve-telemetry"
+        )
         self.journal.record(
             "serve_start",
             socket=str(path),
@@ -248,6 +292,11 @@ class ServeDaemon:
             for task in pending:
                 task.cancel()
             await asyncio.gather(*pending, return_exceptions=True)
+        if self._sampler_task is not None:
+            self._sampler_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sampler_task
+        self._dump_flight("drain")
         self.journal.record(
             "serve_stop",
             executed=sum(self._executed.values()),
@@ -257,6 +306,93 @@ class ServeDaemon:
         self.journal.close()
         with contextlib.suppress(OSError):
             Path(self.config.socket_path).unlink()
+
+    # ------------------------------------------------------------------
+    # Telemetry (sampler loop, gauges, flight recorder)
+    # ------------------------------------------------------------------
+
+    async def _sample_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.config.sample_interval)
+            self.sample_now()
+
+    def sample_now(self) -> float:
+        """One wall-clock telemetry sample (the daemon's clock mode)."""
+        return self.sampler.sample(now=time.time())
+
+    def _telemetry_gauges(self) -> dict[str, float]:
+        """Live state folded into gauges at every sample and scrape."""
+        gauges = {
+            "serve.queue_depth": (
+                self._queue.qsize() if self._queue is not None else 0
+            ),
+            "serve.in_flight": len(self._inflight),
+            "serve.workers_busy": self._busy_workers,
+            "serve.subscribers": len(self._subscribers),
+            "result_cache.hot_entries": len(self.cache),
+        }
+        if self.cache.disk is not None:
+            gauges["result_cache.disk_entries"] = len(self.cache.disk)
+        return gauges
+
+    def _observe_event(self, entry: dict) -> None:
+        """Journal hook: metrics mirror, flight recording, then broadcast.
+
+        Runs on whichever thread journaled (executor threads included),
+        so everything here must be thread-safe -- the flight recorder
+        locks internally, counter increments are single dict ops.
+        """
+        event = entry.get("event")
+        if event == "task_finish":
+            self.metrics.inc(
+                "serve.references", entry.get("references", 0)
+            )
+            self.metrics.inc(
+                "serve.network_bits", entry.get("total_bits", 0)
+            )
+        if event in ("serve_start", "serve_drain", "serve_stop"):
+            self.flight.record("lifecycle", event)
+        for kind, name, fields in incident_entries(entry):
+            self.flight.record(kind, name, **fields)
+        if (
+            event == "task_failed"
+            and entry.get("error_class") == "CoherenceError"
+        ):
+            self._dump_flight("coherence-error")
+        self._event_from_any_thread(entry)
+
+    def _note_rejection(self) -> None:
+        """Track rejection timing; a burst dumps the flight recorder."""
+        now = time.monotonic()
+        self._reject_times.append(now)
+        if (
+            len(self._reject_times) == self.config.reject_burst
+            and now - self._reject_times[0] <= _REJECT_BURST_WINDOW
+        ):
+            self._reject_times.clear()
+            self._dump_flight("reject-burst")
+
+    def _dump_flight(self, reason: str) -> Path | None:
+        """Dump the flight ring to ``flight_dir``; None when unconfigured.
+
+        The ring records regardless; only the *writing* needs a target
+        directory.  Dumps are journaled (the ``flight_dump`` entry maps
+        to no incident, so this cannot recurse).
+        """
+        flight_dir = self.config.flight_dir
+        if flight_dir is None:
+            return None
+        with self._flight_lock:
+            seq = self._flight_seq
+            self._flight_seq += 1
+        path = Path(flight_dir) / f"flight-{seq:03d}-{reason}.jsonl"
+        self.flight.dump(path, reason=reason)
+        self.metrics.inc("serve.flight_dumps")
+        self.journal.record(
+            "flight_dump", reason=reason, path=str(path),
+            events=len(self.flight),
+        )
+        return path
 
     # ------------------------------------------------------------------
     # Event broadcast (journal -> subscribed submissions)
@@ -284,10 +420,16 @@ class ServeDaemon:
             if item is None:
                 self._queue.task_done()
                 return
-            spec, future = item
+            spec, future, enqueued_at = item
             self.metrics.set_gauge(
                 "serve.queue_depth", self._queue.qsize()
             )
+            self.metrics.observe(
+                "latency.admit_to_start_ms",
+                (time.monotonic() - enqueued_at) * 1000.0,
+                LATENCY_BUCKETS_MS,
+            )
+            self._busy_workers += 1
             try:
                 report_dict = await asyncio.to_thread(self._execute, spec)
             except BaseException as exc:
@@ -302,6 +444,7 @@ class ServeDaemon:
                 if not future.done():
                     future.set_result(report_dict)
             finally:
+                self._busy_workers -= 1
                 self._inflight.pop(spec.spec_hash, None)
                 self._queue.task_done()
 
@@ -318,6 +461,7 @@ class ServeDaemon:
             retries=self.config.retries,
             journal=self.journal,
             task_fn=self.config.task_fn,
+            metrics=self.metrics,
         )
         result = executor.run([spec])[0]
         self.cache.put(spec, result.report)
@@ -351,6 +495,10 @@ class ServeDaemon:
                     )
                 elif op == "status":
                     await self._send(writer, lock, self._status_payload())
+                elif op == "metrics":
+                    await self._send(
+                        writer, lock, self._metrics_payload()
+                    )
                 elif op == "drain":
                     self.request_stop()
                     await self._send(writer, lock, {"type": "draining"})
@@ -382,17 +530,53 @@ class ServeDaemon:
             "draining": self._draining,
             "queue_depth": self._queue.qsize(),
             "in_flight": len(self._inflight),
+            "workers_busy": self._busy_workers,
             "executed": dict(sorted(self._executed.items())),
             "coalesced": self._coalesced,
             "rejected": self._rejected,
+            "admission": {
+                "accepted": self._accepted,
+                "coalesced": self._coalesced,
+                "max_queue": self.config.max_queue,
+                "rejected": self._rejected,
+                "requests": self.metrics.counters.get(
+                    "serve.requests", 0
+                ),
+            },
             "cache": self.cache.stats(),
+            "result_cache": {
+                name: value
+                for name, value in sorted(self.metrics.counters.items())
+                if name.startswith("result_cache.")
+            },
             "counts": self.journal.counts(),
             "metrics": self.metrics.to_dict(),
+        }
+
+    def _metrics_payload(self) -> dict:
+        """The ``metrics`` op: exposition text, registry, rings, flight.
+
+        Takes a fresh sample first, so a scrape always reflects *now*
+        (and single scrapes work even between sampler ticks).
+        """
+        self.sample_now()
+        return {
+            "type": "metrics",
+            "draining": self._draining,
+            "text": prometheus_text(self.metrics),
+            "metrics": self.metrics.to_dict(),
+            "series": self.sampler.to_dict(),
+            "flight": {
+                "events": len(self.flight),
+                "dropped": self.flight.dropped,
+                "dumps": self.flight.dumps,
+            },
         }
 
     # ------------------------------------------------------------------
 
     async def _handle_submit(self, frame, writer, lock) -> None:
+        received_at = time.monotonic()
         self.metrics.inc("serve.requests")
         request_id = frame.get("id")
         try:
@@ -444,6 +628,7 @@ class ServeDaemon:
             self.journal.record(
                 "serve_reject", reason=reason, tasks=len(specs)
             )
+            self._note_rejection()
             await self._send(
                 writer,
                 lock,
@@ -461,7 +646,7 @@ class ServeDaemon:
             )
             self._inflight[spec_hash] = future
             resolution[spec_hash] = ("queued", future)
-            self._queue.put_nowait((spec, future))
+            self._queue.put_nowait((spec, future, time.monotonic()))
         self.metrics.set_gauge("serve.queue_depth", self._queue.qsize())
         coalesced = sum(
             1 for source, _ in resolution.values() if source == "coalesced"
@@ -472,8 +657,15 @@ class ServeDaemon:
             if source in ("hot", "disk")
         )
         self._coalesced += coalesced
+        self._accepted += 1
+        self.metrics.inc("serve.accepted")
         if coalesced:
             self.metrics.inc("serve.coalesced", coalesced)
+        self.metrics.observe(
+            "latency.submit_to_admit_ms",
+            (time.monotonic() - received_at) * 1000.0,
+            LATENCY_BUCKETS_MS,
+        )
         self.journal.record(
             "serve_accept",
             name=name,

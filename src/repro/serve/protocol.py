@@ -8,9 +8,13 @@ the :data:`MAX_FRAME_BYTES` ceiling stops a confused or hostile peer
 from making the daemon buffer gigabytes.
 
 Requests are objects with an ``op`` field -- ``ping``, ``status``,
-``submit``, ``drain`` -- and responses carry a ``type`` field
-(``pong``, ``status``, ``accepted``, ``event``, ``result``, ``error``,
-``rejected``, ``done``).  See docs/SERVE.md for the full exchange.
+``metrics``, ``submit``, ``drain`` -- and responses carry a ``type``
+field (``pong``, ``status``, ``metrics``, ``accepted``, ``event``,
+``result``, ``error``, ``rejected``, ``done``).  The ``metrics``
+response is the daemon's ``/metrics`` surface: Prometheus-style
+plaintext exposition under ``text`` plus the structured registry,
+time-series rings and flight-recorder summary.  See docs/SERVE.md for
+the full exchange.
 
 Both an asyncio flavour (:func:`read_frame` / :func:`write_frame`, used
 by the daemon) and a blocking-stream flavour (:func:`read_frame_sync` /
@@ -36,7 +40,7 @@ MAX_FRAME_BYTES = 32 * 1024 * 1024
 _HEADER = struct.Struct(">I")
 
 #: Request operations the daemon understands.
-REQUEST_OPS = ("ping", "status", "submit", "drain")
+REQUEST_OPS = ("ping", "status", "metrics", "submit", "drain")
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""The journal-entry -> flight-incident filter (:mod:`repro.faults.incidents`)."""
+
+from repro.faults import incident_entries
+
+
+class TestTaskFinish:
+    def test_fault_log_fans_out_one_event_per_incident(self):
+        entry = {
+            "event": "task_finish",
+            "task": "abc123",
+            "fault_log": [
+                {"event": "fault_drops", "block": 3, "node": 1},
+                {"event": "fault_degrade", "block": 3},
+            ],
+        }
+        incidents = incident_entries(entry)
+        assert [(kind, name) for kind, name, _ in incidents] == [
+            ("fault", "fault_drops"),
+            ("fault", "fault_degrade"),
+        ]
+        _, _, fields = incidents[0]
+        assert fields == {"block": 3, "node": 1, "task": "abc123"}
+
+    def test_mode_switch_churn_is_reported(self):
+        entry = {
+            "event": "task_finish",
+            "task": "abc123",
+            "metrics": {"counters": {"mode_switches": 4}},
+        }
+        (incident,) = incident_entries(entry)
+        assert incident[0] == "mode_switch"
+        assert incident[2]["count"] == 4
+
+    def test_clean_finish_yields_nothing(self):
+        assert incident_entries({"event": "task_finish"}) == []
+        assert (
+            incident_entries(
+                {
+                    "event": "task_finish",
+                    "metrics": {"counters": {"mode_switches": 0}},
+                }
+            )
+            == []
+        )
+
+
+class TestFailuresAndRetries:
+    def test_task_failed_named_after_error_class(self):
+        (incident,) = incident_entries(
+            {
+                "event": "task_failed",
+                "error_class": "CoherenceError",
+                "error": "boom",
+                "attempts": 1,
+            }
+        )
+        kind, name, fields = incident
+        assert (kind, name) == ("failure", "CoherenceError")
+        assert fields["error"] == "boom"
+        assert fields["attempts"] == 1
+
+    def test_task_failed_without_class_still_maps(self):
+        (incident,) = incident_entries({"event": "task_failed"})
+        assert incident[:2] == ("failure", "Error")
+
+    def test_task_retry_is_a_degradation(self):
+        (incident,) = incident_entries(
+            {"event": "task_retry", "attempt": 2, "error_class": "OSError"}
+        )
+        assert incident[0] == "degradation"
+        assert incident[2]["attempt"] == 2
+
+
+class TestRejections:
+    def test_serve_reject_and_invalid(self):
+        for event in ("serve_reject", "serve_invalid"):
+            (incident,) = incident_entries(
+                {"event": event, "reason": "queue full"}
+            )
+            assert incident[0] == "rejection"
+            assert incident[1] == event
+            assert incident[2]["reason"] == "queue full"
+
+
+class TestForwardCompatibility:
+    def test_unknown_and_housekeeping_events_yield_nothing(self):
+        for event in (
+            "serve_start",
+            "serve_accept",
+            "task_start",
+            "flight_dump",
+            "brand_new_event",
+        ):
+            assert incident_entries({"event": event}) == []
+        assert incident_entries({}) == []

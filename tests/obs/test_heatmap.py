@@ -108,3 +108,54 @@ class TestHeatmaps:
                 for row in payload["rows"]
                 for value in row
             )
+
+
+class TestWideGridFolding:
+    def _wide(self, n_cols, n_rows=2):
+        from repro.obs.heatmap import Heatmap
+
+        rows = [[0] * n_cols for _ in range(n_rows)]
+        rows[0][n_cols - 1] = 9  # hot spot in the last column
+        rows[1][0] = 4
+        return Heatmap("link", "bits", "L", rows)
+
+    def test_n1024_folds_to_bounded_width(self):
+        from repro.obs.heatmap import MAX_RENDER_COLS
+
+        grid = self._wide(1024)
+        lines = grid.render().splitlines()
+        assert "…elided" in lines[0]
+        assert f"[{1024 // MAX_RENDER_COLS} cols/cell" in lines[0]
+        for line in lines[1:]:
+            cells = line.split("|")[1]
+            assert len(cells) <= MAX_RENDER_COLS
+
+    def test_folding_keeps_hot_spots_and_true_totals(self):
+        grid = self._wide(1024)
+        lines = grid.render().splitlines()
+        # The group maximum preserves the lone hot cell at full
+        # intensity, and row totals still sum the unfolded row.
+        assert lines[1].split("|")[1][-1] == "@"
+        assert lines[1].rstrip().endswith(" 9")
+        assert lines[2].rstrip().endswith(" 4")
+
+    def test_explicit_max_cols_override(self):
+        grid = self._wide(16)
+        lines = grid.render(max_cols=8).splitlines()
+        assert "[2 cols/cell" in lines[0]
+        assert len(lines[1].split("|")[1]) == 8
+        with pytest.raises(ConfigurationError):
+            grid.render(max_cols=0)
+
+    def test_narrow_grids_carry_no_marker(self):
+        network = _loaded_network()
+        rendered = link_heatmap(network, "bits").render()
+        assert "elided" not in rendered
+
+    def test_to_dict_never_folds(self):
+        grid = self._wide(1024)
+        grid.render()
+        data = grid.to_dict()
+        assert data["n_cols"] == 1024
+        assert len(data["rows"][0]) == 1024
+        assert data["max"] == 9

@@ -1,0 +1,155 @@
+"""Stand-down coverage: observers must disable the replay shortcuts.
+
+The fast-path table and the batched kernel are only sound when nothing
+needs to see individual references.  When a :class:`TraceRecorder` is
+attached, both must hand back ``None`` and the replay must fall back to
+the per-reference loop -- with results bit-identical to the shortcut
+runs.  A :class:`TelemetrySampler` is the opposite case: it only *reads*
+a registry, so it must neither disable the shortcuts nor perturb the
+replay it observes.
+"""
+
+import pytest
+
+from repro.cache.state import Mode
+from repro.obs.hooks import attach_recorder
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import TraceRecorder
+from repro.obs.telemetry import TelemetrySampler
+from repro.protocol.modes import StaticModePolicy
+from repro.sim.engine import run_trace
+from repro.workloads.markov import markov_block_trace
+
+from tests.protocol.conftest import build
+
+MODES = pytest.mark.parametrize(
+    "default_mode",
+    [Mode.GLOBAL_READ, Mode.DISTRIBUTED_WRITE],
+    ids=["gr", "dw"],
+)
+SIZES = pytest.mark.parametrize("n_nodes", [16, 64])
+
+
+def _trace(n_nodes, *, compiled):
+    return markov_block_trace(
+        n_nodes, list(range(8)), 0.3, 600, seed=5, compiled=compiled
+    )
+
+
+def _run_batched(n_nodes, default_mode):
+    """A shortcut replay; asserts the kernel actually engaged."""
+    _, protocol = build(
+        n_nodes=n_nodes, block_size_words=4, default_mode=default_mode
+    )
+    report = run_trace(
+        protocol,
+        _trace(n_nodes, compiled=True),
+        verify=False,
+        check_invariants_every=0,
+    )
+    kernel = protocol.batched_kernel()
+    assert kernel is not None and kernel.batched_refs > 0
+    return report
+
+
+@MODES
+@SIZES
+class TestRecorderStandDown:
+    def test_shortcuts_disable_and_results_match(
+        self, n_nodes, default_mode
+    ):
+        batched_report = _run_batched(n_nodes, default_mode)
+
+        _, traced = build(
+            n_nodes=n_nodes, block_size_words=4, default_mode=default_mode
+        )
+        recorder = TraceRecorder()
+        attach_recorder(traced, recorder)
+        assert traced.fastpath() is None
+        assert traced.batched_kernel() is None
+
+        traced_report = run_trace(
+            traced,
+            _trace(n_nodes, compiled=True),
+            verify=False,
+            check_invariants_every=0,
+            recorder=recorder,
+        )
+        # The recorder saw every reference as a span...
+        assert len(recorder.events) > 0
+        # ...and the replay stayed bit-identical.  Only the recorder's
+        # metrics registry (absent on the shortcut run) may differ.
+        traced_dict = traced_report.to_dict()
+        traced_dict["stats"].pop("metrics", None)
+        assert traced_dict == batched_report.to_dict()
+
+    def test_batchable_policy_does_not_override_stand_down(
+        self, n_nodes, default_mode
+    ):
+        # A batchable policy normally *enables* the kernel; an attached
+        # recorder must still win.
+        _, protocol = build(
+            n_nodes=n_nodes,
+            block_size_words=4,
+            mode_policy=StaticModePolicy(default_mode),
+        )
+        assert protocol.batched_kernel() is not None
+        _, observed = build(
+            n_nodes=n_nodes,
+            block_size_words=4,
+            mode_policy=StaticModePolicy(default_mode),
+        )
+        attach_recorder(observed, TraceRecorder())
+        assert observed.batched_kernel() is None
+
+
+@MODES
+@SIZES
+class TestSamplerIsPassive:
+    def test_sampler_neither_gates_nor_perturbs(
+        self, n_nodes, default_mode
+    ):
+        batched_report = _run_batched(n_nodes, default_mode)
+
+        _, protocol = build(
+            n_nodes=n_nodes, block_size_words=4, default_mode=default_mode
+        )
+        # A sampler over a detached registry: the shortcuts stay engaged.
+        sampler = TelemetrySampler(MetricsRegistry())
+        assert protocol.fastpath() is not None
+        assert protocol.batched_kernel() is not None
+        sampler.sample()
+        report = run_trace(
+            protocol,
+            _trace(n_nodes, compiled=True),
+            verify=False,
+            check_invariants_every=0,
+        )
+        sampler.sample()
+        assert protocol.batched_kernel().batched_refs > 0
+        assert report.to_dict() == batched_report.to_dict()
+        assert sampler.registry.empty
+
+    def test_sampling_an_attached_recorder_is_read_only(
+        self, n_nodes, default_mode
+    ):
+        # Sampling the recorder's registry mid-setup must not change
+        # what the traced replay reports.
+        _, traced = build(
+            n_nodes=n_nodes, block_size_words=4, default_mode=default_mode
+        )
+        recorder = TraceRecorder()
+        attach_recorder(traced, recorder)
+        sampler = TelemetrySampler(recorder.metrics)
+        report = run_trace(
+            traced,
+            _trace(n_nodes, compiled=True),
+            verify=False,
+            check_invariants_every=0,
+            recorder=recorder,
+        )
+        before = recorder.metrics.to_dict()
+        tick = sampler.sample()
+        assert tick == 0.0
+        assert recorder.metrics.to_dict() == before
+        assert report.to_dict()["stats"]["metrics"] == before

@@ -1,0 +1,377 @@
+"""Tests for :mod:`repro.obs.telemetry` and the flight recorder.
+
+Covers the quantile estimator added to :class:`Histogram`, ring
+bounding, sampler determinism (virtual ticks) and read-only-ness,
+Prometheus exposition shape, sparklines, the ``repro top`` frame
+renderer, the :class:`FlightRecorder` ring + dump format, and the
+executor's opt-in latency instrumentation.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import LATENCY_BUCKETS_MS, Histogram, MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.telemetry import (
+    TelemetrySampler,
+    TimeSeriesRing,
+    parse_exposition,
+    prometheus_text,
+    render_top,
+    sparkline,
+)
+
+
+class TestQuantile:
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = Histogram((1, 2))
+        assert hist.quantile(0.5) is None
+        assert hist.percentiles() == {}
+
+    def test_q_outside_unit_interval_rejected(self):
+        hist = Histogram((1, 2))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_interpolates_inside_the_target_bucket(self):
+        # Ten observations, all in the (0, 10] bucket: the median rank
+        # sits halfway through it, so interpolation gives 5.0.
+        hist = Histogram((10, 20))
+        for _ in range(10):
+            hist.observe(7)
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(1.0) == pytest.approx(10.0)
+
+    def test_uses_previous_bound_as_lower_edge(self):
+        hist = Histogram((10, 20))
+        for _ in range(4):
+            hist.observe(15)  # all in the (10, 20] bucket
+        # Median rank is halfway through a bucket spanning 10..20.
+        assert hist.quantile(0.5) == pytest.approx(15.0)
+
+    def test_overflow_observations_clamp_to_last_bound(self):
+        hist = Histogram((1, 2))
+        hist.observe(1000)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_percentiles_keys_and_ordering(self):
+        hist = Histogram(LATENCY_BUCKETS_MS)
+        for value in (0.5, 3, 8, 40, 900):
+            hist.observe(value)
+        pct = hist.percentiles()
+        assert set(pct) == {"p50", "p90", "p99"}
+        assert pct["p50"] <= pct["p90"] <= pct["p99"]
+
+    def test_quantile_does_not_change_serialisation(self):
+        hist = Histogram((1, 2))
+        hist.observe(1)
+        before = hist.to_dict()
+        hist.quantile(0.5)
+        hist.percentiles()
+        assert hist.to_dict() == before
+
+
+class TestTimeSeriesRing:
+    def test_bounded_with_dropped_counter(self):
+        ring = TimeSeriesRing(3)
+        for tick in range(5):
+            ring.append(tick, tick * 10)
+        assert len(ring) == 3
+        assert ring.dropped == 2
+        assert ring.samples() == [(2, 20), (3, 30), (4, 40)]
+        assert ring.values() == [20, 30, 40]
+        assert ring.last() == (4, 40)
+
+    def test_empty_ring(self):
+        ring = TimeSeriesRing(4)
+        assert len(ring) == 0
+        assert ring.last() is None
+        assert ring.samples() == []
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRing(0)
+
+    def test_to_dict_is_json_ready(self):
+        ring = TimeSeriesRing(2)
+        ring.append(0, 1.5)
+        data = json.loads(json.dumps(ring.to_dict()))
+        assert data == {
+            "capacity": 2, "dropped": 0, "ticks": [0], "values": [1.5],
+        }
+
+
+class TestTelemetrySampler:
+    def test_virtual_ticks_are_deterministic(self):
+        registry = MetricsRegistry()
+        registry.inc("messages", 5)
+        sampler = TelemetrySampler(registry)
+        assert sampler.empty
+        assert sampler.sample() == 0.0
+        registry.inc("messages", 2)
+        assert sampler.sample() == 1.0
+        assert not sampler.empty
+        ring = sampler.series("counter.messages")
+        assert ring.samples() == [(0.0, 5), (1.0, 7)]
+
+    def test_wall_clock_mode_stamps_the_given_time(self):
+        registry = MetricsRegistry()
+        registry.inc("messages")
+        sampler = TelemetrySampler(registry)
+        assert sampler.sample(now=123.5) == 123.5
+        assert sampler.series("counter.messages").last() == (123.5, 1)
+
+    def test_sampling_is_read_only_without_sources(self):
+        registry = MetricsRegistry()
+        registry.inc("a", 3)
+        registry.set_gauge("b", 1.0)
+        registry.observe("h", 2)
+        before = registry.to_dict()
+        TelemetrySampler(registry).sample()
+        assert registry.to_dict() == before
+
+    def test_sources_set_gauges_before_the_snapshot(self):
+        registry = MetricsRegistry()
+        sampler = TelemetrySampler(registry)
+        sampler.add_source(lambda: {"queue_depth": 7})
+        sampler.sample()
+        assert registry.gauges["queue_depth"] == 7
+        assert sampler.series("gauge.queue_depth").last() == (0.0, 7)
+
+    def test_rings_appear_lazily_for_new_metrics(self):
+        registry = MetricsRegistry()
+        registry.inc("early")
+        sampler = TelemetrySampler(registry)
+        sampler.sample()
+        registry.inc("late")
+        sampler.sample()
+        assert len(sampler.series("counter.early")) == 2
+        assert len(sampler.series("counter.late")) == 1
+        assert sampler.names() == ["counter.early", "counter.late"]
+
+    def test_counter_and_gauge_namespaces_do_not_collide(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 2)
+        registry.set_gauge("x", 9.0)
+        sampler = TelemetrySampler(registry)
+        sampler.sample()
+        assert sampler.series("counter.x").last() == (0.0, 2)
+        assert sampler.series("gauge.x").last() == (0.0, 9.0)
+
+    def test_to_dict_sorted_and_bounded(self):
+        registry = MetricsRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        sampler = TelemetrySampler(registry, capacity=2)
+        for _ in range(4):
+            sampler.sample()
+        data = sampler.to_dict()
+        assert list(data) == ["counter.a", "counter.z"]
+        assert data["counter.a"]["dropped"] == 2
+        assert len(data["counter.a"]["values"]) == 2
+
+
+class TestPrometheusText:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 3)
+        registry.set_gauge("serve.queue_depth", 2)
+        hist = registry.histogram("latency.submit_to_admit_ms", (1.0, 5.0))
+        hist.observe(0.4)
+        hist.observe(3.0)
+        hist.observe(99.0)  # overflow
+        return registry
+
+    def test_counter_and_gauge_lines(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_serve_requests counter\n" in text
+        assert "repro_serve_requests 3\n" in text
+        assert "# TYPE repro_serve_queue_depth gauge\n" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(self._registry())
+        name = "repro_latency_submit_to_admit_ms"
+        assert f'{name}_bucket{{le="1.0"}} 1' in text
+        assert f'{name}_bucket{{le="5.0"}} 2' in text
+        assert f'{name}_bucket{{le="+Inf"}} 3' in text
+        assert f"{name}_count 3" in text
+
+    def test_deterministic_for_identical_registries(self):
+        assert prometheus_text(self._registry()) == prometheus_text(
+            self._registry()
+        )
+
+    def test_custom_prefix_and_name_sanitisation(self):
+        registry = MetricsRegistry()
+        registry.inc("weird-name.with/slash")
+        text = prometheus_text(registry, prefix="x_")
+        assert "x_weird_name_with_slash 1" in text
+
+    def test_parse_exposition_round_trips_scalars(self):
+        registry = self._registry()
+        values = parse_exposition(prometheus_text(registry))
+        assert values["repro_serve_requests"] == 3
+        assert values["repro_serve_queue_depth"] == 2
+        assert (
+            values['repro_latency_submit_to_admit_ms_bucket{le="+Inf"}']
+            == 3
+        )
+
+
+class TestSparkline:
+    def test_empty_series_is_empty(self):
+        assert sparkline([]) == ""
+
+    def test_zero_blank_peak_at_ramp_top(self):
+        line = sparkline([0, 5, 10], width=10)
+        assert line[0] == " "
+        assert line[-1] == "@"
+        assert line[1] != " "  # positive never renders blank
+
+    def test_folds_to_width_keeping_maxima(self):
+        values = [0] * 99 + [100]
+        line = sparkline(values, width=10)
+        assert len(line) <= 10
+        assert line[-1] == "@"
+
+    def test_all_zero_series(self):
+        assert sparkline([0, 0, 0], width=8) == "   "
+
+
+class TestFlightRecorder:
+    def test_ring_bounds_and_drops(self):
+        flight = FlightRecorder(capacity=3)
+        for index in range(5):
+            flight.record("fault", f"event-{index}")
+        assert len(flight) == 3
+        assert flight.dropped == 2
+        names = [event["name"] for event in flight.snapshot()]
+        assert names == ["event-2", "event-3", "event-4"]
+        # Sequence numbers are global, not ring positions.
+        assert [e["seq"] for e in flight.snapshot()] == [2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(0)
+
+    def test_record_keeps_extra_fields(self):
+        flight = FlightRecorder()
+        flight.record("rejection", "serve_reject", reason="queue full")
+        (event,) = flight.snapshot()
+        assert event["kind"] == "rejection"
+        assert event["reason"] == "queue full"
+
+    def test_dump_writes_header_then_events(self, tmp_path):
+        flight = FlightRecorder(capacity=8)
+        flight.record("fault", "fault_drops", block=3)
+        flight.record("failure", "CoherenceError")
+        path = flight.dump(tmp_path / "dump.jsonl", reason="test")
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0]["flight_dump"] == "test"
+        assert lines[0]["events"] == 2
+        assert lines[1]["name"] == "fault_drops"
+        assert lines[2]["name"] == "CoherenceError"
+        assert flight.dumps == 1
+
+    def test_snapshot_returns_copies(self):
+        flight = FlightRecorder()
+        flight.record("fault", "x")
+        flight.snapshot()[0]["name"] = "mutated"
+        assert flight.snapshot()[0]["name"] == "x"
+
+
+class TestRenderTop:
+    def _frame(self):
+        registry = MetricsRegistry()
+        registry.inc("serve.requests", 10)
+        registry.inc("serve.accepted", 9)
+        registry.inc("serve.executed", 6)
+        registry.inc("serve.rejected", 1)
+        registry.inc("result_cache.hot_hits", 3)
+        registry.inc("result_cache.hot_misses", 1)
+        registry.inc("serve.references", 600)
+        registry.inc("serve.network_bits", 90000)
+        registry.set_gauge("serve.queue_depth", 2)
+        registry.set_gauge("serve.workers_busy", 1)
+        for leg in (
+            "latency.submit_to_admit_ms",
+            "latency.admit_to_start_ms",
+            "latency.start_to_finish_ms",
+        ):
+            registry.observe(leg, 2.0, LATENCY_BUCKETS_MS)
+        sampler = TelemetrySampler(registry)
+        sampler.sample()
+        return {
+            "type": "metrics",
+            "draining": False,
+            "metrics": registry.to_dict(),
+            "series": sampler.to_dict(),
+            "flight": {"events": 4, "dropped": 0, "dumps": 1},
+        }
+
+    def test_renders_counts_percentiles_and_hit_ratio(self):
+        text = render_top(self._frame())
+        assert "submitted=10" in text
+        assert "executed=6" in text
+        assert "rejected=1" in text
+        assert "p50/p90/p99" in text
+        assert "hit 75.0%" in text
+        assert "queue depth:" in text
+        assert "4 events" in text
+
+    def test_rates_appear_with_a_previous_frame(self):
+        frame = self._frame()
+        previous = self._frame()
+        previous["metrics"]["counters"]["serve.requests"] = 4
+        text = render_top(frame, previous=previous, elapsed=2.0)
+        assert "(+3.0/s)" in text
+
+    def test_empty_frame_renders_without_crashing(self):
+        text = render_top({"metrics": {}, "series": {}, "flight": {}})
+        assert "submitted=0" in text
+        assert "-/-/-" in text
+        assert "hit n/a" in text
+
+
+class TestExecutorLatencyMetrics:
+    def _spec(self):
+        from repro.runner.spec import ExperimentSpec, WorkloadSpec
+        from repro.sim.system import SystemConfig
+
+        return ExperimentSpec(
+            protocol="no-cache",
+            workload=WorkloadSpec(
+                kind="markov",
+                n_nodes=4,
+                n_references=40,
+                write_fraction=0.3,
+                seed=0,
+                tasks=(0, 1),
+            ),
+            config=SystemConfig(n_nodes=4),
+        )
+
+    def test_finish_observes_start_to_finish_latency(self):
+        from repro.runner.executor import Executor
+
+        registry = MetricsRegistry()
+        Executor(metrics=registry).run([self._spec()])
+        assert registry.counters["executor.tasks"] == 1
+        hist = registry.histograms["latency.start_to_finish_ms"]
+        assert hist.total == 1
+        assert hist.percentiles().keys() == {"p50", "p90", "p99"}
+
+    def test_metrics_default_is_off(self):
+        from repro.runner.executor import Executor
+
+        executor = Executor()
+        assert executor.metrics is None
+        results = executor.run([self._spec()])
+        assert results[0].report is not None
