@@ -356,13 +356,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "run the experiment-serving daemon on a unix socket: "
             "coalescing, two-tier caching, admission control, graceful "
-            "drain on SIGTERM (see docs/SERVE.md)"
+            "drain on SIGTERM; --shards N scales out to a spec-hash "
+            "router over N daemon subprocesses (see docs/SERVE.md)"
         ),
     )
     serve.add_argument(
         "--socket",
         required=True,
         help="unix socket path to listen on (removed on clean drain)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "daemon shards behind a spec-hash router (1 = a single "
+            "daemon, no router; default: 1)"
+        ),
+    )
+    serve.add_argument(
+        "--listen",
+        help=(
+            "also accept clients on this TCP host:port (same protocol; "
+            "port 0 picks a free port).  No authentication -- bind on "
+            "trusted networks only (see docs/SERVE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--shard-dir",
+        help=(
+            "directory for per-shard sockets and logs "
+            "(default: <socket>.shards/; only with --shards > 1)"
+        ),
     )
     serve.add_argument(
         "--workers",
@@ -396,13 +421,42 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--cache-dir",
-        help="disk tier behind the hot cache (content-addressed store)",
+        help=(
+            "disk tier behind the hot cache (content-addressed store); "
+            "with --shards > 1 each shard gets its own subdirectory"
+        ),
+    )
+    serve.add_argument(
+        "--disk-max-bytes",
+        type=int,
+        help=(
+            "byte budget for the disk tier: puts beyond it evict the "
+            "least recently used entries (by mtime; default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--disk-max-age",
+        type=float,
+        help=(
+            "expire disk-tier entries not written or read for this many "
+            "seconds (default: never)"
+        ),
     )
     serve.add_argument(
         "--journal",
         help=(
             "append fsynced daemon + task events to this JSONL file "
-            "(the source of streamed progress)"
+            "(the source of streamed progress); with --shards > 1 this "
+            "is a directory receiving one journal per shard"
+        ),
+    )
+    serve.add_argument(
+        "--stream-artifacts",
+        action="store_true",
+        help=(
+            "stream link/switch heatmaps of every fresh execution to "
+            "subscribed clients as 'artifact' frames (in-process task "
+            "body only)"
         ),
     )
     serve.add_argument(
@@ -437,7 +491,12 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     submit.add_argument(
-        "--socket", required=True, help="daemon unix socket path"
+        "--socket",
+        required=True,
+        help=(
+            "daemon or router endpoint: a unix socket path, or a TCP "
+            "host:port for daemons started with --listen"
+        ),
     )
     _add_sharer_grid_arguments(submit)
     submit.add_argument(
@@ -491,7 +550,12 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     top.add_argument(
-        "--socket", required=True, help="daemon unix socket path"
+        "--socket",
+        required=True,
+        help=(
+            "daemon or router endpoint: a unix socket path, or a TCP "
+            "host:port for daemons started with --listen"
+        ),
     )
     top.add_argument(
         "--interval",
@@ -909,14 +973,20 @@ def _command_perf(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    from repro.errors import ConfigurationError
+
     only = None
     if args.only:
         only = [name.strip() for name in args.only.split(",") if name.strip()]
-    results = run_benchmarks(
-        equivalence_only=args.equivalence_only,
-        repeats=args.repeats,
-        only=only,
-    )
+    try:
+        results = run_benchmarks(
+            equivalence_only=args.equivalence_only,
+            repeats=args.repeats,
+            only=only,
+        )
+    except ConfigurationError as exc:
+        print(f"perf: {exc}")
+        return 2
     history_path = args.history or DEFAULT_HISTORY
     previous = latest_history_row(history_path)
     rows = [
@@ -1112,6 +1182,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    if args.shards > 1:
+        return _command_serve_router(args)
+
     from repro.serve.daemon import ServeConfig, ServeDaemon
 
     config = ServeConfig(
@@ -1125,6 +1198,10 @@ def _command_serve(args: argparse.Namespace) -> int:
         sample_interval=args.sample_interval,
         flight_capacity=args.flight_capacity,
         flight_dir=args.flight_dir,
+        listen=args.listen,
+        disk_max_bytes=args.disk_max_bytes,
+        disk_max_age=args.disk_max_age,
+        stream_artifacts=args.stream_artifacts,
     )
     daemon = ServeDaemon(config)
 
@@ -1133,10 +1210,15 @@ def _command_serve(args: argparse.Namespace) -> int:
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGTERM, signal.SIGINT):
             loop.add_signal_handler(signum, daemon.request_stop)
+        listen = (
+            f", tcp port {daemon.tcp_port}"
+            if daemon.tcp_port is not None
+            else ""
+        )
         print(
             f"serving on {args.socket} "
             f"(workers={args.workers}, max_queue={args.max_queue}, "
-            f"hot_capacity={args.hot_capacity})",
+            f"hot_capacity={args.hot_capacity}{listen})",
             flush=True,
         )
         await daemon.run_until_stopped()
@@ -1148,6 +1230,58 @@ def _command_serve(args: argparse.Namespace) -> int:
         f"{daemon.cache.hot_hits} hot hits, "
         f"{daemon._coalesced} coalesced, "
         f"{daemon._rejected} rejected"
+    )
+    return 0
+
+
+def _command_serve_router(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.router import RouterConfig, ServeRouter
+
+    config = RouterConfig(
+        socket_path=args.socket,
+        shards=args.shards,
+        listen=args.listen,
+        shard_dir=args.shard_dir,
+        workers=args.workers,
+        exec_workers=args.exec_workers,
+        max_queue=args.max_queue,
+        hot_capacity=args.hot_capacity,
+        cache_dir=args.cache_dir,
+        journal_dir=args.journal,
+        sample_interval=args.sample_interval,
+        disk_max_bytes=args.disk_max_bytes,
+        disk_max_age=args.disk_max_age,
+        stream_artifacts=args.stream_artifacts,
+    )
+    router = ServeRouter(config)
+
+    async def _main() -> None:
+        await router.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, router.request_stop)
+        listen = (
+            f", tcp port {router.tcp_port}"
+            if router.tcp_port is not None
+            else ""
+        )
+        print(
+            f"routing on {args.socket} across {args.shards} shards "
+            f"(workers={args.workers} each, "
+            f"max_queue={args.max_queue}{listen})",
+            flush=True,
+        )
+        await router.run_until_stopped()
+
+    asyncio.run(_main())
+    counters = router.metrics.counters
+    print(
+        f"drained: {counters.get('router.requests', 0)} requests, "
+        f"{counters.get('router.rejected', 0)} rejected, "
+        f"{counters.get('router.shard_restarts', 0)} shard restarts"
     )
     return 0
 
@@ -1213,14 +1347,20 @@ def _command_submit(args: argparse.Namespace) -> int:
         f"(socket={args.socket})"
     )
     if args.output:
-        # Deterministic payload: spec hash + report only, sorted keys --
-        # two clients submitting the same grid write identical bytes.
+        # Deterministic payload: spec hash + report only, sorted keys,
+        # in *grid cell order* (not arrival order -- a sharded router
+        # interleaves shard streams nondeterministically), so any two
+        # clients submitting the same grid write identical bytes.
         payload = {
             "name": sweep.name,
             "sweep_hash": sweep.spec_hash,
             "results": [
-                {"spec_hash": frame["spec_hash"], "report": frame["report"]}
-                for frame in outcome.results
+                {
+                    "spec_hash": spec.spec_hash,
+                    "report": by_hash[spec.spec_hash],
+                }
+                for spec in sweep.cells
+                if spec.spec_hash in by_hash
             ],
         }
         Path(args.output).write_text(

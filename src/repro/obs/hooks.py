@@ -97,3 +97,51 @@ def execute_spec_traced(spec, trace_dir: str | Path):
         protocol.system.network, trace_dir / f"{stem}.heatmap.json"
     )
     return report
+
+
+def execute_spec_with_heatmaps(spec):
+    """Run one cell in-process; return ``(report, heatmaps-dict)``.
+
+    Same build-warmup-measure sequence as
+    :func:`~repro.runner.executor.execute_spec` (compiled traces
+    included, unlike the traced twin above -- no recorder is attached,
+    so the fast paths stay eligible), plus a
+    :func:`~repro.obs.heatmap.network_heatmaps` snapshot of the
+    network the measured run just drove.  The serve daemon's
+    ``--stream-artifacts`` mode uses this as the task body so every
+    fresh execution can stream its link/switch heatmaps to subscribed
+    clients.
+    """
+    from repro.analysis.compare import default_factories
+    from repro.errors import ConfigurationError
+    from repro.obs.heatmap import network_heatmaps
+    from repro.sim.engine import run_trace
+    from repro.sim.system import System
+
+    factories = default_factories()
+    if spec.protocol not in factories:
+        raise ConfigurationError(
+            f"unknown protocol {spec.protocol!r}; "
+            f"expected one of {sorted(factories)}"
+        )
+    protocol = factories[spec.protocol](
+        System(spec.config, fault_plan=spec.fault_plan)
+    )
+    if spec.compiled:
+        trace = spec.workload.build_compiled()
+    else:
+        trace = spec.workload.build().references
+    if spec.warmup:
+        run_trace(
+            protocol,
+            trace[: spec.warmup],
+            verify=False,
+            check_invariants_every=0,
+        )
+    report = run_trace(
+        protocol,
+        trace[spec.warmup :],
+        verify=spec.verify,
+        check_invariants_every=spec.check_invariants_every,
+    )
+    return report, network_heatmaps(protocol.system.network)

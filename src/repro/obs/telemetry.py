@@ -408,4 +408,18 @@ def render_top(
         f"in-flight={inflight if inflight is not None else 0:g}  "
         f"workers busy={busy if busy is not None else 0:g}"
     )
+    shards = frame.get("shards")
+    if shards:
+        alive = sum(1 for shard in shards if shard.get("alive"))
+        cells = "  ".join(
+            f"#{shard.get('index')}"
+            f"{'' if shard.get('alive') else ' DOWN'}"
+            f" req={shard.get('requests', 0)}"
+            f" exec={shard.get('executed', 0)}"
+            f" restarts={shard.get('restarts', 0)}"
+            for shard in shards
+        )
+        lines.append(
+            f"shards     : {alive}/{len(shards)} alive  {cells}"
+        )
     return "\n".join(lines)

@@ -25,6 +25,7 @@ from repro.perf.harness import (
     bench_fastpath_hit_rate,
     bench_multicast_fanout,
     bench_serve_hot_cache,
+    bench_serve_sharded,
     bench_sweep_throughput,
     bench_trace_replay,
     benchmark_names,
@@ -48,6 +49,7 @@ __all__ = [
     "bench_fastpath_hit_rate",
     "bench_multicast_fanout",
     "bench_serve_hot_cache",
+    "bench_serve_sharded",
     "bench_sweep_throughput",
     "bench_trace_replay",
     "benchmark_names",

@@ -1,6 +1,6 @@
 """Pinned-seed microbenchmarks of the simulator's hot paths.
 
-Seven benchmarks, chosen to cover the traffic shapes the repo's
+Eight benchmarks, chosen to cover the traffic shapes the repo's
 experiments exercise:
 
 * **trace replay** -- the §4 methodology end to end: a Markov reference
@@ -29,7 +29,14 @@ experiments exercise:
   tier, measured in requests per second through the real unix-socket
   protocol; its equivalence check requires the served report to be
   bit-identical to a direct executor run and the daemon to have
-  executed the cell exactly once.
+  executed the cell exactly once;
+* **serve sharded** -- the scale-out counterpart: a
+  :class:`~repro.serve.router.ServeRouter` fronting four daemon
+  subprocesses, hammered by concurrent clients round-robining one
+  flagship-shaped cell per shard, measured in aggregate requests per
+  second; every served report must be bit-identical to direct executor
+  runs and the fleet's merged execution ledger must read exactly one
+  run per cell.
 
 Every benchmark is paired with an **equivalence check**: the identical
 workload is replayed with route-plan memoisation disabled
@@ -784,6 +791,184 @@ def bench_serve_hot_cache(
     )
 
 
+def bench_serve_sharded(
+    *,
+    n_nodes: int = 64,
+    n_tasks: int = 16,
+    write_fraction: float = 0.3,
+    n_references: int = 20000,
+    protocol_name: str = "two-mode",
+    n_shards: int = 4,
+    cells_per_shard: int = 4,
+    n_clients: int = 4,
+    batches_per_client: int = 50,
+) -> BenchResult:
+    """Aggregate serving throughput through the sharded router fleet.
+
+    A :class:`~repro.serve.router.RouterThread` fronts ``n_shards``
+    daemon subprocesses; seeds are scanned until every shard owns
+    ``cells_per_shard`` flagship-shaped cells (``shard_for`` is a pure
+    function of the spec content hash, so the scan is deterministic).
+    One warming submission executes every cell, then ``n_clients``
+    persistent clients each resubmit the full sweep
+    ``batches_per_client`` times -- the router's natural workload: a
+    sweep-shaped batch that fans out across every shard and streams
+    hot-tier results back, one served cell per request.  The
+    equivalence check compares every served report bit-for-bit against
+    direct :class:`~repro.runner.executor.Executor` runs and requires
+    the fleet-aggregated execution ledger to read exactly one per cell
+    -- a sharding, coalescing, or relay bug fails the perf gate as a
+    correctness bug.
+
+    The gate in ``BENCH_perf.json`` holds this benchmark's rate at
+    >= 3x ``serve_hot_cache_n64``: the point of the fleet is aggregate
+    requests per second past what one daemon process can do.
+    """
+    import contextlib
+    import os
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.runner.executor import Executor
+    from repro.runner.spec import ExperimentSpec, WorkloadSpec
+    from repro.serve import RouterConfig, RouterThread, ServeClient
+    from repro.serve.router import shard_for
+
+    def cell(seed: int) -> ExperimentSpec:
+        return ExperimentSpec(
+            protocol=protocol_name,
+            workload=WorkloadSpec(
+                kind="markov",
+                n_nodes=n_nodes,
+                n_references=n_references,
+                write_fraction=write_fraction,
+                seed=seed,
+                tasks=tuple(range(n_tasks)),
+            ),
+            config=SystemConfig(n_nodes=n_nodes, costs=MessageCosts.uniform(20)),
+        )
+
+    # ``cells_per_shard`` cells per shard, found by scanning pinned
+    # seeds: the content hash decides the shard, so the seeds landing
+    # on each shard are stable across runs and machines.
+    by_shard: dict[int, list[ExperimentSpec]] = {
+        index: [] for index in range(n_shards)
+    }
+    seed = 0
+    while any(len(group) < cells_per_shard for group in by_shard.values()):
+        spec = cell(seed)
+        group = by_shard[shard_for(spec.spec_hash, n_shards)]
+        if len(group) < cells_per_shard:
+            group.append(spec)
+        seed += 1
+        _require(seed < 256, "seed scan failed to cover every shard")
+    specs = [
+        spec
+        for index in range(n_shards)
+        for spec in by_shard[index]
+    ]
+    direct_by_hash = {
+        row.spec.spec_hash: row.report.to_dict()
+        for row in Executor(workers=0).run(specs)
+    }
+    total_bits = sum(
+        report["network_total_bits"] for report in direct_by_hash.values()
+    )
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-")
+    socket_path = os.path.join(tmp, "router.sock")
+    try:
+        config = RouterConfig(
+            socket_path=socket_path, shards=n_shards, workers=2
+        )
+        with RouterThread(config) as _router:
+            warm = ServeClient(socket_path).submit(
+                specs, name="warm", stream=False
+            )
+            for frame in warm.results:
+                _require(
+                    frame["source"] == "queued",
+                    "warming submission was not executed fresh",
+                )
+
+            failures: list[BaseException] = []
+            outcomes: list[list] = [[] for _ in range(n_clients)]
+            barrier = threading.Barrier(n_clients + 1)
+
+            def run_client(index: int) -> None:
+                try:
+                    with ServeClient(socket_path) as client:
+                        barrier.wait()
+                        for _ in range(batches_per_client):
+                            outcomes[index].append(
+                                client.submit(
+                                    specs,
+                                    name=f"hot-{index}",
+                                    stream=False,
+                                )
+                            )
+                except BaseException as exc:  # noqa: BLE001 - reported
+                    failures.append(exc)
+                    barrier.abort()
+
+            threads = [
+                threading.Thread(target=run_client, args=(index,))
+                for index in range(n_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            with contextlib.suppress(threading.BrokenBarrierError):
+                barrier.wait()
+            start = perf_counter()
+            for thread in threads:
+                thread.join()
+            wall_time = perf_counter() - start
+            if failures:
+                raise failures[0]
+            for per_client in outcomes:
+                for outcome in per_client:
+                    _require(
+                        len(outcome.results) == len(specs),
+                        f"batch returned {len(outcome.results)} results "
+                        f"for {len(specs)} cells",
+                    )
+                    for frame in outcome.results:
+                        _require(
+                            frame["source"] == "hot",
+                            f"request served from {frame['source']!r}, "
+                            f"not the hot tier",
+                        )
+                        _require(
+                            frame["report"]
+                            == direct_by_hash[frame["spec_hash"]],
+                            "served report differs from the direct "
+                            "executor run",
+                        )
+            status = ServeClient(socket_path).status()
+            _require(
+                status["executed"]
+                == {spec.spec_hash: 1 for spec in specs},
+                f"fleet executed {status['executed']}, expected exactly "
+                f"one run per cell",
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    n_requests = n_clients * batches_per_client * len(specs)
+    return BenchResult(
+        name=f"serve_sharded_n{n_nodes}",
+        unit="requests",
+        work=n_requests,
+        wall_time=wall_time,
+        rate=n_requests / wall_time,
+        equivalent=True,
+        checks={
+            "total_bits": total_bits,
+            "unique_executions": len(specs),
+        },
+    )
+
+
 #: Definition-order registry: benchmark name -> runner taking the timing
 #: repeat count (ignored by benchmarks that time a single pass).  The
 #: keys are the exact ``BenchResult.name`` values, so ``repro perf
@@ -800,6 +985,7 @@ _BENCHMARKS = {
     "multicast_fanout_n64": lambda repeats: bench_multicast_fanout(),
     "sweep_throughput_n32": lambda repeats: bench_sweep_throughput(),
     "serve_hot_cache_n64": lambda repeats: bench_serve_hot_cache(),
+    "serve_sharded_n64": lambda repeats: bench_serve_sharded(),
 }
 
 

@@ -13,6 +13,16 @@ leaves a half-written entry for the next run to trip over, and
 one, so a truncated or foreign file degrades to a miss, never a wrong
 result.
 
+The disk store optionally enforces an **expiry policy** so long-running
+fleets do not fill the disk: ``max_bytes`` caps the total size of the
+store (enforced on every ``put``, evicting least-recently-used entries
+by mtime -- hits refresh the mtime), and ``max_age`` expires entries
+that have not been written or read for that many seconds (enforced
+lazily on ``get`` and during eviction sweeps).  Evictions are counted on
+the instance and, when a :class:`~repro.obs.metrics.MetricsRegistry` is
+supplied, mirrored as ``result_cache.disk.*`` counters plus a
+``result_cache.disk.bytes`` gauge.
+
 :class:`TieredResultCache` layers a bounded in-memory LRU **hot tier**
 in front of the disk store (or stands alone, memory-only), with hit /
 miss / eviction counters optionally exported through a
@@ -25,9 +35,11 @@ only needs ``get``/``put``).
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 
@@ -36,11 +48,52 @@ from repro.sim.engine import SimulationReport
 
 
 class ResultCache:
-    """Spec-hash -> :class:`~repro.sim.engine.SimulationReport` store."""
+    """Spec-hash -> :class:`~repro.sim.engine.SimulationReport` store.
 
-    def __init__(self, root: str | Path) -> None:
+    ``max_bytes`` / ``max_age`` (both optional) switch on the expiry
+    policy described in the module docstring; ``metrics`` mirrors the
+    eviction counters into a registry as ``result_cache.disk.*``.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_bytes: int | None = None,
+        max_age: float | None = None,
+        metrics=None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"disk max_bytes must be >= 1, got {max_bytes}"
+            )
+        if max_age is not None and max_age <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"disk max_age must be > 0, got {max_age}"
+            )
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.max_age = max_age
+        self.metrics = metrics
+        self.size_evictions = 0
+        self.age_evictions = 0
+        self.evicted_bytes = 0
+        self._policy_lock = threading.Lock()
+        self._bytes = (
+            sum(p.stat().st_size for p in self.root.glob("??/*.json"))
+            if max_bytes is not None
+            else 0
+        )
+        self._gauge_bytes()
+
+    @property
+    def has_policy(self) -> bool:
+        return self.max_bytes is not None or self.max_age is not None
 
     # ------------------------------------------------------------------
 
@@ -51,9 +104,15 @@ class ResultCache:
         """The cached report for ``spec``, or ``None`` on a miss.
 
         Unreadable or mismatched entries (truncated writes, a stale
-        format, a hash collision) are treated as misses.
+        format, a hash collision) are treated as misses, and so is an
+        entry older than ``max_age`` -- which is also deleted, counting
+        as an age eviction.  A policy-enabled hit refreshes the entry's
+        mtime, so recency for LRU eviction means "last written *or*
+        read".
         """
         path = self._path(spec.spec_hash)
+        if self.max_age is not None and self._expire_one(path):
+            return None
         try:
             with open(path, "r", encoding="utf-8") as stream:
                 data = json.load(stream)
@@ -62,12 +121,21 @@ class ResultCache:
         if data.get("spec") != spec.to_dict():
             return None
         try:
-            return SimulationReport.from_dict(data["report"])
+            report = SimulationReport.from_dict(data["report"])
         except (KeyError, TypeError):
             return None
+        if self.has_policy:
+            with contextlib.suppress(OSError):
+                os.utime(path)
+        return report
 
     def put(self, spec: ExperimentSpec, report: SimulationReport) -> Path:
-        """Store ``report`` under ``spec``'s content hash, atomically."""
+        """Store ``report`` under ``spec``'s content hash, atomically.
+
+        With ``max_bytes`` set, a put that takes the store over budget
+        evicts least-recently-used entries (oldest mtime first) until it
+        fits again.
+        """
         spec_hash = spec.spec_hash
         path = self._path(spec_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -80,8 +148,107 @@ class ResultCache:
         with open(temp, "w", encoding="utf-8") as stream:
             json.dump(document, stream, sort_keys=True, indent=1)
             stream.write("\n")
-        os.replace(temp, path)
+        if self.max_bytes is not None:
+            with self._policy_lock:
+                old_size = 0
+                with contextlib.suppress(OSError):
+                    old_size = path.stat().st_size
+                new_size = temp.stat().st_size
+                os.replace(temp, path)
+                self._bytes += new_size - old_size
+                if self._bytes > self.max_bytes:
+                    self._evict_to_budget(keep=path)
+                self._gauge_bytes()
+        else:
+            os.replace(temp, path)
         return path
+
+    # ------------------------------------------------------------------
+    # Expiry policy
+    # ------------------------------------------------------------------
+
+    def expire(self, now: float | None = None) -> int:
+        """One full policy sweep (age cutoff, then byte budget).
+
+        Returns how many entries were evicted.  ``put`` and ``get``
+        already enforce the policy incrementally; this is for explicit
+        maintenance passes (e.g. a daemon reclaiming space while idle).
+        """
+        evicted = 0
+        if self.max_age is not None:
+            cutoff = (
+                now if now is not None else time.time()
+            ) - self.max_age
+            for path in sorted(self.root.glob("??/*.json")):
+                try:
+                    if path.stat().st_mtime < cutoff:
+                        evicted += self._evict(path, "age")
+                except OSError:
+                    continue
+        if self.max_bytes is not None:
+            with self._policy_lock:
+                self._bytes = sum(
+                    p.stat().st_size for p in self.root.glob("??/*.json")
+                )
+                evicted += self._evict_to_budget()
+                self._gauge_bytes()
+        return evicted
+
+    def _expire_one(self, path: Path) -> bool:
+        """Delete ``path`` if it is older than ``max_age``."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return False
+        if age <= self.max_age:
+            return False
+        return bool(self._evict(path, "age"))
+
+    def _evict_to_budget(self, keep: Path | None = None) -> int:
+        """Evict oldest-mtime entries until the store fits ``max_bytes``.
+
+        Caller holds ``_policy_lock``.  ``keep`` (the entry just
+        written) is never evicted -- a single entry larger than the
+        whole budget would otherwise evict itself.
+        """
+        entries = []
+        for path in self.root.glob("??/*.json"):
+            if keep is not None and path == keep:
+                continue
+            with contextlib.suppress(OSError):
+                stat = path.stat()
+                entries.append((stat.st_mtime, str(path), stat.st_size))
+        entries.sort()
+        evicted = 0
+        for _mtime, path_str, _size in entries:
+            if self._bytes <= self.max_bytes:
+                break
+            evicted += self._evict(Path(path_str), "size")
+        return evicted
+
+    def _evict(self, path: Path, reason: str) -> int:
+        """Unlink one entry, count it; returns 1 if it was removed."""
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            return 0
+        if reason == "age":
+            self.age_evictions += 1
+        else:
+            self.size_evictions += 1
+        self.evicted_bytes += size
+        self._bytes -= size
+        if self.metrics is not None:
+            self.metrics.inc(f"result_cache.disk.evictions_{reason}")
+            self.metrics.inc("result_cache.disk.evicted_bytes", size)
+        return 1
+
+    def _gauge_bytes(self) -> None:
+        if self.metrics is not None and self.max_bytes is not None:
+            self.metrics.set_gauge(
+                "result_cache.disk.bytes", self._bytes
+            )
 
     # ------------------------------------------------------------------
 
@@ -122,6 +289,12 @@ class TieredResultCache:
     ``result_cache.hot_entries`` gauge, so serving metrics fold into the
     same :class:`~repro.obs.metrics.MetricsRegistry` snapshots as
     everything else.
+
+    ``disk_max_bytes`` / ``disk_max_age`` forward to the disk
+    :class:`ResultCache` expiry policy (LRU-by-mtime byte budget and
+    idle-age cutoff); its eviction counters surface both in
+    :meth:`stats` and, through the same registry, as
+    ``result_cache.disk.*``.
     """
 
     def __init__(
@@ -130,6 +303,8 @@ class TieredResultCache:
         *,
         capacity: int = 256,
         metrics=None,
+        disk_max_bytes: int | None = None,
+        disk_max_age: float | None = None,
     ) -> None:
         if capacity < 1:
             from repro.errors import ConfigurationError
@@ -138,7 +313,16 @@ class TieredResultCache:
                 f"hot-tier capacity must be >= 1, got {capacity}"
             )
         self.capacity = capacity
-        self.disk = ResultCache(root) if root is not None else None
+        self.disk = (
+            ResultCache(
+                root,
+                max_bytes=disk_max_bytes,
+                max_age=disk_max_age,
+                metrics=metrics,
+            )
+            if root is not None
+            else None
+        )
         self.metrics = metrics
         self._hot: OrderedDict[str, SimulationReport] = OrderedDict()
         self._lock = threading.Lock()
@@ -225,7 +409,7 @@ class TieredResultCache:
     def stats(self) -> dict[str, int]:
         """Counter snapshot (JSON-ready, deterministic key order)."""
         with self._lock:
-            return {
+            stats = {
                 "capacity": self.capacity,
                 "disk_hits": self.disk_hits,
                 "disk_misses": self.disk_misses,
@@ -234,3 +418,8 @@ class TieredResultCache:
                 "hot_hits": self.hot_hits,
                 "hot_misses": self.hot_misses,
             }
+        if self.disk is not None and self.disk.has_policy:
+            stats["disk_age_evictions"] = self.disk.age_evictions
+            stats["disk_evicted_bytes"] = self.disk.evicted_bytes
+            stats["disk_size_evictions"] = self.disk.size_evictions
+        return stats

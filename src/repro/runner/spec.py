@@ -18,6 +18,7 @@ when every parameter that can influence the simulation is equal.  A
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from dataclasses import dataclass, field
@@ -273,9 +274,14 @@ class ExperimentSpec:
 
     # ------------------------------------------------------------------
 
-    @property
+    @functools.cached_property
     def spec_hash(self) -> str:
-        """SHA-256 over the canonical JSON form (the cache key)."""
+        """SHA-256 over the canonical JSON form (the cache key).
+
+        Cached on first access (the spec is frozen, so the hash can
+        never change): the serving path reads it several times per
+        request and canonicalisation dominates otherwise.
+        """
         return hashlib.sha256(
             _canonical_json(self.to_dict()).encode("ascii")
         ).hexdigest()

@@ -1,17 +1,24 @@
-"""Experiment-as-a-service: a daemon serving heavy sweep traffic.
+"""Experiment-as-a-service: daemons and a router serving sweep traffic.
 
 The serving layer over :mod:`repro.runner` (see docs/SERVE.md):
 
-* :mod:`repro.serve.protocol` -- the length-prefixed JSON wire format
-  and request validation;
-* :mod:`repro.serve.daemon` -- the asyncio unix-socket daemon:
-  in-flight coalescing by spec content hash, a two-tier result cache
-  (in-memory LRU over the disk store), bounded-queue admission control
-  with explicit overload rejection, a sharded worker pool over the
-  existing :class:`~repro.runner.executor.Executor`, streamed progress
-  events sourced from the run journal, and graceful drain;
-* :mod:`repro.serve.client` -- a blocking client (what ``repro submit``
-  uses; the CLI is just one client of the service).
+* :mod:`repro.serve.protocol` -- the length-prefixed JSON wire format,
+  endpoint-address parsing and request validation;
+* :mod:`repro.serve.daemon` -- the asyncio daemon (unix socket, plus an
+  optional TCP ``listen`` endpoint): in-flight coalescing by spec
+  content hash, a two-tier result cache (in-memory LRU over the disk
+  store with an optional expiry policy), bounded-queue admission
+  control with explicit overload rejection, a sharded worker pool over
+  the existing :class:`~repro.runner.executor.Executor`, streamed
+  progress events sourced from the run journal, and graceful drain;
+* :mod:`repro.serve.router` -- scale-out: a thin router that owns the
+  client-facing endpoints, maps every submission cell to one of N
+  supervised daemon subprocesses by spec content hash (coalescing and
+  caching stay per-shard correct with zero cross-shard coordination),
+  and relays frames without buffering;
+* :mod:`repro.serve.client` -- a blocking client speaking either
+  transport (what ``repro submit`` uses; the CLI is just one client of
+  the service).
 
 Quickstart::
 
@@ -27,27 +34,51 @@ from repro.serve.client import ServeClient, SubmitOutcome
 from repro.serve.daemon import DaemonThread, ServeConfig, ServeDaemon
 from repro.serve.protocol import (
     MAX_FRAME_BYTES,
+    decode_frame,
     decode_payload,
     encode_frame,
+    parse_address,
     parse_submit_cells,
+    peek_frame_type,
+    peek_spec_hash,
     read_frame,
+    read_frame_bytes,
+    read_frame_raw,
     read_frame_sync,
+    route_submit_cells,
     write_frame,
     write_frame_sync,
+)
+from repro.serve.router import (
+    RouterConfig,
+    RouterThread,
+    ServeRouter,
+    shard_for,
 )
 
 __all__ = [
     "DaemonThread",
     "MAX_FRAME_BYTES",
+    "RouterConfig",
+    "RouterThread",
     "ServeClient",
     "ServeConfig",
     "ServeDaemon",
+    "ServeRouter",
     "SubmitOutcome",
+    "decode_frame",
     "decode_payload",
     "encode_frame",
+    "parse_address",
     "parse_submit_cells",
+    "peek_frame_type",
+    "peek_spec_hash",
     "read_frame",
+    "read_frame_bytes",
+    "read_frame_raw",
     "read_frame_sync",
+    "route_submit_cells",
+    "shard_for",
     "write_frame",
     "write_frame_sync",
 ]

@@ -45,7 +45,7 @@ import asyncio
 import contextlib
 import threading
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable
@@ -71,6 +71,12 @@ _REJECT_BURST_WINDOW = 10.0
 #: them).  Counts stay exact -- they are tallied incrementally.
 _JOURNAL_EVENT_CAP = 20000
 
+#: Submission-parse memo bounds: entries hold the raw frame bytes as
+#: key plus the parsed frozen specs, so both knobs bound memory
+#: (<= entries * max-frame bytes of keys).
+_PARSE_MEMO_ENTRIES = 32
+_PARSE_MEMO_MAX_FRAME = 256 * 1024
+
 
 @dataclass(frozen=True)
 class ServeConfig:
@@ -92,6 +98,16 @@ class ServeConfig:
     when set, is where incident dumps land as JSONL (without it the ring
     still records, but nothing is written); ``reject_burst`` is how many
     rejections within ten seconds count as an overload incident.
+
+    ``listen`` adds a TCP endpoint (``host:port``) alongside the unix
+    socket -- same protocol, same handler; port 0 picks a free port,
+    readable afterwards as :attr:`ServeDaemon.tcp_port`.  **No
+    authentication**: bind only on trusted networks (docs/SERVE.md).
+    ``disk_max_bytes`` / ``disk_max_age`` forward to the disk tier's
+    expiry policy (:class:`~repro.runner.cache.ResultCache`).
+    ``stream_artifacts`` makes every fresh execution stream its network
+    heatmaps to subscribed clients as an ``artifact`` frame (requires
+    the in-process task body, ``exec_workers=0``).
     """
 
     socket_path: str | Path
@@ -107,6 +123,10 @@ class ServeConfig:
     flight_capacity: int = FLIGHT_CAPACITY
     flight_dir: str | Path | None = None
     reject_burst: int = 8
+    listen: str | None = None
+    disk_max_bytes: int | None = None
+    disk_max_age: float | None = None
+    stream_artifacts: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -124,6 +144,22 @@ class ServeConfig:
         if self.reject_burst < 2:
             raise ConfigurationError(
                 f"reject_burst must be >= 2, got {self.reject_burst}"
+            )
+        if self.listen is not None:
+            kind = wire.parse_address(self.listen)
+            if kind[0] != "tcp":
+                raise ConfigurationError(
+                    f"listen must be a tcp host:port, got {self.listen!r}"
+                )
+        if self.stream_artifacts and self.exec_workers != 0:
+            raise ConfigurationError(
+                "stream_artifacts needs the in-process task body "
+                "(exec_workers=0): heatmaps are captured from the "
+                "network object the cell just drove"
+            )
+        if self.stream_artifacts and self.task_fn is not None:
+            raise ConfigurationError(
+                "stream_artifacts and task_fn are mutually exclusive"
             )
 
 
@@ -184,6 +220,8 @@ class ServeDaemon:
             config.cache_dir,
             capacity=config.hot_capacity,
             metrics=self.metrics,
+            disk_max_bytes=config.disk_max_bytes,
+            disk_max_age=config.disk_max_age,
         )
         self.journal = _DaemonJournal(
             config.journal_path, on_event=self._observe_event
@@ -193,6 +231,10 @@ class ServeDaemon:
         self.sampler.add_source(self._telemetry_gauges)
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.AbstractServer | None = None
+        self._tcp_server: asyncio.AbstractServer | None = None
+        #: The bound TCP port once started with ``listen`` (port 0 in
+        #: the config resolves to the kernel-assigned port here).
+        self.tcp_port: int | None = None
         self._queue: asyncio.Queue | None = None
         self._stop: asyncio.Event | None = None
         self._inflight: dict[str, asyncio.Future] = {}
@@ -211,6 +253,21 @@ class ServeDaemon:
         )
         self._flight_seq = 0
         self._flight_lock = threading.Lock()
+        # Encoded result frames for cache-served cells, keyed by
+        # ``(spec_hash, source)``.  Content-addressed, so an entry can
+        # never go stale: a given hash's report is immutable.  Serving
+        # a hot cell becomes one buffer write instead of a dict build
+        # plus a JSON encode -- the difference between the
+        # ``serve_hot_cache`` and ``serve_sharded`` benchmark rates.
+        self._frame_cache: "OrderedDict[tuple[str, str], bytes]" = (
+            OrderedDict()
+        )
+        # Parsed submissions keyed by their exact wire bytes.  Sweep
+        # clients (poll loops, the router's verbatim relay) resubmit
+        # byte-identical frames, and spec construction dominates the
+        # hot-serve path; identical bytes parse to the identical value,
+        # so repeats reuse the frozen specs -- cached hashes included.
+        self._parse_memo: "OrderedDict[bytes, tuple]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -231,6 +288,14 @@ class ServeDaemon:
         self._server = await asyncio.start_unix_server(
             self._handle_connection, path=str(path)
         )
+        listen_bound = None
+        if self.config.listen is not None:
+            _kind, host, port = wire.parse_address(self.config.listen)
+            self._tcp_server = await asyncio.start_server(
+                self._handle_connection, host=host, port=port
+            )
+            self.tcp_port = self._tcp_server.sockets[0].getsockname()[1]
+            listen_bound = f"{host}:{self.tcp_port}"
         self._workers = [
             asyncio.create_task(self._worker(), name=f"serve-worker-{i}")
             for i in range(self.config.workers)
@@ -241,6 +306,7 @@ class ServeDaemon:
         self.journal.record(
             "serve_start",
             socket=str(path),
+            listen=listen_bound,
             workers=self.config.workers,
             max_queue=self.config.max_queue,
             hot_capacity=self.config.hot_capacity,
@@ -281,6 +347,9 @@ class ServeDaemon:
         )
         self._server.close()
         await self._server.wait_closed()
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
         await self._queue.join()
         for _ in self._workers:
             self._queue.put_nowait(None)
@@ -456,16 +525,51 @@ class ServeDaemon:
         returns), so there is no window in which a concurrent submission
         of the same hash could trigger a second execution.
         """
+        task_fn = self.config.task_fn
+        if self.config.stream_artifacts:
+            task_fn = self._task_with_artifacts
         executor = Executor(
             workers=self.config.exec_workers,
             retries=self.config.retries,
             journal=self.journal,
-            task_fn=self.config.task_fn,
+            task_fn=task_fn,
             metrics=self.metrics,
         )
         result = executor.run([spec])[0]
         self.cache.put(spec, result.report)
         return result.report.to_dict()
+
+    def _task_with_artifacts(self, spec: ExperimentSpec):
+        """Task body for ``stream_artifacts``: run, then broadcast heatmaps.
+
+        The heatmap frame rides the same subscriber queues as progress
+        events, so every submission covering the task receives it --
+        cache and coalescing semantics are untouched (artifacts stream
+        only for *fresh* executions; cached cells re-serve reports, not
+        heatmaps).
+        """
+        from repro.obs.hooks import execute_spec_with_heatmaps
+
+        report, heatmaps = execute_spec_with_heatmaps(spec)
+        self.metrics.inc("serve.artifacts")
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(
+                self._dispatch_artifact, spec.spec_hash, heatmaps
+            )
+        return report
+
+    def _dispatch_artifact(self, spec_hash: str, heatmaps: dict) -> None:
+        prefix = spec_hash[:_HASH_PREFIX]
+        for queue in self._subscribers.get(prefix, ()):
+            queue.put_nowait(
+                {
+                    "type": "artifact",
+                    "task": prefix,
+                    "spec_hash": spec_hash,
+                    "heatmaps": heatmaps,
+                }
+            )
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -478,13 +582,21 @@ class ServeDaemon:
         try:
             while True:
                 try:
-                    frame = await wire.read_frame(reader)
+                    raw = await wire.read_frame_bytes(reader)
+                    if raw is None:
+                        break
+                    parsed = self._parse_memo.get(raw)
+                    if parsed is not None:
+                        # Byte-identical resubmission: skip the JSON
+                        # decode and the spec re-construction outright.
+                        self._parse_memo.move_to_end(raw)
+                        await self._handle_submit(parsed, writer, lock)
+                        continue
+                    frame = wire.decode_frame(raw)
                 except FrameError as exc:
                     await self._send(
                         writer, lock, {"type": "error", "error": str(exc)}
                     )
-                    break
-                if frame is None:
                     break
                 op = frame.get("op")
                 if op == "ping":
@@ -503,7 +615,23 @@ class ServeDaemon:
                     self.request_stop()
                     await self._send(writer, lock, {"type": "draining"})
                 elif op == "submit":
-                    await self._handle_submit(frame, writer, lock)
+                    try:
+                        parsed = self._parse_submit(frame, raw)
+                    except ConfigurationError as exc:
+                        self.journal.record(
+                            "serve_invalid", error=str(exc)
+                        )
+                        await self._send(
+                            writer,
+                            lock,
+                            {
+                                "type": "error",
+                                "error": str(exc),
+                                "id": frame.get("id"),
+                            },
+                        )
+                    else:
+                        await self._handle_submit(parsed, writer, lock)
                 else:
                     await self._send(
                         writer,
@@ -522,6 +650,41 @@ class ServeDaemon:
     async def _send(writer, lock: asyncio.Lock, payload: dict) -> None:
         async with lock:
             await wire.write_frame(writer, payload)
+
+    @staticmethod
+    async def _send_raw(writer, lock: asyncio.Lock, raw: bytes) -> None:
+        async with lock:
+            writer.write(raw)
+            await writer.drain()
+
+    def _result_frame(
+        self, spec_hash: str, prefix: str, source: str, report
+    ) -> bytes:
+        """The encoded ``result`` frame for a cache-served cell.
+
+        Encoded once per ``(spec_hash, source)`` and reused verbatim --
+        the frame has no per-submission fields, so every later serve of
+        the same cell is byte-identical by construction.  Bounded by
+        ``hot_capacity`` entries, evicted least-recently-served.
+        """
+        key = (spec_hash, source)
+        raw = self._frame_cache.get(key)
+        if raw is not None:
+            self._frame_cache.move_to_end(key)
+            return raw
+        raw = wire.encode_frame(
+            {
+                "type": "result",
+                "task": prefix,
+                "spec_hash": spec_hash,
+                "source": source,
+                "report": report.to_dict(),
+            }
+        )
+        self._frame_cache[key] = raw
+        while len(self._frame_cache) > self.config.hot_capacity:
+            self._frame_cache.popitem(last=False)
+        return raw
 
     def _status_payload(self) -> dict:
         self.metrics.set_gauge("serve.queue_depth", self._queue.qsize())
@@ -575,21 +738,31 @@ class ServeDaemon:
 
     # ------------------------------------------------------------------
 
-    async def _handle_submit(self, frame, writer, lock) -> None:
+    def _parse_submit(self, frame: dict, raw: bytes) -> tuple:
+        """Validate a submit frame into ``(name, specs, id, stream)``.
+
+        Memoised on the exact wire bytes (see ``_parse_memo``); a
+        malformed frame raises before anything is cached.  The specs
+        list is shared across repeats -- safe because every spec is a
+        frozen dataclass and ``_handle_submit`` only reads it.
+        """
+        name, specs = wire.parse_submit_cells(frame)
+        parsed = (
+            name,
+            specs,
+            frame.get("id"),
+            bool(frame.get("stream", True)),
+        )
+        if len(raw) <= _PARSE_MEMO_MAX_FRAME:
+            self._parse_memo[raw] = parsed
+            while len(self._parse_memo) > _PARSE_MEMO_ENTRIES:
+                self._parse_memo.popitem(last=False)
+        return parsed
+
+    async def _handle_submit(self, parsed, writer, lock) -> None:
         received_at = time.monotonic()
         self.metrics.inc("serve.requests")
-        request_id = frame.get("id")
-        try:
-            name, specs = wire.parse_submit_cells(frame)
-        except ConfigurationError as exc:
-            self.journal.record("serve_invalid", error=str(exc))
-            await self._send(
-                writer,
-                lock,
-                {"type": "error", "error": str(exc), "id": request_id},
-            )
-            return
-        stream_events = bool(frame.get("stream", True))
+        name, specs, request_id, stream_events = parsed
 
         # Resolve every unique cell: cache hit, in-flight join, or new
         # execution -- in that order, so duplicates are never queued.
@@ -724,34 +897,34 @@ class ServeDaemon:
                 source, value = resolution[spec_hash]
                 prefix = spec_hash[:_HASH_PREFIX]
                 if source in ("hot", "disk"):
+                    await self._send_raw(
+                        writer,
+                        lock,
+                        self._result_frame(
+                            spec_hash, prefix, source, value
+                        ),
+                    )
+                    continue
+                try:
+                    # shield: cancelling this handler (client gone)
+                    # must not cancel the shared execution future.
+                    report_dict = await asyncio.shield(value)
+                except Exception as exc:
+                    failed += 1
+                    payload = {
+                        "type": "error",
+                        "task": prefix,
+                        "spec_hash": spec_hash,
+                        "error": str(exc),
+                    }
+                else:
                     payload = {
                         "type": "result",
                         "task": prefix,
                         "spec_hash": spec_hash,
                         "source": source,
-                        "report": value.to_dict(),
+                        "report": report_dict,
                     }
-                else:
-                    try:
-                        # shield: cancelling this handler (client gone)
-                        # must not cancel the shared execution future.
-                        report_dict = await asyncio.shield(value)
-                    except Exception as exc:
-                        failed += 1
-                        payload = {
-                            "type": "error",
-                            "task": prefix,
-                            "spec_hash": spec_hash,
-                            "error": str(exc),
-                        }
-                    else:
-                        payload = {
-                            "type": "result",
-                            "task": prefix,
-                            "spec_hash": spec_hash,
-                            "source": source,
-                            "report": report_dict,
-                        }
                 await self._send(writer, lock, payload)
         finally:
             if events_queue is not None:

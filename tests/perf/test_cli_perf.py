@@ -177,3 +177,14 @@ def test_rate_delta_against_previous_history_row(
     stub_benchmarks(rate=1500.0)
     assert main(["perf", "--baseline", str(baseline)]) == 0
     assert "+50.0%" in capsys.readouterr().out
+
+
+def test_only_unknown_name_fails_listing_valid_names(capsys):
+    # No stub here on purpose: the name check happens before any
+    # benchmark runs, so the real registry answers instantly.
+    assert main(["perf", "--only", "no_such_bench"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown benchmark name" in out
+    assert "no_such_bench" in out
+    assert "trace_replay_n64" in out  # the valid names are listed
+    assert "serve_sharded_n64" in out

@@ -131,7 +131,8 @@ def test_benchmark_names_cover_the_committed_baseline():
     names = benchmark_names()
     assert "batched_replay_n1024" in names
     assert "compiled_replay_n64" in names
-    assert len(names) == len(set(names)) == 7
+    assert "serve_sharded_n64" in names
+    assert len(names) == len(set(names)) == 8
 
 
 def test_require_raises_equivalence_error():

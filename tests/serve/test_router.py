@@ -1,0 +1,197 @@
+"""The spec-hash router end-to-end: sharding, transports, recovery.
+
+The acceptance scenario for the sharded serving layer: ``shard_for``
+sends every submission of a hash to the same shard; overlapping clients
+on *both* transports (unix socket and TCP) execute each unique spec
+exactly once fleet-wide and read back reports byte-identical to a
+direct executor run; a shard killed mid-fleet is restarted by the
+supervisor and a resubmission returns byte-identical results; draining
+the router unlinks every socket it bound.
+"""
+
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import execute_spec
+from repro.runner.spec import ExperimentSpec, WorkloadSpec
+from repro.serve import RouterConfig, RouterThread, ServeClient, shard_for
+from repro.sim.system import SystemConfig
+
+
+def make_spec(protocol="no-cache", seed=0) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol=protocol,
+        workload=WorkloadSpec(
+            kind="markov",
+            n_nodes=4,
+            n_references=120,
+            write_fraction=0.3,
+            seed=seed,
+            tasks=(0, 1),
+        ),
+        config=SystemConfig(n_nodes=4),
+    )
+
+
+def canonical(report_dict: dict) -> str:
+    return json.dumps(report_dict, sort_keys=True)
+
+
+GRID = [
+    make_spec(protocol=protocol, seed=seed)
+    for protocol in ("no-cache", "write-once")
+    for seed in (0, 1, 2)
+]
+
+
+class TestShardFor:
+    def test_same_hash_same_shard_always(self):
+        for spec in GRID:
+            owners = {shard_for(spec.spec_hash, 4) for _ in range(10)}
+            assert len(owners) == 1  # stable: a pure function
+
+    def test_prefix_stability_under_hash_length(self):
+        # Only the first eight hex digits decide, so the mapping holds
+        # for any future hash length >= 8.
+        for spec in GRID:
+            full = spec.spec_hash
+            assert shard_for(full, 4) == shard_for(full[:8], 4)
+
+    def test_every_shard_is_reachable(self):
+        owners = {
+            shard_for(make_spec(seed=seed).spec_hash, 4)
+            for seed in range(64)
+        }
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_everything(self):
+        for spec in GRID:
+            assert shard_for(spec.spec_hash, 1) == 0
+
+
+class TestRouterConfig:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            RouterConfig(socket_path="r.sock", shards=0)
+        with pytest.raises(ConfigurationError, match="listen"):
+            RouterConfig(socket_path="r.sock", listen="/not/a/port")
+        with pytest.raises(ConfigurationError, match="restart_backoff"):
+            RouterConfig(socket_path="r.sock", restart_backoff=0)
+
+
+class TestRouterEndToEnd:
+    def test_overlapping_unix_and_tcp_clients_execute_once(self, tmp_path):
+        """Unix and TCP clients overlap on the same grid: one execution
+        per unique hash fleet-wide, byte-identical reports on both
+        transports."""
+        socket_path = tmp_path / "router.sock"
+        direct = {
+            spec.spec_hash: canonical(execute_spec(spec).to_dict())
+            for spec in GRID
+        }
+        config = RouterConfig(
+            socket_path=socket_path,
+            shards=2,
+            listen="127.0.0.1:0",
+            workers=2,
+        )
+        with RouterThread(config) as router:
+            tcp_address = f"127.0.0.1:{router.router.tcp_port}"
+
+            def run_client(index):
+                address = socket_path if index % 2 == 0 else tcp_address
+                # Each client rotates the grid differently, then
+                # repeats its own order (overlap across clients,
+                # byte-identical resubmission within one).
+                shift = index % len(GRID)
+                cells = GRID[shift:] + GRID[:shift]
+                with ServeClient(address, timeout=120) as client:
+                    return [
+                        client.submit(cells, name=f"c{index}")
+                        for _ in range(3)
+                    ]
+
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                futures = [
+                    pool.submit(run_client, index) for index in range(6)
+                ]
+                all_outcomes = [
+                    outcome
+                    for future in futures
+                    for outcome in future.result(timeout=300)
+                ]
+            status = ServeClient(socket_path).status()
+
+        assert status["router"] is True
+        assert status["executed"] == {
+            spec.spec_hash: 1 for spec in GRID
+        }
+        assert len(all_outcomes) == 18
+        for outcome in all_outcomes:
+            assert outcome.done["failed"] == 0
+            assert len(outcome.results) == len(GRID)
+            for frame in outcome.results:
+                assert canonical(frame["report"]) == direct[
+                    frame["spec_hash"]
+                ]
+
+    def test_shard_crash_restart_resubmit_byte_identical(self, tmp_path):
+        """SIGKILL one shard: the supervisor restarts it, and a
+        resubmission of the full grid returns byte-identical reports."""
+        socket_path = tmp_path / "router.sock"
+        config = RouterConfig(
+            socket_path=socket_path,
+            shards=2,
+            workers=2,
+            restart_backoff=0.05,
+        )
+        with RouterThread(config):
+            client = ServeClient(socket_path, timeout=120)
+            before = {
+                frame["spec_hash"]: canonical(frame["report"])
+                for frame in client.submit(GRID, name="before").results
+            }
+            assert len(before) == len(GRID)
+
+            victim = client.status()["shards"][0]
+            os.kill(victim["pid"], signal.SIGKILL)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                shard = client.status()["shards"][0]
+                if (
+                    shard["alive"]
+                    and shard["restarts"] >= 1
+                    and shard["pid"] != victim["pid"]
+                ):
+                    break
+                time.sleep(0.1)
+            else:
+                raise AssertionError(
+                    "shard was not restarted within 60s"
+                )
+
+            outcome = client.submit(GRID, name="after")
+            assert outcome.done["failed"] == 0
+            after = {
+                frame["spec_hash"]: canonical(frame["report"])
+                for frame in outcome.results
+            }
+        assert after == before
+
+    def test_drain_unlinks_every_socket(self, tmp_path):
+        socket_path = tmp_path / "router.sock"
+        config = RouterConfig(socket_path=socket_path, shards=2)
+        with RouterThread(config):
+            shard_dir = config.resolved_shard_dir()
+            shard_socks = sorted(shard_dir.glob("*.sock"))
+            assert socket_path.exists()
+            assert len(shard_socks) == 2
+        assert not socket_path.exists()
+        for sock in shard_socks:
+            assert not sock.exists()
